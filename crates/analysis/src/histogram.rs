@@ -1,0 +1,222 @@
+//! Linear and logarithmic binning of empirical distributions.
+//!
+//! Degree distributions of scale-free networks span several orders of magnitude in both
+//! `k` and `P(k)`; the paper's Figs. 1-4 are therefore presented on log-log axes. Raw
+//! per-degree frequencies become extremely noisy in the tail (most degrees occur zero or
+//! one time), so the standard remedy — also used here — is logarithmic binning: bins whose
+//! widths grow geometrically, with counts converted to densities.
+
+use serde::{Deserialize, Serialize};
+
+/// One logarithmic bin of a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogBin {
+    /// Inclusive lower edge of the bin.
+    pub lower: f64,
+    /// Exclusive upper edge of the bin.
+    pub upper: f64,
+    /// Geometric center of the bin, the natural abscissa on a log axis.
+    pub center: f64,
+    /// Probability density in the bin: (fraction of samples) / (bin width).
+    pub density: f64,
+    /// Raw number of samples that fell into the bin.
+    pub count: usize,
+}
+
+/// Builds a linear histogram of non-negative integer samples: `counts[v]` is the number of
+/// samples equal to `v`.
+///
+/// Returns an empty vector for an empty input.
+pub fn linear_counts(samples: &[usize]) -> Vec<usize> {
+    let max = match samples.iter().max() {
+        Some(&m) => m,
+        None => return Vec::new(),
+    };
+    let mut counts = vec![0usize; max + 1];
+    for &s in samples {
+        counts[s] += 1;
+    }
+    counts
+}
+
+/// Converts per-value counts into a normalized probability mass function, omitting zero
+/// counts. Returns `(value, probability)` pairs.
+pub fn normalized_distribution(counts: &[usize]) -> Vec<(usize, f64)> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(v, &c)| (v, c as f64 / total as f64))
+        .collect()
+}
+
+/// Logarithmically bins positive integer samples (values of zero are ignored, as degree
+/// zero cannot be placed on a log axis).
+///
+/// `bins_per_decade` controls the resolution; the paper-style plots use around 10. Empty
+/// bins are omitted from the output.
+///
+/// # Panics
+///
+/// Panics if `bins_per_decade` is zero.
+///
+/// # Example
+///
+/// ```
+/// use sfo_analysis::histogram::log_binned_distribution;
+///
+/// let samples: Vec<usize> = (1..=1000).collect();
+/// let bins = log_binned_distribution(&samples, 5);
+/// assert!(!bins.is_empty());
+/// // Densities of a uniform sample are roughly constant.
+/// let first = bins.first().unwrap().density;
+/// let last = bins.last().unwrap().density;
+/// assert!((first / last) < 3.0 && (last / first) < 3.0);
+/// ```
+pub fn log_binned_distribution(samples: &[usize], bins_per_decade: usize) -> Vec<LogBin> {
+    assert!(bins_per_decade > 0, "bins_per_decade must be positive");
+    let positive: Vec<usize> = samples.iter().copied().filter(|&s| s > 0).collect();
+    if positive.is_empty() {
+        return Vec::new();
+    }
+    let total = positive.len() as f64;
+    let max = *positive.iter().max().expect("non-empty") as f64;
+    let ratio = 10f64.powf(1.0 / bins_per_decade as f64);
+
+    // Bin edges start at 1 and grow geometrically until they cover the maximum.
+    let mut edges = vec![1.0f64];
+    while *edges.last().expect("non-empty") <= max {
+        let next = edges.last().expect("non-empty") * ratio;
+        edges.push(next);
+    }
+
+    let mut bins: Vec<LogBin> = edges
+        .windows(2)
+        .map(|w| LogBin {
+            lower: w[0],
+            upper: w[1],
+            center: (w[0] * w[1]).sqrt(),
+            density: 0.0,
+            count: 0,
+        })
+        .collect();
+
+    for &s in &positive {
+        let v = s as f64;
+        // Find the bin whose [lower, upper) interval contains v.
+        let idx = bins
+            .partition_point(|b| b.upper <= v)
+            .min(bins.len() - 1);
+        bins[idx].count += 1;
+    }
+
+    for bin in &mut bins {
+        let width = bin.upper - bin.lower;
+        bin.density = bin.count as f64 / total / width;
+    }
+    bins.retain(|b| b.count > 0);
+    bins
+}
+
+/// Computes the complementary cumulative distribution `P(K >= k)` of integer samples,
+/// returning `(k, probability)` pairs for every distinct value present.
+///
+/// The CCDF is a smoother alternative to the binned PMF and is convenient for verifying
+/// power-law tails (a power law of exponent `γ` has a CCDF exponent of `γ - 1`).
+pub fn ccdf(samples: &[usize]) -> Vec<(usize, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let counts = linear_counts(samples);
+    let total = samples.len() as f64;
+    let mut remaining = samples.len();
+    let mut out = Vec::new();
+    for (value, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            out.push((value, remaining as f64 / total));
+        }
+        remaining -= count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_counts_basic() {
+        assert_eq!(linear_counts(&[]), Vec::<usize>::new());
+        assert_eq!(linear_counts(&[0, 1, 1, 3]), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn normalized_distribution_sums_to_one() {
+        let counts = linear_counts(&[1, 1, 2, 5, 5, 5]);
+        let dist = normalized_distribution(&counts);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(dist[0], (1, 2.0 / 6.0));
+        assert!(normalized_distribution(&[]).is_empty());
+        assert!(normalized_distribution(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn log_bins_cover_all_positive_samples() {
+        let samples: Vec<usize> = vec![1, 2, 3, 10, 100, 1000, 0, 0];
+        let bins = log_binned_distribution(&samples, 10);
+        let counted: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(counted, 6, "zeros are excluded, everything else is binned");
+        for b in &bins {
+            assert!(b.lower < b.upper);
+            assert!(b.center > b.lower && b.center < b.upper);
+            assert!(b.density > 0.0);
+        }
+    }
+
+    #[test]
+    fn log_bins_of_power_law_have_decreasing_density() {
+        // Construct an exact discrete power-law-ish sample: value k appears ~ C k^-2 times.
+        let mut samples = Vec::new();
+        for k in 1usize..=200 {
+            let copies = (200_000.0 * (k as f64).powf(-2.0)).round() as usize;
+            samples.extend(std::iter::repeat(k).take(copies));
+        }
+        let bins = log_binned_distribution(&samples, 5);
+        assert!(bins.len() >= 5);
+        for w in bins.windows(2) {
+            assert!(
+                w[1].density < w[0].density,
+                "density must decrease along a power-law tail"
+            );
+        }
+    }
+
+    #[test]
+    fn log_bins_empty_input() {
+        assert!(log_binned_distribution(&[], 10).is_empty());
+        assert!(log_binned_distribution(&[0, 0, 0], 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bins_per_decade")]
+    fn log_bins_reject_zero_resolution() {
+        let _ = log_binned_distribution(&[1, 2, 3], 0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_one() {
+        let samples = vec![1, 2, 2, 3, 7];
+        let c = ccdf(&samples);
+        assert_eq!(c.first().unwrap().1, 1.0);
+        for w in c.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert_eq!(c.last().unwrap(), &(7, 0.2));
+        assert!(ccdf(&[]).is_empty());
+    }
+}

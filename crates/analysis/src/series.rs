@@ -1,0 +1,242 @@
+//! Labelled data series and figure containers.
+//!
+//! Each paper figure is a set of curves ("number of hits vs τ for m=1, k_c=10", ...).
+//! [`DataSeries`] holds one such curve with optional error bars, [`FigureData`] collects
+//! the curves of one figure, and both render to CSV or aligned plain text so the
+//! `reproduce` binary can print paper-comparable output without a plotting dependency.
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One point of a data series: an x value, the mean y value, and the spread across
+/// realizations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Abscissa (for example the TTL `τ` or the degree `k`).
+    pub x: f64,
+    /// Mean ordinate across realizations.
+    pub y: f64,
+    /// Standard error of the ordinate (0 when only one realization was run).
+    pub y_error: f64,
+    /// Number of realizations averaged into this point.
+    pub realizations: usize,
+}
+
+impl DataPoint {
+    /// Creates a point from a single observation.
+    pub fn single(x: f64, y: f64) -> Self {
+        DataPoint { x, y, y_error: 0.0, realizations: 1 }
+    }
+
+    /// Creates a point from a summary of repeated observations.
+    pub fn from_summary(x: f64, summary: &Summary) -> Self {
+        DataPoint {
+            x,
+            y: summary.mean(),
+            y_error: summary.std_error(),
+            realizations: summary.count(),
+        }
+    }
+}
+
+/// A labelled curve, e.g. `"m=2, k_c=10"`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataSeries {
+    /// Curve label, matching the legend entries used in the paper's figures.
+    pub label: String,
+    /// Points sorted by the caller (typically in increasing x).
+    pub points: Vec<DataPoint>,
+}
+
+impl DataSeries {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        DataSeries { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: DataPoint) {
+        self.points.push(point);
+    }
+
+    /// Returns the y value at the given x, if a point with exactly that abscissa exists.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| (p.x - x).abs() < 1e-12).map(|p| p.y)
+    }
+
+    /// Returns the largest y value in the series, or `None` if empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| match acc {
+            None => Some(y),
+            Some(m) => Some(m.max(y)),
+        })
+    }
+}
+
+/// All the curves of one reproduced figure or table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Short experiment identifier, e.g. `"fig9"`.
+    pub id: String,
+    /// Human-readable description of what the figure shows.
+    pub title: String,
+    /// Name of the x axis (e.g. `"tau"` or `"k"`).
+    pub x_label: String,
+    /// Name of the y axis (e.g. `"hits"` or `"P(k)"`).
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<DataSeries>,
+}
+
+impl FigureData {
+    /// Creates an empty figure container.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series to the figure.
+    pub fn push_series(&mut self, series: DataSeries) {
+        self.series.push(series);
+    }
+
+    /// Returns the series with the given label, if present.
+    pub fn series_by_label(&self, label: &str) -> Option<&DataSeries> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as CSV with columns `series,x,y,y_error,realizations`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y,y_error,realizations\n");
+        for series in &self.series {
+            for p in &series.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    escape_csv(&series.label),
+                    p.x,
+                    p.y,
+                    p.y_error,
+                    p.realizations
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the figure as aligned plain text suitable for terminal comparison with the
+    /// paper's plots.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# x = {}, y = {}", self.x_label, self.y_label);
+        for series in &self.series {
+            let _ = writeln!(out, "## {}", series.label);
+            for p in &series.points {
+                let _ = writeln!(
+                    out,
+                    "  {:>12.4}  {:>14.6}  ±{:>12.6}  ({} runs)",
+                    p.x, p.y, p.y_error, p.realizations
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for FigureData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+fn escape_csv(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> FigureData {
+        let mut fig = FigureData::new("fig9", "NF hits vs tau", "tau", "hits");
+        let mut s1 = DataSeries::new("m=1, k_c=10");
+        s1.push(DataPoint::single(2.0, 3.1));
+        s1.push(DataPoint::single(4.0, 3.4));
+        let mut s2 = DataSeries::new("m=2, k_c=10");
+        let summary: Summary = [100.0, 110.0, 90.0].iter().copied().collect();
+        s2.push(DataPoint::from_summary(2.0, &summary));
+        fig.push_series(s1);
+        fig.push_series(s2);
+        fig
+    }
+
+    #[test]
+    fn data_point_constructors() {
+        let p = DataPoint::single(1.0, 2.0);
+        assert_eq!(p.realizations, 1);
+        assert_eq!(p.y_error, 0.0);
+        let summary: Summary = [2.0, 4.0].iter().copied().collect();
+        let q = DataPoint::from_summary(5.0, &summary);
+        assert_eq!(q.x, 5.0);
+        assert_eq!(q.y, 3.0);
+        assert!(q.y_error > 0.0);
+        assert_eq!(q.realizations, 2);
+    }
+
+    #[test]
+    fn series_lookup_helpers() {
+        let fig = sample_figure();
+        let s = fig.series_by_label("m=1, k_c=10").unwrap();
+        assert_eq!(s.y_at(4.0), Some(3.4));
+        assert_eq!(s.y_at(3.0), None);
+        assert_eq!(s.max_y(), Some(3.4));
+        assert!(fig.series_by_label("missing").is_none());
+        assert_eq!(DataSeries::new("empty").max_y(), None);
+    }
+
+    #[test]
+    fn csv_output_has_header_and_rows() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "series,x,y,y_error,realizations");
+        assert_eq!(lines.len(), 4);
+        // The label contains a comma, so it is quoted in the CSV output.
+        assert!(lines[1].starts_with("\"m=1, k_c=10\",2,3.1"));
+        assert!(lines[3].contains(",3"));
+    }
+
+    #[test]
+    fn csv_escapes_special_characters() {
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn text_output_mentions_labels_and_axes() {
+        let fig = sample_figure();
+        let text = fig.to_text();
+        assert!(text.contains("# fig9"));
+        assert!(text.contains("x = tau"));
+        assert!(text.contains("## m=2, k_c=10"));
+        assert!(text.contains("3 runs"));
+        assert_eq!(text, fig.to_string());
+    }
+}

@@ -1,0 +1,229 @@
+//! Aggregation of repeated measurements.
+//!
+//! Every data point in the paper's figures averages several independent network
+//! realizations ("for every data point 10 different realizations of the network have been
+//! used"). [`Summary`] collects such repeated observations and exposes the mean, spread,
+//! and standard error used for error bars.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Streaming summary statistics of a sequence of observations (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use sfo_analysis::Summary;
+///
+/// let summary: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(summary.count(), 8);
+/// assert!((summary.mean() - 5.0).abs() < 1e-12);
+/// assert!((summary.std_dev() - 2.138089935299395).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Returns the arithmetic mean, or 0.0 if no observations were added.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the sample standard deviation (denominator `n - 1`), or 0.0 with fewer than
+    /// two observations.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Returns the standard error of the mean, or 0.0 with fewer than two observations.
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Returns the smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Returns the largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merges another summary into this one, as if all its observations had been added
+    /// here.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.add(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} (n={})",
+            self.mean(),
+            self.std_error(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [3.5].iter().copied().collect();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9);
+        assert!((s.std_error() - s.std_dev() / 8f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + i as f64 / 3.0).collect();
+        let (a, b) = data.split_at(37);
+        let mut left: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        left.merge(&right);
+        let whole: Summary = data.iter().copied().collect();
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_adds_observations() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_mean_and_count() {
+        let s: Summary = [1.0, 3.0].iter().copied().collect();
+        let text = s.to_string();
+        assert!(text.contains("2.0000"));
+        assert!(text.contains("n=2"));
+    }
+}

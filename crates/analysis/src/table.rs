@@ -1,0 +1,136 @@
+//! Fixed-width text tables for Table I / Table II style output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple text table with a header row and string cells.
+///
+/// # Example
+///
+/// ```
+/// use sfo_analysis::TextTable;
+///
+/// let mut table = TextTable::new(vec!["Procedure", "Global info"]);
+/// table.push_row(vec!["PA", "yes"]);
+/// table.push_row(vec!["DAPA", "no"]);
+/// let rendered = table.to_string();
+/// assert!(rendered.contains("Procedure"));
+/// assert!(rendered.contains("DAPA"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty cells; longer rows
+    /// are truncated to the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Returns the number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the number of columns.
+    pub fn column_count(&self) -> usize {
+        self.header.len()
+    }
+
+    /// Returns the cell at the given row and column, if present.
+    pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.header.is_empty() {
+            return Ok(());
+        }
+        let widths = self.column_widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::from("|");
+            for (cell, width) in cells.iter().zip(&widths) {
+                line.push(' ');
+                line.push_str(cell);
+                line.push_str(&" ".repeat(width - cell.len()));
+                line.push_str(" |");
+            }
+            writeln!(f, "{line}")
+        };
+        write_row(f, &self.header)?;
+        let mut separator = String::from("|");
+        for width in &widths {
+            separator.push_str(&"-".repeat(width + 2));
+            separator.push('|');
+        }
+        writeln!(f, "{separator}")?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_and_rows() {
+        let mut table = TextTable::new(vec!["Diameter", "Exponent", "# of stubs"]);
+        table.push_row(vec!["ln ln N", "(2,3)", ">= 1"]);
+        table.push_row(vec!["ln N / ln ln N", "3", ">= 2"]);
+        let text = table.to_string();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Diameter"));
+        assert!(lines[1].chars().all(|c| c == '|' || c == '-'));
+        assert!(lines[2].contains("ln ln N"));
+        assert!(lines[3].contains(">= 2"));
+        // All lines are equally wide thanks to padding.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn short_and_long_rows_are_normalized() {
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.push_row(vec!["only one"]);
+        table.push_row(vec!["x", "y", "overflow"]);
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.column_count(), 2);
+        assert_eq!(table.cell(0, 1), Some(""));
+        assert_eq!(table.cell(1, 1), Some("y"));
+        assert_eq!(table.cell(1, 2), None);
+        assert_eq!(table.cell(5, 0), None);
+    }
+
+    #[test]
+    fn empty_table_renders_to_nothing() {
+        let table = TextTable::new(Vec::<String>::new());
+        assert_eq!(table.to_string(), "");
+    }
+}

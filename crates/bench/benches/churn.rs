@@ -1,0 +1,55 @@
+//! Cost of the live-overlay churn simulator (the paper's future-work extension): join
+//! strategies compared, and a full simulation run at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfo_bench::bench_rng;
+use sfo_core::DegreeCutoff;
+use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
+use sfo_sim::simulation::{Simulation, SimulationConfig};
+use std::time::Duration;
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_join_strategies");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let strategies = [
+        ("uniform", JoinStrategy::UniformRandom),
+        ("preferential", JoinStrategy::DegreePreferential),
+        ("hop_and_attempt", JoinStrategy::HopAndAttempt { max_hops_per_link: 200 }),
+    ];
+    for (label, strategy) in strategies {
+        group.bench_function(label, |b| {
+            let config = OverlayConfig {
+                stubs: 3,
+                cutoff: DegreeCutoff::hard(20),
+                join_strategy: strategy,
+                repair_on_leave: true,
+            };
+            b.iter(|| {
+                let mut overlay = OverlayNetwork::new(config).unwrap();
+                let mut rng = bench_rng(3);
+                for _ in 0..1_000 {
+                    overlay.join(&mut rng);
+                }
+                overlay.peer_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group.bench_function("small_run", |b| {
+        let simulation = Simulation::new(SimulationConfig::small()).unwrap();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simulation.run(&mut bench_rng(seed)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_strategies, bench_full_simulation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Cost of the degree-distribution analysis pipeline behind Figs. 1-4: histogramming,
+//! logarithmic binning, and exponent estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfo_analysis::histogram::{ccdf, log_binned_distribution};
+use sfo_analysis::powerlaw_fit::{fit_exponent_from_counts, fit_exponent_mle};
+use sfo_bench::capped_pa_graph;
+use sfo_graph::metrics::degree_histogram;
+use std::time::Duration;
+
+fn bench_degree_analysis(c: &mut Criterion) {
+    let graph = capped_pa_graph(10_000, 2, 40, 7);
+    let degrees = graph.degrees();
+    let histogram = degree_histogram(&graph);
+
+    let mut group = c.benchmark_group("degree_distributions");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("degree_histogram", |b| b.iter(|| degree_histogram(&graph)));
+    group.bench_function("log_binned_distribution", |b| {
+        b.iter(|| log_binned_distribution(&degrees, 8))
+    });
+    group.bench_function("ccdf", |b| b.iter(|| ccdf(&degrees)));
+    group.bench_function("fit_exponent_least_squares", |b| {
+        b.iter(|| fit_exponent_from_counts(&histogram.counts, 2, 39))
+    });
+    group.bench_function("fit_exponent_mle", |b| b.iter(|| fit_exponent_mle(&degrees, 2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree_analysis);
+criterion_main!(benches);

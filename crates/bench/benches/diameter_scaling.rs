@@ -1,0 +1,30 @@
+//! Table I support: average-shortest-path measurement cost on configuration-model
+//! topologies of increasing size and varying exponent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfo_bench::bench_rng;
+use sfo_core::cm::ConfigurationModel;
+use sfo_graph::metrics::path_statistics_sampled;
+use std::time::Duration;
+
+fn bench_diameter_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diameter_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (gamma, m) in [(2.2f64, 2usize), (3.0, 1), (3.0, 2)] {
+        for n in [1_000usize, 4_000] {
+            let graph = ConfigurationModel::new(n, gamma, m)
+                .unwrap()
+                .generate(&mut bench_rng(17))
+                .unwrap();
+            let id = format!("gamma{gamma}_m{m}");
+            group.bench_with_input(BenchmarkId::new(id, n), &graph, |b, graph| {
+                let mut rng = bench_rng(19);
+                b.iter(|| path_statistics_sampled(graph, 32, &mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diameter_scaling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end regeneration of every registered experiment (each paper figure and table) at
+//! bench scale, one Criterion benchmark per experiment id.
+//!
+//! The shapes reported by the paper are preserved at this scale; run the `reproduce` binary
+//! with `--scale paper` for full-size regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfo_bench::micro_scale;
+use sfo_experiments::all_experiments;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = micro_scale();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for spec in all_experiments() {
+        group.bench_function(spec.id, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                (spec.run)(&scale, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Shared configuration types: hard degree cutoffs and stub counts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Upper bound a peer imposes on its own degree (the paper's hard cutoff `k_c`).
+///
+/// A peer with a hard cutoff refuses any new link once its degree reaches `k_c`, because it
+/// is unwilling to store more overlay-routing entries. `Unbounded` reproduces the original
+/// generators where only the natural (finite-size) cutoff limits hub degrees.
+///
+/// # Example
+///
+/// ```
+/// use sfo_core::DegreeCutoff;
+///
+/// let kc = DegreeCutoff::hard(10);
+/// assert!(kc.admits(9));
+/// assert!(!kc.admits(10));
+/// assert!(DegreeCutoff::Unbounded.admits(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DegreeCutoff {
+    /// No artificial limit; only finite-size effects cap hub degrees.
+    #[default]
+    Unbounded,
+    /// A hard limit: nodes never exceed this degree.
+    Hard(usize),
+}
+
+impl DegreeCutoff {
+    /// Creates a hard cutoff at `k_c`.
+    pub fn hard(k_c: usize) -> Self {
+        DegreeCutoff::Hard(k_c)
+    }
+
+    /// Returns `true` if a node currently at `degree` may accept one more link.
+    #[inline]
+    pub fn admits(&self, degree: usize) -> bool {
+        match self {
+            DegreeCutoff::Unbounded => true,
+            DegreeCutoff::Hard(k_c) => degree < *k_c,
+        }
+    }
+
+    /// Returns the cutoff value, or `None` when unbounded.
+    pub fn value(&self) -> Option<usize> {
+        match self {
+            DegreeCutoff::Unbounded => None,
+            DegreeCutoff::Hard(k_c) => Some(*k_c),
+        }
+    }
+
+    /// Returns the effective maximum degree given a graph of `node_count` nodes: the hard
+    /// cutoff if one is set, otherwise `node_count - 1` (a simple graph cannot exceed it).
+    pub fn effective_max(&self, node_count: usize) -> usize {
+        match self {
+            DegreeCutoff::Unbounded => node_count.saturating_sub(1),
+            DegreeCutoff::Hard(k_c) => (*k_c).min(node_count.saturating_sub(1)),
+        }
+    }
+}
+
+impl fmt::Display for DegreeCutoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegreeCutoff::Unbounded => write!(f, "no k_c"),
+            DegreeCutoff::Hard(k_c) => write!(f, "k_c={k_c}"),
+        }
+    }
+}
+
+impl From<Option<usize>> for DegreeCutoff {
+    fn from(value: Option<usize>) -> Self {
+        match value {
+            Some(k_c) => DegreeCutoff::Hard(k_c),
+            None => DegreeCutoff::Unbounded,
+        }
+    }
+}
+
+/// Number of stubs `m` a joining peer tries to fill: its target minimum connectedness.
+///
+/// The paper's central guideline is that requiring every peer to maintain `m = 2` or
+/// `m = 3` links (rather than a single link) removes most of the search-efficiency penalty
+/// that hard cutoffs would otherwise cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StubCount(usize);
+
+impl StubCount {
+    /// Creates a stub count. Returns `None` if `m` is zero (a joining peer must attempt at
+    /// least one link).
+    pub fn new(m: usize) -> Option<Self> {
+        if m == 0 {
+            None
+        } else {
+            Some(StubCount(m))
+        }
+    }
+
+    /// Returns the number of stubs as a plain integer.
+    #[inline]
+    pub fn get(&self) -> usize {
+        self.0
+    }
+}
+
+impl Default for StubCount {
+    fn default() -> Self {
+        StubCount(1)
+    }
+}
+
+impl fmt::Display for StubCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m={}", self.0)
+    }
+}
+
+impl TryFrom<usize> for StubCount {
+    type Error = crate::TopologyError;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        StubCount::new(value)
+            .ok_or(crate::TopologyError::InvalidConfig { reason: "stub count m must be at least 1" })
+    }
+}
+
+impl From<StubCount> for usize {
+    fn from(value: StubCount) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_cutoff_admits_everything() {
+        let kc = DegreeCutoff::Unbounded;
+        assert!(kc.admits(0));
+        assert!(kc.admits(usize::MAX - 1));
+        assert_eq!(kc.value(), None);
+        assert_eq!(kc.effective_max(100), 99);
+        assert_eq!(kc.to_string(), "no k_c");
+    }
+
+    #[test]
+    fn hard_cutoff_blocks_at_limit() {
+        let kc = DegreeCutoff::hard(10);
+        assert!(kc.admits(0));
+        assert!(kc.admits(9));
+        assert!(!kc.admits(10));
+        assert!(!kc.admits(11));
+        assert_eq!(kc.value(), Some(10));
+        assert_eq!(kc.to_string(), "k_c=10");
+    }
+
+    #[test]
+    fn effective_max_is_bounded_by_graph_size() {
+        assert_eq!(DegreeCutoff::hard(10).effective_max(5), 4);
+        assert_eq!(DegreeCutoff::hard(10).effective_max(1_000), 10);
+        assert_eq!(DegreeCutoff::Unbounded.effective_max(0), 0);
+    }
+
+    #[test]
+    fn cutoff_from_option() {
+        assert_eq!(DegreeCutoff::from(Some(7)), DegreeCutoff::hard(7));
+        assert_eq!(DegreeCutoff::from(None), DegreeCutoff::Unbounded);
+    }
+
+    #[test]
+    fn default_cutoff_is_unbounded() {
+        assert_eq!(DegreeCutoff::default(), DegreeCutoff::Unbounded);
+    }
+
+    #[test]
+    fn stub_count_rejects_zero() {
+        assert!(StubCount::new(0).is_none());
+        assert!(StubCount::try_from(0usize).is_err());
+        assert_eq!(StubCount::new(3).unwrap().get(), 3);
+        assert_eq!(usize::from(StubCount::new(2).unwrap()), 2);
+        assert_eq!(StubCount::default().get(), 1);
+        assert_eq!(StubCount::new(4).unwrap().to_string(), "m=4");
+    }
+
+    #[test]
+    fn stub_counts_are_ordered() {
+        assert!(StubCount::new(1).unwrap() < StubCount::new(3).unwrap());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by all topology generators.
+
+use sfo_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a topology generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The generator configuration is inconsistent (for example, `m = 0`, a hard cutoff
+    /// smaller than the stub count, or a target size smaller than the seed network).
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The generator could not place a required link within its attempt budget.
+    ///
+    /// This happens when hard cutoffs make every reachable candidate ineligible, for
+    /// example when `k_c` is so small that a seed network saturates immediately.
+    AttemptsExhausted {
+        /// Index of the node that was being attached when the generator gave up.
+        node_index: usize,
+        /// Attempt budget that was exhausted.
+        attempts: usize,
+    },
+    /// An underlying graph mutation failed; this indicates a bug in the generator itself.
+    Graph(GraphError),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            TopologyError::AttemptsExhausted { node_index, attempts } => write!(
+                f,
+                "could not attach node {node_index} within {attempts} attempts (cutoff too restrictive)"
+            ),
+            TopologyError::Graph(e) => write!(f, "graph operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for TopologyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TopologyError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TopologyError {
+    fn from(value: GraphError) -> Self {
+        TopologyError::Graph(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfo_graph::NodeId;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::InvalidConfig { reason: "m must be positive" }.to_string(),
+            "invalid configuration: m must be positive"
+        );
+        assert_eq!(
+            TopologyError::AttemptsExhausted { node_index: 12, attempts: 100 }.to_string(),
+            "could not attach node 12 within 100 attempts (cutoff too restrictive)"
+        );
+        let wrapped = TopologyError::from(GraphError::SelfLoop { node: NodeId::new(3) });
+        assert!(wrapped.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn source_is_exposed_for_graph_errors() {
+        use std::error::Error as _;
+        let err = TopologyError::from(GraphError::MissingEdge { a: NodeId::new(0), b: NodeId::new(1) });
+        assert!(err.source().is_some());
+        assert!(TopologyError::InvalidConfig { reason: "x" }.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TopologyError>();
+    }
+}

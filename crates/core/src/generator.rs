@@ -1,0 +1,91 @@
+//! The [`TopologyGenerator`] trait and the locality classification of Table II.
+
+use crate::Result;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sfo_graph::Graph;
+use std::fmt;
+
+/// How much information about the current overlay a construction mechanism needs when a
+/// new peer joins (the paper's Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// The joining peer needs global knowledge of the topology (all degrees, or the full
+    /// degree sequence). PA and CM fall in this class.
+    Global,
+    /// The joining peer needs partial global knowledge (for example, the total degree of
+    /// the network) but discovers candidate neighbors by local hopping. HAPA falls in this
+    /// class.
+    Partial,
+    /// The joining peer uses only information reachable within a bounded local horizon of
+    /// the substrate network. DAPA falls in this class.
+    Local,
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locality::Global => write!(f, "global"),
+            Locality::Partial => write!(f, "partial"),
+            Locality::Local => write!(f, "local"),
+        }
+    }
+}
+
+/// A mechanism that constructs an overlay topology.
+///
+/// Implementations are deterministic given the random-number generator, so experiments can
+/// be reproduced by seeding. The trait is object safe: the experiment harness stores
+/// `Box<dyn TopologyGenerator>` values to sweep over mechanisms uniformly.
+///
+/// # Example
+///
+/// ```
+/// use sfo_core::{pa::PreferentialAttachment, Locality, TopologyGenerator};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_core::TopologyError> {
+/// let generator = PreferentialAttachment::new(200, 2)?;
+/// assert_eq!(generator.locality(), Locality::Global);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let graph = generator.generate(&mut rng)?;
+/// assert_eq!(graph.node_count(), 200);
+/// # Ok(())
+/// # }
+/// ```
+pub trait TopologyGenerator {
+    /// Generates one realization of the overlay topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TopologyError`] if the configuration is invalid or if hard cutoffs
+    /// make it impossible to attach a node within the generator's attempt budget.
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Graph>;
+
+    /// Returns how much global information the mechanism requires (Table II).
+    fn locality(&self) -> Locality;
+
+    /// Returns a short human-readable name, used in experiment output ("PA", "CM", ...).
+    fn name(&self) -> &'static str;
+
+    /// Returns the number of nodes a generated overlay will contain.
+    fn target_nodes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_display() {
+        assert_eq!(Locality::Global.to_string(), "global");
+        assert_eq!(Locality::Partial.to_string(), "partial");
+        assert_eq!(Locality::Local.to_string(), "local");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn assert_object_safe(_: Option<&dyn TopologyGenerator>) {}
+        assert_object_safe(None);
+    }
+}

@@ -1,0 +1,71 @@
+//! # sfo-core
+//!
+//! Scale-free overlay topology generators with hard degree cutoffs, implementing the four
+//! construction mechanisms studied in *"Scale-Free Overlay Topologies with Hard Cutoffs for
+//! Unstructured Peer-to-Peer Networks"* (Guclu & Yuksel, ICDCS 2007):
+//!
+//! | Mechanism | Module | Information used | Paper reference |
+//! |---|---|---|---|
+//! | Preferential Attachment (PA) | [`pa`] | global | Alg. 1, §III-B |
+//! | Configuration Model (CM) | [`cm`] | global | Alg. 2, §III-C |
+//! | Hop-and-Attempt PA (HAPA) | [`hapa`] | partial | Alg. 3, §IV-A |
+//! | Discover-and-Attempt PA (DAPA) | [`dapa`] | local | Alg. 4, §IV-B |
+//!
+//! All four enforce an optional *hard cutoff* `k_c` on node degree: a peer never accepts
+//! more than `k_c` links, modelling peers that refuse to store large neighbor tables. The
+//! [`cutoff`] module provides the natural-cutoff theory the paper compares against, and
+//! [`powerlaw`] samples the bounded power-law degree sequences the configuration model
+//! needs.
+//!
+//! The modified preferential-attachment mechanisms the paper cites in §III-C as alternative
+//! routes to tunable exponents are implemented alongside the four core mechanisms:
+//!
+//! | Mechanism | Module | Paper reference |
+//! |---|---|---|
+//! | Nonlinear PA (`Π ∝ k^α`) | [`nonlinear`] | refs. [52, 53] |
+//! | Fitness model (`Π ∝ η k`) | [`fitness`] | refs. [54, 55] |
+//! | Local events (add/rewire/grow) | [`local_events`] | ref. [7] |
+//! | Initial attractiveness (`Π ∝ k + a`, `γ = 3 + a/m`) | [`attractiveness`] | §III-C exponent tuning |
+//! | Uncorrelated CM (structural cutoff) | [`ucm`] | ref. [59] |
+//!
+//! # Example
+//!
+//! ```
+//! use sfo_core::{pa::PreferentialAttachment, DegreeCutoff, TopologyGenerator};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), sfo_core::TopologyError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let generator = PreferentialAttachment::new(1_000, 2)?.with_cutoff(DegreeCutoff::hard(20));
+//! let graph = generator.generate(&mut rng)?;
+//! assert_eq!(graph.node_count(), 1_000);
+//! assert!(graph.max_degree().unwrap() <= 20);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod generator;
+
+pub mod attractiveness;
+pub mod cm;
+pub mod cutoff;
+pub mod dapa;
+pub mod fitness;
+pub mod hapa;
+pub mod local_events;
+pub mod nonlinear;
+pub mod pa;
+pub mod powerlaw;
+pub mod ucm;
+
+pub use config::{DegreeCutoff, StubCount};
+pub use error::TopologyError;
+pub use generator::{Locality, TopologyGenerator};
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = TopologyError> = std::result::Result<T, E>;

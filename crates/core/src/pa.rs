@@ -1,0 +1,434 @@
+//! Preferential Attachment (PA) with hard cutoffs (paper, Alg. 1 and §III-B).
+//!
+//! The network grows one node at a time from a fully connected seed of `m + 1` nodes. Each
+//! new node fills `m` stubs by attaching to existing nodes with probability proportional to
+//! their current degree, *rejecting* any candidate that is already a neighbor or whose
+//! degree has reached the hard cutoff `k_c`. Without a cutoff this is the Barabási-Albert
+//! model with degree exponent `γ = 3`; with a binding cutoff the distribution keeps a
+//! power-law body, accumulates a spike at `k = k_c`, and its fitted exponent decreases as
+//! the cutoff shrinks (paper, Fig. 1).
+
+use crate::{DegreeCutoff, Locality, Result, StubCount, TopologyError, TopologyGenerator};
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sfo_graph::{generators::complete_graph, Graph, NodeId};
+
+/// Default number of candidate draws per stub before the generator falls back to scanning
+/// for an eligible node directly.
+pub const DEFAULT_MAX_ATTEMPTS: usize = 10_000;
+
+/// Which sampling procedure the generator uses to realize preferential attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PaVariant {
+    /// Draw candidates from a stub list in which every node appears once per unit of
+    /// degree, so a uniform draw is already degree-proportional. This is the standard
+    /// efficient realization of preferential attachment and the default.
+    #[default]
+    StubList,
+    /// The literal procedure of the paper's Alg. 1: draw a uniformly random existing node
+    /// and accept it with probability `k_node / k_total`. Statistically equivalent to
+    /// [`PaVariant::StubList`] but needs `O(N)` draws per edge; retained for the
+    /// cutoff-enforcement ablation and for small-scale validation.
+    LiteralRejection,
+}
+
+/// Builder/configuration for the preferential-attachment generator.
+///
+/// # Example
+///
+/// ```
+/// use sfo_core::{pa::PreferentialAttachment, DegreeCutoff, TopologyGenerator};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_core::TopologyError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let graph = PreferentialAttachment::new(500, 3)?
+///     .with_cutoff(DegreeCutoff::hard(40))
+///     .generate(&mut rng)?;
+/// assert_eq!(graph.node_count(), 500);
+/// assert!(graph.max_degree().unwrap() <= 40);
+/// assert!(graph.min_degree().unwrap() >= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreferentialAttachment {
+    nodes: usize,
+    stubs: StubCount,
+    cutoff: DegreeCutoff,
+    variant: PaVariant,
+    max_attempts: usize,
+}
+
+impl PreferentialAttachment {
+    /// Creates a PA configuration for `nodes` nodes with `m` stubs per joining node and no
+    /// hard cutoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] if `m` is zero or `nodes < m + 2` (the
+    /// seed network of `m + 1` fully connected nodes plus at least one joining node).
+    pub fn new(nodes: usize, m: usize) -> Result<Self> {
+        let stubs = StubCount::try_from(m)?;
+        if nodes < m + 2 {
+            return Err(TopologyError::InvalidConfig {
+                reason: "pa needs at least m + 2 nodes (seed of m + 1 plus one joining node)",
+            });
+        }
+        Ok(PreferentialAttachment {
+            nodes,
+            stubs,
+            cutoff: DegreeCutoff::Unbounded,
+            variant: PaVariant::default(),
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        })
+    }
+
+    /// Sets the hard cutoff `k_c`.
+    pub fn with_cutoff(mut self, cutoff: DegreeCutoff) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Selects the sampling variant (stub list by default).
+    pub fn with_variant(mut self, variant: PaVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the number of rejected draws per stub tolerated before falling back to a direct
+    /// scan for an eligible target.
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Returns the configured hard cutoff.
+    pub fn cutoff(&self) -> DegreeCutoff {
+        self.cutoff
+    }
+
+    /// Returns the configured number of stubs `m`.
+    pub fn stubs(&self) -> usize {
+        self.stubs.get()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if let Some(k_c) = self.cutoff.value() {
+            if k_c < self.stubs.get() {
+                return Err(TopologyError::InvalidConfig {
+                    reason: "hard cutoff is smaller than the stub count m",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates one PA topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidConfig`] for inconsistent configurations (for
+    /// example a cutoff below `m`).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph> {
+        self.validate()?;
+        let m = self.stubs.get();
+        let seed_size = m + 1;
+        let mut graph = complete_graph(seed_size)?;
+        graph.add_nodes(self.nodes - seed_size);
+
+        // Stub list: node id repeated once per unit of degree. Kept in sync with the graph
+        // so that a uniform draw is degree-proportional (used by the StubList variant and by
+        // the literal variant's k_total bookkeeping).
+        let mut stub_list: Vec<NodeId> = Vec::with_capacity(2 * m * self.nodes);
+        for node in 0..seed_size {
+            for _ in 0..m {
+                stub_list.push(NodeId::new(node));
+            }
+        }
+
+        for i in seed_size..self.nodes {
+            let new_node = NodeId::new(i);
+            for _ in 0..m {
+                let target = match self.variant {
+                    PaVariant::StubList => {
+                        self.pick_via_stub_list(&graph, &stub_list, new_node, i, rng)
+                    }
+                    PaVariant::LiteralRejection => {
+                        self.pick_via_literal_rejection(&graph, stub_list.len(), new_node, i, rng)
+                    }
+                };
+                let target = match target {
+                    Some(t) => t,
+                    None => match self.fallback_eligible_target(&graph, new_node, i, rng) {
+                        Some(t) => t,
+                        None => break, // every existing node is saturated or already linked
+                    },
+                };
+                graph.add_edge(new_node, target)?;
+                stub_list.push(new_node);
+                stub_list.push(target);
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Degree-proportional draw from the stub list, rejecting ineligible candidates.
+    fn pick_via_stub_list<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        stub_list: &[NodeId],
+        new_node: NodeId,
+        existing: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        debug_assert!(existing > 0 && !stub_list.is_empty());
+        for _ in 0..self.max_attempts {
+            let candidate = stub_list[rng.gen_range(0..stub_list.len())];
+            if candidate == new_node {
+                continue;
+            }
+            if !self.cutoff.admits(graph.degree(candidate)) {
+                continue;
+            }
+            if graph.contains_edge(new_node, candidate) {
+                continue;
+            }
+            return Some(candidate);
+        }
+        None
+    }
+
+    /// The paper's literal rejection sampling: uniform node, accept with probability
+    /// `k_node / k_total`.
+    fn pick_via_literal_rejection<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        k_total: usize,
+        new_node: NodeId,
+        existing: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        for _ in 0..self.max_attempts {
+            let candidate = NodeId::new(rng.gen_range(0..existing));
+            let k = graph.degree(candidate);
+            let accept: f64 = rng.gen();
+            if graph.contains_edge(new_node, candidate) {
+                continue;
+            }
+            if !self.cutoff.admits(k) {
+                continue;
+            }
+            if accept < k as f64 / k_total as f64 {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Degree-weighted draw over the nodes that are still eligible, used when rejection
+    /// sampling exceeded its attempt budget (possible only for very restrictive cutoffs).
+    fn fallback_eligible_target<R: Rng + ?Sized>(
+        &self,
+        graph: &Graph,
+        new_node: NodeId,
+        existing: usize,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let eligible: Vec<(NodeId, usize)> = (0..existing)
+            .map(NodeId::new)
+            .filter(|&n| {
+                n != new_node
+                    && self.cutoff.admits(graph.degree(n))
+                    && !graph.contains_edge(new_node, n)
+            })
+            .map(|n| (n, graph.degree(n).max(1)))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let total: usize = eligible.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (node, weight) in eligible {
+            if pick < weight {
+                return Some(node);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick is bounded by the total weight")
+    }
+}
+
+impl TopologyGenerator for PreferentialAttachment {
+    fn generate(&self, rng: &mut dyn RngCore) -> Result<Graph> {
+        PreferentialAttachment::generate(self, rng)
+    }
+
+    fn locality(&self) -> Locality {
+        Locality::Global
+    }
+
+    fn name(&self) -> &'static str {
+        "PA"
+    }
+
+    fn target_nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_graph::{metrics, traversal};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn configuration_validation() {
+        assert!(PreferentialAttachment::new(100, 0).is_err());
+        assert!(PreferentialAttachment::new(3, 2).is_err());
+        assert!(PreferentialAttachment::new(4, 2).is_ok());
+        let bad_cutoff = PreferentialAttachment::new(100, 3)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(2))
+            .generate(&mut rng(0));
+        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn generates_requested_size_and_edge_count() {
+        let m = 2;
+        let n = 500;
+        let g = PreferentialAttachment::new(n, m).unwrap().generate(&mut rng(1)).unwrap();
+        assert_eq!(g.node_count(), n);
+        // Seed contributes m(m+1)/2 edges, every other node contributes m.
+        let expected_edges = m * (m + 1) / 2 + (n - (m + 1)) * m;
+        assert_eq!(g.edge_count(), expected_edges);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn minimum_degree_equals_m() {
+        for m in [1usize, 2, 3] {
+            let g = PreferentialAttachment::new(400, m).unwrap().generate(&mut rng(7)).unwrap();
+            assert!(
+                g.min_degree().unwrap() >= m,
+                "m={m}: min degree {} below m",
+                g.min_degree().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_network_is_connected_for_m_at_least_one() {
+        let g = PreferentialAttachment::new(600, 1).unwrap().generate(&mut rng(3)).unwrap();
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn m_equals_one_without_cutoff_is_a_tree() {
+        let g = PreferentialAttachment::new(300, 1).unwrap().generate(&mut rng(11)).unwrap();
+        assert_eq!(g.edge_count(), g.node_count() - 1, "BA with m=1 is a scale-free tree");
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn hard_cutoff_is_never_exceeded() {
+        for k_c in [5usize, 10, 40] {
+            let g = PreferentialAttachment::new(1_000, 2)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(k_c))
+                .generate(&mut rng(13))
+                .unwrap();
+            assert!(g.max_degree().unwrap() <= k_c, "cutoff {k_c} violated");
+        }
+    }
+
+    #[test]
+    fn without_cutoff_hubs_exceed_hard_cutoff_levels() {
+        let g = PreferentialAttachment::new(2_000, 2).unwrap().generate(&mut rng(17)).unwrap();
+        assert!(
+            g.max_degree().unwrap() > 40,
+            "an unbounded PA run of this size should grow hubs beyond 40, got {}",
+            g.max_degree().unwrap()
+        );
+    }
+
+    #[test]
+    fn cutoff_accumulates_nodes_at_the_cutoff_value() {
+        // Paper, Fig. 1(b): the histogram has a spike at k = k_c.
+        let k_c = 10;
+        let g = PreferentialAttachment::new(3_000, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(k_c))
+            .generate(&mut rng(19))
+            .unwrap();
+        let hist = metrics::degree_histogram(&g);
+        assert!(
+            hist.count(k_c) > hist.count(k_c - 1),
+            "expected accumulation at the cutoff: count({k_c})={} vs count({})={}",
+            hist.count(k_c),
+            k_c - 1,
+            hist.count(k_c - 1)
+        );
+    }
+
+    #[test]
+    fn literal_rejection_variant_matches_size_invariants() {
+        let g = PreferentialAttachment::new(200, 2)
+            .unwrap()
+            .with_variant(PaVariant::LiteralRejection)
+            .with_cutoff(DegreeCutoff::hard(20))
+            .generate(&mut rng(23))
+            .unwrap();
+        assert_eq!(g.node_count(), 200);
+        assert!(g.max_degree().unwrap() <= 20);
+        assert!(g.min_degree().unwrap() >= 1);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        // The fraction of degree-m nodes should dominate, and the maximum degree should be
+        // far above the mean - a crude but robust scale-freeness check.
+        let g = PreferentialAttachment::new(5_000, 1).unwrap().generate(&mut rng(29)).unwrap();
+        let hist = metrics::degree_histogram(&g);
+        assert!(hist.fraction(1) > 0.5);
+        assert!(g.max_degree().unwrap() as f64 > 5.0 * g.average_degree());
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let gen: Box<dyn TopologyGenerator> = Box::new(PreferentialAttachment::new(50, 1).unwrap());
+        assert_eq!(gen.name(), "PA");
+        assert_eq!(gen.locality(), Locality::Global);
+        assert_eq!(gen.target_nodes(), 50);
+        let mut r = rng(31);
+        let g = gen.generate(&mut r).unwrap();
+        assert_eq!(g.node_count(), 50);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let pa = PreferentialAttachment::new(100, 3)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(12))
+            .with_max_attempts(0);
+        assert_eq!(pa.cutoff(), DegreeCutoff::hard(12));
+        assert_eq!(pa.stubs(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let gen = PreferentialAttachment::new(300, 2).unwrap().with_cutoff(DegreeCutoff::hard(30));
+        let a = gen.generate(&mut rng(99)).unwrap();
+        let b = gen.generate(&mut rng(99)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,534 @@
+//! Extension experiments: the generator zoo, alternative search strategies, replication
+//! strategies, and hub-load redistribution.
+//!
+//! These go beyond the paper's plotted figures but stay inside its problem statement. The
+//! generator zoo covers the modified preferential-attachment models the paper cites in
+//! §III-C as alternative routes to tunable exponents; the search-strategy comparison adds
+//! the practical algorithms its related-work section points to; the replication experiment
+//! quantifies the Cohen-Shenker allocation rules its §II cites; and the hub-load experiment
+//! measures how hard cutoffs redistribute forwarding load away from hubs, the fairness
+//! argument that motivates the whole paper.
+
+use crate::helpers::{nf_rw_ttls, realization_rng, search_series};
+use crate::{ExperimentOutput, Scale};
+use sfo_analysis::kmin::select_k_min;
+use sfo_analysis::TextTable;
+use sfo_core::attractiveness::InitialAttractiveness;
+use sfo_core::cm::ConfigurationModel;
+use sfo_core::fitness::{FitnessDistribution, FitnessModel};
+use sfo_core::hapa::HopAndAttempt;
+use sfo_core::local_events::LocalEventsModel;
+use sfo_core::nonlinear::NonlinearPreferentialAttachment;
+use sfo_core::pa::PreferentialAttachment;
+use sfo_core::ucm::UncorrelatedConfigurationModel;
+use sfo_core::{DegreeCutoff, TopologyGenerator};
+use sfo_graph::{centrality, correlations, kcore, metrics, traversal};
+use sfo_search::biased_walk::DegreeBiasedWalk;
+use sfo_search::expanding_ring::ExpandingRing;
+use sfo_search::flooding::Flooding;
+use sfo_search::normalized::NormalizedFlooding;
+use sfo_search::probabilistic::ProbabilisticFlooding;
+use sfo_search::random_walk::RandomWalk;
+use sfo_search::SearchAlgorithm;
+use sfo_sim::catalog::Catalog;
+use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
+use sfo_sim::query::{run_query, QueryMethod};
+use sfo_sim::replication::{allocate, expected_search_size, place, ReplicationStrategy};
+
+fn cutoff_label(cutoff: DegreeCutoff) -> String {
+    match cutoff.value() {
+        None => "no k_c".to_string(),
+        Some(k_c) => format!("k_c={k_c}"),
+    }
+}
+
+fn format_f64(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Generator zoo: structural summary of every implemented topology-construction mechanism,
+/// with and without a hard cutoff (`k_c = 10`).
+///
+/// Columns: generator, cutoff, maximum degree, mean degree, fitted exponent (MLE with a
+/// Clauset-style `k_min` scan; `-` when the distribution is not power-law-like), and
+/// giant-component fraction.
+pub fn generator_zoo(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let nodes = scale.search_nodes;
+    let generators: Vec<(String, Box<dyn TopologyGenerator>, Box<dyn TopologyGenerator>)> = vec![
+        zoo_entry("PA m=2", PreferentialAttachment::new(nodes, 2).expect("valid PA config"), |g, c| {
+            g.with_cutoff(c)
+        }),
+        zoo_entry(
+            "NLPA alpha=0.5 m=2",
+            NonlinearPreferentialAttachment::new(nodes, 2, 0.5).expect("valid NLPA config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "NLPA alpha=1.5 m=1",
+            NonlinearPreferentialAttachment::new(nodes, 1, 1.5).expect("valid NLPA config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "DMS gamma=2.5 m=2",
+            InitialAttractiveness::with_target_gamma(nodes, 2, 2.5).expect("valid DMS config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "Fitness exp(1) m=2",
+            FitnessModel::new(nodes, 2)
+                .expect("valid fitness config")
+                .with_distribution(FitnessDistribution::Exponential { rate: 1.0 }),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "LocalEvents p=q=0.2 m=2",
+            LocalEventsModel::new(nodes, 2, 0.2, 0.2).expect("valid local-events config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "CM gamma=2.6 m=2",
+            ConfigurationModel::new(nodes, 2.6, 2).expect("valid CM config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry(
+            "UCM gamma=2.6 m=2",
+            UncorrelatedConfigurationModel::new(nodes, 2.6, 2).expect("valid UCM config"),
+            |g, c| g.with_cutoff(c),
+        ),
+        zoo_entry("HAPA m=2", HopAndAttempt::new(nodes, 2).expect("valid HAPA config"), |g, c| {
+            g.with_cutoff(c)
+        }),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "generator",
+        "cutoff",
+        "max k",
+        "mean k",
+        "gamma (MLE)",
+        "giant component",
+    ]);
+    for (name, unbounded, capped) in &generators {
+        for (generator, cutoff) in
+            [(unbounded, DegreeCutoff::Unbounded), (capped, DegreeCutoff::hard(10))]
+        {
+            let mut rng = realization_rng(seed, 0x5A00, name.len() + cutoff.value().unwrap_or(0));
+            let graph = generator
+                .generate(&mut rng)
+                .unwrap_or_else(|e| panic!("generator {name} failed: {e}"));
+            let hist = metrics::degree_histogram(&graph);
+            let fit_max = cutoff.value().map(|k| k.saturating_sub(1)).unwrap_or_else(|| {
+                hist.max_degree().unwrap_or(1)
+            });
+            let gamma = select_k_min(&graph.degrees(), 1, 6, fit_max.max(2))
+                .map(|s| format_f64(s.fit.gamma))
+                .unwrap_or_else(|| "-".to_string());
+            table.push_row(vec![
+                name.clone(),
+                cutoff_label(cutoff),
+                graph.max_degree().unwrap_or(0).to_string(),
+                format_f64(graph.average_degree()),
+                gamma,
+                format_f64(traversal::giant_component_fraction(&graph)),
+            ]);
+        }
+    }
+    ExperimentOutput::Table(table)
+}
+
+/// Helper building one generator-zoo entry: the unbounded generator plus its `k_c = 10`
+/// variant, both boxed as trait objects.
+fn zoo_entry<G>(
+    name: &str,
+    generator: G,
+    with_cutoff: impl Fn(G, DegreeCutoff) -> G,
+) -> (String, Box<dyn TopologyGenerator>, Box<dyn TopologyGenerator>)
+where
+    G: TopologyGenerator + Clone + 'static,
+{
+    let capped = with_cutoff(generator.clone(), DegreeCutoff::hard(10));
+    (name.to_string(), Box::new(generator), Box::new(capped))
+}
+
+/// Search-strategy comparison: hits versus TTL for every implemented search algorithm on PA
+/// topologies (`m = 2`), with and without a hard cutoff.
+///
+/// FL is the coverage ceiling, NF/pFL/expanding-ring are the practical flooding variants,
+/// and RW/HD-RW are the walk variants; the figure shows which of them benefit from hard
+/// cutoffs (the paper's NF/RW observation) and which lose their hub shortcut (HD-RW).
+pub fn search_strategies(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = sfo_analysis::FigureData::new(
+        "search-strategies",
+        "Hits vs tau for all search strategies on PA topologies (m=2)",
+        "tau",
+        "hits",
+    );
+    let ttls = nf_rw_ttls();
+    let algorithms: Vec<(&str, Box<dyn SearchAlgorithm>)> = vec![
+        ("FL", Box::new(Flooding::new())),
+        ("NF k_min=2", Box::new(NormalizedFlooding::new(2))),
+        ("pFL p=0.5", Box::new(ProbabilisticFlooding::new(0.5))),
+        ("ring 1+2", Box::new(ExpandingRing::new(1, 2))),
+        ("RW", Box::new(RandomWalk::new())),
+        ("HD-RW", Box::new(DegreeBiasedWalk::new())),
+    ];
+    for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(10)] {
+        let pa = PreferentialAttachment::new(scale.search_nodes, 2)
+            .expect("scale sizes exceed the PA seed")
+            .with_cutoff(cutoff);
+        for (name, algorithm) in &algorithms {
+            let label = format!("{name}, {}", cutoff_label(cutoff));
+            figure.push_series(search_series(&pa, algorithm.as_ref(), &label, &ttls, scale, seed));
+        }
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+/// Replication-strategy comparison (Cohen & Shenker, ref. [22]): expected search size and
+/// simulated normalized-flooding success rate for uniform, proportional, and square-root
+/// replica allocation over a live overlay with hard cutoffs.
+pub fn replication(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let peers = (scale.search_nodes / 2).clamp(200, 2_000);
+    let items = 50usize;
+    let budget = items * 6;
+    let queries = (scale.searches_per_point * 10).max(100);
+    let ttl = 5u32;
+
+    let catalog = Catalog::new(items, 1.0).expect("valid catalog");
+    let mut table = TextTable::new(vec![
+        "strategy",
+        "expected search size",
+        "success rate",
+        "mean messages/query",
+    ]);
+    for (name, strategy) in [
+        ("uniform", ReplicationStrategy::Uniform),
+        ("proportional", ReplicationStrategy::Proportional),
+        ("square-root", ReplicationStrategy::SquareRoot),
+    ] {
+        let mut rng = realization_rng(seed, 0xA110C, name.len());
+        let mut overlay = OverlayNetwork::new(OverlayConfig {
+            stubs: 3,
+            cutoff: DegreeCutoff::hard(10),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        })
+        .expect("valid overlay config");
+        for _ in 0..peers {
+            overlay.join(&mut rng);
+        }
+        let allocation = allocate(&catalog, strategy, budget).expect("budget covers the catalog");
+        place(&mut overlay, &allocation, &mut rng).expect("overlay is non-empty");
+
+        let mut successes = 0usize;
+        let mut messages = 0usize;
+        for _ in 0..queries {
+            let source = overlay.random_peer(&mut rng).expect("overlay is non-empty");
+            let item = catalog.sample_query(&mut rng);
+            let outcome = run_query(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 3 },
+                source,
+                item,
+                ttl,
+                &mut rng,
+            )
+            .expect("query parameters are valid");
+            if outcome.found {
+                successes += 1;
+            }
+            messages += outcome.messages;
+        }
+        table.push_row(vec![
+            name.to_string(),
+            format_f64(expected_search_size(&catalog, &allocation, peers)),
+            format_f64(successes as f64 / queries as f64),
+            format_f64(messages as f64 / queries as f64),
+        ]);
+    }
+    ExperimentOutput::Table(table)
+}
+
+/// Substrate comparison for DAPA (paper §IV-B): the geometric random network used
+/// throughout the paper versus the two-dimensional regular mesh it mentions as the
+/// alternative.
+///
+/// For the same overlay size, stub count, and local TTL, the table reports the largest hub
+/// the overlay grows and the normalized-flooding coverage at a fixed search TTL. The mesh's
+/// horizons grow only quadratically with `τ_sub`, so its overlays are lighter-tailed and
+/// need larger `τ_sub` to reach the same search efficiency — the locality/scale-freeness
+/// trade-off of Table II in substrate form.
+pub fn substrate_comparison(scale: &Scale, seed: u64) -> ExperimentOutput {
+    use sfo_core::dapa::{DapaOverGrn, DapaOverMesh};
+
+    let nodes = scale.search_nodes;
+    let nf_ttl = 8u32;
+    let mut table = TextTable::new(vec![
+        "substrate",
+        "tau_sub",
+        "cutoff",
+        "max k",
+        "mean k",
+        "NF hits @ tau=8",
+    ]);
+    for tau_sub in [2u32, 4, 10] {
+        for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(10)] {
+            let configs: Vec<(&str, Box<dyn TopologyGenerator>)> = vec![
+                (
+                    "GRN",
+                    Box::new(
+                        DapaOverGrn::new(nodes, 2, tau_sub)
+                            .expect("valid DAPA config")
+                            .with_cutoff(cutoff),
+                    ),
+                ),
+                (
+                    "mesh",
+                    Box::new(
+                        DapaOverMesh::new(nodes, 2, tau_sub)
+                            .expect("valid DAPA config")
+                            .with_cutoff(cutoff),
+                    ),
+                ),
+            ];
+            for (name, generator) in &configs {
+                let mut rng =
+                    realization_rng(seed, 0x5B5, name.len() + tau_sub as usize + cutoff.value().unwrap_or(0));
+                let graph = generator
+                    .generate(&mut rng)
+                    .unwrap_or_else(|e| panic!("DAPA over {name} failed: {e}"));
+                let label = format!("{name}-t{tau_sub}-{}", cutoff_label(cutoff));
+                let nf = search_series(
+                    generator.as_ref(),
+                    &NormalizedFlooding::new(2),
+                    &label,
+                    &[nf_ttl],
+                    scale,
+                    seed,
+                );
+                table.push_row(vec![
+                    name.to_string(),
+                    tau_sub.to_string(),
+                    cutoff_label(cutoff),
+                    graph.max_degree().unwrap_or(0).to_string(),
+                    format_f64(graph.average_degree()),
+                    format_f64(nf.points[0].y),
+                ]);
+            }
+        }
+    }
+    ExperimentOutput::Table(table)
+}
+
+/// Controlled churn comparison: the *same* heavy-tailed churn trace (Pareto sessions,
+/// Poisson arrivals, 25% crashes) replayed against overlays with and without a hard cutoff
+/// and with and without leave repair.
+///
+/// Unlike the `churn` experiment (which draws churn on the fly), the trace-replay design
+/// guarantees that all four configurations face the identical sequence of arrivals and
+/// departures, so differences in lookup success and connectivity are attributable to the
+/// overlay policy alone — the controlled experiment the paper's future-work section asks
+/// for.
+pub fn churn_trace(scale: &Scale, seed: u64) -> ExperimentOutput {
+    use sfo_sim::churn::{generate_trace, ChurnTraceConfig, SessionModel};
+    use sfo_sim::trace_runner::{run_trace, TraceRunConfig};
+
+    let bootstrap = (scale.search_nodes / 4).clamp(100, 1_000);
+    let duration = 600u64;
+    let trace_config = ChurnTraceConfig {
+        duration,
+        arrival_rate: bootstrap as f64 / duration as f64,
+        sessions: SessionModel::Pareto { shape: 1.6, minimum: 30.0 },
+        crash_fraction: 0.25,
+    };
+    let mut trace_rng = realization_rng(seed, 0xC4A2, 0);
+    let trace = generate_trace(&trace_config, &mut trace_rng).expect("valid trace config");
+
+    let mut table = TextTable::new(vec![
+        "cutoff",
+        "leave repair",
+        "lookup success",
+        "worst giant component",
+        "final max degree",
+        "control msgs / churn event",
+    ]);
+    for (cutoff, repair) in [
+        (DegreeCutoff::hard(10), true),
+        (DegreeCutoff::hard(10), false),
+        (DegreeCutoff::Unbounded, true),
+        (DegreeCutoff::Unbounded, false),
+    ] {
+        let mut config = TraceRunConfig::small();
+        config.bootstrap_peers = bootstrap;
+        config.overlay = OverlayConfig {
+            stubs: 3,
+            cutoff,
+            join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 100 },
+            repair_on_leave: repair,
+        };
+        config.replica_budget = config.catalog_items * 5;
+        let mut rng = realization_rng(seed, 0xC4A2, 1 + usize::from(repair) + 2 * cutoff.value().unwrap_or(0));
+        let report = run_trace(&config, &trace, &mut rng).expect("trace replay succeeds");
+        let churn_events = (report.arrivals_applied + report.leaves_applied).max(1);
+        table.push_row(vec![
+            cutoff_label(cutoff),
+            if repair { "yes".to_string() } else { "no".to_string() },
+            format_f64(report.success_rate()),
+            format_f64(report.worst_connectivity()),
+            report.samples.last().map(|s| s.max_degree).unwrap_or(0).to_string(),
+            format_f64(report.control_messages as f64 / churn_events as f64),
+        ]);
+    }
+    ExperimentOutput::Table(table)
+}
+
+/// Hub-load redistribution: how a hard cutoff changes the structural load concentration of
+/// PA and HAPA overlays.
+///
+/// Columns: maximum betweenness (the forwarding-load share of the most loaded peer),
+/// degeneracy (depth of the densest core), degree assortativity, rich-club coefficient
+/// above the mean degree, and the fraction of nodes sitting at the modal degree.
+pub fn hub_load(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let nodes = scale.search_nodes;
+    let mut table = TextTable::new(vec![
+        "topology",
+        "cutoff",
+        "max betweenness",
+        "degeneracy",
+        "assortativity",
+        "rich club (k > mean)",
+        "modal degree fraction",
+    ]);
+    let configs: Vec<(String, Box<dyn TopologyGenerator>)> = vec![
+        ("PA m=2".to_string(), Box::new(PreferentialAttachment::new(nodes, 2).expect("valid PA"))),
+        (
+            "PA m=2 k_c=10".to_string(),
+            Box::new(
+                PreferentialAttachment::new(nodes, 2)
+                    .expect("valid PA")
+                    .with_cutoff(DegreeCutoff::hard(10)),
+            ),
+        ),
+        ("HAPA m=2".to_string(), Box::new(HopAndAttempt::new(nodes, 2).expect("valid HAPA"))),
+        (
+            "HAPA m=2 k_c=10".to_string(),
+            Box::new(
+                HopAndAttempt::new(nodes, 2)
+                    .expect("valid HAPA")
+                    .with_cutoff(DegreeCutoff::hard(10)),
+            ),
+        ),
+    ];
+    for (name, generator) in &configs {
+        let mut rng = realization_rng(seed, 0x10AD, name.len());
+        let graph = generator
+            .generate(&mut rng)
+            .unwrap_or_else(|e| panic!("generator {name} failed: {e}"));
+        let betweenness =
+            centrality::betweenness_centrality_sampled(&graph, 64.min(graph.node_count()), &mut rng);
+        let decomposition = kcore::core_decomposition(&graph);
+        let assortativity = metrics::degree_assortativity(&graph)
+            .map(format_f64)
+            .unwrap_or_else(|| "-".to_string());
+        let mean_degree = graph.average_degree();
+        let rich_club = correlations::rich_club_coefficients(&graph)
+            .into_iter()
+            .find(|p| p.degree as f64 >= mean_degree)
+            .map(|p| format_f64(p.coefficient))
+            .unwrap_or_else(|| "-".to_string());
+        let cutoff = if name.contains("k_c") { "k_c=10" } else { "no k_c" };
+        table.push_row(vec![
+            name.split(" k_c").next().unwrap_or(name).to_string(),
+            cutoff.to_string(),
+            format_f64(betweenness.max()),
+            decomposition.degeneracy.to_string(),
+            assortativity,
+            rich_club,
+            format_f64(correlations::modal_degree_fraction(&graph)),
+        ]);
+    }
+    ExperimentOutput::Table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale { degree_nodes: 500, search_nodes: 400, realizations: 1, searches_per_point: 5 }
+    }
+
+    #[test]
+    fn generator_zoo_lists_every_generator_twice() {
+        let output = generator_zoo(&tiny_scale(), 3);
+        let table = output.as_table().expect("zoo is a table");
+        assert_eq!(table.row_count(), 18, "9 generators x 2 cutoffs");
+        assert_eq!(table.column_count(), 6);
+    }
+
+    #[test]
+    fn search_strategies_produces_all_series() {
+        let output = search_strategies(&tiny_scale(), 5);
+        let figure = output.as_figure().expect("comparison is a figure");
+        assert_eq!(figure.series.len(), 12, "6 algorithms x 2 cutoffs");
+        // FL dominates every other algorithm at the deepest TTL without a cutoff.
+        let fl = figure.series_by_label("FL, no k_c").unwrap().max_y().unwrap();
+        for s in &figure.series {
+            if s.label.ends_with("no k_c") {
+                assert!(s.max_y().unwrap() <= fl + 1e-9, "{} exceeds FL", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_orders_expected_search_size() {
+        let output = replication(&tiny_scale(), 7);
+        let table = output.as_table().expect("replication is a table");
+        assert_eq!(table.row_count(), 3);
+        let ess: Vec<f64> = (0..3)
+            .map(|r| table.cell(r, 1).unwrap().parse::<f64>().unwrap())
+            .collect();
+        // Square-root (row 2) beats uniform (row 0).
+        assert!(ess[2] <= ess[0] + 1e-9);
+    }
+
+    #[test]
+    fn churn_trace_compares_four_policies() {
+        let output = churn_trace(&tiny_scale(), 13);
+        let table = output.as_table().expect("churn trace is a table");
+        assert_eq!(table.row_count(), 4);
+        assert_eq!(table.column_count(), 6);
+        // Cutoff rows report a final max degree bounded by 10.
+        let capped_max: usize = table.cell(0, 4).unwrap().parse().unwrap();
+        assert!(capped_max <= 10);
+        // Every success rate is a probability.
+        for row in 0..4 {
+            let rate: f64 = table.cell(row, 2).unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn substrate_comparison_covers_both_substrates() {
+        let output = substrate_comparison(&tiny_scale(), 11);
+        let table = output.as_table().expect("substrate comparison is a table");
+        assert_eq!(table.row_count(), 12, "3 tau_sub x 2 cutoffs x 2 substrates");
+        assert_eq!(table.column_count(), 6);
+        // Column 0 alternates GRN / mesh.
+        assert_eq!(table.cell(0, 0), Some("GRN"));
+        assert_eq!(table.cell(1, 0), Some("mesh"));
+    }
+
+    #[test]
+    fn hub_load_reports_four_rows_and_cutoffs_reduce_peak_betweenness() {
+        let output = hub_load(&tiny_scale(), 9);
+        let table = output.as_table().expect("hub load is a table");
+        assert_eq!(table.row_count(), 4);
+        let pa_free: f64 = table.cell(0, 2).unwrap().parse().unwrap();
+        let pa_capped: f64 = table.cell(1, 2).unwrap().parse().unwrap();
+        assert!(
+            pa_capped <= pa_free + 0.05,
+            "cutoff should not concentrate more load on the top peer ({pa_capped} vs {pa_free})"
+        );
+    }
+}

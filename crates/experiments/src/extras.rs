@@ -1,0 +1,270 @@
+//! Experiments beyond the paper's plotted figures: messaging complexity (§V-B.2, results
+//! "available upon request"), the minimum-connectedness ablation behind the paper's "2-3
+//! links" guideline, and the churn extension built on `sfo-sim`.
+
+use crate::helpers::{message_series, nf_rw_ttls, realization_rng, rw_message_series, search_series};
+use crate::{ExperimentOutput, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfo_analysis::{DataPoint, DataSeries, FigureData, Summary};
+use sfo_core::pa::PreferentialAttachment;
+use sfo_core::DegreeCutoff;
+use sfo_graph::resilience::{robustness_profile, RemovalStrategy};
+use sfo_search::flooding::Flooding;
+use sfo_search::normalized::NormalizedFlooding;
+use sfo_sim::overlay::{JoinStrategy, OverlayConfig};
+use sfo_sim::query::QueryMethod;
+use sfo_sim::simulation::{Simulation, SimulationConfig};
+
+fn cutoff_label(cutoff: DegreeCutoff) -> String {
+    match cutoff.value() {
+        None => "no k_c".to_string(),
+        Some(k_c) => format!("k_c={k_c}"),
+    }
+}
+
+/// Messaging complexity: mean messages per search for NF and message-normalized RW on PA
+/// topologies, across cutoffs (§V-B.2).
+///
+/// The paper reports that NF consistently costs no more than RW at equal nominal τ, that
+/// the gap shrinks for `m = 1`, and that the messaging penalty of hard cutoffs is minimal.
+pub fn msg_complexity(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "msg-complexity",
+        "Messages per search: NF vs message-normalized RW on PA topologies",
+        "tau",
+        "messages",
+    );
+    let ttls = nf_rw_ttls();
+    for m in [1usize, 2, 3] {
+        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+            let pa = PreferentialAttachment::new(scale.search_nodes, m)
+                .expect("scale sizes exceed the PA seed")
+                .with_cutoff(cutoff);
+            let nf_label = format!("NF, m={m}, {}", cutoff_label(cutoff));
+            figure.push_series(message_series(
+                &pa,
+                &NormalizedFlooding::new(m),
+                &nf_label,
+                &ttls,
+                scale,
+                seed,
+            ));
+            let rw_label = format!("RW, m={m}, {}", cutoff_label(cutoff));
+            figure.push_series(rw_message_series(&pa, m, &rw_label, &ttls, scale, seed));
+        }
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+/// Minimum-connectedness ablation: FL and NF hits at a fixed τ as `m` varies under a tight
+/// cutoff (`k_c = 10`), quantifying the paper's guideline that 2-3 links per peer remove
+/// most of the cutoff penalty.
+pub fn ablation_minlinks(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "ablation-minlinks",
+        "Effect of minimum connectedness m on search efficiency under k_c=10 (PA topologies)",
+        "m",
+        "hits",
+    );
+    let fl_ttl = 6u32;
+    let nf_ttl = 8u32;
+    let mut fl_series = DataSeries::new(format!("FL, tau={fl_ttl}"));
+    let mut nf_series = DataSeries::new(format!("NF, tau={nf_ttl}"));
+    let mut fl_nocutoff = DataSeries::new(format!("FL, tau={fl_ttl}, no k_c"));
+    for m in [1usize, 2, 3] {
+        let capped = PreferentialAttachment::new(scale.search_nodes, m)
+            .expect("scale sizes exceed the PA seed")
+            .with_cutoff(DegreeCutoff::hard(10));
+        let free = PreferentialAttachment::new(scale.search_nodes, m)
+            .expect("scale sizes exceed the PA seed");
+        let fl = search_series(&capped, &Flooding::new(), &format!("fl-m{m}"), &[fl_ttl], scale, seed);
+        let nf = search_series(
+            &capped,
+            &NormalizedFlooding::new(m),
+            &format!("nf-m{m}"),
+            &[nf_ttl],
+            scale,
+            seed,
+        );
+        let fl_free =
+            search_series(&free, &Flooding::new(), &format!("flfree-m{m}"), &[fl_ttl], scale, seed);
+        fl_series.push(DataPoint::single(m as f64, fl.points[0].y));
+        nf_series.push(DataPoint::single(m as f64, nf.points[0].y));
+        fl_nocutoff.push(DataPoint::single(m as f64, fl_free.points[0].y));
+    }
+    figure.push_series(fl_series);
+    figure.push_series(nf_series);
+    figure.push_series(fl_nocutoff);
+    ExperimentOutput::Figure(figure)
+}
+
+/// Robustness extension ("robust yet fragile", paper §III): giant-component fraction of PA
+/// overlays after removing a growing fraction of peers, either uniformly at random (peer
+/// failures) or highest-degree first (a targeted attack on the hubs), with and without a
+/// hard cutoff.
+pub fn resilience(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "resilience",
+        "Giant-component fraction under random failures vs targeted attacks (PA overlays)",
+        "removed fraction",
+        "giant component fraction",
+    );
+    let fractions = [0.0f64, 0.02, 0.05, 0.1, 0.2, 0.3];
+    let strategies = [("random failures", RemovalStrategy::Random), ("hub attack", RemovalStrategy::HighestDegree)];
+    for (cutoff_name, cutoff) in [("no k_c", DegreeCutoff::Unbounded), ("k_c=10", DegreeCutoff::hard(10))] {
+        let generator = PreferentialAttachment::new(scale.search_nodes, 2)
+            .expect("scale sizes exceed the PA seed")
+            .with_cutoff(cutoff);
+        for (strategy_name, strategy) in strategies {
+            let label = format!("{strategy_name}, {cutoff_name}");
+            let mut per_fraction = vec![Summary::new(); fractions.len()];
+            for r in 0..scale.realizations {
+                let mut rng = realization_rng(seed, label.len() as u64, r);
+                let graph = generator.generate(&mut rng).expect("PA generation succeeds");
+                for (summary, point) in per_fraction
+                    .iter_mut()
+                    .zip(robustness_profile(&graph, strategy, &fractions, &mut rng))
+                {
+                    summary.add(point.giant_component_fraction);
+                }
+            }
+            let mut series = DataSeries::new(label);
+            for (&fraction, summary) in fractions.iter().zip(&per_fraction) {
+                series.push(DataPoint::from_summary(fraction, summary));
+            }
+            figure.push_series(series);
+        }
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+/// Churn extension: overlay health (giant-component fraction) and query success rate over
+/// time under join/leave/crash churn, for a hard cutoff versus an unbounded overlay.
+pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "churn",
+        "Overlay health and query success under churn (sfo-sim)",
+        "time",
+        "value",
+    );
+    let initial_peers = scale.search_nodes.clamp(200, 2_000);
+    for (label, cutoff) in [("k_c=10", DegreeCutoff::hard(10)), ("no k_c", DegreeCutoff::Unbounded)] {
+        let config = SimulationConfig {
+            initial_peers,
+            duration: 300,
+            join_rate: 1.0,
+            leave_rate: 0.8,
+            crash_rate: 0.2,
+            query_rate: 4.0,
+            query_ttl: 6,
+            query_method: QueryMethod::NormalizedFlooding { k_min: 3 },
+            overlay: OverlayConfig {
+                stubs: 3,
+                cutoff,
+                join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 200 },
+                repair_on_leave: true,
+            },
+            catalog_items: 100,
+            catalog_skew: 1.0,
+            base_replicas: (initial_peers / 20).max(4),
+            snapshot_interval: 30,
+        };
+        let simulation = Simulation::new(config).expect("churn configuration is valid");
+        let mut rng = StdRng::seed_from_u64(seed ^ label.len() as u64);
+        let report = simulation.run(&mut rng).expect("churn simulation runs to completion");
+
+        let mut giant = DataSeries::new(format!("giant component fraction, {label}"));
+        for sample in &report.samples {
+            giant.push(DataPoint::single(sample.time as f64, sample.giant_component_fraction));
+        }
+        figure.push_series(giant);
+
+        let mut success = DataSeries::new(format!("query success rate, {label}"));
+        success.push(DataPoint::single(config.duration as f64, report.success_rate()));
+        figure.push_series(success);
+
+        let mut churn_cost = DataSeries::new(format!("control messages per churn event, {label}"));
+        churn_cost.push(DataPoint::single(config.duration as f64, report.mean_churn_messages()));
+        figure.push_series(churn_cost);
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { degree_nodes: 300, search_nodes: 300, realizations: 1, searches_per_point: 8 }
+    }
+
+    #[test]
+    fn ablation_minlinks_shows_higher_m_helps_under_a_cutoff() {
+        let output = ablation_minlinks(&tiny(), 1);
+        let figure = output.as_figure().unwrap();
+        assert_eq!(figure.series.len(), 3);
+        let fl = &figure.series[0];
+        assert_eq!(fl.points.len(), 3);
+        let m1 = fl.y_at(1.0).unwrap();
+        let m3 = fl.y_at(3.0).unwrap();
+        assert!(m3 > m1, "flooding with m=3 ({m3}) should beat m=1 ({m1}) under k_c=10");
+    }
+
+    #[test]
+    fn resilience_hub_attacks_hurt_unbounded_overlays_more_than_capped_ones() {
+        let scale = Scale { search_nodes: 600, ..tiny() };
+        let output = resilience(&scale, 7);
+        let figure = output.as_figure().unwrap();
+        assert_eq!(figure.series.len(), 4);
+        for series in &figure.series {
+            assert!((series.y_at(0.0).unwrap() - 1.0).abs() < 1e-9, "{}", series.label);
+            for p in &series.points {
+                assert!((0.0..=1.0).contains(&p.y));
+            }
+        }
+        // Random failures barely hurt a scale-free overlay; a hub attack of the same size
+        // hurts it more ("robust yet fragile").
+        let random = figure.series_by_label("random failures, no k_c").unwrap().y_at(0.2).unwrap();
+        let attack = figure.series_by_label("hub attack, no k_c").unwrap().y_at(0.2).unwrap();
+        assert!(attack < random, "hub attack ({attack:.2}) should hurt more than random failures ({random:.2})");
+    }
+
+    #[test]
+    fn churn_reports_health_and_success_series_for_both_cutoffs() {
+        let scale = Scale { search_nodes: 200, ..tiny() };
+        let output = churn(&scale, 2);
+        let figure = output.as_figure().unwrap();
+        assert_eq!(figure.series.len(), 6);
+        let giant = figure
+            .series_by_label("giant component fraction, k_c=10")
+            .expect("giant-component series present");
+        assert!(!giant.points.is_empty());
+        for p in &giant.points {
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+        let success = figure.series_by_label("query success rate, k_c=10").unwrap();
+        assert!(success.points[0].y > 0.2, "query success {} too low", success.points[0].y);
+    }
+
+    #[test]
+    fn msg_complexity_nf_and_rw_message_costs_track_each_other() {
+        // RW budgets are defined per search as the NF message count, but the NF and RW
+        // series are measured on independent random sources, so only require the means to
+        // track each other within a generous band.
+        let scale = tiny();
+        let output = msg_complexity(&scale, 3);
+        let figure = output.as_figure().unwrap();
+        let nf = figure.series_by_label("NF, m=2, k_c=10").unwrap();
+        let rw = figure.series_by_label("RW, m=2, k_c=10").unwrap();
+        for (a, b) in nf.points.iter().zip(&rw.points) {
+            assert!(
+                b.y <= a.y * 1.5 + 2.0,
+                "RW messages {} drift far above the NF budget {}",
+                b.y,
+                a.y
+            );
+            assert!(b.y > 0.0);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Shared building blocks for the figure reproductions: realization loops, degree-sample
+//! collection, and TTL sweeps averaged across realizations.
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfo_analysis::histogram::log_binned_distribution;
+use sfo_analysis::powerlaw_fit::fit_exponent_from_counts;
+use sfo_analysis::{DataPoint, DataSeries, Summary};
+use sfo_core::TopologyGenerator;
+use sfo_graph::{metrics, Graph};
+use sfo_search::experiment::{rw_normalized_to_nf, ttl_sweep};
+use sfo_search::SearchAlgorithm;
+
+/// Number of logarithmic bins per decade used for all degree-distribution figures.
+pub const BINS_PER_DECADE: usize = 8;
+
+/// Derives the RNG for realization `index` of a generator labelled by `salt`.
+pub fn realization_rng(seed: u64, salt: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.rotate_left(17) ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+fn label_salt(label: &str) -> u64 {
+    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
+}
+
+/// Generates `scale.realizations` independent topologies and concatenates the degrees of
+/// all their nodes into one sample, the input of the paper's `P(k)` plots.
+pub fn degree_samples(generator: &dyn TopologyGenerator, label: &str, scale: &Scale, seed: u64) -> Vec<usize> {
+    let salt = label_salt(label);
+    let mut samples = Vec::new();
+    for r in 0..scale.realizations {
+        let mut rng = realization_rng(seed, salt, r);
+        let graph = generator
+            .generate(&mut rng)
+            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
+        samples.extend(graph.degrees());
+    }
+    samples
+}
+
+/// Builds a `P(k)` series (log-binned density versus degree) for one generator
+/// configuration.
+pub fn degree_distribution_series(
+    generator: &dyn TopologyGenerator,
+    label: &str,
+    scale: &Scale,
+    seed: u64,
+) -> DataSeries {
+    let samples = degree_samples(generator, label, scale, seed);
+    let mut series = DataSeries::new(label);
+    for bin in log_binned_distribution(&samples, BINS_PER_DECADE) {
+        series.push(DataPoint {
+            x: bin.center,
+            y: bin.density,
+            y_error: 0.0,
+            realizations: scale.realizations,
+        });
+    }
+    series
+}
+
+/// Estimates the degree-distribution exponent of one generator configuration, averaged over
+/// realizations. The fit window is `[m, fit_max]`; the paper stops the window just below
+/// the hard cutoff so the accumulation spike does not drag the slope.
+pub fn fitted_exponent(
+    generator: &dyn TopologyGenerator,
+    label: &str,
+    m: usize,
+    fit_max: usize,
+    scale: &Scale,
+    seed: u64,
+) -> Summary {
+    let salt = label_salt(label);
+    let mut summary = Summary::new();
+    for r in 0..scale.realizations {
+        let mut rng = realization_rng(seed, salt, r);
+        let graph = generator
+            .generate(&mut rng)
+            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
+        let hist = metrics::degree_histogram(&graph);
+        if let Some(fit) = fit_exponent_from_counts(&hist.counts, m, fit_max) {
+            summary.add(fit.gamma);
+        }
+    }
+    summary
+}
+
+/// Runs a TTL sweep of `algorithm` on `scale.realizations` topologies from `generator` and
+/// averages the hit counts per TTL, returning one labelled series.
+pub fn search_series(
+    generator: &dyn TopologyGenerator,
+    algorithm: &dyn SearchAlgorithm,
+    label: &str,
+    ttls: &[u32],
+    scale: &Scale,
+    seed: u64,
+) -> DataSeries {
+    sweep_series(label, ttls, scale, seed, |graph, rng| {
+        ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
+            .into_iter()
+            .map(|o| o.mean_hits)
+            .collect()
+    }, generator)
+}
+
+/// Like [`search_series`] but reporting the mean number of messages instead of hits.
+pub fn message_series(
+    generator: &dyn TopologyGenerator,
+    algorithm: &dyn SearchAlgorithm,
+    label: &str,
+    ttls: &[u32],
+    scale: &Scale,
+    seed: u64,
+) -> DataSeries {
+    sweep_series(label, ttls, scale, seed, |graph, rng| {
+        ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
+            .into_iter()
+            .map(|o| o.mean_messages)
+            .collect()
+    }, generator)
+}
+
+/// Runs the message-normalized random-walk sweep (Figs. 11-12) on topologies from
+/// `generator`: for each TTL, the RW hop budget equals the message count of an NF search
+/// with fan-out `k_min`.
+pub fn rw_series(
+    generator: &dyn TopologyGenerator,
+    k_min: usize,
+    label: &str,
+    ttls: &[u32],
+    scale: &Scale,
+    seed: u64,
+) -> DataSeries {
+    sweep_series(label, ttls, scale, seed, |graph, rng| {
+        rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
+            .into_iter()
+            .map(|o| o.mean_hits)
+            .collect()
+    }, generator)
+}
+
+/// Like [`rw_series`] but reporting the mean number of messages the walks actually spent.
+pub fn rw_message_series(
+    generator: &dyn TopologyGenerator,
+    k_min: usize,
+    label: &str,
+    ttls: &[u32],
+    scale: &Scale,
+    seed: u64,
+) -> DataSeries {
+    sweep_series(label, ttls, scale, seed, |graph, rng| {
+        rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
+            .into_iter()
+            .map(|o| o.mean_messages)
+            .collect()
+    }, generator)
+}
+
+fn sweep_series(
+    label: &str,
+    ttls: &[u32],
+    scale: &Scale,
+    seed: u64,
+    per_realization: impl Fn(&Graph, &mut StdRng) -> Vec<f64>,
+    generator: &dyn TopologyGenerator,
+) -> DataSeries {
+    let salt = label_salt(label);
+    let mut per_ttl: Vec<Summary> = vec![Summary::new(); ttls.len()];
+    for r in 0..scale.realizations {
+        let mut rng = realization_rng(seed, salt, r);
+        let graph = generator
+            .generate(&mut rng)
+            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
+        let values = per_realization(&graph, &mut rng);
+        debug_assert_eq!(values.len(), ttls.len());
+        for (summary, value) in per_ttl.iter_mut().zip(values) {
+            summary.add(value);
+        }
+    }
+    let mut series = DataSeries::new(label);
+    for (&ttl, summary) in ttls.iter().zip(&per_ttl) {
+        series.push(DataPoint::from_summary(f64::from(ttl), summary));
+    }
+    series
+}
+
+/// Standard TTL grid for flooding figures (the paper sweeps τ until the flood saturates).
+pub fn flooding_ttls() -> Vec<u32> {
+    vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20]
+}
+
+/// Standard TTL grid for NF and RW figures (the paper uses τ up to 10).
+pub fn nf_rw_ttls() -> Vec<u32> {
+    vec![2, 3, 4, 5, 6, 7, 8, 9, 10]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfo_core::pa::PreferentialAttachment;
+    use sfo_core::DegreeCutoff;
+    use sfo_search::flooding::Flooding;
+
+    fn tiny_scale() -> Scale {
+        Scale { degree_nodes: 400, search_nodes: 300, realizations: 2, searches_per_point: 5 }
+    }
+
+    #[test]
+    fn realization_rngs_differ_across_indices_and_labels() {
+        use rand::RngCore;
+        let a = realization_rng(1, label_salt("a"), 0).next_u64();
+        let b = realization_rng(1, label_salt("a"), 1).next_u64();
+        let c = realization_rng(1, label_salt("b"), 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic for identical inputs.
+        assert_eq!(a, realization_rng(1, label_salt("a"), 0).next_u64());
+    }
+
+    #[test]
+    fn degree_samples_concatenate_realizations() {
+        let scale = tiny_scale();
+        let generator = PreferentialAttachment::new(scale.degree_nodes, 1).unwrap();
+        let samples = degree_samples(&generator, "m=1", &scale, 3);
+        assert_eq!(samples.len(), scale.degree_nodes * scale.realizations);
+    }
+
+    #[test]
+    fn degree_distribution_series_is_decreasing_for_pa() {
+        let scale = tiny_scale();
+        let generator = PreferentialAttachment::new(scale.degree_nodes, 1).unwrap();
+        let series = degree_distribution_series(&generator, "m=1", &scale, 5);
+        assert!(series.points.len() >= 3);
+        assert!(series.points.first().unwrap().y > series.points.last().unwrap().y);
+    }
+
+    #[test]
+    fn fitted_exponent_is_plausible_for_pa() {
+        let scale = Scale { degree_nodes: 2_000, ..tiny_scale() };
+        let generator = PreferentialAttachment::new(scale.degree_nodes, 2).unwrap();
+        let summary = fitted_exponent(&generator, "m=2", 2, 60, &scale, 7);
+        assert_eq!(summary.count(), scale.realizations);
+        let gamma = summary.mean();
+        assert!(
+            (1.5..=3.8).contains(&gamma),
+            "fitted exponent {gamma} far outside the scale-free range"
+        );
+    }
+
+    #[test]
+    fn search_series_hits_grow_with_ttl() {
+        let scale = tiny_scale();
+        let generator = PreferentialAttachment::new(scale.search_nodes, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(20));
+        let ttls = [1, 2, 4, 8];
+        let series = search_series(&generator, &Flooding::new(), "fl", &ttls, &scale, 9);
+        assert_eq!(series.points.len(), ttls.len());
+        assert!(series.y_at(8.0).unwrap() > series.y_at(1.0).unwrap());
+        for p in &series.points {
+            assert_eq!(p.realizations, scale.realizations);
+        }
+    }
+
+    #[test]
+    fn rw_series_hits_are_bounded_by_message_budget() {
+        let scale = tiny_scale();
+        let generator = PreferentialAttachment::new(scale.search_nodes, 2).unwrap();
+        let ttls = [2, 4];
+        let hits = rw_series(&generator, 2, "rw", &ttls, &scale, 11);
+        let msgs = rw_message_series(&generator, 2, "rw", &ttls, &scale, 11);
+        for (h, m) in hits.points.iter().zip(&msgs.points) {
+            assert!(h.y <= m.y + 1e-9, "hits {} cannot exceed messages {}", h.y, m.y);
+        }
+    }
+
+    #[test]
+    fn ttl_grids_are_increasing() {
+        for grid in [flooding_ttls(), nf_rw_ttls()] {
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

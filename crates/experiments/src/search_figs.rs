@@ -1,0 +1,153 @@
+//! Flooding search-efficiency figures: Figs. 6, 7, and 8.
+//!
+//! Every curve reports the mean number of hits (distinct peers reached) per flooding search
+//! of time-to-live `τ`, averaged over random sources and network realizations, on
+//! `scale.search_nodes`-node topologies (the paper uses `N = 10^4`).
+
+use crate::helpers::{flooding_ttls, search_series};
+use crate::{ExperimentOutput, Scale};
+use sfo_analysis::FigureData;
+use sfo_core::cm::ConfigurationModel;
+use sfo_core::dapa::DapaOverGrn;
+use sfo_core::hapa::HopAndAttempt;
+use sfo_core::pa::PreferentialAttachment;
+use sfo_core::DegreeCutoff;
+use sfo_search::flooding::Flooding;
+
+fn cutoff_label(cutoff: DegreeCutoff) -> String {
+    match cutoff.value() {
+        None => "no k_c".to_string(),
+        Some(k_c) => format!("k_c={k_c}"),
+    }
+}
+
+/// The `(m, k_c)` grid the paper sweeps in Figs. 6 and 7.
+fn m_kc_grid() -> Vec<(usize, DegreeCutoff)> {
+    let mut grid = Vec::new();
+    for m in [1usize, 2, 3] {
+        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+            grid.push((m, cutoff));
+        }
+    }
+    grid
+}
+
+/// Fig. 6(a,b): FL hits versus `τ` on PA and HAPA topologies.
+pub fn fig6(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "fig6",
+        "Flooding search efficiency on PA and HAPA topologies",
+        "tau",
+        "hits",
+    );
+    let ttls = flooding_ttls();
+    for (m, cutoff) in m_kc_grid() {
+        let pa = PreferentialAttachment::new(scale.search_nodes, m)
+            .expect("scale sizes exceed the PA seed")
+            .with_cutoff(cutoff);
+        let label = format!("PA, m={m}, {}", cutoff_label(cutoff));
+        figure.push_series(search_series(&pa, &Flooding::new(), &label, &ttls, scale, seed));
+
+        let hapa = HopAndAttempt::new(scale.search_nodes, m)
+            .expect("scale sizes exceed the HAPA seed")
+            .with_cutoff(cutoff);
+        let label = format!("HAPA, m={m}, {}", cutoff_label(cutoff));
+        figure.push_series(search_series(&hapa, &Flooding::new(), &label, &ttls, scale, seed));
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+/// Fig. 7: FL hits versus `τ` on CM topologies with target exponents 2.2, 2.6, and 3.0.
+pub fn fig7(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "fig7",
+        "Flooding search efficiency on configuration-model topologies",
+        "tau",
+        "hits",
+    );
+    let ttls = flooding_ttls();
+    for gamma in [2.2f64, 2.6, 3.0] {
+        for m in [1usize, 2, 3] {
+            for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(40), DegreeCutoff::Unbounded] {
+                let cm = ConfigurationModel::new(scale.search_nodes, gamma, m)
+                    .expect("scale sizes are valid for CM")
+                    .with_cutoff(cutoff);
+                let label = format!("CM gamma={gamma}, m={m}, {}", cutoff_label(cutoff));
+                figure.push_series(search_series(&cm, &Flooding::new(), &label, &ttls, scale, seed));
+            }
+        }
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+/// Fig. 8: FL hits versus `τ` on DAPA topologies for different local TTLs `τ_sub`.
+pub fn fig8(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut figure = FigureData::new(
+        "fig8",
+        "Flooding search efficiency on DAPA topologies",
+        "tau",
+        "hits",
+    );
+    let ttls = flooding_ttls();
+    let tau_subs = [2u32, 4, 10, 20];
+    for m in [1usize, 2, 3] {
+        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+            for tau_sub in tau_subs {
+                let dapa = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
+                    .expect("scale sizes are valid for DAPA")
+                    .with_cutoff(cutoff);
+                let label = format!("DAPA m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff));
+                figure.push_series(search_series(&dapa, &Flooding::new(), &label, &ttls, scale, seed));
+            }
+        }
+    }
+    ExperimentOutput::Figure(figure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { degree_nodes: 400, search_nodes: 350, realizations: 1, searches_per_point: 8 }
+    }
+
+    #[test]
+    fn fig6_hits_grow_with_ttl_and_saturate_near_system_size() {
+        let scale = tiny();
+        let output = fig6(&scale, 1);
+        let figure = output.as_figure().unwrap();
+        assert_eq!(figure.series.len(), 18);
+        for series in &figure.series {
+            let first = series.points.first().unwrap().y;
+            let last = series.points.last().unwrap().y;
+            assert!(last >= first, "{}: hits must not shrink with ttl", series.label);
+            assert!(
+                last <= (scale.search_nodes - 1) as f64 + 1e-9,
+                "{}: hits cannot exceed the system size",
+                series.label
+            );
+        }
+        // Without a cutoff and with m=3, a deep flood covers essentially the whole network.
+        let unbounded = figure.series_by_label("PA, m=3, no k_c").unwrap();
+        assert!(unbounded.points.last().unwrap().y > 0.9 * scale.search_nodes as f64);
+    }
+
+    #[test]
+    fn fig7_m1_floods_stall_below_system_size() {
+        // Paper: CM with m=1 is disconnected, so even very deep floods cannot reach the
+        // whole network, unlike m=3.
+        let scale = tiny();
+        let output = fig7(&scale, 2);
+        let figure = output.as_figure().unwrap();
+        let m1 = figure.series_by_label("CM gamma=2.6, m=1, no k_c").unwrap();
+        let m3 = figure.series_by_label("CM gamma=2.6, m=3, no k_c").unwrap();
+        let m1_final = m1.points.last().unwrap().y;
+        let m3_final = m3.points.last().unwrap().y;
+        assert!(
+            m1_final < 0.9 * scale.search_nodes as f64,
+            "m=1 flood should stall below system size, got {m1_final}"
+        );
+        assert!(m3_final > m1_final, "m=3 coverage {m3_final} should exceed m=1 coverage {m1_final}");
+    }
+}

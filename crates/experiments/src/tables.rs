@@ -1,0 +1,139 @@
+//! Table I (diameter scaling) and Table II (locality of the generators).
+
+use crate::helpers::realization_rng;
+use crate::{ExperimentOutput, Scale};
+use sfo_analysis::TextTable;
+use sfo_core::cm::ConfigurationModel;
+use sfo_core::cutoff::{diameter_class, predicted_diameter, DiameterClass};
+use sfo_core::dapa::DapaOverGrn;
+use sfo_core::hapa::HopAndAttempt;
+use sfo_core::pa::PreferentialAttachment;
+use sfo_core::{Locality, TopologyGenerator};
+use sfo_graph::metrics::path_statistics_sampled;
+
+fn class_label(class: DiameterClass) -> &'static str {
+    match class {
+        DiameterClass::UltraSmall => "ln ln N",
+        DiameterClass::LogOverLogLog => "ln N / ln ln N",
+        DiameterClass::Logarithmic => "ln N",
+    }
+}
+
+/// Table I: measured average shortest paths versus the predicted diameter scaling class
+/// for representative `(γ, m)` combinations.
+///
+/// The measurement generates CM topologies (whose exponent can be dialed exactly) at two
+/// sizes and reports both the measured growth factor and the growth factor the scaling law
+/// of Table I predicts, so the qualitative ordering of the classes can be checked.
+pub fn table1(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let mut table = TextTable::new(vec![
+        "gamma",
+        "m",
+        "diameter class",
+        "avg path (N_small)",
+        "avg path (N_large)",
+        "measured growth",
+        "predicted growth",
+    ]);
+    let n_large = scale.search_nodes.max(1_000);
+    let n_small = (n_large / 4).max(250);
+    let cases: [(f64, usize); 4] = [(2.2, 2), (2.6, 2), (3.0, 1), (3.0, 2)];
+    for (case_index, (gamma, m)) in cases.into_iter().enumerate() {
+        let class = diameter_class(gamma, m).expect("table cases are within Table I's domain");
+        let mut paths = Vec::new();
+        for (size_index, n) in [n_small, n_large].into_iter().enumerate() {
+            let mut total = 0.0;
+            for r in 0..scale.realizations {
+                let mut rng =
+                    realization_rng(seed, (case_index * 2 + size_index) as u64 + 1, r);
+                let graph = ConfigurationModel::new(n, gamma, m)
+                    .expect("table sizes are valid for CM")
+                    .generate(&mut rng)
+                    .expect("CM generation cannot fail for these parameters");
+                let stats = path_statistics_sampled(&graph, 64, &mut rng);
+                total += stats.average_shortest_path;
+            }
+            paths.push(total / scale.realizations as f64);
+        }
+        let measured_growth = if paths[0] > 0.0 { paths[1] / paths[0] } else { 0.0 };
+        let predicted_growth =
+            predicted_diameter(class, n_large) / predicted_diameter(class, n_small);
+        table.push_row(vec![
+            format!("{gamma}"),
+            format!("{m}"),
+            class_label(class).to_string(),
+            format!("{:.3}", paths[0]),
+            format!("{:.3}", paths[1]),
+            format!("{measured_growth:.3}"),
+            format!("{predicted_growth:.3}"),
+        ]);
+    }
+    ExperimentOutput::Table(table)
+}
+
+/// Table II: how much global information each construction mechanism needs, verified
+/// directly from the generators' [`Locality`] declarations.
+pub fn table2(scale: &Scale, _seed: u64) -> ExperimentOutput {
+    let generators: Vec<Box<dyn TopologyGenerator>> = vec![
+        Box::new(PreferentialAttachment::new(scale.search_nodes.max(10), 1).expect("valid PA config")),
+        Box::new(ConfigurationModel::new(scale.search_nodes.max(10), 2.6, 1).expect("valid CM config")),
+        Box::new(HopAndAttempt::new(scale.search_nodes.max(10), 1).expect("valid HAPA config")),
+        Box::new(DapaOverGrn::new(scale.search_nodes.max(10), 1, 4).expect("valid DAPA config")),
+    ];
+    let mut table = TextTable::new(vec!["Procedure", "Usage of Global Information"]);
+    for generator in &generators {
+        let usage = match generator.locality() {
+            Locality::Global => "Yes",
+            Locality::Partial => "Partial",
+            Locality::Local => "No",
+        };
+        table.push_row(vec![generator.name().to_string(), usage.to_string()]);
+    }
+    ExperimentOutput::Table(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { degree_nodes: 400, search_nodes: 1_000, realizations: 1, searches_per_point: 5 }
+    }
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let output = table2(&tiny(), 0);
+        let table = output.as_table().unwrap();
+        assert_eq!(table.row_count(), 4);
+        assert_eq!(table.cell(0, 0), Some("PA"));
+        assert_eq!(table.cell(0, 1), Some("Yes"));
+        assert_eq!(table.cell(1, 0), Some("CM"));
+        assert_eq!(table.cell(1, 1), Some("Yes"));
+        assert_eq!(table.cell(2, 0), Some("HAPA"));
+        assert_eq!(table.cell(2, 1), Some("Partial"));
+        assert_eq!(table.cell(3, 0), Some("DAPA"));
+        assert_eq!(table.cell(3, 1), Some("No"));
+    }
+
+    #[test]
+    fn table1_reports_growing_paths_with_network_size() {
+        let output = table1(&tiny(), 3);
+        let table = output.as_table().unwrap();
+        assert_eq!(table.row_count(), 4);
+        for row in 0..table.row_count() {
+            let small: f64 = table.cell(row, 3).unwrap().parse().unwrap();
+            let large: f64 = table.cell(row, 4).unwrap().parse().unwrap();
+            assert!(small > 1.0, "row {row}: implausibly small average path {small}");
+            assert!(large >= small * 0.9, "row {row}: larger networks should not shrink paths much");
+            let predicted: f64 = table.cell(row, 6).unwrap().parse().unwrap();
+            assert!(predicted >= 1.0);
+        }
+    }
+
+    #[test]
+    fn class_labels_cover_every_class() {
+        assert_eq!(class_label(DiameterClass::UltraSmall), "ln ln N");
+        assert_eq!(class_label(DiameterClass::LogOverLogLog), "ln N / ln ln N");
+        assert_eq!(class_label(DiameterClass::Logarithmic), "ln N");
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for graph construction and mutation.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or mutating a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// An edge would connect a node to itself, which simple graphs do not allow.
+    SelfLoop {
+        /// The node that would be connected to itself.
+        node: NodeId,
+    },
+    /// The edge already exists in the graph.
+    DuplicateEdge {
+        /// One endpoint of the duplicate edge.
+        a: NodeId,
+        /// The other endpoint of the duplicate edge.
+        b: NodeId,
+    },
+    /// The edge does not exist in the graph.
+    MissingEdge {
+        /// One endpoint of the missing edge.
+        a: NodeId,
+        /// The other endpoint of the missing edge.
+        b: NodeId,
+    },
+    /// A generator or algorithm received a parameter outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} is out of bounds for a graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+            }
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "edge between {a} and {b} already exists")
+            }
+            GraphError::MissingEdge { a, b } => {
+                write!(f, "edge between {a} and {b} does not exist")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 3 },
+                "node n9 is out of bounds for a graph with 3 nodes",
+            ),
+            (
+                GraphError::SelfLoop { node: NodeId::new(1) },
+                "self-loop on node n1 is not allowed in a simple graph",
+            ),
+            (
+                GraphError::DuplicateEdge { a: NodeId::new(0), b: NodeId::new(1) },
+                "edge between n0 and n1 already exists",
+            ),
+            (
+                GraphError::MissingEdge { a: NodeId::new(2), b: NodeId::new(3) },
+                "edge between n2 and n3 does not exist",
+            ),
+            (
+                GraphError::InvalidParameter { reason: "radius must be positive" },
+                "invalid parameter: radius must be positive",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

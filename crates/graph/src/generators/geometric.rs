@@ -1,0 +1,269 @@
+//! Geometric random networks (GRN), the substrate the paper uses for DAPA.
+//!
+//! A GRN places `n` nodes uniformly at random in the unit square and links any two nodes
+//! whose Euclidean distance is below a connection radius `R`. The resulting degree
+//! distribution is Poissonian with mean `k̄ ≈ π R² (n - 1)` (for the torus variant); the
+//! paper uses a GRN with `N_S = 2·10⁴` nodes and average degree `k̄ = 10` as the DAPA
+//! substrate.
+
+use crate::{Graph, GraphError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point in the unit square where a substrate node is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in `[0, 1)`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1)`.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other` in the plain (non-wrapping) unit square.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Euclidean distance to `other` on the unit torus (coordinates wrap around), which
+    /// removes boundary effects so the target average degree is met uniformly.
+    pub fn torus_distance(&self, other: &Point) -> f64 {
+        let dx = (self.x - other.x).abs();
+        let dy = (self.y - other.y).abs();
+        let dx = dx.min(1.0 - dx);
+        let dy = dy.min(1.0 - dy);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Configuration and builder for a two-dimensional geometric random network.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::generators::GeometricRandomNetwork;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let grn = GeometricRandomNetwork::with_average_degree(2_000, 10.0)?;
+/// let (graph, _positions) = grn.generate(&mut rng)?;
+/// let k_bar = graph.average_degree();
+/// assert!((k_bar - 10.0).abs() < 1.5, "average degree {k_bar} should be close to 10");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometricRandomNetwork {
+    nodes: usize,
+    radius: f64,
+    torus: bool,
+}
+
+impl GeometricRandomNetwork {
+    /// Creates a GRN configuration with an explicit connection radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `radius` is not strictly positive or not
+    /// finite.
+    pub fn new(nodes: usize, radius: f64) -> Result<Self> {
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(GraphError::InvalidParameter { reason: "grn radius must be positive and finite" });
+        }
+        Ok(GeometricRandomNetwork { nodes, radius, torus: true })
+    }
+
+    /// Creates a GRN configuration whose connection radius is chosen so that the expected
+    /// average degree equals `average_degree` (on the torus): `R = sqrt(k̄ / (π (n-1)))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if `average_degree` is not strictly positive
+    /// or if `nodes < 2`.
+    pub fn with_average_degree(nodes: usize, average_degree: f64) -> Result<Self> {
+        if nodes < 2 {
+            return Err(GraphError::InvalidParameter { reason: "grn needs at least two nodes" });
+        }
+        if !average_degree.is_finite() || average_degree <= 0.0 {
+            return Err(GraphError::InvalidParameter {
+                reason: "grn average degree must be positive and finite",
+            });
+        }
+        let radius = (average_degree / (std::f64::consts::PI * (nodes - 1) as f64)).sqrt();
+        Ok(GeometricRandomNetwork { nodes, radius, torus: true })
+    }
+
+    /// Switches between torus distances (default, no boundary effects) and plain unit-square
+    /// distances (nodes near the border see fewer neighbors, as in the original reference
+    /// model of Dall & Christensen).
+    pub fn torus(mut self, torus: bool) -> Self {
+        self.torus = torus;
+        self
+    }
+
+    /// Returns the number of nodes this configuration will generate.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Returns the connection radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Generates the network, returning the graph together with the node positions.
+    ///
+    /// Uses a uniform grid spatial index so the expected cost is O(n · k̄) rather than
+    /// O(n²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if the configuration asks for zero nodes.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(Graph, Vec<Point>)> {
+        if self.nodes == 0 {
+            return Err(GraphError::InvalidParameter { reason: "grn needs at least one node" });
+        }
+        let positions: Vec<Point> =
+            (0..self.nodes).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect();
+
+        let mut graph = Graph::with_nodes(self.nodes);
+        // Spatial hashing: cells of side >= radius so only the 3x3 neighborhood must be probed.
+        let cells_per_side = ((1.0 / self.radius).floor() as usize).clamp(1, 1024);
+        let cell_size = 1.0 / cells_per_side as f64;
+        let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells_per_side * cells_per_side];
+        let cell_of = |p: &Point| -> (usize, usize) {
+            let cx = ((p.x / cell_size) as usize).min(cells_per_side - 1);
+            let cy = ((p.y / cell_size) as usize).min(cells_per_side - 1);
+            (cx, cy)
+        };
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            grid[cy * cells_per_side + cx].push(i);
+        }
+
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = if self.torus {
+                        ((cx as i64 + dx).rem_euclid(cells_per_side as i64)) as usize
+                    } else {
+                        match cx as i64 + dx {
+                            v if v < 0 || v >= cells_per_side as i64 => continue,
+                            v => v as usize,
+                        }
+                    };
+                    let ny = if self.torus {
+                        ((cy as i64 + dy).rem_euclid(cells_per_side as i64)) as usize
+                    } else {
+                        match cy as i64 + dy {
+                            v if v < 0 || v >= cells_per_side as i64 => continue,
+                            v => v as usize,
+                        }
+                    };
+                    for &j in &grid[ny * cells_per_side + nx] {
+                        if j <= i {
+                            continue;
+                        }
+                        let d = if self.torus {
+                            p.torus_distance(&positions[j])
+                        } else {
+                            p.distance(&positions[j])
+                        };
+                        if d < self.radius {
+                            graph
+                                .add_edge_if_absent(crate::NodeId::new(i), crate::NodeId::new(j))
+                                .expect("nodes preallocated");
+                        }
+                    }
+                }
+            }
+        }
+        Ok((graph, positions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn point_distances() {
+        let a = Point { x: 0.1, y: 0.1 };
+        let b = Point { x: 0.9, y: 0.1 };
+        assert!((a.distance(&b) - 0.8).abs() < 1e-12);
+        assert!((a.torus_distance(&b) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(GeometricRandomNetwork::new(10, 0.0).is_err());
+        assert!(GeometricRandomNetwork::new(10, f64::NAN).is_err());
+        assert!(GeometricRandomNetwork::with_average_degree(1, 4.0).is_err());
+        assert!(GeometricRandomNetwork::with_average_degree(100, -1.0).is_err());
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let grn = GeometricRandomNetwork::with_average_degree(3_000, 10.0).unwrap();
+        let (g, positions) = grn.generate(&mut rng).unwrap();
+        assert_eq!(g.node_count(), 3_000);
+        assert_eq!(positions.len(), 3_000);
+        let k_bar = g.average_degree();
+        assert!(
+            (k_bar - 10.0).abs() < 1.0,
+            "expected average degree near 10, got {k_bar}"
+        );
+    }
+
+    #[test]
+    fn supercritical_grn_has_giant_component() {
+        // k_bar = 10 is far above the 2D continuum-percolation threshold (~4.52), so nearly
+        // every node should be in one giant component.
+        let mut rng = StdRng::seed_from_u64(7);
+        let grn = GeometricRandomNetwork::with_average_degree(2_000, 10.0).unwrap();
+        let (g, _) = grn.generate(&mut rng).unwrap();
+        let fraction = traversal::giant_component_fraction(&g);
+        assert!(fraction > 0.95, "giant component fraction {fraction} too small");
+    }
+
+    #[test]
+    fn edges_respect_radius() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let grn = GeometricRandomNetwork::new(500, 0.08).unwrap();
+        let (g, positions) = grn.generate(&mut rng).unwrap();
+        for (a, b) in g.edges() {
+            let d = positions[a.index()].torus_distance(&positions[b.index()]);
+            assert!(d < 0.08, "edge between nodes at torus distance {d} exceeds the radius");
+        }
+    }
+
+    #[test]
+    fn plain_square_variant_generates_fewer_edges_than_torus() {
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let torus = GeometricRandomNetwork::new(1_000, 0.06).unwrap();
+        let plain = torus.torus(false);
+        let (g_torus, _) = torus.generate(&mut rng_a).unwrap();
+        let (g_plain, _) = plain.generate(&mut rng_b).unwrap();
+        assert!(
+            g_plain.edge_count() <= g_torus.edge_count(),
+            "boundary effects should only remove edges"
+        );
+    }
+
+    #[test]
+    fn generated_graph_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let grn = GeometricRandomNetwork::with_average_degree(800, 6.0).unwrap();
+        let (g, _) = grn.generate(&mut rng).unwrap();
+        g.assert_consistent();
+    }
+}

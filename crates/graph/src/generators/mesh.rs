@@ -1,0 +1,143 @@
+//! Two-dimensional regular mesh substrate.
+//!
+//! The paper mentions a "two-dimensional regular network (mesh with nodes connected to
+//! four neighbors in four different directions)" as an alternative DAPA substrate to the
+//! geometric random network.
+
+use crate::{Graph, GraphError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a two-dimensional regular mesh.
+///
+/// Nodes are laid out on a `rows × cols` lattice and connected to their four axis-aligned
+/// neighbors. When `wrap` is true the lattice is a torus (every node has degree exactly 4);
+/// otherwise border nodes have degree 2 or 3.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::generators::{mesh_2d, MeshConfig};
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let g = mesh_2d(MeshConfig::new(10, 10))?;
+/// assert_eq!(g.node_count(), 100);
+/// assert_eq!(g.max_degree(), Some(4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshConfig {
+    /// Number of lattice rows.
+    pub rows: usize,
+    /// Number of lattice columns.
+    pub cols: usize,
+    /// Whether the lattice wraps around (torus). Defaults to `false`.
+    pub wrap: bool,
+}
+
+impl MeshConfig {
+    /// Creates a non-wrapping mesh configuration.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        MeshConfig { rows, cols, wrap: false }
+    }
+
+    /// Creates a wrapping (torus) mesh configuration.
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        MeshConfig { rows, cols, wrap: true }
+    }
+
+    /// Returns the total number of nodes the mesh will contain.
+    pub fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Generates a two-dimensional regular mesh according to `config`.
+///
+/// Node `(r, c)` receives the id `r * cols + c`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is zero, or if a wrapping
+/// mesh is requested with a dimension smaller than 3 (wrapping a dimension of 1 or 2 would
+/// create self-loops or duplicate edges).
+pub fn mesh_2d(config: MeshConfig) -> Result<Graph> {
+    if config.rows == 0 || config.cols == 0 {
+        return Err(GraphError::InvalidParameter { reason: "mesh dimensions must be positive" });
+    }
+    if config.wrap && (config.rows < 3 || config.cols < 3) {
+        return Err(GraphError::InvalidParameter {
+            reason: "wrapping mesh requires both dimensions to be at least 3",
+        });
+    }
+    let mut graph = Graph::with_nodes(config.node_count());
+    let id = |r: usize, c: usize| NodeId::new(r * config.cols + c);
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            // Right neighbor.
+            if c + 1 < config.cols {
+                graph.add_edge(id(r, c), id(r, c + 1))?;
+            } else if config.wrap {
+                graph.add_edge(id(r, c), id(r, 0))?;
+            }
+            // Down neighbor.
+            if r + 1 < config.rows {
+                graph.add_edge(id(r, c), id(r + 1, c))?;
+            } else if config.wrap {
+                graph.add_edge(id(r, c), id(0, c))?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn open_mesh_edge_count_and_degrees() {
+        let g = mesh_2d(MeshConfig::new(4, 5)).unwrap();
+        assert_eq!(g.node_count(), 20);
+        // Edges: horizontal 4*(5-1) + vertical (4-1)*5 = 16 + 15 = 31.
+        assert_eq!(g.edge_count(), 31);
+        assert_eq!(g.min_degree(), Some(2));
+        assert_eq!(g.max_degree(), Some(4));
+        assert!(traversal::is_connected(&g));
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn torus_mesh_is_4_regular() {
+        let g = mesh_2d(MeshConfig::torus(5, 6)).unwrap();
+        assert_eq!(g.node_count(), 30);
+        assert_eq!(g.edge_count(), 60);
+        assert_eq!(g.min_degree(), Some(4));
+        assert_eq!(g.max_degree(), Some(4));
+        assert!(traversal::is_connected(&g));
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn single_row_mesh_is_a_path() {
+        let g = mesh_2d(MeshConfig::new(1, 7)).unwrap();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.max_degree(), Some(2));
+        assert_eq!(g.min_degree(), Some(1));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(mesh_2d(MeshConfig::new(0, 5)).is_err());
+        assert!(mesh_2d(MeshConfig::new(5, 0)).is_err());
+        assert!(mesh_2d(MeshConfig::torus(2, 5)).is_err());
+        assert!(mesh_2d(MeshConfig::torus(5, 2)).is_err());
+    }
+
+    #[test]
+    fn node_count_helper_matches_generated_graph() {
+        let config = MeshConfig::new(3, 9);
+        assert_eq!(config.node_count(), mesh_2d(config).unwrap().node_count());
+    }
+}

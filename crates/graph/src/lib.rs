@@ -1,0 +1,71 @@
+//! # sfo-graph
+//!
+//! Undirected graph substrate used by the scale-free overlay topology generators,
+//! search algorithms, and the unstructured peer-to-peer simulator in the `sfoverlay`
+//! workspace.
+//!
+//! The crate provides:
+//!
+//! * [`Graph`]: a simple undirected graph (no self-loops, no parallel edges) stored as
+//!   adjacency lists, the representation every overlay topology in the paper is built on.
+//! * [`MultiGraph`]: an undirected multigraph permitting self-loops and parallel edges,
+//!   needed by the configuration model which wires stubs at random and only afterwards
+//!   deletes self-loops and duplicate links (paper, Alg. 2).
+//! * [`traversal`]: breadth-first search, connected components, and giant-component
+//!   extraction.
+//! * [`metrics`]: degree distributions, shortest-path statistics, diameter estimation,
+//!   clustering and assortativity — everything the paper's figures are computed from.
+//! * [`generators`]: substrate-network generators — the geometric random network (GRN)
+//!   and the two-dimensional mesh used as the DAPA substrate, plus classic random graphs
+//!   used in tests and baselines.
+//! * [`centrality`], [`kcore`], [`correlations`]: load and embeddedness measures (degree /
+//!   closeness / betweenness centrality, core numbers, `k_nn(k)`, rich-club coefficients)
+//!   used to quantify how hard cutoffs redistribute hub load.
+//! * [`io`]: plain-text edge-list serialization for replaying topologies across tools.
+//! * [`percolation`]: the Molloy-Reed giant-component criterion and random-removal
+//!   thresholds behind the paper's connectivity and robustness observations.
+//! * [`rewire`]: degree-preserving double-edge-swap randomization (null models) and the
+//!   Erdős-Gallai graphicality test for prescribed degree sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use sfo_graph::{Graph, NodeId};
+//!
+//! # fn main() -> Result<(), sfo_graph::GraphError> {
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge(NodeId::new(0), NodeId::new(1))?;
+//! g.add_edge(NodeId::new(1), NodeId::new(2))?;
+//! g.add_edge(NodeId::new(2), NodeId::new(3))?;
+//! assert_eq!(g.degree(NodeId::new(1)), 2);
+//! assert!(sfo_graph::traversal::is_connected(&g));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod multigraph;
+mod node;
+
+pub mod centrality;
+pub mod correlations;
+pub mod generators;
+pub mod io;
+pub mod kcore;
+pub mod metrics;
+pub mod percolation;
+pub mod resilience;
+pub mod rewire;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{EdgeIter, Graph, NeighborIter};
+pub use multigraph::{MultiGraph, SimplifyReport};
+pub use node::NodeId;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;

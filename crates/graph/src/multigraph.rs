@@ -1,0 +1,217 @@
+//! Undirected multigraph used by stub-wiring generators such as the configuration model.
+
+use crate::{Graph, GraphError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+
+/// An undirected multigraph: self-loops and parallel edges are permitted.
+///
+/// The configuration model (paper, Alg. 2) wires randomly chosen stub pairs, which
+/// naturally creates self-loops and duplicate links; only after all stubs are consumed are
+/// those discrepancies deleted. `MultiGraph` is the intermediate representation for that
+/// process, and [`MultiGraph::into_simple`] performs the deletion step, reporting how many
+/// self-loops and parallel edges were discarded.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::{MultiGraph, NodeId};
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut mg = MultiGraph::with_nodes(3);
+/// mg.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// mg.add_edge(NodeId::new(0), NodeId::new(1))?; // parallel edge allowed
+/// mg.add_edge(NodeId::new(2), NodeId::new(2))?; // self-loop allowed
+/// let (graph, report) = mg.into_simple();
+/// assert_eq!(graph.edge_count(), 1);
+/// assert_eq!(report.self_loops_removed, 1);
+/// assert_eq!(report.parallel_edges_removed, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiGraph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+/// Summary of what [`MultiGraph::into_simple`] discarded while simplifying a multigraph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimplifyReport {
+    /// Number of self-loop edges removed.
+    pub self_loops_removed: usize,
+    /// Number of parallel (duplicate) edges removed beyond the first copy.
+    pub parallel_edges_removed: usize,
+    /// Number of edges retained in the resulting simple graph.
+    pub edges_kept: usize,
+}
+
+impl MultiGraph {
+    /// Creates an empty multigraph with no nodes.
+    pub fn new() -> Self {
+        MultiGraph { adjacency: Vec::new(), edge_count: 0 }
+    }
+
+    /// Creates a multigraph containing `nodes` isolated nodes with ids `0..nodes`.
+    pub fn with_nodes(nodes: usize) -> Self {
+        MultiGraph { adjacency: vec![Vec::new(); nodes], edge_count: 0 }
+    }
+
+    /// Returns the number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns the number of edges, counting self-loops and each parallel copy.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns the degree of `node`. A self-loop contributes 2 to the degree, matching the
+    /// handshake convention of the configuration model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Returns `true` if `node` refers to a node present in the multigraph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.adjacency.len()
+    }
+
+    /// Adds an undirected edge between `a` and `b`; self-loops and parallel edges are
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint does not exist.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<()> {
+        for node in [a, b] {
+            if !self.contains_node(node) {
+                return Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count() });
+            }
+        }
+        if a == b {
+            // A self-loop adds two stubs to the same adjacency list.
+            self.adjacency[a.index()].push(a);
+            self.adjacency[a.index()].push(a);
+        } else {
+            self.adjacency[a.index()].push(b);
+            self.adjacency[b.index()].push(a);
+        }
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns the number of self-loop edges currently present.
+    pub fn self_loop_count(&self) -> usize {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .map(|(i, adj)| adj.iter().filter(|&&n| n.index() == i).count() / 2)
+            .sum()
+    }
+
+    /// Converts the multigraph into a simple [`Graph`] by deleting self-loops and keeping a
+    /// single copy of each parallel edge, exactly as the configuration model prescribes.
+    ///
+    /// Returns the simple graph together with a [`SimplifyReport`] describing what was
+    /// discarded.
+    pub fn into_simple(self) -> (Graph, SimplifyReport) {
+        let mut graph = Graph::with_nodes(self.node_count());
+        let mut report = SimplifyReport::default();
+        for (i, adj) in self.adjacency.iter().enumerate() {
+            let a = NodeId::new(i);
+            for &b in adj {
+                if b.index() < i {
+                    continue; // handled from the other endpoint
+                }
+                if b.index() == i {
+                    continue; // self-loop stub; counted below
+                }
+                match graph.add_edge_if_absent(a, b) {
+                    Ok(true) => report.edges_kept += 1,
+                    Ok(false) => report.parallel_edges_removed += 1,
+                    Err(_) => unreachable!("nodes were allocated up front"),
+                }
+            }
+        }
+        report.self_loops_removed = self.self_loop_count();
+        (graph, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_accepted() {
+        let mut mg = MultiGraph::with_nodes(3);
+        mg.add_edge(n(0), n(1)).unwrap();
+        mg.add_edge(n(1), n(0)).unwrap();
+        mg.add_edge(n(2), n(2)).unwrap();
+        assert_eq!(mg.edge_count(), 3);
+        assert_eq!(mg.degree(n(0)), 2);
+        assert_eq!(mg.degree(n(1)), 2);
+        assert_eq!(mg.degree(n(2)), 2, "a self-loop contributes two to the degree");
+        assert_eq!(mg.self_loop_count(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let mut mg = MultiGraph::with_nodes(1);
+        assert_eq!(
+            mg.add_edge(n(0), n(3)),
+            Err(GraphError::NodeOutOfBounds { node: n(3), node_count: 1 })
+        );
+    }
+
+    #[test]
+    fn into_simple_removes_loops_and_duplicates() {
+        let mut mg = MultiGraph::with_nodes(4);
+        mg.add_edge(n(0), n(1)).unwrap();
+        mg.add_edge(n(0), n(1)).unwrap();
+        mg.add_edge(n(0), n(1)).unwrap();
+        mg.add_edge(n(1), n(2)).unwrap();
+        mg.add_edge(n(3), n(3)).unwrap();
+        let (g, report) = mg.into_simple();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.contains_edge(n(0), n(1)));
+        assert!(g.contains_edge(n(1), n(2)));
+        assert_eq!(g.degree(n(3)), 0);
+        assert_eq!(report.edges_kept, 2);
+        assert_eq!(report.parallel_edges_removed, 2);
+        assert_eq!(report.self_loops_removed, 1);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn simplifying_a_clean_multigraph_keeps_everything() {
+        let mut mg = MultiGraph::with_nodes(3);
+        mg.add_edge(n(0), n(1)).unwrap();
+        mg.add_edge(n(1), n(2)).unwrap();
+        let (g, report) = mg.into_simple();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(report.parallel_edges_removed, 0);
+        assert_eq!(report.self_loops_removed, 0);
+        assert_eq!(report.edges_kept, 2);
+    }
+
+    #[test]
+    fn empty_multigraph_simplifies_to_empty_graph() {
+        let (g, report) = MultiGraph::new().into_simple();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(report, SimplifyReport::default());
+    }
+}

@@ -1,0 +1,118 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (peer) in a graph.
+///
+/// `NodeId` is a dense index: graphs hand out ids `0, 1, 2, ...` in the order nodes are
+/// added, and all adjacency storage is indexed by this value. The newtype exists so that
+/// node identifiers are not silently confused with degrees, counts, or hop distances in
+/// the topology-generation and search code.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::NodeId;
+///
+/// let a = NodeId::new(7);
+/// assert_eq!(a.index(), 7);
+/// assert_eq!(format!("{a}"), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32` (graphs in this workspace are bounded by
+    /// `u32::MAX` nodes).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node, suitable for indexing per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value of this node id.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(value: NodeId) -> Self {
+        value.index()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 42, 65_535, 1_000_000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let id = NodeId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(usize::from(id), 9);
+        assert_eq!(id.as_u32(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn new_panics_on_overflow() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Degree-preserving randomization (double-edge swaps) and degree-sequence graphicality.
+//!
+//! Whenever a structural observation is made about a generated overlay — "HAPA without a
+//! cutoff has a rich club", "PA is disassortative" — the standard control is to compare
+//! against a *null model*: a graph with exactly the same degree sequence but otherwise
+//! random wiring. [`randomize_preserving_degrees`] produces that null model in place by
+//! repeatedly applying double-edge swaps (`(a,b), (c,d) → (a,d), (c,b)`), which keep every
+//! node's degree fixed while destroying all higher-order correlations. The
+//! [`is_graphical`] check (Erdős-Gallai) answers the complementary question for the
+//! configuration model: can a prescribed degree sequence be realized by a simple graph at
+//! all?
+
+use crate::{Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Report of a degree-preserving randomization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewireReport {
+    /// Number of swaps that were attempted.
+    pub attempted_swaps: usize,
+    /// Number of swaps that were applied (the rest would have created self-loops or
+    /// parallel edges and were skipped).
+    pub applied_swaps: usize,
+}
+
+impl RewireReport {
+    /// Fraction of attempted swaps that could be applied.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempted_swaps == 0 {
+            0.0
+        } else {
+            self.applied_swaps as f64 / self.attempted_swaps as f64
+        }
+    }
+}
+
+/// Randomizes `graph` in place by `attempts` double-edge swaps, preserving every node's
+/// degree exactly. Returns how many swaps were applied.
+///
+/// A common choice for `attempts` is 10-20 times the edge count, after which the edge set
+/// is statistically indistinguishable from a uniform sample of simple graphs with the same
+/// degree sequence.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::{generators::star_graph, rewire};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut g = star_graph(10)?;
+/// let before = g.degrees();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// rewire::randomize_preserving_degrees(&mut g, 100, &mut rng);
+/// assert_eq!(g.degrees(), before); // degrees never change
+/// # Ok(())
+/// # }
+/// ```
+pub fn randomize_preserving_degrees<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    attempts: usize,
+    rng: &mut R,
+) -> RewireReport {
+    let mut edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut report = RewireReport { attempted_swaps: 0, applied_swaps: 0 };
+    if edges.len() < 2 {
+        return report;
+    }
+    for _ in 0..attempts {
+        report.attempted_swaps += 1;
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        // Orient the second edge randomly so both rewirings (a-d, c-b) and (a-c, b-d) are
+        // reachable.
+        let (c, d) = if rng.gen::<bool>() { (c, d) } else { (d, c) };
+        // The swap replaces a-b, c-d with a-d, c-b.
+        if a == d || c == b || a == c || b == d {
+            continue;
+        }
+        if graph.contains_edge(a, d) || graph.contains_edge(c, b) {
+            continue;
+        }
+        graph.remove_edge(a, b).expect("edge list tracks the graph");
+        graph.remove_edge(c, d).expect("edge list tracks the graph");
+        graph.add_edge(a, d).expect("absence checked above");
+        graph.add_edge(c, b).expect("absence checked above");
+        edges[i] = (a, d);
+        edges[j] = (c, b);
+        report.applied_swaps += 1;
+    }
+    report
+}
+
+/// Erdős-Gallai test: returns `true` if the degree sequence can be realized by a simple
+/// undirected graph.
+///
+/// The sequence does not need to be sorted; an empty sequence is graphical (the empty
+/// graph).
+pub fn is_graphical(degrees: &[usize]) -> bool {
+    if degrees.is_empty() {
+        return true;
+    }
+    let n = degrees.len();
+    if degrees.iter().any(|&d| d >= n) {
+        return false;
+    }
+    let sum: usize = degrees.iter().sum();
+    if sum % 2 != 0 {
+        return false;
+    }
+    let mut sorted: Vec<usize> = degrees.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    // Prefix sums of the sorted sequence for the Erdős-Gallai inequalities.
+    let mut prefix = vec![0usize; n + 1];
+    for (i, &d) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + d;
+    }
+    for k in 1..=n {
+        let lhs = prefix[k];
+        let mut rhs = k * (k - 1);
+        for &d in &sorted[k..] {
+            rhs += d.min(k);
+        }
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlations::rich_club_coefficients;
+    use crate::generators::{complete_graph, ring_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn randomization_preserves_degrees_and_consistency() {
+        let mut g = ring_graph(60, 3).unwrap();
+        let before = g.degrees();
+        let report = randomize_preserving_degrees(&mut g, 2_000, &mut rng(1));
+        assert_eq!(g.degrees(), before);
+        assert!(report.applied_swaps > 0);
+        assert!(report.applied_swaps <= report.attempted_swaps);
+        assert!(report.acceptance_rate() > 0.0 && report.acceptance_rate() <= 1.0);
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn randomization_actually_changes_the_wiring() {
+        let mut g = ring_graph(80, 2).unwrap();
+        let original: Vec<_> = g.edges().collect();
+        randomize_preserving_degrees(&mut g, 3_000, &mut rng(2));
+        let rewired: Vec<_> = g.edges().collect();
+        assert_eq!(original.len(), rewired.len());
+        let preserved = rewired.iter().filter(|e| original.contains(e)).count();
+        assert!(
+            preserved < original.len(),
+            "after thousands of swaps at least one edge must have moved"
+        );
+    }
+
+    #[test]
+    fn complete_graphs_admit_no_swaps() {
+        let mut g = complete_graph(6).unwrap();
+        let report = randomize_preserving_degrees(&mut g, 500, &mut rng(3));
+        assert_eq!(report.applied_swaps, 0, "every candidate swap creates a parallel edge");
+        assert_eq!(g, complete_graph(6).unwrap());
+    }
+
+    #[test]
+    fn tiny_graphs_are_returned_untouched() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let report = randomize_preserving_degrees(&mut g, 100, &mut rng(4));
+        assert_eq!(report.attempted_swaps, 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn null_model_dissolves_engineered_structure() {
+        // Build a graph with an engineered "rich club": a clique of 5 hubs, each also
+        // holding pendant leaves. After randomization the same degree sequence should show
+        // a weaker club at the same threshold.
+        let mut g = complete_graph(5).unwrap();
+        for hub in 0..5usize {
+            for _ in 0..6 {
+                let leaf = g.add_node();
+                g.add_edge(NodeId::new(hub), leaf).unwrap();
+            }
+        }
+        let threshold = 5usize;
+        let before = rich_club_coefficients(&g)
+            .into_iter()
+            .find(|p| p.degree == threshold)
+            .map(|p| p.coefficient)
+            .unwrap_or(0.0);
+        randomize_preserving_degrees(&mut g, 5_000, &mut rng(5));
+        let after = rich_club_coefficients(&g)
+            .into_iter()
+            .find(|p| p.degree == threshold)
+            .map(|p| p.coefficient)
+            .unwrap_or(0.0);
+        assert!(
+            after <= before,
+            "randomization should not strengthen the rich club ({after} vs {before})"
+        );
+        g.assert_consistent();
+    }
+
+    #[test]
+    fn erdos_gallai_accepts_realizable_sequences() {
+        assert!(is_graphical(&[]));
+        assert!(is_graphical(&[0, 0, 0]));
+        assert!(is_graphical(&[1, 1]));
+        assert!(is_graphical(&[2, 2, 2]));
+        assert!(is_graphical(&[3, 3, 3, 3]));
+        assert!(is_graphical(&[4, 1, 1, 1, 1]));
+        // Degree sequence of the ring with k = 2.
+        assert!(is_graphical(&[4; 10]));
+    }
+
+    #[test]
+    fn erdos_gallai_rejects_impossible_sequences() {
+        assert!(!is_graphical(&[1]), "odd degree sum");
+        assert!(!is_graphical(&[3, 1]), "degree exceeds n - 1");
+        assert!(!is_graphical(&[2, 2, 1]), "odd degree sum");
+        assert!(!is_graphical(&[4, 4, 4, 1, 1]), "fails the Erdős-Gallai inequality at k = 3");
+    }
+
+    #[test]
+    fn generated_graph_degree_sequences_are_graphical() {
+        let g = ring_graph(30, 2).unwrap();
+        assert!(is_graphical(&g.degrees()));
+        let k = complete_graph(7).unwrap();
+        assert!(is_graphical(&k.degrees()));
+    }
+}

@@ -1,0 +1,236 @@
+//! Measurement harness reproducing the paper's search-efficiency methodology (§V-B).
+//!
+//! For each time-to-live `τ`, a search is launched from many uniformly random source peers
+//! and the hit and message counts are averaged. Random walks are compared *at equal cost*:
+//! the RW hop budget for a point labelled `τ` is set to the number of messages the NF
+//! search with that `τ` generated in the same scenario — the normalization the paper (and
+//! Gkantsidis et al.) use so that Figs. 9/10 and Figs. 11/12 share an x axis.
+
+use crate::normalized::NormalizedFlooding;
+use crate::random_walk::RandomWalk;
+use crate::{SearchAlgorithm, SearchOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sfo_graph::{Graph, NodeId};
+
+/// Hits and messages averaged over many random source peers for one `τ` value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AveragedOutcome {
+    /// The time-to-live this point corresponds to (for RW curves, the TTL of the NF search
+    /// whose message count set the walk budget).
+    pub ttl: u32,
+    /// Mean number of distinct peers reached per search.
+    pub mean_hits: f64,
+    /// Mean number of messages per search.
+    pub mean_messages: f64,
+    /// Number of searches averaged.
+    pub searches: usize,
+}
+
+impl AveragedOutcome {
+    fn from_outcomes(ttl: u32, outcomes: &[SearchOutcome]) -> Self {
+        let n = outcomes.len().max(1) as f64;
+        AveragedOutcome {
+            ttl,
+            mean_hits: outcomes.iter().map(|o| o.hits as f64).sum::<f64>() / n,
+            mean_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / n,
+            searches: outcomes.len(),
+        }
+    }
+}
+
+fn random_source<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> NodeId {
+    NodeId::new(rng.gen_range(0..graph.node_count()))
+}
+
+/// Runs `searches` searches with the given algorithm and TTL from uniformly random sources
+/// and averages the outcomes.
+///
+/// # Panics
+///
+/// Panics if `graph` has no nodes.
+pub fn average_over_sources(
+    graph: &Graph,
+    algorithm: &dyn SearchAlgorithm,
+    ttl: u32,
+    searches: usize,
+    rng: &mut dyn RngCore,
+) -> AveragedOutcome {
+    assert!(graph.node_count() > 0, "cannot search an empty graph");
+    let outcomes: Vec<SearchOutcome> = (0..searches)
+        .map(|_| {
+            let source = random_source(graph, rng);
+            algorithm.search(graph, source, ttl, rng)
+        })
+        .collect();
+    AveragedOutcome::from_outcomes(ttl, &outcomes)
+}
+
+/// Runs [`average_over_sources`] for every TTL in `ttls`.
+pub fn ttl_sweep(
+    graph: &Graph,
+    algorithm: &dyn SearchAlgorithm,
+    ttls: &[u32],
+    searches: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<AveragedOutcome> {
+    ttls.iter().map(|&ttl| average_over_sources(graph, algorithm, ttl, searches, rng)).collect()
+}
+
+/// Runs a TTL sweep of random-walk searches whose hop budget is normalized to the message
+/// cost of normalized flooding.
+///
+/// For each TTL `τ` and each random source, an NF search with fan-out `k_min` is run first;
+/// the number of messages it produced becomes the hop budget of an RW search from the same
+/// source. The reported point keeps `τ` as its abscissa, exactly like Figs. 11 and 12.
+pub fn rw_normalized_to_nf(
+    graph: &Graph,
+    k_min: usize,
+    ttls: &[u32],
+    searches: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<AveragedOutcome> {
+    assert!(graph.node_count() > 0, "cannot search an empty graph");
+    let nf = NormalizedFlooding::new(k_min);
+    let rw = RandomWalk::new();
+    ttls.iter()
+        .map(|&ttl| {
+            let outcomes: Vec<SearchOutcome> = (0..searches)
+                .map(|_| {
+                    let source = random_source(graph, rng);
+                    let nf_outcome = nf.search(graph, source, ttl, rng);
+                    let budget = u32::try_from(nf_outcome.messages).unwrap_or(u32::MAX);
+                    rw.search(graph, source, budget, rng)
+                })
+                .collect();
+            AveragedOutcome::from_outcomes(ttl, &outcomes)
+        })
+        .collect()
+}
+
+/// Parallel variant of [`average_over_sources`]: the searches are split across `threads`
+/// worker threads, each with an independent RNG stream derived from `seed`.
+///
+/// Results are deterministic for a fixed `(seed, threads, searches)` triple.
+///
+/// # Panics
+///
+/// Panics if `graph` has no nodes or `threads` is zero.
+pub fn average_over_sources_parallel(
+    graph: &Graph,
+    algorithm: &(dyn SearchAlgorithm + Sync),
+    ttl: u32,
+    searches: usize,
+    threads: usize,
+    seed: u64,
+) -> AveragedOutcome {
+    assert!(graph.node_count() > 0, "cannot search an empty graph");
+    assert!(threads > 0, "at least one worker thread is required");
+    let threads = threads.min(searches.max(1));
+    let per_thread = searches / threads;
+    let remainder = searches % threads;
+
+    let all_outcomes = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let count = per_thread + usize::from(t < remainder);
+            handles.push(scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+                (0..count)
+                    .map(|_| {
+                        let source = random_source(graph, &mut rng);
+                        algorithm.search(graph, source, ttl, &mut rng)
+                    })
+                    .collect::<Vec<SearchOutcome>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("search worker panicked"))
+            .collect::<Vec<SearchOutcome>>()
+    })
+    .expect("search worker panicked");
+
+    AveragedOutcome::from_outcomes(ttl, &all_outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flooding::Flooding;
+    use sfo_graph::generators::{complete_graph, ring_graph};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn averaging_over_a_vertex_transitive_graph_is_exact() {
+        // Every source of a cycle sees the same neighborhood, so the average is exact.
+        let g = ring_graph(30, 1).unwrap();
+        let avg = average_over_sources(&g, &Flooding::new(), 3, 10, &mut rng(1));
+        assert_eq!(avg.ttl, 3);
+        assert_eq!(avg.searches, 10);
+        assert!((avg.mean_hits - 6.0).abs() < 1e-12);
+        assert!((avg.mean_messages - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_hits_for_flooding() {
+        let g = ring_graph(60, 2).unwrap();
+        let sweep = ttl_sweep(&g, &Flooding::new(), &[1, 2, 4, 8], 20, &mut rng(2));
+        assert_eq!(sweep.len(), 4);
+        for w in sweep.windows(2) {
+            assert!(w[1].mean_hits >= w[0].mean_hits);
+        }
+    }
+
+    #[test]
+    fn rw_normalization_spends_about_the_nf_message_budget() {
+        let g = complete_graph(60).unwrap();
+        let points = rw_normalized_to_nf(&g, 2, &[2, 4], 25, &mut rng(3));
+        assert_eq!(points.len(), 2);
+        for (point, ttl) in points.iter().zip([2u32, 4]) {
+            assert_eq!(point.ttl, ttl);
+            // NF with fan-out 2 generates at most 2 + 4 + ... messages; RW spends exactly that
+            // budget unless it gets stuck, which cannot happen in a clique.
+            let nf_budget_upper: f64 = (1..=ttl).map(|t| 2f64.powi(t as i32)).sum();
+            assert!(point.mean_messages <= nf_budget_upper + 1e-9);
+            assert!(point.mean_messages >= 2.0);
+            assert!(point.mean_hits > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_average_matches_search_count_and_is_deterministic() {
+        let g = ring_graph(80, 2).unwrap();
+        let a = average_over_sources_parallel(&g, &Flooding::new(), 3, 37, 4, 99);
+        let b = average_over_sources_parallel(&g, &Flooding::new(), 3, 37, 4, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.searches, 37);
+        // The cycle is vertex transitive, so the parallel average equals the exact value.
+        assert!((a.mean_hits - average_over_sources(&g, &Flooding::new(), 3, 5, &mut rng(1)).mean_hits).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_with_more_threads_than_searches_still_works() {
+        let g = ring_graph(20, 1).unwrap();
+        let avg = average_over_sources_parallel(&g, &Flooding::new(), 2, 3, 16, 7);
+        assert_eq!(avg.searches, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_is_rejected() {
+        let g = Graph::new();
+        let _ = average_over_sources(&g, &Flooding::new(), 1, 1, &mut rng(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread")]
+    fn zero_threads_is_rejected() {
+        let g = ring_graph(10, 1).unwrap();
+        let _ = average_over_sources_parallel(&g, &Flooding::new(), 1, 1, 0, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # sfo-search
+//!
+//! Decentralized search algorithms for unstructured peer-to-peer overlays, as studied in
+//! the paper's evaluation (§V):
+//!
+//! * [`flooding`] — Flooding (FL): every node forwards the query to all neighbors except
+//!   the one it came from, up to a time-to-live `τ`. The best possible coverage, at an
+//!   unscalable message cost.
+//! * [`normalized`] — Normalized Flooding (NF): nodes forward to at most `k_min` randomly
+//!   chosen neighbors, giving flooding-like parallelism with far better granularity.
+//! * [`random_walk`] — Random Walk (RW) and multiple parallel walks: one message hops
+//!   through the network, trading delivery time for minimal traffic.
+//!
+//! Beyond the paper's three algorithms, the crate implements the practical variants its
+//! related-work section points to, so they can be compared on the same topologies:
+//!
+//! * [`probabilistic`] — gossip-style probabilistic flooding (refs. [29, 30]);
+//! * [`expanding_ring`] — successive floods of growing radius (Lv et al., ref. [23]);
+//! * [`biased_walk`] — the high-degree-seeking walk of Adamic et al. (ref. [62]);
+//! * [`coverage`] — coverage-curve, granularity, and item-hit-probability metrics.
+//!
+//! The [`experiment`] module reproduces the paper's measurement methodology: hits
+//! (distinct peers reached) and messages per search, averaged over random sources and
+//! network realizations, with the RW time-to-live normalized to the message count of the
+//! corresponding NF search so the two are compared at equal cost (§V-B).
+//!
+//! # Example
+//!
+//! ```
+//! use sfo_graph::generators::complete_graph;
+//! use sfo_graph::NodeId;
+//! use sfo_search::{flooding::Flooding, SearchAlgorithm};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = complete_graph(10)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let outcome = Flooding::new().search(&graph, NodeId::new(0), 1, &mut rng);
+//! assert_eq!(outcome.hits, 9); // one hop reaches everyone in a clique
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod outcome;
+
+pub mod biased_walk;
+pub mod coverage;
+pub mod expanding_ring;
+pub mod experiment;
+pub mod flooding;
+pub mod normalized;
+pub mod probabilistic;
+pub mod random_walk;
+
+pub use outcome::{SearchAlgorithm, SearchOutcome};

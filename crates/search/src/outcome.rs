@@ -1,0 +1,74 @@
+//! Search outcomes and the common algorithm interface.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sfo_graph::{Graph, NodeId};
+
+/// What one search attempt achieved.
+///
+/// The paper's primary efficiency metric is the *number of hits*: how many distinct peers
+/// a query reaches within its time-to-live (Figs. 6-12). Its cost metric is the *number of
+/// messages* the query generates (§V-B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Number of distinct peers reached, excluding the source itself.
+    pub hits: usize,
+    /// Number of query messages transmitted over overlay links (including duplicates
+    /// delivered to already-visited peers).
+    pub messages: usize,
+}
+
+impl SearchOutcome {
+    /// Creates an outcome from hit and message counts.
+    pub fn new(hits: usize, messages: usize) -> Self {
+        SearchOutcome { hits, messages }
+    }
+
+    /// Hits per message: the granularity measure the paper uses to motivate NF and RW over
+    /// plain flooding. Returns 0.0 when no messages were sent.
+    pub fn hits_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.messages as f64
+        }
+    }
+}
+
+/// A decentralized search algorithm running on an overlay graph.
+///
+/// Implementations use only local information (the neighbors of the node currently holding
+/// the query); the graph parameter stands in for the distributed state of all peers. The
+/// trait is object safe so experiment sweeps can hold `Box<dyn SearchAlgorithm>` values.
+pub trait SearchAlgorithm {
+    /// Runs one search from `source` with time-to-live `ttl` and reports its outcome.
+    ///
+    /// The interpretation of `ttl` is algorithm-specific: forwarding rounds for flooding
+    /// variants, total hops for a random walk.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `source` is not a node of `graph`.
+    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome;
+
+    /// Short name used in experiment output ("FL", "NF", "RW").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_per_message_handles_zero_messages() {
+        assert_eq!(SearchOutcome::default().hits_per_message(), 0.0);
+        let o = SearchOutcome::new(30, 60);
+        assert!((o.hits_per_message() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn assert_object_safe(_: Option<&dyn SearchAlgorithm>) {}
+        assert_object_safe(None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Data items, Zipf popularity, and replication.
+//!
+//! Unstructured P2P searches serve a workload of item lookups whose popularity is highly
+//! skewed; the standard model (and the one used by the replication literature the paper
+//! cites) is a Zipf distribution over the item catalog. Replicas of each item are placed on
+//! uniformly random peers, with a count proportional to a configurable baseline.
+
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data item in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(u64);
+
+impl ItemId {
+    /// Creates an item id from its catalog rank (0 is the most popular item).
+    pub fn new(rank: u64) -> Self {
+        ItemId(rank)
+    }
+
+    /// Returns the catalog rank of this item.
+    pub fn rank(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "item{}", self.0)
+    }
+}
+
+/// A catalog of items whose query popularity follows a Zipf law.
+///
+/// Item `i` (0-based rank) is requested with probability proportional to `1 / (i + 1)^s`
+/// where `s` is the skew exponent.
+///
+/// # Example
+///
+/// ```
+/// use sfo_sim::catalog::Catalog;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_sim::SimError> {
+/// let catalog = Catalog::new(100, 1.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let item = catalog.sample_query(&mut rng);
+/// assert!(item.rank() < 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    items: usize,
+    skew: f64,
+    /// Cumulative query-probability table over ranks.
+    cdf: Vec<f64>,
+}
+
+impl Catalog {
+    /// Creates a catalog of `items` items with Zipf skew `skew` (0 gives uniform
+    /// popularity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `items` is zero or `skew` is negative or not
+    /// finite.
+    pub fn new(items: usize, skew: f64) -> Result<Self> {
+        if items == 0 {
+            return Err(SimError::InvalidConfig { reason: "catalog must contain at least one item" });
+        }
+        if !skew.is_finite() || skew < 0.0 {
+            return Err(SimError::InvalidConfig { reason: "zipf skew must be finite and non-negative" });
+        }
+        let weights: Vec<f64> = (0..items).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(items);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Catalog { items, skew, cdf })
+    }
+
+    /// Returns the number of items in the catalog.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Returns `true` if the catalog contains no items (never the case for a constructed
+    /// catalog, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Returns the Zipf skew exponent.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Returns the query probability of the item with the given rank, or 0 outside the
+    /// catalog.
+    pub fn query_probability(&self, rank: u64) -> f64 {
+        let idx = rank as usize;
+        if idx >= self.items {
+            return 0.0;
+        }
+        let prev = if idx == 0 { 0.0 } else { self.cdf[idx - 1] };
+        self.cdf[idx] - prev
+    }
+
+    /// Samples the item targeted by a query according to the Zipf popularity.
+    pub fn sample_query<R: Rng + ?Sized>(&self, rng: &mut R) -> ItemId {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.items - 1);
+        ItemId::new(idx as u64)
+    }
+
+    /// Returns the number of replicas to place for the item of the given rank when the
+    /// most popular item gets `base_replicas` copies and replication follows the square
+    /// root of popularity (the near-optimal rule from Cohen & Shenker that the paper
+    /// cites).
+    pub fn replica_count(&self, rank: u64, base_replicas: usize) -> usize {
+        let p = self.query_probability(rank);
+        let p0 = self.query_probability(0);
+        if p0 <= 0.0 {
+            return 1;
+        }
+        (((p / p0).sqrt() * base_replicas as f64).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_catalogs_are_rejected() {
+        assert!(Catalog::new(0, 1.0).is_err());
+        assert!(Catalog::new(10, -0.5).is_err());
+        assert!(Catalog::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease_with_rank() {
+        let c = Catalog::new(50, 0.8).unwrap();
+        let total: f64 = (0..50).map(|r| c.query_probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 0..49 {
+            assert!(c.query_probability(r) >= c.query_probability(r + 1));
+        }
+        assert_eq!(c.query_probability(50), 0.0);
+        assert_eq!(c.len(), 50);
+        assert!(!c.is_empty());
+        assert_eq!(c.skew(), 0.8);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let c = Catalog::new(20, 0.0).unwrap();
+        for r in 0..20 {
+            assert!((c.query_probability(r) - 0.05).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_popularity() {
+        let c = Catalog::new(100, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[c.sample_query(&mut rng).rank() as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        let empirical_top = counts[0] as f64 / 20_000.0;
+        assert!((empirical_top - c.query_probability(0)).abs() < 0.02);
+    }
+
+    #[test]
+    fn replica_counts_follow_square_root_rule() {
+        let c = Catalog::new(100, 1.0).unwrap();
+        let top = c.replica_count(0, 16);
+        assert_eq!(top, 16);
+        let fourth = c.replica_count(3, 16);
+        // Popularity of rank 3 is 1/4 of rank 0, so sqrt gives half the replicas.
+        assert_eq!(fourth, 8);
+        assert_eq!(c.replica_count(9_999, 16), 1, "items outside the catalog still get one copy");
+    }
+
+    #[test]
+    fn item_id_display_and_rank() {
+        let item = ItemId::new(7);
+        assert_eq!(item.rank(), 7);
+        assert_eq!(item.to_string(), "item7");
+    }
+}

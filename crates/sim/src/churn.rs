@@ -1,0 +1,327 @@
+//! Peer session-time models and churn-schedule generation.
+//!
+//! The end-to-end simulation drives joins, leaves, and crashes with memoryless
+//! (exponential) interarrival times. Measured P2P systems are harsher: session lengths are
+//! heavy-tailed, so a small core of long-lived peers coexists with a large population that
+//! stays only minutes. This module provides the two standard session-length models —
+//! exponential and (bounded) Pareto — and a generator that converts a session model plus a
+//! target arrival rate into an explicit churn trace (a time-ordered list of join and
+//! departure events) that can be replayed against an [`crate::overlay::OverlayNetwork`].
+//!
+//! Replaying an explicit trace, rather than drawing event times on the fly, makes
+//! experiments comparable across overlay configurations: the same peers arrive and depart
+//! at the same ticks no matter how the overlay wires them.
+
+use crate::events::Tick;
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of a peer's session length (ticks between its join and its departure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SessionModel {
+    /// Memoryless sessions with the given mean length.
+    Exponential {
+        /// Mean session length in ticks (must be positive).
+        mean: f64,
+    },
+    /// Bounded Pareto sessions: heavy-tailed, with a hard minimum.
+    Pareto {
+        /// Shape parameter `α` (must be positive; smaller means heavier tail).
+        shape: f64,
+        /// Minimum session length in ticks (must be positive).
+        minimum: f64,
+    },
+    /// Every session lasts exactly this long (useful for deterministic tests).
+    Fixed {
+        /// Session length in ticks (must be positive).
+        length: f64,
+    },
+}
+
+impl SessionModel {
+    fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            SessionModel::Exponential { mean } => mean.is_finite() && mean > 0.0,
+            SessionModel::Pareto { shape, minimum } => {
+                shape.is_finite() && shape > 0.0 && minimum.is_finite() && minimum > 0.0
+            }
+            SessionModel::Fixed { length } => length.is_finite() && length > 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig { reason: "session model parameters must be positive and finite" })
+        }
+    }
+
+    /// Samples one session length in ticks (at least 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Tick {
+        let raw = match *self {
+            SessionModel::Exponential { mean } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -u.ln() * mean
+            }
+            SessionModel::Pareto { shape, minimum } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                minimum / u.powf(1.0 / shape)
+            }
+            SessionModel::Fixed { length } => length,
+        };
+        raw.ceil().max(1.0).min(u64::MAX as f64) as Tick
+    }
+
+    /// Returns the theoretical mean session length, or `None` when it diverges (Pareto with
+    /// `shape <= 1`).
+    pub fn mean(&self) -> Option<f64> {
+        match *self {
+            SessionModel::Exponential { mean } => Some(mean),
+            SessionModel::Pareto { shape, minimum } => {
+                if shape > 1.0 {
+                    Some(shape * minimum / (shape - 1.0))
+                } else {
+                    None
+                }
+            }
+            SessionModel::Fixed { length } => Some(length),
+        }
+    }
+}
+
+/// What happens to a peer at one point of a churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnAction {
+    /// A new peer arrives. The `session` index identifies the arrival so the matching
+    /// departure can be correlated.
+    Arrive,
+    /// The peer that arrived as session `index` departs gracefully.
+    DepartGracefully,
+    /// The peer that arrived as session `index` crashes.
+    Crash,
+}
+
+/// One entry of a churn trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// When the event fires.
+    pub time: Tick,
+    /// Sequential index of the arrival this event belongs to (assigned in arrival order).
+    pub session: usize,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// Configuration of a churn-trace generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTraceConfig {
+    /// Length of the trace in ticks.
+    pub duration: Tick,
+    /// Expected arrivals per tick.
+    pub arrival_rate: f64,
+    /// Session-length distribution.
+    pub sessions: SessionModel,
+    /// Probability that a departure is a crash rather than a graceful leave.
+    pub crash_fraction: f64,
+}
+
+/// A time-ordered churn trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Events in non-decreasing time order.
+    pub events: Vec<ChurnEvent>,
+    /// Number of arrivals in the trace.
+    pub arrivals: usize,
+}
+
+impl ChurnTrace {
+    /// Number of departures (graceful or crash) that fall inside the trace duration.
+    pub fn departures(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, ChurnAction::DepartGracefully | ChurnAction::Crash))
+            .count()
+    }
+
+    /// Number of crash departures.
+    pub fn crashes(&self) -> usize {
+        self.events.iter().filter(|e| e.action == ChurnAction::Crash).count()
+    }
+}
+
+/// Generates a churn trace: Poisson arrivals at `arrival_rate`, session lengths from the
+/// session model, departures that fall past the duration are dropped (those peers simply
+/// stay online to the end).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] if the duration is zero, the arrival rate is not
+/// positive and finite, the crash fraction is outside `[0, 1]`, or the session model is
+/// invalid.
+pub fn generate_trace<R: Rng + ?Sized>(
+    config: &ChurnTraceConfig,
+    rng: &mut R,
+) -> Result<ChurnTrace> {
+    if config.duration == 0 {
+        return Err(SimError::InvalidConfig { reason: "churn trace duration must be positive" });
+    }
+    if !config.arrival_rate.is_finite() || config.arrival_rate <= 0.0 {
+        return Err(SimError::InvalidConfig { reason: "arrival rate must be positive and finite" });
+    }
+    if !(0.0..=1.0).contains(&config.crash_fraction) || config.crash_fraction.is_nan() {
+        return Err(SimError::InvalidConfig { reason: "crash fraction must lie in [0, 1]" });
+    }
+    config.sessions.validate()?;
+
+    let mut events: Vec<ChurnEvent> = Vec::new();
+    let mut time = 0f64;
+    let mut session = 0usize;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        time += -u.ln() / config.arrival_rate;
+        let arrival_tick = time.ceil() as Tick;
+        if arrival_tick > config.duration {
+            break;
+        }
+        events.push(ChurnEvent { time: arrival_tick, session, action: ChurnAction::Arrive });
+        let length = config.sessions.sample(rng);
+        let departure_tick = arrival_tick.saturating_add(length);
+        if departure_tick <= config.duration {
+            let action = if rng.gen::<f64>() < config.crash_fraction {
+                ChurnAction::Crash
+            } else {
+                ChurnAction::DepartGracefully
+            };
+            events.push(ChurnEvent { time: departure_tick, session, action });
+        }
+        session += 1;
+    }
+    events.sort_by_key(|e| (e.time, e.session, e.action != ChurnAction::Arrive));
+    Ok(ChurnTrace { events, arrivals: session })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn config(sessions: SessionModel) -> ChurnTraceConfig {
+        ChurnTraceConfig { duration: 1_000, arrival_rate: 0.5, sessions, crash_fraction: 0.2 }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut r = rng(0);
+        let base = config(SessionModel::Exponential { mean: 50.0 });
+        let mut bad = base;
+        bad.duration = 0;
+        assert!(generate_trace(&bad, &mut r).is_err());
+        bad = base;
+        bad.arrival_rate = 0.0;
+        assert!(generate_trace(&bad, &mut r).is_err());
+        bad = base;
+        bad.crash_fraction = 1.5;
+        assert!(generate_trace(&bad, &mut r).is_err());
+        bad = base;
+        bad.sessions = SessionModel::Exponential { mean: 0.0 };
+        assert!(generate_trace(&bad, &mut r).is_err());
+        bad = base;
+        bad.sessions = SessionModel::Pareto { shape: -1.0, minimum: 5.0 };
+        assert!(generate_trace(&bad, &mut r).is_err());
+        bad = base;
+        bad.sessions = SessionModel::Fixed { length: f64::NAN };
+        assert!(generate_trace(&bad, &mut r).is_err());
+    }
+
+    #[test]
+    fn session_samples_are_positive_and_roughly_match_the_mean() {
+        let mut r = rng(1);
+        for model in [
+            SessionModel::Exponential { mean: 40.0 },
+            SessionModel::Pareto { shape: 2.5, minimum: 10.0 },
+            SessionModel::Fixed { length: 25.0 },
+        ] {
+            let samples: Vec<Tick> = (0..5_000).map(|_| model.sample(&mut r)).collect();
+            assert!(samples.iter().all(|&s| s >= 1), "{model:?}");
+            let empirical = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+            let theoretical = model.mean().unwrap();
+            assert!(
+                (empirical - theoretical).abs() / theoretical < 0.15,
+                "{model:?}: empirical mean {empirical} vs theoretical {theoretical}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_mean_diverges_for_small_shape() {
+        assert!(SessionModel::Pareto { shape: 0.9, minimum: 5.0 }.mean().is_none());
+        assert!(SessionModel::Pareto { shape: 1.5, minimum: 5.0 }.mean().is_some());
+    }
+
+    #[test]
+    fn pareto_sessions_are_heavier_tailed_than_exponential() {
+        let mut r = rng(2);
+        let exp = SessionModel::Exponential { mean: 30.0 };
+        let pareto = SessionModel::Pareto { shape: 1.3, minimum: 7.0 }; // mean ≈ 30.3
+        let exp_max = (0..5_000).map(|_| exp.sample(&mut r)).max().unwrap();
+        let pareto_max = (0..5_000).map(|_| pareto.sample(&mut r)).max().unwrap();
+        assert!(
+            pareto_max > exp_max,
+            "Pareto maximum {pareto_max} should exceed exponential maximum {exp_max}"
+        );
+    }
+
+    #[test]
+    fn trace_events_are_time_ordered_and_consistent() {
+        let trace =
+            generate_trace(&config(SessionModel::Exponential { mean: 60.0 }), &mut rng(3)).unwrap();
+        assert!(trace.arrivals > 300, "expected roughly duration * rate arrivals");
+        assert!(trace.departures() <= trace.arrivals);
+        assert!(trace.crashes() <= trace.departures());
+        for w in trace.events.windows(2) {
+            assert!(w[0].time <= w[1].time, "events must be time-ordered");
+        }
+        // Every departure refers to a session that arrived earlier.
+        for e in &trace.events {
+            if e.action != ChurnAction::Arrive {
+                let arrival = trace
+                    .events
+                    .iter()
+                    .find(|a| a.session == e.session && a.action == ChurnAction::Arrive)
+                    .expect("departure has a matching arrival");
+                assert!(arrival.time <= e.time);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_fraction_controls_the_crash_share() {
+        let mut base = config(SessionModel::Fixed { length: 10.0 });
+        base.crash_fraction = 0.0;
+        let no_crashes = generate_trace(&base, &mut rng(4)).unwrap();
+        assert_eq!(no_crashes.crashes(), 0);
+        base.crash_fraction = 1.0;
+        let all_crashes = generate_trace(&base, &mut rng(4)).unwrap();
+        assert_eq!(all_crashes.crashes(), all_crashes.departures());
+        assert!(all_crashes.departures() > 0);
+    }
+
+    #[test]
+    fn short_sessions_mean_more_departures_inside_the_trace() {
+        let short = generate_trace(&config(SessionModel::Fixed { length: 5.0 }), &mut rng(5)).unwrap();
+        let long = generate_trace(&config(SessionModel::Fixed { length: 900.0 }), &mut rng(5)).unwrap();
+        assert!(short.departures() > long.departures());
+    }
+
+    #[test]
+    fn traces_are_deterministic_for_a_fixed_seed() {
+        let cfg = config(SessionModel::Pareto { shape: 2.0, minimum: 8.0 });
+        let a = generate_trace(&cfg, &mut rng(42)).unwrap();
+        let b = generate_trace(&cfg, &mut rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the overlay simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the live-overlay simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// An operation referenced a peer that is not (or no longer) part of the overlay.
+    UnknownPeer {
+        /// The raw peer identifier that was not found.
+        peer: u64,
+    },
+    /// The overlay is empty, so the requested operation (query, random peer pick) cannot
+    /// proceed.
+    EmptyOverlay,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::UnknownPeer { peer } => write!(f, "peer p{peer} is not part of the overlay"),
+            SimError::EmptyOverlay => write!(f, "the overlay contains no peers"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::InvalidConfig { reason: "rate must be positive" }.to_string(),
+            "invalid configuration: rate must be positive"
+        );
+        assert_eq!(SimError::UnknownPeer { peer: 9 }.to_string(), "peer p9 is not part of the overlay");
+        assert_eq!(SimError::EmptyOverlay.to_string(), "the overlay contains no peers");
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,683 @@
+//! The live unstructured overlay: peers with hard degree cutoffs joining, leaving,
+//! crashing, and repairing.
+//!
+//! This realizes the paper's future-work direction (§VI): maintaining a scale-free-like
+//! overlay with hard cutoffs under churn, while keeping the messaging overhead of join and
+//! leave operations small. Join strategies mirror the paper's generators: uniform random
+//! attachment (baseline), degree-preferential attachment (PA-like), and hop-and-attempt
+//! (HAPA-like, using only links that already exist).
+
+use crate::catalog::ItemId;
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sfo_core::DegreeCutoff;
+use sfo_graph::{Graph, NodeId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Identifier of a live peer. Unlike graph node ids, peer ids are never reused after a
+/// peer departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(u64);
+
+impl PeerId {
+    /// Returns the raw numeric identifier.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs an arbitrary peer id for negative-path tests within this crate.
+    #[cfg(test)]
+    pub(crate) fn new_for_tests(raw: u64) -> Self {
+        PeerId(raw)
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How a joining peer chooses its neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinStrategy {
+    /// Connect to peers chosen uniformly at random among those below their cutoff.
+    UniformRandom,
+    /// Connect to peers with probability proportional to their degree (PA-like); requires
+    /// global degree knowledge, kept as the quality baseline.
+    DegreePreferential,
+    /// Start at a random peer and hop along existing links, attempting each visited peer
+    /// with the preferential-acceptance rule (HAPA-like, partially local information).
+    HopAndAttempt {
+        /// Maximum number of hops the joining peer spends looking for each link.
+        max_hops_per_link: usize,
+    },
+}
+
+/// Configuration of the live overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// Number of links a joining peer tries to establish (the paper's `m`).
+    pub stubs: usize,
+    /// Hard cutoff every peer imposes on its own degree.
+    pub cutoff: DegreeCutoff,
+    /// Neighbor-selection strategy at join time.
+    pub join_strategy: JoinStrategy,
+    /// Whether the neighbors of a gracefully leaving peer rewire among themselves to
+    /// preserve connectivity.
+    pub repair_on_leave: bool,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            stubs: 3,
+            cutoff: DegreeCutoff::hard(30),
+            join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 200 },
+            repair_on_leave: true,
+        }
+    }
+}
+
+/// What a join operation achieved and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinOutcome {
+    /// The id assigned to the new peer.
+    pub peer: PeerId,
+    /// Number of links actually established (at most `stubs`).
+    pub links_established: usize,
+    /// Number of control messages spent contacting candidate neighbors.
+    pub messages: usize,
+}
+
+/// What a graceful leave cost and repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LeaveOutcome {
+    /// Number of replacement links created among the departed peer's former neighbors.
+    pub repaired_links: usize,
+    /// Number of control messages spent on departure notification and repair.
+    pub messages: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PeerState {
+    neighbors: Vec<PeerId>,
+    items: BTreeSet<ItemId>,
+}
+
+/// A live unstructured P2P overlay with hard degree cutoffs.
+///
+/// # Example
+///
+/// ```
+/// use sfo_sim::overlay::{OverlayConfig, OverlayNetwork};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), sfo_sim::SimError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut overlay = OverlayNetwork::new(OverlayConfig::default())?;
+/// for _ in 0..50 {
+///     overlay.join(&mut rng);
+/// }
+/// assert_eq!(overlay.peer_count(), 50);
+/// assert!(overlay.max_degree().unwrap() <= 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayNetwork {
+    config: OverlayConfig,
+    states: HashMap<PeerId, PeerState>,
+    /// Dense list of live peers for O(1) uniform sampling.
+    roster: Vec<PeerId>,
+    roster_index: HashMap<PeerId, usize>,
+    next_id: u64,
+    edge_count: usize,
+}
+
+impl OverlayNetwork {
+    /// Creates an empty overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `stubs` is zero or the cutoff is smaller than
+    /// one.
+    pub fn new(config: OverlayConfig) -> Result<Self> {
+        if config.stubs == 0 {
+            return Err(SimError::InvalidConfig { reason: "stubs must be at least 1" });
+        }
+        if let Some(k_c) = config.cutoff.value() {
+            if k_c == 0 {
+                return Err(SimError::InvalidConfig { reason: "cutoff must admit at least one link" });
+            }
+        }
+        Ok(OverlayNetwork {
+            config,
+            states: HashMap::new(),
+            roster: Vec::new(),
+            roster_index: HashMap::new(),
+            next_id: 0,
+            edge_count: 0,
+        })
+    }
+
+    /// Returns the overlay configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.config
+    }
+
+    /// Returns the number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.roster.len()
+    }
+
+    /// Returns the number of overlay links.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the peer is currently part of the overlay.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.states.contains_key(&peer)
+    }
+
+    /// Returns an iterator over the live peers.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.roster.iter().copied()
+    }
+
+    /// Returns the neighbors of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if the peer is not part of the overlay.
+    pub fn neighbors(&self, peer: PeerId) -> Result<&[PeerId]> {
+        self.states
+            .get(&peer)
+            .map(|s| s.neighbors.as_slice())
+            .ok_or(SimError::UnknownPeer { peer: peer.raw() })
+    }
+
+    /// Returns the degree of a peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if the peer is not part of the overlay.
+    pub fn degree(&self, peer: PeerId) -> Result<usize> {
+        Ok(self.neighbors(peer)?.len())
+    }
+
+    /// Returns a uniformly random live peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyOverlay`] when no peers are present.
+    pub fn random_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<PeerId> {
+        if self.roster.is_empty() {
+            return Err(SimError::EmptyOverlay);
+        }
+        Ok(self.roster[rng.gen_range(0..self.roster.len())])
+    }
+
+    /// Returns the degrees of all live peers (iteration order follows the roster).
+    pub fn degrees(&self) -> Vec<usize> {
+        self.roster.iter().map(|p| self.states[p].neighbors.len()).collect()
+    }
+
+    /// Returns the largest peer degree, or `None` for an empty overlay.
+    pub fn max_degree(&self) -> Option<usize> {
+        self.degrees().into_iter().max()
+    }
+
+    /// Returns the mean peer degree, or 0.0 for an empty overlay.
+    pub fn mean_degree(&self) -> f64 {
+        if self.roster.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.roster.len() as f64
+        }
+    }
+
+    /// Stores a replica of `item` at `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if the peer is not part of the overlay.
+    pub fn store_item(&mut self, peer: PeerId, item: ItemId) -> Result<()> {
+        self.states
+            .get_mut(&peer)
+            .map(|s| {
+                s.items.insert(item);
+            })
+            .ok_or(SimError::UnknownPeer { peer: peer.raw() })
+    }
+
+    /// Returns `true` if the peer currently stores a replica of `item`.
+    pub fn holds_item(&self, peer: PeerId, item: ItemId) -> bool {
+        self.states.get(&peer).is_some_and(|s| s.items.contains(&item))
+    }
+
+    /// Adds a new peer and connects it according to the configured join strategy.
+    pub fn join<R: Rng + ?Sized>(&mut self, rng: &mut R) -> JoinOutcome {
+        let peer = PeerId(self.next_id);
+        self.next_id += 1;
+        self.states.insert(peer, PeerState::default());
+        self.roster_index.insert(peer, self.roster.len());
+        self.roster.push(peer);
+
+        let mut links = 0usize;
+        let mut messages = 0usize;
+        if self.roster.len() > 1 {
+            for _ in 0..self.config.stubs {
+                let (target, probes) = match self.config.join_strategy {
+                    JoinStrategy::UniformRandom => self.pick_uniform(peer, rng),
+                    JoinStrategy::DegreePreferential => self.pick_preferential(peer, rng),
+                    JoinStrategy::HopAndAttempt { max_hops_per_link } => {
+                        self.pick_hop_and_attempt(peer, max_hops_per_link, rng)
+                    }
+                };
+                messages += probes;
+                match target {
+                    Some(t) => {
+                        self.connect(peer, t);
+                        links += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        JoinOutcome { peer, links_established: links, messages }
+    }
+
+    /// Removes a peer gracefully; its former neighbors may rewire among themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if the peer is not part of the overlay.
+    pub fn leave<R: Rng + ?Sized>(&mut self, peer: PeerId, rng: &mut R) -> Result<LeaveOutcome> {
+        let former = self.remove_peer(peer)?;
+        // One departure notification per former neighbor.
+        let mut outcome = LeaveOutcome { repaired_links: 0, messages: former.len() };
+        if self.config.repair_on_leave && former.len() >= 2 {
+            // Pair up former neighbors in random order; each pair attempts one replacement
+            // link, which succeeds when both sides are still below their cutoff and the
+            // link does not already exist.
+            let mut shuffled = former;
+            for i in (1..shuffled.len()).rev() {
+                shuffled.swap(i, rng.gen_range(0..=i));
+            }
+            for pair in shuffled.chunks_exact(2) {
+                let (a, b) = (pair[0], pair[1]);
+                outcome.messages += 1;
+                if self.can_link(a, b) {
+                    self.connect(a, b);
+                    outcome.repaired_links += 1;
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Removes a peer abruptly: no notification, no repair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if the peer is not part of the overlay.
+    pub fn crash(&mut self, peer: PeerId) -> Result<()> {
+        self.remove_peer(peer)?;
+        Ok(())
+    }
+
+    /// Builds a static snapshot of the overlay as a graph for analysis, together with the
+    /// mapping from graph node index to peer id (ordered by the internal roster).
+    pub fn snapshot(&self) -> (Graph, Vec<PeerId>) {
+        let mut graph = Graph::with_nodes(self.roster.len());
+        let index: HashMap<PeerId, usize> =
+            self.roster.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        for (i, peer) in self.roster.iter().enumerate() {
+            for neighbor in &self.states[peer].neighbors {
+                let j = index[neighbor];
+                if i < j {
+                    graph
+                        .add_edge(NodeId::new(i), NodeId::new(j))
+                        .expect("snapshot edges are unique and in bounds");
+                }
+            }
+        }
+        (graph, self.roster.clone())
+    }
+
+    fn remove_peer(&mut self, peer: PeerId) -> Result<Vec<PeerId>> {
+        let state = self.states.remove(&peer).ok_or(SimError::UnknownPeer { peer: peer.raw() })?;
+        for neighbor in &state.neighbors {
+            if let Some(n_state) = self.states.get_mut(neighbor) {
+                if let Some(pos) = n_state.neighbors.iter().position(|&p| p == peer) {
+                    n_state.neighbors.swap_remove(pos);
+                }
+            }
+        }
+        self.edge_count -= state.neighbors.len();
+        let pos = self.roster_index.remove(&peer).expect("roster index in sync");
+        self.roster.swap_remove(pos);
+        if let Some(&moved) = self.roster.get(pos) {
+            self.roster_index.insert(moved, pos);
+        }
+        Ok(state.neighbors)
+    }
+
+    fn can_link(&self, a: PeerId, b: PeerId) -> bool {
+        if a == b || !self.contains(a) || !self.contains(b) {
+            return false;
+        }
+        let sa = &self.states[&a];
+        let sb = &self.states[&b];
+        !sa.neighbors.contains(&b)
+            && self.config.cutoff.admits(sa.neighbors.len())
+            && self.config.cutoff.admits(sb.neighbors.len())
+    }
+
+    fn connect(&mut self, a: PeerId, b: PeerId) {
+        debug_assert!(self.can_link(a, b) || self.states[&a].neighbors.len() < usize::MAX);
+        self.states.get_mut(&a).expect("peer a exists").neighbors.push(b);
+        self.states.get_mut(&b).expect("peer b exists").neighbors.push(a);
+        self.edge_count += 1;
+    }
+
+    /// Candidate acceptable as a new neighbor of `joining`.
+    fn acceptable(&self, joining: PeerId, candidate: PeerId) -> bool {
+        candidate != joining
+            && self.config.cutoff.admits(self.states[&candidate].neighbors.len())
+            && !self.states[&joining].neighbors.contains(&candidate)
+    }
+
+    fn pick_uniform<R: Rng + ?Sized>(&self, joining: PeerId, rng: &mut R) -> (Option<PeerId>, usize) {
+        let mut probes = 0usize;
+        // Bounded rejection sampling, then an exact scan so saturation cannot stall a join.
+        for _ in 0..32 {
+            probes += 1;
+            let candidate = self.roster[rng.gen_range(0..self.roster.len())];
+            if self.acceptable(joining, candidate) {
+                return (Some(candidate), probes);
+            }
+        }
+        let eligible: Vec<PeerId> =
+            self.roster.iter().copied().filter(|&p| self.acceptable(joining, p)).collect();
+        probes += 1;
+        if eligible.is_empty() {
+            (None, probes)
+        } else {
+            (Some(eligible[rng.gen_range(0..eligible.len())]), probes)
+        }
+    }
+
+    fn pick_preferential<R: Rng + ?Sized>(
+        &self,
+        joining: PeerId,
+        rng: &mut R,
+    ) -> (Option<PeerId>, usize) {
+        let eligible: Vec<(PeerId, usize)> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|&p| self.acceptable(joining, p))
+            .map(|p| (p, self.states[&p].neighbors.len() + 1))
+            .collect();
+        if eligible.is_empty() {
+            return (None, 1);
+        }
+        let total: usize = eligible.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (peer, weight) in &eligible {
+            if pick < *weight {
+                return (Some(*peer), 1);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick is bounded by the total weight")
+    }
+
+    fn pick_hop_and_attempt<R: Rng + ?Sized>(
+        &self,
+        joining: PeerId,
+        max_hops: usize,
+        rng: &mut R,
+    ) -> (Option<PeerId>, usize) {
+        let k_total = (2 * self.edge_count).max(1);
+        let mut probes = 0usize;
+        let mut current = self.roster[rng.gen_range(0..self.roster.len())];
+        for _ in 0..max_hops.max(1) {
+            probes += 1;
+            if self.acceptable(joining, current) {
+                let k = self.states[&current].neighbors.len();
+                let acceptance = (k as f64 / k_total as f64).max(1.0 / self.roster.len() as f64);
+                if rng.gen::<f64>() < acceptance {
+                    return (Some(current), probes);
+                }
+            }
+            let neighbors = &self.states[&current].neighbors;
+            current = if neighbors.is_empty() {
+                self.roster[rng.gen_range(0..self.roster.len())]
+            } else {
+                neighbors[rng.gen_range(0..neighbors.len())]
+            };
+        }
+        // Hop budget exhausted: fall back to a uniform eligible peer so the join completes.
+        let (fallback, extra) = self.pick_uniform(joining, rng);
+        (fallback, probes + extra)
+    }
+
+    /// Asserts internal consistency (mirrored adjacency, roster/index agreement, edge
+    /// count). Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first inconsistency found.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.roster.len(), self.states.len());
+        let mut half_edges = 0usize;
+        for (peer, state) in &self.states {
+            assert_eq!(self.roster[self.roster_index[peer]], *peer);
+            for neighbor in &state.neighbors {
+                assert!(neighbor != peer, "self-loop on {peer}");
+                assert!(
+                    self.states[neighbor].neighbors.contains(peer),
+                    "link {peer}-{neighbor} not mirrored"
+                );
+            }
+            half_edges += state.neighbors.len();
+        }
+        assert_eq!(half_edges, 2 * self.edge_count, "edge count out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_graph::traversal;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn config(strategy: JoinStrategy) -> OverlayConfig {
+        OverlayConfig {
+            stubs: 2,
+            cutoff: DegreeCutoff::hard(10),
+            join_strategy: strategy,
+            repair_on_leave: true,
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut bad = OverlayConfig::default();
+        bad.stubs = 0;
+        assert!(OverlayNetwork::new(bad).is_err());
+        let mut zero_cutoff = OverlayConfig::default();
+        zero_cutoff.cutoff = DegreeCutoff::hard(0);
+        assert!(OverlayNetwork::new(zero_cutoff).is_err());
+    }
+
+    #[test]
+    fn joins_grow_the_overlay_and_respect_cutoffs() {
+        for strategy in [
+            JoinStrategy::UniformRandom,
+            JoinStrategy::DegreePreferential,
+            JoinStrategy::HopAndAttempt { max_hops_per_link: 50 },
+        ] {
+            let mut overlay = OverlayNetwork::new(config(strategy)).unwrap();
+            let mut r = rng(1);
+            for _ in 0..120 {
+                overlay.join(&mut r);
+            }
+            assert_eq!(overlay.peer_count(), 120);
+            assert!(overlay.max_degree().unwrap() <= 10, "{strategy:?}");
+            overlay.assert_consistent();
+            let (graph, peers) = overlay.snapshot();
+            assert_eq!(graph.node_count(), 120);
+            assert_eq!(peers.len(), 120);
+            assert!(traversal::giant_component_fraction(&graph) > 0.9, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn first_join_establishes_no_links() {
+        let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        let outcome = overlay.join(&mut rng(2));
+        assert_eq!(outcome.links_established, 0);
+        assert_eq!(overlay.edge_count(), 0);
+        assert_eq!(overlay.degree(outcome.peer).unwrap(), 0);
+    }
+
+    #[test]
+    fn join_outcomes_report_messages_and_links() {
+        let mut overlay = OverlayNetwork::new(config(JoinStrategy::UniformRandom)).unwrap();
+        let mut r = rng(3);
+        overlay.join(&mut r);
+        let second = overlay.join(&mut r);
+        assert_eq!(second.links_established, 1, "only one other peer exists");
+        assert!(second.messages >= 1);
+        let third = overlay.join(&mut r);
+        assert_eq!(third.links_established, 2);
+    }
+
+    #[test]
+    fn graceful_leave_repairs_links() {
+        let mut overlay = OverlayNetwork::new(config(JoinStrategy::UniformRandom)).unwrap();
+        let mut r = rng(4);
+        for _ in 0..60 {
+            overlay.join(&mut r);
+        }
+        let victim = overlay.random_peer(&mut r).unwrap();
+        let victim_degree = overlay.degree(victim).unwrap();
+        let outcome = overlay.leave(victim, &mut r).unwrap();
+        assert!(!overlay.contains(victim));
+        assert_eq!(overlay.peer_count(), 59);
+        assert!(outcome.messages >= victim_degree);
+        overlay.assert_consistent();
+        // Leaving twice is an error.
+        assert_eq!(overlay.leave(victim, &mut r), Err(SimError::UnknownPeer { peer: victim.raw() }));
+    }
+
+    #[test]
+    fn crash_removes_without_repair_messages() {
+        let mut overlay = OverlayNetwork::new(config(JoinStrategy::DegreePreferential)).unwrap();
+        let mut r = rng(5);
+        for _ in 0..40 {
+            overlay.join(&mut r);
+        }
+        let victim = overlay.random_peer(&mut r).unwrap();
+        overlay.crash(victim).unwrap();
+        assert!(!overlay.contains(victim));
+        assert_eq!(overlay.peer_count(), 39);
+        overlay.assert_consistent();
+        assert!(overlay.crash(victim).is_err());
+    }
+
+    #[test]
+    fn repair_can_be_disabled() {
+        let mut cfg = config(JoinStrategy::UniformRandom);
+        cfg.repair_on_leave = false;
+        let mut overlay = OverlayNetwork::new(cfg).unwrap();
+        let mut r = rng(6);
+        for _ in 0..30 {
+            overlay.join(&mut r);
+        }
+        let victim = overlay.random_peer(&mut r).unwrap();
+        let outcome = overlay.leave(victim, &mut r).unwrap();
+        assert_eq!(outcome.repaired_links, 0);
+    }
+
+    #[test]
+    fn degree_preferential_creates_heavier_hubs_than_uniform() {
+        let mut uniform_max = 0usize;
+        let mut pref_max = 0usize;
+        for seed in 0..5u64 {
+            let mut cfg = config(JoinStrategy::UniformRandom);
+            cfg.cutoff = DegreeCutoff::Unbounded;
+            cfg.stubs = 1;
+            let mut uniform = OverlayNetwork::new(cfg).unwrap();
+            cfg.join_strategy = JoinStrategy::DegreePreferential;
+            let mut pref = OverlayNetwork::new(cfg).unwrap();
+            let mut r1 = rng(seed);
+            let mut r2 = rng(seed);
+            for _ in 0..500 {
+                uniform.join(&mut r1);
+                pref.join(&mut r2);
+            }
+            uniform_max += uniform.max_degree().unwrap();
+            pref_max += pref.max_degree().unwrap();
+        }
+        assert!(
+            pref_max > uniform_max,
+            "preferential joins should grow bigger hubs ({pref_max} vs {uniform_max})"
+        );
+    }
+
+    #[test]
+    fn item_storage_and_lookup() {
+        let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        let mut r = rng(7);
+        let a = overlay.join(&mut r).peer;
+        let item = ItemId::new(42);
+        assert!(!overlay.holds_item(a, item));
+        overlay.store_item(a, item).unwrap();
+        assert!(overlay.holds_item(a, item));
+        let ghost = PeerId(999);
+        assert!(overlay.store_item(ghost, item).is_err());
+        assert!(!overlay.holds_item(ghost, item));
+    }
+
+    #[test]
+    fn random_peer_on_empty_overlay_is_an_error() {
+        let overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        assert_eq!(overlay.random_peer(&mut rng(8)), Err(SimError::EmptyOverlay));
+        assert_eq!(overlay.mean_degree(), 0.0);
+        assert_eq!(overlay.max_degree(), None);
+    }
+
+    #[test]
+    fn unknown_peer_queries_error() {
+        let overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        let ghost = PeerId(5);
+        assert!(overlay.neighbors(ghost).is_err());
+        assert!(overlay.degree(ghost).is_err());
+    }
+
+    #[test]
+    fn peer_ids_are_never_reused() {
+        let mut overlay = OverlayNetwork::new(config(JoinStrategy::UniformRandom)).unwrap();
+        let mut r = rng(9);
+        let first = overlay.join(&mut r).peer;
+        let second = overlay.join(&mut r).peer;
+        overlay.leave(first, &mut r).unwrap();
+        let third = overlay.join(&mut r).peer;
+        assert_ne!(third, first);
+        assert_ne!(third, second);
+        assert_eq!(format!("{first}"), "p0");
+    }
+}

@@ -1,0 +1,294 @@
+//! Item lookups over the live overlay.
+//!
+//! Unlike the coverage searches of `sfo-search` (which measure how many peers a query can
+//! reach), these queries look for a *replica of a specific item* and report whether it was
+//! found, after how many hops, and at what message cost. Flooding and normalized flooding
+//! keep propagating until their TTL expires (independent branches cannot be stopped, as the
+//! paper notes for FL), whereas a random walk terminates as soon as it finds a replica.
+
+use crate::catalog::ItemId;
+use crate::overlay::{OverlayNetwork, PeerId};
+use crate::{Result, SimError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+
+/// Which lookup algorithm a query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryMethod {
+    /// Forward to every neighbor except the previous hop (Gnutella-style flooding).
+    Flooding,
+    /// Forward to at most `k_min` random neighbors (normalized flooding).
+    NormalizedFlooding {
+        /// Fan-out bound.
+        k_min: usize,
+    },
+    /// A single random walker that stops as soon as it finds a replica.
+    RandomWalk,
+}
+
+/// Outcome of one item lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Whether a replica was found within the TTL.
+    pub found: bool,
+    /// Hop count at which the first replica was found, when found.
+    pub hops_to_find: Option<u32>,
+    /// Number of query messages transmitted.
+    pub messages: usize,
+    /// Number of distinct peers that processed the query (excluding the source).
+    pub peers_probed: usize,
+}
+
+/// Runs one item lookup from `source`.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownPeer`] if `source` is not part of the overlay and
+/// [`SimError::InvalidConfig`] if a normalized flood is configured with a zero fan-out.
+pub fn run_query<R: Rng + ?Sized>(
+    overlay: &OverlayNetwork,
+    method: QueryMethod,
+    source: PeerId,
+    item: ItemId,
+    ttl: u32,
+    rng: &mut R,
+) -> Result<QueryOutcome> {
+    if !overlay.contains(source) {
+        return Err(SimError::UnknownPeer { peer: source.raw() });
+    }
+    match method {
+        QueryMethod::Flooding => Ok(flood_query(overlay, source, item, ttl, None, rng)),
+        QueryMethod::NormalizedFlooding { k_min } => {
+            if k_min == 0 {
+                return Err(SimError::InvalidConfig { reason: "normalized flooding fan-out must be positive" });
+            }
+            Ok(flood_query(overlay, source, item, ttl, Some(k_min), rng))
+        }
+        QueryMethod::RandomWalk => Ok(walk_query(overlay, source, item, ttl, rng)),
+    }
+}
+
+/// Flooding (optionally fan-out-limited) lookup.
+fn flood_query<R: Rng + ?Sized>(
+    overlay: &OverlayNetwork,
+    source: PeerId,
+    item: ItemId,
+    ttl: u32,
+    fan_out: Option<usize>,
+    rng: &mut R,
+) -> QueryOutcome {
+    // The source checks its own store first; that costs no messages.
+    if overlay.holds_item(source, item) {
+        return QueryOutcome { found: true, hops_to_find: Some(0), messages: 0, peers_probed: 0 };
+    }
+    let mut outcome = QueryOutcome::default();
+    let mut visited: HashSet<PeerId> = HashSet::from([source]);
+    let mut queue: VecDeque<(PeerId, Option<PeerId>, u32)> = VecDeque::new();
+    queue.push_back((source, None, 0));
+    let mut scratch: Vec<PeerId> = Vec::new();
+
+    while let Some((peer, from, depth)) = queue.pop_front() {
+        if depth >= ttl {
+            continue;
+        }
+        let neighbors = overlay.neighbors(peer).expect("queued peers are alive");
+        scratch.clear();
+        scratch.extend(neighbors.iter().copied().filter(|&n| Some(n) != from));
+        let targets: &[PeerId] = match fan_out {
+            Some(k) if scratch.len() > k => scratch.partial_shuffle(rng, k).0,
+            _ => &scratch,
+        };
+        for &next in targets {
+            outcome.messages += 1;
+            if visited.insert(next) {
+                outcome.peers_probed += 1;
+                if overlay.holds_item(next, item) && !outcome.found {
+                    outcome.found = true;
+                    outcome.hops_to_find = Some(depth + 1);
+                }
+                queue.push_back((next, Some(peer), depth + 1));
+            }
+        }
+    }
+    outcome
+}
+
+/// Random-walk lookup that terminates on the first replica found.
+fn walk_query<R: Rng + ?Sized>(
+    overlay: &OverlayNetwork,
+    source: PeerId,
+    item: ItemId,
+    ttl: u32,
+    rng: &mut R,
+) -> QueryOutcome {
+    if overlay.holds_item(source, item) {
+        return QueryOutcome { found: true, hops_to_find: Some(0), messages: 0, peers_probed: 0 };
+    }
+    let mut outcome = QueryOutcome::default();
+    let mut visited: HashSet<PeerId> = HashSet::from([source]);
+    let mut current = source;
+    let mut previous: Option<PeerId> = None;
+    for hop in 1..=ttl {
+        let neighbors = overlay.neighbors(current).expect("walk stays on live peers");
+        let next = match neighbors.len() {
+            0 => break,
+            1 => neighbors[0],
+            _ => loop {
+                let candidate = neighbors[rng.gen_range(0..neighbors.len())];
+                if Some(candidate) != previous {
+                    break candidate;
+                }
+            },
+        };
+        outcome.messages += 1;
+        if visited.insert(next) {
+            outcome.peers_probed += 1;
+        }
+        if overlay.holds_item(next, item) {
+            outcome.found = true;
+            outcome.hops_to_find = Some(hop);
+            break;
+        }
+        previous = Some(current);
+        current = next;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{JoinStrategy, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_core::DegreeCutoff;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn build_overlay(peers: usize, seed: u64) -> OverlayNetwork {
+        let config = OverlayConfig {
+            stubs: 3,
+            cutoff: DegreeCutoff::hard(20),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        };
+        let mut overlay = OverlayNetwork::new(config).unwrap();
+        let mut r = rng(seed);
+        for _ in 0..peers {
+            overlay.join(&mut r);
+        }
+        overlay
+    }
+
+    #[test]
+    fn source_holding_the_item_costs_nothing() {
+        let mut overlay = build_overlay(20, 1);
+        let mut r = rng(2);
+        let source = overlay.random_peer(&mut r).unwrap();
+        let item = ItemId::new(1);
+        overlay.store_item(source, item).unwrap();
+        for method in [
+            QueryMethod::Flooding,
+            QueryMethod::NormalizedFlooding { k_min: 2 },
+            QueryMethod::RandomWalk,
+        ] {
+            let o = run_query(&overlay, method, source, item, 5, &mut r).unwrap();
+            assert!(o.found);
+            assert_eq!(o.hops_to_find, Some(0));
+            assert_eq!(o.messages, 0);
+        }
+    }
+
+    #[test]
+    fn flooding_finds_a_well_replicated_item() {
+        let mut overlay = build_overlay(100, 3);
+        let mut r = rng(4);
+        let item = ItemId::new(7);
+        // Replicate on 10 random peers.
+        for _ in 0..10 {
+            let holder = overlay.random_peer(&mut r).unwrap();
+            overlay.store_item(holder, item).unwrap();
+        }
+        let source = overlay.random_peer(&mut r).unwrap();
+        let o = run_query(&overlay, QueryMethod::Flooding, source, item, 10, &mut r).unwrap();
+        assert!(o.found, "a 10% replicated item should be found by a deep flood");
+        assert!(o.hops_to_find.unwrap() >= 1 || o.messages == 0);
+        assert!(o.messages > 0);
+    }
+
+    #[test]
+    fn missing_item_is_not_found_but_messages_are_spent() {
+        let overlay = build_overlay(50, 5);
+        let mut r = rng(6);
+        let source = overlay.peers().next().unwrap();
+        for method in [
+            QueryMethod::Flooding,
+            QueryMethod::NormalizedFlooding { k_min: 2 },
+            QueryMethod::RandomWalk,
+        ] {
+            let o = run_query(&overlay, method, source, ItemId::new(999), 6, &mut r).unwrap();
+            assert!(!o.found);
+            assert_eq!(o.hops_to_find, None);
+            assert!(o.messages > 0);
+        }
+    }
+
+    #[test]
+    fn normalized_flooding_spends_fewer_messages_than_flooding() {
+        let overlay = build_overlay(150, 7);
+        let mut r = rng(8);
+        let source = overlay.peers().next().unwrap();
+        let item = ItemId::new(3); // not stored anywhere: worst case message cost
+        let fl = run_query(&overlay, QueryMethod::Flooding, source, item, 5, &mut r).unwrap();
+        let nf = run_query(&overlay, QueryMethod::NormalizedFlooding { k_min: 2 }, source, item, 5, &mut r)
+            .unwrap();
+        assert!(nf.messages < fl.messages);
+    }
+
+    #[test]
+    fn random_walk_stops_when_it_finds_the_item() {
+        let mut overlay = build_overlay(60, 9);
+        let mut r = rng(10);
+        let item = ItemId::new(2);
+        // Store the item everywhere so the walk must find it on its first hop.
+        let peers: Vec<PeerId> = overlay.peers().collect();
+        for p in peers {
+            overlay.store_item(p, item).unwrap();
+        }
+        let source = overlay.random_peer(&mut r).unwrap();
+        let o = run_query(&overlay, QueryMethod::RandomWalk, source, item, 50, &mut r).unwrap();
+        assert!(o.found);
+        assert_eq!(o.hops_to_find, Some(0), "the source itself holds a replica");
+    }
+
+    #[test]
+    fn zero_ttl_probes_nobody() {
+        let overlay = build_overlay(30, 11);
+        let mut r = rng(12);
+        let source = overlay.peers().next().unwrap();
+        let o = run_query(&overlay, QueryMethod::Flooding, source, ItemId::new(5), 0, &mut r).unwrap();
+        assert_eq!(o, QueryOutcome::default());
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let overlay = build_overlay(10, 13);
+        let mut r = rng(14);
+        let source = overlay.peers().next().unwrap();
+        let ghost = PeerId::new_for_tests(10_000);
+        assert!(run_query(&overlay, QueryMethod::Flooding, ghost, ItemId::new(0), 3, &mut r).is_err());
+        assert!(run_query(
+            &overlay,
+            QueryMethod::NormalizedFlooding { k_min: 0 },
+            source,
+            ItemId::new(0),
+            3,
+            &mut r
+        )
+        .is_err());
+    }
+}

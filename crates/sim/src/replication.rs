@@ -1,0 +1,302 @@
+//! Replication strategies for the item catalog (Cohen & Shenker, paper ref. [22]).
+//!
+//! How many copies of each item the overlay keeps determines how far a blind search has to
+//! look. The replication literature the paper cites compares three allocation rules given a
+//! fixed total replica budget:
+//!
+//! * **uniform** — every item gets the same number of copies, regardless of popularity;
+//! * **proportional** — copies proportional to query popularity, which is what passive
+//!   caching converges to;
+//! * **square-root** — copies proportional to the square root of popularity, which
+//!   minimizes the expected search size for blind (random-probe) searches and is the rule
+//!   the end-to-end simulation uses by default.
+//!
+//! [`allocate`] turns a [`Catalog`] plus a strategy and a replica budget into a per-item
+//! replica count, and [`place`] scatters those replicas over the live overlay.
+
+use crate::catalog::{Catalog, ItemId};
+use crate::overlay::OverlayNetwork;
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Replica-allocation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicationStrategy {
+    /// Same number of copies for every item.
+    Uniform,
+    /// Copies proportional to query popularity.
+    Proportional,
+    /// Copies proportional to the square root of query popularity (optimal for blind
+    /// search under a fixed budget).
+    SquareRoot,
+}
+
+impl ReplicationStrategy {
+    /// Returns the un-normalized allocation weight of an item with query probability `p`.
+    fn weight(&self, p: f64) -> f64 {
+        match self {
+            ReplicationStrategy::Uniform => 1.0,
+            ReplicationStrategy::Proportional => p,
+            ReplicationStrategy::SquareRoot => p.sqrt(),
+        }
+    }
+}
+
+/// Per-item replica allocation produced by [`allocate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaAllocation {
+    /// Number of replicas for each catalog rank (index = rank).
+    pub replicas: Vec<usize>,
+}
+
+impl ReplicaAllocation {
+    /// Returns the replica count of the item with the given rank (0 outside the catalog).
+    pub fn count(&self, rank: u64) -> usize {
+        self.replicas.get(rank as usize).copied().unwrap_or(0)
+    }
+
+    /// Returns the total number of replicas allocated.
+    pub fn total(&self) -> usize {
+        self.replicas.iter().sum()
+    }
+}
+
+/// Allocates `budget` replicas over the catalog according to `strategy`.
+///
+/// Every item receives at least one copy (otherwise it would be unfindable no matter the
+/// search); the remaining budget is distributed by largest remainder so the total is as
+/// close to `budget` as the at-least-one constraint allows.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] if `budget` is smaller than the catalog size.
+pub fn allocate(
+    catalog: &Catalog,
+    strategy: ReplicationStrategy,
+    budget: usize,
+) -> Result<ReplicaAllocation> {
+    let items = catalog.len();
+    if budget < items {
+        return Err(SimError::InvalidConfig {
+            reason: "replica budget must allow at least one copy per item",
+        });
+    }
+    let weights: Vec<f64> =
+        (0..items as u64).map(|rank| strategy.weight(catalog.query_probability(rank))).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let spare = budget - items;
+
+    // Ideal fractional share of the spare budget, then largest-remainder rounding.
+    let shares: Vec<f64> = weights
+        .iter()
+        .map(|w| if total_weight > 0.0 { w / total_weight * spare as f64 } else { 0.0 })
+        .collect();
+    let mut replicas: Vec<usize> = shares.iter().map(|s| 1 + s.floor() as usize).collect();
+    let mut assigned: usize = replicas.iter().sum();
+
+    let mut remainders: Vec<(usize, f64)> =
+        shares.iter().enumerate().map(|(i, s)| (i, s - s.floor())).collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
+    let mut idx = 0;
+    while assigned < budget && !remainders.is_empty() {
+        replicas[remainders[idx % remainders.len()].0] += 1;
+        assigned += 1;
+        idx += 1;
+    }
+
+    Ok(ReplicaAllocation { replicas })
+}
+
+/// Places an allocation onto the live overlay: each replica goes to a uniformly random
+/// peer (a peer may hold several items, but duplicate copies of the *same* item on the same
+/// peer are avoided when the overlay is large enough to allow it).
+///
+/// Returns the number of replicas actually stored.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptyOverlay`] if the overlay has no peers.
+pub fn place<R: Rng + ?Sized>(
+    overlay: &mut OverlayNetwork,
+    allocation: &ReplicaAllocation,
+    rng: &mut R,
+) -> Result<usize> {
+    if overlay.peer_count() == 0 {
+        return Err(SimError::EmptyOverlay);
+    }
+    let mut stored = 0usize;
+    for (rank, &count) in allocation.replicas.iter().enumerate() {
+        let item = ItemId::new(rank as u64);
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < count && attempts < count * 8 {
+            attempts += 1;
+            let peer = overlay.random_peer(rng)?;
+            if overlay.holds_item(peer, item) {
+                continue;
+            }
+            overlay.store_item(peer, item)?;
+            placed += 1;
+            stored += 1;
+        }
+        // Tiny overlays may not have enough distinct peers; accept double placement then.
+        while placed < count {
+            let peer = overlay.random_peer(rng)?;
+            overlay.store_item(peer, item)?;
+            placed += 1;
+            stored += 1;
+        }
+    }
+    Ok(stored)
+}
+
+/// Expected number of random probes needed to find each item under blind search, given an
+/// allocation over a population of `peers` peers: `peers / replicas_i`, averaged with the
+/// catalog's query probabilities. This is the quantity the square-root rule minimizes.
+pub fn expected_search_size(
+    catalog: &Catalog,
+    allocation: &ReplicaAllocation,
+    peers: usize,
+) -> f64 {
+    (0..catalog.len() as u64)
+        .map(|rank| {
+            let replicas = allocation.count(rank).max(1);
+            catalog.query_probability(rank) * peers as f64 / replicas as f64
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{JoinStrategy, OverlayConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_core::DegreeCutoff;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::new(20, 1.0).unwrap()
+    }
+
+    #[test]
+    fn budget_below_catalog_size_is_rejected() {
+        assert!(allocate(&catalog(), ReplicationStrategy::Uniform, 19).is_err());
+        assert!(allocate(&catalog(), ReplicationStrategy::Uniform, 20).is_ok());
+    }
+
+    #[test]
+    fn every_item_gets_at_least_one_copy_and_totals_match_the_budget() {
+        for strategy in [
+            ReplicationStrategy::Uniform,
+            ReplicationStrategy::Proportional,
+            ReplicationStrategy::SquareRoot,
+        ] {
+            let allocation = allocate(&catalog(), strategy, 200).unwrap();
+            assert_eq!(allocation.replicas.len(), 20);
+            assert!(allocation.replicas.iter().all(|&r| r >= 1), "{strategy:?}");
+            assert_eq!(allocation.total(), 200, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_allocation_is_flat() {
+        let allocation = allocate(&catalog(), ReplicationStrategy::Uniform, 200).unwrap();
+        let min = allocation.replicas.iter().min().unwrap();
+        let max = allocation.replicas.iter().max().unwrap();
+        assert!(max - min <= 1, "uniform allocation should differ by at most one copy");
+    }
+
+    #[test]
+    fn proportional_tracks_popularity_more_steeply_than_square_root() {
+        let proportional = allocate(&catalog(), ReplicationStrategy::Proportional, 400).unwrap();
+        let square_root = allocate(&catalog(), ReplicationStrategy::SquareRoot, 400).unwrap();
+        // Popular items get more copies under both, but the ratio between the most and the
+        // least popular item is larger under proportional.
+        assert!(proportional.count(0) > proportional.count(19));
+        assert!(square_root.count(0) > square_root.count(19));
+        let prop_ratio = proportional.count(0) as f64 / proportional.count(19) as f64;
+        let sqrt_ratio = square_root.count(0) as f64 / square_root.count(19) as f64;
+        assert!(
+            prop_ratio > sqrt_ratio,
+            "proportional ratio {prop_ratio} should exceed square-root ratio {sqrt_ratio}"
+        );
+    }
+
+    #[test]
+    fn square_root_minimizes_expected_search_size() {
+        let cat = catalog();
+        let budget = 300;
+        let peers = 1_000;
+        let uniform = expected_search_size(&cat, &allocate(&cat, ReplicationStrategy::Uniform, budget).unwrap(), peers);
+        let proportional = expected_search_size(
+            &cat,
+            &allocate(&cat, ReplicationStrategy::Proportional, budget).unwrap(),
+            peers,
+        );
+        let square_root = expected_search_size(
+            &cat,
+            &allocate(&cat, ReplicationStrategy::SquareRoot, budget).unwrap(),
+            peers,
+        );
+        assert!(
+            square_root <= uniform + 1e-9 && square_root <= proportional + 1e-9,
+            "square-root ({square_root}) should beat uniform ({uniform}) and proportional ({proportional})"
+        );
+    }
+
+    #[test]
+    fn placement_stores_every_replica() {
+        let config = OverlayConfig {
+            stubs: 2,
+            cutoff: DegreeCutoff::hard(15),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        };
+        let mut overlay = OverlayNetwork::new(config).unwrap();
+        let mut r = rng(1);
+        for _ in 0..100 {
+            overlay.join(&mut r);
+        }
+        let allocation = allocate(&catalog(), ReplicationStrategy::SquareRoot, 150).unwrap();
+        let stored = place(&mut overlay, &allocation, &mut r).unwrap();
+        assert_eq!(stored, allocation.total());
+        // The most popular item must be findable on at least one peer.
+        let holders = overlay
+            .peers()
+            .filter(|&p| overlay.holds_item(p, ItemId::new(0)))
+            .count();
+        assert!(holders >= 1);
+        assert!(holders <= allocation.count(0));
+    }
+
+    #[test]
+    fn placement_on_an_empty_overlay_is_an_error() {
+        let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        let allocation = allocate(&catalog(), ReplicationStrategy::Uniform, 40).unwrap();
+        assert_eq!(place(&mut overlay, &allocation, &mut rng(2)), Err(SimError::EmptyOverlay));
+    }
+
+    #[test]
+    fn tiny_overlay_accepts_double_placement() {
+        let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+        let mut r = rng(3);
+        for _ in 0..3 {
+            overlay.join(&mut r);
+        }
+        let cat = Catalog::new(2, 1.0).unwrap();
+        let allocation = allocate(&cat, ReplicationStrategy::Uniform, 10).unwrap();
+        let stored = place(&mut overlay, &allocation, &mut r).unwrap();
+        assert_eq!(stored, 10, "placement must not stall when peers < replicas");
+    }
+
+    #[test]
+    fn allocation_count_outside_catalog_is_zero() {
+        let allocation = allocate(&catalog(), ReplicationStrategy::Uniform, 40).unwrap();
+        assert_eq!(allocation.count(999), 0);
+    }
+}

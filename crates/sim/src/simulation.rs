@@ -1,0 +1,408 @@
+//! End-to-end overlay simulation: churn plus a query workload, driven by the discrete-event
+//! queue.
+//!
+//! The simulation bootstraps an overlay, replicates a Zipf-popular item catalog over the
+//! peers, then processes join, leave, crash, query, and snapshot events whose interarrival
+//! times are exponential with configurable rates. The report tracks overlay health (size,
+//! degrees, connectivity) over time alongside query success rates and messaging cost —
+//! exactly the quantities one needs to judge whether hard cutoffs plus simple join/repair
+//! rules keep an unstructured overlay searchable under churn (the paper's future-work
+//! question).
+
+use crate::catalog::Catalog;
+use crate::events::{Event, EventKind, EventQueue, Tick};
+use crate::overlay::{OverlayConfig, OverlayNetwork};
+use crate::query::{run_query, QueryMethod};
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sfo_graph::traversal;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of peers joined before the clock starts.
+    pub initial_peers: usize,
+    /// Length of the run in ticks.
+    pub duration: Tick,
+    /// Expected peer joins per tick (0 disables joins).
+    pub join_rate: f64,
+    /// Expected graceful leaves per tick (0 disables leaves).
+    pub leave_rate: f64,
+    /// Expected crashes per tick (0 disables crashes).
+    pub crash_rate: f64,
+    /// Expected queries per tick (0 disables the workload).
+    pub query_rate: f64,
+    /// Time-to-live of every query.
+    pub query_ttl: u32,
+    /// Lookup algorithm used by queries.
+    pub query_method: QueryMethod,
+    /// Live-overlay configuration (stubs, cutoff, join strategy, repair).
+    pub overlay: OverlayConfig,
+    /// Number of items in the catalog.
+    pub catalog_items: usize,
+    /// Zipf skew of query popularity.
+    pub catalog_skew: f64,
+    /// Replicas of the most popular item (others follow the square-root rule).
+    pub base_replicas: usize,
+    /// Interval between overlay-health snapshots, in ticks.
+    pub snapshot_interval: Tick,
+}
+
+impl SimulationConfig {
+    /// A small configuration suitable for unit tests and doc examples: a few hundred peers,
+    /// moderate churn, normalized-flooding queries.
+    pub fn small() -> Self {
+        SimulationConfig {
+            initial_peers: 200,
+            duration: 200,
+            join_rate: 0.5,
+            leave_rate: 0.3,
+            crash_rate: 0.1,
+            query_rate: 2.0,
+            query_ttl: 6,
+            query_method: QueryMethod::NormalizedFlooding { k_min: 3 },
+            overlay: OverlayConfig::default(),
+            catalog_items: 50,
+            catalog_skew: 1.0,
+            base_replicas: 8,
+            snapshot_interval: 25,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.initial_peers == 0 {
+            return Err(SimError::InvalidConfig { reason: "initial_peers must be positive" });
+        }
+        if self.duration == 0 {
+            return Err(SimError::InvalidConfig { reason: "duration must be positive" });
+        }
+        for rate in [self.join_rate, self.leave_rate, self.crash_rate, self.query_rate] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(SimError::InvalidConfig { reason: "event rates must be finite and non-negative" });
+            }
+        }
+        if self.snapshot_interval == 0 {
+            return Err(SimError::InvalidConfig { reason: "snapshot_interval must be positive" });
+        }
+        if self.base_replicas == 0 {
+            return Err(SimError::InvalidConfig { reason: "base_replicas must be positive" });
+        }
+        Ok(())
+    }
+}
+
+/// One overlay-health sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlaySample {
+    /// When the sample was taken.
+    pub time: Tick,
+    /// Number of live peers.
+    pub peers: usize,
+    /// Number of overlay links.
+    pub edges: usize,
+    /// Mean peer degree.
+    pub mean_degree: f64,
+    /// Largest peer degree (bounded by the hard cutoff).
+    pub max_degree: usize,
+    /// Fraction of peers in the largest connected component.
+    pub giant_component_fraction: f64,
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Periodic overlay-health samples.
+    pub samples: Vec<OverlaySample>,
+    /// Number of queries issued.
+    pub queries_issued: usize,
+    /// Number of queries that found a replica within their TTL.
+    pub queries_successful: usize,
+    /// Total messages spent by queries.
+    pub query_messages: usize,
+    /// Total hops to the first replica, summed over successful queries.
+    pub total_hops_to_find: u64,
+    /// Number of peers that joined after bootstrap.
+    pub joins: usize,
+    /// Number of graceful leaves.
+    pub leaves: usize,
+    /// Number of crashes.
+    pub crashes: usize,
+    /// Control messages spent by joins (neighbor probes).
+    pub join_messages: usize,
+    /// Control messages spent by leaves (notifications and repair probes).
+    pub leave_messages: usize,
+    /// Number of peers alive at the end of the run.
+    pub final_peers: usize,
+}
+
+impl SimReport {
+    /// Fraction of queries that succeeded, or 0.0 when none were issued.
+    pub fn success_rate(&self) -> f64 {
+        if self.queries_issued == 0 {
+            0.0
+        } else {
+            self.queries_successful as f64 / self.queries_issued as f64
+        }
+    }
+
+    /// Mean messages per query, or 0.0 when none were issued.
+    pub fn mean_query_messages(&self) -> f64 {
+        if self.queries_issued == 0 {
+            0.0
+        } else {
+            self.query_messages as f64 / self.queries_issued as f64
+        }
+    }
+
+    /// Mean hops to the first replica over successful queries, or 0.0 when none succeeded.
+    pub fn mean_hops_to_find(&self) -> f64 {
+        if self.queries_successful == 0 {
+            0.0
+        } else {
+            self.total_hops_to_find as f64 / self.queries_successful as f64
+        }
+    }
+
+    /// Mean control messages per churn event (join, leave), or 0.0 without churn.
+    pub fn mean_churn_messages(&self) -> f64 {
+        let events = self.joins + self.leaves;
+        if events == 0 {
+            0.0
+        } else {
+            (self.join_messages + self.leave_messages) as f64 / events as f64
+        }
+    }
+}
+
+/// A configured simulation, ready to run.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimulationConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any rate, size, or interval is out of range.
+    pub fn new(config: SimulationConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Simulation { config })
+    }
+
+    /// Returns the configuration this simulation will run.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates overlay errors, which indicate a bug in the simulator rather than a user
+    /// mistake (all event handlers check their preconditions).
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SimReport> {
+        let cfg = &self.config;
+        let mut overlay = OverlayNetwork::new(cfg.overlay)?;
+        let catalog = Catalog::new(cfg.catalog_items, cfg.catalog_skew)?;
+        let mut report = SimReport::default();
+
+        // Bootstrap peers.
+        for _ in 0..cfg.initial_peers {
+            overlay.join(rng);
+        }
+
+        // Replicate the catalog over the bootstrap population.
+        for rank in 0..cfg.catalog_items as u64 {
+            let replicas = catalog.replica_count(rank, cfg.base_replicas);
+            for _ in 0..replicas {
+                let holder = overlay.random_peer(rng)?;
+                overlay.store_item(holder, crate::catalog::ItemId::new(rank))?;
+            }
+        }
+
+        let mut queue = EventQueue::new();
+        let schedule_next = |queue: &mut EventQueue, now: Tick, kind: EventKind, rate: f64, rng: &mut R| {
+            if rate <= 0.0 {
+                return;
+            }
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let gap = (-u.ln() / rate).ceil().max(1.0) as Tick;
+            queue.schedule(Event { time: now + gap, kind });
+        };
+
+        schedule_next(&mut queue, 0, EventKind::PeerJoin, cfg.join_rate, rng);
+        schedule_next(&mut queue, 0, EventKind::PeerLeave, cfg.leave_rate, rng);
+        schedule_next(&mut queue, 0, EventKind::PeerCrash, cfg.crash_rate, rng);
+        schedule_next(&mut queue, 0, EventKind::Query, cfg.query_rate, rng);
+        queue.schedule(Event { time: 0, kind: EventKind::Snapshot });
+
+        while let Some(event) = queue.pop() {
+            if event.time > cfg.duration {
+                break;
+            }
+            match event.kind {
+                EventKind::PeerJoin => {
+                    let outcome = overlay.join(rng);
+                    report.joins += 1;
+                    report.join_messages += outcome.messages;
+                    schedule_next(&mut queue, event.time, EventKind::PeerJoin, cfg.join_rate, rng);
+                }
+                EventKind::PeerLeave => {
+                    if overlay.peer_count() > 2 {
+                        let victim = overlay.random_peer(rng)?;
+                        let outcome = overlay.leave(victim, rng)?;
+                        report.leaves += 1;
+                        report.leave_messages += outcome.messages;
+                    }
+                    schedule_next(&mut queue, event.time, EventKind::PeerLeave, cfg.leave_rate, rng);
+                }
+                EventKind::PeerCrash => {
+                    if overlay.peer_count() > 2 {
+                        let victim = overlay.random_peer(rng)?;
+                        overlay.crash(victim)?;
+                        report.crashes += 1;
+                    }
+                    schedule_next(&mut queue, event.time, EventKind::PeerCrash, cfg.crash_rate, rng);
+                }
+                EventKind::Query => {
+                    if overlay.peer_count() > 0 {
+                        let source = overlay.random_peer(rng)?;
+                        let item = catalog.sample_query(rng);
+                        let outcome =
+                            run_query(&overlay, cfg.query_method, source, item, cfg.query_ttl, rng)?;
+                        report.queries_issued += 1;
+                        report.query_messages += outcome.messages;
+                        if outcome.found {
+                            report.queries_successful += 1;
+                            report.total_hops_to_find += u64::from(outcome.hops_to_find.unwrap_or(0));
+                        }
+                    }
+                    schedule_next(&mut queue, event.time, EventKind::Query, cfg.query_rate, rng);
+                }
+                EventKind::Snapshot => {
+                    let (graph, _) = overlay.snapshot();
+                    report.samples.push(OverlaySample {
+                        time: event.time,
+                        peers: overlay.peer_count(),
+                        edges: overlay.edge_count(),
+                        mean_degree: overlay.mean_degree(),
+                        max_degree: overlay.max_degree().unwrap_or(0),
+                        giant_component_fraction: traversal::giant_component_fraction(&graph),
+                    });
+                    let next = event.time + cfg.snapshot_interval;
+                    if next <= cfg.duration {
+                        queue.schedule(Event { time: next, kind: EventKind::Snapshot });
+                    }
+                }
+            }
+        }
+
+        report.final_peers = overlay.peer_count();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_core::DegreeCutoff;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut cfg = SimulationConfig::small();
+        cfg.initial_peers = 0;
+        assert!(Simulation::new(cfg).is_err());
+        cfg = SimulationConfig::small();
+        cfg.duration = 0;
+        assert!(Simulation::new(cfg).is_err());
+        cfg = SimulationConfig::small();
+        cfg.join_rate = -1.0;
+        assert!(Simulation::new(cfg).is_err());
+        cfg = SimulationConfig::small();
+        cfg.snapshot_interval = 0;
+        assert!(Simulation::new(cfg).is_err());
+        cfg = SimulationConfig::small();
+        cfg.base_replicas = 0;
+        assert!(Simulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn small_run_produces_activity_and_snapshots() {
+        let sim = Simulation::new(SimulationConfig::small()).unwrap();
+        let report = sim.run(&mut rng(1)).unwrap();
+        assert!(report.queries_issued > 50);
+        assert!(report.queries_successful > 0);
+        assert!(report.success_rate() > 0.3, "success rate {}", report.success_rate());
+        assert!(report.joins > 0);
+        assert!(report.leaves > 0);
+        assert!(!report.samples.is_empty());
+        assert!(report.final_peers > 0);
+        assert!(report.mean_query_messages() > 0.0);
+        assert!(report.mean_hops_to_find() >= 0.0);
+        assert!(report.mean_churn_messages() > 0.0);
+        // Snapshots are ordered in time and respect the cutoff.
+        for w in report.samples.windows(2) {
+            assert!(w[0].time < w[1].time);
+        }
+        for s in &report.samples {
+            assert!(s.max_degree <= 30);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let sim = Simulation::new(SimulationConfig::small()).unwrap();
+        let a = sim.run(&mut rng(42)).unwrap();
+        let b = sim.run(&mut rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_churn_run_without_queries() {
+        let mut cfg = SimulationConfig::small();
+        cfg.query_rate = 0.0;
+        cfg.duration = 100;
+        let report = Simulation::new(cfg).unwrap().run(&mut rng(3)).unwrap();
+        assert_eq!(report.queries_issued, 0);
+        assert_eq!(report.success_rate(), 0.0);
+        assert_eq!(report.mean_query_messages(), 0.0);
+        assert!(report.joins + report.leaves + report.crashes > 0);
+    }
+
+    #[test]
+    fn heavy_leave_rate_shrinks_the_overlay_but_keeps_it_connected() {
+        let mut cfg = SimulationConfig::small();
+        cfg.initial_peers = 300;
+        cfg.join_rate = 0.2;
+        cfg.leave_rate = 1.0;
+        cfg.crash_rate = 0.5;
+        cfg.duration = 150;
+        cfg.query_rate = 0.0;
+        cfg.overlay.stubs = 3;
+        cfg.overlay.cutoff = DegreeCutoff::hard(20);
+        let report = Simulation::new(cfg).unwrap().run(&mut rng(5)).unwrap();
+        assert!(report.final_peers < 300);
+        let last = report.samples.last().unwrap();
+        assert!(
+            last.giant_component_fraction > 0.8,
+            "repair should keep the overlay mostly connected, got {}",
+            last.giant_component_fraction
+        );
+    }
+
+    #[test]
+    fn config_accessor_round_trips() {
+        let cfg = SimulationConfig::small();
+        let sim = Simulation::new(cfg).unwrap();
+        assert_eq!(sim.config(), &cfg);
+    }
+}

@@ -1,0 +1,362 @@
+//! Replaying churn traces against the live overlay, with an optional query workload.
+//!
+//! [`crate::simulation::Simulation`] draws its churn on the fly from memoryless rates. The
+//! trace runner replays a pre-generated [`ChurnTrace`] instead, so the *same* sequence of
+//! arrivals and departures (with heavy-tailed session lengths, crash mix, and timing) can be
+//! applied to different overlay configurations — the controlled-comparison setup needed to
+//! answer "does a hard cutoff help under this exact churn?" rather than "under churn of
+//! roughly this intensity". Between churn events the runner issues lookups from a
+//! [`Workload`] (stationary or flash crowd) over a replicated catalog and samples overlay
+//! health at a fixed interval.
+
+use crate::catalog::Catalog;
+use crate::churn::{ChurnAction, ChurnTrace};
+use crate::events::Tick;
+use crate::overlay::{OverlayConfig, OverlayNetwork, PeerId};
+use crate::query::{run_query, QueryMethod};
+use crate::replication::{allocate, place, ReplicationStrategy};
+use crate::simulation::OverlaySample;
+use crate::workload::Workload;
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sfo_graph::traversal;
+use std::collections::HashMap;
+
+/// Configuration of a trace replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRunConfig {
+    /// Overlay configuration (stubs, cutoff, join strategy, repair).
+    pub overlay: OverlayConfig,
+    /// Number of peers joined before the trace starts.
+    pub bootstrap_peers: usize,
+    /// Item catalog size.
+    pub catalog_items: usize,
+    /// Zipf skew of the catalog.
+    pub catalog_skew: f64,
+    /// Replica-allocation rule applied to the bootstrap population.
+    pub replication: ReplicationStrategy,
+    /// Total replica budget (must be at least `catalog_items`).
+    pub replica_budget: usize,
+    /// Query workload issued between churn events.
+    pub workload: Workload,
+    /// Queries issued per tick of simulated time (0 disables the workload).
+    pub queries_per_tick: f64,
+    /// TTL of every lookup.
+    pub query_ttl: u32,
+    /// Lookup algorithm.
+    pub query_method: QueryMethod,
+    /// Interval between overlay-health samples, in ticks.
+    pub snapshot_interval: Tick,
+}
+
+impl TraceRunConfig {
+    /// A small configuration suitable for tests and examples.
+    pub fn small() -> Self {
+        TraceRunConfig {
+            overlay: OverlayConfig::default(),
+            bootstrap_peers: 150,
+            catalog_items: 40,
+            catalog_skew: 1.0,
+            replication: ReplicationStrategy::SquareRoot,
+            replica_budget: 200,
+            workload: Workload::Stationary,
+            queries_per_tick: 1.0,
+            query_ttl: 6,
+            query_method: QueryMethod::NormalizedFlooding { k_min: 3 },
+            snapshot_interval: 50,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.bootstrap_peers == 0 {
+            return Err(SimError::InvalidConfig { reason: "bootstrap_peers must be positive" });
+        }
+        if self.replica_budget < self.catalog_items {
+            return Err(SimError::InvalidConfig {
+                reason: "replica budget must allow one copy per catalog item",
+            });
+        }
+        if !self.queries_per_tick.is_finite() || self.queries_per_tick < 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: "queries_per_tick must be finite and non-negative",
+            });
+        }
+        if self.snapshot_interval == 0 {
+            return Err(SimError::InvalidConfig { reason: "snapshot_interval must be positive" });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of replaying one churn trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceRunReport {
+    /// Periodic overlay-health samples.
+    pub samples: Vec<OverlaySample>,
+    /// Trace arrivals that were applied (each becomes a join).
+    pub arrivals_applied: usize,
+    /// Graceful departures applied.
+    pub leaves_applied: usize,
+    /// Crashes applied.
+    pub crashes_applied: usize,
+    /// Departure events whose peer had already disappeared (bootstrap victims, double
+    /// events) and were skipped.
+    pub departures_skipped: usize,
+    /// Lookups issued.
+    pub queries_issued: usize,
+    /// Lookups that found a replica within the TTL.
+    pub queries_successful: usize,
+    /// Total lookup messages.
+    pub query_messages: usize,
+    /// Control messages spent on joins and leave repair.
+    pub control_messages: usize,
+    /// Peers alive when the trace ended.
+    pub final_peers: usize,
+}
+
+impl TraceRunReport {
+    /// Fraction of lookups that succeeded, or 0.0 when none were issued.
+    pub fn success_rate(&self) -> f64 {
+        if self.queries_issued == 0 {
+            0.0
+        } else {
+            self.queries_successful as f64 / self.queries_issued as f64
+        }
+    }
+
+    /// Smallest giant-component fraction observed across the samples (1.0 when no sample
+    /// was taken).
+    pub fn worst_connectivity(&self) -> f64 {
+        self.samples.iter().map(|s| s.giant_component_fraction).fold(1.0, f64::min)
+    }
+}
+
+/// Replays `trace` against a freshly bootstrapped overlay and returns the report.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for inconsistent configurations; overlay errors
+/// indicate a bug in the runner itself.
+pub fn run_trace<R: Rng + ?Sized>(
+    config: &TraceRunConfig,
+    trace: &ChurnTrace,
+    rng: &mut R,
+) -> Result<TraceRunReport> {
+    config.validate()?;
+    let catalog = Catalog::new(config.catalog_items, config.catalog_skew)?;
+    config.workload.validate(&catalog)?;
+
+    let mut overlay = OverlayNetwork::new(config.overlay)?;
+    let mut report = TraceRunReport::default();
+
+    for _ in 0..config.bootstrap_peers {
+        let outcome = overlay.join(rng);
+        report.control_messages += outcome.messages;
+    }
+    let allocation = allocate(&catalog, config.replication, config.replica_budget)?;
+    place(&mut overlay, &allocation, rng)?;
+
+    let mut session_peers: HashMap<usize, PeerId> = HashMap::new();
+    let mut now: Tick = 0;
+    let mut next_snapshot: Tick = 0;
+    let end_time = trace.events.last().map(|e| e.time).unwrap_or(0);
+
+    let issue_queries = |overlay: &OverlayNetwork,
+                             report: &mut TraceRunReport,
+                             from: Tick,
+                             to: Tick,
+                             rng: &mut R|
+     -> Result<()> {
+        if config.queries_per_tick <= 0.0 || overlay.peer_count() == 0 {
+            return Ok(());
+        }
+        let expected = (to.saturating_sub(from)) as f64 * config.queries_per_tick;
+        let count = expected.floor() as usize
+            + usize::from(rng.gen::<f64>() < expected.fract());
+        for _ in 0..count {
+            let source = overlay.random_peer(rng)?;
+            let item = config.workload.sample_query(&catalog, to, rng);
+            let outcome =
+                run_query(overlay, config.query_method, source, item, config.query_ttl, rng)?;
+            report.queries_issued += 1;
+            report.query_messages += outcome.messages;
+            if outcome.found {
+                report.queries_successful += 1;
+            }
+        }
+        Ok(())
+    };
+
+    for event in &trace.events {
+        // Fill the gap since the previous event with workload queries and snapshots.
+        issue_queries(&overlay, &mut report, now, event.time, rng)?;
+        while next_snapshot <= event.time {
+            report.samples.push(sample(&overlay, next_snapshot));
+            next_snapshot += config.snapshot_interval;
+        }
+        now = event.time;
+
+        match event.action {
+            ChurnAction::Arrive => {
+                let outcome = overlay.join(rng);
+                report.control_messages += outcome.messages;
+                report.arrivals_applied += 1;
+                session_peers.insert(event.session, outcome.peer);
+            }
+            ChurnAction::DepartGracefully => match session_peers.remove(&event.session) {
+                Some(peer) if overlay.contains(peer) => {
+                    let outcome = overlay.leave(peer, rng)?;
+                    report.control_messages += outcome.messages;
+                    report.leaves_applied += 1;
+                }
+                _ => report.departures_skipped += 1,
+            },
+            ChurnAction::Crash => match session_peers.remove(&event.session) {
+                Some(peer) if overlay.contains(peer) => {
+                    overlay.crash(peer)?;
+                    report.crashes_applied += 1;
+                }
+                _ => report.departures_skipped += 1,
+            },
+        }
+    }
+    // Final snapshot at the end of the trace.
+    report.samples.push(sample(&overlay, end_time));
+    report.final_peers = overlay.peer_count();
+    Ok(report)
+}
+
+fn sample(overlay: &OverlayNetwork, time: Tick) -> OverlaySample {
+    let (graph, _) = overlay.snapshot();
+    OverlaySample {
+        time,
+        peers: overlay.peer_count(),
+        edges: overlay.edge_count(),
+        mean_degree: overlay.mean_degree(),
+        max_degree: overlay.max_degree().unwrap_or(0),
+        giant_component_fraction: traversal::giant_component_fraction(&graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ItemId;
+    use crate::churn::{generate_trace, ChurnTraceConfig, SessionModel};
+    use crate::overlay::JoinStrategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfo_core::DegreeCutoff;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn trace(seed: u64) -> ChurnTrace {
+        generate_trace(
+            &ChurnTraceConfig {
+                duration: 300,
+                arrival_rate: 0.4,
+                sessions: SessionModel::Exponential { mean: 80.0 },
+                crash_fraction: 0.25,
+            },
+            &mut rng(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let trace = trace(1);
+        let mut r = rng(2);
+        let mut cfg = TraceRunConfig::small();
+        cfg.bootstrap_peers = 0;
+        assert!(run_trace(&cfg, &trace, &mut r).is_err());
+        cfg = TraceRunConfig::small();
+        cfg.replica_budget = 1;
+        assert!(run_trace(&cfg, &trace, &mut r).is_err());
+        cfg = TraceRunConfig::small();
+        cfg.queries_per_tick = -1.0;
+        assert!(run_trace(&cfg, &trace, &mut r).is_err());
+        cfg = TraceRunConfig::small();
+        cfg.snapshot_interval = 0;
+        assert!(run_trace(&cfg, &trace, &mut r).is_err());
+        cfg = TraceRunConfig::small();
+        cfg.workload = Workload::FlashCrowd {
+            hot_item: ItemId::new(9_999),
+            start: 0,
+            end: 10,
+            intensity: 0.5,
+        };
+        assert!(run_trace(&cfg, &trace, &mut r).is_err());
+    }
+
+    #[test]
+    fn replay_applies_the_trace_and_keeps_the_overlay_searchable() {
+        let trace = trace(3);
+        let report = run_trace(&TraceRunConfig::small(), &trace, &mut rng(4)).unwrap();
+        assert_eq!(report.arrivals_applied, trace.arrivals);
+        assert_eq!(
+            report.leaves_applied + report.crashes_applied + report.departures_skipped,
+            trace.departures()
+        );
+        assert!(report.queries_issued > 100);
+        assert!(report.success_rate() > 0.5, "success rate {}", report.success_rate());
+        assert!(!report.samples.is_empty());
+        assert!(report.final_peers > 0);
+        assert!(report.worst_connectivity() > 0.7, "worst connectivity {}", report.worst_connectivity());
+        // Samples respect the default hard cutoff of 30.
+        for s in &report.samples {
+            assert!(s.max_degree <= 30);
+        }
+    }
+
+    #[test]
+    fn same_trace_same_seed_is_deterministic() {
+        let trace = trace(5);
+        let a = run_trace(&TraceRunConfig::small(), &trace, &mut rng(6)).unwrap();
+        let b = run_trace(&TraceRunConfig::small(), &trace, &mut rng(6)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_trace_compares_overlay_configurations_fairly() {
+        // The point of trace replay: both configurations see the identical churn sequence.
+        let trace = trace(7);
+        let mut tight = TraceRunConfig::small();
+        tight.overlay = OverlayConfig {
+            stubs: 3,
+            cutoff: DegreeCutoff::hard(8),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        };
+        let mut loose = tight.clone();
+        loose.overlay.cutoff = DegreeCutoff::Unbounded;
+        let report_tight = run_trace(&tight, &trace, &mut rng(8)).unwrap();
+        let report_loose = run_trace(&loose, &trace, &mut rng(8)).unwrap();
+        assert_eq!(report_tight.arrivals_applied, report_loose.arrivals_applied);
+        assert!(report_tight.samples.iter().all(|s| s.max_degree <= 8));
+        assert!(report_loose.samples.iter().any(|s| s.max_degree > 8));
+    }
+
+    #[test]
+    fn workload_can_be_disabled() {
+        let trace = trace(9);
+        let mut cfg = TraceRunConfig::small();
+        cfg.queries_per_tick = 0.0;
+        let report = run_trace(&cfg, &trace, &mut rng(10)).unwrap();
+        assert_eq!(report.queries_issued, 0);
+        assert_eq!(report.success_rate(), 0.0);
+        assert!(report.arrivals_applied > 0);
+    }
+
+    #[test]
+    fn empty_trace_still_reports_the_bootstrap_overlay() {
+        let empty = ChurnTrace { events: Vec::new(), arrivals: 0 };
+        let report = run_trace(&TraceRunConfig::small(), &empty, &mut rng(11)).unwrap();
+        assert_eq!(report.arrivals_applied, 0);
+        assert_eq!(report.final_peers, 150);
+        assert_eq!(report.samples.len(), 1, "only the final snapshot");
+    }
+}

@@ -1,0 +1,214 @@
+//! Query workloads: stationary Zipf popularity and flash crowds.
+//!
+//! The paper's related work highlights "handling of dynamic flash crowds" as a challenge
+//! for small-world/unstructured overlays (ref. [4]): a previously unremarkable item
+//! suddenly dominates the query stream, and an overlay whose replication and topology were
+//! tuned for the stationary popularity has to absorb it. This module models both regimes on
+//! top of the [`Catalog`]: a stationary workload simply samples the catalog's Zipf law,
+//! while a flash-crowd workload redirects a configurable fraction of queries to one hot
+//! item during a time window.
+
+use crate::catalog::{Catalog, ItemId};
+use crate::events::Tick;
+use crate::{Result, SimError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A time-dependent query workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Queries follow the catalog's stationary Zipf popularity at every tick.
+    Stationary,
+    /// Between `start` and `end` (inclusive), a fraction `intensity` of all queries target
+    /// `hot_item`; the remainder (and all queries outside the window) follow the stationary
+    /// popularity.
+    FlashCrowd {
+        /// The item that becomes suddenly popular.
+        hot_item: ItemId,
+        /// First tick of the flash crowd.
+        start: Tick,
+        /// Last tick of the flash crowd.
+        end: Tick,
+        /// Fraction of in-window queries redirected to the hot item (within `[0, 1]`).
+        intensity: f64,
+    },
+}
+
+impl Workload {
+    /// Validates the workload against a catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the flash-crowd window is inverted, the
+    /// intensity is outside `[0, 1]`, or the hot item is not in the catalog.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        match self {
+            Workload::Stationary => Ok(()),
+            Workload::FlashCrowd { hot_item, start, end, intensity } => {
+                if start > end {
+                    return Err(SimError::InvalidConfig {
+                        reason: "flash-crowd window must not be inverted",
+                    });
+                }
+                if !(0.0..=1.0).contains(intensity) || intensity.is_nan() {
+                    return Err(SimError::InvalidConfig {
+                        reason: "flash-crowd intensity must lie in [0, 1]",
+                    });
+                }
+                if hot_item.rank() as usize >= catalog.len() {
+                    return Err(SimError::InvalidConfig {
+                        reason: "flash-crowd hot item must be part of the catalog",
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns `true` if the flash crowd is active at `time` (always `false` for the
+    /// stationary workload).
+    pub fn is_surging(&self, time: Tick) -> bool {
+        match self {
+            Workload::Stationary => false,
+            Workload::FlashCrowd { start, end, .. } => (*start..=*end).contains(&time),
+        }
+    }
+
+    /// Samples the item a query issued at `time` asks for.
+    pub fn sample_query<R: Rng + ?Sized>(
+        &self,
+        catalog: &Catalog,
+        time: Tick,
+        rng: &mut R,
+    ) -> ItemId {
+        match self {
+            Workload::Stationary => catalog.sample_query(rng),
+            Workload::FlashCrowd { hot_item, intensity, .. } => {
+                if self.is_surging(time) && rng.gen::<f64>() < *intensity {
+                    *hot_item
+                } else {
+                    catalog.sample_query(rng)
+                }
+            }
+        }
+    }
+
+    /// Effective query probability of `item` at `time`, combining the stationary law with
+    /// any active flash crowd.
+    pub fn query_probability(&self, catalog: &Catalog, item: ItemId, time: Tick) -> f64 {
+        let base = catalog.query_probability(item.rank());
+        match self {
+            Workload::Stationary => base,
+            Workload::FlashCrowd { hot_item, intensity, .. } => {
+                if !self.is_surging(time) {
+                    return base;
+                }
+                let diluted = (1.0 - intensity) * base;
+                if item == *hot_item {
+                    diluted + intensity
+                } else {
+                    diluted
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn catalog() -> Catalog {
+        Catalog::new(50, 1.0).unwrap()
+    }
+
+    fn crowd(intensity: f64) -> Workload {
+        Workload::FlashCrowd { hot_item: ItemId::new(30), start: 100, end: 200, intensity }
+    }
+
+    #[test]
+    fn validation_catches_bad_flash_crowds() {
+        let cat = catalog();
+        assert!(Workload::Stationary.validate(&cat).is_ok());
+        assert!(crowd(0.8).validate(&cat).is_ok());
+        let inverted = Workload::FlashCrowd { hot_item: ItemId::new(1), start: 50, end: 10, intensity: 0.5 };
+        assert!(inverted.validate(&cat).is_err());
+        assert!(crowd(1.5).validate(&cat).is_err());
+        let missing = Workload::FlashCrowd { hot_item: ItemId::new(99), start: 0, end: 10, intensity: 0.5 };
+        assert!(missing.validate(&cat).is_err());
+    }
+
+    #[test]
+    fn surge_window_is_inclusive() {
+        let w = crowd(0.5);
+        assert!(!w.is_surging(99));
+        assert!(w.is_surging(100));
+        assert!(w.is_surging(150));
+        assert!(w.is_surging(200));
+        assert!(!w.is_surging(201));
+        assert!(!Workload::Stationary.is_surging(150));
+    }
+
+    #[test]
+    fn stationary_workload_matches_the_catalog_law() {
+        let cat = catalog();
+        let w = Workload::Stationary;
+        for rank in [0u64, 10, 49] {
+            assert_eq!(
+                w.query_probability(&cat, ItemId::new(rank), 7),
+                cat.query_probability(rank)
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_boosts_the_hot_item_inside_the_window_only() {
+        let cat = catalog();
+        let w = crowd(0.7);
+        let hot = ItemId::new(30);
+        let cold = ItemId::new(0);
+        let base_hot = cat.query_probability(30);
+        assert_eq!(w.query_probability(&cat, hot, 50), base_hot);
+        let surged = w.query_probability(&cat, hot, 150);
+        assert!(surged > 0.7, "hot item should absorb the surge, got {surged}");
+        // Other items are diluted during the surge.
+        assert!(w.query_probability(&cat, cold, 150) < cat.query_probability(0));
+        // Probabilities still sum to one during the surge.
+        let total: f64 =
+            (0..50).map(|r| w.query_probability(&cat, ItemId::new(r), 150)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_reflects_the_surge() {
+        let cat = catalog();
+        let w = crowd(0.9);
+        let mut r = rng(1);
+        let in_window = (0..5_000)
+            .filter(|_| w.sample_query(&cat, 150, &mut r) == ItemId::new(30))
+            .count();
+        let out_of_window = (0..5_000)
+            .filter(|_| w.sample_query(&cat, 10, &mut r) == ItemId::new(30))
+            .count();
+        assert!(in_window as f64 / 5_000.0 > 0.8, "in-window share {in_window}");
+        assert!(out_of_window as f64 / 5_000.0 < 0.05, "out-of-window share {out_of_window}");
+    }
+
+    #[test]
+    fn zero_intensity_flash_crowd_is_stationary() {
+        let cat = catalog();
+        let w = crowd(0.0);
+        for rank in [0u64, 30, 49] {
+            assert!(
+                (w.query_probability(&cat, ItemId::new(rank), 150) - cat.query_probability(rank)).abs()
+                    < 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Model zoo: one-line structural summary of every topology generator in the workspace.
+//!
+//! Runs the `generator-zoo` and `hub-load` extension experiments at a reduced scale and
+//! prints their tables: maximum/mean degree, fitted exponent, giant-component fraction, and
+//! how a hard cutoff redistributes betweenness load away from the hubs.
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+
+use sfoverlay::experiments::{run_experiment, Scale};
+
+fn main() {
+    let scale = Scale { degree_nodes: 4_000, search_nodes: 2_000, realizations: 1, searches_per_point: 10 };
+    let seed = 11;
+
+    println!("=== Generator zoo (every mechanism, with and without k_c = 10) ===\n");
+    let zoo = run_experiment("generator-zoo", &scale, seed).expect("generator-zoo is registered");
+    println!("{zoo}");
+
+    println!("\n=== Hub-load redistribution (PA and HAPA, with and without k_c = 10) ===\n");
+    let load = run_experiment("hub-load", &scale, seed).expect("hub-load is registered");
+    println!("{load}");
+
+    println!(
+        "\nWithout a cutoff the preferential mechanisms concentrate links and forwarding load\n\
+         on a handful of hubs (large max degree, large peak betweenness, deep cores); the hard\n\
+         cutoff flattens all three while keeping the overlay connected."
+    );
+}

@@ -1,0 +1,117 @@
+//! Replication playbook: how replica allocation, hard cutoffs, and flash crowds interact on
+//! a live overlay.
+//!
+//! The paper's related work cites the replication results of Cohen & Shenker (uniform /
+//! proportional / square-root allocation) and the flash-crowd concern of small-world P2P
+//! designs. This example builds a live cutoff-bounded overlay with `sfo-sim`, replicates a
+//! Zipf catalog under each allocation rule, measures normalized-flooding lookup success,
+//! and then replays the same lookups during a flash crowd on an unpopular item.
+//!
+//! ```text
+//! cargo run --release --example replication_playbook
+//! ```
+
+use rand::SeedableRng;
+use sfoverlay::prelude::*;
+use sfoverlay::sim::catalog::{Catalog, ItemId};
+use sfoverlay::sim::query::{run_query, QueryMethod};
+use sfoverlay::sim::replication::{allocate, expected_search_size, place};
+use sfoverlay::sim::workload::Workload;
+
+const PEERS: usize = 1_500;
+const ITEMS: usize = 80;
+const BUDGET: usize = ITEMS * 6;
+const QUERIES: usize = 600;
+const TTL: u32 = 5;
+
+fn build_overlay(rng: &mut impl rand::Rng) -> Result<OverlayNetwork, Box<dyn std::error::Error>> {
+    let mut overlay = OverlayNetwork::new(OverlayConfig {
+        stubs: 3,
+        cutoff: DegreeCutoff::hard(12),
+        join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 100 },
+        repair_on_leave: true,
+    })?;
+    for _ in 0..PEERS {
+        overlay.join(rng);
+    }
+    Ok(overlay)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let catalog = Catalog::new(ITEMS, 1.0)?;
+
+    println!("=== Replica allocation under a fixed budget of {BUDGET} copies ===");
+    println!(
+        "{:<14} | {:>20} | {:>12} | {:>16}",
+        "strategy", "expected search size", "success rate", "messages / query"
+    );
+    for strategy in [
+        ReplicationStrategy::Uniform,
+        ReplicationStrategy::Proportional,
+        ReplicationStrategy::SquareRoot,
+    ] {
+        let mut overlay = build_overlay(&mut rng)?;
+        let allocation = allocate(&catalog, strategy, BUDGET)?;
+        place(&mut overlay, &allocation, &mut rng)?;
+
+        let mut successes = 0usize;
+        let mut messages = 0usize;
+        for _ in 0..QUERIES {
+            let source = overlay.random_peer(&mut rng)?;
+            let item = catalog.sample_query(&mut rng);
+            let outcome = run_query(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 3 },
+                source,
+                item,
+                TTL,
+                &mut rng,
+            )?;
+            if outcome.found {
+                successes += 1;
+            }
+            messages += outcome.messages;
+        }
+        println!(
+            "{:<14} | {:>20.1} | {:>12.3} | {:>16.1}",
+            format!("{strategy:?}"),
+            expected_search_size(&catalog, &allocation, PEERS),
+            successes as f64 / QUERIES as f64,
+            messages as f64 / QUERIES as f64,
+        );
+    }
+
+    println!("\n=== Flash crowd on an unpopular item (rank 60) ===");
+    let hot = ItemId::new(60);
+    let crowd = Workload::FlashCrowd { hot_item: hot, start: 0, end: 1_000, intensity: 0.8 };
+    crowd.validate(&catalog)?;
+    let mut overlay = build_overlay(&mut rng)?;
+    let allocation = allocate(&catalog, ReplicationStrategy::SquareRoot, BUDGET)?;
+    place(&mut overlay, &allocation, &mut rng)?;
+    for (label, workload) in [("stationary", Workload::Stationary), ("flash crowd", crowd)] {
+        let mut successes = 0usize;
+        for tick in 0..QUERIES as u64 {
+            let source = overlay.random_peer(&mut rng)?;
+            let item = workload.sample_query(&catalog, tick, &mut rng);
+            let outcome = run_query(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 3 },
+                source,
+                item,
+                TTL,
+                &mut rng,
+            )?;
+            if outcome.found {
+                successes += 1;
+            }
+        }
+        println!("{label:<12}: success rate {:.3}", successes as f64 / QUERIES as f64);
+    }
+    println!(
+        "\nThe square-root allocation keeps the expected search size lowest; during the flash\n\
+         crowd the success rate drops because the suddenly-hot item only carries the few\n\
+         replicas its old popularity earned — the motivation for active re-replication."
+    );
+    Ok(())
+}

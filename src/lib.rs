@@ -1,0 +1,90 @@
+//! # sfoverlay
+//!
+//! Umbrella crate for the reproduction of *"Scale-Free Overlay Topologies with Hard Cutoffs
+//! for Unstructured Peer-to-Peer Networks"* (Guclu & Yuksel, ICDCS 2007).
+//!
+//! It re-exports the workspace crates under stable module names so applications can depend
+//! on a single crate:
+//!
+//! * [`graph`] — graph substrate and substrate-network generators ([`sfo_graph`]).
+//! * [`topology`] — PA, CM, HAPA, and DAPA overlay generators with hard cutoffs, plus the
+//!   modified preferential-attachment family (nonlinear PA, fitness, local events, initial
+//!   attractiveness, uncorrelated CM) ([`sfo_core`]).
+//! * [`search`] — flooding, normalized flooding, and random-walk search ([`sfo_search`]).
+//! * [`analysis`] — histograms, power-law fits, and result series ([`sfo_analysis`]).
+//! * [`sim`] — the live-overlay churn simulator ([`sfo_sim`]).
+//! * [`experiments`] — reproductions of every figure and table of the paper
+//!   ([`sfo_experiments`]).
+//!
+//! The [`prelude`] collects the types needed for the common "generate a topology, run a
+//! search on it" workflow.
+//!
+//! # Example
+//!
+//! ```
+//! use sfoverlay::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let overlay = PreferentialAttachment::new(2_000, 2)?
+//!     .with_cutoff(DegreeCutoff::hard(20))
+//!     .generate(&mut rng)?;
+//! let outcome = NormalizedFlooding::new(2).search(&overlay, NodeId::new(0), 5, &mut rng);
+//! assert!(outcome.hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sfo_analysis as analysis;
+pub use sfo_core as topology;
+pub use sfo_experiments as experiments;
+pub use sfo_graph as graph;
+pub use sfo_search as search;
+pub use sfo_sim as sim;
+
+/// The most commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use sfo_analysis::{DataPoint, DataSeries, FigureData, Summary};
+    pub use sfo_core::attractiveness::InitialAttractiveness;
+    pub use sfo_core::cm::ConfigurationModel;
+    pub use sfo_core::dapa::{DapaOverGrn, DiscoverAndAttempt};
+    pub use sfo_core::fitness::{FitnessDistribution, FitnessModel};
+    pub use sfo_core::hapa::HopAndAttempt;
+    pub use sfo_core::local_events::LocalEventsModel;
+    pub use sfo_core::nonlinear::NonlinearPreferentialAttachment;
+    pub use sfo_core::pa::PreferentialAttachment;
+    pub use sfo_core::ucm::UncorrelatedConfigurationModel;
+    pub use sfo_core::{DegreeCutoff, Locality, StubCount, TopologyError, TopologyGenerator};
+    pub use sfo_graph::{Graph, GraphError, MultiGraph, NodeId};
+    pub use sfo_search::biased_walk::DegreeBiasedWalk;
+    pub use sfo_search::expanding_ring::ExpandingRing;
+    pub use sfo_search::flooding::Flooding;
+    pub use sfo_search::normalized::NormalizedFlooding;
+    pub use sfo_search::probabilistic::ProbabilisticFlooding;
+    pub use sfo_search::random_walk::{MultipleRandomWalk, RandomWalk};
+    pub use sfo_search::{SearchAlgorithm, SearchOutcome};
+    pub use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
+    pub use sfo_sim::replication::ReplicationStrategy;
+    pub use sfo_sim::simulation::{Simulation, SimulationConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        // Type-level smoke test: constructing configurations must work through the prelude.
+        let _ = PreferentialAttachment::new(10, 1).unwrap();
+        let _ = ConfigurationModel::new(10, 2.5, 1).unwrap();
+        let _ = HopAndAttempt::new(10, 1).unwrap();
+        let _ = DapaOverGrn::new(10, 1, 2).unwrap();
+        let _ = Flooding::new();
+        let _ = NormalizedFlooding::new(2);
+        let _ = RandomWalk::new();
+        let _ = DegreeCutoff::hard(5);
+    }
+}

@@ -1,0 +1,312 @@
+//! Integration tests for the extension surface: the modified preferential-attachment
+//! generators, the additional search strategies, the structural metrics, replication, and
+//! the extension experiments — exercised together through the public `sfoverlay` API the
+//! way a downstream user would.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sfoverlay::analysis::kmin::select_k_min;
+use sfoverlay::analysis::stats::{bootstrap_mean_ci, pearson_correlation};
+use sfoverlay::experiments::{run_experiment, Scale};
+use sfoverlay::graph::generators::{random_regular, star_graph};
+use sfoverlay::graph::{centrality, correlations, io, kcore, metrics, traversal, NodeId};
+use sfoverlay::prelude::*;
+use sfoverlay::search::coverage::{coverage_curve, granularity};
+use sfoverlay::search::experiment::ttl_sweep;
+use sfoverlay::sim::catalog::Catalog;
+use sfoverlay::sim::churn::{generate_trace, ChurnTraceConfig, SessionModel};
+use sfoverlay::sim::query::{run_query, QueryMethod};
+use sfoverlay::sim::replication::{allocate, place};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn tiny_scale() -> Scale {
+    Scale { degree_nodes: 500, search_nodes: 400, realizations: 1, searches_per_point: 5 }
+}
+
+/// Every extended generator produces the requested size, respects the hard cutoff, and is
+/// usable through the shared trait object interface.
+#[test]
+fn extended_generators_respect_cutoffs_through_the_trait_interface() {
+    let n = 600;
+    let cutoff = DegreeCutoff::hard(15);
+    let generators: Vec<(Box<dyn TopologyGenerator>, Locality)> = vec![
+        (
+            Box::new(NonlinearPreferentialAttachment::new(n, 2, 0.7).unwrap().with_cutoff(cutoff)),
+            Locality::Global,
+        ),
+        (
+            Box::new(
+                FitnessModel::new(n, 2)
+                    .unwrap()
+                    .with_distribution(FitnessDistribution::UniformRange { min: 0.1, max: 1.0 })
+                    .with_cutoff(cutoff),
+            ),
+            Locality::Global,
+        ),
+        (
+            Box::new(LocalEventsModel::new(n, 2, 0.2, 0.2).unwrap().with_cutoff(cutoff)),
+            Locality::Global,
+        ),
+        (
+            Box::new(InitialAttractiveness::with_target_gamma(n, 2, 2.5).unwrap().with_cutoff(cutoff)),
+            Locality::Global,
+        ),
+        (
+            Box::new(UncorrelatedConfigurationModel::new(n, 2.6, 2).unwrap().with_cutoff(cutoff)),
+            Locality::Global,
+        ),
+    ];
+    for (generator, locality) in &generators {
+        let graph = generator.generate(&mut rng(5)).unwrap();
+        assert_eq!(graph.node_count(), n, "{}", generator.name());
+        assert!(graph.max_degree().unwrap() <= 15, "{}", generator.name());
+        assert_eq!(generator.locality(), *locality, "{}", generator.name());
+        assert_eq!(generator.target_nodes(), n);
+        graph.assert_consistent();
+    }
+}
+
+/// The DMS generator's exponent knob behaves as advertised: smaller target gamma grows
+/// heavier tails, which a Clauset-style fit on the generated network recovers in order.
+#[test]
+fn initial_attractiveness_orders_tails_by_target_gamma() {
+    let heavy = InitialAttractiveness::with_target_gamma(4_000, 2, 2.3)
+        .unwrap()
+        .generate(&mut rng(9))
+        .unwrap();
+    let light = InitialAttractiveness::with_target_gamma(4_000, 2, 3.5)
+        .unwrap()
+        .generate(&mut rng(9))
+        .unwrap();
+    assert!(heavy.max_degree().unwrap() > light.max_degree().unwrap());
+    let fit_heavy = select_k_min(&heavy.degrees(), 2, 8, heavy.max_degree().unwrap()).unwrap();
+    let fit_light = select_k_min(&light.degrees(), 2, 8, light.max_degree().unwrap()).unwrap();
+    assert!(
+        fit_heavy.fit.gamma < fit_light.fit.gamma + 0.5,
+        "fitted exponents should track the target ordering ({} vs {})",
+        fit_heavy.fit.gamma,
+        fit_light.fit.gamma
+    );
+}
+
+/// The paper's headline observation extends to the new practical search strategies:
+/// probabilistic flooding also benefits from hard cutoffs on PA topologies, while plain
+/// flooding loses raw coverage.
+#[test]
+fn hard_cutoffs_help_probabilistic_flooding_but_cost_flooding_coverage() {
+    let n = 1_500;
+    let ttl = [6u32];
+    let free = PreferentialAttachment::new(n, 2).unwrap().generate(&mut rng(21)).unwrap();
+    let capped = PreferentialAttachment::new(n, 2)
+        .unwrap()
+        .with_cutoff(DegreeCutoff::hard(10))
+        .generate(&mut rng(21))
+        .unwrap();
+
+    let fl_free = ttl_sweep(&free, &Flooding::new(), &ttl, 40, &mut rng(1))[0].mean_hits;
+    let fl_capped = ttl_sweep(&capped, &Flooding::new(), &ttl, 40, &mut rng(1))[0].mean_hits;
+    assert!(fl_capped < fl_free, "cutoffs shrink FL coverage ({fl_capped} vs {fl_free})");
+
+    let pfl = ProbabilisticFlooding::new(0.5);
+    let pfl_free = ttl_sweep(&free, &pfl, &ttl, 40, &mut rng(2))[0];
+    let pfl_capped = ttl_sweep(&capped, &pfl, &ttl, 40, &mut rng(2))[0];
+    let eff_free = pfl_free.mean_hits / pfl_free.mean_messages.max(1.0);
+    let eff_capped = pfl_capped.mean_hits / pfl_capped.mean_messages.max(1.0);
+    assert!(
+        eff_capped > eff_free * 0.9,
+        "per-message efficiency should not collapse under the cutoff ({eff_capped} vs {eff_free})"
+    );
+}
+
+/// The degree-biased walk exploits hubs: it covers an unbounded PA overlay faster than the
+/// uniform walk, and the advantage shrinks once a hard cutoff removes the hubs.
+#[test]
+fn degree_biased_walk_relies_on_hubs() {
+    let n = 1_500;
+    let budget = [60u32];
+    let free = PreferentialAttachment::new(n, 2).unwrap().generate(&mut rng(31)).unwrap();
+    let biased = ttl_sweep(&free, &DegreeBiasedWalk::new(), &budget, 40, &mut rng(3))[0].mean_hits;
+    let uniform = ttl_sweep(&free, &RandomWalk::new(), &budget, 40, &mut rng(3))[0].mean_hits;
+    assert!(
+        biased > uniform,
+        "on an unbounded PA overlay the hub-seeking walk should beat the uniform walk \
+         ({biased} vs {uniform})"
+    );
+}
+
+/// Structural metrics agree with each other on generated overlays: core numbers are bounded
+/// by degree, the cutoff caps the degeneracy, and the disassortative knn(k) signature of PA
+/// shows up.
+#[test]
+fn structural_metrics_are_mutually_consistent_on_pa_overlays() {
+    let graph = PreferentialAttachment::new(2_000, 3)
+        .unwrap()
+        .with_cutoff(DegreeCutoff::hard(25))
+        .generate(&mut rng(41))
+        .unwrap();
+    let decomposition = kcore::core_decomposition(&graph);
+    assert!(decomposition.degeneracy <= 25);
+    assert!(decomposition.degeneracy >= 3, "a PA overlay with m=3 contains at least a 3-core");
+    for node in graph.nodes() {
+        assert!(decomposition.core_numbers[node.index()] <= graph.degree(node));
+    }
+    let knn = correlations::knn_by_degree(&graph);
+    assert!(knn.len() > 3);
+    let low_k = knn.first().unwrap().average_neighbor_degree;
+    let high_k = knn.last().unwrap().average_neighbor_degree;
+    assert!(
+        low_k > high_k * 0.8,
+        "PA overlays are not assortative: knn at low degree ({low_k}) should not be far below \
+         knn at the top degree ({high_k})"
+    );
+    let betweenness = centrality::betweenness_centrality_sampled(&graph, 50, &mut rng(42));
+    let top = betweenness.most_central().unwrap();
+    assert!(
+        graph.degree(top) as f64 >= graph.average_degree(),
+        "the most loaded peer should not be a low-degree satellite"
+    );
+}
+
+/// Edge-list round trips preserve generated topologies well enough to recompute identical
+/// degree histograms.
+#[test]
+fn edge_list_round_trip_preserves_degree_structure() {
+    let graph = UncorrelatedConfigurationModel::new(800, 2.4, 2)
+        .unwrap()
+        .with_cutoff(DegreeCutoff::hard(20))
+        .generate(&mut rng(51))
+        .unwrap();
+    let text = io::write_edge_list(&graph);
+    let parsed = io::parse_edge_list(&text).unwrap();
+    assert_eq!(parsed.node_count(), graph.node_count());
+    assert_eq!(parsed.edge_count(), graph.edge_count());
+    assert_eq!(
+        metrics::degree_histogram(&parsed).counts,
+        metrics::degree_histogram(&graph).counts
+    );
+}
+
+/// Replication strategies interoperate with the live overlay and the lookup machinery; the
+/// square-root rule never does worse than uniform on expected blind-search size while
+/// popular items stay findable.
+#[test]
+fn replication_and_lookup_work_end_to_end() {
+    let catalog = Catalog::new(40, 1.0).unwrap();
+    let mut overlay = OverlayNetwork::new(OverlayConfig {
+        stubs: 3,
+        cutoff: DegreeCutoff::hard(12),
+        join_strategy: JoinStrategy::UniformRandom,
+        repair_on_leave: true,
+    })
+    .unwrap();
+    let mut r = rng(61);
+    for _ in 0..500 {
+        overlay.join(&mut r);
+    }
+    let allocation = allocate(&catalog, ReplicationStrategy::SquareRoot, 240).unwrap();
+    place(&mut overlay, &allocation, &mut r).unwrap();
+
+    let mut successes = 0usize;
+    let queries = 100usize;
+    for _ in 0..queries {
+        let source = overlay.random_peer(&mut r).unwrap();
+        let item = catalog.sample_query(&mut r);
+        let outcome = run_query(
+            &overlay,
+            QueryMethod::NormalizedFlooding { k_min: 3 },
+            source,
+            item,
+            6,
+            &mut r,
+        )
+        .unwrap();
+        if outcome.found {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes as f64 / queries as f64 > 0.5,
+        "square-root replication plus NF should find most items ({successes}/{queries})"
+    );
+}
+
+/// Churn traces replay deterministically against a live overlay: arrivals and departures
+/// keep the peer count non-negative and the overlay consistent.
+#[test]
+fn churn_trace_replays_against_the_live_overlay() {
+    let trace_config = ChurnTraceConfig {
+        duration: 400,
+        arrival_rate: 0.8,
+        sessions: SessionModel::Pareto { shape: 1.8, minimum: 20.0 },
+        crash_fraction: 0.3,
+    };
+    let mut r = rng(71);
+    let trace = generate_trace(&trace_config, &mut r).unwrap();
+    assert!(trace.arrivals > 100);
+
+    let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
+    let mut alive = std::collections::HashMap::new();
+    for event in &trace.events {
+        match event.action {
+            sfoverlay::sim::churn::ChurnAction::Arrive => {
+                let outcome = overlay.join(&mut r);
+                alive.insert(event.session, outcome.peer);
+            }
+            sfoverlay::sim::churn::ChurnAction::DepartGracefully => {
+                if let Some(peer) = alive.remove(&event.session) {
+                    overlay.leave(peer, &mut r).unwrap();
+                }
+            }
+            sfoverlay::sim::churn::ChurnAction::Crash => {
+                if let Some(peer) = alive.remove(&event.session) {
+                    overlay.crash(peer).unwrap();
+                }
+            }
+        }
+    }
+    overlay.assert_consistent();
+    assert_eq!(overlay.peer_count(), alive.len());
+    assert!(overlay.peer_count() > 0);
+    assert!(overlay.max_degree().unwrap_or(0) <= 30, "default cutoff still enforced under churn");
+}
+
+/// Coverage curves, granularity, and the analysis statistics compose: flooding on a star
+/// baseline has perfect first-round granularity, and bootstrap intervals cover the mean of
+/// repeated search outcomes.
+#[test]
+fn coverage_and_statistics_compose_on_reference_topologies() {
+    let star = star_graph(200).unwrap();
+    let curve = coverage_curve(&Flooding::new(), &star, NodeId::new(5), 2, &mut rng(81));
+    let grain = granularity(&curve);
+    assert!((grain[0].marginal_hits_per_message - 1.0).abs() < 1e-9);
+
+    let regular = random_regular(300, 3, &mut rng(82)).unwrap();
+    assert!(traversal::is_connected(&regular));
+    let hits: Vec<f64> = (0..20)
+        .map(|i| {
+            ttl_sweep(&regular, &NormalizedFlooding::new(3), &[4], 10, &mut rng(100 + i))[0].mean_hits
+        })
+        .collect();
+    let ci = bootstrap_mean_ci(&hits, 500, 0.95, &mut rng(83)).unwrap();
+    let mean = hits.iter().sum::<f64>() / hits.len() as f64;
+    assert!(ci.contains(mean));
+
+    let messages: Vec<f64> = hits.iter().map(|h| h * 3.0).collect();
+    assert!((pearson_correlation(&hits, &messages).unwrap() - 1.0).abs() < 1e-9);
+}
+
+/// The extension experiments are registered and runnable at smoke scale.
+#[test]
+fn extension_experiments_run_at_tiny_scale() {
+    let scale = tiny_scale();
+    for id in ["generator-zoo", "hub-load", "replication"] {
+        let output = run_experiment(id, &scale, 5).unwrap_or_else(|| panic!("{id} not registered"));
+        let table = output.as_table().unwrap_or_else(|| panic!("{id} should be a table"));
+        assert!(table.row_count() >= 3, "{id}");
+    }
+    let strategies = run_experiment("search-strategies", &scale, 5).expect("registered");
+    assert!(strategies.as_figure().expect("figure").series.len() >= 12);
+}

@@ -108,9 +108,7 @@ pub fn log_binned_distribution(samples: &[usize], bins_per_decade: usize) -> Vec
     for &s in &positive {
         let v = s as f64;
         // Find the bin whose [lower, upper) interval contains v.
-        let idx = bins
-            .partition_point(|b| b.upper <= v)
-            .min(bins.len() - 1);
+        let idx = bins.partition_point(|b| b.upper <= v).min(bins.len() - 1);
         bins[idx].count += 1;
     }
 
@@ -184,7 +182,7 @@ mod tests {
         let mut samples = Vec::new();
         for k in 1usize..=200 {
             let copies = (200_000.0 * (k as f64).powf(-2.0)).round() as usize;
-            samples.extend(std::iter::repeat(k).take(copies));
+            samples.extend(std::iter::repeat_n(k, copies));
         }
         let bins = log_binned_distribution(&samples, 5);
         assert!(bins.len() >= 5);

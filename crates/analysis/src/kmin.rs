@@ -62,10 +62,19 @@ pub fn select_k_min(
     let mut best: Option<KminSelection> = None;
     let mut evaluated = 0usize;
     for k_min in lower..=upper.min(k_max) {
-        let Some(fit) = fit_exponent_mle(samples, k_min) else { continue };
-        let Some(ks) = ks_distance_powerlaw(samples, fit.gamma, k_min, k_max) else { continue };
+        let Some(fit) = fit_exponent_mle(samples, k_min) else {
+            continue;
+        };
+        let Some(ks) = ks_distance_powerlaw(samples, fit.gamma, k_min, k_max) else {
+            continue;
+        };
         evaluated += 1;
-        let candidate = KminSelection { k_min, fit, ks_distance: ks, candidates_evaluated: 0 };
+        let candidate = KminSelection {
+            k_min,
+            fit,
+            ks_distance: ks,
+            candidates_evaluated: 0,
+        };
         match &best {
             Some(current) if current.ks_distance <= ks => {}
             _ => best = Some(candidate),
@@ -87,7 +96,7 @@ mod tests {
         let mut samples = Vec::new();
         for k in start..=end {
             let copies = (scale * (k as f64).powf(-gamma)).round() as usize;
-            samples.extend(std::iter::repeat(k).take(copies));
+            samples.extend(std::iter::repeat_n(k, copies));
         }
         samples
     }
@@ -105,7 +114,11 @@ mod tests {
         let samples = powerlaw_sample(2.5, 1, 100, 500_000.0);
         let selection = select_k_min(&samples, 1, 10, 100).unwrap();
         assert!((1..=10).contains(&selection.k_min));
-        assert!((selection.fit.gamma - 2.5).abs() < 0.3, "gamma {}", selection.fit.gamma);
+        assert!(
+            (selection.fit.gamma - 2.5).abs() < 0.3,
+            "gamma {}",
+            selection.fit.gamma
+        );
         assert!(selection.ks_distance < 0.05);
         assert!(selection.candidates_evaluated >= 5);
     }
@@ -114,12 +127,20 @@ mod tests {
     fn distorted_head_pushes_k_min_up() {
         // Power law from 4 upward, but with a flat (non-power-law) head at 1..=3.
         let mut samples = vec![1usize; 5_000];
-        samples.extend(std::iter::repeat(2usize).take(5_000));
-        samples.extend(std::iter::repeat(3usize).take(5_000));
+        samples.extend(std::iter::repeat_n(2usize, 5_000));
+        samples.extend(std::iter::repeat_n(3usize, 5_000));
         samples.extend(powerlaw_sample(2.2, 4, 120, 200_000.0));
         let selection = select_k_min(&samples, 1, 12, 120).unwrap();
-        assert!(selection.k_min >= 3, "selected k_min {} should skip the flat head", selection.k_min);
-        assert!((selection.fit.gamma - 2.2).abs() < 0.4, "gamma {}", selection.fit.gamma);
+        assert!(
+            selection.k_min >= 3,
+            "selected k_min {} should skip the flat head",
+            selection.k_min
+        );
+        assert!(
+            (selection.fit.gamma - 2.2).abs() < 0.4,
+            "gamma {}",
+            selection.fit.gamma
+        );
     }
 
     #[test]
@@ -130,7 +151,10 @@ mod tests {
         for k_min in 1..=8usize {
             if let Some(fit) = fit_exponent_mle(&samples, k_min) {
                 if let Some(ks) = ks_distance_powerlaw(&samples, fit.gamma, k_min, 60) {
-                    assert!(selection.ks_distance <= ks + 1e-12, "k_min {k_min} beats the selection");
+                    assert!(
+                        selection.ks_distance <= ks + 1e-12,
+                        "k_min {k_min} beats the selection"
+                    );
                 }
             }
         }

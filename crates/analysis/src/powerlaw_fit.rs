@@ -53,13 +53,27 @@ pub fn fit_exponent_least_squares(points: &[(f64, f64)]) -> Option<ExponentFit> 
     if sxx < 1e-15 {
         return None;
     }
-    let sxy: f64 = usable.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxy: f64 = usable
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = usable.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 = usable.iter().map(|(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
-    let r_squared = if ss_tot < 1e-15 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(ExponentFit { gamma: -slope, r_squared: Some(r_squared), points_used: usable.len() })
+    let ss_res: f64 = usable
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-15 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(ExponentFit {
+        gamma: -slope,
+        r_squared: Some(r_squared),
+        points_used: usable.len(),
+    })
 }
 
 /// Fits `γ` from a degree histogram by least squares, restricted to degrees within
@@ -99,7 +113,11 @@ pub fn fit_exponent_mle(samples: &[usize], k_min: usize) -> Option<ExponentFit> 
     if k_min == 0 {
         return None;
     }
-    let usable: Vec<f64> = samples.iter().filter(|&&k| k >= k_min).map(|&k| k as f64).collect();
+    let usable: Vec<f64> = samples
+        .iter()
+        .filter(|&&k| k >= k_min)
+        .map(|&k| k as f64)
+        .collect();
     if usable.len() < 2 {
         return None;
     }
@@ -109,7 +127,11 @@ pub fn fit_exponent_mle(samples: &[usize], k_min: usize) -> Option<ExponentFit> 
         return None;
     }
     let gamma = 1.0 + usable.len() as f64 / log_sum;
-    Some(ExponentFit { gamma, r_squared: None, points_used: usable.len() })
+    Some(ExponentFit {
+        gamma,
+        r_squared: None,
+        points_used: usable.len(),
+    })
 }
 
 #[cfg(test)]
@@ -119,10 +141,15 @@ mod tests {
     #[test]
     fn least_squares_recovers_exact_exponent() {
         for gamma in [2.2f64, 2.6, 3.0] {
-            let pts: Vec<(f64, f64)> =
-                (1..500).map(|k| (k as f64, 3.0 * (k as f64).powf(-gamma))).collect();
+            let pts: Vec<(f64, f64)> = (1..500)
+                .map(|k| (k as f64, 3.0 * (k as f64).powf(-gamma)))
+                .collect();
             let fit = fit_exponent_least_squares(&pts).unwrap();
-            assert!((fit.gamma - gamma).abs() < 1e-9, "gamma {gamma} vs {}", fit.gamma);
+            assert!(
+                (fit.gamma - gamma).abs() < 1e-9,
+                "gamma {gamma} vs {}",
+                fit.gamma
+            );
             assert!(fit.r_squared.unwrap() > 0.999999);
             assert_eq!(fit.points_used, 499);
         }
@@ -130,8 +157,9 @@ mod tests {
 
     #[test]
     fn least_squares_ignores_invalid_points() {
-        let mut pts: Vec<(f64, f64)> =
-            (1..100).map(|k| (k as f64, (k as f64).powf(-2.0))).collect();
+        let mut pts: Vec<(f64, f64)> = (1..100)
+            .map(|k| (k as f64, (k as f64).powf(-2.0)))
+            .collect();
         pts.push((0.0, 1.0));
         pts.push((5.0, 0.0));
         pts.push((f64::NAN, 0.1));
@@ -152,12 +180,16 @@ mod tests {
         // counts ~ k^-2.5 for k in 1..=50, plus a huge spurious spike at k=60 which the
         // window excludes.
         let mut counts = vec![0usize; 61];
-        for k in 1..=50usize {
-            counts[k] = (1_000_000.0 * (k as f64).powf(-2.5)).round() as usize;
+        for (k, count) in counts.iter_mut().enumerate().take(51).skip(1) {
+            *count = (1_000_000.0 * (k as f64).powf(-2.5)).round() as usize;
         }
         counts[60] = 500_000;
         let windowed = fit_exponent_from_counts(&counts, 1, 50).unwrap();
-        assert!((windowed.gamma - 2.5).abs() < 0.05, "windowed fit {}", windowed.gamma);
+        assert!(
+            (windowed.gamma - 2.5).abs() < 0.05,
+            "windowed fit {}",
+            windowed.gamma
+        );
         let unwindowed = fit_exponent_from_counts(&counts, 1, 60).unwrap();
         assert!(
             (unwindowed.gamma - 2.5).abs() > (windowed.gamma - 2.5).abs(),
@@ -173,7 +205,7 @@ mod tests {
         let mut samples = Vec::new();
         for k in 1usize..=300 {
             let copies = (3_000_000.0 * (k as f64).powf(-2.5)).round() as usize;
-            samples.extend(std::iter::repeat(k).take(copies));
+            samples.extend(std::iter::repeat_n(k, copies));
         }
         // The continuous approximation carries a known bias for small k_min, so the check
         // uses a generous tolerance.

@@ -27,7 +27,12 @@ pub struct DataPoint {
 impl DataPoint {
     /// Creates a point from a single observation.
     pub fn single(x: f64, y: f64) -> Self {
-        DataPoint { x, y, y_error: 0.0, realizations: 1 }
+        DataPoint {
+            x,
+            y,
+            y_error: 0.0,
+            realizations: 1,
+        }
     }
 
     /// Creates a point from a summary of repeated observations.
@@ -53,7 +58,10 @@ pub struct DataSeries {
 impl DataSeries {
     /// Creates an empty series with the given label.
     pub fn new(label: impl Into<String>) -> Self {
-        DataSeries { label: label.into(), points: Vec::new() }
+        DataSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -63,15 +71,21 @@ impl DataSeries {
 
     /// Returns the y value at the given x, if a point with exactly that abscissa exists.
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points.iter().find(|p| (p.x - x).abs() < 1e-12).map(|p| p.y)
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() < 1e-12)
+            .map(|p| p.y)
     }
 
     /// Returns the largest y value in the series, or `None` if empty.
     pub fn max_y(&self) -> Option<f64> {
-        self.points.iter().map(|p| p.y).fold(None, |acc, y| match acc {
-            None => Some(y),
-            Some(m) => Some(m.max(y)),
-        })
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(None, |acc, y| match acc {
+                None => Some(y),
+                Some(m) => Some(m.max(y)),
+            })
     }
 }
 

@@ -69,7 +69,12 @@ pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
     let alpha = (1.0 - level) / 2.0;
     let lower_idx = ((resamples as f64) * alpha).floor() as usize;
     let upper_idx = (((resamples as f64) * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
-    Some(ConfidenceInterval { estimate, lower: means[lower_idx], upper: means[upper_idx], level })
+    Some(ConfidenceInterval {
+        estimate,
+        lower: means[lower_idx],
+        upper: means[upper_idx],
+        level,
+    })
 }
 
 /// Kolmogorov-Smirnov distance between the empirical distribution of integer `samples`
@@ -87,8 +92,11 @@ pub fn ks_distance_powerlaw(
     if k_min == 0 || k_min > k_max || !gamma.is_finite() {
         return None;
     }
-    let windowed: Vec<usize> =
-        samples.iter().copied().filter(|&k| (k_min..=k_max).contains(&k)).collect();
+    let windowed: Vec<usize> = samples
+        .iter()
+        .copied()
+        .filter(|&k| (k_min..=k_max).contains(&k))
+        .collect();
     if windowed.is_empty() {
         return None;
     }
@@ -193,12 +201,18 @@ mod tests {
         let mut samples = Vec::new();
         for k in 2usize..=100 {
             let copies = (200_000.0 * (k as f64).powf(-2.5)).round() as usize;
-            samples.extend(std::iter::repeat(k).take(copies));
+            samples.extend(std::iter::repeat_n(k, copies));
         }
         let good = ks_distance_powerlaw(&samples, 2.5, 2, 100).unwrap();
         let bad = ks_distance_powerlaw(&samples, 1.5, 2, 100).unwrap();
-        assert!(good < 0.01, "matching exponent should give a tiny KS distance, got {good}");
-        assert!(bad > good * 5.0, "wrong exponent should fit much worse ({bad} vs {good})");
+        assert!(
+            good < 0.01,
+            "matching exponent should give a tiny KS distance, got {good}"
+        );
+        assert!(
+            bad > good * 5.0,
+            "wrong exponent should fit much worse ({bad} vs {good})"
+        );
     }
 
     #[test]

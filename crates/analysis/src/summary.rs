@@ -32,7 +32,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -177,7 +183,10 @@ mod tests {
 
     #[test]
     fn known_statistics() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.std_dev() - 2.138089935299395).abs() < 1e-9);
         assert!((s.std_error() - s.std_dev() / 8f64.sqrt()).abs() < 1e-12);
@@ -187,7 +196,9 @@ mod tests {
 
     #[test]
     fn merge_matches_single_pass() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + i as f64 / 3.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64).sin() * 10.0 + i as f64 / 3.0)
+            .collect();
         let (a, b) = data.split_at(37);
         let mut left: Summary = a.iter().copied().collect();
         let right: Summary = b.iter().copied().collect();

@@ -26,7 +26,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with empty cells; longer rows
@@ -49,7 +52,10 @@ impl TextTable {
 
     /// Returns the cell at the given row and column, if present.
     pub fn cell(&self, row: usize, column: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(column)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(column))
+            .map(String::as_str)
     }
 
     fn column_widths(&self) -> Vec<usize> {

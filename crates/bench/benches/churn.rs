@@ -10,11 +10,19 @@ use std::time::Duration;
 
 fn bench_join_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("churn_join_strategies");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let strategies = [
         ("uniform", JoinStrategy::UniformRandom),
         ("preferential", JoinStrategy::DegreePreferential),
-        ("hop_and_attempt", JoinStrategy::HopAndAttempt { max_hops_per_link: 200 }),
+        (
+            "hop_and_attempt",
+            JoinStrategy::HopAndAttempt {
+                max_hops_per_link: 200,
+            },
+        ),
     ];
     for (label, strategy) in strategies {
         group.bench_function(label, |b| {
@@ -39,7 +47,10 @@ fn bench_join_strategies(c: &mut Criterion) {
 
 fn bench_full_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("churn_simulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function("small_run", |b| {
         let simulation = Simulation::new(SimulationConfig::small()).unwrap();
         let mut seed = 0u64;

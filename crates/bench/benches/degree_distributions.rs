@@ -14,7 +14,10 @@ fn bench_degree_analysis(c: &mut Criterion) {
     let histogram = degree_histogram(&graph);
 
     let mut group = c.benchmark_group("degree_distributions");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("degree_histogram", |b| b.iter(|| degree_histogram(&graph)));
     group.bench_function("log_binned_distribution", |b| {
@@ -24,7 +27,9 @@ fn bench_degree_analysis(c: &mut Criterion) {
     group.bench_function("fit_exponent_least_squares", |b| {
         b.iter(|| fit_exponent_from_counts(&histogram.counts, 2, 39))
     });
-    group.bench_function("fit_exponent_mle", |b| b.iter(|| fit_exponent_mle(&degrees, 2)));
+    group.bench_function("fit_exponent_mle", |b| {
+        b.iter(|| fit_exponent_mle(&degrees, 2))
+    });
     group.finish();
 }
 

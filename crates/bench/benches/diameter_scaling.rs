@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_diameter_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("diameter_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (gamma, m) in [(2.2f64, 2usize), (3.0, 1), (3.0, 2)] {
         for n in [1_000usize, 4_000] {
             let graph = ConfigurationModel::new(n, gamma, m)

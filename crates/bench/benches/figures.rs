@@ -12,7 +12,10 @@ use std::time::Duration;
 fn bench_figures(c: &mut Criterion) {
     let scale = micro_scale();
     let mut group = c.benchmark_group("figures");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for spec in all_experiments() {
         group.bench_function(spec.id, |b| {
             let mut seed = 0u64;

@@ -17,12 +17,17 @@ use std::time::Duration;
 
 fn bench_generator(c: &mut Criterion, label: &str, generator: &dyn TopologyGenerator) {
     let mut group = c.benchmark_group("generator_models");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     group.bench_function(label, |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            generator.generate(&mut bench_rng(seed)).expect("bench generation succeeds")
+            generator
+                .generate(&mut bench_rng(seed))
+                .expect("bench generation succeeds")
         });
     });
     group.finish();
@@ -33,12 +38,16 @@ fn bench_generator_models(c: &mut Criterion) {
     bench_generator(
         c,
         "nlpa_alpha_0.5",
-        &NonlinearPreferentialAttachment::new(BENCH_NODES, 2, 0.5).unwrap().with_cutoff(cutoff),
+        &NonlinearPreferentialAttachment::new(BENCH_NODES, 2, 0.5)
+            .unwrap()
+            .with_cutoff(cutoff),
     );
     bench_generator(
         c,
         "nlpa_alpha_1.5",
-        &NonlinearPreferentialAttachment::new(BENCH_NODES, 2, 1.5).unwrap().with_cutoff(cutoff),
+        &NonlinearPreferentialAttachment::new(BENCH_NODES, 2, 1.5)
+            .unwrap()
+            .with_cutoff(cutoff),
     );
     bench_generator(
         c,
@@ -51,17 +60,23 @@ fn bench_generator_models(c: &mut Criterion) {
     bench_generator(
         c,
         "local_events_p02_q02",
-        &LocalEventsModel::new(BENCH_NODES, 2, 0.2, 0.2).unwrap().with_cutoff(cutoff),
+        &LocalEventsModel::new(BENCH_NODES, 2, 0.2, 0.2)
+            .unwrap()
+            .with_cutoff(cutoff),
     );
     bench_generator(
         c,
         "dms_gamma_2.5",
-        &InitialAttractiveness::with_target_gamma(BENCH_NODES, 2, 2.5).unwrap().with_cutoff(cutoff),
+        &InitialAttractiveness::with_target_gamma(BENCH_NODES, 2, 2.5)
+            .unwrap()
+            .with_cutoff(cutoff),
     );
     bench_generator(
         c,
         "ucm_gamma_2.6",
-        &UncorrelatedConfigurationModel::new(BENCH_NODES, 2.6, 2).unwrap().with_cutoff(cutoff),
+        &UncorrelatedConfigurationModel::new(BENCH_NODES, 2.6, 2)
+            .unwrap()
+            .with_cutoff(cutoff),
     );
 }
 

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sfo_bench::{bench_rng, capped_pa_graph};
-use sfo_graph::NodeId;
+use sfo_graph::{CsrGraph, NodeId};
 use sfo_search::flooding::Flooding;
 use sfo_search::normalized::NormalizedFlooding;
 use sfo_search::random_walk::{MultipleRandomWalk, RandomWalk};
@@ -11,8 +11,8 @@ use sfo_search::SearchAlgorithm;
 use std::time::Duration;
 
 fn bench_search_algorithms(c: &mut Criterion) {
-    let graph = capped_pa_graph(5_000, 2, 40, 3);
-    let algorithms: Vec<(&'static str, Box<dyn SearchAlgorithm>)> = vec![
+    let graph = capped_pa_graph(5_000, 2, 40, 3).freeze();
+    let algorithms: Vec<(&'static str, Box<dyn SearchAlgorithm<CsrGraph>>)> = vec![
         ("FL", Box::new(Flooding::new())),
         ("NF", Box::new(NormalizedFlooding::new(2))),
         ("RW", Box::new(RandomWalk::new())),
@@ -20,7 +20,10 @@ fn bench_search_algorithms(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("search_algorithms");
-    group.sample_size(30).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for (name, algorithm) in &algorithms {
         for ttl in [4u32, 8] {
             group.bench_with_input(BenchmarkId::new(*name, ttl), &ttl, |b, &ttl| {

@@ -10,16 +10,23 @@ use std::time::Duration;
 fn bench_structural_metrics(c: &mut Criterion) {
     let graph = capped_pa_graph(BENCH_NODES, 2, 40, 3);
     let mut group = c.benchmark_group("structural_metrics");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
 
-    group.bench_function("core_decomposition", |b| b.iter(|| kcore::core_decomposition(&graph)));
+    group.bench_function("core_decomposition", |b| {
+        b.iter(|| kcore::core_decomposition(&graph))
+    });
     group.bench_function("betweenness_sampled_64", |b| {
         b.iter(|| centrality::betweenness_centrality_sampled(&graph, 64, &mut bench_rng(1)))
     });
     group.bench_function("closeness_sampled_64", |b| {
         b.iter(|| centrality::closeness_centrality_sampled(&graph, 64, &mut bench_rng(1)))
     });
-    group.bench_function("knn_by_degree", |b| b.iter(|| correlations::knn_by_degree(&graph)));
+    group.bench_function("knn_by_degree", |b| {
+        b.iter(|| correlations::knn_by_degree(&graph))
+    });
     group.bench_function("rich_club_coefficients", |b| {
         b.iter(|| correlations::rich_club_coefficients(&graph))
     });

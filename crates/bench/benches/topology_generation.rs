@@ -15,27 +15,49 @@ fn generators(cutoff: DegreeCutoff) -> Vec<(&'static str, Box<dyn TopologyGenera
     vec![
         (
             "PA",
-            Box::new(PreferentialAttachment::new(BENCH_NODES, 2).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                PreferentialAttachment::new(BENCH_NODES, 2)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
         ),
         (
             "CM",
-            Box::new(ConfigurationModel::new(BENCH_NODES, 2.6, 2).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                ConfigurationModel::new(BENCH_NODES, 2.6, 2)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
         ),
         (
             "HAPA",
-            Box::new(HopAndAttempt::new(BENCH_NODES, 2).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                HopAndAttempt::new(BENCH_NODES, 2)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
         ),
         (
             "DAPA",
-            Box::new(DapaOverGrn::new(BENCH_NODES, 2, 4).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                DapaOverGrn::new(BENCH_NODES, 2, 4)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
         ),
     ]
 }
 
 fn bench_topology_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_generation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    for (cutoff_label, cutoff) in [("no_kc", DegreeCutoff::Unbounded), ("kc10", DegreeCutoff::hard(10))] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for (cutoff_label, cutoff) in [
+        ("no_kc", DegreeCutoff::Unbounded),
+        ("kc10", DegreeCutoff::hard(10)),
+    ] {
         for (name, generator) in generators(cutoff) {
             group.bench_with_input(
                 BenchmarkId::new(name, cutoff_label),
@@ -44,7 +66,9 @@ fn bench_topology_generation(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        generator.generate(&mut bench_rng(seed)).expect("generation succeeds")
+                        generator
+                            .generate(&mut bench_rng(seed))
+                            .expect("generation succeeds")
                     });
                 },
             );

@@ -20,7 +20,12 @@ pub const BENCH_NODES: usize = 2_000;
 
 /// Scale used when benchmarking the figure runners end to end.
 pub fn micro_scale() -> Scale {
-    Scale { degree_nodes: 500, search_nodes: 400, realizations: 1, searches_per_point: 10 }
+    Scale {
+        degree_nodes: 500,
+        search_nodes: 400,
+        realizations: 1,
+        searches_per_point: 10,
+    }
 }
 
 /// A deterministic RNG for benchmarks.

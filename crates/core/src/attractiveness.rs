@@ -285,7 +285,10 @@ mod tests {
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(2))
             .generate(&mut rng(0));
-        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad_cutoff,
+            Err(TopologyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -297,13 +300,23 @@ mod tests {
                 "gamma {gamma} round-trips through a = (gamma - 3) m"
             );
         }
-        assert!((InitialAttractiveness::new(200, 2, 0.0).unwrap().predicted_gamma() - 3.0).abs() < 1e-12);
+        assert!(
+            (InitialAttractiveness::new(200, 2, 0.0)
+                .unwrap()
+                .predicted_gamma()
+                - 3.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn generates_requested_size_and_stays_connected() {
         for a in [-1.0, 0.0, 2.0] {
-            let g = InitialAttractiveness::new(400, 2, a).unwrap().generate(&mut rng(1)).unwrap();
+            let g = InitialAttractiveness::new(400, 2, a)
+                .unwrap()
+                .generate(&mut rng(1))
+                .unwrap();
             assert_eq!(g.node_count(), 400, "a={a}");
             assert!(g.min_degree().unwrap() >= 2, "a={a}");
             assert!(traversal::is_connected(&g), "a={a}");
@@ -325,8 +338,14 @@ mod tests {
     fn negative_attractiveness_grows_larger_hubs() {
         // Smaller gamma (negative a) means heavier tails: the largest hub should exceed the
         // one grown with strongly positive a on the same node count and seed.
-        let heavy = InitialAttractiveness::new(2_000, 2, -1.5).unwrap().generate(&mut rng(5)).unwrap();
-        let light = InitialAttractiveness::new(2_000, 2, 6.0).unwrap().generate(&mut rng(5)).unwrap();
+        let heavy = InitialAttractiveness::new(2_000, 2, -1.5)
+            .unwrap()
+            .generate(&mut rng(5))
+            .unwrap();
+        let light = InitialAttractiveness::new(2_000, 2, 6.0)
+            .unwrap()
+            .generate(&mut rng(5))
+            .unwrap();
         assert!(
             heavy.max_degree().unwrap() > light.max_degree().unwrap(),
             "gamma=2.25 hub {} should exceed gamma=6 hub {}",
@@ -337,7 +356,10 @@ mod tests {
 
     #[test]
     fn zero_attractiveness_is_heavy_tailed_like_pa() {
-        let g = InitialAttractiveness::new(2_000, 1, 0.0).unwrap().generate(&mut rng(7)).unwrap();
+        let g = InitialAttractiveness::new(2_000, 1, 0.0)
+            .unwrap()
+            .generate(&mut rng(7))
+            .unwrap();
         assert!(g.max_degree().unwrap() as f64 > 5.0 * g.average_degree());
     }
 

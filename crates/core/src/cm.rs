@@ -67,14 +67,21 @@ impl ConfigurationModel {
     pub fn new(nodes: usize, gamma: f64, m: usize) -> Result<Self> {
         let stubs = StubCount::try_from(m)?;
         if nodes < 2 {
-            return Err(TopologyError::InvalidConfig { reason: "cm needs at least two nodes" });
+            return Err(TopologyError::InvalidConfig {
+                reason: "cm needs at least two nodes",
+            });
         }
         if !gamma.is_finite() || gamma <= 0.0 {
             return Err(TopologyError::InvalidConfig {
                 reason: "power-law exponent gamma must be finite and positive",
             });
         }
-        Ok(ConfigurationModel { nodes, gamma, stubs, cutoff: DegreeCutoff::Unbounded })
+        Ok(ConfigurationModel {
+            nodes,
+            gamma,
+            stubs,
+            cutoff: DegreeCutoff::Unbounded,
+        })
     }
 
     /// Sets the hard cutoff `k_c`, truncating the degree-sequence support to `[m, k_c]`.
@@ -123,7 +130,7 @@ impl ConfigurationModel {
         // Build the stub list: node i appears target_degrees[i] times.
         let mut stubs: Vec<NodeId> = Vec::with_capacity(target_degrees.iter().sum());
         for (i, &k) in target_degrees.iter().enumerate() {
-            stubs.extend(std::iter::repeat(NodeId::new(i)).take(k));
+            stubs.extend(std::iter::repeat_n(NodeId::new(i), k));
         }
         stubs.shuffle(rng);
 
@@ -135,7 +142,11 @@ impl ConfigurationModel {
         }
 
         let (graph, simplify) = multigraph.into_simple();
-        Ok(CmOutcome { graph, target_degrees, simplify })
+        Ok(CmOutcome {
+            graph,
+            target_degrees,
+            simplify,
+        })
     }
 }
 
@@ -183,7 +194,10 @@ mod tests {
 
     #[test]
     fn generates_requested_node_count() {
-        let g = ConfigurationModel::new(2_000, 2.6, 2).unwrap().generate(&mut rng(1)).unwrap();
+        let g = ConfigurationModel::new(2_000, 2.6, 2)
+            .unwrap()
+            .generate(&mut rng(1))
+            .unwrap();
         assert_eq!(g.node_count(), 2_000);
         g.assert_consistent();
     }
@@ -195,7 +209,10 @@ mod tests {
             .with_cutoff(DegreeCutoff::hard(40))
             .generate_with_report(&mut rng(3))
             .unwrap();
-        assert!(outcome.target_degrees.iter().all(|&k| (1..=40).contains(&k)));
+        assert!(outcome
+            .target_degrees
+            .iter()
+            .all(|&k| (1..=40).contains(&k)));
         assert!(outcome.graph.max_degree().unwrap() <= 40);
     }
 
@@ -209,7 +226,8 @@ mod tests {
         let target_sum: usize = outcome.target_degrees.iter().sum();
         assert_eq!(target_sum % 2, 0);
         let realized_sum = outcome.graph.total_degree();
-        let removed = 2 * (outcome.simplify.self_loops_removed + outcome.simplify.parallel_edges_removed);
+        let removed =
+            2 * (outcome.simplify.self_loops_removed + outcome.simplify.parallel_edges_removed);
         assert_eq!(realized_sum + removed, target_sum);
         // The paper notes the error from deleting discrepancies is marginal.
         assert!(
@@ -248,12 +266,7 @@ mod tests {
             .with_cutoff(DegreeCutoff::hard(40))
             .generate_with_report(&mut rng(11))
             .unwrap();
-        let below_m = outcome
-            .graph
-            .degrees()
-            .iter()
-            .filter(|&&k| k < 2)
-            .count();
+        let below_m = outcome.graph.degrees().iter().filter(|&&k| k < 2).count();
         assert!(
             (below_m as f64) < 0.05 * outcome.graph.node_count() as f64,
             "{below_m} nodes below m is not negligible"
@@ -264,8 +277,14 @@ mod tests {
     fn m1_networks_are_disconnected_m3_networks_have_giant_component() {
         // Paper, §III-C: CM with m=1 has disconnected clusters; for m>1 the network is
         // almost surely dominated by one giant component.
-        let g1 = ConfigurationModel::new(2_000, 2.6, 1).unwrap().generate(&mut rng(13)).unwrap();
-        let g3 = ConfigurationModel::new(2_000, 2.6, 3).unwrap().generate(&mut rng(13)).unwrap();
+        let g1 = ConfigurationModel::new(2_000, 2.6, 1)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
+        let g3 = ConfigurationModel::new(2_000, 2.6, 3)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
         assert!(!traversal::is_connected(&g1));
         assert!(traversal::giant_component_fraction(&g1) < 0.95);
         assert!(traversal::giant_component_fraction(&g3) > 0.95);
@@ -274,20 +293,32 @@ mod tests {
     #[test]
     fn realized_distribution_tracks_target_exponent() {
         // Heavier tails (smaller gamma) should give a larger maximum degree.
-        let g_22 = ConfigurationModel::new(3_000, 2.2, 1).unwrap().generate(&mut rng(17)).unwrap();
-        let g_30 = ConfigurationModel::new(3_000, 3.0, 1).unwrap().generate(&mut rng(17)).unwrap();
+        let g_22 = ConfigurationModel::new(3_000, 2.2, 1)
+            .unwrap()
+            .generate(&mut rng(17))
+            .unwrap();
+        let g_30 = ConfigurationModel::new(3_000, 3.0, 1)
+            .unwrap()
+            .generate(&mut rng(17))
+            .unwrap();
         assert!(
             g_22.max_degree().unwrap() > g_30.max_degree().unwrap(),
             "gamma=2.2 should have a heavier tail than gamma=3.0"
         );
         let hist = metrics::degree_histogram(&g_30);
-        assert!(hist.fraction(1) > 0.4, "most nodes should sit at the minimum degree");
+        assert!(
+            hist.fraction(1) > 0.4,
+            "most nodes should sit at the minimum degree"
+        );
     }
 
     #[test]
     fn trait_object_usage() {
-        let gen: Box<dyn TopologyGenerator> =
-            Box::new(ConfigurationModel::new(300, 2.6, 2).unwrap().with_cutoff(DegreeCutoff::hard(30)));
+        let gen: Box<dyn TopologyGenerator> = Box::new(
+            ConfigurationModel::new(300, 2.6, 2)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(30)),
+        );
         assert_eq!(gen.name(), "CM");
         assert_eq!(gen.locality(), Locality::Global);
         assert_eq!(gen.target_nodes(), 300);
@@ -297,7 +328,9 @@ mod tests {
 
     #[test]
     fn accessors_report_configuration() {
-        let cm = ConfigurationModel::new(500, 2.4, 3).unwrap().with_cutoff(DegreeCutoff::hard(25));
+        let cm = ConfigurationModel::new(500, 2.4, 3)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(25));
         assert_eq!(cm.gamma(), 2.4);
         assert_eq!(cm.stubs(), 3);
         assert_eq!(cm.cutoff(), DegreeCutoff::hard(25));
@@ -305,7 +338,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_fixed_seed() {
-        let gen = ConfigurationModel::new(800, 2.6, 2).unwrap().with_cutoff(DegreeCutoff::hard(40));
+        let gen = ConfigurationModel::new(800, 2.6, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(40));
         let a = gen.generate(&mut rng(42)).unwrap();
         let b = gen.generate(&mut rng(42)).unwrap();
         assert_eq!(a, b);

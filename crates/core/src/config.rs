@@ -121,8 +121,9 @@ impl TryFrom<usize> for StubCount {
     type Error = crate::TopologyError;
 
     fn try_from(value: usize) -> Result<Self, Self::Error> {
-        StubCount::new(value)
-            .ok_or(crate::TopologyError::InvalidConfig { reason: "stub count m must be at least 1" })
+        StubCount::new(value).ok_or(crate::TopologyError::InvalidConfig {
+            reason: "stub count m must be at least 1",
+        })
     }
 }
 

@@ -25,7 +25,9 @@ fn validate_gamma(gamma: f64) -> Result<()> {
 
 fn validate_nodes(nodes: usize) -> Result<()> {
     if nodes == 0 {
-        return Err(TopologyError::InvalidConfig { reason: "network size must be positive" });
+        return Err(TopologyError::InvalidConfig {
+            reason: "network size must be positive",
+        });
     }
     Ok(())
 }
@@ -52,7 +54,9 @@ pub fn natural_cutoff_dorogovtsev(nodes: usize, m: usize, gamma: f64) -> Result<
     validate_nodes(nodes)?;
     validate_gamma(gamma)?;
     if m == 0 {
-        return Err(TopologyError::InvalidConfig { reason: "stub count m must be at least 1" });
+        return Err(TopologyError::InvalidConfig {
+            reason: "stub count m must be at least 1",
+        });
     }
     Ok(m as f64 * (nodes as f64).powf(1.0 / (gamma - 1.0)))
 }
@@ -100,7 +104,9 @@ pub enum DiameterClass {
 /// regime) or `m` is zero.
 pub fn diameter_class(gamma: f64, m: usize) -> Result<DiameterClass> {
     if m == 0 {
-        return Err(TopologyError::InvalidConfig { reason: "stub count m must be at least 1" });
+        return Err(TopologyError::InvalidConfig {
+            reason: "stub count m must be at least 1",
+        });
     }
     if !gamma.is_finite() || gamma <= 2.0 {
         return Err(TopologyError::InvalidConfig {
@@ -145,7 +151,10 @@ mod tests {
     #[test]
     fn dorogovtsev_cutoff_matches_formula() {
         let k = natural_cutoff_dorogovtsev(10_000, 2, 3.0).unwrap();
-        assert!((k - 200.0).abs() < 1e-9, "m sqrt(N) = 2 * 100 = 200, got {k}");
+        assert!(
+            (k - 200.0).abs() < 1e-9,
+            "m sqrt(N) = 2 * 100 = 200, got {k}"
+        );
         let pa = pa_natural_cutoff(10_000, 2).unwrap();
         assert!((pa - k).abs() < 1e-12);
     }
@@ -179,7 +188,10 @@ mod tests {
     fn diameter_classes_follow_table_one() {
         assert_eq!(diameter_class(2.2, 1).unwrap(), DiameterClass::UltraSmall);
         assert_eq!(diameter_class(2.6, 3).unwrap(), DiameterClass::UltraSmall);
-        assert_eq!(diameter_class(3.0, 2).unwrap(), DiameterClass::LogOverLogLog);
+        assert_eq!(
+            diameter_class(3.0, 2).unwrap(),
+            DiameterClass::LogOverLogLog
+        );
         assert_eq!(diameter_class(3.0, 1).unwrap(), DiameterClass::Logarithmic);
         assert_eq!(diameter_class(3.5, 2).unwrap(), DiameterClass::Logarithmic);
     }
@@ -190,6 +202,9 @@ mod tests {
         let ultra = predicted_diameter(DiameterClass::UltraSmall, n);
         let middle = predicted_diameter(DiameterClass::LogOverLogLog, n);
         let log = predicted_diameter(DiameterClass::Logarithmic, n);
-        assert!(ultra < middle && middle < log, "{ultra} < {middle} < {log} expected");
+        assert!(
+            ultra < middle && middle < log,
+            "{ultra} < {middle} < {log} expected"
+        );
     }
 }

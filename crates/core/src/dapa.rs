@@ -97,7 +97,9 @@ impl DiscoverAndAttempt {
             });
         }
         if tau_sub == 0 {
-            return Err(TopologyError::InvalidConfig { reason: "tau_sub must be at least 1" });
+            return Err(TopologyError::InvalidConfig {
+                reason: "tau_sub must be at least 1",
+            });
         }
         Ok(DiscoverAndAttempt {
             overlay_nodes,
@@ -181,7 +183,11 @@ impl DiscoverAndAttempt {
     ///
     /// Returns [`TopologyError::InvalidConfig`] if the substrate is smaller than the target
     /// overlay or the cutoff is inconsistent with `m` or the seed count.
-    pub fn generate_on<R: Rng + ?Sized>(&self, substrate: &Graph, rng: &mut R) -> Result<DapaOverlay> {
+    pub fn generate_on<R: Rng + ?Sized>(
+        &self,
+        substrate: &Graph,
+        rng: &mut R,
+    ) -> Result<DapaOverlay> {
         self.validate(substrate)?;
         let m = self.stubs.get();
         let n_s = substrate.node_count();
@@ -272,7 +278,12 @@ impl DiscoverAndAttempt {
             }
         }
 
-        Ok(DapaOverlay { graph: overlay, substrate_nodes, failed_discoveries, stalled })
+        Ok(DapaOverlay {
+            graph: overlay,
+            substrate_nodes,
+            failed_discoveries,
+            stalled,
+        })
     }
 
     /// Degree-preferential draw over the horizon peers, with the paper's rejection rule
@@ -304,7 +315,9 @@ impl DiscoverAndAttempt {
         let eligible: Vec<NodeId> = horizon_peers
             .iter()
             .copied()
-            .filter(|&p| !overlay.contains_edge(joining, p) && self.cutoff.admits(overlay.degree(p)))
+            .filter(|&p| {
+                !overlay.contains_edge(joining, p) && self.cutoff.admits(overlay.degree(p))
+            })
             .collect();
         if eligible.is_empty() {
             None
@@ -416,9 +429,9 @@ impl DapaOverMesh {
 
 impl TopologyGenerator for DapaOverMesh {
     fn generate(&self, rng: &mut dyn RngCore) -> Result<Graph> {
-        let substrate = sfo_graph::generators::mesh_2d(
-            sfo_graph::generators::MeshConfig::torus(self.side, self.side),
-        )?;
+        let substrate = sfo_graph::generators::mesh_2d(sfo_graph::generators::MeshConfig::torus(
+            self.side, self.side,
+        ))?;
         let overlay = self.dapa.generate_on(&substrate, rng)?;
         Ok(overlay.graph)
     }
@@ -487,8 +500,9 @@ mod tests {
         assert!(DiscoverAndAttempt::new(100, 0, 2).is_err());
         assert!(DiscoverAndAttempt::new(100, 1, 0).is_err());
         let substrate = grn_substrate(200, 1);
-        let too_small_substrate =
-            DiscoverAndAttempt::new(500, 1, 2).unwrap().generate_on(&substrate, &mut rng(1));
+        let too_small_substrate = DiscoverAndAttempt::new(500, 1, 2)
+            .unwrap()
+            .generate_on(&substrate, &mut rng(1));
         assert!(too_small_substrate.is_err());
         let bad_cutoff = DiscoverAndAttempt::new(100, 3, 2)
             .unwrap()
@@ -543,9 +557,15 @@ mod tests {
             .unwrap()
             .generate_on(&substrate, &mut rng(7))
             .unwrap();
-        assert!(overlay.graph.min_degree().unwrap() >= 1, "every member found at least one peer");
+        assert!(
+            overlay.graph.min_degree().unwrap() >= 1,
+            "every member found at least one peer"
+        );
         let below_m = overlay.graph.degrees().iter().filter(|&&k| k < 3).count();
-        assert!(below_m > 0, "with tau_sub=2 and m=3 some peers should be short of stubs");
+        assert!(
+            below_m > 0,
+            "with tau_sub=2 and m=3 some peers should be short of stubs"
+        );
     }
 
     #[test]
@@ -599,7 +619,9 @@ mod tests {
     #[test]
     fn trait_object_usage_over_grn() {
         let gen: Box<dyn TopologyGenerator> = Box::new(
-            DapaOverGrn::new(400, 2, 4).unwrap().with_cutoff(DegreeCutoff::hard(40)),
+            DapaOverGrn::new(400, 2, 4)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(40)),
         );
         assert_eq!(gen.name(), "DAPA");
         assert_eq!(gen.locality(), Locality::Local);
@@ -612,7 +634,9 @@ mod tests {
     #[test]
     fn trait_object_usage_over_mesh() {
         let gen: Box<dyn TopologyGenerator> = Box::new(
-            DapaOverMesh::new(300, 1, 6).unwrap().with_cutoff(DegreeCutoff::hard(15)),
+            DapaOverMesh::new(300, 1, 6)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(15)),
         );
         assert_eq!(gen.name(), "DAPA-mesh");
         assert_eq!(gen.locality(), Locality::Local);
@@ -667,7 +691,9 @@ mod tests {
     #[test]
     fn deterministic_for_a_fixed_seed() {
         let substrate = grn_substrate(1_000, 29);
-        let gen = DiscoverAndAttempt::new(500, 2, 4).unwrap().with_cutoff(DegreeCutoff::hard(30));
+        let gen = DiscoverAndAttempt::new(500, 2, 4)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(30));
         let a = gen.generate_on(&substrate, &mut rng(31)).unwrap();
         let b = gen.generate_on(&substrate, &mut rng(31)).unwrap();
         assert_eq!(a.graph, b.graph);

@@ -64,23 +64,37 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            TopologyError::InvalidConfig { reason: "m must be positive" }.to_string(),
+            TopologyError::InvalidConfig {
+                reason: "m must be positive"
+            }
+            .to_string(),
             "invalid configuration: m must be positive"
         );
         assert_eq!(
-            TopologyError::AttemptsExhausted { node_index: 12, attempts: 100 }.to_string(),
+            TopologyError::AttemptsExhausted {
+                node_index: 12,
+                attempts: 100
+            }
+            .to_string(),
             "could not attach node 12 within 100 attempts (cutoff too restrictive)"
         );
-        let wrapped = TopologyError::from(GraphError::SelfLoop { node: NodeId::new(3) });
+        let wrapped = TopologyError::from(GraphError::SelfLoop {
+            node: NodeId::new(3),
+        });
         assert!(wrapped.to_string().contains("self-loop"));
     }
 
     #[test]
     fn source_is_exposed_for_graph_errors() {
         use std::error::Error as _;
-        let err = TopologyError::from(GraphError::MissingEdge { a: NodeId::new(0), b: NodeId::new(1) });
+        let err = TopologyError::from(GraphError::MissingEdge {
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+        });
         assert!(err.source().is_some());
-        assert!(TopologyError::InvalidConfig { reason: "x" }.source().is_none());
+        assert!(TopologyError::InvalidConfig { reason: "x" }
+            .source()
+            .is_none());
     }
 
     #[test]

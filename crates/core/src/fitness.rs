@@ -202,17 +202,16 @@ impl FitnessModel {
     /// # Errors
     ///
     /// Returns [`TopologyError::InvalidConfig`] for inconsistent configurations.
-    pub fn generate_with_fitness<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> Result<(Graph, Vec<f64>)> {
+    pub fn generate_with_fitness<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(Graph, Vec<f64>)> {
         self.validate()?;
         let m = self.stubs.get();
         let seed_size = m + 1;
         let mut graph = complete_graph(seed_size)?;
         graph.add_nodes(self.nodes - seed_size);
 
-        let mut fitness: Vec<f64> = (0..self.nodes).map(|_| self.distribution.sample(rng)).collect();
+        let mut fitness: Vec<f64> = (0..self.nodes)
+            .map(|_| self.distribution.sample(rng))
+            .collect();
         // Guard against pathological zero fitness (possible only through float underflow).
         for f in &mut fitness {
             if *f <= 0.0 {
@@ -363,7 +362,10 @@ mod tests {
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(2))
             .generate(&mut rng(0));
-        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad_cutoff,
+            Err(TopologyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -413,7 +415,10 @@ mod tests {
         // and check that the high-fitness half holds more degree in total.
         let (g, fitness) = FitnessModel::new(2_000, 1)
             .unwrap()
-            .with_distribution(FitnessDistribution::UniformRange { min: 0.05, max: 1.0 })
+            .with_distribution(FitnessDistribution::UniformRange {
+                min: 0.05,
+                max: 1.0,
+            })
             .generate_with_fitness(&mut rng(7))
             .unwrap();
         let mut high = 0usize;
@@ -437,7 +442,10 @@ mod tests {
 
     #[test]
     fn degenerate_fitness_is_heavy_tailed_like_pa() {
-        let g = FitnessModel::new(2_000, 1).unwrap().generate(&mut rng(11)).unwrap();
+        let g = FitnessModel::new(2_000, 1)
+            .unwrap()
+            .generate(&mut rng(11))
+            .unwrap();
         assert!(g.max_degree().unwrap() as f64 > 5.0 * g.average_degree());
     }
 
@@ -460,7 +468,10 @@ mod tests {
             .with_max_attempts(0);
         assert_eq!(gen.stubs(), 3);
         assert_eq!(gen.cutoff(), DegreeCutoff::hard(9));
-        assert_eq!(gen.distribution(), FitnessDistribution::Exponential { rate: 2.0 });
+        assert_eq!(
+            gen.distribution(),
+            FitnessDistribution::Exponential { rate: 2.0 }
+        );
     }
 
     #[test]

@@ -284,7 +284,10 @@ mod tests {
         // Paper, Fig. 3(a): hopping concentrates links on a few super-hubs whose degree is
         // on the order of the system size, producing a star-like topology.
         let n = 1_500;
-        let g = HopAndAttempt::new(n, 1).unwrap().generate(&mut rng(7)).unwrap();
+        let g = HopAndAttempt::new(n, 1)
+            .unwrap()
+            .generate(&mut rng(7))
+            .unwrap();
         let max = g.max_degree().unwrap();
         assert!(
             max > n / 4,
@@ -295,7 +298,10 @@ mod tests {
     #[test]
     fn cutoff_destroys_the_star_topology() {
         let n = 1_500;
-        let star = HopAndAttempt::new(n, 1).unwrap().generate(&mut rng(11)).unwrap();
+        let star = HopAndAttempt::new(n, 1)
+            .unwrap()
+            .generate(&mut rng(11))
+            .unwrap();
         let capped = HopAndAttempt::new(n, 1)
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(10))
@@ -314,8 +320,14 @@ mod tests {
         // Paper, §IV-A: the star-like HAPA topology has a very small average shortest path
         // compared to PA.
         let n = 1_000;
-        let hapa = HopAndAttempt::new(n, 1).unwrap().generate(&mut rng(13)).unwrap();
-        let pa = crate::pa::PreferentialAttachment::new(n, 1).unwrap().generate(&mut rng(13)).unwrap();
+        let hapa = HopAndAttempt::new(n, 1)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
+        let pa = crate::pa::PreferentialAttachment::new(n, 1)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
         let hapa_stats = sfo_graph::metrics::path_statistics_sampled(&hapa, 30, &mut rng(2));
         let pa_stats = sfo_graph::metrics::path_statistics_sampled(&pa, 30, &mut rng(2));
         assert!(
@@ -351,14 +363,21 @@ mod tests {
 
     #[test]
     fn accessors_report_configuration() {
-        let hapa = HopAndAttempt::new(100, 2).unwrap().with_cutoff(DegreeCutoff::hard(15));
+        let hapa = HopAndAttempt::new(100, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(15));
         assert_eq!(hapa.cutoff(), DegreeCutoff::hard(15));
         assert_eq!(hapa.stubs(), 2);
     }
 
     #[test]
     fn deterministic_for_a_fixed_seed() {
-        let gen = HopAndAttempt::new(300, 2).unwrap().with_cutoff(DegreeCutoff::hard(30));
-        assert_eq!(gen.generate(&mut rng(23)).unwrap(), gen.generate(&mut rng(23)).unwrap());
+        let gen = HopAndAttempt::new(300, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(30));
+        assert_eq!(
+            gen.generate(&mut rng(23)).unwrap(),
+            gen.generate(&mut rng(23)).unwrap()
+        );
     }
 }

@@ -246,7 +246,9 @@ impl LocalEventsModel {
         let eligible: Vec<(NodeId, usize)> = (0..n)
             .map(NodeId::new)
             .filter(|&c| {
-                c != exclude && self.cutoff.admits(graph.degree(c)) && !graph.contains_edge(exclude, c)
+                c != exclude
+                    && self.cutoff.admits(graph.degree(c))
+                    && !graph.contains_edge(exclude, c)
             })
             .map(|c| (c, graph.degree(c) + 1))
             .collect();
@@ -307,13 +309,19 @@ mod tests {
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(2))
             .generate(&mut rng(0));
-        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad_cutoff,
+            Err(TopologyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
     fn reaches_the_target_node_count() {
         for (p, q) in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3), (0.25, 0.25)] {
-            let g = LocalEventsModel::new(500, 2, p, q).unwrap().generate(&mut rng(1)).unwrap();
+            let g = LocalEventsModel::new(500, 2, p, q)
+                .unwrap()
+                .generate(&mut rng(1))
+                .unwrap();
             assert_eq!(g.node_count(), 500, "p={p}, q={q}");
             g.assert_consistent();
         }
@@ -322,7 +330,10 @@ mod tests {
     #[test]
     fn pure_growth_is_connected_and_heavy_tailed() {
         // With p = q = 0 the model reduces to preferential attachment on the shifted kernel.
-        let g = LocalEventsModel::new(1_500, 1, 0.0, 0.0).unwrap().generate(&mut rng(3)).unwrap();
+        let g = LocalEventsModel::new(1_500, 1, 0.0, 0.0)
+            .unwrap()
+            .generate(&mut rng(3))
+            .unwrap();
         assert!(traversal::is_connected(&g));
         assert!(g.max_degree().unwrap() as f64 > 5.0 * g.average_degree());
     }
@@ -341,8 +352,14 @@ mod tests {
 
     #[test]
     fn link_addition_raises_average_degree() {
-        let grow_only = LocalEventsModel::new(600, 1, 0.0, 0.0).unwrap().generate(&mut rng(7)).unwrap();
-        let with_links = LocalEventsModel::new(600, 1, 0.4, 0.0).unwrap().generate(&mut rng(7)).unwrap();
+        let grow_only = LocalEventsModel::new(600, 1, 0.0, 0.0)
+            .unwrap()
+            .generate(&mut rng(7))
+            .unwrap();
+        let with_links = LocalEventsModel::new(600, 1, 0.4, 0.0)
+            .unwrap()
+            .generate(&mut rng(7))
+            .unwrap();
         assert!(
             with_links.average_degree() > grow_only.average_degree(),
             "link-addition events should densify the network ({} vs {})",
@@ -356,7 +373,10 @@ mod tests {
         // Rewiring never changes the number of edges, so p=0, q>0 yields exactly the same
         // edge count as pure growth with the same node count would: rewire events move
         // links, node events add m each.
-        let g = LocalEventsModel::new(400, 2, 0.0, 0.4).unwrap().generate(&mut rng(9)).unwrap();
+        let g = LocalEventsModel::new(400, 2, 0.0, 0.4)
+            .unwrap()
+            .generate(&mut rng(9))
+            .unwrap();
         let m = 2;
         let expected_edges = m * (m + 1) / 2 + (g.node_count() - (m + 1)) * m;
         // Some node events may fail to place all m links under pathological rewiring, so

@@ -270,7 +270,10 @@ mod tests {
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(2))
             .generate(&mut rng(0));
-        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad_cutoff,
+            Err(TopologyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

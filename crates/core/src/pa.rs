@@ -298,14 +298,20 @@ mod tests {
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(2))
             .generate(&mut rng(0));
-        assert!(matches!(bad_cutoff, Err(TopologyError::InvalidConfig { .. })));
+        assert!(matches!(
+            bad_cutoff,
+            Err(TopologyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
     fn generates_requested_size_and_edge_count() {
         let m = 2;
         let n = 500;
-        let g = PreferentialAttachment::new(n, m).unwrap().generate(&mut rng(1)).unwrap();
+        let g = PreferentialAttachment::new(n, m)
+            .unwrap()
+            .generate(&mut rng(1))
+            .unwrap();
         assert_eq!(g.node_count(), n);
         // Seed contributes m(m+1)/2 edges, every other node contributes m.
         let expected_edges = m * (m + 1) / 2 + (n - (m + 1)) * m;
@@ -316,7 +322,10 @@ mod tests {
     #[test]
     fn minimum_degree_equals_m() {
         for m in [1usize, 2, 3] {
-            let g = PreferentialAttachment::new(400, m).unwrap().generate(&mut rng(7)).unwrap();
+            let g = PreferentialAttachment::new(400, m)
+                .unwrap()
+                .generate(&mut rng(7))
+                .unwrap();
             assert!(
                 g.min_degree().unwrap() >= m,
                 "m={m}: min degree {} below m",
@@ -327,14 +336,24 @@ mod tests {
 
     #[test]
     fn generated_network_is_connected_for_m_at_least_one() {
-        let g = PreferentialAttachment::new(600, 1).unwrap().generate(&mut rng(3)).unwrap();
+        let g = PreferentialAttachment::new(600, 1)
+            .unwrap()
+            .generate(&mut rng(3))
+            .unwrap();
         assert!(traversal::is_connected(&g));
     }
 
     #[test]
     fn m_equals_one_without_cutoff_is_a_tree() {
-        let g = PreferentialAttachment::new(300, 1).unwrap().generate(&mut rng(11)).unwrap();
-        assert_eq!(g.edge_count(), g.node_count() - 1, "BA with m=1 is a scale-free tree");
+        let g = PreferentialAttachment::new(300, 1)
+            .unwrap()
+            .generate(&mut rng(11))
+            .unwrap();
+        assert_eq!(
+            g.edge_count(),
+            g.node_count() - 1,
+            "BA with m=1 is a scale-free tree"
+        );
         assert!(traversal::is_connected(&g));
     }
 
@@ -352,7 +371,10 @@ mod tests {
 
     #[test]
     fn without_cutoff_hubs_exceed_hard_cutoff_levels() {
-        let g = PreferentialAttachment::new(2_000, 2).unwrap().generate(&mut rng(17)).unwrap();
+        let g = PreferentialAttachment::new(2_000, 2)
+            .unwrap()
+            .generate(&mut rng(17))
+            .unwrap();
         assert!(
             g.max_degree().unwrap() > 40,
             "an unbounded PA run of this size should grow hubs beyond 40, got {}",
@@ -397,7 +419,10 @@ mod tests {
     fn degree_distribution_is_heavy_tailed() {
         // The fraction of degree-m nodes should dominate, and the maximum degree should be
         // far above the mean - a crude but robust scale-freeness check.
-        let g = PreferentialAttachment::new(5_000, 1).unwrap().generate(&mut rng(29)).unwrap();
+        let g = PreferentialAttachment::new(5_000, 1)
+            .unwrap()
+            .generate(&mut rng(29))
+            .unwrap();
         let hist = metrics::degree_histogram(&g);
         assert!(hist.fraction(1) > 0.5);
         assert!(g.max_degree().unwrap() as f64 > 5.0 * g.average_degree());
@@ -426,7 +451,9 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_fixed_seed() {
-        let gen = PreferentialAttachment::new(300, 2).unwrap().with_cutoff(DegreeCutoff::hard(30));
+        let gen = PreferentialAttachment::new(300, 2)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(30));
         let a = gen.generate(&mut rng(99)).unwrap();
         let b = gen.generate(&mut rng(99)).unwrap();
         assert_eq!(a, b);

@@ -48,7 +48,9 @@ impl BoundedPowerLaw {
             });
         }
         if k_min == 0 {
-            return Err(TopologyError::InvalidConfig { reason: "power-law support must start at k >= 1" });
+            return Err(TopologyError::InvalidConfig {
+                reason: "power-law support must start at k >= 1",
+            });
         }
         if k_min > k_max {
             return Err(TopologyError::InvalidConfig {
@@ -67,7 +69,12 @@ impl BoundedPowerLaw {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        Ok(BoundedPowerLaw { gamma, k_min, k_max, cdf })
+        Ok(BoundedPowerLaw {
+            gamma,
+            k_min,
+            k_max,
+            cdf,
+        })
     }
 
     /// Returns the exponent `γ`.
@@ -97,7 +104,9 @@ impl BoundedPowerLaw {
 
     /// Returns the mean of the distribution.
     pub fn mean(&self) -> f64 {
-        (self.k_min..=self.k_max).map(|k| k as f64 * self.pmf(k)).sum()
+        (self.k_min..=self.k_max)
+            .map(|k| k as f64 * self.pmf(k))
+            .sum()
     }
 
     /// Samples a degree from the distribution.
@@ -140,10 +149,14 @@ impl BoundedPowerLaw {
 /// empty.
 pub fn support_for(n: usize, m: usize, cutoff: DegreeCutoff) -> Result<(usize, usize)> {
     if m == 0 {
-        return Err(TopologyError::InvalidConfig { reason: "stub count m must be at least 1" });
+        return Err(TopologyError::InvalidConfig {
+            reason: "stub count m must be at least 1",
+        });
     }
     if n < 2 {
-        return Err(TopologyError::InvalidConfig { reason: "network size must be at least 2" });
+        return Err(TopologyError::InvalidConfig {
+            reason: "network size must be at least 2",
+        });
     }
     let k_max = cutoff.effective_max(n);
     if k_max < m {
@@ -231,8 +244,14 @@ mod tests {
 
     #[test]
     fn support_for_respects_cutoff() {
-        assert_eq!(support_for(1000, 2, DegreeCutoff::Unbounded).unwrap(), (2, 999));
-        assert_eq!(support_for(1000, 2, DegreeCutoff::hard(40)).unwrap(), (2, 40));
+        assert_eq!(
+            support_for(1000, 2, DegreeCutoff::Unbounded).unwrap(),
+            (2, 999)
+        );
+        assert_eq!(
+            support_for(1000, 2, DegreeCutoff::hard(40)).unwrap(),
+            (2, 40)
+        );
         assert!(support_for(1000, 0, DegreeCutoff::Unbounded).is_err());
         assert!(support_for(1, 1, DegreeCutoff::Unbounded).is_err());
         assert!(support_for(1000, 5, DegreeCutoff::hard(3)).is_err());

@@ -178,7 +178,7 @@ impl UncorrelatedConfigurationModel {
         let mut graph = Graph::with_nodes(self.nodes);
         let mut pending: Vec<NodeId> = Vec::with_capacity(target_degrees.iter().sum());
         for (i, &k) in target_degrees.iter().enumerate() {
-            pending.extend(std::iter::repeat(NodeId::new(i)).take(k));
+            pending.extend(std::iter::repeat_n(NodeId::new(i), k));
         }
 
         let mut restarts = 0usize;
@@ -214,7 +214,12 @@ impl UncorrelatedConfigurationModel {
             pending = Self::repair_by_edge_swaps(&mut graph, pending, rng)?;
         }
 
-        Ok(UcmOutcome { graph, target_degrees, unplaced_stubs: pending.len(), restarts })
+        Ok(UcmOutcome {
+            graph,
+            target_degrees,
+            unplaced_stubs: pending.len(),
+            restarts,
+        })
     }
     /// Places the remaining `pending` stubs via degree-preserving edge swaps, returning any
     /// stubs that still could not be placed.
@@ -334,7 +339,10 @@ mod tests {
             .generate_with_report(&mut rng(1))
             .unwrap();
         assert_eq!(outcome.graph.node_count(), 2_000);
-        assert_eq!(outcome.unplaced_stubs, 0, "uncorrelated regime should place every stub");
+        assert_eq!(
+            outcome.unplaced_stubs, 0,
+            "uncorrelated regime should place every stub"
+        );
         let target_sum: usize = outcome.target_degrees.iter().sum();
         assert_eq!(outcome.graph.total_degree(), target_sum);
         outcome.graph.assert_consistent();
@@ -373,13 +381,22 @@ mod tests {
             .unwrap()
             .generate(&mut rng(7))
             .unwrap();
-        assert!(g.max_degree().unwrap() <= 50, "structural cutoff sqrt(2500) = 50");
+        assert!(
+            g.max_degree().unwrap() <= 50,
+            "structural cutoff sqrt(2500) = 50"
+        );
     }
 
     #[test]
     fn m1_disconnected_m3_giant_component() {
-        let g1 = UncorrelatedConfigurationModel::new(2_000, 2.6, 1).unwrap().generate(&mut rng(9)).unwrap();
-        let g3 = UncorrelatedConfigurationModel::new(2_000, 2.6, 3).unwrap().generate(&mut rng(9)).unwrap();
+        let g1 = UncorrelatedConfigurationModel::new(2_000, 2.6, 1)
+            .unwrap()
+            .generate(&mut rng(9))
+            .unwrap();
+        let g3 = UncorrelatedConfigurationModel::new(2_000, 2.6, 3)
+            .unwrap()
+            .generate(&mut rng(9))
+            .unwrap();
         assert!(!traversal::is_connected(&g1));
         assert!(traversal::giant_component_fraction(&g3) > 0.95);
     }
@@ -387,15 +404,24 @@ mod tests {
     #[test]
     fn degree_correlations_are_weak() {
         // The whole point of the structural cutoff: assortativity should be close to zero.
-        let g = UncorrelatedConfigurationModel::new(3_000, 2.5, 2).unwrap().generate(&mut rng(11)).unwrap();
+        let g = UncorrelatedConfigurationModel::new(3_000, 2.5, 2)
+            .unwrap()
+            .generate(&mut rng(11))
+            .unwrap();
         let r = metrics::degree_assortativity(&g).unwrap();
         assert!(r.abs() < 0.1, "expected near-zero assortativity, got {r}");
     }
 
     #[test]
     fn heavier_tails_for_smaller_gamma() {
-        let g_22 = UncorrelatedConfigurationModel::new(2_500, 2.2, 1).unwrap().generate(&mut rng(13)).unwrap();
-        let g_30 = UncorrelatedConfigurationModel::new(2_500, 3.0, 1).unwrap().generate(&mut rng(13)).unwrap();
+        let g_22 = UncorrelatedConfigurationModel::new(2_500, 2.2, 1)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
+        let g_30 = UncorrelatedConfigurationModel::new(2_500, 3.0, 1)
+            .unwrap()
+            .generate(&mut rng(13))
+            .unwrap();
         assert!(g_22.max_degree().unwrap() >= g_30.max_degree().unwrap());
     }
 

@@ -43,12 +43,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "paper" => Scale::paper(),
                     "reduced" => Scale::reduced(),
                     "smoke" => Scale::smoke(),
-                    other => return Err(format!("unknown scale '{other}' (expected paper, reduced, or smoke)")),
+                    other => {
+                        return Err(format!(
+                            "unknown scale '{other}' (expected paper, reduced, or smoke)"
+                        ))
+                    }
                 };
             }
             "--seed" => {
                 let value = iter.next().ok_or("--seed requires a value")?;
-                options.seed = value.parse().map_err(|_| format!("invalid seed '{value}'"))?;
+                options.seed = value
+                    .parse()
+                    .map_err(|_| format!("invalid seed '{value}'"))?;
             }
             "--csv" => options.csv = true,
             "--gnuplot" => options.gnuplot = true,
@@ -60,7 +66,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(usage());
             }
-            other if other.starts_with('-') => return Err(format!("unknown option '{other}'\n{}", usage())),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'\n{}", usage()))
+            }
             other => options.experiments.push(other.to_string()),
         }
     }

@@ -46,7 +46,12 @@ pub fn fig1b(scale: &Scale, seed: u64) -> ExperimentOutput {
         "k",
         "P(k)",
     );
-    let cutoffs = [DegreeCutoff::Unbounded, DegreeCutoff::hard(100), DegreeCutoff::hard(40), DegreeCutoff::hard(10)];
+    let cutoffs = [
+        DegreeCutoff::Unbounded,
+        DegreeCutoff::hard(100),
+        DegreeCutoff::hard(40),
+        DegreeCutoff::hard(10),
+    ];
     for m in [1usize, 3] {
         for cutoff in cutoffs {
             let generator = PreferentialAttachment::new(scale.degree_nodes, m)
@@ -76,7 +81,8 @@ pub fn fig1c(scale: &Scale, seed: u64) -> ExperimentOutput {
             let label = format!("m={m}, k_c={k_c}");
             // Fit window stops just below the cutoff so the accumulation spike does not
             // drag the slope (paper, Fig. 1(c) methodology).
-            let summary = fitted_exponent(&generator, &label, m, k_c.saturating_sub(1), scale, seed);
+            let summary =
+                fitted_exponent(&generator, &label, m, k_c.saturating_sub(1), scale, seed);
             series.push(DataPoint::from_summary(k_c as f64, &summary));
         }
         figure.push_series(series);
@@ -94,7 +100,11 @@ pub fn fig2(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     for gamma in [2.2f64, 2.6, 3.0] {
         for m in [1usize, 3] {
-            for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(40), DegreeCutoff::hard(10)] {
+            for cutoff in [
+                DegreeCutoff::Unbounded,
+                DegreeCutoff::hard(40),
+                DegreeCutoff::hard(10),
+            ] {
                 let generator = ConfigurationModel::new(scale.degree_nodes, gamma, m)
                     .expect("scale sizes are valid for CM")
                     .with_cutoff(cutoff);
@@ -115,7 +125,11 @@ pub fn fig3(scale: &Scale, seed: u64) -> ExperimentOutput {
         "P(k)",
     );
     for m in [1usize, 3] {
-        for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(50), DegreeCutoff::hard(10)] {
+        for cutoff in [
+            DegreeCutoff::Unbounded,
+            DegreeCutoff::hard(50),
+            DegreeCutoff::hard(10),
+        ] {
             let generator = HopAndAttempt::new(scale.degree_nodes, m)
                 .expect("scale sizes exceed the HAPA seed")
                 .with_cutoff(cutoff);
@@ -137,7 +151,11 @@ pub fn fig4(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     let tau_subs = [2u32, 4, 10, 20];
     for m in [1usize, 3] {
-        for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(40), DegreeCutoff::hard(10)] {
+        for cutoff in [
+            DegreeCutoff::Unbounded,
+            DegreeCutoff::hard(40),
+            DegreeCutoff::hard(10),
+        ] {
             for tau_sub in tau_subs {
                 let generator = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
                     .expect("scale sizes are valid for DAPA")
@@ -165,7 +183,14 @@ pub fn fig4g(scale: &Scale, seed: u64) -> ExperimentOutput {
                 .expect("scale sizes are valid for DAPA")
                 .with_cutoff(DegreeCutoff::hard(k_c));
             let label = format!("m={m}, k_c={k_c}");
-            let summary = fitted_exponent(&generator, &label, m.max(1), k_c.saturating_sub(1), scale, seed);
+            let summary = fitted_exponent(
+                &generator,
+                &label,
+                m.max(1),
+                k_c.saturating_sub(1),
+                scale,
+                seed,
+            );
             series.push(DataPoint::from_summary(k_c as f64, &summary));
         }
         figure.push_series(series);
@@ -179,7 +204,12 @@ mod tests {
 
     /// A deliberately tiny scale so unit tests stay fast in debug builds.
     fn tiny() -> Scale {
-        Scale { degree_nodes: 600, search_nodes: 300, realizations: 1, searches_per_point: 5 }
+        Scale {
+            degree_nodes: 600,
+            search_nodes: 300,
+            realizations: 1,
+            searches_per_point: 5,
+        }
     }
 
     #[test]
@@ -188,7 +218,11 @@ mod tests {
         let figure = output.as_figure().unwrap();
         assert_eq!(figure.series.len(), 3);
         for series in &figure.series {
-            assert!(series.points.len() >= 3, "{} has too few bins", series.label);
+            assert!(
+                series.points.len() >= 3,
+                "{} has too few bins",
+                series.label
+            );
             assert!(series.points.first().unwrap().y > series.points.last().unwrap().y);
         }
     }
@@ -201,7 +235,10 @@ mod tests {
         let capped = figure.series_by_label("m=1, k_c=10").unwrap();
         // Log-bin centers can sit slightly above the largest sample, so allow one bin of
         // slack beyond the cutoff of 10.
-        assert!(capped.points.iter().all(|p| p.x <= 14.0), "support must stop at the cutoff");
+        assert!(
+            capped.points.iter().all(|p| p.x <= 14.0),
+            "support must stop at the cutoff"
+        );
         let free = figure.series_by_label("m=1, no k_c").unwrap();
         assert!(free.points.last().unwrap().x > capped.points.last().unwrap().x);
     }
@@ -211,7 +248,10 @@ mod tests {
         // Paper, Fig. 1(c): the exponent degrades (decreases) as the cutoff shrinks, i.e. it
         // grows with k_c. With a tiny test network we only require the trend between the
         // extremes, allowing noise in between.
-        let scale = Scale { degree_nodes: 2_500, ..tiny() };
+        let scale = Scale {
+            degree_nodes: 2_500,
+            ..tiny()
+        };
         let output = fig1c(&scale, 3);
         let figure = output.as_figure().unwrap();
         let m1 = figure.series_by_label("m=1").unwrap();
@@ -243,13 +283,23 @@ mod tests {
 
     #[test]
     fn fig4g_exponents_are_positive_and_finite() {
-        let scale = Scale { degree_nodes: 600, search_nodes: 500, realizations: 1, searches_per_point: 5 };
+        let scale = Scale {
+            degree_nodes: 600,
+            search_nodes: 500,
+            realizations: 1,
+            searches_per_point: 5,
+        };
         let output = fig4g(&scale, 5);
         let figure = output.as_figure().unwrap();
         assert_eq!(figure.series.len(), 3);
         for series in &figure.series {
             for p in &series.points {
-                assert!(p.y.is_finite() && p.y > 0.0, "{}: bad exponent {}", series.label, p.y);
+                assert!(
+                    p.y.is_finite() && p.y > 0.0,
+                    "{}: bad exponent {}",
+                    series.label,
+                    p.y
+                );
             }
         }
     }

@@ -22,7 +22,7 @@ use sfo_core::nonlinear::NonlinearPreferentialAttachment;
 use sfo_core::pa::PreferentialAttachment;
 use sfo_core::ucm::UncorrelatedConfigurationModel;
 use sfo_core::{DegreeCutoff, TopologyGenerator};
-use sfo_graph::{centrality, correlations, kcore, metrics, traversal};
+use sfo_graph::{centrality, correlations, kcore, metrics, traversal, CsrGraph};
 use sfo_search::biased_walk::DegreeBiasedWalk;
 use sfo_search::expanding_ring::ExpandingRing;
 use sfo_search::flooding::Flooding;
@@ -54,10 +54,18 @@ fn format_f64(value: f64) -> String {
 /// giant-component fraction.
 pub fn generator_zoo(scale: &Scale, seed: u64) -> ExperimentOutput {
     let nodes = scale.search_nodes;
-    let generators: Vec<(String, Box<dyn TopologyGenerator>, Box<dyn TopologyGenerator>)> = vec![
-        zoo_entry("PA m=2", PreferentialAttachment::new(nodes, 2).expect("valid PA config"), |g, c| {
-            g.with_cutoff(c)
-        }),
+    /// One zoo row: label, uncapped generator, capped generator.
+    type ZooEntry = (
+        String,
+        Box<dyn TopologyGenerator>,
+        Box<dyn TopologyGenerator>,
+    );
+    let generators: Vec<ZooEntry> = vec![
+        zoo_entry(
+            "PA m=2",
+            PreferentialAttachment::new(nodes, 2).expect("valid PA config"),
+            |g, c| g.with_cutoff(c),
+        ),
         zoo_entry(
             "NLPA alpha=0.5 m=2",
             NonlinearPreferentialAttachment::new(nodes, 2, 0.5).expect("valid NLPA config"),
@@ -95,9 +103,11 @@ pub fn generator_zoo(scale: &Scale, seed: u64) -> ExperimentOutput {
             UncorrelatedConfigurationModel::new(nodes, 2.6, 2).expect("valid UCM config"),
             |g, c| g.with_cutoff(c),
         ),
-        zoo_entry("HAPA m=2", HopAndAttempt::new(nodes, 2).expect("valid HAPA config"), |g, c| {
-            g.with_cutoff(c)
-        }),
+        zoo_entry(
+            "HAPA m=2",
+            HopAndAttempt::new(nodes, 2).expect("valid HAPA config"),
+            |g, c| g.with_cutoff(c),
+        ),
     ];
 
     let mut table = TextTable::new(vec![
@@ -109,17 +119,19 @@ pub fn generator_zoo(scale: &Scale, seed: u64) -> ExperimentOutput {
         "giant component",
     ]);
     for (name, unbounded, capped) in &generators {
-        for (generator, cutoff) in
-            [(unbounded, DegreeCutoff::Unbounded), (capped, DegreeCutoff::hard(10))]
-        {
+        for (generator, cutoff) in [
+            (unbounded, DegreeCutoff::Unbounded),
+            (capped, DegreeCutoff::hard(10)),
+        ] {
             let mut rng = realization_rng(seed, 0x5A00, name.len() + cutoff.value().unwrap_or(0));
             let graph = generator
                 .generate(&mut rng)
                 .unwrap_or_else(|e| panic!("generator {name} failed: {e}"));
             let hist = metrics::degree_histogram(&graph);
-            let fit_max = cutoff.value().map(|k| k.saturating_sub(1)).unwrap_or_else(|| {
-                hist.max_degree().unwrap_or(1)
-            });
+            let fit_max = cutoff
+                .value()
+                .map(|k| k.saturating_sub(1))
+                .unwrap_or_else(|| hist.max_degree().unwrap_or(1));
             let gamma = select_k_min(&graph.degrees(), 1, 6, fit_max.max(2))
                 .map(|s| format_f64(s.fit.gamma))
                 .unwrap_or_else(|| "-".to_string());
@@ -142,7 +154,11 @@ fn zoo_entry<G>(
     name: &str,
     generator: G,
     with_cutoff: impl Fn(G, DegreeCutoff) -> G,
-) -> (String, Box<dyn TopologyGenerator>, Box<dyn TopologyGenerator>)
+) -> (
+    String,
+    Box<dyn TopologyGenerator>,
+    Box<dyn TopologyGenerator>,
+)
 where
     G: TopologyGenerator + Clone + 'static,
 {
@@ -164,7 +180,7 @@ pub fn search_strategies(scale: &Scale, seed: u64) -> ExperimentOutput {
         "hits",
     );
     let ttls = nf_rw_ttls();
-    let algorithms: Vec<(&str, Box<dyn SearchAlgorithm>)> = vec![
+    let algorithms: Vec<(&str, Box<dyn SearchAlgorithm<CsrGraph>>)> = vec![
         ("FL", Box::new(Flooding::new())),
         ("NF k_min=2", Box::new(NormalizedFlooding::new(2))),
         ("pFL p=0.5", Box::new(ProbabilisticFlooding::new(0.5))),
@@ -178,7 +194,14 @@ pub fn search_strategies(scale: &Scale, seed: u64) -> ExperimentOutput {
             .with_cutoff(cutoff);
         for (name, algorithm) in &algorithms {
             let label = format!("{name}, {}", cutoff_label(cutoff));
-            figure.push_series(search_series(&pa, algorithm.as_ref(), &label, &ttls, scale, seed));
+            figure.push_series(search_series(
+                &pa,
+                algorithm.as_ref(),
+                &label,
+                &ttls,
+                scale,
+                seed,
+            ));
         }
     }
     ExperimentOutput::Figure(figure)
@@ -292,8 +315,11 @@ pub fn substrate_comparison(scale: &Scale, seed: u64) -> ExperimentOutput {
                 ),
             ];
             for (name, generator) in &configs {
-                let mut rng =
-                    realization_rng(seed, 0x5B5, name.len() + tau_sub as usize + cutoff.value().unwrap_or(0));
+                let mut rng = realization_rng(
+                    seed,
+                    0x5B5,
+                    name.len() + tau_sub as usize + cutoff.value().unwrap_or(0),
+                );
                 let graph = generator
                     .generate(&mut rng)
                     .unwrap_or_else(|e| panic!("DAPA over {name} failed: {e}"));
@@ -338,7 +364,10 @@ pub fn churn_trace(scale: &Scale, seed: u64) -> ExperimentOutput {
     let trace_config = ChurnTraceConfig {
         duration,
         arrival_rate: bootstrap as f64 / duration as f64,
-        sessions: SessionModel::Pareto { shape: 1.6, minimum: 30.0 },
+        sessions: SessionModel::Pareto {
+            shape: 1.6,
+            minimum: 30.0,
+        },
         crash_fraction: 0.25,
     };
     let mut trace_rng = realization_rng(seed, 0xC4A2, 0);
@@ -363,19 +392,34 @@ pub fn churn_trace(scale: &Scale, seed: u64) -> ExperimentOutput {
         config.overlay = OverlayConfig {
             stubs: 3,
             cutoff,
-            join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 100 },
+            join_strategy: JoinStrategy::HopAndAttempt {
+                max_hops_per_link: 100,
+            },
             repair_on_leave: repair,
         };
         config.replica_budget = config.catalog_items * 5;
-        let mut rng = realization_rng(seed, 0xC4A2, 1 + usize::from(repair) + 2 * cutoff.value().unwrap_or(0));
+        let mut rng = realization_rng(
+            seed,
+            0xC4A2,
+            1 + usize::from(repair) + 2 * cutoff.value().unwrap_or(0),
+        );
         let report = run_trace(&config, &trace, &mut rng).expect("trace replay succeeds");
         let churn_events = (report.arrivals_applied + report.leaves_applied).max(1);
         table.push_row(vec![
             cutoff_label(cutoff),
-            if repair { "yes".to_string() } else { "no".to_string() },
+            if repair {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
             format_f64(report.success_rate()),
             format_f64(report.worst_connectivity()),
-            report.samples.last().map(|s| s.max_degree).unwrap_or(0).to_string(),
+            report
+                .samples
+                .last()
+                .map(|s| s.max_degree)
+                .unwrap_or(0)
+                .to_string(),
             format_f64(report.control_messages as f64 / churn_events as f64),
         ]);
     }
@@ -400,7 +444,10 @@ pub fn hub_load(scale: &Scale, seed: u64) -> ExperimentOutput {
         "modal degree fraction",
     ]);
     let configs: Vec<(String, Box<dyn TopologyGenerator>)> = vec![
-        ("PA m=2".to_string(), Box::new(PreferentialAttachment::new(nodes, 2).expect("valid PA"))),
+        (
+            "PA m=2".to_string(),
+            Box::new(PreferentialAttachment::new(nodes, 2).expect("valid PA")),
+        ),
         (
             "PA m=2 k_c=10".to_string(),
             Box::new(
@@ -409,7 +456,10 @@ pub fn hub_load(scale: &Scale, seed: u64) -> ExperimentOutput {
                     .with_cutoff(DegreeCutoff::hard(10)),
             ),
         ),
-        ("HAPA m=2".to_string(), Box::new(HopAndAttempt::new(nodes, 2).expect("valid HAPA"))),
+        (
+            "HAPA m=2".to_string(),
+            Box::new(HopAndAttempt::new(nodes, 2).expect("valid HAPA")),
+        ),
         (
             "HAPA m=2 k_c=10".to_string(),
             Box::new(
@@ -424,8 +474,11 @@ pub fn hub_load(scale: &Scale, seed: u64) -> ExperimentOutput {
         let graph = generator
             .generate(&mut rng)
             .unwrap_or_else(|e| panic!("generator {name} failed: {e}"));
-        let betweenness =
-            centrality::betweenness_centrality_sampled(&graph, 64.min(graph.node_count()), &mut rng);
+        let betweenness = centrality::betweenness_centrality_sampled(
+            &graph,
+            64.min(graph.node_count()),
+            &mut rng,
+        );
         let decomposition = kcore::core_decomposition(&graph);
         let assortativity = metrics::degree_assortativity(&graph)
             .map(format_f64)
@@ -436,7 +489,11 @@ pub fn hub_load(scale: &Scale, seed: u64) -> ExperimentOutput {
             .find(|p| p.degree as f64 >= mean_degree)
             .map(|p| format_f64(p.coefficient))
             .unwrap_or_else(|| "-".to_string());
-        let cutoff = if name.contains("k_c") { "k_c=10" } else { "no k_c" };
+        let cutoff = if name.contains("k_c") {
+            "k_c=10"
+        } else {
+            "no k_c"
+        };
         table.push_row(vec![
             name.split(" k_c").next().unwrap_or(name).to_string(),
             cutoff.to_string(),
@@ -455,7 +512,12 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale { degree_nodes: 500, search_nodes: 400, realizations: 1, searches_per_point: 5 }
+        Scale {
+            degree_nodes: 500,
+            search_nodes: 400,
+            realizations: 1,
+            searches_per_point: 5,
+        }
     }
 
     #[test]
@@ -472,7 +534,11 @@ mod tests {
         let figure = output.as_figure().expect("comparison is a figure");
         assert_eq!(figure.series.len(), 12, "6 algorithms x 2 cutoffs");
         // FL dominates every other algorithm at the deepest TTL without a cutoff.
-        let fl = figure.series_by_label("FL, no k_c").unwrap().max_y().unwrap();
+        let fl = figure
+            .series_by_label("FL, no k_c")
+            .unwrap()
+            .max_y()
+            .unwrap();
         for s in &figure.series {
             if s.label.ends_with("no k_c") {
                 assert!(s.max_y().unwrap() <= fl + 1e-9, "{} exceeds FL", s.label);
@@ -512,7 +578,11 @@ mod tests {
     fn substrate_comparison_covers_both_substrates() {
         let output = substrate_comparison(&tiny_scale(), 11);
         let table = output.as_table().expect("substrate comparison is a table");
-        assert_eq!(table.row_count(), 12, "3 tau_sub x 2 cutoffs x 2 substrates");
+        assert_eq!(
+            table.row_count(),
+            12,
+            "3 tau_sub x 2 cutoffs x 2 substrates"
+        );
         assert_eq!(table.column_count(), 6);
         // Column 0 alternates GRN / mesh.
         assert_eq!(table.cell(0, 0), Some("GRN"));

@@ -2,7 +2,9 @@
 //! "available upon request"), the minimum-connectedness ablation behind the paper's "2-3
 //! links" guideline, and the churn extension built on `sfo-sim`.
 
-use crate::helpers::{message_series, nf_rw_ttls, realization_rng, rw_message_series, search_series};
+use crate::helpers::{
+    message_series, nf_rw_ttls, realization_rng, rw_message_series, search_series,
+};
 use crate::{ExperimentOutput, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +39,11 @@ pub fn msg_complexity(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     let ttls = nf_rw_ttls();
     for m in [1usize, 2, 3] {
-        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+        for cutoff in [
+            DegreeCutoff::hard(10),
+            DegreeCutoff::hard(50),
+            DegreeCutoff::Unbounded,
+        ] {
             let pa = PreferentialAttachment::new(scale.search_nodes, m)
                 .expect("scale sizes exceed the PA seed")
                 .with_cutoff(cutoff);
@@ -78,7 +84,14 @@ pub fn ablation_minlinks(scale: &Scale, seed: u64) -> ExperimentOutput {
             .with_cutoff(DegreeCutoff::hard(10));
         let free = PreferentialAttachment::new(scale.search_nodes, m)
             .expect("scale sizes exceed the PA seed");
-        let fl = search_series(&capped, &Flooding::new(), &format!("fl-m{m}"), &[fl_ttl], scale, seed);
+        let fl = search_series(
+            &capped,
+            &Flooding::new(),
+            &format!("fl-m{m}"),
+            &[fl_ttl],
+            scale,
+            seed,
+        );
         let nf = search_series(
             &capped,
             &NormalizedFlooding::new(m),
@@ -87,8 +100,14 @@ pub fn ablation_minlinks(scale: &Scale, seed: u64) -> ExperimentOutput {
             scale,
             seed,
         );
-        let fl_free =
-            search_series(&free, &Flooding::new(), &format!("flfree-m{m}"), &[fl_ttl], scale, seed);
+        let fl_free = search_series(
+            &free,
+            &Flooding::new(),
+            &format!("flfree-m{m}"),
+            &[fl_ttl],
+            scale,
+            seed,
+        );
         fl_series.push(DataPoint::single(m as f64, fl.points[0].y));
         nf_series.push(DataPoint::single(m as f64, nf.points[0].y));
         fl_nocutoff.push(DataPoint::single(m as f64, fl_free.points[0].y));
@@ -111,8 +130,14 @@ pub fn resilience(scale: &Scale, seed: u64) -> ExperimentOutput {
         "giant component fraction",
     );
     let fractions = [0.0f64, 0.02, 0.05, 0.1, 0.2, 0.3];
-    let strategies = [("random failures", RemovalStrategy::Random), ("hub attack", RemovalStrategy::HighestDegree)];
-    for (cutoff_name, cutoff) in [("no k_c", DegreeCutoff::Unbounded), ("k_c=10", DegreeCutoff::hard(10))] {
+    let strategies = [
+        ("random failures", RemovalStrategy::Random),
+        ("hub attack", RemovalStrategy::HighestDegree),
+    ];
+    for (cutoff_name, cutoff) in [
+        ("no k_c", DegreeCutoff::Unbounded),
+        ("k_c=10", DegreeCutoff::hard(10)),
+    ] {
         let generator = PreferentialAttachment::new(scale.search_nodes, 2)
             .expect("scale sizes exceed the PA seed")
             .with_cutoff(cutoff);
@@ -121,7 +146,9 @@ pub fn resilience(scale: &Scale, seed: u64) -> ExperimentOutput {
             let mut per_fraction = vec![Summary::new(); fractions.len()];
             for r in 0..scale.realizations {
                 let mut rng = realization_rng(seed, label.len() as u64, r);
-                let graph = generator.generate(&mut rng).expect("PA generation succeeds");
+                let graph = generator
+                    .generate(&mut rng)
+                    .expect("PA generation succeeds");
                 for (summary, point) in per_fraction
                     .iter_mut()
                     .zip(robustness_profile(&graph, strategy, &fractions, &mut rng))
@@ -149,7 +176,10 @@ pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
         "value",
     );
     let initial_peers = scale.search_nodes.clamp(200, 2_000);
-    for (label, cutoff) in [("k_c=10", DegreeCutoff::hard(10)), ("no k_c", DegreeCutoff::Unbounded)] {
+    for (label, cutoff) in [
+        ("k_c=10", DegreeCutoff::hard(10)),
+        ("no k_c", DegreeCutoff::Unbounded),
+    ] {
         let config = SimulationConfig {
             initial_peers,
             duration: 300,
@@ -162,7 +192,9 @@ pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
             overlay: OverlayConfig {
                 stubs: 3,
                 cutoff,
-                join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 200 },
+                join_strategy: JoinStrategy::HopAndAttempt {
+                    max_hops_per_link: 200,
+                },
                 repair_on_leave: true,
             },
             catalog_items: 100,
@@ -172,20 +204,31 @@ pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
         };
         let simulation = Simulation::new(config).expect("churn configuration is valid");
         let mut rng = StdRng::seed_from_u64(seed ^ label.len() as u64);
-        let report = simulation.run(&mut rng).expect("churn simulation runs to completion");
+        let report = simulation
+            .run(&mut rng)
+            .expect("churn simulation runs to completion");
 
         let mut giant = DataSeries::new(format!("giant component fraction, {label}"));
         for sample in &report.samples {
-            giant.push(DataPoint::single(sample.time as f64, sample.giant_component_fraction));
+            giant.push(DataPoint::single(
+                sample.time as f64,
+                sample.giant_component_fraction,
+            ));
         }
         figure.push_series(giant);
 
         let mut success = DataSeries::new(format!("query success rate, {label}"));
-        success.push(DataPoint::single(config.duration as f64, report.success_rate()));
+        success.push(DataPoint::single(
+            config.duration as f64,
+            report.success_rate(),
+        ));
         figure.push_series(success);
 
         let mut churn_cost = DataSeries::new(format!("control messages per churn event, {label}"));
-        churn_cost.push(DataPoint::single(config.duration as f64, report.mean_churn_messages()));
+        churn_cost.push(DataPoint::single(
+            config.duration as f64,
+            report.mean_churn_messages(),
+        ));
         figure.push_series(churn_cost);
     }
     ExperimentOutput::Figure(figure)
@@ -196,7 +239,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { degree_nodes: 300, search_nodes: 300, realizations: 1, searches_per_point: 8 }
+        Scale {
+            degree_nodes: 300,
+            search_nodes: 300,
+            realizations: 1,
+            searches_per_point: 8,
+        }
     }
 
     #[test]
@@ -208,31 +256,55 @@ mod tests {
         assert_eq!(fl.points.len(), 3);
         let m1 = fl.y_at(1.0).unwrap();
         let m3 = fl.y_at(3.0).unwrap();
-        assert!(m3 > m1, "flooding with m=3 ({m3}) should beat m=1 ({m1}) under k_c=10");
+        assert!(
+            m3 > m1,
+            "flooding with m=3 ({m3}) should beat m=1 ({m1}) under k_c=10"
+        );
     }
 
     #[test]
     fn resilience_hub_attacks_hurt_unbounded_overlays_more_than_capped_ones() {
-        let scale = Scale { search_nodes: 600, ..tiny() };
+        let scale = Scale {
+            search_nodes: 600,
+            ..tiny()
+        };
         let output = resilience(&scale, 7);
         let figure = output.as_figure().unwrap();
         assert_eq!(figure.series.len(), 4);
         for series in &figure.series {
-            assert!((series.y_at(0.0).unwrap() - 1.0).abs() < 1e-9, "{}", series.label);
+            assert!(
+                (series.y_at(0.0).unwrap() - 1.0).abs() < 1e-9,
+                "{}",
+                series.label
+            );
             for p in &series.points {
                 assert!((0.0..=1.0).contains(&p.y));
             }
         }
         // Random failures barely hurt a scale-free overlay; a hub attack of the same size
         // hurts it more ("robust yet fragile").
-        let random = figure.series_by_label("random failures, no k_c").unwrap().y_at(0.2).unwrap();
-        let attack = figure.series_by_label("hub attack, no k_c").unwrap().y_at(0.2).unwrap();
-        assert!(attack < random, "hub attack ({attack:.2}) should hurt more than random failures ({random:.2})");
+        let random = figure
+            .series_by_label("random failures, no k_c")
+            .unwrap()
+            .y_at(0.2)
+            .unwrap();
+        let attack = figure
+            .series_by_label("hub attack, no k_c")
+            .unwrap()
+            .y_at(0.2)
+            .unwrap();
+        assert!(
+            attack < random,
+            "hub attack ({attack:.2}) should hurt more than random failures ({random:.2})"
+        );
     }
 
     #[test]
     fn churn_reports_health_and_success_series_for_both_cutoffs() {
-        let scale = Scale { search_nodes: 200, ..tiny() };
+        let scale = Scale {
+            search_nodes: 200,
+            ..tiny()
+        };
         let output = churn(&scale, 2);
         let figure = output.as_figure().unwrap();
         assert_eq!(figure.series.len(), 6);
@@ -243,8 +315,14 @@ mod tests {
         for p in &giant.points {
             assert!((0.0..=1.0).contains(&p.y));
         }
-        let success = figure.series_by_label("query success rate, k_c=10").unwrap();
-        assert!(success.points[0].y > 0.2, "query success {} too low", success.points[0].y);
+        let success = figure
+            .series_by_label("query success rate, k_c=10")
+            .unwrap();
+        assert!(
+            success.points[0].y > 0.2,
+            "query success {} too low",
+            success.points[0].y
+        );
     }
 
     #[test]

@@ -1,39 +1,56 @@
 //! Shared building blocks for the figure reproductions: realization loops, degree-sample
 //! collection, and TTL sweeps averaged across realizations.
+//!
+//! Search sweeps follow the build-once/query-many split: every generated realization is
+//! frozen into a [`CsrGraph`] snapshot once, and all TTL sweeps for that realization run
+//! against the flat snapshot.
 
 use crate::Scale;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sfo_analysis::histogram::log_binned_distribution;
 use sfo_analysis::powerlaw_fit::fit_exponent_from_counts;
 use sfo_analysis::{DataPoint, DataSeries, Summary};
 use sfo_core::TopologyGenerator;
-use sfo_graph::{metrics, Graph};
-use sfo_search::experiment::{rw_normalized_to_nf, ttl_sweep};
+use sfo_graph::{metrics, CsrGraph};
+use sfo_search::experiment::{rw_normalized_to_nf, stream_rng, ttl_sweep};
 use sfo_search::SearchAlgorithm;
 
 /// Number of logarithmic bins per decade used for all degree-distribution figures.
 pub const BINS_PER_DECADE: usize = 8;
 
 /// Derives the RNG for realization `index` of a generator labelled by `salt`.
+///
+/// Delegates to [`stream_rng`], the workspace's single stream-derivation rule, so
+/// realization streams here and worker-thread streams in `sfo-search` are seeded
+/// identically.
 pub fn realization_rng(seed: u64, salt: u64, index: usize) -> StdRng {
-    StdRng::seed_from_u64(seed ^ salt.rotate_left(17) ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    stream_rng(seed, salt, index)
 }
 
 fn label_salt(label: &str) -> u64 {
-    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3))
+    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 /// Generates `scale.realizations` independent topologies and concatenates the degrees of
 /// all their nodes into one sample, the input of the paper's `P(k)` plots.
-pub fn degree_samples(generator: &dyn TopologyGenerator, label: &str, scale: &Scale, seed: u64) -> Vec<usize> {
+pub fn degree_samples(
+    generator: &dyn TopologyGenerator,
+    label: &str,
+    scale: &Scale,
+    seed: u64,
+) -> Vec<usize> {
     let salt = label_salt(label);
     let mut samples = Vec::new();
     for r in 0..scale.realizations {
         let mut rng = realization_rng(seed, salt, r);
-        let graph = generator
-            .generate(&mut rng)
-            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
+        let graph = generator.generate(&mut rng).unwrap_or_else(|e| {
+            panic!(
+                "generator {} failed for series '{label}': {e}",
+                generator.name()
+            )
+        });
         samples.extend(graph.degrees());
     }
     samples
@@ -75,9 +92,12 @@ pub fn fitted_exponent(
     let mut summary = Summary::new();
     for r in 0..scale.realizations {
         let mut rng = realization_rng(seed, salt, r);
-        let graph = generator
-            .generate(&mut rng)
-            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
+        let graph = generator.generate(&mut rng).unwrap_or_else(|e| {
+            panic!(
+                "generator {} failed for series '{label}': {e}",
+                generator.name()
+            )
+        });
         let hist = metrics::degree_histogram(&graph);
         if let Some(fit) = fit_exponent_from_counts(&hist.counts, m, fit_max) {
             summary.add(fit.gamma);
@@ -90,35 +110,49 @@ pub fn fitted_exponent(
 /// averages the hit counts per TTL, returning one labelled series.
 pub fn search_series(
     generator: &dyn TopologyGenerator,
-    algorithm: &dyn SearchAlgorithm,
+    algorithm: &dyn SearchAlgorithm<CsrGraph>,
     label: &str,
     ttls: &[u32],
     scale: &Scale,
     seed: u64,
 ) -> DataSeries {
-    sweep_series(label, ttls, scale, seed, |graph, rng| {
-        ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
-            .into_iter()
-            .map(|o| o.mean_hits)
-            .collect()
-    }, generator)
+    sweep_series(
+        label,
+        ttls,
+        scale,
+        seed,
+        |graph, rng| {
+            ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
+                .into_iter()
+                .map(|o| o.mean_hits)
+                .collect()
+        },
+        generator,
+    )
 }
 
 /// Like [`search_series`] but reporting the mean number of messages instead of hits.
 pub fn message_series(
     generator: &dyn TopologyGenerator,
-    algorithm: &dyn SearchAlgorithm,
+    algorithm: &dyn SearchAlgorithm<CsrGraph>,
     label: &str,
     ttls: &[u32],
     scale: &Scale,
     seed: u64,
 ) -> DataSeries {
-    sweep_series(label, ttls, scale, seed, |graph, rng| {
-        ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
-            .into_iter()
-            .map(|o| o.mean_messages)
-            .collect()
-    }, generator)
+    sweep_series(
+        label,
+        ttls,
+        scale,
+        seed,
+        |graph, rng| {
+            ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
+                .into_iter()
+                .map(|o| o.mean_messages)
+                .collect()
+        },
+        generator,
+    )
 }
 
 /// Runs the message-normalized random-walk sweep (Figs. 11-12) on topologies from
@@ -132,12 +166,19 @@ pub fn rw_series(
     scale: &Scale,
     seed: u64,
 ) -> DataSeries {
-    sweep_series(label, ttls, scale, seed, |graph, rng| {
-        rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
-            .into_iter()
-            .map(|o| o.mean_hits)
-            .collect()
-    }, generator)
+    sweep_series(
+        label,
+        ttls,
+        scale,
+        seed,
+        |graph, rng| {
+            rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
+                .into_iter()
+                .map(|o| o.mean_hits)
+                .collect()
+        },
+        generator,
+    )
 }
 
 /// Like [`rw_series`] but reporting the mean number of messages the walks actually spent.
@@ -149,12 +190,19 @@ pub fn rw_message_series(
     scale: &Scale,
     seed: u64,
 ) -> DataSeries {
-    sweep_series(label, ttls, scale, seed, |graph, rng| {
-        rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
-            .into_iter()
-            .map(|o| o.mean_messages)
-            .collect()
-    }, generator)
+    sweep_series(
+        label,
+        ttls,
+        scale,
+        seed,
+        |graph, rng| {
+            rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
+                .into_iter()
+                .map(|o| o.mean_messages)
+                .collect()
+        },
+        generator,
+    )
 }
 
 fn sweep_series(
@@ -162,17 +210,23 @@ fn sweep_series(
     ttls: &[u32],
     scale: &Scale,
     seed: u64,
-    per_realization: impl Fn(&Graph, &mut StdRng) -> Vec<f64>,
+    per_realization: impl Fn(&CsrGraph, &mut StdRng) -> Vec<f64>,
     generator: &dyn TopologyGenerator,
 ) -> DataSeries {
     let salt = label_salt(label);
     let mut per_ttl: Vec<Summary> = vec![Summary::new(); ttls.len()];
     for r in 0..scale.realizations {
         let mut rng = realization_rng(seed, salt, r);
-        let graph = generator
+        let frozen = generator
             .generate(&mut rng)
-            .unwrap_or_else(|e| panic!("generator {} failed for series '{label}': {e}", generator.name()));
-        let values = per_realization(&graph, &mut rng);
+            .unwrap_or_else(|e| {
+                panic!(
+                    "generator {} failed for series '{label}': {e}",
+                    generator.name()
+                )
+            })
+            .freeze();
+        let values = per_realization(&frozen, &mut rng);
         debug_assert_eq!(values.len(), ttls.len());
         for (summary, value) in per_ttl.iter_mut().zip(values) {
             summary.add(value);
@@ -203,7 +257,12 @@ mod tests {
     use sfo_search::flooding::Flooding;
 
     fn tiny_scale() -> Scale {
-        Scale { degree_nodes: 400, search_nodes: 300, realizations: 2, searches_per_point: 5 }
+        Scale {
+            degree_nodes: 400,
+            search_nodes: 300,
+            realizations: 2,
+            searches_per_point: 5,
+        }
     }
 
     #[test]
@@ -237,7 +296,10 @@ mod tests {
 
     #[test]
     fn fitted_exponent_is_plausible_for_pa() {
-        let scale = Scale { degree_nodes: 2_000, ..tiny_scale() };
+        let scale = Scale {
+            degree_nodes: 2_000,
+            ..tiny_scale()
+        };
         let generator = PreferentialAttachment::new(scale.degree_nodes, 2).unwrap();
         let summary = fitted_exponent(&generator, "m=2", 2, 60, &scale, 7);
         assert_eq!(summary.count(), scale.realizations);
@@ -271,7 +333,12 @@ mod tests {
         let hits = rw_series(&generator, 2, "rw", &ttls, &scale, 11);
         let msgs = rw_message_series(&generator, 2, "rw", &ttls, &scale, 11);
         for (h, m) in hits.points.iter().zip(&msgs.points) {
-            assert!(h.y <= m.y + 1e-9, "hits {} cannot exceed messages {}", h.y, m.y);
+            assert!(
+                h.y <= m.y + 1e-9,
+                "hits {} cannot exceed messages {}",
+                h.y,
+                m.y
+            );
         }
     }
 

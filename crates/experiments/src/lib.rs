@@ -59,17 +59,32 @@ pub struct Scale {
 impl Scale {
     /// The paper's parameters: slow, intended for full reproduction runs.
     pub fn paper() -> Self {
-        Scale { degree_nodes: 100_000, search_nodes: 10_000, realizations: 10, searches_per_point: 100 }
+        Scale {
+            degree_nodes: 100_000,
+            search_nodes: 10_000,
+            realizations: 10,
+            searches_per_point: 100,
+        }
     }
 
     /// A laptop-friendly compromise that preserves every qualitative trend.
     pub fn reduced() -> Self {
-        Scale { degree_nodes: 20_000, search_nodes: 4_000, realizations: 3, searches_per_point: 60 }
+        Scale {
+            degree_nodes: 20_000,
+            search_nodes: 4_000,
+            realizations: 3,
+            searches_per_point: 60,
+        }
     }
 
     /// Small enough for CI and unit tests.
     pub fn smoke() -> Self {
-        Scale { degree_nodes: 3_000, search_nodes: 1_000, realizations: 2, searches_per_point: 20 }
+        Scale {
+            degree_nodes: 3_000,
+            search_nodes: 1_000,
+            realizations: 2,
+            searches_per_point: 20,
+        }
     }
 }
 
@@ -136,45 +151,155 @@ pub struct ExperimentSpec {
 
 impl fmt::Debug for ExperimentSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ExperimentSpec").field("id", &self.id).field("title", &self.title).finish()
+        f.debug_struct("ExperimentSpec")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish()
     }
 }
 
 /// Returns every registered experiment, in the order they appear in the paper.
 pub fn all_experiments() -> Vec<ExperimentSpec> {
     vec![
-        ExperimentSpec { id: "fig1a", title: "PA degree distributions without cutoff", run: degree_figs::fig1a },
-        ExperimentSpec { id: "fig1b", title: "PA degree distributions with hard cutoffs", run: degree_figs::fig1b },
-        ExperimentSpec { id: "fig1c", title: "PA degree exponent vs hard cutoff", run: degree_figs::fig1c },
-        ExperimentSpec { id: "fig2", title: "CM degree distributions (gamma = 2.2, 2.6, 3)", run: degree_figs::fig2 },
-        ExperimentSpec { id: "fig3", title: "HAPA degree distributions", run: degree_figs::fig3 },
-        ExperimentSpec { id: "fig4", title: "DAPA degree distributions vs tau_sub", run: degree_figs::fig4 },
-        ExperimentSpec { id: "fig4g", title: "DAPA degree exponent vs hard cutoff", run: degree_figs::fig4g },
-        ExperimentSpec { id: "table1", title: "Scale-free network diameter behavior", run: tables::table1 },
-        ExperimentSpec { id: "table2", title: "Topology generators vs global information", run: tables::table2 },
-        ExperimentSpec { id: "fig6", title: "FL hits vs tau on PA and HAPA", run: search_figs::fig6 },
-        ExperimentSpec { id: "fig7", title: "FL hits vs tau on CM", run: search_figs::fig7 },
-        ExperimentSpec { id: "fig8", title: "FL hits vs tau on DAPA", run: search_figs::fig8 },
-        ExperimentSpec { id: "fig9", title: "NF hits vs tau on PA, CM, HAPA", run: nf_rw_figs::fig9 },
-        ExperimentSpec { id: "fig10", title: "NF hits vs tau on DAPA", run: nf_rw_figs::fig10 },
-        ExperimentSpec { id: "fig11", title: "RW hits vs tau on PA, CM, HAPA", run: nf_rw_figs::fig11 },
-        ExperimentSpec { id: "fig12", title: "RW hits vs tau on DAPA", run: nf_rw_figs::fig12 },
-        ExperimentSpec { id: "msg-complexity", title: "Messages per search: NF vs RW", run: extras::msg_complexity },
-        ExperimentSpec { id: "ablation-minlinks", title: "Effect of minimum connectedness m under a hard cutoff", run: extras::ablation_minlinks },
-        ExperimentSpec { id: "resilience", title: "Random failures vs hub attacks, with and without cutoffs", run: extras::resilience },
-        ExperimentSpec { id: "churn", title: "Overlay health and search success under churn", run: extras::churn },
-        ExperimentSpec { id: "generator-zoo", title: "Structural summary of every topology generator, with and without cutoffs", run: extensions::generator_zoo },
-        ExperimentSpec { id: "search-strategies", title: "Hits vs tau for all search strategies on PA topologies", run: extensions::search_strategies },
-        ExperimentSpec { id: "replication", title: "Uniform vs proportional vs square-root replication", run: extensions::replication },
-        ExperimentSpec { id: "hub-load", title: "Hub-load redistribution under hard cutoffs", run: extensions::hub_load },
-        ExperimentSpec { id: "substrate-comparison", title: "DAPA over a GRN vs a 2D mesh substrate", run: extensions::substrate_comparison },
-        ExperimentSpec { id: "churn-trace", title: "Identical churn trace replayed with/without cutoffs and repair", run: extensions::churn_trace },
+        ExperimentSpec {
+            id: "fig1a",
+            title: "PA degree distributions without cutoff",
+            run: degree_figs::fig1a,
+        },
+        ExperimentSpec {
+            id: "fig1b",
+            title: "PA degree distributions with hard cutoffs",
+            run: degree_figs::fig1b,
+        },
+        ExperimentSpec {
+            id: "fig1c",
+            title: "PA degree exponent vs hard cutoff",
+            run: degree_figs::fig1c,
+        },
+        ExperimentSpec {
+            id: "fig2",
+            title: "CM degree distributions (gamma = 2.2, 2.6, 3)",
+            run: degree_figs::fig2,
+        },
+        ExperimentSpec {
+            id: "fig3",
+            title: "HAPA degree distributions",
+            run: degree_figs::fig3,
+        },
+        ExperimentSpec {
+            id: "fig4",
+            title: "DAPA degree distributions vs tau_sub",
+            run: degree_figs::fig4,
+        },
+        ExperimentSpec {
+            id: "fig4g",
+            title: "DAPA degree exponent vs hard cutoff",
+            run: degree_figs::fig4g,
+        },
+        ExperimentSpec {
+            id: "table1",
+            title: "Scale-free network diameter behavior",
+            run: tables::table1,
+        },
+        ExperimentSpec {
+            id: "table2",
+            title: "Topology generators vs global information",
+            run: tables::table2,
+        },
+        ExperimentSpec {
+            id: "fig6",
+            title: "FL hits vs tau on PA and HAPA",
+            run: search_figs::fig6,
+        },
+        ExperimentSpec {
+            id: "fig7",
+            title: "FL hits vs tau on CM",
+            run: search_figs::fig7,
+        },
+        ExperimentSpec {
+            id: "fig8",
+            title: "FL hits vs tau on DAPA",
+            run: search_figs::fig8,
+        },
+        ExperimentSpec {
+            id: "fig9",
+            title: "NF hits vs tau on PA, CM, HAPA",
+            run: nf_rw_figs::fig9,
+        },
+        ExperimentSpec {
+            id: "fig10",
+            title: "NF hits vs tau on DAPA",
+            run: nf_rw_figs::fig10,
+        },
+        ExperimentSpec {
+            id: "fig11",
+            title: "RW hits vs tau on PA, CM, HAPA",
+            run: nf_rw_figs::fig11,
+        },
+        ExperimentSpec {
+            id: "fig12",
+            title: "RW hits vs tau on DAPA",
+            run: nf_rw_figs::fig12,
+        },
+        ExperimentSpec {
+            id: "msg-complexity",
+            title: "Messages per search: NF vs RW",
+            run: extras::msg_complexity,
+        },
+        ExperimentSpec {
+            id: "ablation-minlinks",
+            title: "Effect of minimum connectedness m under a hard cutoff",
+            run: extras::ablation_minlinks,
+        },
+        ExperimentSpec {
+            id: "resilience",
+            title: "Random failures vs hub attacks, with and without cutoffs",
+            run: extras::resilience,
+        },
+        ExperimentSpec {
+            id: "churn",
+            title: "Overlay health and search success under churn",
+            run: extras::churn,
+        },
+        ExperimentSpec {
+            id: "generator-zoo",
+            title: "Structural summary of every topology generator, with and without cutoffs",
+            run: extensions::generator_zoo,
+        },
+        ExperimentSpec {
+            id: "search-strategies",
+            title: "Hits vs tau for all search strategies on PA topologies",
+            run: extensions::search_strategies,
+        },
+        ExperimentSpec {
+            id: "replication",
+            title: "Uniform vs proportional vs square-root replication",
+            run: extensions::replication,
+        },
+        ExperimentSpec {
+            id: "hub-load",
+            title: "Hub-load redistribution under hard cutoffs",
+            run: extensions::hub_load,
+        },
+        ExperimentSpec {
+            id: "substrate-comparison",
+            title: "DAPA over a GRN vs a 2D mesh substrate",
+            run: extensions::substrate_comparison,
+        },
+        ExperimentSpec {
+            id: "churn-trace",
+            title: "Identical churn trace replayed with/without cutoffs and repair",
+            run: extensions::churn_trace,
+        },
     ]
 }
 
 /// Runs the experiment with the given id, or returns `None` if it is not registered.
 pub fn run_experiment(id: &str, scale: &Scale, seed: u64) -> Option<ExperimentOutput> {
-    all_experiments().into_iter().find(|e| e.id == id).map(|e| (e.run)(scale, seed))
+    all_experiments()
+        .into_iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)(scale, seed))
 }
 
 #[cfg(test)]
@@ -190,9 +315,25 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), before, "duplicate experiment ids");
         for required in [
-            "fig1a", "fig1b", "fig1c", "fig2", "fig3", "fig4", "fig4g", "table1", "table2", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "msg-complexity",
-            "ablation-minlinks", "churn",
+            "fig1a",
+            "fig1b",
+            "fig1c",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig4g",
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "msg-complexity",
+            "ablation-minlinks",
+            "churn",
         ] {
             assert!(ids.contains(&required), "missing experiment {required}");
         }
@@ -208,8 +349,12 @@ mod tests {
         let paper = Scale::paper();
         let reduced = Scale::reduced();
         let smoke = Scale::smoke();
-        assert!(paper.degree_nodes > reduced.degree_nodes && reduced.degree_nodes > smoke.degree_nodes);
-        assert!(paper.search_nodes > reduced.search_nodes && reduced.search_nodes > smoke.search_nodes);
+        assert!(
+            paper.degree_nodes > reduced.degree_nodes && reduced.degree_nodes > smoke.degree_nodes
+        );
+        assert!(
+            paper.search_nodes > reduced.search_nodes && reduced.search_nodes > smoke.search_nodes
+        );
         assert_eq!(Scale::default(), reduced);
     }
 

@@ -40,15 +40,27 @@ fn panel_configs(scale: &Scale) -> Vec<(Box<dyn TopologyGenerator>, String, usiz
             let pa = PreferentialAttachment::new(scale.search_nodes, m)
                 .expect("scale sizes exceed the PA seed")
                 .with_cutoff(cutoff);
-            configs.push((Box::new(pa), format!("PA, m={m}, {}", cutoff_label(cutoff)), m));
+            configs.push((
+                Box::new(pa),
+                format!("PA, m={m}, {}", cutoff_label(cutoff)),
+                m,
+            ));
             let hapa = HopAndAttempt::new(scale.search_nodes, m)
                 .expect("scale sizes exceed the HAPA seed")
                 .with_cutoff(cutoff);
-            configs.push((Box::new(hapa), format!("HAPA, m={m}, {}", cutoff_label(cutoff)), m));
+            configs.push((
+                Box::new(hapa),
+                format!("HAPA, m={m}, {}", cutoff_label(cutoff)),
+                m,
+            ));
         }
         // CM panel: gamma = 2.2 and 3.0, cutoffs 10/40/none, as in Figs. 9(b,e) / 11(b,e).
         for gamma in [2.2f64, 3.0] {
-            for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(40), DegreeCutoff::Unbounded] {
+            for cutoff in [
+                DegreeCutoff::hard(10),
+                DegreeCutoff::hard(40),
+                DegreeCutoff::Unbounded,
+            ] {
                 let cm = ConfigurationModel::new(scale.search_nodes, gamma, m)
                     .expect("scale sizes are valid for CM")
                     .with_cutoff(cutoff);
@@ -68,7 +80,11 @@ fn dapa_configs(scale: &Scale) -> Vec<(Box<dyn TopologyGenerator>, String, usize
     let mut configs: Vec<(Box<dyn TopologyGenerator>, String, usize)> = Vec::new();
     let tau_subs = [2u32, 4, 10, 20];
     for m in [1usize, 2, 3] {
-        for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(50), DegreeCutoff::hard(10)] {
+        for cutoff in [
+            DegreeCutoff::Unbounded,
+            DegreeCutoff::hard(50),
+            DegreeCutoff::hard(10),
+        ] {
             for tau_sub in tau_subs {
                 let dapa = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
                     .expect("scale sizes are valid for DAPA")
@@ -95,7 +111,14 @@ fn nf_figure(
     let ttls = nf_rw_ttls();
     for (generator, label, m) in configs {
         let nf = NormalizedFlooding::new(m.max(1));
-        figure.push_series(search_series(generator.as_ref(), &nf, &label, &ttls, scale, seed));
+        figure.push_series(search_series(
+            generator.as_ref(),
+            &nf,
+            &label,
+            &ttls,
+            scale,
+            seed,
+        ));
     }
     ExperimentOutput::Figure(figure)
 }
@@ -110,7 +133,14 @@ fn rw_figure(
     let mut figure = FigureData::new(id, title, "tau", "hits");
     let ttls = nf_rw_ttls();
     for (generator, label, m) in configs {
-        figure.push_series(rw_series(generator.as_ref(), m.max(1), &label, &ttls, scale, seed));
+        figure.push_series(rw_series(
+            generator.as_ref(),
+            m.max(1),
+            &label,
+            &ttls,
+            scale,
+            seed,
+        ));
     }
     ExperimentOutput::Figure(figure)
 }
@@ -162,10 +192,15 @@ pub fn fig12(scale: &Scale, seed: u64) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfo_search::SearchAlgorithm;
+    use sfo_search::SearchInfo;
 
     fn tiny() -> Scale {
-        Scale { degree_nodes: 300, search_nodes: 300, realizations: 1, searches_per_point: 8 }
+        Scale {
+            degree_nodes: 300,
+            search_nodes: 300,
+            realizations: 1,
+            searches_per_point: 8,
+        }
     }
 
     /// Figs. 9-12 sweep dozens of configurations; the unit tests exercise the shared
@@ -179,7 +214,11 @@ mod tests {
             let pa = PreferentialAttachment::new(scale.search_nodes, 2)
                 .unwrap()
                 .with_cutoff(cutoff);
-            configs.push((Box::new(pa), format!("PA, m=2, {}", cutoff_label(cutoff)), 2));
+            configs.push((
+                Box::new(pa),
+                format!("PA, m=2, {}", cutoff_label(cutoff)),
+                2,
+            ));
         }
         let output = nf_figure("fig9-test", "narrow NF panel", configs, &scale, 3);
         let figure = output.as_figure().unwrap();
@@ -188,7 +227,11 @@ mod tests {
             assert_eq!(series.points.len(), nf_rw_ttls().len());
             let first = series.points.first().unwrap().y;
             let last = series.points.last().unwrap().y;
-            assert!(last >= first, "{}: NF hits should not shrink with tau", series.label);
+            assert!(
+                last >= first,
+                "{}: NF hits should not shrink with tau",
+                series.label
+            );
             // NF fan-out 2 can reach at most 2 + 4 + ... peers, far below the clique bound.
             assert!(last <= scale.search_nodes as f64);
         }

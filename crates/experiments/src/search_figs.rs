@@ -25,7 +25,11 @@ fn cutoff_label(cutoff: DegreeCutoff) -> String {
 fn m_kc_grid() -> Vec<(usize, DegreeCutoff)> {
     let mut grid = Vec::new();
     for m in [1usize, 2, 3] {
-        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+        for cutoff in [
+            DegreeCutoff::hard(10),
+            DegreeCutoff::hard(50),
+            DegreeCutoff::Unbounded,
+        ] {
             grid.push((m, cutoff));
         }
     }
@@ -46,13 +50,27 @@ pub fn fig6(scale: &Scale, seed: u64) -> ExperimentOutput {
             .expect("scale sizes exceed the PA seed")
             .with_cutoff(cutoff);
         let label = format!("PA, m={m}, {}", cutoff_label(cutoff));
-        figure.push_series(search_series(&pa, &Flooding::new(), &label, &ttls, scale, seed));
+        figure.push_series(search_series(
+            &pa,
+            &Flooding::new(),
+            &label,
+            &ttls,
+            scale,
+            seed,
+        ));
 
         let hapa = HopAndAttempt::new(scale.search_nodes, m)
             .expect("scale sizes exceed the HAPA seed")
             .with_cutoff(cutoff);
         let label = format!("HAPA, m={m}, {}", cutoff_label(cutoff));
-        figure.push_series(search_series(&hapa, &Flooding::new(), &label, &ttls, scale, seed));
+        figure.push_series(search_series(
+            &hapa,
+            &Flooding::new(),
+            &label,
+            &ttls,
+            scale,
+            seed,
+        ));
     }
     ExperimentOutput::Figure(figure)
 }
@@ -68,12 +86,23 @@ pub fn fig7(scale: &Scale, seed: u64) -> ExperimentOutput {
     let ttls = flooding_ttls();
     for gamma in [2.2f64, 2.6, 3.0] {
         for m in [1usize, 2, 3] {
-            for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(40), DegreeCutoff::Unbounded] {
+            for cutoff in [
+                DegreeCutoff::hard(10),
+                DegreeCutoff::hard(40),
+                DegreeCutoff::Unbounded,
+            ] {
                 let cm = ConfigurationModel::new(scale.search_nodes, gamma, m)
                     .expect("scale sizes are valid for CM")
                     .with_cutoff(cutoff);
                 let label = format!("CM gamma={gamma}, m={m}, {}", cutoff_label(cutoff));
-                figure.push_series(search_series(&cm, &Flooding::new(), &label, &ttls, scale, seed));
+                figure.push_series(search_series(
+                    &cm,
+                    &Flooding::new(),
+                    &label,
+                    &ttls,
+                    scale,
+                    seed,
+                ));
             }
         }
     }
@@ -91,13 +120,24 @@ pub fn fig8(scale: &Scale, seed: u64) -> ExperimentOutput {
     let ttls = flooding_ttls();
     let tau_subs = [2u32, 4, 10, 20];
     for m in [1usize, 2, 3] {
-        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::hard(50), DegreeCutoff::Unbounded] {
+        for cutoff in [
+            DegreeCutoff::hard(10),
+            DegreeCutoff::hard(50),
+            DegreeCutoff::Unbounded,
+        ] {
             for tau_sub in tau_subs {
                 let dapa = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
                     .expect("scale sizes are valid for DAPA")
                     .with_cutoff(cutoff);
                 let label = format!("DAPA m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff));
-                figure.push_series(search_series(&dapa, &Flooding::new(), &label, &ttls, scale, seed));
+                figure.push_series(search_series(
+                    &dapa,
+                    &Flooding::new(),
+                    &label,
+                    &ttls,
+                    scale,
+                    seed,
+                ));
             }
         }
     }
@@ -109,7 +149,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { degree_nodes: 400, search_nodes: 350, realizations: 1, searches_per_point: 8 }
+        Scale {
+            degree_nodes: 400,
+            search_nodes: 350,
+            realizations: 1,
+            searches_per_point: 8,
+        }
     }
 
     #[test]
@@ -121,7 +166,11 @@ mod tests {
         for series in &figure.series {
             let first = series.points.first().unwrap().y;
             let last = series.points.last().unwrap().y;
-            assert!(last >= first, "{}: hits must not shrink with ttl", series.label);
+            assert!(
+                last >= first,
+                "{}: hits must not shrink with ttl",
+                series.label
+            );
             assert!(
                 last <= (scale.search_nodes - 1) as f64 + 1e-9,
                 "{}: hits cannot exceed the system size",
@@ -148,6 +197,9 @@ mod tests {
             m1_final < 0.9 * scale.search_nodes as f64,
             "m=1 flood should stall below system size, got {m1_final}"
         );
-        assert!(m3_final > m1_final, "m=3 coverage {m3_final} should exceed m=1 coverage {m1_final}");
+        assert!(
+            m3_final > m1_final,
+            "m=3 coverage {m3_final} should exceed m=1 coverage {m1_final}"
+        );
     }
 }

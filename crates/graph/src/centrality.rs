@@ -19,7 +19,7 @@
 //! and closeness have sampled estimators for large topologies.
 
 use crate::traversal::bfs_distances;
-use crate::{Graph, NodeId};
+use crate::{GraphView, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -55,7 +55,9 @@ impl CentralityScores {
     pub fn ranking(&self) -> Vec<NodeId> {
         let mut order: Vec<usize> = (0..self.scores.len()).collect();
         order.sort_by(|&a, &b| {
-            self.scores[b].partial_cmp(&self.scores[a]).expect("centrality scores are finite")
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("centrality scores are finite")
         });
         order.into_iter().map(NodeId::new).collect()
     }
@@ -76,10 +78,14 @@ impl CentralityScores {
 }
 
 /// Computes degree centrality: `degree / (N - 1)` for every node.
-pub fn degree_centrality(graph: &Graph) -> CentralityScores {
+pub fn degree_centrality<G: GraphView + ?Sized>(graph: &G) -> CentralityScores {
     let n = graph.node_count();
     let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
-    let scores = graph.degrees().into_iter().map(|d| d as f64 / denom).collect();
+    let scores = graph
+        .degrees()
+        .into_iter()
+        .map(|d| d as f64 / denom)
+        .collect();
     CentralityScores { scores }
 }
 
@@ -88,7 +94,7 @@ pub fn degree_centrality(graph: &Graph) -> CentralityScores {
 /// The harmonic variant is used — `C(v) = Σ_{u ≠ v} 1 / d(v, u)`, normalized by `N - 1` —
 /// because it remains well-defined on disconnected graphs (unreachable peers simply
 /// contribute zero), which matters for CM topologies with `m = 1`.
-pub fn closeness_centrality(graph: &Graph) -> CentralityScores {
+pub fn closeness_centrality<G: GraphView + ?Sized>(graph: &G) -> CentralityScores {
     let sources: Vec<NodeId> = graph.nodes().collect();
     closeness_from_sources(graph, &sources)
 }
@@ -97,8 +103,8 @@ pub fn closeness_centrality(graph: &Graph) -> CentralityScores {
 ///
 /// Each sampled BFS contributes `1 / d(source, v)` to every other node's score; the result
 /// is scaled so that it estimates the same quantity as [`closeness_centrality`].
-pub fn closeness_centrality_sampled<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn closeness_centrality_sampled<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     samples: usize,
     rng: &mut R,
 ) -> CentralityScores {
@@ -117,7 +123,10 @@ pub fn closeness_centrality_sampled<R: Rng + ?Sized>(
     result
 }
 
-fn closeness_from_sources(graph: &Graph, sources: &[NodeId]) -> CentralityScores {
+fn closeness_from_sources<G: GraphView + ?Sized>(
+    graph: &G,
+    sources: &[NodeId],
+) -> CentralityScores {
     let n = graph.node_count();
     let mut scores = vec![0.0f64; n];
     if n <= 1 {
@@ -148,7 +157,7 @@ fn closeness_from_sources(graph: &Graph, sources: &[NodeId]) -> CentralityScores
 /// Scores are normalized by `(N - 1)(N - 2) / 2`, so a node through which every shortest
 /// path passes scores 1. Cost is `O(N·E)`; use [`betweenness_centrality_sampled`] beyond a
 /// few thousand nodes.
-pub fn betweenness_centrality(graph: &Graph) -> CentralityScores {
+pub fn betweenness_centrality<G: GraphView + ?Sized>(graph: &G) -> CentralityScores {
     let sources: Vec<NodeId> = graph.nodes().collect();
     let mut scores = betweenness_from_sources(graph, &sources);
     normalize_betweenness(&mut scores, graph.node_count(), sources.len());
@@ -157,8 +166,8 @@ pub fn betweenness_centrality(graph: &Graph) -> CentralityScores {
 
 /// Estimates betweenness centrality by accumulating Brandes' dependencies from `samples`
 /// random source nodes, scaled to estimate the exact normalized score.
-pub fn betweenness_centrality_sampled<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn betweenness_centrality_sampled<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     samples: usize,
     rng: &mut R,
 ) -> CentralityScores {
@@ -182,7 +191,7 @@ fn normalize_betweenness(scores: &mut [f64], node_count: usize, sources_used: us
     }
 }
 
-fn betweenness_from_sources(graph: &Graph, sources: &[NodeId]) -> Vec<f64> {
+fn betweenness_from_sources<G: GraphView + ?Sized>(graph: &G, sources: &[NodeId]) -> Vec<f64> {
     let n = graph.node_count();
     let mut centrality = vec![0.0f64; n];
     // Reusable per-sweep buffers.
@@ -221,8 +230,7 @@ fn betweenness_from_sources(graph: &Graph, sources: &[NodeId]) -> Vec<f64> {
 
         for &w in order.iter().rev() {
             for &v in &predecessors[w.index()] {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != source {
                 centrality[w.index()] += delta[w.index()];
@@ -245,7 +253,7 @@ pub struct EccentricityReport {
 }
 
 /// Computes the eccentricity of every node by running a BFS from each of them.
-pub fn eccentricities(graph: &Graph) -> EccentricityReport {
+pub fn eccentricities<G: GraphView + ?Sized>(graph: &G) -> EccentricityReport {
     let n = graph.node_count();
     let mut ecc = vec![0u32; n];
     for v in graph.nodes() {
@@ -259,13 +267,18 @@ pub fn eccentricities(graph: &Graph) -> EccentricityReport {
         .map(|v| ecc[v.index()])
         .min()
         .unwrap_or(0);
-    EccentricityReport { eccentricities: ecc, diameter, radius }
+    EccentricityReport {
+        eccentricities: ecc,
+        diameter,
+        radius,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::{complete_graph, ring_graph};
+    use crate::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

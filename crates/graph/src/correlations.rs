@@ -13,11 +13,11 @@
 //!   cutoffs dissolve it.
 
 use crate::metrics::degree_histogram;
-use crate::{Graph, NodeId};
+use crate::{GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Average degree of each node's neighbors, indexed by node id (`0.0` for isolated nodes).
-pub fn average_neighbor_degree(graph: &Graph) -> Vec<f64> {
+pub fn average_neighbor_degree<G: GraphView + ?Sized>(graph: &G) -> Vec<f64> {
     graph
         .nodes()
         .map(|v| {
@@ -62,7 +62,7 @@ pub struct KnnPoint {
 /// # Ok(())
 /// # }
 /// ```
-pub fn knn_by_degree(graph: &Graph) -> Vec<KnnPoint> {
+pub fn knn_by_degree<G: GraphView + ?Sized>(graph: &G) -> Vec<KnnPoint> {
     let per_node = average_neighbor_degree(graph);
     let max_degree = graph.max_degree().unwrap_or(0);
     let mut sums = vec![0.0f64; max_degree + 1];
@@ -101,7 +101,7 @@ pub struct RichClubPoint {
 
 /// Computes the rich-club coefficient `φ(k)` for every degree threshold `k` present in the
 /// graph (from 0 up to the maximum degree minus one).
-pub fn rich_club_coefficients(graph: &Graph) -> Vec<RichClubPoint> {
+pub fn rich_club_coefficients<G: GraphView>(graph: &G) -> Vec<RichClubPoint> {
     let max_degree = graph.max_degree().unwrap_or(0);
     if max_degree == 0 {
         return Vec::new();
@@ -112,15 +112,22 @@ pub fn rich_club_coefficients(graph: &Graph) -> Vec<RichClubPoint> {
             let members: Vec<NodeId> = graph.nodes().filter(|v| degrees[v.index()] > k).collect();
             let club_size = members.len();
             let in_club = |v: NodeId| degrees[v.index()] > k;
-            let internal_edges =
-                graph.edges().filter(|&(a, b)| in_club(a) && in_club(b)).count();
+            let internal_edges = graph
+                .edges()
+                .filter(|&(a, b)| in_club(a) && in_club(b))
+                .count();
             let possible = club_size.saturating_sub(1) * club_size / 2;
             let coefficient = if possible == 0 {
                 0.0
             } else {
                 internal_edges as f64 / possible as f64
             };
-            RichClubPoint { degree: k, club_size, internal_edges, coefficient }
+            RichClubPoint {
+                degree: k,
+                club_size,
+                internal_edges,
+                coefficient,
+            }
         })
         .collect()
 }
@@ -139,7 +146,7 @@ pub struct CorrelationReport {
 }
 
 /// Computes a combined degree-correlation report.
-pub fn correlation_report(graph: &Graph) -> CorrelationReport {
+pub fn correlation_report<G: GraphView>(graph: &G) -> CorrelationReport {
     let knn = knn_by_degree(graph);
     let assortativity = crate::metrics::degree_assortativity(graph);
     let mean_degree = graph.average_degree();
@@ -151,13 +158,21 @@ pub fn correlation_report(graph: &Graph) -> CorrelationReport {
             high_high += 1;
         }
     }
-    let high_high_edge_fraction = if total == 0 { 0.0 } else { high_high as f64 / total as f64 };
-    CorrelationReport { knn, assortativity, high_high_edge_fraction }
+    let high_high_edge_fraction = if total == 0 {
+        0.0
+    } else {
+        high_high as f64 / total as f64
+    };
+    CorrelationReport {
+        knn,
+        assortativity,
+        high_high_edge_fraction,
+    }
 }
 
 /// Returns the fraction of nodes whose degree equals the histogram mode (the most common
 /// degree), a crude measure of how strongly a hard cutoff piles nodes up at one value.
-pub fn modal_degree_fraction(graph: &Graph) -> f64 {
+pub fn modal_degree_fraction<G: GraphView + ?Sized>(graph: &G) -> f64 {
     let hist = degree_histogram(graph);
     match hist.counts.iter().max() {
         Some(&max_count) if hist.node_count > 0 => max_count as f64 / hist.node_count as f64,
@@ -169,6 +184,7 @@ pub fn modal_degree_fraction(graph: &Graph) -> f64 {
 mod tests {
     use super::*;
     use crate::generators::{complete_graph, ring_graph};
+    use crate::Graph;
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)
@@ -186,9 +202,15 @@ mod tests {
     #[test]
     fn average_neighbor_degree_of_a_star() {
         let per_node = average_neighbor_degree(&star5());
-        assert!((per_node[0] - 1.0).abs() < 1e-12, "center's neighbors are all leaves");
-        for leaf in 1..5 {
-            assert!((per_node[leaf] - 4.0).abs() < 1e-12, "each leaf's only neighbor is the hub");
+        assert!(
+            (per_node[0] - 1.0).abs() < 1e-12,
+            "center's neighbors are all leaves"
+        );
+        for value in &per_node[1..5] {
+            assert!(
+                (value - 4.0).abs() < 1e-12,
+                "each leaf's only neighbor is the hub"
+            );
         }
     }
 

@@ -1,0 +1,304 @@
+//! Frozen compressed-sparse-row (CSR) graph snapshots.
+//!
+//! The read-heavy phases of this workspace — flooding and random-walk searches over
+//! 10^4–10^5-node hard-cutoff topologies, structural metrics, the figure harness — never
+//! mutate the graph they traverse. [`CsrGraph`] is the build-once/query-many counterpart
+//! to the mutable [`Graph`]: all adjacency lists are packed back to back into one flat
+//! `targets` array, with a per-node `offsets` index. Neighbor lookup is two array reads
+//! and traversals walk memory linearly instead of chasing one heap allocation per node.
+//!
+//! [`Graph::freeze`] builds a snapshot in O(V + E) preserving the per-node neighbor
+//! order, so any algorithm generic over [`GraphView`] consumes identical RNG streams and
+//! returns identical results on either backend. [`CsrGraph::thaw`] converts back for
+//! phases that need mutation again (churn, rewiring).
+
+use crate::{Graph, GraphView, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected simple graph in compressed-sparse-row form.
+///
+/// Node ids are the same dense indices as in [`Graph`]; the neighbor order of every node
+/// is exactly the order the source graph reported at freeze time.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::{Graph, GraphView, NodeId};
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// let frozen = g.freeze();
+/// assert_eq!(frozen.node_count(), 3);
+/// assert_eq!(frozen.neighbors(NodeId::new(1)), g.neighbors(NodeId::new(1)));
+/// assert_eq!(frozen.thaw(), g);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v] .. offsets[v + 1]` indexes the neighbor block of node `v` in
+    /// `targets`; length is `node_count + 1`. `u32` halves the index footprint: the
+    /// workspace bounds graphs by `u32::MAX` nodes and directed-edge entries.
+    offsets: Vec<u32>,
+    /// All adjacency lists, concatenated in node order; length is `2 * edge_count`.
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot of `graph` in O(V + E), preserving neighbor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` directed adjacency entries (twice
+    /// the edge count), which cannot happen for the `u32`-indexed graphs this workspace
+    /// builds.
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self::from_neighbor_lists(graph.node_count(), |node| {
+            graph.neighbors(NodeId::new(node)).iter().copied()
+        })
+    }
+
+    /// Builds a snapshot directly from per-node neighbor lists in O(V + E), without an
+    /// intermediate [`Graph`]. `neighbors_of(v)` is called once per node, in node order,
+    /// and its iteration order becomes the frozen neighbor order of `v`.
+    ///
+    /// The lists must describe a valid simple undirected graph: mirrored entries, no
+    /// self-loops, no duplicates, all targets below `node_count`. This is checked with a
+    /// full consistency pass in debug builds only; callers (like the overlay snapshot,
+    /// whose adjacency is mirrored by construction) are trusted in release builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists hold more than `u32::MAX` directed adjacency entries.
+    pub fn from_neighbor_lists<I, F>(node_count: usize, mut neighbors_of: F) -> Self
+    where
+        F: FnMut(usize) -> I,
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for node in 0..node_count {
+            targets.extend(neighbors_of(node));
+            let end = u32::try_from(targets.len())
+                .expect("directed adjacency entries exceed the u32 CSR index");
+            offsets.push(end);
+        }
+        let csr = CsrGraph { offsets, targets };
+        debug_assert!({
+            csr.thaw().assert_consistent();
+            true
+        });
+        csr
+    }
+
+    /// Rebuilds a mutable [`Graph`] from this snapshot in O(V + E).
+    ///
+    /// Neighbor order is preserved, so `graph.freeze().thaw() == graph` for any graph.
+    pub fn thaw(&self) -> Graph {
+        let adjacency: Vec<Vec<NodeId>> = self
+            .nodes()
+            .map(|node| self.neighbors(node).to_vec())
+            .collect();
+        Graph::from_adjacency(adjacency, self.edge_count())
+    }
+
+    /// Returns the number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns the number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Returns `true` if `node` refers to a node present in the graph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// Returns the degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Returns the neighbors of `node` as a slice, in frozen order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Returns an iterator over all node ids.
+    #[inline]
+    pub fn nodes(&self) -> crate::view::NodeIds {
+        GraphView::nodes(self)
+    }
+
+    /// Returns `true` if an edge between `a` and `b` exists.
+    ///
+    /// The check scans the adjacency block of the lower-degree endpoint.
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        GraphView::contains_edge(self, a, b)
+    }
+}
+
+impl Default for CsrGraph {
+    /// An empty snapshot, equal to `Graph::new().freeze()`.
+    fn default() -> Self {
+        CsrGraph {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        CsrGraph::edge_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, node: NodeId) -> usize {
+        CsrGraph::degree(self, node)
+    }
+
+    #[inline]
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        CsrGraph::neighbors(self, node)
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(graph: &Graph) -> Self {
+        CsrGraph::from_graph(graph)
+    }
+}
+
+impl From<&CsrGraph> for Graph {
+    fn from(csr: &CsrGraph) -> Self {
+        csr.thaw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g.add_edge(n(3), n(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_order() {
+        let g = sample();
+        let frozen = g.freeze();
+        assert_eq!(frozen.node_count(), g.node_count());
+        assert_eq!(frozen.edge_count(), g.edge_count());
+        for node in g.nodes() {
+            assert_eq!(frozen.neighbors(node), g.neighbors(node), "node {node}");
+            assert_eq!(frozen.degree(node), g.degree(node));
+        }
+    }
+
+    #[test]
+    fn thaw_round_trips_exactly() {
+        let g = sample();
+        assert_eq!(g.freeze().thaw(), g);
+        let empty = Graph::new();
+        assert_eq!(empty.freeze().thaw(), empty);
+        let isolated = Graph::with_nodes(3);
+        assert_eq!(isolated.freeze().thaw(), isolated);
+    }
+
+    #[test]
+    fn contains_edge_matches_source() {
+        let g = sample();
+        let frozen = g.freeze();
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(frozen.contains_edge(a, b), g.contains_edge(a, b), "{a}-{b}");
+            }
+        }
+        assert!(!frozen.contains_edge(n(0), n(9)));
+    }
+
+    #[test]
+    fn view_edges_match_source_edges() {
+        let g = sample();
+        let frozen = g.freeze();
+        let from_frozen: Vec<_> = GraphView::edges(&frozen).collect();
+        let from_graph: Vec<_> = g.edges().collect();
+        assert_eq!(from_frozen, from_graph);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_blocks() {
+        let frozen = Graph::with_nodes(4).freeze();
+        assert_eq!(frozen.node_count(), 4);
+        assert_eq!(frozen.edge_count(), 0);
+        for node in frozen.nodes() {
+            assert!(frozen.neighbors(node).is_empty());
+        }
+    }
+
+    #[test]
+    fn conversion_impls_mirror_freeze_and_thaw() {
+        let g = sample();
+        let frozen = CsrGraph::from(&g);
+        assert_eq!(frozen, g.freeze());
+        assert_eq!(Graph::from(&frozen), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_neighbors_panic() {
+        let frozen = sample().freeze();
+        let _ = frozen.neighbors(n(40));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let d = CsrGraph::default();
+        assert_eq!(d.node_count(), 0);
+        assert!(d.is_empty());
+        assert_eq!(d, Graph::new().freeze());
+    }
+}

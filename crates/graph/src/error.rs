@@ -45,10 +45,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} is out of bounds for a graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} is out of bounds for a graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::DuplicateEdge { a, b } => {
                 write!(f, "edge between {a} and {b} already exists")
@@ -73,23 +79,36 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(GraphError, &str)> = vec![
             (
-                GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 3 },
+                GraphError::NodeOutOfBounds {
+                    node: NodeId::new(9),
+                    node_count: 3,
+                },
                 "node n9 is out of bounds for a graph with 3 nodes",
             ),
             (
-                GraphError::SelfLoop { node: NodeId::new(1) },
+                GraphError::SelfLoop {
+                    node: NodeId::new(1),
+                },
                 "self-loop on node n1 is not allowed in a simple graph",
             ),
             (
-                GraphError::DuplicateEdge { a: NodeId::new(0), b: NodeId::new(1) },
+                GraphError::DuplicateEdge {
+                    a: NodeId::new(0),
+                    b: NodeId::new(1),
+                },
                 "edge between n0 and n1 already exists",
             ),
             (
-                GraphError::MissingEdge { a: NodeId::new(2), b: NodeId::new(3) },
+                GraphError::MissingEdge {
+                    a: NodeId::new(2),
+                    b: NodeId::new(3),
+                },
                 "edge between n2 and n3 does not exist",
             ),
             (
-                GraphError::InvalidParameter { reason: "radius must be positive" },
+                GraphError::InvalidParameter {
+                    reason: "radius must be positive",
+                },
                 "invalid parameter: radius must be positive",
             ),
         ];

@@ -16,7 +16,9 @@ use rand::Rng;
 /// Returns [`GraphError::InvalidParameter`] if `n` is zero.
 pub fn complete_graph(n: usize) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "complete graph needs at least one node" });
+        return Err(GraphError::InvalidParameter {
+            reason: "complete graph needs at least one node",
+        });
     }
     let mut g = Graph::with_nodes(n);
     for i in 0..n {
@@ -36,7 +38,9 @@ pub fn complete_graph(n: usize) -> Result<Graph> {
 /// would degenerate into a multigraph).
 pub fn ring_graph(n: usize, k: usize) -> Result<Graph> {
     if n == 0 || k == 0 {
-        return Err(GraphError::InvalidParameter { reason: "ring graph needs positive size and degree" });
+        return Err(GraphError::InvalidParameter {
+            reason: "ring graph needs positive size and degree",
+        });
     }
     if 2 * k >= n {
         return Err(GraphError::InvalidParameter {
@@ -61,7 +65,9 @@ pub fn ring_graph(n: usize, k: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] if `p` is not within `[0, 1]`.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph> {
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
-        return Err(GraphError::InvalidParameter { reason: "edge probability must be within [0, 1]" });
+        return Err(GraphError::InvalidParameter {
+            reason: "edge probability must be within [0, 1]",
+        });
     }
     let mut g = Graph::with_nodes(n);
     for i in 0..n {
@@ -86,9 +92,16 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Gra
 ///
 /// Returns [`GraphError::InvalidParameter`] under the same conditions as [`ring_graph`], or
 /// if `beta` is outside `[0, 1]`.
-pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Result<Graph> {
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Result<Graph> {
     if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
-        return Err(GraphError::InvalidParameter { reason: "rewiring probability must be within [0, 1]" });
+        return Err(GraphError::InvalidParameter {
+            reason: "rewiring probability must be within [0, 1]",
+        });
     }
     let mut g = ring_graph(n, k)?;
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();

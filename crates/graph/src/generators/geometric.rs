@@ -71,9 +71,15 @@ impl GeometricRandomNetwork {
     /// finite.
     pub fn new(nodes: usize, radius: f64) -> Result<Self> {
         if !radius.is_finite() || radius <= 0.0 {
-            return Err(GraphError::InvalidParameter { reason: "grn radius must be positive and finite" });
+            return Err(GraphError::InvalidParameter {
+                reason: "grn radius must be positive and finite",
+            });
         }
-        Ok(GeometricRandomNetwork { nodes, radius, torus: true })
+        Ok(GeometricRandomNetwork {
+            nodes,
+            radius,
+            torus: true,
+        })
     }
 
     /// Creates a GRN configuration whose connection radius is chosen so that the expected
@@ -85,7 +91,9 @@ impl GeometricRandomNetwork {
     /// or if `nodes < 2`.
     pub fn with_average_degree(nodes: usize, average_degree: f64) -> Result<Self> {
         if nodes < 2 {
-            return Err(GraphError::InvalidParameter { reason: "grn needs at least two nodes" });
+            return Err(GraphError::InvalidParameter {
+                reason: "grn needs at least two nodes",
+            });
         }
         if !average_degree.is_finite() || average_degree <= 0.0 {
             return Err(GraphError::InvalidParameter {
@@ -93,7 +101,11 @@ impl GeometricRandomNetwork {
             });
         }
         let radius = (average_degree / (std::f64::consts::PI * (nodes - 1) as f64)).sqrt();
-        Ok(GeometricRandomNetwork { nodes, radius, torus: true })
+        Ok(GeometricRandomNetwork {
+            nodes,
+            radius,
+            torus: true,
+        })
     }
 
     /// Switches between torus distances (default, no boundary effects) and plain unit-square
@@ -124,10 +136,16 @@ impl GeometricRandomNetwork {
     /// Returns [`GraphError::InvalidParameter`] if the configuration asks for zero nodes.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(Graph, Vec<Point>)> {
         if self.nodes == 0 {
-            return Err(GraphError::InvalidParameter { reason: "grn needs at least one node" });
+            return Err(GraphError::InvalidParameter {
+                reason: "grn needs at least one node",
+            });
         }
-        let positions: Vec<Point> =
-            (0..self.nodes).map(|_| Point { x: rng.gen::<f64>(), y: rng.gen::<f64>() }).collect();
+        let positions: Vec<Point> = (0..self.nodes)
+            .map(|_| Point {
+                x: rng.gen::<f64>(),
+                y: rng.gen::<f64>(),
+            })
+            .collect();
 
         let mut graph = Graph::with_nodes(self.nodes);
         // Spatial hashing: cells of side >= radius so only the 3x3 neighborhood must be probed.
@@ -231,7 +249,10 @@ mod tests {
         let grn = GeometricRandomNetwork::with_average_degree(2_000, 10.0).unwrap();
         let (g, _) = grn.generate(&mut rng).unwrap();
         let fraction = traversal::giant_component_fraction(&g);
-        assert!(fraction > 0.95, "giant component fraction {fraction} too small");
+        assert!(
+            fraction > 0.95,
+            "giant component fraction {fraction} too small"
+        );
     }
 
     #[test]
@@ -241,7 +262,10 @@ mod tests {
         let (g, positions) = grn.generate(&mut rng).unwrap();
         for (a, b) in g.edges() {
             let d = positions[a.index()].torus_distance(&positions[b.index()]);
-            assert!(d < 0.08, "edge between nodes at torus distance {d} exceeds the radius");
+            assert!(
+                d < 0.08,
+                "edge between nodes at torus distance {d} exceeds the radius"
+            );
         }
     }
 

@@ -38,12 +38,20 @@ pub struct MeshConfig {
 impl MeshConfig {
     /// Creates a non-wrapping mesh configuration.
     pub fn new(rows: usize, cols: usize) -> Self {
-        MeshConfig { rows, cols, wrap: false }
+        MeshConfig {
+            rows,
+            cols,
+            wrap: false,
+        }
     }
 
     /// Creates a wrapping (torus) mesh configuration.
     pub fn torus(rows: usize, cols: usize) -> Self {
-        MeshConfig { rows, cols, wrap: true }
+        MeshConfig {
+            rows,
+            cols,
+            wrap: true,
+        }
     }
 
     /// Returns the total number of nodes the mesh will contain.
@@ -63,7 +71,9 @@ impl MeshConfig {
 /// create self-loops or duplicate edges).
 pub fn mesh_2d(config: MeshConfig) -> Result<Graph> {
     if config.rows == 0 || config.cols == 0 {
-        return Err(GraphError::InvalidParameter { reason: "mesh dimensions must be positive" });
+        return Err(GraphError::InvalidParameter {
+            reason: "mesh dimensions must be positive",
+        });
     }
     if config.wrap && (config.rows < 3 || config.cols < 3) {
         return Err(GraphError::InvalidParameter {

@@ -25,7 +25,9 @@ use rand::Rng;
 /// Returns [`GraphError::InvalidParameter`] if `n < 2`.
 pub fn star_graph(n: usize) -> Result<Graph> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter { reason: "star graph needs at least two nodes" });
+        return Err(GraphError::InvalidParameter {
+            reason: "star graph needs at least two nodes",
+        });
     }
     let mut g = Graph::with_nodes(n);
     for i in 1..n {
@@ -41,7 +43,9 @@ pub fn star_graph(n: usize) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] if `n == 0`.
 pub fn path_graph(n: usize) -> Result<Graph> {
     if n == 0 {
-        return Err(GraphError::InvalidParameter { reason: "path graph needs at least one node" });
+        return Err(GraphError::InvalidParameter {
+            reason: "path graph needs at least one node",
+        });
     }
     let mut g = Graph::with_nodes(n);
     for i in 1..n {
@@ -67,15 +71,21 @@ pub fn balanced_tree(branching: usize, depth: u32) -> Result<Graph> {
     let mut node_count: usize = 1;
     let mut level_size: usize = 1;
     for _ in 0..depth {
-        level_size = level_size.checked_mul(branching).ok_or(GraphError::InvalidParameter {
-            reason: "balanced tree is too large",
-        })?;
-        node_count = node_count.checked_add(level_size).ok_or(GraphError::InvalidParameter {
-            reason: "balanced tree is too large",
-        })?;
+        level_size = level_size
+            .checked_mul(branching)
+            .ok_or(GraphError::InvalidParameter {
+                reason: "balanced tree is too large",
+            })?;
+        node_count = node_count
+            .checked_add(level_size)
+            .ok_or(GraphError::InvalidParameter {
+                reason: "balanced tree is too large",
+            })?;
     }
     if node_count > u32::MAX as usize {
-        return Err(GraphError::InvalidParameter { reason: "balanced tree is too large" });
+        return Err(GraphError::InvalidParameter {
+            reason: "balanced tree is too large",
+        });
     }
     let mut g = Graph::with_nodes(node_count);
     // Parent of node i (i >= 1) in a breadth-first numbering is (i - 1) / branching.
@@ -95,14 +105,16 @@ pub fn balanced_tree(branching: usize, depth: u32) -> Result<Graph> {
 /// Returns [`GraphError::InvalidParameter`] if `n·d` is odd, `d >= n`, or `d == 0`.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph> {
     if d == 0 {
-        return Err(GraphError::InvalidParameter { reason: "regular graph degree must be positive" });
+        return Err(GraphError::InvalidParameter {
+            reason: "regular graph degree must be positive",
+        });
     }
     if d >= n {
         return Err(GraphError::InvalidParameter {
             reason: "regular graph degree must be below the node count",
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: "regular graph requires an even number of stubs (n * d must be even)",
         });
@@ -122,7 +134,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
 fn try_regular_matching<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Option<Graph>> {
     let mut stubs: Vec<NodeId> = Vec::with_capacity(n * d);
     for i in 0..n {
-        stubs.extend(std::iter::repeat(NodeId::new(i)).take(d));
+        stubs.extend(std::iter::repeat_n(NodeId::new(i), d));
     }
     stubs.shuffle(rng);
 

@@ -1,6 +1,6 @@
 //! Simple undirected graph stored as adjacency lists.
 
-use crate::{GraphError, NodeId, Result};
+use crate::{CsrGraph, GraphError, GraphView, NodeId, Result};
 use serde::{Deserialize, Serialize};
 
 /// A simple undirected graph: no self-loops, no parallel edges.
@@ -35,17 +35,50 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with no nodes.
     pub fn new() -> Self {
-        Graph { adjacency: Vec::new(), edge_count: 0 }
+        Graph {
+            adjacency: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        Graph { adjacency: Vec::with_capacity(nodes), edge_count: 0 }
+        Graph {
+            adjacency: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
     }
 
     /// Creates a graph containing `nodes` isolated nodes with ids `0..nodes`.
     pub fn with_nodes(nodes: usize) -> Self {
-        Graph { adjacency: vec![Vec::new(); nodes], edge_count: 0 }
+        Graph {
+            adjacency: vec![Vec::new(); nodes],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph directly from adjacency lists known to describe a valid simple
+    /// graph (mirrored entries, no self-loops or duplicates). Used by
+    /// [`CsrGraph::thaw`] to reproduce the frozen neighbor order exactly.
+    pub(crate) fn from_adjacency(adjacency: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
+        let graph = Graph {
+            adjacency,
+            edge_count,
+        };
+        debug_assert!({
+            graph.assert_consistent();
+            true
+        });
+        graph
+    }
+
+    /// Freezes the graph into an immutable [`CsrGraph`] snapshot in O(V + E).
+    ///
+    /// The snapshot preserves per-node neighbor order, so any algorithm generic over
+    /// [`GraphView`] behaves identically on the graph and on its frozen form.
+    /// [`CsrGraph::thaw`] converts back.
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_graph(self)
     }
 
     /// Adds a new isolated node and returns its id.
@@ -58,7 +91,8 @@ impl Graph {
     /// Adds `count` new isolated nodes, returning the id of the first one added.
     pub fn add_nodes(&mut self, count: usize) -> NodeId {
         let first = NodeId::new(self.adjacency.len());
-        self.adjacency.extend(std::iter::repeat_with(Vec::new).take(count));
+        self.adjacency
+            .extend(std::iter::repeat_with(Vec::new).take(count));
         first
     }
 
@@ -90,7 +124,10 @@ impl Graph {
         if self.contains_node(node) {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count() })
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -118,11 +155,7 @@ impl Graph {
     ///
     /// The check scans the adjacency list of the lower-degree endpoint.
     pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
-        if !self.contains_node(a) || !self.contains_node(b) {
-            return false;
-        }
-        let (probe, target) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
-        self.adjacency[probe.index()].contains(&target)
+        GraphView::contains_edge(self, a, b)
     }
 
     /// Adds an undirected edge between `a` and `b`.
@@ -218,7 +251,7 @@ impl Graph {
     /// Returns an iterator over all undirected edges, each reported once as `(a, b)` with
     /// `a < b`.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { graph: self, node: 0, offset: 0 }
+        GraphView::edges(self)
     }
 
     /// Returns an iterator over the neighbors of `node`.
@@ -227,7 +260,9 @@ impl Graph {
     ///
     /// Panics if `node` is out of bounds.
     pub fn neighbor_iter(&self, node: NodeId) -> NeighborIter<'_> {
-        NeighborIter { inner: self.adjacency[node.index()].iter() }
+        NeighborIter {
+            inner: self.adjacency[node.index()].iter(),
+        }
     }
 
     /// Returns the degrees of all nodes, indexed by node id.
@@ -275,7 +310,12 @@ impl Graph {
             let mut sorted = adj.clone();
             sorted.sort_unstable();
             for w in sorted.windows(2) {
-                assert!(w[0] != w[1], "duplicate adjacency entry {} on node {}", w[0], node);
+                assert!(
+                    w[0] != w[1],
+                    "duplicate adjacency entry {} on node {}",
+                    w[0],
+                    node
+                );
             }
             for &n in adj {
                 assert!(n != node, "self-loop on node {node}");
@@ -292,35 +332,34 @@ impl Graph {
     }
 }
 
-/// Iterator over the undirected edges of a [`Graph`], produced by [`Graph::edges`].
-///
-/// Each edge is yielded exactly once as `(a, b)` with `a < b`.
-#[derive(Debug, Clone)]
-pub struct EdgeIter<'a> {
-    graph: &'a Graph,
-    node: usize,
-    offset: usize,
-}
+impl GraphView for Graph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
 
-impl<'a> Iterator for EdgeIter<'a> {
-    type Item = (NodeId, NodeId);
+    #[inline]
+    fn edge_count(&self) -> usize {
+        Graph::edge_count(self)
+    }
 
-    fn next(&mut self) -> Option<Self::Item> {
-        while self.node < self.graph.adjacency.len() {
-            let adj = &self.graph.adjacency[self.node];
-            while self.offset < adj.len() {
-                let other = adj[self.offset];
-                self.offset += 1;
-                if self.node < other.index() {
-                    return Some((NodeId::new(self.node), other));
-                }
-            }
-            self.node += 1;
-            self.offset = 0;
-        }
-        None
+    #[inline]
+    fn degree(&self, node: NodeId) -> usize {
+        Graph::degree(self, node)
+    }
+
+    #[inline]
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, node)
     }
 }
+
+/// Iterator over the undirected edges of a [`Graph`], produced by [`Graph::edges`].
+///
+/// Each edge is yielded exactly once as `(a, b)` with `a < b`. This is the shared
+/// [`ViewEdges`](crate::ViewEdges) iterator instantiated for the adjacency-list backend,
+/// so both backends iterate edges through one implementation.
+pub type EdgeIter<'a> = crate::ViewEdges<'a, Graph>;
 
 /// Iterator over the neighbors of a node, produced by [`Graph::neighbor_iter`].
 #[derive(Debug, Clone)]
@@ -410,14 +449,20 @@ mod tests {
     #[test]
     fn add_edge_rejects_self_loop() {
         let mut g = Graph::with_nodes(2);
-        assert_eq!(g.add_edge(n(1), n(1)), Err(GraphError::SelfLoop { node: n(1) }));
+        assert_eq!(
+            g.add_edge(n(1), n(1)),
+            Err(GraphError::SelfLoop { node: n(1) })
+        );
     }
 
     #[test]
     fn add_edge_rejects_duplicate() {
         let mut g = Graph::with_nodes(2);
         g.add_edge(n(0), n(1)).unwrap();
-        assert_eq!(g.add_edge(n(1), n(0)), Err(GraphError::DuplicateEdge { a: n(1), b: n(0) }));
+        assert_eq!(
+            g.add_edge(n(1), n(0)),
+            Err(GraphError::DuplicateEdge { a: n(1), b: n(0) })
+        );
         assert_eq!(g.edge_count(), 1);
     }
 
@@ -426,7 +471,10 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         assert_eq!(
             g.add_edge(n(0), n(5)),
-            Err(GraphError::NodeOutOfBounds { node: n(5), node_count: 2 })
+            Err(GraphError::NodeOutOfBounds {
+                node: n(5),
+                node_count: 2
+            })
         );
     }
 
@@ -484,7 +532,10 @@ mod tests {
         g.add_edge(n(3), n(0)).unwrap();
         let mut edges: Vec<_> = g.edges().collect();
         edges.sort_unstable();
-        assert_eq!(edges, vec![(n(0), n(1)), (n(0), n(3)), (n(1), n(2)), (n(2), n(3))]);
+        assert_eq!(
+            edges,
+            vec![(n(0), n(1)), (n(0), n(3)), (n(1), n(2)), (n(2), n(3))]
+        );
     }
 
     #[test]

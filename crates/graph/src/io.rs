@@ -41,13 +41,22 @@ impl fmt::Display for EdgeListError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EdgeListError::MalformedLine { line } => {
-                write!(f, "line {line}: expected two whitespace-separated node indices")
+                write!(
+                    f,
+                    "line {line}: expected two whitespace-separated node indices"
+                )
             }
             EdgeListError::InvalidIndex { line } => {
-                write!(f, "line {line}: node index is not a valid non-negative integer")
+                write!(
+                    f,
+                    "line {line}: node index is not a valid non-negative integer"
+                )
             }
             EdgeListError::SelfLoop { line } => {
-                write!(f, "line {line}: self-loops are not allowed in a simple graph")
+                write!(
+                    f,
+                    "line {line}: self-loops are not allowed in a simple graph"
+                )
             }
             EdgeListError::DuplicateEdge { line } => {
                 write!(f, "line {line}: duplicate edge")
@@ -120,8 +129,12 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, EdgeListError> {
             (Some(a), Some(b), None) => (a, b),
             _ => return Err(EdgeListError::MalformedLine { line: line_no }),
         };
-        let a: usize = a.parse().map_err(|_| EdgeListError::InvalidIndex { line: line_no })?;
-        let b: usize = b.parse().map_err(|_| EdgeListError::InvalidIndex { line: line_no })?;
+        let a: usize = a
+            .parse()
+            .map_err(|_| EdgeListError::InvalidIndex { line: line_no })?;
+        let b: usize = b
+            .parse()
+            .map_err(|_| EdgeListError::InvalidIndex { line: line_no })?;
         if a == b {
             return Err(EdgeListError::SelfLoop { line: line_no });
         }
@@ -214,7 +227,10 @@ mod tests {
             parse_edge_list("0 1\n0 1 2\n"),
             Err(EdgeListError::MalformedLine { line: 2 })
         );
-        assert_eq!(parse_edge_list("0\n"), Err(EdgeListError::MalformedLine { line: 1 }));
+        assert_eq!(
+            parse_edge_list("0\n"),
+            Err(EdgeListError::MalformedLine { line: 1 })
+        );
         assert_eq!(
             parse_edge_list("0 x\n"),
             Err(EdgeListError::InvalidIndex { line: 1 })
@@ -231,10 +247,18 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_line() {
-        assert!(EdgeListError::MalformedLine { line: 7 }.to_string().contains("line 7"));
-        assert!(EdgeListError::InvalidIndex { line: 3 }.to_string().contains("line 3"));
-        assert!(EdgeListError::SelfLoop { line: 9 }.to_string().contains("line 9"));
-        assert!(EdgeListError::DuplicateEdge { line: 2 }.to_string().contains("line 2"));
+        assert!(EdgeListError::MalformedLine { line: 7 }
+            .to_string()
+            .contains("line 7"));
+        assert!(EdgeListError::InvalidIndex { line: 3 }
+            .to_string()
+            .contains("line 3"));
+        assert!(EdgeListError::SelfLoop { line: 9 }
+            .to_string()
+            .contains("line 9"));
+        assert!(EdgeListError::DuplicateEdge { line: 2 }
+            .to_string()
+            .contains("line 2"));
     }
 
     #[test]

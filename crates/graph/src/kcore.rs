@@ -74,7 +74,10 @@ impl CoreDecomposition {
 pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
     let n = graph.node_count();
     if n == 0 {
-        return CoreDecomposition { core_numbers: Vec::new(), degeneracy: 0 };
+        return CoreDecomposition {
+            core_numbers: Vec::new(),
+            degeneracy: 0,
+        };
     }
     let mut degree: Vec<usize> = graph.degrees();
     let max_degree = *degree.iter().max().expect("graph is non-empty");
@@ -125,7 +128,10 @@ pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
     }
 
     let degeneracy = core.iter().copied().max().unwrap_or(0);
-    CoreDecomposition { core_numbers: core, degeneracy }
+    CoreDecomposition {
+        core_numbers: core,
+        degeneracy,
+    }
 }
 
 /// Returns the subgraph induced by the `k`-core as a new graph over the same node ids
@@ -140,7 +146,8 @@ pub fn k_core_subgraph(graph: &Graph, k: usize) -> (Graph, Vec<NodeId>) {
     let mut sub = Graph::with_nodes(graph.node_count());
     for (a, b) in graph.edges() {
         if in_core[a.index()] && in_core[b.index()] {
-            sub.add_edge(a, b).expect("edge endpoints exist and are unique");
+            sub.add_edge(a, b)
+                .expect("edge endpoints exist and are unique");
         }
     }
     (sub, members)

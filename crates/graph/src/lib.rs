@@ -4,10 +4,20 @@
 //! search algorithms, and the unstructured peer-to-peer simulator in the `sfoverlay`
 //! workspace.
 //!
-//! The crate provides:
+//! The crate provides two graph backends behind one read interface:
 //!
 //! * [`Graph`]: a simple undirected graph (no self-loops, no parallel edges) stored as
-//!   adjacency lists, the representation every overlay topology in the paper is built on.
+//!   mutable adjacency lists — the representation every overlay topology is *built and
+//!   rewired* on (generators, churn, repair).
+//! * [`CsrGraph`]: an immutable compressed-sparse-row snapshot produced by
+//!   [`Graph::freeze`] in O(V + E) — the representation read-heavy phases *query*:
+//!   flat `offsets`/`targets` arrays make searches and metric sweeps cache-linear.
+//!   [`CsrGraph::thaw`] converts back, round-tripping exactly.
+//! * [`GraphView`]: the shared read trait (counts, degrees, neighbor slices) both
+//!   backends implement. Everything downstream that only reads — the search algorithms
+//!   in `sfo-search`, [`traversal`], [`metrics`], [`centrality`], [`correlations`] — is
+//!   generic over it, and both backends report neighbors in the same order, so a fixed
+//!   seed produces identical results on either one.
 //! * [`MultiGraph`]: an undirected multigraph permitting self-loops and parallel edges,
 //!   needed by the configuration model which wires stubs at random and only afterwards
 //!   deletes self-loops and duplicate links (paper, Alg. 2).
@@ -46,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod error;
 mod graph;
 mod multigraph;
 mod node;
+mod view;
 
 pub mod centrality;
 pub mod correlations;
@@ -62,10 +74,12 @@ pub mod resilience;
 pub mod rewire;
 pub mod traversal;
 
+pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NeighborIter};
 pub use multigraph::{MultiGraph, SimplifyReport};
 pub use node::NodeId;
+pub use view::{GraphView, NodeIds, ViewEdges};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T, E = GraphError> = std::result::Result<T, E>;

@@ -6,7 +6,7 @@
 //! reachability counts that underlie the search-efficiency plots (Figs. 6-12).
 
 use crate::traversal::bfs_distances;
-use crate::{Graph, NodeId};
+use crate::{GraphView, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -71,7 +71,7 @@ impl DegreeHistogram {
 }
 
 /// Computes the degree histogram of `graph`.
-pub fn degree_histogram(graph: &Graph) -> DegreeHistogram {
+pub fn degree_histogram<G: GraphView + ?Sized>(graph: &G) -> DegreeHistogram {
     let max_degree = graph.max_degree().unwrap_or(0);
     let mut counts = vec![0usize; max_degree + 1];
     for node in graph.nodes() {
@@ -80,7 +80,10 @@ pub fn degree_histogram(graph: &Graph) -> DegreeHistogram {
     if graph.node_count() == 0 {
         counts.clear();
     }
-    DegreeHistogram { counts, node_count: graph.node_count() }
+    DegreeHistogram {
+        counts,
+        node_count: graph.node_count(),
+    }
 }
 
 /// Summary statistics of shortest-path lengths within the giant component of a graph.
@@ -102,7 +105,7 @@ pub struct PathStatistics {
 /// Unreachable pairs are ignored (the statistics describe the connected portions of the
 /// graph). Cost is O(N·(N+E)); prefer [`path_statistics_sampled`] for graphs beyond a few
 /// thousand nodes.
-pub fn path_statistics_exact(graph: &Graph) -> PathStatistics {
+pub fn path_statistics_exact<G: GraphView + ?Sized>(graph: &G) -> PathStatistics {
     let sources: Vec<NodeId> = graph.nodes().collect();
     path_statistics_from_sources(graph, &sources)
 }
@@ -112,8 +115,8 @@ pub fn path_statistics_exact(graph: &Graph) -> PathStatistics {
 /// This is the estimator used for Table I style diameter-scaling measurements on large
 /// topologies: the mean shortest path converges quickly with the number of sources, while
 /// the reported diameter is a lower bound.
-pub fn path_statistics_sampled<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn path_statistics_sampled<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     samples: usize,
     rng: &mut R,
 ) -> PathStatistics {
@@ -123,7 +126,10 @@ pub fn path_statistics_sampled<R: Rng + ?Sized>(
     path_statistics_from_sources(graph, &sources)
 }
 
-fn path_statistics_from_sources(graph: &Graph, sources: &[NodeId]) -> PathStatistics {
+fn path_statistics_from_sources<G: GraphView + ?Sized>(
+    graph: &G,
+    sources: &[NodeId],
+) -> PathStatistics {
     let mut total = 0u64;
     let mut pairs = 0usize;
     let mut diameter = 0u32;
@@ -141,7 +147,11 @@ fn path_statistics_from_sources(graph: &Graph, sources: &[NodeId]) -> PathStatis
         }
     }
     PathStatistics {
-        average_shortest_path: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        average_shortest_path: if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        },
         diameter,
         sources_sampled: sources.len(),
         pairs_counted: pairs,
@@ -153,7 +163,7 @@ fn path_statistics_from_sources(graph: &Graph, sources: &[NodeId]) -> PathStatis
 /// For each node of degree at least 2 the local coefficient is the fraction of neighbor
 /// pairs that are themselves connected; nodes of degree 0 or 1 contribute 0, following the
 /// usual convention. Returns 0.0 for the empty graph.
-pub fn average_clustering_coefficient(graph: &Graph) -> f64 {
+pub fn average_clustering_coefficient<G: GraphView + ?Sized>(graph: &G) -> f64 {
     if graph.node_count() == 0 {
         return 0.0;
     }
@@ -182,7 +192,7 @@ pub fn average_clustering_coefficient(graph: &Graph) -> f64 {
 ///
 /// Returns `None` when the graph has no edges or when every node has the same degree (the
 /// correlation is undefined in those cases).
-pub fn degree_assortativity(graph: &Graph) -> Option<f64> {
+pub fn degree_assortativity<G: GraphView>(graph: &G) -> Option<f64> {
     if graph.edge_count() == 0 {
         return None;
     }
@@ -210,7 +220,7 @@ pub fn degree_assortativity(graph: &Graph) -> Option<f64> {
 ///
 /// This is exactly the quantity an ideal flood with time-to-live `ttl` can hit, and serves
 /// as the upper bound the search-efficiency figures compare against.
-pub fn reachable_within(graph: &Graph, source: NodeId, ttl: u32) -> usize {
+pub fn reachable_within<G: GraphView + ?Sized>(graph: &G, source: NodeId, ttl: u32) -> usize {
     crate::traversal::bfs_distances_bounded(graph, source, ttl)
         .iter()
         .enumerate()
@@ -221,6 +231,7 @@ pub fn reachable_within(graph: &Graph, source: NodeId, ttl: u32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

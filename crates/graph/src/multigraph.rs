@@ -48,12 +48,18 @@ pub struct SimplifyReport {
 impl MultiGraph {
     /// Creates an empty multigraph with no nodes.
     pub fn new() -> Self {
-        MultiGraph { adjacency: Vec::new(), edge_count: 0 }
+        MultiGraph {
+            adjacency: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Creates a multigraph containing `nodes` isolated nodes with ids `0..nodes`.
     pub fn with_nodes(nodes: usize) -> Self {
-        MultiGraph { adjacency: vec![Vec::new(); nodes], edge_count: 0 }
+        MultiGraph {
+            adjacency: vec![Vec::new(); nodes],
+            edge_count: 0,
+        }
     }
 
     /// Returns the number of nodes.
@@ -94,7 +100,10 @@ impl MultiGraph {
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<()> {
         for node in [a, b] {
             if !self.contains_node(node) {
-                return Err(GraphError::NodeOutOfBounds { node, node_count: self.node_count() });
+                return Err(GraphError::NodeOutOfBounds {
+                    node,
+                    node_count: self.node_count(),
+                });
             }
         }
         if a == b {
@@ -164,7 +173,11 @@ mod tests {
         assert_eq!(mg.edge_count(), 3);
         assert_eq!(mg.degree(n(0)), 2);
         assert_eq!(mg.degree(n(1)), 2);
-        assert_eq!(mg.degree(n(2)), 2, "a self-loop contributes two to the degree");
+        assert_eq!(
+            mg.degree(n(2)),
+            2,
+            "a self-loop contributes two to the degree"
+        );
         assert_eq!(mg.self_loop_count(), 1);
     }
 
@@ -173,7 +186,10 @@ mod tests {
         let mut mg = MultiGraph::with_nodes(1);
         assert_eq!(
             mg.add_edge(n(0), n(3)),
-            Err(GraphError::NodeOutOfBounds { node: n(3), node_count: 1 })
+            Err(GraphError::NodeOutOfBounds {
+                node: n(3),
+                node_count: 1
+            })
         );
     }
 

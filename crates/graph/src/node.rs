@@ -19,7 +19,9 @@ use std::fmt;
 /// assert_eq!(a.index(), 7);
 /// assert_eq!(format!("{a}"), "n7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 

@@ -77,13 +77,18 @@ pub fn degrade<R: Rng + ?Sized>(
         "removal fraction must be within [0, 1]"
     );
     if graph.node_count() == 0 {
-        return RobustnessPoint { removed_fraction: fraction, giant_component_fraction: 0.0 };
+        return RobustnessPoint {
+            removed_fraction: fraction,
+            giant_component_fraction: 0.0,
+        };
     }
     let count = (fraction * graph.node_count() as f64).round() as usize;
     let victims = select_victims(graph, strategy, count, rng);
     let mut damaged = graph.clone();
     for victim in victims {
-        damaged.isolate_node(victim).expect("victims come from the graph itself");
+        damaged
+            .isolate_node(victim)
+            .expect("victims come from the graph itself");
     }
     // `giant_component_fraction` divides by the node count, which is unchanged because
     // isolation keeps the removed nodes as empty slots; that is exactly the "fraction of the
@@ -102,7 +107,10 @@ pub fn robustness_profile<R: Rng + ?Sized>(
     fractions: &[f64],
     rng: &mut R,
 ) -> Vec<RobustnessPoint> {
-    fractions.iter().map(|&f| degrade(graph, strategy, f, rng)).collect()
+    fractions
+        .iter()
+        .map(|&f| degrade(graph, strategy, f, rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,7 +134,8 @@ mod tests {
     fn ring(n: usize) -> Graph {
         let mut g = Graph::with_nodes(n);
         for i in 0..n {
-            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n)).unwrap();
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n))
+                .unwrap();
         }
         g
     }
@@ -135,7 +144,11 @@ mod tests {
     fn victim_selection_respects_strategy() {
         let g = star_graph(9);
         let targeted = select_victims(&g, RemovalStrategy::HighestDegree, 1, &mut rng(1));
-        assert_eq!(targeted, vec![NodeId::new(0)], "the hub is the first target");
+        assert_eq!(
+            targeted,
+            vec![NodeId::new(0)],
+            "the hub is the first target"
+        );
         let random = select_victims(&g, RemovalStrategy::Random, 4, &mut rng(1));
         assert_eq!(random.len(), 4);
         let over = select_victims(&g, RemovalStrategy::Random, 100, &mut rng(1));
@@ -162,8 +175,7 @@ mod tests {
     fn a_ring_degrades_gracefully_under_both_strategies() {
         let g = ring(200);
         for strategy in [RemovalStrategy::Random, RemovalStrategy::HighestDegree] {
-            let profile =
-                robustness_profile(&g, strategy, &[0.0, 0.05, 0.2], &mut rng(4));
+            let profile = robustness_profile(&g, strategy, &[0.0, 0.05, 0.2], &mut rng(4));
             assert_eq!(profile.len(), 3);
             assert!((profile[0].giant_component_fraction - 1.0).abs() < 1e-12);
             // Giant component shrinks monotonically with the removed fraction.

@@ -63,7 +63,10 @@ pub fn randomize_preserving_degrees<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> RewireReport {
     let mut edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
-    let mut report = RewireReport { attempted_swaps: 0, applied_swaps: 0 };
+    let mut report = RewireReport {
+        attempted_swaps: 0,
+        applied_swaps: 0,
+    };
     if edges.len() < 2 {
         return report;
     }
@@ -111,7 +114,7 @@ pub fn is_graphical(degrees: &[usize]) -> bool {
         return false;
     }
     let sum: usize = degrees.iter().sum();
-    if sum % 2 != 0 {
+    if !sum.is_multiple_of(2) {
         return false;
     }
     let mut sorted: Vec<usize> = degrees.to_vec();
@@ -176,7 +179,10 @@ mod tests {
     fn complete_graphs_admit_no_swaps() {
         let mut g = complete_graph(6).unwrap();
         let report = randomize_preserving_degrees(&mut g, 500, &mut rng(3));
-        assert_eq!(report.applied_swaps, 0, "every candidate swap creates a parallel edge");
+        assert_eq!(
+            report.applied_swaps, 0,
+            "every candidate swap creates a parallel edge"
+        );
         assert_eq!(g, complete_graph(6).unwrap());
     }
 
@@ -237,7 +243,10 @@ mod tests {
         assert!(!is_graphical(&[1]), "odd degree sum");
         assert!(!is_graphical(&[3, 1]), "degree exceeds n - 1");
         assert!(!is_graphical(&[2, 2, 1]), "odd degree sum");
-        assert!(!is_graphical(&[4, 4, 4, 1, 1]), "fails the Erdős-Gallai inequality at k = 3");
+        assert!(
+            !is_graphical(&[4, 4, 4, 1, 1]),
+            "fails the Erdős-Gallai inequality at k = 3"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `τ_sub` of a joining node (its *horizon*), flooding reaches all nodes within `τ` hops,
 //! and the figures that report connectivity rely on component extraction.
 
-use crate::{Graph, NodeId};
+use crate::{GraphView, NodeId};
 use std::collections::VecDeque;
 
 /// Hop distance from a breadth-first source to a node, `None` when unreachable.
@@ -34,7 +34,7 @@ pub type Distances = Vec<Option<u32>>;
 /// # Ok(())
 /// # }
 /// ```
-pub fn bfs_distances(graph: &Graph, source: NodeId) -> Distances {
+pub fn bfs_distances<G: GraphView + ?Sized>(graph: &G, source: NodeId) -> Distances {
     bfs_distances_bounded(graph, source, u32::MAX)
 }
 
@@ -45,8 +45,15 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Distances {
 /// # Panics
 ///
 /// Panics if `source` is out of bounds.
-pub fn bfs_distances_bounded(graph: &Graph, source: NodeId, max_depth: u32) -> Distances {
-    assert!(graph.contains_node(source), "bfs source {source} out of bounds");
+pub fn bfs_distances_bounded<G: GraphView + ?Sized>(
+    graph: &G,
+    source: NodeId,
+    max_depth: u32,
+) -> Distances {
+    assert!(
+        graph.contains_node(source),
+        "bfs source {source} out of bounds"
+    );
     let mut dist: Distances = vec![None; graph.node_count()];
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::new();
@@ -76,7 +83,11 @@ pub fn bfs_distances_bounded(graph: &Graph, source: NodeId, max_depth: u32) -> D
 /// # Panics
 ///
 /// Panics if `source` is out of bounds.
-pub fn horizon(graph: &Graph, source: NodeId, max_depth: u32) -> Vec<(NodeId, u32)> {
+pub fn horizon<G: GraphView + ?Sized>(
+    graph: &G,
+    source: NodeId,
+    max_depth: u32,
+) -> Vec<(NodeId, u32)> {
     let dist = bfs_distances_bounded(graph, source, max_depth);
     dist.iter()
         .enumerate()
@@ -90,7 +101,7 @@ pub fn horizon(graph: &Graph, source: NodeId, max_depth: u32) -> Vec<(NodeId, u3
 /// Returns the connected components of `graph`, each as a sorted list of node ids.
 ///
 /// Components are reported in order of their smallest node id.
-pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+pub fn connected_components<G: GraphView + ?Sized>(graph: &G) -> Vec<Vec<NodeId>> {
     let mut visited = vec![false; graph.node_count()];
     let mut components = Vec::new();
     for start in graph.nodes() {
@@ -117,13 +128,17 @@ pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
 }
 
 /// Returns the number of nodes in the largest connected component, or 0 for an empty graph.
-pub fn giant_component_size(graph: &Graph) -> usize {
-    connected_components(graph).iter().map(Vec::len).max().unwrap_or(0)
+pub fn giant_component_size<G: GraphView + ?Sized>(graph: &G) -> usize {
+    connected_components(graph)
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Returns the node set of the largest connected component, or an empty vector for an empty
 /// graph. Ties are broken in favor of the component containing the smallest node id.
-pub fn giant_component(graph: &Graph) -> Vec<NodeId> {
+pub fn giant_component<G: GraphView + ?Sized>(graph: &G) -> Vec<NodeId> {
     connected_components(graph)
         .into_iter()
         .max_by(|a, b| a.len().cmp(&b.len()).then_with(|| b[0].cmp(&a[0])))
@@ -133,7 +148,7 @@ pub fn giant_component(graph: &Graph) -> Vec<NodeId> {
 /// Returns `true` if the graph is connected (every node reachable from every other).
 ///
 /// The empty graph and the single-node graph are considered connected.
-pub fn is_connected(graph: &Graph) -> bool {
+pub fn is_connected<G: GraphView + ?Sized>(graph: &G) -> bool {
     if graph.node_count() <= 1 {
         return true;
     }
@@ -145,7 +160,7 @@ pub fn is_connected(graph: &Graph) -> bool {
 ///
 /// Returns `0.0` for an empty graph. The paper uses this to explain why flooding on
 /// configuration-model topologies with minimum degree 1 never reaches the full system size.
-pub fn giant_component_fraction(graph: &Graph) -> f64 {
+pub fn giant_component_fraction<G: GraphView + ?Sized>(graph: &G) -> f64 {
     if graph.node_count() == 0 {
         0.0
     } else {
@@ -156,7 +171,7 @@ pub fn giant_component_fraction(graph: &Graph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::GraphError;
+    use crate::{Graph, GraphError};
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)

@@ -1,0 +1,279 @@
+//! The shared read interface over graph backends.
+//!
+//! Every read-heavy phase in this workspace — flooding and random-walk searches,
+//! structural metrics, the figure harness — only ever *reads* a topology: node and edge
+//! counts, degrees, and neighbor slices. [`GraphView`] captures exactly that surface, so
+//! algorithms can run unchanged on either backend:
+//!
+//! * [`Graph`](crate::Graph) — the mutable adjacency-list representation the generators
+//!   and the churn simulator build and rewire;
+//! * [`CsrGraph`](crate::CsrGraph) — the frozen compressed-sparse-row snapshot produced
+//!   by [`Graph::freeze`](crate::Graph::freeze), whose flat arrays make traversals
+//!   cache-linear.
+//!
+//! Both backends report neighbors in the same order, so randomized algorithms consume
+//! identical RNG streams on either one and produce identical results for a fixed seed.
+//! The trait is object safe: `&dyn GraphView` works wherever static dispatch is not
+//! worth the monomorphization.
+
+use crate::NodeId;
+
+/// Read-only access to an undirected simple graph with dense node ids.
+///
+/// # Example
+///
+/// ```
+/// use sfo_graph::{Graph, GraphView, NodeId};
+///
+/// fn mean_degree<G: GraphView + ?Sized>(g: &G) -> f64 {
+///     g.average_degree()
+/// }
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// let frozen = g.freeze();
+/// assert_eq!(mean_degree(&g), mean_degree(&frozen));
+/// # Ok(())
+/// # }
+/// ```
+pub trait GraphView {
+    /// Returns the number of nodes in the graph.
+    fn node_count(&self) -> usize;
+
+    /// Returns the number of undirected edges in the graph.
+    fn edge_count(&self) -> usize;
+
+    /// Returns the degree (number of neighbors) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// Returns the neighbors of `node` as a slice, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    fn neighbors(&self, node: NodeId) -> &[NodeId];
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Returns `true` if `node` refers to a node present in the graph.
+    #[inline]
+    fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.node_count()
+    }
+
+    /// Returns an iterator over all node ids in the graph.
+    #[inline]
+    fn nodes(&self) -> NodeIds {
+        NodeIds {
+            range: 0..self.node_count(),
+        }
+    }
+
+    /// Returns the degrees of all nodes, indexed by node id.
+    fn degrees(&self) -> Vec<usize> {
+        self.nodes().map(|n| self.degree(n)).collect()
+    }
+
+    /// Returns the sum of all node degrees (twice the edge count).
+    #[inline]
+    fn total_degree(&self) -> usize {
+        2 * self.edge_count()
+    }
+
+    /// Returns the minimum degree over all nodes, or `None` for an empty graph.
+    fn min_degree(&self) -> Option<usize> {
+        self.nodes().map(|n| self.degree(n)).min()
+    }
+
+    /// Returns the maximum degree over all nodes, or `None` for an empty graph.
+    fn max_degree(&self) -> Option<usize> {
+        self.nodes().map(|n| self.degree(n)).max()
+    }
+
+    /// Returns the average degree, `2E / N`, or `0.0` for an empty graph.
+    fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.total_degree() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Returns `true` if an edge between `a` and `b` exists.
+    ///
+    /// The check scans the adjacency of the lower-degree endpoint.
+    fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.contains_node(a) || !self.contains_node(b) {
+            return false;
+        }
+        let (probe, target) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe).contains(&target)
+    }
+
+    /// Returns an iterator over all undirected edges, each reported once as `(a, b)` with
+    /// `a < b`.
+    fn edges(&self) -> ViewEdges<'_, Self>
+    where
+        Self: Sized,
+    {
+        ViewEdges {
+            view: self,
+            node: 0,
+            offset: 0,
+        }
+    }
+}
+
+/// Iterator over the node ids of a [`GraphView`], produced by [`GraphView::nodes`].
+#[derive(Debug, Clone)]
+pub struct NodeIds {
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for NodeIds {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId::new)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NodeIds {}
+impl DoubleEndedIterator for NodeIds {
+    fn next_back(&mut self) -> Option<NodeId> {
+        self.range.next_back().map(NodeId::new)
+    }
+}
+
+/// Iterator over the undirected edges of a [`GraphView`], produced by [`GraphView::edges`].
+///
+/// Each edge is yielded exactly once as `(a, b)` with `a < b`.
+#[derive(Debug, Clone)]
+pub struct ViewEdges<'a, G> {
+    view: &'a G,
+    node: usize,
+    offset: usize,
+}
+
+impl<G: GraphView> Iterator for ViewEdges<'_, G> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.node < self.view.node_count() {
+            let adj = self.view.neighbors(NodeId::new(self.node));
+            while self.offset < adj.len() {
+                let other = adj[self.offset];
+                self.offset += 1;
+                if self.node < other.index() {
+                    return Some((NodeId::new(self.node), other));
+                }
+            }
+            self.node += 1;
+            self.offset = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g
+    }
+
+    fn stats_via_view<G: GraphView + ?Sized>(g: &G) -> (usize, usize, Vec<usize>, f64) {
+        (
+            g.node_count(),
+            g.edge_count(),
+            g.degrees(),
+            g.average_degree(),
+        )
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let g = sample();
+        let view: &dyn GraphView = &g;
+        assert_eq!(view.node_count(), 4);
+        assert_eq!(view.degree(n(0)), 2);
+        assert_eq!(view.neighbors(n(0)), &[n(1), n(2)]);
+        assert!(view.contains_node(n(3)));
+        assert!(!view.contains_node(n(4)));
+        let (nodes, edges, degrees, avg) = stats_via_view(view);
+        assert_eq!((nodes, edges), (4, 3));
+        assert_eq!(degrees, vec![2, 1, 2, 1]);
+        assert!((avg - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provided_methods_match_graph_inherent_ones() {
+        let g = sample();
+        let view: &dyn GraphView = &g;
+        assert_eq!(view.min_degree(), g.min_degree());
+        assert_eq!(view.max_degree(), g.max_degree());
+        assert_eq!(view.total_degree(), g.total_degree());
+        assert_eq!(view.is_empty(), g.is_empty());
+        let via_view: Vec<NodeId> = view.nodes().collect();
+        let inherent: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(via_view, inherent);
+    }
+
+    #[test]
+    fn view_edges_match_graph_edges() {
+        let g = sample();
+        let via_view: Vec<_> = GraphView::edges(&g).collect();
+        let inherent: Vec<_> = g.edges().collect();
+        assert_eq!(via_view, inherent);
+    }
+
+    #[test]
+    fn node_ids_iterator_is_exact_and_double_ended() {
+        let g = sample();
+        let view: &dyn GraphView = &g;
+        let mut iter = view.nodes();
+        assert_eq!(iter.len(), 4);
+        assert_eq!(iter.next_back(), Some(n(3)));
+        assert_eq!(iter.next(), Some(n(0)));
+        assert_eq!(iter.len(), 2);
+    }
+
+    #[test]
+    fn empty_view_statistics() {
+        let g = Graph::new();
+        let view: &dyn GraphView = &g;
+        assert!(view.is_empty());
+        assert_eq!(view.min_degree(), None);
+        assert_eq!(view.max_degree(), None);
+        assert_eq!(view.average_degree(), 0.0);
+        assert!(view.degrees().is_empty());
+    }
+}

@@ -13,10 +13,10 @@
 //! the cutoff takes away from hub-exploiting searches, complementing the paper's NF/RW
 //! comparison.
 
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::Rng;
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 
 /// Degree-biased ("high-degree seeking") walk.
 ///
@@ -49,9 +49,12 @@ impl DegreeBiasedWalk {
     }
 }
 
-impl SearchAlgorithm for DegreeBiasedWalk {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "biased walk source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for DegreeBiasedWalk {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "biased walk source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut hits = 0usize;
@@ -95,7 +98,9 @@ impl SearchAlgorithm for DegreeBiasedWalk {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for DegreeBiasedWalk {
     fn name(&self) -> &'static str {
         "HD-RW"
     }
@@ -108,6 +113,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph, star_graph};
+    use sfo_graph::Graph;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -143,7 +149,11 @@ mod tests {
         // B's leaves: at least nodes {0, 10, 5, 6, 7, 8, 9} are visited within 20 steps.
         let g = two_hubs();
         let o = DegreeBiasedWalk::new().search(&g, NodeId::new(1), 20, &mut rng(2));
-        assert!(o.hits >= 7, "expected both hubs and hub B's leaves covered, got {}", o.hits);
+        assert!(
+            o.hits >= 7,
+            "expected both hubs and hub B's leaves covered, got {}",
+            o.hits
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::{SearchAlgorithm, SearchOutcome};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 
 /// One point of a coverage curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,15 +32,18 @@ pub struct CoveragePoint {
 ///
 /// Each TTL is an independent search (fresh RNG draws), matching how the paper's
 /// hits-versus-τ figures are produced.
-pub fn coverage_curve(
-    algorithm: &dyn SearchAlgorithm,
-    graph: &Graph,
+pub fn coverage_curve<G: GraphView + ?Sized>(
+    algorithm: &dyn SearchAlgorithm<G>,
+    graph: &G,
     source: NodeId,
     max_ttl: u32,
     rng: &mut dyn RngCore,
 ) -> Vec<CoveragePoint> {
     (0..=max_ttl)
-        .map(|ttl| CoveragePoint { ttl, outcome: algorithm.search(graph, source, ttl, rng) })
+        .map(|ttl| CoveragePoint {
+            ttl,
+            outcome: algorithm.search(graph, source, ttl, rng),
+        })
         .collect()
 }
 
@@ -69,7 +72,11 @@ pub fn granularity(curve: &[CoveragePoint]) -> Vec<GranularityPoint> {
             let (prev, next) = (pair[0], pair[1]);
             let extra_hits = next.outcome.hits as f64 - prev.outcome.hits as f64;
             let extra_messages = next.outcome.messages as f64 - prev.outcome.messages as f64;
-            let marginal = if extra_messages > 0.0 { extra_hits / extra_messages } else { 0.0 };
+            let marginal = if extra_messages > 0.0 {
+                extra_hits / extra_messages
+            } else {
+                0.0
+            };
             GranularityPoint {
                 ttl: next.ttl,
                 extra_hits,
@@ -165,10 +172,21 @@ mod tests {
     fn nf_keeps_granularity_higher_than_fl_in_a_dense_graph() {
         let g = complete_graph(60).unwrap();
         let fl_curve = coverage_curve(&Flooding::new(), &g, NodeId::new(0), 2, &mut rng(5));
-        let nf_curve =
-            coverage_curve(&NormalizedFlooding::new(2), &g, NodeId::new(0), 2, &mut rng(5));
-        let fl_last = granularity(&fl_curve).last().unwrap().marginal_hits_per_message;
-        let nf_last = granularity(&nf_curve).last().unwrap().marginal_hits_per_message;
+        let nf_curve = coverage_curve(
+            &NormalizedFlooding::new(2),
+            &g,
+            NodeId::new(0),
+            2,
+            &mut rng(5),
+        );
+        let fl_last = granularity(&fl_curve)
+            .last()
+            .unwrap()
+            .marginal_hits_per_message;
+        let nf_last = granularity(&nf_curve)
+            .last()
+            .unwrap()
+            .marginal_hits_per_message;
         assert!(
             nf_last >= fl_last,
             "NF marginal efficiency {nf_last} should not be below FL's {fl_last}"
@@ -178,7 +196,10 @@ mod tests {
     #[test]
     fn granularity_of_short_curves_is_empty() {
         assert!(granularity(&[]).is_empty());
-        let one = vec![CoveragePoint { ttl: 0, outcome: SearchOutcome::default() }];
+        let one = vec![CoveragePoint {
+            ttl: 0,
+            outcome: SearchOutcome::default(),
+        }];
         assert!(granularity(&one).is_empty());
     }
 

@@ -18,9 +18,9 @@
 //! `sfo-sim`, which models item placement and replication explicitly.
 
 use crate::flooding::Flooding;
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 
 /// Expanding-ring search: floods of growing radius, re-paying earlier rings.
 ///
@@ -59,7 +59,10 @@ impl ExpandingRing {
     pub fn new(initial_ttl: u32, increment: u32) -> Self {
         assert!(initial_ttl > 0, "initial ring radius must be positive");
         assert!(increment > 0, "ring increment must be positive");
-        ExpandingRing { initial_ttl, increment }
+        ExpandingRing {
+            initial_ttl,
+            increment,
+        }
     }
 
     /// Returns the radius of the first ring.
@@ -89,9 +92,12 @@ impl ExpandingRing {
     }
 }
 
-impl SearchAlgorithm for ExpandingRing {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "expanding-ring source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for ExpandingRing {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "expanding-ring source {source} out of bounds"
+        );
         let flood = Flooding::new();
         let mut total_messages = 0usize;
         let mut final_hits = 0usize;
@@ -100,9 +106,14 @@ impl SearchAlgorithm for ExpandingRing {
             total_messages += outcome.messages;
             final_hits = outcome.hits;
         }
-        SearchOutcome { hits: final_hits, messages: total_messages }
+        SearchOutcome {
+            hits: final_hits,
+            messages: total_messages,
+        }
     }
+}
 
+impl SearchInfo for ExpandingRing {
     fn name(&self) -> &'static str {
         "ring"
     }
@@ -114,6 +125,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph};
+    use sfo_graph::Graph;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -162,7 +174,12 @@ mod tests {
         let er = ExpandingRing::new(1, 1).search(&g, NodeId::new(0), 3, &mut rng());
         let fl = Flooding::new().search(&g, NodeId::new(0), 3, &mut rng());
         assert_eq!(er.hits, fl.hits);
-        assert!(er.messages > fl.messages, "{} should exceed {}", er.messages, fl.messages);
+        assert!(
+            er.messages > fl.messages,
+            "{} should exceed {}",
+            er.messages,
+            fl.messages
+        );
     }
 
     #[test]

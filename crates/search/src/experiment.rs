@@ -5,6 +5,12 @@
 //! the RW hop budget for a point labelled `τ` is set to the number of messages the NF
 //! search with that `τ` generated in the same scenario — the normalization the paper (and
 //! Gkantsidis et al.) use so that Figs. 9/10 and Figs. 11/12 share an x axis.
+//!
+//! Every harness function is generic over [`GraphView`], so sweeps run equally on a
+//! mutable [`Graph`](sfo_graph::Graph) or on a frozen
+//! [`CsrGraph`](sfo_graph::CsrGraph) snapshot. The figure harness freezes each
+//! realization once and runs all TTL sweeps against the snapshot; for a fixed seed the
+//! outcomes are identical on either backend.
 
 use crate::normalized::NormalizedFlooding;
 use crate::random_walk::RandomWalk;
@@ -12,7 +18,7 @@ use crate::{SearchAlgorithm, SearchOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 
 /// Hits and messages averaged over many random source peers for one `τ` value.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,7 +46,22 @@ impl AveragedOutcome {
     }
 }
 
-fn random_source<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> NodeId {
+/// Derives the RNG for stream `index` of a family labelled by `salt` under a master
+/// `seed`.
+///
+/// This is the single stream-derivation rule of the workspace: the parallel search
+/// harness below uses it for per-thread streams (`salt = 0`), and the figure harness in
+/// `sfo-experiments` uses it for per-realization streams (`salt` hashed from the series
+/// label) — so independent streams are derived identically everywhere. The golden-ratio
+/// multiply decorrelates consecutive indices; the salt rotation keeps label families
+/// apart.
+pub fn stream_rng(seed: u64, salt: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ salt.rotate_left(17) ^ ((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+fn random_source<G: GraphView + ?Sized, R: Rng + ?Sized>(graph: &G, rng: &mut R) -> NodeId {
     NodeId::new(rng.gen_range(0..graph.node_count()))
 }
 
@@ -50,9 +71,9 @@ fn random_source<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> NodeId {
 /// # Panics
 ///
 /// Panics if `graph` has no nodes.
-pub fn average_over_sources(
-    graph: &Graph,
-    algorithm: &dyn SearchAlgorithm,
+pub fn average_over_sources<G: GraphView + ?Sized>(
+    graph: &G,
+    algorithm: &dyn SearchAlgorithm<G>,
     ttl: u32,
     searches: usize,
     rng: &mut dyn RngCore,
@@ -68,14 +89,16 @@ pub fn average_over_sources(
 }
 
 /// Runs [`average_over_sources`] for every TTL in `ttls`.
-pub fn ttl_sweep(
-    graph: &Graph,
-    algorithm: &dyn SearchAlgorithm,
+pub fn ttl_sweep<G: GraphView + ?Sized>(
+    graph: &G,
+    algorithm: &dyn SearchAlgorithm<G>,
     ttls: &[u32],
     searches: usize,
     rng: &mut dyn RngCore,
 ) -> Vec<AveragedOutcome> {
-    ttls.iter().map(|&ttl| average_over_sources(graph, algorithm, ttl, searches, rng)).collect()
+    ttls.iter()
+        .map(|&ttl| average_over_sources(graph, algorithm, ttl, searches, rng))
+        .collect()
 }
 
 /// Runs a TTL sweep of random-walk searches whose hop budget is normalized to the message
@@ -84,8 +107,8 @@ pub fn ttl_sweep(
 /// For each TTL `τ` and each random source, an NF search with fan-out `k_min` is run first;
 /// the number of messages it produced becomes the hop budget of an RW search from the same
 /// source. The reported point keeps `τ` as its abscissa, exactly like Figs. 11 and 12.
-pub fn rw_normalized_to_nf(
-    graph: &Graph,
+pub fn rw_normalized_to_nf<G: GraphView + ?Sized>(
+    graph: &G,
     k_min: usize,
     ttls: &[u32],
     searches: usize,
@@ -110,16 +133,17 @@ pub fn rw_normalized_to_nf(
 }
 
 /// Parallel variant of [`average_over_sources`]: the searches are split across `threads`
-/// worker threads, each with an independent RNG stream derived from `seed`.
+/// worker threads, each with an independent RNG stream derived from `seed` via
+/// [`stream_rng`].
 ///
 /// Results are deterministic for a fixed `(seed, threads, searches)` triple.
 ///
 /// # Panics
 ///
 /// Panics if `graph` has no nodes or `threads` is zero.
-pub fn average_over_sources_parallel(
-    graph: &Graph,
-    algorithm: &(dyn SearchAlgorithm + Sync),
+pub fn average_over_sources_parallel<G: GraphView + Sync + ?Sized>(
+    graph: &G,
+    algorithm: &(dyn SearchAlgorithm<G> + Sync),
     ttl: u32,
     searches: usize,
     threads: usize,
@@ -131,12 +155,12 @@ pub fn average_over_sources_parallel(
     let per_thread = searches / threads;
     let remainder = searches % threads;
 
-    let all_outcomes = crossbeam::thread::scope(|scope| {
+    let all_outcomes = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let count = per_thread + usize::from(t < remainder);
-            handles.push(scope.spawn(move |_| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            handles.push(scope.spawn(move || {
+                let mut rng = stream_rng(seed, 0, t);
                 (0..count)
                     .map(|_| {
                         let source = random_source(graph, &mut rng);
@@ -149,8 +173,7 @@ pub fn average_over_sources_parallel(
             .into_iter()
             .flat_map(|h| h.join().expect("search worker panicked"))
             .collect::<Vec<SearchOutcome>>()
-    })
-    .expect("search worker panicked");
+    });
 
     AveragedOutcome::from_outcomes(ttl, &all_outcomes)
 }
@@ -160,6 +183,7 @@ mod tests {
     use super::*;
     use crate::flooding::Flooding;
     use sfo_graph::generators::{complete_graph, ring_graph};
+    use sfo_graph::Graph;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -187,6 +211,15 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_are_identical_on_graph_and_frozen_snapshot() {
+        let g = ring_graph(40, 2).unwrap();
+        let frozen = g.freeze();
+        let on_graph = ttl_sweep(&g, &Flooding::new(), &[1, 3, 5], 15, &mut rng(8));
+        let on_csr = ttl_sweep(&frozen, &Flooding::new(), &[1, 3, 5], 15, &mut rng(8));
+        assert_eq!(on_graph, on_csr);
+    }
+
+    #[test]
     fn rw_normalization_spends_about_the_nf_message_budget() {
         let g = complete_graph(60).unwrap();
         let points = rw_normalized_to_nf(&g, 2, &[2, 4], 25, &mut rng(3));
@@ -210,7 +243,20 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.searches, 37);
         // The cycle is vertex transitive, so the parallel average equals the exact value.
-        assert!((a.mean_hits - average_over_sources(&g, &Flooding::new(), 3, 5, &mut rng(1)).mean_hits).abs() < 1e-12);
+        assert!(
+            (a.mean_hits - average_over_sources(&g, &Flooding::new(), 3, 5, &mut rng(1)).mean_hits)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn parallel_average_runs_on_a_frozen_snapshot() {
+        let g = ring_graph(80, 2).unwrap();
+        let frozen = g.freeze();
+        let on_graph = average_over_sources_parallel(&g, &Flooding::new(), 3, 16, 4, 5);
+        let on_csr = average_over_sources_parallel(&frozen, &Flooding::new(), 3, 16, 4, 5);
+        assert_eq!(on_graph, on_csr);
     }
 
     #[test]
@@ -218,6 +264,17 @@ mod tests {
         let g = ring_graph(20, 1).unwrap();
         let avg = average_over_sources_parallel(&g, &Flooding::new(), 2, 3, 16, 7);
         assert_eq!(avg.searches, 3);
+    }
+
+    #[test]
+    fn stream_rng_separates_indices_and_salts() {
+        use rand::RngCore as _;
+        let a = stream_rng(1, 0, 0).next_u64();
+        let b = stream_rng(1, 0, 1).next_u64();
+        let c = stream_rng(1, 7, 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, stream_rng(1, 0, 0).next_u64());
     }
 
     #[test]

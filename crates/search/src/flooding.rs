@@ -6,9 +6,9 @@
 //! but the duplicate transmissions still count as messages — this is exactly the "large
 //! number of messages" downside the paper attributes to FL.
 
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 use std::collections::VecDeque;
 
 /// Flooding (broadcast) search.
@@ -41,9 +41,12 @@ impl Flooding {
     }
 }
 
-impl SearchAlgorithm for Flooding {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, _rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "flood source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for Flooding {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, _rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "flood source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut messages = 0usize;
@@ -70,7 +73,9 @@ impl SearchAlgorithm for Flooding {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for Flooding {
     fn name(&self) -> &'static str {
         "FL"
     }
@@ -83,6 +88,7 @@ mod tests {
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph};
     use sfo_graph::metrics::reachable_within;
+    use sfo_graph::Graph;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0)
@@ -109,7 +115,11 @@ mod tests {
         let g = ring_graph(30, 2).unwrap();
         for ttl in 0..6 {
             let o = Flooding::new().search(&g, NodeId::new(3), ttl, &mut rng());
-            assert_eq!(o.hits, reachable_within(&g, NodeId::new(3), ttl), "ttl={ttl}");
+            assert_eq!(
+                o.hits,
+                reachable_within(&g, NodeId::new(3), ttl),
+                "ttl={ttl}"
+            );
         }
     }
 

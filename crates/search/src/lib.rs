@@ -55,4 +55,4 @@ pub mod normalized;
 pub mod probabilistic;
 pub mod random_walk;
 
-pub use outcome::{SearchAlgorithm, SearchOutcome};
+pub use outcome::{SearchAlgorithm, SearchInfo, SearchOutcome};

@@ -8,10 +8,10 @@
 //! stub count of the topology-generation mechanism, even when a few peers end up below `m`
 //! (CM after simplification, DAPA with short horizons).
 
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::seq::SliceRandom;
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 use std::collections::VecDeque;
 
 /// Normalized flooding with a configurable fan-out `k_min`.
@@ -55,9 +55,12 @@ impl NormalizedFlooding {
     }
 }
 
-impl SearchAlgorithm for NormalizedFlooding {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "nf source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for NormalizedFlooding {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "nf source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut hits = 0usize;
@@ -71,7 +74,13 @@ impl SearchAlgorithm for NormalizedFlooding {
                 continue;
             }
             scratch.clear();
-            scratch.extend(graph.neighbors(node).iter().copied().filter(|&n| Some(n) != from));
+            scratch.extend(
+                graph
+                    .neighbors(node)
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != from),
+            );
             let targets: &[NodeId] = if scratch.len() > self.k_min {
                 scratch.partial_shuffle(rng, self.k_min).0
             } else {
@@ -88,7 +97,9 @@ impl SearchAlgorithm for NormalizedFlooding {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for NormalizedFlooding {
     fn name(&self) -> &'static str {
         "NF"
     }
@@ -101,6 +112,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph};
+    use sfo_graph::Graph;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -133,7 +145,11 @@ mod tests {
         for ttl in 1..=4u32 {
             let o = NormalizedFlooding::new(k).search(&g, NodeId::new(0), ttl, &mut rng(2));
             let bound: usize = (1..=ttl).map(|t| k.pow(t)).sum();
-            assert!(o.hits <= bound, "ttl={ttl}: hits {} exceed bound {bound}", o.hits);
+            assert!(
+                o.hits <= bound,
+                "ttl={ttl}: hits {} exceed bound {bound}",
+                o.hits
+            );
         }
     }
 

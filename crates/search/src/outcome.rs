@@ -2,7 +2,7 @@
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{Graph, GraphView, NodeId};
 
 /// What one search attempt achieved.
 ///
@@ -38,9 +38,16 @@ impl SearchOutcome {
 /// A decentralized search algorithm running on an overlay graph.
 ///
 /// Implementations use only local information (the neighbors of the node currently holding
-/// the query); the graph parameter stands in for the distributed state of all peers. The
-/// trait is object safe so experiment sweeps can hold `Box<dyn SearchAlgorithm>` values.
-pub trait SearchAlgorithm {
+/// the query); the graph parameter stands in for the distributed state of all peers.
+///
+/// The trait is generic over the graph backend: every algorithm in this crate is
+/// implemented for all [`GraphView`] types, so the same search runs on a mutable
+/// [`Graph`] or on a frozen [`CsrGraph`](sfo_graph::CsrGraph) snapshot — and, because
+/// both backends report neighbors in the same order, a fixed seed produces identical
+/// outcomes on either one. The parameter defaults to [`Graph`], so existing
+/// `Box<dyn SearchAlgorithm>` values keep working; experiment sweeps over frozen
+/// snapshots hold `Box<dyn SearchAlgorithm<CsrGraph>>` instead.
+pub trait SearchAlgorithm<G: GraphView + ?Sized = Graph>: SearchInfo {
     /// Runs one search from `source` with time-to-live `ttl` and reports its outcome.
     ///
     /// The interpretation of `ttl` is algorithm-specific: forwarding rounds for flooding
@@ -49,8 +56,14 @@ pub trait SearchAlgorithm {
     /// # Panics
     ///
     /// Implementations may panic if `source` is not a node of `graph`.
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome;
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome;
+}
 
+/// Backend-independent description of a search algorithm.
+///
+/// Split from [`SearchAlgorithm`] so the name is available without naming a graph
+/// backend (the algorithm type alone determines it).
+pub trait SearchInfo {
     /// Short name used in experiment output ("FL", "NF", "RW").
     fn name(&self) -> &'static str;
 }

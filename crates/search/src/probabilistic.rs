@@ -9,10 +9,10 @@
 //! many neighbors, each kept with probability `p`), so the coverage penalty is far smaller
 //! than the message saving — the same granularity argument the paper makes for NF.
 
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::Rng;
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 use std::collections::VecDeque;
 
 /// Probabilistic (gossip-style) flooding with forwarding probability `p`.
@@ -60,9 +60,12 @@ impl ProbabilisticFlooding {
     }
 }
 
-impl SearchAlgorithm for ProbabilisticFlooding {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "probabilistic flood source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for ProbabilisticFlooding {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "probabilistic flood source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut hits = 0usize;
@@ -94,7 +97,9 @@ impl SearchAlgorithm for ProbabilisticFlooding {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for ProbabilisticFlooding {
     fn name(&self) -> &'static str {
         "pFL"
     }
@@ -107,6 +112,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph};
+    use sfo_graph::Graph;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -147,7 +153,10 @@ mod tests {
         let low = ProbabilisticFlooding::new(0.2).search(&g, NodeId::new(0), 3, &mut rng(2));
         let high = ProbabilisticFlooding::new(0.9).search(&g, NodeId::new(0), 3, &mut rng(2));
         assert!(low.messages < high.messages);
-        assert!(low.hits <= high.hits + 1, "coverage should not grow when pruning harder");
+        assert!(
+            low.hits <= high.hits + 1,
+            "coverage should not grow when pruning harder"
+        );
     }
 
     #[test]

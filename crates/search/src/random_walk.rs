@@ -7,10 +7,10 @@
 //! launches several walkers that share a hop budget, which the paper mentions as the way to
 //! make RW behave more like NF.
 
-use crate::{SearchAlgorithm, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
 use rand::Rng;
 use rand::RngCore;
-use sfo_graph::{Graph, NodeId};
+use sfo_graph::{GraphView, NodeId};
 
 /// Single random-walk search.
 ///
@@ -45,8 +45,8 @@ impl RandomWalk {
 
 /// Picks the next hop: a uniformly random neighbor excluding the previous hop, falling back
 /// to the previous hop when it is the only neighbor. Returns `None` at a dead end.
-fn next_hop<R: Rng + ?Sized>(
-    graph: &Graph,
+fn next_hop<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     node: NodeId,
     previous: Option<NodeId>,
     rng: &mut R,
@@ -64,9 +64,12 @@ fn next_hop<R: Rng + ?Sized>(
     }
 }
 
-impl SearchAlgorithm for RandomWalk {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "rw source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for RandomWalk {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "rw source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut hits = 0usize;
@@ -87,7 +90,9 @@ impl SearchAlgorithm for RandomWalk {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for RandomWalk {
     fn name(&self) -> &'static str {
         "RW"
     }
@@ -120,9 +125,12 @@ impl MultipleRandomWalk {
     }
 }
 
-impl SearchAlgorithm for MultipleRandomWalk {
-    fn search(&self, graph: &Graph, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
-        assert!(graph.contains_node(source), "rw source {source} out of bounds");
+impl<G: GraphView + ?Sized> SearchAlgorithm<G> for MultipleRandomWalk {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "rw source {source} out of bounds"
+        );
         let mut visited = vec![false; graph.node_count()];
         visited[source.index()] = true;
         let mut hits = 0usize;
@@ -149,7 +157,9 @@ impl SearchAlgorithm for MultipleRandomWalk {
         }
         SearchOutcome { hits, messages }
     }
+}
 
+impl SearchInfo for MultipleRandomWalk {
     fn name(&self) -> &'static str {
         "multi-RW"
     }
@@ -161,6 +171,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfo_graph::generators::{complete_graph, ring_graph};
+    use sfo_graph::Graph;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -229,7 +240,10 @@ mod tests {
     fn multiple_walkers_share_the_budget() {
         let g = complete_graph(50).unwrap();
         let o = MultipleRandomWalk::new(4).search(&g, NodeId::new(0), 21, &mut rng(7));
-        assert_eq!(o.messages, 21, "budget split 6+5+5+5 should be fully spent in a clique");
+        assert_eq!(
+            o.messages, 21,
+            "budget split 6+5+5+5 should be fully spent in a clique"
+        );
     }
 
     #[test]
@@ -241,7 +255,11 @@ mod tests {
         for seed in 0..20u64 {
             let o = MultipleRandomWalk::new(4).search(&g, NodeId::new(0), 40, &mut rng(seed));
             assert_eq!(o.messages, 40);
-            assert!((10..=20).contains(&o.hits), "hits {} outside [10, 20]", o.hits);
+            assert!(
+                (10..=20).contains(&o.hits),
+                "hits {} outside [10, 20]",
+                o.hits
+            );
         }
     }
 

@@ -69,12 +69,18 @@ impl Catalog {
     /// finite.
     pub fn new(items: usize, skew: f64) -> Result<Self> {
         if items == 0 {
-            return Err(SimError::InvalidConfig { reason: "catalog must contain at least one item" });
+            return Err(SimError::InvalidConfig {
+                reason: "catalog must contain at least one item",
+            });
         }
         if !skew.is_finite() || skew < 0.0 {
-            return Err(SimError::InvalidConfig { reason: "zipf skew must be finite and non-negative" });
+            return Err(SimError::InvalidConfig {
+                reason: "zipf skew must be finite and non-negative",
+            });
         }
-        let weights: Vec<f64> = (0..items).map(|i| 1.0 / ((i + 1) as f64).powf(skew)).collect();
+        let weights: Vec<f64> = (0..items)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut cdf = Vec::with_capacity(items);
         let mut acc = 0.0;
@@ -193,7 +199,11 @@ mod tests {
         let fourth = c.replica_count(3, 16);
         // Popularity of rank 3 is 1/4 of rank 0, so sqrt gives half the replicas.
         assert_eq!(fourth, 8);
-        assert_eq!(c.replica_count(9_999, 16), 1, "items outside the catalog still get one copy");
+        assert_eq!(
+            c.replica_count(9_999, 16),
+            1,
+            "items outside the catalog still get one copy"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl SessionModel {
         if ok {
             Ok(())
         } else {
-            Err(SimError::InvalidConfig { reason: "session model parameters must be positive and finite" })
+            Err(SimError::InvalidConfig {
+                reason: "session model parameters must be positive and finite",
+            })
         }
     }
 
@@ -144,7 +146,10 @@ impl ChurnTrace {
 
     /// Number of crash departures.
     pub fn crashes(&self) -> usize {
-        self.events.iter().filter(|e| e.action == ChurnAction::Crash).count()
+        self.events
+            .iter()
+            .filter(|e| e.action == ChurnAction::Crash)
+            .count()
     }
 }
 
@@ -162,13 +167,19 @@ pub fn generate_trace<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<ChurnTrace> {
     if config.duration == 0 {
-        return Err(SimError::InvalidConfig { reason: "churn trace duration must be positive" });
+        return Err(SimError::InvalidConfig {
+            reason: "churn trace duration must be positive",
+        });
     }
     if !config.arrival_rate.is_finite() || config.arrival_rate <= 0.0 {
-        return Err(SimError::InvalidConfig { reason: "arrival rate must be positive and finite" });
+        return Err(SimError::InvalidConfig {
+            reason: "arrival rate must be positive and finite",
+        });
     }
     if !(0.0..=1.0).contains(&config.crash_fraction) || config.crash_fraction.is_nan() {
-        return Err(SimError::InvalidConfig { reason: "crash fraction must lie in [0, 1]" });
+        return Err(SimError::InvalidConfig {
+            reason: "crash fraction must lie in [0, 1]",
+        });
     }
     config.sessions.validate()?;
 
@@ -182,7 +193,11 @@ pub fn generate_trace<R: Rng + ?Sized>(
         if arrival_tick > config.duration {
             break;
         }
-        events.push(ChurnEvent { time: arrival_tick, session, action: ChurnAction::Arrive });
+        events.push(ChurnEvent {
+            time: arrival_tick,
+            session,
+            action: ChurnAction::Arrive,
+        });
         let length = config.sessions.sample(rng);
         let departure_tick = arrival_tick.saturating_add(length);
         if departure_tick <= config.duration {
@@ -191,12 +206,19 @@ pub fn generate_trace<R: Rng + ?Sized>(
             } else {
                 ChurnAction::DepartGracefully
             };
-            events.push(ChurnEvent { time: departure_tick, session, action });
+            events.push(ChurnEvent {
+                time: departure_tick,
+                session,
+                action,
+            });
         }
         session += 1;
     }
     events.sort_by_key(|e| (e.time, e.session, e.action != ChurnAction::Arrive));
-    Ok(ChurnTrace { events, arrivals: session })
+    Ok(ChurnTrace {
+        events,
+        arrivals: session,
+    })
 }
 
 #[cfg(test)]
@@ -210,7 +232,12 @@ mod tests {
     }
 
     fn config(sessions: SessionModel) -> ChurnTraceConfig {
-        ChurnTraceConfig { duration: 1_000, arrival_rate: 0.5, sessions, crash_fraction: 0.2 }
+        ChurnTraceConfig {
+            duration: 1_000,
+            arrival_rate: 0.5,
+            sessions,
+            crash_fraction: 0.2,
+        }
     }
 
     #[test]
@@ -230,7 +257,10 @@ mod tests {
         bad.sessions = SessionModel::Exponential { mean: 0.0 };
         assert!(generate_trace(&bad, &mut r).is_err());
         bad = base;
-        bad.sessions = SessionModel::Pareto { shape: -1.0, minimum: 5.0 };
+        bad.sessions = SessionModel::Pareto {
+            shape: -1.0,
+            minimum: 5.0,
+        };
         assert!(generate_trace(&bad, &mut r).is_err());
         bad = base;
         bad.sessions = SessionModel::Fixed { length: f64::NAN };
@@ -242,7 +272,10 @@ mod tests {
         let mut r = rng(1);
         for model in [
             SessionModel::Exponential { mean: 40.0 },
-            SessionModel::Pareto { shape: 2.5, minimum: 10.0 },
+            SessionModel::Pareto {
+                shape: 2.5,
+                minimum: 10.0,
+            },
             SessionModel::Fixed { length: 25.0 },
         ] {
             let samples: Vec<Tick> = (0..5_000).map(|_| model.sample(&mut r)).collect();
@@ -258,15 +291,28 @@ mod tests {
 
     #[test]
     fn pareto_mean_diverges_for_small_shape() {
-        assert!(SessionModel::Pareto { shape: 0.9, minimum: 5.0 }.mean().is_none());
-        assert!(SessionModel::Pareto { shape: 1.5, minimum: 5.0 }.mean().is_some());
+        assert!(SessionModel::Pareto {
+            shape: 0.9,
+            minimum: 5.0
+        }
+        .mean()
+        .is_none());
+        assert!(SessionModel::Pareto {
+            shape: 1.5,
+            minimum: 5.0
+        }
+        .mean()
+        .is_some());
     }
 
     #[test]
     fn pareto_sessions_are_heavier_tailed_than_exponential() {
         let mut r = rng(2);
         let exp = SessionModel::Exponential { mean: 30.0 };
-        let pareto = SessionModel::Pareto { shape: 1.3, minimum: 7.0 }; // mean ≈ 30.3
+        let pareto = SessionModel::Pareto {
+            shape: 1.3,
+            minimum: 7.0,
+        }; // mean ≈ 30.3
         let exp_max = (0..5_000).map(|_| exp.sample(&mut r)).max().unwrap();
         let pareto_max = (0..5_000).map(|_| pareto.sample(&mut r)).max().unwrap();
         assert!(
@@ -277,9 +323,15 @@ mod tests {
 
     #[test]
     fn trace_events_are_time_ordered_and_consistent() {
-        let trace =
-            generate_trace(&config(SessionModel::Exponential { mean: 60.0 }), &mut rng(3)).unwrap();
-        assert!(trace.arrivals > 300, "expected roughly duration * rate arrivals");
+        let trace = generate_trace(
+            &config(SessionModel::Exponential { mean: 60.0 }),
+            &mut rng(3),
+        )
+        .unwrap();
+        assert!(
+            trace.arrivals > 300,
+            "expected roughly duration * rate arrivals"
+        );
         assert!(trace.departures() <= trace.arrivals);
         assert!(trace.crashes() <= trace.departures());
         for w in trace.events.windows(2) {
@@ -312,14 +364,19 @@ mod tests {
 
     #[test]
     fn short_sessions_mean_more_departures_inside_the_trace() {
-        let short = generate_trace(&config(SessionModel::Fixed { length: 5.0 }), &mut rng(5)).unwrap();
-        let long = generate_trace(&config(SessionModel::Fixed { length: 900.0 }), &mut rng(5)).unwrap();
+        let short =
+            generate_trace(&config(SessionModel::Fixed { length: 5.0 }), &mut rng(5)).unwrap();
+        let long =
+            generate_trace(&config(SessionModel::Fixed { length: 900.0 }), &mut rng(5)).unwrap();
         assert!(short.departures() > long.departures());
     }
 
     #[test]
     fn traces_are_deterministic_for_a_fixed_seed() {
-        let cfg = config(SessionModel::Pareto { shape: 2.0, minimum: 8.0 });
+        let cfg = config(SessionModel::Pareto {
+            shape: 2.0,
+            minimum: 8.0,
+        });
         let a = generate_trace(&cfg, &mut rng(42)).unwrap();
         let b = generate_trace(&cfg, &mut rng(42)).unwrap();
         assert_eq!(a, b);

@@ -41,11 +41,20 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            SimError::InvalidConfig { reason: "rate must be positive" }.to_string(),
+            SimError::InvalidConfig {
+                reason: "rate must be positive"
+            }
+            .to_string(),
             "invalid configuration: rate must be positive"
         );
-        assert_eq!(SimError::UnknownPeer { peer: 9 }.to_string(), "peer p9 is not part of the overlay");
-        assert_eq!(SimError::EmptyOverlay.to_string(), "the overlay contains no peers");
+        assert_eq!(
+            SimError::UnknownPeer { peer: 9 }.to_string(),
+            "peer p9 is not part of the overlay"
+        );
+        assert_eq!(
+            SimError::EmptyOverlay.to_string(),
+            "the overlay contains no peers"
+        );
     }
 
     #[test]

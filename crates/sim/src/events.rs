@@ -74,7 +74,9 @@ impl EventQueue {
     /// Removes and returns the earliest event, or `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<Event> {
         let Reverse((time, seq)) = self.heap.pop()?;
-        let kind = self.payloads[seq as usize].take().expect("event payload present");
+        let kind = self.payloads[seq as usize]
+            .take()
+            .expect("event payload present");
         Some(Event { time, kind })
     }
 
@@ -101,9 +103,18 @@ mod tests {
     #[test]
     fn events_come_out_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(Event { time: 10, kind: EventKind::Query });
-        q.schedule(Event { time: 2, kind: EventKind::PeerJoin });
-        q.schedule(Event { time: 7, kind: EventKind::PeerLeave });
+        q.schedule(Event {
+            time: 10,
+            kind: EventKind::Query,
+        });
+        q.schedule(Event {
+            time: 2,
+            kind: EventKind::PeerJoin,
+        });
+        q.schedule(Event {
+            time: 7,
+            kind: EventKind::PeerLeave,
+        });
         let order: Vec<Tick> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
         assert_eq!(order, vec![2, 7, 10]);
     }
@@ -111,11 +122,27 @@ mod tests {
     #[test]
     fn same_tick_events_preserve_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(Event { time: 3, kind: EventKind::PeerJoin });
-        q.schedule(Event { time: 3, kind: EventKind::PeerCrash });
-        q.schedule(Event { time: 3, kind: EventKind::Snapshot });
+        q.schedule(Event {
+            time: 3,
+            kind: EventKind::PeerJoin,
+        });
+        q.schedule(Event {
+            time: 3,
+            kind: EventKind::PeerCrash,
+        });
+        q.schedule(Event {
+            time: 3,
+            kind: EventKind::Snapshot,
+        });
         let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
-        assert_eq!(kinds, vec![EventKind::PeerJoin, EventKind::PeerCrash, EventKind::Snapshot]);
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PeerJoin,
+                EventKind::PeerCrash,
+                EventKind::Snapshot
+            ]
+        );
     }
 
     #[test]
@@ -123,8 +150,14 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
-        q.schedule(Event { time: 4, kind: EventKind::Query });
-        q.schedule(Event { time: 9, kind: EventKind::Query });
+        q.schedule(Event {
+            time: 4,
+            kind: EventKind::Query,
+        });
+        q.schedule(Event {
+            time: 9,
+            kind: EventKind::Query,
+        });
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(4));
         q.pop();

@@ -75,7 +75,9 @@ impl Default for OverlayConfig {
         OverlayConfig {
             stubs: 3,
             cutoff: DegreeCutoff::hard(30),
-            join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 200 },
+            join_strategy: JoinStrategy::HopAndAttempt {
+                max_hops_per_link: 200,
+            },
             repair_on_leave: true,
         }
     }
@@ -146,11 +148,15 @@ impl OverlayNetwork {
     /// one.
     pub fn new(config: OverlayConfig) -> Result<Self> {
         if config.stubs == 0 {
-            return Err(SimError::InvalidConfig { reason: "stubs must be at least 1" });
+            return Err(SimError::InvalidConfig {
+                reason: "stubs must be at least 1",
+            });
         }
         if let Some(k_c) = config.cutoff.value() {
             if k_c == 0 {
-                return Err(SimError::InvalidConfig { reason: "cutoff must admit at least one link" });
+                return Err(SimError::InvalidConfig {
+                    reason: "cutoff must admit at least one link",
+                });
             }
         }
         Ok(OverlayNetwork {
@@ -223,7 +229,10 @@ impl OverlayNetwork {
 
     /// Returns the degrees of all live peers (iteration order follows the roster).
     pub fn degrees(&self) -> Vec<usize> {
-        self.roster.iter().map(|p| self.states[p].neighbors.len()).collect()
+        self.roster
+            .iter()
+            .map(|p| self.states[p].neighbors.len())
+            .collect()
     }
 
     /// Returns the largest peer degree, or `None` for an empty overlay.
@@ -256,7 +265,9 @@ impl OverlayNetwork {
 
     /// Returns `true` if the peer currently stores a replica of `item`.
     pub fn holds_item(&self, peer: PeerId, item: ItemId) -> bool {
-        self.states.get(&peer).is_some_and(|s| s.items.contains(&item))
+        self.states
+            .get(&peer)
+            .is_some_and(|s| s.items.contains(&item))
     }
 
     /// Adds a new peer and connects it according to the configured join strategy.
@@ -288,7 +299,11 @@ impl OverlayNetwork {
                 }
             }
         }
-        JoinOutcome { peer, links_established: links, messages }
+        JoinOutcome {
+            peer,
+            links_established: links,
+            messages,
+        }
     }
 
     /// Removes a peer gracefully; its former neighbors may rewire among themselves.
@@ -299,7 +314,10 @@ impl OverlayNetwork {
     pub fn leave<R: Rng + ?Sized>(&mut self, peer: PeerId, rng: &mut R) -> Result<LeaveOutcome> {
         let former = self.remove_peer(peer)?;
         // One departure notification per former neighbor.
-        let mut outcome = LeaveOutcome { repaired_links: 0, messages: former.len() };
+        let mut outcome = LeaveOutcome {
+            repaired_links: 0,
+            messages: former.len(),
+        };
         if self.config.repair_on_leave && former.len() >= 2 {
             // Pair up former neighbors in random order; each pair attempts one replacement
             // link, which succeeds when both sides are still below their cutoff and the
@@ -334,8 +352,12 @@ impl OverlayNetwork {
     /// mapping from graph node index to peer id (ordered by the internal roster).
     pub fn snapshot(&self) -> (Graph, Vec<PeerId>) {
         let mut graph = Graph::with_nodes(self.roster.len());
-        let index: HashMap<PeerId, usize> =
-            self.roster.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let index: HashMap<PeerId, usize> = self
+            .roster
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
         for (i, peer) in self.roster.iter().enumerate() {
             for neighbor in &self.states[peer].neighbors {
                 let j = index[neighbor];
@@ -350,7 +372,10 @@ impl OverlayNetwork {
     }
 
     fn remove_peer(&mut self, peer: PeerId) -> Result<Vec<PeerId>> {
-        let state = self.states.remove(&peer).ok_or(SimError::UnknownPeer { peer: peer.raw() })?;
+        let state = self
+            .states
+            .remove(&peer)
+            .ok_or(SimError::UnknownPeer { peer: peer.raw() })?;
         for neighbor in &state.neighbors {
             if let Some(n_state) = self.states.get_mut(neighbor) {
                 if let Some(pos) = n_state.neighbors.iter().position(|&p| p == peer) {
@@ -359,7 +384,10 @@ impl OverlayNetwork {
             }
         }
         self.edge_count -= state.neighbors.len();
-        let pos = self.roster_index.remove(&peer).expect("roster index in sync");
+        let pos = self
+            .roster_index
+            .remove(&peer)
+            .expect("roster index in sync");
         self.roster.swap_remove(pos);
         if let Some(&moved) = self.roster.get(pos) {
             self.roster_index.insert(moved, pos);
@@ -380,19 +408,34 @@ impl OverlayNetwork {
 
     fn connect(&mut self, a: PeerId, b: PeerId) {
         debug_assert!(self.can_link(a, b) || self.states[&a].neighbors.len() < usize::MAX);
-        self.states.get_mut(&a).expect("peer a exists").neighbors.push(b);
-        self.states.get_mut(&b).expect("peer b exists").neighbors.push(a);
+        self.states
+            .get_mut(&a)
+            .expect("peer a exists")
+            .neighbors
+            .push(b);
+        self.states
+            .get_mut(&b)
+            .expect("peer b exists")
+            .neighbors
+            .push(a);
         self.edge_count += 1;
     }
 
     /// Candidate acceptable as a new neighbor of `joining`.
     fn acceptable(&self, joining: PeerId, candidate: PeerId) -> bool {
         candidate != joining
-            && self.config.cutoff.admits(self.states[&candidate].neighbors.len())
+            && self
+                .config
+                .cutoff
+                .admits(self.states[&candidate].neighbors.len())
             && !self.states[&joining].neighbors.contains(&candidate)
     }
 
-    fn pick_uniform<R: Rng + ?Sized>(&self, joining: PeerId, rng: &mut R) -> (Option<PeerId>, usize) {
+    fn pick_uniform<R: Rng + ?Sized>(
+        &self,
+        joining: PeerId,
+        rng: &mut R,
+    ) -> (Option<PeerId>, usize) {
         let mut probes = 0usize;
         // Bounded rejection sampling, then an exact scan so saturation cannot stall a join.
         for _ in 0..32 {
@@ -402,8 +445,12 @@ impl OverlayNetwork {
                 return (Some(candidate), probes);
             }
         }
-        let eligible: Vec<PeerId> =
-            self.roster.iter().copied().filter(|&p| self.acceptable(joining, p)).collect();
+        let eligible: Vec<PeerId> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|&p| self.acceptable(joining, p))
+            .collect();
         probes += 1;
         if eligible.is_empty() {
             (None, probes)
@@ -514,11 +561,15 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        let mut bad = OverlayConfig::default();
-        bad.stubs = 0;
+        let bad = OverlayConfig {
+            stubs: 0,
+            ..OverlayConfig::default()
+        };
         assert!(OverlayNetwork::new(bad).is_err());
-        let mut zero_cutoff = OverlayConfig::default();
-        zero_cutoff.cutoff = DegreeCutoff::hard(0);
+        let zero_cutoff = OverlayConfig {
+            cutoff: DegreeCutoff::hard(0),
+            ..OverlayConfig::default()
+        };
         assert!(OverlayNetwork::new(zero_cutoff).is_err());
     }
 
@@ -527,7 +578,9 @@ mod tests {
         for strategy in [
             JoinStrategy::UniformRandom,
             JoinStrategy::DegreePreferential,
-            JoinStrategy::HopAndAttempt { max_hops_per_link: 50 },
+            JoinStrategy::HopAndAttempt {
+                max_hops_per_link: 50,
+            },
         ] {
             let mut overlay = OverlayNetwork::new(config(strategy)).unwrap();
             let mut r = rng(1);
@@ -540,7 +593,10 @@ mod tests {
             let (graph, peers) = overlay.snapshot();
             assert_eq!(graph.node_count(), 120);
             assert_eq!(peers.len(), 120);
-            assert!(traversal::giant_component_fraction(&graph) > 0.9, "{strategy:?}");
+            assert!(
+                traversal::giant_component_fraction(&graph) > 0.9,
+                "{strategy:?}"
+            );
         }
     }
 
@@ -580,7 +636,10 @@ mod tests {
         assert!(outcome.messages >= victim_degree);
         overlay.assert_consistent();
         // Leaving twice is an error.
-        assert_eq!(overlay.leave(victim, &mut r), Err(SimError::UnknownPeer { peer: victim.raw() }));
+        assert_eq!(
+            overlay.leave(victim, &mut r),
+            Err(SimError::UnknownPeer { peer: victim.raw() })
+        );
     }
 
     #[test]
@@ -655,7 +714,10 @@ mod tests {
     #[test]
     fn random_peer_on_empty_overlay_is_an_error() {
         let overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
-        assert_eq!(overlay.random_peer(&mut rng(8)), Err(SimError::EmptyOverlay));
+        assert_eq!(
+            overlay.random_peer(&mut rng(8)),
+            Err(SimError::EmptyOverlay)
+        );
         assert_eq!(overlay.mean_degree(), 0.0);
         assert_eq!(overlay.max_degree(), None);
     }

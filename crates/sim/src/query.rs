@@ -5,6 +5,11 @@
 //! found, after how many hops, and at what message cost. Flooding and normalized flooding
 //! keep propagating until their TTL expires (independent branches cannot be stopped, as the
 //! paper notes for FL), whereas a random walk terminates as soon as it finds a replica.
+//!
+//! Queries come in two flavors: [`run_query`] walks the live overlay directly (hash-map
+//! adjacency, right for one-off lookups), while [`QuerySnapshot`] freezes the overlay
+//! into a CSR [`CsrGraph`] once and serves a whole batch of queries from the flat
+//! snapshot — the build-once/query-many split the simulation uses between churn events.
 
 use crate::catalog::ItemId;
 use crate::overlay::{OverlayNetwork, PeerId};
@@ -12,7 +17,8 @@ use crate::{Result, SimError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use sfo_graph::{CsrGraph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Which lookup algorithm a query uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,7 +68,9 @@ pub fn run_query<R: Rng + ?Sized>(
         QueryMethod::Flooding => Ok(flood_query(overlay, source, item, ttl, None, rng)),
         QueryMethod::NormalizedFlooding { k_min } => {
             if k_min == 0 {
-                return Err(SimError::InvalidConfig { reason: "normalized flooding fan-out must be positive" });
+                return Err(SimError::InvalidConfig {
+                    reason: "normalized flooding fan-out must be positive",
+                });
             }
             Ok(flood_query(overlay, source, item, ttl, Some(k_min), rng))
         }
@@ -81,7 +89,12 @@ fn flood_query<R: Rng + ?Sized>(
 ) -> QueryOutcome {
     // The source checks its own store first; that costs no messages.
     if overlay.holds_item(source, item) {
-        return QueryOutcome { found: true, hops_to_find: Some(0), messages: 0, peers_probed: 0 };
+        return QueryOutcome {
+            found: true,
+            hops_to_find: Some(0),
+            messages: 0,
+            peers_probed: 0,
+        };
     }
     let mut outcome = QueryOutcome::default();
     let mut visited: HashSet<PeerId> = HashSet::from([source]);
@@ -124,14 +137,21 @@ fn walk_query<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> QueryOutcome {
     if overlay.holds_item(source, item) {
-        return QueryOutcome { found: true, hops_to_find: Some(0), messages: 0, peers_probed: 0 };
+        return QueryOutcome {
+            found: true,
+            hops_to_find: Some(0),
+            messages: 0,
+            peers_probed: 0,
+        };
     }
     let mut outcome = QueryOutcome::default();
     let mut visited: HashSet<PeerId> = HashSet::from([source]);
     let mut current = source;
     let mut previous: Option<PeerId> = None;
     for hop in 1..=ttl {
-        let neighbors = overlay.neighbors(current).expect("walk stays on live peers");
+        let neighbors = overlay
+            .neighbors(current)
+            .expect("walk stays on live peers");
         let next = match neighbors.len() {
             0 => break,
             1 => neighbors[0],
@@ -155,6 +175,212 @@ fn walk_query<R: Rng + ?Sized>(
         current = next;
     }
     outcome
+}
+
+/// A frozen CSR view of the overlay topology for serving query batches.
+///
+/// Capturing a snapshot costs one O(peers + links) pass; every query served from it then
+/// traverses the flat CSR arrays instead of per-peer hash-map lookups, and tracks visited
+/// peers in a dense bitmap instead of a `HashSet`. The snapshot only freezes the
+/// *topology* — item placement is still read live from the overlay, so stored replicas
+/// added after the capture are found correctly.
+///
+/// A snapshot describes the overlay *at capture time*: after any join, leave, or crash it
+/// must be discarded and re-captured (the simulation does exactly that, re-freezing
+/// lazily on the first query after a churn event).
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    graph: CsrGraph,
+    /// Peer of each dense node id, ordered as at capture time.
+    peers: Vec<PeerId>,
+    index: HashMap<PeerId, NodeId>,
+}
+
+impl QuerySnapshot {
+    /// Freezes the current overlay topology into a CSR snapshot.
+    ///
+    /// One O(peers + links) pass, straight from the live adjacency into the CSR arrays
+    /// (no intermediate [`Graph`](sfo_graph::Graph)). Per-peer neighbor order is
+    /// preserved, so queries served from the snapshot consume the same RNG stream as
+    /// [`run_query`] on the live overlay.
+    pub fn capture(overlay: &OverlayNetwork) -> Self {
+        let peers: Vec<PeerId> = overlay.peers().collect();
+        let index: HashMap<PeerId, NodeId> = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, NodeId::new(i)))
+            .collect();
+        let graph = CsrGraph::from_neighbor_lists(peers.len(), |i| {
+            overlay
+                .neighbors(peers[i])
+                .expect("rostered peers are alive")
+                .iter()
+                .map(|p| index[p])
+        });
+        QuerySnapshot {
+            graph,
+            peers,
+            index,
+        }
+    }
+
+    /// Returns the frozen topology.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Returns the peer ids by dense node id, as captured.
+    pub fn peers(&self) -> &[PeerId] {
+        &self.peers
+    }
+
+    /// Returns the number of peers in the snapshot.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Runs one item lookup from `source` over the frozen topology; item placement is
+    /// read live from `overlay`.
+    ///
+    /// For a fixed RNG state this returns the same outcome as [`run_query`] up to
+    /// neighbor enumeration order (the snapshot lists each peer's links in roster order
+    /// rather than link-creation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if `source` was not part of the overlay when the
+    /// snapshot was captured and [`SimError::InvalidConfig`] if a normalized flood is
+    /// configured with a zero fan-out.
+    pub fn run_query<R: Rng + ?Sized>(
+        &self,
+        overlay: &OverlayNetwork,
+        method: QueryMethod,
+        source: PeerId,
+        item: ItemId,
+        ttl: u32,
+        rng: &mut R,
+    ) -> Result<QueryOutcome> {
+        let &source = self
+            .index
+            .get(&source)
+            .ok_or(SimError::UnknownPeer { peer: source.raw() })?;
+        let holds = |node: NodeId| overlay.holds_item(self.peers[node.index()], item);
+        match method {
+            QueryMethod::Flooding => Ok(self.flood(source, ttl, None, holds, rng)),
+            QueryMethod::NormalizedFlooding { k_min } => {
+                if k_min == 0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "normalized flooding fan-out must be positive",
+                    });
+                }
+                Ok(self.flood(source, ttl, Some(k_min), holds, rng))
+            }
+            QueryMethod::RandomWalk => Ok(self.walk(source, ttl, holds, rng)),
+        }
+    }
+
+    fn flood<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        ttl: u32,
+        fan_out: Option<usize>,
+        holds: impl Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> QueryOutcome {
+        if holds(source) {
+            return QueryOutcome {
+                found: true,
+                hops_to_find: Some(0),
+                messages: 0,
+                peers_probed: 0,
+            };
+        }
+        let mut outcome = QueryOutcome::default();
+        let mut visited = vec![false; self.graph.node_count()];
+        visited[source.index()] = true;
+        let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
+        queue.push_back((source, None, 0));
+        let mut scratch: Vec<NodeId> = Vec::new();
+
+        while let Some((node, from, depth)) = queue.pop_front() {
+            if depth >= ttl {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(
+                self.graph
+                    .neighbors(node)
+                    .iter()
+                    .copied()
+                    .filter(|&n| Some(n) != from),
+            );
+            let targets: &[NodeId] = match fan_out {
+                Some(k) if scratch.len() > k => scratch.partial_shuffle(rng, k).0,
+                _ => &scratch,
+            };
+            for &next in targets {
+                outcome.messages += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    outcome.peers_probed += 1;
+                    if holds(next) && !outcome.found {
+                        outcome.found = true;
+                        outcome.hops_to_find = Some(depth + 1);
+                    }
+                    queue.push_back((next, Some(node), depth + 1));
+                }
+            }
+        }
+        outcome
+    }
+
+    fn walk<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        ttl: u32,
+        holds: impl Fn(NodeId) -> bool,
+        rng: &mut R,
+    ) -> QueryOutcome {
+        if holds(source) {
+            return QueryOutcome {
+                found: true,
+                hops_to_find: Some(0),
+                messages: 0,
+                peers_probed: 0,
+            };
+        }
+        let mut outcome = QueryOutcome::default();
+        let mut visited = vec![false; self.graph.node_count()];
+        visited[source.index()] = true;
+        let mut current = source;
+        let mut previous: Option<NodeId> = None;
+        for hop in 1..=ttl {
+            let neighbors = self.graph.neighbors(current);
+            let next = match neighbors.len() {
+                0 => break,
+                1 => neighbors[0],
+                _ => loop {
+                    let candidate = neighbors[rng.gen_range(0..neighbors.len())];
+                    if Some(candidate) != previous {
+                        break candidate;
+                    }
+                },
+            };
+            outcome.messages += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                outcome.peers_probed += 1;
+            }
+            if holds(next) {
+                outcome.found = true;
+                outcome.hops_to_find = Some(hop);
+                break;
+            }
+            previous = Some(current);
+            current = next;
+        }
+        outcome
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +441,10 @@ mod tests {
         }
         let source = overlay.random_peer(&mut r).unwrap();
         let o = run_query(&overlay, QueryMethod::Flooding, source, item, 10, &mut r).unwrap();
-        assert!(o.found, "a 10% replicated item should be found by a deep flood");
+        assert!(
+            o.found,
+            "a 10% replicated item should be found by a deep flood"
+        );
         assert!(o.hops_to_find.unwrap() >= 1 || o.messages == 0);
         assert!(o.messages > 0);
     }
@@ -244,8 +473,15 @@ mod tests {
         let source = overlay.peers().next().unwrap();
         let item = ItemId::new(3); // not stored anywhere: worst case message cost
         let fl = run_query(&overlay, QueryMethod::Flooding, source, item, 5, &mut r).unwrap();
-        let nf = run_query(&overlay, QueryMethod::NormalizedFlooding { k_min: 2 }, source, item, 5, &mut r)
-            .unwrap();
+        let nf = run_query(
+            &overlay,
+            QueryMethod::NormalizedFlooding { k_min: 2 },
+            source,
+            item,
+            5,
+            &mut r,
+        )
+        .unwrap();
         assert!(nf.messages < fl.messages);
     }
 
@@ -270,7 +506,15 @@ mod tests {
         let overlay = build_overlay(30, 11);
         let mut r = rng(12);
         let source = overlay.peers().next().unwrap();
-        let o = run_query(&overlay, QueryMethod::Flooding, source, ItemId::new(5), 0, &mut r).unwrap();
+        let o = run_query(
+            &overlay,
+            QueryMethod::Flooding,
+            source,
+            ItemId::new(5),
+            0,
+            &mut r,
+        )
+        .unwrap();
         assert_eq!(o, QueryOutcome::default());
     }
 
@@ -280,7 +524,15 @@ mod tests {
         let mut r = rng(14);
         let source = overlay.peers().next().unwrap();
         let ghost = PeerId::new_for_tests(10_000);
-        assert!(run_query(&overlay, QueryMethod::Flooding, ghost, ItemId::new(0), 3, &mut r).is_err());
+        assert!(run_query(
+            &overlay,
+            QueryMethod::Flooding,
+            ghost,
+            ItemId::new(0),
+            3,
+            &mut r
+        )
+        .is_err());
         assert!(run_query(
             &overlay,
             QueryMethod::NormalizedFlooding { k_min: 0 },
@@ -290,5 +542,124 @@ mod tests {
             &mut r
         )
         .is_err());
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_overlay_topology() {
+        let overlay = build_overlay(80, 15);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        assert_eq!(snapshot.peer_count(), overlay.peer_count());
+        assert_eq!(snapshot.graph().edge_count(), overlay.edge_count());
+        for (i, &peer) in snapshot.peers().iter().enumerate() {
+            assert_eq!(
+                snapshot.graph().degree(sfo_graph::NodeId::new(i)),
+                overlay.degree(peer).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_queries_match_the_live_query_exactly() {
+        // The capture preserves per-peer neighbor order, so for a fixed RNG seed every
+        // method — including the randomized NF fan-out pick and the walk — must return
+        // the same outcome through the snapshot as through the live overlay.
+        let overlay = build_overlay(60, 16);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let missing = ItemId::new(424_242);
+        for method in [
+            QueryMethod::Flooding,
+            QueryMethod::NormalizedFlooding { k_min: 2 },
+            QueryMethod::RandomWalk,
+        ] {
+            for source in overlay.peers() {
+                let mut r1 = rng(17);
+                let mut r2 = rng(17);
+                let live = run_query(&overlay, method, source, missing, 4, &mut r1).unwrap();
+                let frozen = snapshot
+                    .run_query(&overlay, method, source, missing, 4, &mut r2)
+                    .unwrap();
+                assert_eq!(live, frozen, "{method:?} from {source}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_finds_stored_items() {
+        let mut overlay = build_overlay(50, 18);
+        let mut r = rng(19);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let item = ItemId::new(5);
+        // Item placement is read live: a replica stored after the capture is still found.
+        let holder = overlay.random_peer(&mut r).unwrap();
+        overlay.store_item(holder, item).unwrap();
+        let o = snapshot
+            .run_query(&overlay, QueryMethod::Flooding, holder, item, 3, &mut r)
+            .unwrap();
+        assert!(o.found);
+        assert_eq!(o.hops_to_find, Some(0));
+    }
+
+    #[test]
+    fn snapshot_walk_and_nf_respect_budgets() {
+        let overlay = build_overlay(70, 20);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let mut r = rng(21);
+        let source = overlay.peers().next().unwrap();
+        let missing = ItemId::new(31_337);
+        let walk = snapshot
+            .run_query(
+                &overlay,
+                QueryMethod::RandomWalk,
+                source,
+                missing,
+                25,
+                &mut r,
+            )
+            .unwrap();
+        assert!(!walk.found);
+        assert!(walk.messages <= 25);
+        let nf = snapshot
+            .run_query(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 2 },
+                source,
+                missing,
+                5,
+                &mut r,
+            )
+            .unwrap();
+        let fl = snapshot
+            .run_query(&overlay, QueryMethod::Flooding, source, missing, 5, &mut r)
+            .unwrap();
+        assert!(nf.messages < fl.messages);
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_sources_and_zero_fanout() {
+        let overlay = build_overlay(10, 22);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let mut r = rng(23);
+        let ghost = PeerId::new_for_tests(10_000);
+        assert!(snapshot
+            .run_query(
+                &overlay,
+                QueryMethod::Flooding,
+                ghost,
+                ItemId::new(0),
+                3,
+                &mut r
+            )
+            .is_err());
+        let source = overlay.peers().next().unwrap();
+        assert!(snapshot
+            .run_query(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 0 },
+                source,
+                ItemId::new(0),
+                3,
+                &mut r
+            )
+            .is_err());
     }
 }

@@ -82,21 +82,31 @@ pub fn allocate(
             reason: "replica budget must allow at least one copy per item",
         });
     }
-    let weights: Vec<f64> =
-        (0..items as u64).map(|rank| strategy.weight(catalog.query_probability(rank))).collect();
+    let weights: Vec<f64> = (0..items as u64)
+        .map(|rank| strategy.weight(catalog.query_probability(rank)))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     let spare = budget - items;
 
     // Ideal fractional share of the spare budget, then largest-remainder rounding.
     let shares: Vec<f64> = weights
         .iter()
-        .map(|w| if total_weight > 0.0 { w / total_weight * spare as f64 } else { 0.0 })
+        .map(|w| {
+            if total_weight > 0.0 {
+                w / total_weight * spare as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut replicas: Vec<usize> = shares.iter().map(|s| 1 + s.floor() as usize).collect();
     let mut assigned: usize = replicas.iter().sum();
 
-    let mut remainders: Vec<(usize, f64)> =
-        shares.iter().enumerate().map(|(i, s)| (i, s - s.floor())).collect();
+    let mut remainders: Vec<(usize, f64)> = shares
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s - s.floor()))
+        .collect();
     remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
     let mut idx = 0;
     while assigned < budget && !remainders.is_empty() {
@@ -208,7 +218,10 @@ mod tests {
         let allocation = allocate(&catalog(), ReplicationStrategy::Uniform, 200).unwrap();
         let min = allocation.replicas.iter().min().unwrap();
         let max = allocation.replicas.iter().max().unwrap();
-        assert!(max - min <= 1, "uniform allocation should differ by at most one copy");
+        assert!(
+            max - min <= 1,
+            "uniform allocation should differ by at most one copy"
+        );
     }
 
     #[test]
@@ -232,7 +245,11 @@ mod tests {
         let cat = catalog();
         let budget = 300;
         let peers = 1_000;
-        let uniform = expected_search_size(&cat, &allocate(&cat, ReplicationStrategy::Uniform, budget).unwrap(), peers);
+        let uniform = expected_search_size(
+            &cat,
+            &allocate(&cat, ReplicationStrategy::Uniform, budget).unwrap(),
+            peers,
+        );
         let proportional = expected_search_size(
             &cat,
             &allocate(&cat, ReplicationStrategy::Proportional, budget).unwrap(),
@@ -278,7 +295,10 @@ mod tests {
     fn placement_on_an_empty_overlay_is_an_error() {
         let mut overlay = OverlayNetwork::new(OverlayConfig::default()).unwrap();
         let allocation = allocate(&catalog(), ReplicationStrategy::Uniform, 40).unwrap();
-        assert_eq!(place(&mut overlay, &allocation, &mut rng(2)), Err(SimError::EmptyOverlay));
+        assert_eq!(
+            place(&mut overlay, &allocation, &mut rng(2)),
+            Err(SimError::EmptyOverlay)
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::catalog::Catalog;
 use crate::events::{Event, EventKind, EventQueue, Tick};
 use crate::overlay::{OverlayConfig, OverlayNetwork};
-use crate::query::{run_query, QueryMethod};
+use crate::query::{QueryMethod, QuerySnapshot};
 use crate::{Result, SimError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -72,21 +72,36 @@ impl SimulationConfig {
 
     fn validate(&self) -> Result<()> {
         if self.initial_peers == 0 {
-            return Err(SimError::InvalidConfig { reason: "initial_peers must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "initial_peers must be positive",
+            });
         }
         if self.duration == 0 {
-            return Err(SimError::InvalidConfig { reason: "duration must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "duration must be positive",
+            });
         }
-        for rate in [self.join_rate, self.leave_rate, self.crash_rate, self.query_rate] {
+        for rate in [
+            self.join_rate,
+            self.leave_rate,
+            self.crash_rate,
+            self.query_rate,
+        ] {
             if !rate.is_finite() || rate < 0.0 {
-                return Err(SimError::InvalidConfig { reason: "event rates must be finite and non-negative" });
+                return Err(SimError::InvalidConfig {
+                    reason: "event rates must be finite and non-negative",
+                });
             }
         }
         if self.snapshot_interval == 0 {
-            return Err(SimError::InvalidConfig { reason: "snapshot_interval must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "snapshot_interval must be positive",
+            });
         }
         if self.base_replicas == 0 {
-            return Err(SimError::InvalidConfig { reason: "base_replicas must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "base_replicas must be positive",
+            });
         }
         Ok(())
     }
@@ -224,20 +239,34 @@ impl Simulation {
         }
 
         let mut queue = EventQueue::new();
-        let schedule_next = |queue: &mut EventQueue, now: Tick, kind: EventKind, rate: f64, rng: &mut R| {
-            if rate <= 0.0 {
-                return;
-            }
-            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-            let gap = (-u.ln() / rate).ceil().max(1.0) as Tick;
-            queue.schedule(Event { time: now + gap, kind });
-        };
+        let schedule_next =
+            |queue: &mut EventQueue, now: Tick, kind: EventKind, rate: f64, rng: &mut R| {
+                if rate <= 0.0 {
+                    return;
+                }
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let gap = (-u.ln() / rate).ceil().max(1.0) as Tick;
+                queue.schedule(Event {
+                    time: now + gap,
+                    kind,
+                });
+            };
 
         schedule_next(&mut queue, 0, EventKind::PeerJoin, cfg.join_rate, rng);
         schedule_next(&mut queue, 0, EventKind::PeerLeave, cfg.leave_rate, rng);
         schedule_next(&mut queue, 0, EventKind::PeerCrash, cfg.crash_rate, rng);
         schedule_next(&mut queue, 0, EventKind::Query, cfg.query_rate, rng);
-        queue.schedule(Event { time: 0, kind: EventKind::Snapshot });
+        queue.schedule(Event {
+            time: 0,
+            kind: EventKind::Snapshot,
+        });
+
+        // Frozen CSR view of the topology serving the query batch between churn events:
+        // invalidated by every join / leave / crash, re-captured lazily on the next query
+        // or health snapshot. The capture is a single O(peers + links) pass — comparable
+        // to one deep flood — so it amortizes once a churn gap holds a couple of queries
+        // or a health sample; query-heavy configurations amortize it many times over.
+        let mut frozen: Option<QuerySnapshot> = None;
 
         while let Some(event) = queue.pop() {
             if event.time > cfg.duration {
@@ -248,7 +277,14 @@ impl Simulation {
                     let outcome = overlay.join(rng);
                     report.joins += 1;
                     report.join_messages += outcome.messages;
-                    schedule_next(&mut queue, event.time, EventKind::PeerJoin, cfg.join_rate, rng);
+                    frozen = None;
+                    schedule_next(
+                        &mut queue,
+                        event.time,
+                        EventKind::PeerJoin,
+                        cfg.join_rate,
+                        rng,
+                    );
                 }
                 EventKind::PeerLeave => {
                     if overlay.peer_count() > 2 {
@@ -256,45 +292,79 @@ impl Simulation {
                         let outcome = overlay.leave(victim, rng)?;
                         report.leaves += 1;
                         report.leave_messages += outcome.messages;
+                        frozen = None;
                     }
-                    schedule_next(&mut queue, event.time, EventKind::PeerLeave, cfg.leave_rate, rng);
+                    schedule_next(
+                        &mut queue,
+                        event.time,
+                        EventKind::PeerLeave,
+                        cfg.leave_rate,
+                        rng,
+                    );
                 }
                 EventKind::PeerCrash => {
                     if overlay.peer_count() > 2 {
                         let victim = overlay.random_peer(rng)?;
                         overlay.crash(victim)?;
                         report.crashes += 1;
+                        frozen = None;
                     }
-                    schedule_next(&mut queue, event.time, EventKind::PeerCrash, cfg.crash_rate, rng);
+                    schedule_next(
+                        &mut queue,
+                        event.time,
+                        EventKind::PeerCrash,
+                        cfg.crash_rate,
+                        rng,
+                    );
                 }
                 EventKind::Query => {
                     if overlay.peer_count() > 0 {
+                        let snapshot =
+                            frozen.get_or_insert_with(|| QuerySnapshot::capture(&overlay));
                         let source = overlay.random_peer(rng)?;
                         let item = catalog.sample_query(rng);
-                        let outcome =
-                            run_query(&overlay, cfg.query_method, source, item, cfg.query_ttl, rng)?;
+                        let outcome = snapshot.run_query(
+                            &overlay,
+                            cfg.query_method,
+                            source,
+                            item,
+                            cfg.query_ttl,
+                            rng,
+                        )?;
                         report.queries_issued += 1;
                         report.query_messages += outcome.messages;
                         if outcome.found {
                             report.queries_successful += 1;
-                            report.total_hops_to_find += u64::from(outcome.hops_to_find.unwrap_or(0));
+                            report.total_hops_to_find +=
+                                u64::from(outcome.hops_to_find.unwrap_or(0));
                         }
                     }
-                    schedule_next(&mut queue, event.time, EventKind::Query, cfg.query_rate, rng);
+                    schedule_next(
+                        &mut queue,
+                        event.time,
+                        EventKind::Query,
+                        cfg.query_rate,
+                        rng,
+                    );
                 }
                 EventKind::Snapshot => {
-                    let (graph, _) = overlay.snapshot();
+                    let snapshot = frozen.get_or_insert_with(|| QuerySnapshot::capture(&overlay));
                     report.samples.push(OverlaySample {
                         time: event.time,
                         peers: overlay.peer_count(),
                         edges: overlay.edge_count(),
                         mean_degree: overlay.mean_degree(),
                         max_degree: overlay.max_degree().unwrap_or(0),
-                        giant_component_fraction: traversal::giant_component_fraction(&graph),
+                        giant_component_fraction: traversal::giant_component_fraction(
+                            snapshot.graph(),
+                        ),
                     });
                     let next = event.time + cfg.snapshot_interval;
                     if next <= cfg.duration {
-                        queue.schedule(Event { time: next, kind: EventKind::Snapshot });
+                        queue.schedule(Event {
+                            time: next,
+                            kind: EventKind::Snapshot,
+                        });
                     }
                 }
             }
@@ -341,7 +411,11 @@ mod tests {
         let report = sim.run(&mut rng(1)).unwrap();
         assert!(report.queries_issued > 50);
         assert!(report.queries_successful > 0);
-        assert!(report.success_rate() > 0.3, "success rate {}", report.success_rate());
+        assert!(
+            report.success_rate() > 0.3,
+            "success rate {}",
+            report.success_rate()
+        );
         assert!(report.joins > 0);
         assert!(report.leaves > 0);
         assert!(!report.samples.is_empty());

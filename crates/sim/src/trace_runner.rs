@@ -13,7 +13,7 @@ use crate::catalog::Catalog;
 use crate::churn::{ChurnAction, ChurnTrace};
 use crate::events::Tick;
 use crate::overlay::{OverlayConfig, OverlayNetwork, PeerId};
-use crate::query::{run_query, QueryMethod};
+use crate::query::{QueryMethod, QuerySnapshot};
 use crate::replication::{allocate, place, ReplicationStrategy};
 use crate::simulation::OverlaySample;
 use crate::workload::Workload;
@@ -70,7 +70,9 @@ impl TraceRunConfig {
 
     fn validate(&self) -> Result<()> {
         if self.bootstrap_peers == 0 {
-            return Err(SimError::InvalidConfig { reason: "bootstrap_peers must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "bootstrap_peers must be positive",
+            });
         }
         if self.replica_budget < self.catalog_items {
             return Err(SimError::InvalidConfig {
@@ -83,7 +85,9 @@ impl TraceRunConfig {
             });
         }
         if self.snapshot_interval == 0 {
-            return Err(SimError::InvalidConfig { reason: "snapshot_interval must be positive" });
+            return Err(SimError::InvalidConfig {
+                reason: "snapshot_interval must be positive",
+            });
         }
         Ok(())
     }
@@ -128,7 +132,10 @@ impl TraceRunReport {
     /// Smallest giant-component fraction observed across the samples (1.0 when no sample
     /// was taken).
     pub fn worst_connectivity(&self) -> f64 {
-        self.samples.iter().map(|s| s.giant_component_fraction).fold(1.0, f64::min)
+        self.samples
+            .iter()
+            .map(|s| s.giant_component_fraction)
+            .fold(1.0, f64::min)
     }
 }
 
@@ -163,22 +170,33 @@ pub fn run_trace<R: Rng + ?Sized>(
     let end_time = trace.events.last().map(|e| e.time).unwrap_or(0);
 
     let issue_queries = |overlay: &OverlayNetwork,
-                             report: &mut TraceRunReport,
-                             from: Tick,
-                             to: Tick,
-                             rng: &mut R|
+                         report: &mut TraceRunReport,
+                         from: Tick,
+                         to: Tick,
+                         rng: &mut R|
      -> Result<()> {
         if config.queries_per_tick <= 0.0 || overlay.peer_count() == 0 {
             return Ok(());
         }
         let expected = (to.saturating_sub(from)) as f64 * config.queries_per_tick;
-        let count = expected.floor() as usize
-            + usize::from(rng.gen::<f64>() < expected.fract());
+        let count = expected.floor() as usize + usize::from(rng.gen::<f64>() < expected.fract());
+        if count == 0 {
+            return Ok(());
+        }
+        // The topology is fixed for the whole gap, so freeze it once and serve the batch
+        // from the CSR snapshot (build-once/query-many, same as `Simulation::run`).
+        let snapshot = QuerySnapshot::capture(overlay);
         for _ in 0..count {
             let source = overlay.random_peer(rng)?;
             let item = config.workload.sample_query(&catalog, to, rng);
-            let outcome =
-                run_query(overlay, config.query_method, source, item, config.query_ttl, rng)?;
+            let outcome = snapshot.run_query(
+                overlay,
+                config.query_method,
+                source,
+                item,
+                config.query_ttl,
+                rng,
+            )?;
             report.queries_issued += 1;
             report.query_messages += outcome.messages;
             if outcome.found {
@@ -302,10 +320,18 @@ mod tests {
             trace.departures()
         );
         assert!(report.queries_issued > 100);
-        assert!(report.success_rate() > 0.5, "success rate {}", report.success_rate());
+        assert!(
+            report.success_rate() > 0.5,
+            "success rate {}",
+            report.success_rate()
+        );
         assert!(!report.samples.is_empty());
         assert!(report.final_peers > 0);
-        assert!(report.worst_connectivity() > 0.7, "worst connectivity {}", report.worst_connectivity());
+        assert!(
+            report.worst_connectivity() > 0.7,
+            "worst connectivity {}",
+            report.worst_connectivity()
+        );
         // Samples respect the default hard cutoff of 30.
         for s in &report.samples {
             assert!(s.max_degree <= 30);
@@ -353,7 +379,10 @@ mod tests {
 
     #[test]
     fn empty_trace_still_reports_the_bootstrap_overlay() {
-        let empty = ChurnTrace { events: Vec::new(), arrivals: 0 };
+        let empty = ChurnTrace {
+            events: Vec::new(),
+            arrivals: 0,
+        };
         let report = run_trace(&TraceRunConfig::small(), &empty, &mut rng(11)).unwrap();
         assert_eq!(report.arrivals_applied, 0);
         assert_eq!(report.final_peers, 150);

@@ -44,7 +44,12 @@ impl Workload {
     pub fn validate(&self, catalog: &Catalog) -> Result<()> {
         match self {
             Workload::Stationary => Ok(()),
-            Workload::FlashCrowd { hot_item, start, end, intensity } => {
+            Workload::FlashCrowd {
+                hot_item,
+                start,
+                end,
+                intensity,
+            } => {
                 if start > end {
                     return Err(SimError::InvalidConfig {
                         reason: "flash-crowd window must not be inverted",
@@ -83,7 +88,11 @@ impl Workload {
     ) -> ItemId {
         match self {
             Workload::Stationary => catalog.sample_query(rng),
-            Workload::FlashCrowd { hot_item, intensity, .. } => {
+            Workload::FlashCrowd {
+                hot_item,
+                intensity,
+                ..
+            } => {
                 if self.is_surging(time) && rng.gen::<f64>() < *intensity {
                     *hot_item
                 } else {
@@ -99,7 +108,11 @@ impl Workload {
         let base = catalog.query_probability(item.rank());
         match self {
             Workload::Stationary => base,
-            Workload::FlashCrowd { hot_item, intensity, .. } => {
+            Workload::FlashCrowd {
+                hot_item,
+                intensity,
+                ..
+            } => {
                 if !self.is_surging(time) {
                     return base;
                 }
@@ -129,7 +142,12 @@ mod tests {
     }
 
     fn crowd(intensity: f64) -> Workload {
-        Workload::FlashCrowd { hot_item: ItemId::new(30), start: 100, end: 200, intensity }
+        Workload::FlashCrowd {
+            hot_item: ItemId::new(30),
+            start: 100,
+            end: 200,
+            intensity,
+        }
     }
 
     #[test]
@@ -137,10 +155,20 @@ mod tests {
         let cat = catalog();
         assert!(Workload::Stationary.validate(&cat).is_ok());
         assert!(crowd(0.8).validate(&cat).is_ok());
-        let inverted = Workload::FlashCrowd { hot_item: ItemId::new(1), start: 50, end: 10, intensity: 0.5 };
+        let inverted = Workload::FlashCrowd {
+            hot_item: ItemId::new(1),
+            start: 50,
+            end: 10,
+            intensity: 0.5,
+        };
         assert!(inverted.validate(&cat).is_err());
         assert!(crowd(1.5).validate(&cat).is_err());
-        let missing = Workload::FlashCrowd { hot_item: ItemId::new(99), start: 0, end: 10, intensity: 0.5 };
+        let missing = Workload::FlashCrowd {
+            hot_item: ItemId::new(99),
+            start: 0,
+            end: 10,
+            intensity: 0.5,
+        };
         assert!(missing.validate(&cat).is_err());
     }
 
@@ -176,12 +204,16 @@ mod tests {
         let base_hot = cat.query_probability(30);
         assert_eq!(w.query_probability(&cat, hot, 50), base_hot);
         let surged = w.query_probability(&cat, hot, 150);
-        assert!(surged > 0.7, "hot item should absorb the surge, got {surged}");
+        assert!(
+            surged > 0.7,
+            "hot item should absorb the surge, got {surged}"
+        );
         // Other items are diluted during the surge.
         assert!(w.query_probability(&cat, cold, 150) < cat.query_probability(0));
         // Probabilities still sum to one during the surge.
-        let total: f64 =
-            (0..50).map(|r| w.query_probability(&cat, ItemId::new(r), 150)).sum();
+        let total: f64 = (0..50)
+            .map(|r| w.query_probability(&cat, ItemId::new(r), 150))
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 
@@ -196,8 +228,14 @@ mod tests {
         let out_of_window = (0..5_000)
             .filter(|_| w.sample_query(&cat, 10, &mut r) == ItemId::new(30))
             .count();
-        assert!(in_window as f64 / 5_000.0 > 0.8, "in-window share {in_window}");
-        assert!(out_of_window as f64 / 5_000.0 < 0.05, "out-of-window share {out_of_window}");
+        assert!(
+            in_window as f64 / 5_000.0 > 0.8,
+            "in-window share {in_window}"
+        );
+        assert!(
+            out_of_window as f64 / 5_000.0 < 0.05,
+            "out-of-window share {out_of_window}"
+        );
     }
 
     #[test]
@@ -206,7 +244,8 @@ mod tests {
         let w = crowd(0.0);
         for rank in [0u64, 30, 49] {
             assert!(
-                (w.query_probability(&cat, ItemId::new(rank), 150) - cat.query_probability(rank)).abs()
+                (w.query_probability(&cat, ItemId::new(rank), 150) - cat.query_probability(rank))
+                    .abs()
                     < 1e-12
             );
         }

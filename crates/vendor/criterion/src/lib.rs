@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds in environments with no access to crates.io, so the slice of the
+//! Criterion API its benchmarks use is vendored here: [`Criterion`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `measurement_time` /
+//! `warm_up_time`, [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a warm-up phase, each benchmark takes
+//! `sample_size` wall-clock samples (batches of iterations sized from the warm-up
+//! estimate) and reports the min / mean / max per-iteration time. There is no outlier
+//! rejection or regression analysis — enough to compare alternatives within one run,
+//! which is how this workspace uses benchmarks. Results can be exported as JSON via
+//! [`Criterion::export_json`] (a local extension; upstream Criterion writes its own
+//! `target/criterion` reports instead).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark: a function name plus an optional parameter label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter shown after a slash.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Creates an id carrying only a parameter label.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            full: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { full: name }
+    }
+}
+
+/// Timing statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group-qualified benchmark id (`group/function/param`).
+    pub id: String,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Mean over samples, ns per iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub max_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+/// Measurement configuration shared by a group or a bare `bench_function` call.
+#[derive(Debug, Clone, Copy)]
+struct MeasurementConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Runs timing loops for one benchmark; handed to the benchmark closure.
+pub struct Bencher<'a> {
+    config: MeasurementConfig,
+    result: &'a mut Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then taking the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, counting iterations so the
+        // measurement batches can be sized to fill the measurement budget.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let warmup_elapsed = warmup_start.elapsed().as_nanos().max(1) as f64;
+        let est_ns_per_iter = warmup_elapsed / warmup_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let batch = ((budget_ns / samples as f64 / est_ns_per_iter).ceil() as u64).max(1);
+
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            sum += per_iter;
+            total_iters += batch;
+        }
+        *self.result = Some((min, sum / samples as f64, max, total_iters));
+    }
+}
+
+/// Entry point of the harness: collects configuration and accumulates results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark with the default measurement configuration.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let config = MeasurementConfig::default();
+        self.run_one(id.to_string(), config, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing one measurement configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            config: MeasurementConfig::default(),
+        }
+    }
+
+    /// Returns the results collected so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the collected results to `path` as a JSON array (local extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn export_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "  {{\"id\": {:?}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"max_ns\": {:.1}, \"iterations\": {}}}{comma}\n",
+                r.id, r.min_ns, r.mean_ns, r.max_ns, r.iterations
+            ));
+        }
+        out.push_str("]\n");
+        fs::write(path, out)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: String,
+        config: MeasurementConfig,
+        mut f: F,
+    ) {
+        let mut slot = None;
+        let mut bencher = Bencher {
+            config,
+            result: &mut slot,
+        };
+        f(&mut bencher);
+        let (min_ns, mean_ns, max_ns, iterations) =
+            slot.expect("benchmark closure must call Bencher::iter");
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            format_ns(min_ns),
+            format_ns(mean_ns),
+            format_ns(max_ns)
+        );
+        self.results.push(BenchResult {
+            id,
+            min_ns,
+            mean_ns,
+            max_ns,
+            iterations,
+        });
+    }
+}
+
+/// A named group of benchmarks sharing a measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: MeasurementConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().full);
+        self.criterion.run_one(full, self.config, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher<'_>, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().full);
+        self.criterion.run_one(full, self.config, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Results are recorded eagerly; this exists for API parity.)
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(c: &mut Criterion) -> BenchmarkGroup<'_> {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        g
+    }
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        {
+            let mut g = fast_config(&mut c);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/noop");
+        assert_eq!(c.results()[1].id, "g/param/7");
+        for r in c.results() {
+            assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+            assert!(r.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn export_json_writes_all_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = fast_config(&mut c);
+            g.bench_function("a", |b| b.iter(|| black_box(0)));
+            g.finish();
+        }
+        let path = std::env::temp_dir().join("sfo_criterion_shim_test.json");
+        c.export_json(&path).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"id\": \"g/a\""));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds in environments with no access to crates.io. Nothing in the
+//! workspace performs serde-based serialization (all data exports are hand-written
+//! CSV/gnuplot text), but the data types derive `Serialize`/`Deserialize` to mark the
+//! stable data-exchange surface. This crate keeps those annotations compiling: the
+//! derives expand to nothing and the traits carry no methods. Swapping back to upstream
+//! serde is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to document which
+//! ones form the stable data-exchange surface, but no code path performs serde-based
+//! serialization (all exports are hand-written CSV/gnuplot text). These derives accept
+//! the same syntax as the real macros — including `#[serde(...)]` helper attributes —
+//! and expand to nothing, so the annotations stay source-compatible with upstream serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

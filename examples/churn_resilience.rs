@@ -11,7 +11,10 @@ use sfoverlay::prelude::*;
 use sfoverlay::sim::query::QueryMethod;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (label, cutoff) in [("k_c = 10", DegreeCutoff::hard(10)), ("unbounded", DegreeCutoff::Unbounded)] {
+    for (label, cutoff) in [
+        ("k_c = 10", DegreeCutoff::hard(10)),
+        ("unbounded", DegreeCutoff::Unbounded),
+    ] {
         let config = SimulationConfig {
             initial_peers: 1_000,
             duration: 500,
@@ -24,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             overlay: OverlayConfig {
                 stubs: 3,
                 cutoff,
-                join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 200 },
+                join_strategy: JoinStrategy::HopAndAttempt {
+                    max_hops_per_link: 200,
+                },
                 repair_on_leave: true,
             },
             catalog_items: 200,

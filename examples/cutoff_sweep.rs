@@ -29,10 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cutoff in [Some(10usize), Some(20), Some(40), Some(100), None] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let degree_cutoff = DegreeCutoff::from(cutoff);
-        let overlay = PreferentialAttachment::new(n, m)?.with_cutoff(degree_cutoff).generate(&mut rng)?;
+        let overlay = PreferentialAttachment::new(n, m)?
+            .with_cutoff(degree_cutoff)
+            .generate(&mut rng)?;
 
         let histogram = metrics::degree_histogram(&overlay);
-        let fit_max = cutoff.map(|k| k - 1).unwrap_or(overlay.max_degree().unwrap());
+        let fit_max = cutoff
+            .map(|k| k - 1)
+            .unwrap_or(overlay.max_degree().unwrap());
         let gamma = fit_exponent_from_counts(&histogram.counts, m, fit_max)
             .map(|f| f.gamma)
             .unwrap_or(f64::NAN);
@@ -40,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let nf = ttl_sweep(&overlay, &NormalizedFlooding::new(m), &[tau], 80, &mut rng);
         let rw = rw_normalized_to_nf(&overlay, m, &[tau], 80, &mut rng);
 
-        let label = cutoff.map(|k| k.to_string()).unwrap_or_else(|| "none".to_string());
+        let label = cutoff
+            .map(|k| k.to_string())
+            .unwrap_or_else(|| "none".to_string());
         println!(
             "{:>5} | {:>9.2} | {:>17.1} | {:>20.1} | {:>10}",
             label,

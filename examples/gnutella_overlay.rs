@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     // Substrate: N_S = 8000 nodes, average degree 10 (the paper uses 2e4 nodes).
-    let (substrate, _positions) = GeometricRandomNetwork::with_average_degree(8_000, 10.0)?.generate(&mut rng)?;
+    let (substrate, _positions) =
+        GeometricRandomNetwork::with_average_degree(8_000, 10.0)?.generate(&mut rng)?;
     println!(
         "substrate: {} nodes, {} links, giant component {:.1}%",
         substrate.node_count(),

@@ -11,7 +11,12 @@
 use sfoverlay::experiments::{run_experiment, Scale};
 
 fn main() {
-    let scale = Scale { degree_nodes: 4_000, search_nodes: 2_000, realizations: 1, searches_per_point: 10 };
+    let scale = Scale {
+        degree_nodes: 4_000,
+        search_nodes: 2_000,
+        realizations: 1,
+        searches_per_point: 10,
+    };
     let seed = 11;
 
     println!("=== Generator zoo (every mechanism, with and without k_c = 10) ===\n");

@@ -18,13 +18,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    and a hard cutoff of 20 entries per neighbor table.
     let n = 5_000;
     let cutoff = DegreeCutoff::hard(20);
-    let overlay = PreferentialAttachment::new(n, 2)?.with_cutoff(cutoff).generate(&mut rng)?;
-    println!("overlay: {} peers, {} links, max degree {}", overlay.node_count(), overlay.edge_count(), overlay.max_degree().unwrap());
+    let overlay = PreferentialAttachment::new(n, 2)?
+        .with_cutoff(cutoff)
+        .generate(&mut rng)?;
+    println!(
+        "overlay: {} peers, {} links, max degree {}",
+        overlay.node_count(),
+        overlay.edge_count(),
+        overlay.max_degree().unwrap()
+    );
 
     // 2. Look at its degree distribution and fitted power-law exponent.
     let histogram = metrics::degree_histogram(&overlay);
     if let Some(fit) = fit_exponent_from_counts(&histogram.counts, 2, 19) {
-        println!("degree distribution: gamma ~= {:.2} (R^2 = {:.3})", fit.gamma, fit.r_squared.unwrap_or(0.0));
+        println!(
+            "degree distribution: gamma ~= {:.2} (R^2 = {:.3})",
+            fit.gamma,
+            fit.r_squared.unwrap_or(0.0)
+        );
     }
     println!("peers pinned at the cutoff k=20: {}", histogram.count(20));
 
@@ -41,8 +52,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. A single random walk with the same message budget as the NF search at tau = 6.
-    let nf_at_6 = nf.iter().find(|o| o.ttl == 6).expect("tau=6 is in the sweep");
-    let rw = average_over_sources(&overlay, &RandomWalk::new(), nf_at_6.mean_messages as u32, 50, &mut rng);
+    let nf_at_6 = nf
+        .iter()
+        .find(|o| o.ttl == 6)
+        .expect("tau=6 is in the sweep");
+    let rw = average_over_sources(
+        &overlay,
+        &RandomWalk::new(),
+        nf_at_6.mean_messages as u32,
+        50,
+        &mut rng,
+    );
     println!(
         "\nrandom walk with the NF tau=6 message budget ({:.0} messages): {:.1} hits on average",
         nf_at_6.mean_messages, rw.mean_hits

@@ -28,7 +28,9 @@ fn build_overlay(rng: &mut impl rand::Rng) -> Result<OverlayNetwork, Box<dyn std
     let mut overlay = OverlayNetwork::new(OverlayConfig {
         stubs: 3,
         cutoff: DegreeCutoff::hard(12),
-        join_strategy: JoinStrategy::HopAndAttempt { max_hops_per_link: 100 },
+        join_strategy: JoinStrategy::HopAndAttempt {
+            max_hops_per_link: 100,
+        },
         repair_on_leave: true,
     })?;
     for _ in 0..PEERS {
@@ -84,7 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== Flash crowd on an unpopular item (rank 60) ===");
     let hot = ItemId::new(60);
-    let crowd = Workload::FlashCrowd { hot_item: hot, start: 0, end: 1_000, intensity: 0.8 };
+    let crowd = Workload::FlashCrowd {
+        hot_item: hot,
+        start: 0,
+        end: 1_000,
+        intensity: 0.8,
+    };
     crowd.validate(&catalog)?;
     let mut overlay = build_overlay(&mut rng)?;
     let allocation = allocate(&catalog, ReplicationStrategy::SquareRoot, BUDGET)?;
@@ -106,7 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 successes += 1;
             }
         }
-        println!("{label:<12}: success rate {:.3}", successes as f64 / QUERIES as f64);
+        println!(
+            "{label:<12}: success rate {:.3}",
+            successes as f64 / QUERIES as f64
+        );
     }
     println!(
         "\nThe square-root allocation keeps the expected search size lowest; during the flash\n\

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let replicas = 20usize; // how widely the item we pretend to look for is replicated
 
     for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(10)] {
-        let overlay = PreferentialAttachment::new(n, 2)?.with_cutoff(cutoff).generate(&mut rng)?;
+        let overlay = PreferentialAttachment::new(n, 2)?
+            .with_cutoff(cutoff)
+            .generate(&mut rng)?;
         println!(
             "\n=== PA overlay, m=2, {} peers, {} — max degree {} ===",
             overlay.node_count(),
@@ -51,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 name,
                 outcome.mean_hits,
                 outcome.mean_messages,
-                if outcome.mean_messages > 0.0 { outcome.mean_hits / outcome.mean_messages } else { 0.0 },
+                if outcome.mean_messages > 0.0 {
+                    outcome.mean_hits / outcome.mean_messages
+                } else {
+                    0.0
+                },
                 p_find,
             );
         }

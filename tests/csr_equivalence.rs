@@ -1,0 +1,220 @@
+//! Equivalence of the two graph backends: `Graph → freeze → CsrGraph` must preserve the
+//! structure exactly, and every search algorithm must return byte-identical outcomes on
+//! either backend for a fixed seed.
+//!
+//! These are the contract tests of the `GraphView` refactor: the figure harness freezes
+//! each realization and runs all sweeps on the snapshot, so any divergence between the
+//! backends would silently change the reproduced results. Topologies are drawn from the
+//! UCM and HAPA generators (plus the churn-aged live overlay), the same families the
+//! experiments use. Like `property_tests.rs`, the cases are deterministic seeded draws
+//! (the build environment has no crates.io access for proptest).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfoverlay::graph::{traversal, CsrGraph, Graph, GraphView, NodeId};
+use sfoverlay::prelude::*;
+use sfoverlay::sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Runs `body` over deterministic cases, each with its own input RNG.
+fn for_cases(cases: u64, body: impl Fn(u64, &mut StdRng)) {
+    for case in 0..cases {
+        let mut input = rng(0xF07E_A500 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(case, &mut input);
+    }
+}
+
+/// Draws a random UCM or HAPA topology of the kind the experiments sweep.
+fn random_topology(case: u64, input: &mut StdRng) -> Graph {
+    let n: usize = input.gen_range(100..600);
+    let m: usize = input.gen_range(1..4);
+    let seed: u64 = input.gen_range(0..10_000);
+    let k_c: usize = input.gen_range((m.max(5))..40);
+    if input.gen::<bool>() {
+        let gamma: f64 = input.gen_range(2.1..3.1);
+        UncorrelatedConfigurationModel::new(n, gamma, m)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(k_c))
+            .generate(&mut rng(seed))
+            .unwrap_or_else(|e| panic!("case {case}: UCM generation failed: {e}"))
+    } else {
+        HopAndAttempt::new(n, m)
+            .unwrap()
+            .with_cutoff(DegreeCutoff::hard(k_c))
+            .generate(&mut rng(seed))
+            .unwrap_or_else(|e| panic!("case {case}: HAPA generation failed: {e}"))
+    }
+}
+
+/// Structure is preserved exactly: node/edge counts, degree sequence, per-node neighbor
+/// sets (and order), and the full round trip.
+#[test]
+fn freeze_preserves_structure_and_thaw_round_trips() {
+    for_cases(20, |case, input| {
+        let graph = random_topology(case, input);
+        let frozen = graph.freeze();
+
+        assert_eq!(frozen.node_count(), graph.node_count(), "case {case}");
+        assert_eq!(frozen.edge_count(), graph.edge_count(), "case {case}");
+        assert_eq!(GraphView::degrees(&frozen), graph.degrees(), "case {case}");
+
+        for node in graph.nodes() {
+            // Freezing preserves neighbor order outright, which implies equal sorted sets.
+            assert_eq!(
+                frozen.neighbors(node),
+                graph.neighbors(node),
+                "case {case}, {node}"
+            );
+            let mut frozen_sorted = frozen.neighbors(node).to_vec();
+            let mut graph_sorted = graph.neighbors(node).to_vec();
+            frozen_sorted.sort_unstable();
+            graph_sorted.sort_unstable();
+            assert_eq!(frozen_sorted, graph_sorted, "case {case}, {node}");
+        }
+
+        assert_eq!(frozen.thaw(), graph, "case {case}: thaw(freeze(g)) != g");
+    });
+}
+
+/// BFS distance maps are identical on both backends, from several sources.
+#[test]
+fn bfs_distances_agree_on_both_backends() {
+    for_cases(12, |case, input| {
+        let graph = random_topology(case, input);
+        let frozen = graph.freeze();
+        for _ in 0..5 {
+            let source = NodeId::new(input.gen_range(0..graph.node_count()));
+            assert_eq!(
+                traversal::bfs_distances(&graph, source),
+                traversal::bfs_distances(&frozen, source),
+                "case {case}, source {source}"
+            );
+        }
+        assert_eq!(
+            traversal::connected_components(&graph),
+            traversal::connected_components(&frozen),
+            "case {case}"
+        );
+    });
+}
+
+/// Every search algorithm produces a byte-identical `SearchOutcome` on the graph and on
+/// its frozen snapshot when started from the same seed — the guarantee that lets the
+/// experiments freeze realizations without changing any figure.
+#[test]
+fn search_outcomes_are_identical_on_both_backends() {
+    /// One comparison entry: label, the algorithm bound to each backend.
+    type BackendPair = (
+        &'static str,
+        Box<dyn SearchAlgorithm>,
+        Box<dyn SearchAlgorithm<CsrGraph>>,
+    );
+    let algorithms: Vec<BackendPair> = vec![
+        ("FL", Box::new(Flooding::new()), Box::new(Flooding::new())),
+        (
+            "NF",
+            Box::new(NormalizedFlooding::new(2)),
+            Box::new(NormalizedFlooding::new(2)),
+        ),
+        (
+            "pFL",
+            Box::new(ProbabilisticFlooding::new(0.5)),
+            Box::new(ProbabilisticFlooding::new(0.5)),
+        ),
+        (
+            "ring",
+            Box::new(ExpandingRing::new(1, 2)),
+            Box::new(ExpandingRing::new(1, 2)),
+        ),
+        (
+            "RW",
+            Box::new(RandomWalk::new()),
+            Box::new(RandomWalk::new()),
+        ),
+        (
+            "multi-RW",
+            Box::new(MultipleRandomWalk::new(4)),
+            Box::new(MultipleRandomWalk::new(4)),
+        ),
+        (
+            "HD-RW",
+            Box::new(DegreeBiasedWalk::new()),
+            Box::new(DegreeBiasedWalk::new()),
+        ),
+    ];
+    for_cases(10, |case, input| {
+        let graph = random_topology(case, input);
+        let frozen = graph.freeze();
+        let ttl: u32 = input.gen_range(1..8);
+        let search_seed: u64 = input.gen_range(0..10_000);
+        for _ in 0..3 {
+            let source = NodeId::new(input.gen_range(0..graph.node_count()));
+            for (name, on_graph, on_csr) in &algorithms {
+                let a = on_graph.search(&graph, source, ttl, &mut rng(search_seed));
+                let b = on_csr.search(&frozen, source, ttl, &mut rng(search_seed));
+                assert_eq!(
+                    a, b,
+                    "case {case}: {name} diverged from {source} at ttl {ttl}"
+                );
+            }
+        }
+    });
+}
+
+/// The experiment harness itself (sweeps, message normalization) agrees across backends.
+#[test]
+fn experiment_sweeps_agree_on_both_backends() {
+    use sfoverlay::search::experiment::{rw_normalized_to_nf, ttl_sweep};
+    for_cases(6, |case, input| {
+        let graph = random_topology(case, input);
+        let frozen = graph.freeze();
+        let ttls = [1u32, 2, 4];
+        let seed: u64 = input.gen_range(0..10_000);
+        assert_eq!(
+            ttl_sweep(&graph, &Flooding::new(), &ttls, 10, &mut rng(seed)),
+            ttl_sweep(&frozen, &Flooding::new(), &ttls, 10, &mut rng(seed)),
+            "case {case}: FL sweep diverged"
+        );
+        assert_eq!(
+            rw_normalized_to_nf(&graph, 2, &ttls, 10, &mut rng(seed)),
+            rw_normalized_to_nf(&frozen, 2, &ttls, 10, &mut rng(seed)),
+            "case {case}: normalized RW sweep diverged"
+        );
+    });
+}
+
+/// Freezing a churn-aged live overlay snapshot also round-trips: the path the simulator
+/// exercises between churn events.
+#[test]
+fn overlay_snapshots_freeze_faithfully() {
+    for_cases(8, |case, input| {
+        let config = OverlayConfig {
+            stubs: input.gen_range(1..4),
+            cutoff: DegreeCutoff::hard(input.gen_range(5..20)),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        };
+        let mut overlay = OverlayNetwork::new(config).unwrap();
+        let mut r = rng(input.gen_range(0..10_000));
+        for _ in 0..input.gen_range(10..150) {
+            if overlay.peer_count() > 3 && r.gen::<f64>() < 0.3 {
+                let victim = overlay.random_peer(&mut r).unwrap();
+                overlay.leave(victim, &mut r).unwrap();
+            } else {
+                overlay.join(&mut r);
+            }
+        }
+        let (graph, peers) = overlay.snapshot();
+        let frozen = graph.freeze();
+        assert_eq!(frozen.node_count(), peers.len(), "case {case}");
+        assert_eq!(frozen.thaw(), graph, "case {case}");
+        assert_eq!(
+            traversal::giant_component_fraction(&graph),
+            traversal::giant_component_fraction(&frozen),
+            "case {case}"
+        );
+    });
+}

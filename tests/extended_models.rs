@@ -23,7 +23,12 @@ fn rng(seed: u64) -> StdRng {
 }
 
 fn tiny_scale() -> Scale {
-    Scale { degree_nodes: 500, search_nodes: 400, realizations: 1, searches_per_point: 5 }
+    Scale {
+        degree_nodes: 500,
+        search_nodes: 400,
+        realizations: 1,
+        searches_per_point: 5,
+    }
 }
 
 /// Every extended generator produces the requested size, respects the hard cutoff, and is
@@ -34,7 +39,11 @@ fn extended_generators_respect_cutoffs_through_the_trait_interface() {
     let cutoff = DegreeCutoff::hard(15);
     let generators: Vec<(Box<dyn TopologyGenerator>, Locality)> = vec![
         (
-            Box::new(NonlinearPreferentialAttachment::new(n, 2, 0.7).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                NonlinearPreferentialAttachment::new(n, 2, 0.7)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
             Locality::Global,
         ),
         (
@@ -47,15 +56,27 @@ fn extended_generators_respect_cutoffs_through_the_trait_interface() {
             Locality::Global,
         ),
         (
-            Box::new(LocalEventsModel::new(n, 2, 0.2, 0.2).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                LocalEventsModel::new(n, 2, 0.2, 0.2)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
             Locality::Global,
         ),
         (
-            Box::new(InitialAttractiveness::with_target_gamma(n, 2, 2.5).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                InitialAttractiveness::with_target_gamma(n, 2, 2.5)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
             Locality::Global,
         ),
         (
-            Box::new(UncorrelatedConfigurationModel::new(n, 2.6, 2).unwrap().with_cutoff(cutoff)),
+            Box::new(
+                UncorrelatedConfigurationModel::new(n, 2.6, 2)
+                    .unwrap()
+                    .with_cutoff(cutoff),
+            ),
             Locality::Global,
         ),
     ];
@@ -99,7 +120,10 @@ fn initial_attractiveness_orders_tails_by_target_gamma() {
 fn hard_cutoffs_help_probabilistic_flooding_but_cost_flooding_coverage() {
     let n = 1_500;
     let ttl = [6u32];
-    let free = PreferentialAttachment::new(n, 2).unwrap().generate(&mut rng(21)).unwrap();
+    let free = PreferentialAttachment::new(n, 2)
+        .unwrap()
+        .generate(&mut rng(21))
+        .unwrap();
     let capped = PreferentialAttachment::new(n, 2)
         .unwrap()
         .with_cutoff(DegreeCutoff::hard(10))
@@ -108,7 +132,10 @@ fn hard_cutoffs_help_probabilistic_flooding_but_cost_flooding_coverage() {
 
     let fl_free = ttl_sweep(&free, &Flooding::new(), &ttl, 40, &mut rng(1))[0].mean_hits;
     let fl_capped = ttl_sweep(&capped, &Flooding::new(), &ttl, 40, &mut rng(1))[0].mean_hits;
-    assert!(fl_capped < fl_free, "cutoffs shrink FL coverage ({fl_capped} vs {fl_free})");
+    assert!(
+        fl_capped < fl_free,
+        "cutoffs shrink FL coverage ({fl_capped} vs {fl_free})"
+    );
 
     let pfl = ProbabilisticFlooding::new(0.5);
     let pfl_free = ttl_sweep(&free, &pfl, &ttl, 40, &mut rng(2))[0];
@@ -127,7 +154,10 @@ fn hard_cutoffs_help_probabilistic_flooding_but_cost_flooding_coverage() {
 fn degree_biased_walk_relies_on_hubs() {
     let n = 1_500;
     let budget = [60u32];
-    let free = PreferentialAttachment::new(n, 2).unwrap().generate(&mut rng(31)).unwrap();
+    let free = PreferentialAttachment::new(n, 2)
+        .unwrap()
+        .generate(&mut rng(31))
+        .unwrap();
     let biased = ttl_sweep(&free, &DegreeBiasedWalk::new(), &budget, 40, &mut rng(3))[0].mean_hits;
     let uniform = ttl_sweep(&free, &RandomWalk::new(), &budget, 40, &mut rng(3))[0].mean_hits;
     assert!(
@@ -149,7 +179,10 @@ fn structural_metrics_are_mutually_consistent_on_pa_overlays() {
         .unwrap();
     let decomposition = kcore::core_decomposition(&graph);
     assert!(decomposition.degeneracy <= 25);
-    assert!(decomposition.degeneracy >= 3, "a PA overlay with m=3 contains at least a 3-core");
+    assert!(
+        decomposition.degeneracy >= 3,
+        "a PA overlay with m=3 contains at least a 3-core"
+    );
     for node in graph.nodes() {
         assert!(decomposition.core_numbers[node.index()] <= graph.degree(node));
     }
@@ -240,7 +273,10 @@ fn churn_trace_replays_against_the_live_overlay() {
     let trace_config = ChurnTraceConfig {
         duration: 400,
         arrival_rate: 0.8,
-        sessions: SessionModel::Pareto { shape: 1.8, minimum: 20.0 },
+        sessions: SessionModel::Pareto {
+            shape: 1.8,
+            minimum: 20.0,
+        },
         crash_fraction: 0.3,
     };
     let mut r = rng(71);
@@ -270,7 +306,10 @@ fn churn_trace_replays_against_the_live_overlay() {
     overlay.assert_consistent();
     assert_eq!(overlay.peer_count(), alive.len());
     assert!(overlay.peer_count() > 0);
-    assert!(overlay.max_degree().unwrap_or(0) <= 30, "default cutoff still enforced under churn");
+    assert!(
+        overlay.max_degree().unwrap_or(0) <= 30,
+        "default cutoff still enforced under churn"
+    );
 }
 
 /// Coverage curves, granularity, and the analysis statistics compose: flooding on a star
@@ -287,7 +326,14 @@ fn coverage_and_statistics_compose_on_reference_topologies() {
     assert!(traversal::is_connected(&regular));
     let hits: Vec<f64> = (0..20)
         .map(|i| {
-            ttl_sweep(&regular, &NormalizedFlooding::new(3), &[4], 10, &mut rng(100 + i))[0].mean_hits
+            ttl_sweep(
+                &regular,
+                &NormalizedFlooding::new(3),
+                &[4],
+                10,
+                &mut rng(100 + i),
+            )[0]
+            .mean_hits
         })
         .collect();
     let ci = bootstrap_mean_ci(&hits, 500, 0.95, &mut rng(83)).unwrap();
@@ -304,7 +350,9 @@ fn extension_experiments_run_at_tiny_scale() {
     let scale = tiny_scale();
     for id in ["generator-zoo", "hub-load", "replication"] {
         let output = run_experiment(id, &scale, 5).unwrap_or_else(|| panic!("{id} not registered"));
-        let table = output.as_table().unwrap_or_else(|| panic!("{id} should be a table"));
+        let table = output
+            .as_table()
+            .unwrap_or_else(|| panic!("{id} should be a table"));
         assert!(table.row_count() >= 3, "{id}");
     }
     let strategies = run_experiment("search-strategies", &scale, 5).expect("registered");

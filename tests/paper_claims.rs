@@ -7,11 +7,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sfoverlay::analysis::powerlaw_fit::fit_exponent_from_counts;
+use sfoverlay::graph::generators::GeometricRandomNetwork;
 use sfoverlay::graph::{metrics, traversal};
 use sfoverlay::prelude::*;
 use sfoverlay::search::experiment::{average_over_sources, rw_normalized_to_nf, ttl_sweep};
 use sfoverlay::topology::dapa::DiscoverAndAttempt;
-use sfoverlay::graph::generators::GeometricRandomNetwork;
 
 const N: usize = 2_000;
 const SEARCHES: usize = 40;
@@ -20,7 +20,12 @@ fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-fn mean_hits(graph: &sfoverlay::graph::Graph, algo: &dyn SearchAlgorithm, ttl: u32, seed: u64) -> f64 {
+fn mean_hits(
+    graph: &sfoverlay::graph::Graph,
+    algo: &dyn SearchAlgorithm,
+    ttl: u32,
+    seed: u64,
+) -> f64 {
     average_over_sources(graph, algo, ttl, SEARCHES, &mut rng(seed)).mean_hits
 }
 
@@ -39,7 +44,9 @@ fn harder_cutoffs_lower_the_pa_degree_exponent() {
             hist.count(k_c) > hist.count(k_c - 1),
             "k_c={k_c}: no accumulation at the cutoff"
         );
-        fit_exponent_from_counts(&hist.counts, 2, k_c - 1).expect("fit succeeds").gamma
+        fit_exponent_from_counts(&hist.counts, 2, k_c - 1)
+            .expect("fit succeeds")
+            .gamma
     };
     let gamma_10 = fit_for(10);
     let gamma_50 = fit_for(50);
@@ -126,7 +133,10 @@ fn hard_cutoffs_improve_random_walks_on_pa() {
 /// even for large τ, because the network is disconnected.
 #[test]
 fn cm_with_single_stub_keeps_floods_below_system_size() {
-    let graph = ConfigurationModel::new(N, 2.6, 1).unwrap().generate(&mut rng(9)).unwrap();
+    let graph = ConfigurationModel::new(N, 2.6, 1)
+        .unwrap()
+        .generate(&mut rng(9))
+        .unwrap();
     assert!(!traversal::is_connected(&graph));
     let deep_flood = mean_hits(&graph, &Flooding::new(), 30, 9);
     assert!(
@@ -134,9 +144,15 @@ fn cm_with_single_stub_keeps_floods_below_system_size() {
         "deep floods on a disconnected CM m=1 topology should stall, got {deep_flood:.0}"
     );
 
-    let connected = ConfigurationModel::new(N, 2.6, 3).unwrap().generate(&mut rng(9)).unwrap();
+    let connected = ConfigurationModel::new(N, 2.6, 3)
+        .unwrap()
+        .generate(&mut rng(9))
+        .unwrap();
     let deep_flood_m3 = mean_hits(&connected, &Flooding::new(), 30, 9);
-    assert!(deep_flood_m3 > deep_flood, "m=3 coverage should exceed m=1 coverage");
+    assert!(
+        deep_flood_m3 > deep_flood,
+        "m=3 coverage should exceed m=1 coverage"
+    );
 }
 
 /// Paper §IV-A / Fig. 3: HAPA without a cutoff produces super-hubs and a star-like
@@ -144,7 +160,10 @@ fn cm_with_single_stub_keeps_floods_below_system_size() {
 /// small cutoffs.
 #[test]
 fn hapa_star_topology_and_cutoff_behaviour() {
-    let star = HopAndAttempt::new(N, 1).unwrap().generate(&mut rng(11)).unwrap();
+    let star = HopAndAttempt::new(N, 1)
+        .unwrap()
+        .generate(&mut rng(11))
+        .unwrap();
     assert!(star.max_degree().unwrap() > N / 4, "no super-hub emerged");
 
     let capped = HopAndAttempt::new(N, 1)
@@ -176,8 +195,14 @@ fn dapa_locality_controls_tail_weight_and_search_coverage() {
         .unwrap()
         .generate(&mut rng(13))
         .unwrap();
-    let short = DiscoverAndAttempt::new(N, 1, 2).unwrap().generate_on(&substrate, &mut rng(13)).unwrap();
-    let long = DiscoverAndAttempt::new(N, 1, 20).unwrap().generate_on(&substrate, &mut rng(13)).unwrap();
+    let short = DiscoverAndAttempt::new(N, 1, 2)
+        .unwrap()
+        .generate_on(&substrate, &mut rng(13))
+        .unwrap();
+    let long = DiscoverAndAttempt::new(N, 1, 20)
+        .unwrap()
+        .generate_on(&substrate, &mut rng(13))
+        .unwrap();
     assert!(
         long.graph.max_degree().unwrap() > short.graph.max_degree().unwrap(),
         "larger tau_sub should produce heavier tails"
@@ -198,7 +223,10 @@ fn dapa_with_weak_connectedness_benefits_from_cutoffs() {
         .unwrap()
         .generate(&mut rng(17))
         .unwrap();
-    let free = DiscoverAndAttempt::new(N, 1, 10).unwrap().generate_on(&substrate, &mut rng(17)).unwrap();
+    let free = DiscoverAndAttempt::new(N, 1, 10)
+        .unwrap()
+        .generate_on(&substrate, &mut rng(17))
+        .unwrap();
     let capped = DiscoverAndAttempt::new(N, 1, 10)
         .unwrap()
         .with_cutoff(DegreeCutoff::hard(10))
@@ -219,16 +247,38 @@ fn messaging_complexity_of_nf_and_cutoffs() {
     let m = 2usize;
     let tau = 6u32;
     let build = |cutoff| {
-        PreferentialAttachment::new(N, m).unwrap().with_cutoff(cutoff).generate(&mut rng(19)).unwrap()
+        PreferentialAttachment::new(N, m)
+            .unwrap()
+            .with_cutoff(cutoff)
+            .generate(&mut rng(19))
+            .unwrap()
     };
     let capped = build(DegreeCutoff::hard(10));
     let free = build(DegreeCutoff::Unbounded);
 
-    let fl_msgs = ttl_sweep(&free, &Flooding::new(), &[tau], SEARCHES, &mut rng(19))[0].mean_messages;
-    let nf_msgs_free = ttl_sweep(&free, &NormalizedFlooding::new(m), &[tau], SEARCHES, &mut rng(19))[0].mean_messages;
-    let nf_msgs_capped = ttl_sweep(&capped, &NormalizedFlooding::new(m), &[tau], SEARCHES, &mut rng(19))[0].mean_messages;
+    let fl_msgs =
+        ttl_sweep(&free, &Flooding::new(), &[tau], SEARCHES, &mut rng(19))[0].mean_messages;
+    let nf_msgs_free = ttl_sweep(
+        &free,
+        &NormalizedFlooding::new(m),
+        &[tau],
+        SEARCHES,
+        &mut rng(19),
+    )[0]
+    .mean_messages;
+    let nf_msgs_capped = ttl_sweep(
+        &capped,
+        &NormalizedFlooding::new(m),
+        &[tau],
+        SEARCHES,
+        &mut rng(19),
+    )[0]
+    .mean_messages;
 
-    assert!(nf_msgs_free <= fl_msgs, "NF must not cost more messages than FL");
+    assert!(
+        nf_msgs_free <= fl_msgs,
+        "NF must not cost more messages than FL"
+    );
     assert!(
         nf_msgs_capped <= nf_msgs_free * 1.5 + 5.0,
         "the cutoff messaging penalty should stay small ({nf_msgs_capped:.0} vs {nf_msgs_free:.0})"

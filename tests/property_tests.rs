@@ -1,9 +1,13 @@
-//! Property-based tests (proptest) on the core data structures and algorithms: invariants
-//! that must hold for *every* parameter combination, not just the ones the paper plots.
+//! Property-based tests on the core data structures and algorithms: invariants that must
+//! hold for *every* parameter combination, not just the ones the paper plots.
+//!
+//! The build environment has no access to crates.io, so instead of proptest these tests
+//! use a deterministic seeded-case harness: each property runs over a fixed number of
+//! randomly generated cases, with all inputs drawn from a per-case `StdRng`. Failures
+//! report the case seed, so a failing case replays exactly.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sfoverlay::graph::{metrics, traversal, Graph, NodeId};
 use sfoverlay::prelude::*;
 use sfoverlay::topology::powerlaw::BoundedPowerLaw;
@@ -12,128 +16,157 @@ fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Runs `body` for `cases` deterministic cases, each with its own input RNG.
+fn for_cases(cases: u64, body: impl Fn(u64, &mut StdRng)) {
+    for case in 0..cases {
+        let mut input = rng(0xC0FF_EE00 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        body(case, &mut input);
+    }
+}
 
-    /// A graph built from an arbitrary edge list stays internally consistent, and its
-    /// total degree is exactly twice the edge count.
-    #[test]
-    fn graph_edge_insertion_invariants(edges in prop::collection::vec((0usize..40, 0usize..40), 0..200)) {
-        let mut graph = Graph::with_nodes(40);
-        for (a, b) in edges {
-            if a != b {
-                let _ = graph.add_edge_if_absent(NodeId::new(a), NodeId::new(b));
-            }
+/// Builds a random simple graph on `nodes` nodes from up to `max_edges` random pairs.
+fn random_graph(nodes: usize, max_edges: usize, input: &mut StdRng) -> Graph {
+    let mut graph = Graph::with_nodes(nodes);
+    for _ in 0..input.gen_range(0..=max_edges) {
+        let a = input.gen_range(0..nodes);
+        let b = input.gen_range(0..nodes);
+        if a != b {
+            let _ = graph.add_edge_if_absent(NodeId::new(a), NodeId::new(b));
         }
+    }
+    graph
+}
+
+/// A graph built from an arbitrary edge list stays internally consistent, and its
+/// total degree is exactly twice the edge count.
+#[test]
+fn graph_edge_insertion_invariants() {
+    for_cases(24, |case, input| {
+        let graph = random_graph(40, 200, input);
         graph.assert_consistent();
-        prop_assert_eq!(graph.total_degree(), 2 * graph.edge_count());
-        prop_assert_eq!(graph.edges().count(), graph.edge_count());
+        assert_eq!(graph.total_degree(), 2 * graph.edge_count(), "case {case}");
+        assert_eq!(graph.edges().count(), graph.edge_count(), "case {case}");
         // BFS from node 0 never reports more reachable nodes than exist.
         let reachable = metrics::reachable_within(&graph, NodeId::new(0), 40);
-        prop_assert!(reachable < graph.node_count());
-    }
+        assert!(reachable < graph.node_count(), "case {case}");
+    });
+}
 
-    /// Removing the edges of any node leaves a consistent graph with the node isolated.
-    #[test]
-    fn node_isolation_preserves_consistency(
-        edges in prop::collection::vec((0usize..30, 0usize..30), 0..150),
-        victim in 0usize..30,
-    ) {
-        let mut graph = Graph::with_nodes(30);
-        for (a, b) in edges {
-            if a != b {
-                let _ = graph.add_edge_if_absent(NodeId::new(a), NodeId::new(b));
-            }
-        }
+/// Removing the edges of any node leaves a consistent graph with the node isolated.
+#[test]
+fn node_isolation_preserves_consistency() {
+    for_cases(24, |case, input| {
+        let mut graph = random_graph(30, 150, input);
+        let victim = input.gen_range(0..30);
         let removed = graph.isolate_node(NodeId::new(victim)).unwrap();
         graph.assert_consistent();
-        prop_assert_eq!(graph.degree(NodeId::new(victim)), 0);
+        assert_eq!(graph.degree(NodeId::new(victim)), 0, "case {case}");
         for neighbor in removed {
-            prop_assert!(!graph.contains_edge(NodeId::new(victim), neighbor));
+            assert!(
+                !graph.contains_edge(NodeId::new(victim), neighbor),
+                "case {case}"
+            );
         }
-    }
+    });
+}
 
-    /// PA respects its size, minimum-degree, cutoff, and connectivity invariants for every
-    /// valid parameter combination.
-    #[test]
-    fn preferential_attachment_invariants(
-        n in 20usize..200,
-        m in 1usize..4,
-        k_c in prop::option::of(5usize..40),
-        seed in 0u64..1_000,
-    ) {
-        prop_assume!(k_c.map_or(true, |k| k >= m));
+/// PA respects its size, minimum-degree, cutoff, and connectivity invariants for every
+/// valid parameter combination.
+#[test]
+fn preferential_attachment_invariants() {
+    for_cases(24, |case, input| {
+        let n: usize = input.gen_range(20..200);
+        let m: usize = input.gen_range(1..4);
+        let k_c: Option<usize> = if input.gen::<bool>() {
+            Some(input.gen_range(5..40).max(m))
+        } else {
+            None
+        };
+        let seed: u64 = input.gen_range(0..1_000u64);
         let cutoff = DegreeCutoff::from(k_c);
         let graph = PreferentialAttachment::new(n.max(m + 2), m)
             .unwrap()
             .with_cutoff(cutoff)
             .generate(&mut rng(seed))
             .unwrap();
-        prop_assert_eq!(graph.node_count(), n.max(m + 2));
-        prop_assert!(graph.min_degree().unwrap() >= 1);
+        assert_eq!(graph.node_count(), n.max(m + 2), "case {case}");
+        assert!(graph.min_degree().unwrap() >= 1, "case {case}");
         if let Some(k) = k_c {
-            prop_assert!(graph.max_degree().unwrap() <= k);
+            assert!(graph.max_degree().unwrap() <= k, "case {case}");
         }
-        prop_assert!(traversal::is_connected(&graph));
+        assert!(traversal::is_connected(&graph), "case {case}");
         graph.assert_consistent();
-    }
+    });
+}
 
-    /// The configuration model never exceeds its cutoff and never loses more than a small
-    /// fraction of stubs to simplification.
-    #[test]
-    fn configuration_model_invariants(
-        n in 50usize..400,
-        gamma in 2.1f64..3.2,
-        m in 1usize..4,
-        k_c in 10usize..60,
-        seed in 0u64..1_000,
-    ) {
+/// The configuration model never exceeds its cutoff and never loses more than a small
+/// fraction of stubs to simplification.
+#[test]
+fn configuration_model_invariants() {
+    for_cases(24, |case, input| {
+        let n: usize = input.gen_range(50..400);
+        let gamma: f64 = input.gen_range(2.1..3.2);
+        let m: usize = input.gen_range(1..4);
+        let k_c: usize = input.gen_range(10..60);
+        let seed: u64 = input.gen_range(0..1_000u64);
         let outcome = ConfigurationModel::new(n, gamma, m)
             .unwrap()
             .with_cutoff(DegreeCutoff::hard(k_c))
             .generate_with_report(&mut rng(seed))
             .unwrap();
-        prop_assert_eq!(outcome.graph.node_count(), n);
-        prop_assert!(outcome.graph.max_degree().unwrap() <= k_c);
+        assert_eq!(outcome.graph.node_count(), n, "case {case}");
+        assert!(outcome.graph.max_degree().unwrap() <= k_c, "case {case}");
         let target: usize = outcome.target_degrees.iter().sum();
-        prop_assert_eq!(target % 2, 0);
+        assert_eq!(target % 2, 0, "case {case}");
         let realized = outcome.graph.total_degree();
-        prop_assert!(realized <= target);
+        assert!(realized <= target, "case {case}");
         // The "marginal" stub loss the paper describes only holds when the cutoff is well
         // below the system size; when k_c is a sizable fraction of n (possible only for the
         // smallest generated networks here), multi-edges between the few high-degree nodes
         // are common and the loss can be large, so the quantitative bound is restricted to
         // the regime the paper operates in (k_c ≲ n / 4).
         if 4 * k_c <= n {
-            prop_assert!((target - realized) as f64 <= 0.25 * target as f64,
-                "lost {} of {} stubs", target - realized, target);
+            assert!(
+                (target - realized) as f64 <= 0.25 * target as f64,
+                "case {case}: lost {} of {} stubs",
+                target - realized,
+                target
+            );
         }
         outcome.graph.assert_consistent();
-    }
+    });
+}
 
-    /// The bounded power law is a proper distribution for every parameterization.
-    #[test]
-    fn bounded_power_law_is_a_distribution(
-        gamma in 1.1f64..4.0,
-        k_min in 1usize..5,
-        span in 1usize..100,
-    ) {
+/// The bounded power law is a proper distribution for every parameterization.
+#[test]
+fn bounded_power_law_is_a_distribution() {
+    for_cases(24, |case, input| {
+        let gamma: f64 = input.gen_range(1.1..4.0);
+        let k_min: usize = input.gen_range(1..5);
+        let span: usize = input.gen_range(1..100);
         let law = BoundedPowerLaw::new(gamma, k_min, k_min + span).unwrap();
         let total: f64 = (k_min..=k_min + span).map(|k| law.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!(law.mean() >= k_min as f64 && law.mean() <= (k_min + span) as f64);
-    }
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "case {case}: pmf sums to {total}"
+        );
+        assert!(
+            law.mean() >= k_min as f64 && law.mean() <= (k_min + span) as f64,
+            "case {case}"
+        );
+    });
+}
 
-    /// Search sanity for arbitrary PA overlays: hits are bounded by BFS reachability (FL
-    /// attains it exactly), NF hits never exceed FL hits, and RW messages equal its budget
-    /// unless it starts from an isolated node.
-    #[test]
-    fn search_algorithms_respect_reachability_bounds(
-        n in 30usize..150,
-        m in 1usize..3,
-        ttl in 1u32..6,
-        seed in 0u64..500,
-    ) {
+/// Search sanity for arbitrary PA overlays: hits are bounded by BFS reachability (FL
+/// attains it exactly), NF hits never exceed FL hits, and RW messages equal its budget
+/// unless it starts from an isolated node.
+#[test]
+fn search_algorithms_respect_reachability_bounds() {
+    for_cases(24, |case, input| {
+        let n: usize = input.gen_range(30..150);
+        let m: usize = input.gen_range(1..3);
+        let ttl: u32 = input.gen_range(1..6);
+        let seed: u64 = input.gen_range(0..500u64);
         let graph = PreferentialAttachment::new(n.max(m + 2), m)
             .unwrap()
             .generate(&mut rng(seed))
@@ -142,28 +175,32 @@ proptest! {
         let reachable = metrics::reachable_within(&graph, source, ttl);
 
         let fl = Flooding::new().search(&graph, source, ttl, &mut rng(seed));
-        prop_assert_eq!(fl.hits, reachable);
+        assert_eq!(fl.hits, reachable, "case {case}");
 
         let nf = NormalizedFlooding::new(m).search(&graph, source, ttl, &mut rng(seed));
-        prop_assert!(nf.hits <= fl.hits);
-        prop_assert!(nf.messages <= fl.messages);
+        assert!(nf.hits <= fl.hits, "case {case}");
+        assert!(nf.messages <= fl.messages, "case {case}");
 
         let rw = RandomWalk::new().search(&graph, source, ttl, &mut rng(seed));
-        prop_assert!(rw.hits <= ttl as usize);
+        assert!(rw.hits <= ttl as usize, "case {case}");
         if graph.degree(source) > 0 {
-            prop_assert_eq!(rw.messages, ttl as usize);
+            assert_eq!(rw.messages, ttl as usize, "case {case}");
         }
-    }
+    });
+}
 
-    /// The live overlay stays consistent and below its cutoff under arbitrary interleavings
-    /// of joins and departures.
-    #[test]
-    fn live_overlay_survives_arbitrary_churn(
-        operations in prop::collection::vec(0u8..10, 1..120),
-        stubs in 1usize..4,
-        k_c in 4usize..20,
-        seed in 0u64..1_000,
-    ) {
+/// The live overlay stays consistent and below its cutoff under arbitrary interleavings
+/// of joins and departures.
+#[test]
+fn live_overlay_survives_arbitrary_churn() {
+    for_cases(24, |case, input| {
+        let stubs: usize = input.gen_range(1..4);
+        let k_c: usize = input.gen_range(4..20);
+        let seed: u64 = input.gen_range(0..1_000u64);
+        let operation_count: usize = input.gen_range(1..120);
+        let operations: Vec<u8> = (0..operation_count)
+            .map(|_| input.gen_range(0..10u8))
+            .collect();
         let config = OverlayConfig {
             stubs,
             cutoff: DegreeCutoff::hard(k_c),
@@ -185,29 +222,29 @@ proptest! {
             }
         }
         overlay.assert_consistent();
-        prop_assert!(overlay.max_degree().unwrap_or(0) <= k_c);
+        assert!(overlay.max_degree().unwrap_or(0) <= k_c, "case {case}");
         let (graph, peers) = overlay.snapshot();
-        prop_assert_eq!(graph.node_count(), peers.len());
+        assert_eq!(graph.node_count(), peers.len(), "case {case}");
         graph.assert_consistent();
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The nonlinear and initial-attractiveness generators keep the size / cutoff /
-    /// connectivity invariants of PA for every kernel parameterization.
-    #[test]
-    fn modified_pa_generators_keep_pa_invariants(
-        n in 20usize..150,
-        m in 1usize..4,
-        alpha in 0.0f64..2.0,
-        attractiveness in -0.9f64..4.0,
-        k_c in prop::option::of(5usize..30),
-        seed in 0u64..500,
-    ) {
-        prop_assume!(k_c.map_or(true, |k| k >= m));
-        prop_assume!(attractiveness > -(m as f64));
+/// The nonlinear and initial-attractiveness generators keep the size / cutoff /
+/// connectivity invariants of PA for every kernel parameterization.
+#[test]
+fn modified_pa_generators_keep_pa_invariants() {
+    for_cases(16, |case, input| {
+        let n: usize = input.gen_range(20..150);
+        let m: usize = input.gen_range(1..4);
+        let alpha: f64 = input.gen_range(0.0..2.0);
+        // Initial attractiveness must exceed -m for the kernel to stay positive.
+        let attractiveness: f64 = input.gen_range((-(m as f64) * 0.9)..4.0);
+        let k_c: Option<usize> = if input.gen::<bool>() {
+            Some(input.gen_range(5..30).max(m))
+        } else {
+            None
+        };
+        let seed: u64 = input.gen_range(0..500u64);
         let cutoff = DegreeCutoff::from(k_c);
         let nodes = n.max(m + 2);
 
@@ -216,10 +253,10 @@ proptest! {
             .with_cutoff(cutoff)
             .generate(&mut rng(seed))
             .unwrap();
-        prop_assert_eq!(nlpa.node_count(), nodes);
-        prop_assert!(traversal::is_connected(&nlpa));
+        assert_eq!(nlpa.node_count(), nodes, "case {case}");
+        assert!(traversal::is_connected(&nlpa), "case {case}");
         if let Some(k) = k_c {
-            prop_assert!(nlpa.max_degree().unwrap() <= k);
+            assert!(nlpa.max_degree().unwrap() <= k, "case {case}");
         }
         nlpa.assert_consistent();
 
@@ -228,133 +265,150 @@ proptest! {
             .with_cutoff(cutoff)
             .generate(&mut rng(seed))
             .unwrap();
-        prop_assert_eq!(dms.node_count(), nodes);
-        prop_assert!(traversal::is_connected(&dms));
+        assert_eq!(dms.node_count(), nodes, "case {case}");
+        assert!(traversal::is_connected(&dms), "case {case}");
         if let Some(k) = k_c {
-            prop_assert!(dms.max_degree().unwrap() <= k);
+            assert!(dms.max_degree().unwrap() <= k, "case {case}");
         }
         dms.assert_consistent();
-    }
+    });
+}
 
-    /// The uncorrelated configuration model never exceeds the tighter of the structural and
-    /// hard cutoffs and never realizes more degree than it targeted.
-    #[test]
-    fn ucm_invariants(
-        n in 60usize..400,
-        gamma in 2.1f64..3.2,
-        m in 1usize..3,
-        k_c in prop::option::of(5usize..40),
-        seed in 0u64..500,
-    ) {
-        prop_assume!(k_c.map_or(true, |k| k >= m));
+/// The uncorrelated configuration model never exceeds the tighter of the structural and
+/// hard cutoffs and never realizes more degree than it targeted.
+#[test]
+fn ucm_invariants() {
+    for_cases(16, |case, input| {
+        let n: usize = input.gen_range(60..400);
+        let gamma: f64 = input.gen_range(2.1..3.2);
+        let m: usize = input.gen_range(1..3);
+        let k_c: Option<usize> = if input.gen::<bool>() {
+            Some(input.gen_range(5..40).max(m))
+        } else {
+            None
+        };
+        let seed: u64 = input.gen_range(0..500u64);
         let generator = UncorrelatedConfigurationModel::new(n, gamma, m)
             .unwrap()
             .with_cutoff(DegreeCutoff::from(k_c));
         let outcome = generator.generate_with_report(&mut rng(seed)).unwrap();
         let (_, k_max) = generator.support().unwrap();
-        prop_assert!(outcome.graph.max_degree().unwrap_or(0) <= k_max);
+        assert!(
+            outcome.graph.max_degree().unwrap_or(0) <= k_max,
+            "case {case}"
+        );
         for (realized, target) in outcome.graph.degrees().iter().zip(&outcome.target_degrees) {
-            prop_assert!(realized <= target);
+            assert!(realized <= target, "case {case}");
         }
-        prop_assert!(outcome.unplaced_stubs <= 2 * outcome.target_degrees.iter().sum::<usize>() / 100 + 4);
+        assert!(
+            outcome.unplaced_stubs <= 2 * outcome.target_degrees.iter().sum::<usize>() / 100 + 4,
+            "case {case}"
+        );
         outcome.graph.assert_consistent();
-    }
+    });
+}
 
-    /// Edge-list serialization round-trips arbitrary simple graphs: node count, edge count,
-    /// and the sorted edge set are preserved.
-    #[test]
-    fn edge_list_round_trip(edges in prop::collection::vec((0usize..30, 0usize..30), 0..120)) {
-        use sfoverlay::graph::io::{parse_edge_list, write_edge_list};
-        let mut graph = Graph::with_nodes(30);
-        for (a, b) in edges {
-            if a != b {
-                let _ = graph.add_edge_if_absent(NodeId::new(a), NodeId::new(b));
-            }
-        }
+/// Edge-list serialization round-trips arbitrary simple graphs: node count, edge count,
+/// and the sorted edge set are preserved.
+#[test]
+fn edge_list_round_trip() {
+    use sfoverlay::graph::io::{parse_edge_list, write_edge_list};
+    for_cases(16, |case, input| {
+        let graph = random_graph(30, 120, input);
         let parsed = parse_edge_list(&write_edge_list(&graph)).unwrap();
-        prop_assert_eq!(parsed.node_count(), graph.node_count());
-        prop_assert_eq!(parsed.edge_count(), graph.edge_count());
+        assert_eq!(parsed.node_count(), graph.node_count(), "case {case}");
+        assert_eq!(parsed.edge_count(), graph.edge_count(), "case {case}");
         let mut original: Vec<_> = graph.edges().collect();
         let mut reparsed: Vec<_> = parsed.edges().collect();
         original.sort_unstable();
         reparsed.sort_unstable();
-        prop_assert_eq!(original, reparsed);
-    }
+        assert_eq!(original, reparsed, "case {case}");
+    });
+}
 
-    /// Core numbers never exceed degrees and the degeneracy never exceeds the maximum
-    /// degree, for arbitrary graphs.
-    #[test]
-    fn core_numbers_are_bounded_by_degrees(
-        edges in prop::collection::vec((0usize..25, 0usize..25), 0..100),
-    ) {
-        use sfoverlay::graph::kcore::core_decomposition;
-        let mut graph = Graph::with_nodes(25);
-        for (a, b) in edges {
-            if a != b {
-                let _ = graph.add_edge_if_absent(NodeId::new(a), NodeId::new(b));
-            }
-        }
+/// Core numbers never exceed degrees and the degeneracy never exceeds the maximum
+/// degree, for arbitrary graphs.
+#[test]
+fn core_numbers_are_bounded_by_degrees() {
+    use sfoverlay::graph::kcore::core_decomposition;
+    for_cases(16, |case, input| {
+        let graph = random_graph(25, 100, input);
         let decomposition = core_decomposition(&graph);
         for node in graph.nodes() {
-            prop_assert!(decomposition.core_numbers[node.index()] <= graph.degree(node));
+            assert!(
+                decomposition.core_numbers[node.index()] <= graph.degree(node),
+                "case {case}"
+            );
         }
-        prop_assert!(decomposition.degeneracy <= graph.max_degree().unwrap_or(0));
+        assert!(
+            decomposition.degeneracy <= graph.max_degree().unwrap_or(0),
+            "case {case}"
+        );
         // Core sizes are monotone non-increasing in k.
         let sizes = decomposition.core_sizes();
         for w in sizes.windows(2) {
-            prop_assert!(w[0] >= w[1]);
+            assert!(w[0] >= w[1], "case {case}");
         }
-    }
+    });
+}
 
-    /// The item-hit probability is a probability and is monotone in both coverage and
-    /// replica count.
-    #[test]
-    fn success_probability_is_monotone(
-        hits in 0usize..500,
-        replicas in 0usize..50,
-        population in 2usize..600,
-    ) {
-        use sfoverlay::search::coverage::success_probability;
+/// The item-hit probability is a probability and is monotone in both coverage and
+/// replica count.
+#[test]
+fn success_probability_is_monotone() {
+    use sfoverlay::search::coverage::success_probability;
+    for_cases(16, |case, input| {
+        let hits: usize = input.gen_range(0..500);
+        let replicas: usize = input.gen_range(0..50);
+        let population: usize = input.gen_range(2..600);
         let p = success_probability(hits, replicas, population);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(success_probability(hits + 10, replicas, population) >= p - 1e-12);
-        prop_assert!(success_probability(hits, replicas + 1, population) >= p - 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&p), "case {case}");
+        assert!(
+            success_probability(hits + 10, replicas, population) >= p - 1e-12,
+            "case {case}"
+        );
+        assert!(
+            success_probability(hits, replicas + 1, population) >= p - 1e-12,
+            "case {case}"
+        );
+    });
+}
 
-    /// Replica allocation always spends exactly the budget and gives every item at least
-    /// one copy, for every strategy and catalog skew.
-    #[test]
-    fn replica_allocation_spends_the_budget(
-        items in 1usize..60,
-        spare in 0usize..200,
-        skew in 0.0f64..2.0,
-        strategy_index in 0usize..3,
-    ) {
-        use sfoverlay::sim::catalog::Catalog;
-        use sfoverlay::sim::replication::allocate;
+/// Replica allocation always spends exactly the budget and gives every item at least
+/// one copy, for every strategy and catalog skew.
+#[test]
+fn replica_allocation_spends_the_budget() {
+    use sfoverlay::sim::catalog::Catalog;
+    use sfoverlay::sim::replication::allocate;
+    for_cases(16, |case, input| {
+        let items: usize = input.gen_range(1..60);
+        let spare: usize = input.gen_range(0..200);
+        let skew: f64 = input.gen_range(0.0..2.0);
         let strategies = [
             ReplicationStrategy::Uniform,
             ReplicationStrategy::Proportional,
             ReplicationStrategy::SquareRoot,
         ];
+        let strategy = strategies[input.gen_range(0..strategies.len())];
         let catalog = Catalog::new(items, skew).unwrap();
         let budget = items + spare;
-        let allocation = allocate(&catalog, strategies[strategy_index], budget).unwrap();
-        prop_assert_eq!(allocation.total(), budget);
-        prop_assert!(allocation.replicas.iter().all(|&r| r >= 1));
-    }
+        let allocation = allocate(&catalog, strategy, budget).unwrap();
+        assert_eq!(allocation.total(), budget, "case {case}");
+        assert!(allocation.replicas.iter().all(|&r| r >= 1), "case {case}");
+    });
+}
 
-    /// Session-length models always produce positive durations, and churn traces stay
-    /// time-ordered with departures never preceding their arrivals.
-    #[test]
-    fn churn_traces_are_well_formed(
-        duration in 50u64..400,
-        rate in 0.05f64..1.5,
-        mean_session in 2.0f64..200.0,
-        crash_fraction in 0.0f64..1.0,
-        seed in 0u64..500,
-    ) {
-        use sfoverlay::sim::churn::{generate_trace, ChurnAction, ChurnTraceConfig, SessionModel};
+/// Session-length models always produce positive durations, and churn traces stay
+/// time-ordered with departures never preceding their arrivals.
+#[test]
+fn churn_traces_are_well_formed() {
+    use sfoverlay::sim::churn::{generate_trace, ChurnAction, ChurnTraceConfig, SessionModel};
+    for_cases(16, |case, input| {
+        let duration: u64 = input.gen_range(50..400);
+        let rate: f64 = input.gen_range(0.05..1.5);
+        let mean_session: f64 = input.gen_range(2.0..200.0);
+        let crash_fraction: f64 = input.gen_range(0.0..1.0);
+        let seed: u64 = input.gen_range(0..500u64);
         let config = ChurnTraceConfig {
             duration,
             arrival_rate: rate,
@@ -362,12 +416,12 @@ proptest! {
             crash_fraction,
         };
         let trace = generate_trace(&config, &mut rng(seed)).unwrap();
-        prop_assert!(trace.departures() <= trace.arrivals);
+        assert!(trace.departures() <= trace.arrivals, "case {case}");
         let mut arrival_time = std::collections::HashMap::new();
         let mut last_time = 0u64;
         for event in &trace.events {
-            prop_assert!(event.time >= last_time);
-            prop_assert!(event.time <= duration);
+            assert!(event.time >= last_time, "case {case}");
+            assert!(event.time <= duration, "case {case}");
             last_time = event.time;
             match event.action {
                 ChurnAction::Arrive => {
@@ -375,10 +429,10 @@ proptest! {
                 }
                 _ => {
                     let arrived = arrival_time.get(&event.session).copied();
-                    prop_assert!(arrived.is_some());
-                    prop_assert!(arrived.unwrap() <= event.time);
+                    assert!(arrived.is_some(), "case {case}");
+                    assert!(arrived.unwrap() <= event.time, "case {case}");
                 }
             }
         }
-    }
+    });
 }

@@ -21,10 +21,26 @@ fn rng(seed: u64) -> StdRng {
 fn every_generator_works_through_the_trait_object_interface() {
     let n = 800;
     let generators: Vec<Box<dyn TopologyGenerator>> = vec![
-        Box::new(PreferentialAttachment::new(n, 2).unwrap().with_cutoff(DegreeCutoff::hard(30))),
-        Box::new(ConfigurationModel::new(n, 2.6, 2).unwrap().with_cutoff(DegreeCutoff::hard(30))),
-        Box::new(HopAndAttempt::new(n, 2).unwrap().with_cutoff(DegreeCutoff::hard(30))),
-        Box::new(DapaOverGrn::new(n, 2, 4).unwrap().with_cutoff(DegreeCutoff::hard(30))),
+        Box::new(
+            PreferentialAttachment::new(n, 2)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(30)),
+        ),
+        Box::new(
+            ConfigurationModel::new(n, 2.6, 2)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(30)),
+        ),
+        Box::new(
+            HopAndAttempt::new(n, 2)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(30)),
+        ),
+        Box::new(
+            DapaOverGrn::new(n, 2, 4)
+                .unwrap()
+                .with_cutoff(DegreeCutoff::hard(30)),
+        ),
     ];
     let expected = [
         ("PA", Locality::Global),
@@ -130,7 +146,10 @@ fn churn_simulation_end_to_end() {
     config.query_ttl = 64;
     let report = Simulation::new(config).unwrap().run(&mut rng(11)).unwrap();
     assert!(report.queries_issued > 0);
-    assert!(report.success_rate() > 0.0, "random-walk lookups should find popular items");
+    assert!(
+        report.success_rate() > 0.0,
+        "random-walk lookups should find popular items"
+    );
     assert!(report.final_peers > 0);
     assert!(!report.samples.is_empty());
 }
@@ -139,7 +158,12 @@ fn churn_simulation_end_to_end() {
 /// tables.
 #[test]
 fn experiment_registry_smoke_runs() {
-    let scale = Scale { degree_nodes: 600, search_nodes: 400, realizations: 1, searches_per_point: 10 };
+    let scale = Scale {
+        degree_nodes: 600,
+        search_nodes: 400,
+        realizations: 1,
+        searches_per_point: 10,
+    };
     let fig1a = run_experiment("fig1a", &scale, 3).expect("fig1a registered");
     assert_eq!(fig1a.as_figure().unwrap().series.len(), 3);
 

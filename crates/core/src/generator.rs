@@ -72,9 +72,25 @@ pub trait TopologyGenerator {
     fn target_nodes(&self) -> usize;
 }
 
+/// A boxed, thread-safe [`TopologyGenerator`] trait object.
+///
+/// This is the currency of spec-driven layers (`sfo-scenario` and the experiment
+/// harness): a declarative topology description is compiled into a
+/// `DynTopologyGenerator` once, and everything downstream — realization loops, thread
+/// fan-out, sweeps — works against the trait object instead of matching on concrete
+/// generator types. All generators in this crate are plain-data configurations, so they
+/// satisfy the `Send + Sync` bounds automatically.
+pub type DynTopologyGenerator = Box<dyn TopologyGenerator + Send + Sync>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dyn_generator_is_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DynTopologyGenerator>();
+    }
 
     #[test]
     fn locality_display() {

@@ -65,7 +65,7 @@ pub mod ucm;
 
 pub use config::{DegreeCutoff, StubCount};
 pub use error::TopologyError;
-pub use generator::{Locality, TopologyGenerator};
+pub use generator::{DynTopologyGenerator, Locality, TopologyGenerator};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T, E = TopologyError> = std::result::Result<T, E>;

@@ -9,7 +9,7 @@
 //! measures how hard cutoffs redistribute forwarding load away from hubs, the fairness
 //! argument that motivates the whole paper.
 
-use crate::helpers::{nf_rw_ttls, realization_rng, search_series};
+use crate::helpers::{nf_rw_ttls, realization_rng, scenario_series};
 use crate::{ExperimentOutput, Scale};
 use sfo_analysis::kmin::select_k_min;
 use sfo_analysis::TextTable;
@@ -22,14 +22,8 @@ use sfo_core::nonlinear::NonlinearPreferentialAttachment;
 use sfo_core::pa::PreferentialAttachment;
 use sfo_core::ucm::UncorrelatedConfigurationModel;
 use sfo_core::{DegreeCutoff, TopologyGenerator};
-use sfo_graph::{centrality, correlations, kcore, metrics, traversal, CsrGraph};
-use sfo_search::biased_walk::DegreeBiasedWalk;
-use sfo_search::expanding_ring::ExpandingRing;
-use sfo_search::flooding::Flooding;
-use sfo_search::normalized::NormalizedFlooding;
-use sfo_search::probabilistic::ProbabilisticFlooding;
-use sfo_search::random_walk::RandomWalk;
-use sfo_search::SearchAlgorithm;
+use sfo_graph::{centrality, correlations, kcore, metrics, traversal};
+use sfo_scenario::{ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec};
 use sfo_sim::catalog::Catalog;
 use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
 use sfo_sim::query::{run_query, QueryMethod};
@@ -179,29 +173,43 @@ pub fn search_strategies(scale: &Scale, seed: u64) -> ExperimentOutput {
         "tau",
         "hits",
     );
-    let ttls = nf_rw_ttls();
-    let algorithms: Vec<(&str, Box<dyn SearchAlgorithm<CsrGraph>>)> = vec![
-        ("FL", Box::new(Flooding::new())),
-        ("NF k_min=2", Box::new(NormalizedFlooding::new(2))),
-        ("pFL p=0.5", Box::new(ProbabilisticFlooding::new(0.5))),
-        ("ring 1+2", Box::new(ExpandingRing::new(1, 2))),
-        ("RW", Box::new(RandomWalk::new())),
-        ("HD-RW", Box::new(DegreeBiasedWalk::new())),
+    let algorithms: Vec<(&str, SearchSpec)> = vec![
+        ("FL", SearchSpec::Flooding),
+        (
+            "NF k_min=2",
+            SearchSpec::NormalizedFlooding { k_min: Some(2) },
+        ),
+        ("pFL p=0.5", SearchSpec::ProbabilisticFlooding { p: 0.5 }),
+        (
+            "ring 1+2",
+            SearchSpec::ExpandingRing {
+                initial_ttl: 1,
+                increment: 2,
+            },
+        ),
+        ("RW", SearchSpec::RandomWalk),
+        ("HD-RW", SearchSpec::DegreeBiasedWalk),
     ];
     for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(10)] {
-        let pa = PreferentialAttachment::new(scale.search_nodes, 2)
-            .expect("scale sizes exceed the PA seed")
-            .with_cutoff(cutoff);
-        for (name, algorithm) in &algorithms {
-            let label = format!("{name}, {}", cutoff_label(cutoff));
-            figure.push_series(search_series(
-                &pa,
-                algorithm.as_ref(),
-                &label,
-                &ttls,
-                scale,
+        for (name, search) in &algorithms {
+            // One single-curve scenario per algorithm. The curve label (and so the RNG
+            // stream) is the topology's, so every algorithm sees identical realizations
+            // for a given cutoff — an exact like-for-like comparison.
+            let spec = ScenarioSpec::sweep(
+                format!("search-strategies {name} {}", cutoff_label(cutoff)),
+                TopologySpec::Pa {
+                    nodes: scale.search_nodes,
+                    m: 2,
+                    cutoff: cutoff.value(),
+                },
+                search.clone(),
+                SweepSpec::single(nf_rw_ttls(), scale.searches_per_point),
                 seed,
-            ));
+                scale.realizations,
+            );
+            let mut series = scenario_series(&spec, SweepMetric::Hits).remove(0);
+            series.label = format!("{name}, {}", cutoff_label(cutoff));
+            figure.push_series(series);
         }
     }
     ExperimentOutput::Figure(figure)
@@ -282,8 +290,6 @@ pub fn replication(scale: &Scale, seed: u64) -> ExperimentOutput {
 /// need larger `τ_sub` to reach the same search efficiency — the locality/scale-freeness
 /// trade-off of Table II in substrate form.
 pub fn substrate_comparison(scale: &Scale, seed: u64) -> ExperimentOutput {
-    use sfo_core::dapa::{DapaOverGrn, DapaOverMesh};
-
     let nodes = scale.search_nodes;
     let nf_ttl = 8u32;
     let mut table = TextTable::new(vec![
@@ -296,25 +302,28 @@ pub fn substrate_comparison(scale: &Scale, seed: u64) -> ExperimentOutput {
     ]);
     for tau_sub in [2u32, 4, 10] {
         for cutoff in [DegreeCutoff::Unbounded, DegreeCutoff::hard(10)] {
-            let configs: Vec<(&str, Box<dyn TopologyGenerator>)> = vec![
+            let configs: Vec<(&str, TopologySpec)> = vec![
                 (
                     "GRN",
-                    Box::new(
-                        DapaOverGrn::new(nodes, 2, tau_sub)
-                            .expect("valid DAPA config")
-                            .with_cutoff(cutoff),
-                    ),
+                    TopologySpec::DapaGrn {
+                        nodes,
+                        m: 2,
+                        tau_sub,
+                        cutoff: cutoff.value(),
+                    },
                 ),
                 (
                     "mesh",
-                    Box::new(
-                        DapaOverMesh::new(nodes, 2, tau_sub)
-                            .expect("valid DAPA config")
-                            .with_cutoff(cutoff),
-                    ),
+                    TopologySpec::DapaMesh {
+                        nodes,
+                        m: 2,
+                        tau_sub,
+                        cutoff: cutoff.value(),
+                    },
                 ),
             ];
-            for (name, generator) in &configs {
+            for (name, topology) in &configs {
+                let generator = topology.build().expect("valid DAPA config");
                 let mut rng = realization_rng(
                     seed,
                     0x5B5,
@@ -323,15 +332,18 @@ pub fn substrate_comparison(scale: &Scale, seed: u64) -> ExperimentOutput {
                 let graph = generator
                     .generate(&mut rng)
                     .unwrap_or_else(|e| panic!("DAPA over {name} failed: {e}"));
-                let label = format!("{name}-t{tau_sub}-{}", cutoff_label(cutoff));
-                let nf = search_series(
-                    generator.as_ref(),
-                    &NormalizedFlooding::new(2),
-                    &label,
-                    &[nf_ttl],
-                    scale,
+                let spec = ScenarioSpec::sweep(
+                    format!(
+                        "substrate-comparison {name} t{tau_sub} {}",
+                        cutoff_label(cutoff)
+                    ),
+                    topology.clone(),
+                    SearchSpec::NormalizedFlooding { k_min: Some(2) },
+                    SweepSpec::single(vec![nf_ttl], scale.searches_per_point),
                     seed,
+                    scale.realizations,
                 );
+                let nf = scenario_series(&spec, SweepMetric::Hits).remove(0);
                 table.push_row(vec![
                     name.to_string(),
                     tau_sub.to_string(),

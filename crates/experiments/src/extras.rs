@@ -1,28 +1,47 @@
 //! Experiments beyond the paper's plotted figures: messaging complexity (§V-B.2, results
 //! "available upon request"), the minimum-connectedness ablation behind the paper's "2-3
 //! links" guideline, and the churn extension built on `sfo-sim`.
+//!
+//! All three run through the declarative scenario layer: the sweeps are
+//! [`ScenarioSpec`]s over the PA grid, and the churn experiment is a pair of
+//! churn-dynamics scenarios whose [`sfo_scenario::ChurnRealization`] samples become the
+//! plotted series.
 
-use crate::helpers::{
-    message_series, nf_rw_ttls, realization_rng, rw_message_series, search_series,
-};
+use crate::helpers::{nf_rw_ttls, realization_rng, scenario_series};
 use crate::{ExperimentOutput, Scale};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sfo_analysis::{DataPoint, DataSeries, FigureData, Summary};
 use sfo_core::pa::PreferentialAttachment;
 use sfo_core::DegreeCutoff;
 use sfo_graph::resilience::{robustness_profile, RemovalStrategy};
-use sfo_search::flooding::Flooding;
-use sfo_search::normalized::NormalizedFlooding;
+use sfo_scenario::{
+    ScenarioRunner, ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
+};
 use sfo_sim::overlay::{JoinStrategy, OverlayConfig};
 use sfo_sim::query::QueryMethod;
-use sfo_sim::simulation::{Simulation, SimulationConfig};
+use sfo_sim::simulation::SimulationConfig;
 
-fn cutoff_label(cutoff: DegreeCutoff) -> String {
-    match cutoff.value() {
-        None => "no k_c".to_string(),
-        Some(k_c) => format!("k_c={k_c}"),
-    }
+/// The PA `m × k_c` grid shared by the messaging and ablation sweeps.
+fn pa_grid(
+    name: impl Into<String>,
+    search: SearchSpec,
+    stubs: Vec<usize>,
+    cutoffs: Vec<Option<usize>>,
+    ttls: Vec<u32>,
+    scale: &Scale,
+    seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec::sweep(
+        name,
+        TopologySpec::Pa {
+            nodes: scale.search_nodes,
+            m: 1,
+            cutoff: None,
+        },
+        search,
+        SweepSpec::grid(stubs, cutoffs, ttls, scale.searches_per_point),
+        seed,
+        scale.realizations,
+    )
 }
 
 /// Messaging complexity: mean messages per search for NF and message-normalized RW on PA
@@ -37,28 +56,38 @@ pub fn msg_complexity(scale: &Scale, seed: u64) -> ExperimentOutput {
         "tau",
         "messages",
     );
-    let ttls = nf_rw_ttls();
-    for m in [1usize, 2, 3] {
-        for cutoff in [
-            DegreeCutoff::hard(10),
-            DegreeCutoff::hard(50),
-            DegreeCutoff::Unbounded,
-        ] {
-            let pa = PreferentialAttachment::new(scale.search_nodes, m)
-                .expect("scale sizes exceed the PA seed")
-                .with_cutoff(cutoff);
-            let nf_label = format!("NF, m={m}, {}", cutoff_label(cutoff));
-            figure.push_series(message_series(
-                &pa,
-                &NormalizedFlooding::new(m),
-                &nf_label,
-                &ttls,
-                scale,
-                seed,
-            ));
-            let rw_label = format!("RW, m={m}, {}", cutoff_label(cutoff));
-            figure.push_series(rw_message_series(&pa, m, &rw_label, &ttls, scale, seed));
-        }
+    let cutoffs = vec![Some(10), Some(50), None];
+    let nf = scenario_series(
+        &pa_grid(
+            "msg-complexity-nf",
+            SearchSpec::NormalizedFlooding { k_min: None },
+            vec![1, 2, 3],
+            cutoffs.clone(),
+            nf_rw_ttls(),
+            scale,
+            seed,
+        ),
+        SweepMetric::Messages,
+    );
+    let rw = scenario_series(
+        &pa_grid(
+            "msg-complexity-rw",
+            SearchSpec::RwNormalizedToNf { k_min: None },
+            vec![1, 2, 3],
+            cutoffs,
+            nf_rw_ttls(),
+            scale,
+            seed,
+        ),
+        SweepMetric::Messages,
+    );
+    // Keep the historical legend: the same grid point appears once per algorithm, with
+    // the topology-family prefix swapped for the algorithm name.
+    for (mut nf_series, mut rw_series) in nf.into_iter().zip(rw) {
+        nf_series.label = nf_series.label.replacen("PA,", "NF,", 1);
+        rw_series.label = rw_series.label.replacen("PA,", "RW,", 1);
+        figure.push_series(nf_series);
+        figure.push_series(rw_series);
     }
     ExperimentOutput::Figure(figure)
 }
@@ -75,46 +104,53 @@ pub fn ablation_minlinks(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     let fl_ttl = 6u32;
     let nf_ttl = 8u32;
-    let mut fl_series = DataSeries::new(format!("FL, tau={fl_ttl}"));
-    let mut nf_series = DataSeries::new(format!("NF, tau={nf_ttl}"));
-    let mut fl_nocutoff = DataSeries::new(format!("FL, tau={fl_ttl}, no k_c"));
-    for m in [1usize, 2, 3] {
-        let capped = PreferentialAttachment::new(scale.search_nodes, m)
-            .expect("scale sizes exceed the PA seed")
-            .with_cutoff(DegreeCutoff::hard(10));
-        let free = PreferentialAttachment::new(scale.search_nodes, m)
-            .expect("scale sizes exceed the PA seed");
-        let fl = search_series(
-            &capped,
-            &Flooding::new(),
-            &format!("fl-m{m}"),
-            &[fl_ttl],
-            scale,
-            seed,
-        );
-        let nf = search_series(
-            &capped,
-            &NormalizedFlooding::new(m),
-            &format!("nf-m{m}"),
-            &[nf_ttl],
-            scale,
-            seed,
-        );
-        let fl_free = search_series(
-            &free,
-            &Flooding::new(),
-            &format!("flfree-m{m}"),
-            &[fl_ttl],
-            scale,
-            seed,
-        );
-        fl_series.push(DataPoint::single(m as f64, fl.points[0].y));
-        nf_series.push(DataPoint::single(m as f64, nf.points[0].y));
-        fl_nocutoff.push(DataPoint::single(m as f64, fl_free.points[0].y));
+    let stubs = vec![1usize, 2, 3];
+    let sweeps = [
+        (
+            format!("FL, tau={fl_ttl}"),
+            pa_grid(
+                "ablation-fl",
+                SearchSpec::Flooding,
+                stubs.clone(),
+                vec![Some(10)],
+                vec![fl_ttl],
+                scale,
+                seed,
+            ),
+        ),
+        (
+            format!("NF, tau={nf_ttl}"),
+            pa_grid(
+                "ablation-nf",
+                SearchSpec::NormalizedFlooding { k_min: None },
+                stubs.clone(),
+                vec![Some(10)],
+                vec![nf_ttl],
+                scale,
+                seed,
+            ),
+        ),
+        (
+            format!("FL, tau={fl_ttl}, no k_c"),
+            pa_grid(
+                "ablation-fl-free",
+                SearchSpec::Flooding,
+                stubs.clone(),
+                vec![None],
+                vec![fl_ttl],
+                scale,
+                seed,
+            ),
+        ),
+    ];
+    for (label, spec) in sweeps {
+        // One curve per m, each with a single TTL point; re-plot hits against m.
+        let mut series = DataSeries::new(label);
+        for (m, curve) in stubs.iter().zip(scenario_series(&spec, SweepMetric::Hits)) {
+            series.push(DataPoint::single(*m as f64, curve.points[0].y));
+        }
+        figure.push_series(series);
     }
-    figure.push_series(fl_series);
-    figure.push_series(nf_series);
-    figure.push_series(fl_nocutoff);
     ExperimentOutput::Figure(figure)
 }
 
@@ -202,14 +238,14 @@ pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
             base_replicas: (initial_peers / 20).max(4),
             snapshot_interval: 30,
         };
-        let simulation = Simulation::new(config).expect("churn configuration is valid");
-        let mut rng = StdRng::seed_from_u64(seed ^ label.len() as u64);
-        let report = simulation
-            .run(&mut rng)
-            .expect("churn simulation runs to completion");
+        let spec = ScenarioSpec::churn(format!("churn {label}"), config, seed, 1);
+        let report = ScenarioRunner::new()
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("churn scenario '{}' failed: {e}", spec.name));
+        let run = &report.churn_realizations().expect("churn result")[0];
 
         let mut giant = DataSeries::new(format!("giant component fraction, {label}"));
-        for sample in &report.samples {
+        for sample in &run.samples {
             giant.push(DataPoint::single(
                 sample.time as f64,
                 sample.giant_component_fraction,
@@ -218,16 +254,13 @@ pub fn churn(scale: &Scale, seed: u64) -> ExperimentOutput {
         figure.push_series(giant);
 
         let mut success = DataSeries::new(format!("query success rate, {label}"));
-        success.push(DataPoint::single(
-            config.duration as f64,
-            report.success_rate(),
-        ));
+        success.push(DataPoint::single(config.duration as f64, run.success_rate));
         figure.push_series(success);
 
         let mut churn_cost = DataSeries::new(format!("control messages per churn event, {label}"));
         churn_cost.push(DataPoint::single(
             config.duration as f64,
-            report.mean_churn_messages(),
+            run.mean_churn_messages,
         ));
         figure.push_series(churn_cost);
     }
@@ -333,6 +366,7 @@ mod tests {
         let scale = tiny();
         let output = msg_complexity(&scale, 3);
         let figure = output.as_figure().unwrap();
+        assert_eq!(figure.series.len(), 18);
         let nf = figure.series_by_label("NF, m=2, k_c=10").unwrap();
         let rw = figure.series_by_label("RW, m=2, k_c=10").unwrap();
         for (a, b) in nf.points.iter().zip(&rw.points) {

@@ -1,9 +1,11 @@
-//! Shared building blocks for the figure reproductions: realization loops, degree-sample
-//! collection, and TTL sweeps averaged across realizations.
+//! Shared building blocks for the figure reproductions.
 //!
-//! Search sweeps follow the build-once/query-many split: every generated realization is
-//! frozen into a [`CsrGraph`] snapshot once, and all TTL sweeps for that realization run
-//! against the flat snapshot.
+//! Search sweeps run through the declarative scenario layer: a figure builds
+//! [`ScenarioSpec`]s and [`scenario_series`] hands them to the shared
+//! [`ScenarioRunner`], which freezes every realization once and fans the work across
+//! threads (build-once/query-many). What remains here is the degree-distribution
+//! machinery (sample collection, log-binning, exponent fits) that the `P(k)` figures
+//! use, plus the TTL grids.
 
 use crate::Scale;
 use rand::rngs::StdRng;
@@ -11,9 +13,9 @@ use sfo_analysis::histogram::log_binned_distribution;
 use sfo_analysis::powerlaw_fit::fit_exponent_from_counts;
 use sfo_analysis::{DataPoint, DataSeries, Summary};
 use sfo_core::TopologyGenerator;
-use sfo_graph::{metrics, CsrGraph};
-use sfo_search::experiment::{rw_normalized_to_nf, stream_rng, ttl_sweep};
-use sfo_search::SearchAlgorithm;
+use sfo_graph::metrics;
+use sfo_scenario::{ScenarioRunner, ScenarioSpec, SweepMetric};
+use sfo_search::experiment::{label_salt, stream_rng};
 
 /// Number of logarithmic bins per decade used for all degree-distribution figures.
 pub const BINS_PER_DECADE: usize = 8;
@@ -21,16 +23,24 @@ pub const BINS_PER_DECADE: usize = 8;
 /// Derives the RNG for realization `index` of a generator labelled by `salt`.
 ///
 /// Delegates to [`stream_rng`], the workspace's single stream-derivation rule, so
-/// realization streams here and worker-thread streams in `sfo-search` are seeded
-/// identically.
+/// realization streams here, worker-thread streams in `sfo-search`, and scenario-runner
+/// streams in `sfo-scenario` are seeded identically.
 pub fn realization_rng(seed: u64, salt: u64, index: usize) -> StdRng {
     stream_rng(seed, salt, index)
 }
 
-fn label_salt(label: &str) -> u64 {
-    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
-    })
+/// Runs a static scenario spec through the shared [`ScenarioRunner`] and converts its
+/// sweep report into one labelled series per expanded curve.
+///
+/// # Panics
+///
+/// Panics when the spec is invalid or a generator fails — figure code treats both as
+/// programming errors, exactly like the old bespoke loops did.
+pub fn scenario_series(spec: &ScenarioSpec, metric: SweepMetric) -> Vec<DataSeries> {
+    ScenarioRunner::new()
+        .run(spec)
+        .unwrap_or_else(|e| panic!("scenario '{}' failed: {e}", spec.name))
+        .series(metric)
 }
 
 /// Generates `scale.realizations` independent topologies and concatenates the degrees of
@@ -106,139 +116,6 @@ pub fn fitted_exponent(
     summary
 }
 
-/// Runs a TTL sweep of `algorithm` on `scale.realizations` topologies from `generator` and
-/// averages the hit counts per TTL, returning one labelled series.
-pub fn search_series(
-    generator: &dyn TopologyGenerator,
-    algorithm: &dyn SearchAlgorithm<CsrGraph>,
-    label: &str,
-    ttls: &[u32],
-    scale: &Scale,
-    seed: u64,
-) -> DataSeries {
-    sweep_series(
-        label,
-        ttls,
-        scale,
-        seed,
-        |graph, rng| {
-            ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
-                .into_iter()
-                .map(|o| o.mean_hits)
-                .collect()
-        },
-        generator,
-    )
-}
-
-/// Like [`search_series`] but reporting the mean number of messages instead of hits.
-pub fn message_series(
-    generator: &dyn TopologyGenerator,
-    algorithm: &dyn SearchAlgorithm<CsrGraph>,
-    label: &str,
-    ttls: &[u32],
-    scale: &Scale,
-    seed: u64,
-) -> DataSeries {
-    sweep_series(
-        label,
-        ttls,
-        scale,
-        seed,
-        |graph, rng| {
-            ttl_sweep(graph, algorithm, ttls, scale.searches_per_point, rng)
-                .into_iter()
-                .map(|o| o.mean_messages)
-                .collect()
-        },
-        generator,
-    )
-}
-
-/// Runs the message-normalized random-walk sweep (Figs. 11-12) on topologies from
-/// `generator`: for each TTL, the RW hop budget equals the message count of an NF search
-/// with fan-out `k_min`.
-pub fn rw_series(
-    generator: &dyn TopologyGenerator,
-    k_min: usize,
-    label: &str,
-    ttls: &[u32],
-    scale: &Scale,
-    seed: u64,
-) -> DataSeries {
-    sweep_series(
-        label,
-        ttls,
-        scale,
-        seed,
-        |graph, rng| {
-            rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
-                .into_iter()
-                .map(|o| o.mean_hits)
-                .collect()
-        },
-        generator,
-    )
-}
-
-/// Like [`rw_series`] but reporting the mean number of messages the walks actually spent.
-pub fn rw_message_series(
-    generator: &dyn TopologyGenerator,
-    k_min: usize,
-    label: &str,
-    ttls: &[u32],
-    scale: &Scale,
-    seed: u64,
-) -> DataSeries {
-    sweep_series(
-        label,
-        ttls,
-        scale,
-        seed,
-        |graph, rng| {
-            rw_normalized_to_nf(graph, k_min, ttls, scale.searches_per_point, rng)
-                .into_iter()
-                .map(|o| o.mean_messages)
-                .collect()
-        },
-        generator,
-    )
-}
-
-fn sweep_series(
-    label: &str,
-    ttls: &[u32],
-    scale: &Scale,
-    seed: u64,
-    per_realization: impl Fn(&CsrGraph, &mut StdRng) -> Vec<f64>,
-    generator: &dyn TopologyGenerator,
-) -> DataSeries {
-    let salt = label_salt(label);
-    let mut per_ttl: Vec<Summary> = vec![Summary::new(); ttls.len()];
-    for r in 0..scale.realizations {
-        let mut rng = realization_rng(seed, salt, r);
-        let frozen = generator
-            .generate(&mut rng)
-            .unwrap_or_else(|e| {
-                panic!(
-                    "generator {} failed for series '{label}': {e}",
-                    generator.name()
-                )
-            })
-            .freeze();
-        let values = per_realization(&frozen, &mut rng);
-        debug_assert_eq!(values.len(), ttls.len());
-        for (summary, value) in per_ttl.iter_mut().zip(values) {
-            summary.add(value);
-        }
-    }
-    let mut series = DataSeries::new(label);
-    for (&ttl, summary) in ttls.iter().zip(&per_ttl) {
-        series.push(DataPoint::from_summary(f64::from(ttl), summary));
-    }
-    series
-}
-
 /// Standard TTL grid for flooding figures (the paper sweeps τ until the flood saturates).
 pub fn flooding_ttls() -> Vec<u32> {
     vec![1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 18, 20]
@@ -253,8 +130,7 @@ pub fn nf_rw_ttls() -> Vec<u32> {
 mod tests {
     use super::*;
     use sfo_core::pa::PreferentialAttachment;
-    use sfo_core::DegreeCutoff;
-    use sfo_search::flooding::Flooding;
+    use sfo_scenario::{SearchSpec, SweepSpec, TopologySpec};
 
     fn tiny_scale() -> Scale {
         Scale {
@@ -311,35 +187,46 @@ mod tests {
     }
 
     #[test]
-    fn search_series_hits_grow_with_ttl() {
+    fn scenario_series_hits_grow_with_ttl() {
         let scale = tiny_scale();
-        let generator = PreferentialAttachment::new(scale.search_nodes, 2)
-            .unwrap()
-            .with_cutoff(DegreeCutoff::hard(20));
-        let ttls = [1, 2, 4, 8];
-        let series = search_series(&generator, &Flooding::new(), "fl", &ttls, &scale, 9);
-        assert_eq!(series.points.len(), ttls.len());
-        assert!(series.y_at(8.0).unwrap() > series.y_at(1.0).unwrap());
-        for p in &series.points {
+        let spec = ScenarioSpec::sweep(
+            "helpers-test",
+            TopologySpec::Pa {
+                nodes: scale.search_nodes,
+                m: 2,
+                cutoff: Some(20),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1, 2, 4, 8], scale.searches_per_point),
+            9,
+            scale.realizations,
+        );
+        let series = scenario_series(&spec, SweepMetric::Hits);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].label, "PA, m=2, k_c=20");
+        assert_eq!(series[0].points.len(), 4);
+        assert!(series[0].y_at(8.0).unwrap() > series[0].y_at(1.0).unwrap());
+        for p in &series[0].points {
             assert_eq!(p.realizations, scale.realizations);
         }
     }
 
     #[test]
-    fn rw_series_hits_are_bounded_by_message_budget() {
-        let scale = tiny_scale();
-        let generator = PreferentialAttachment::new(scale.search_nodes, 2).unwrap();
-        let ttls = [2, 4];
-        let hits = rw_series(&generator, 2, "rw", &ttls, &scale, 11);
-        let msgs = rw_message_series(&generator, 2, "rw", &ttls, &scale, 11);
-        for (h, m) in hits.points.iter().zip(&msgs.points) {
-            assert!(
-                h.y <= m.y + 1e-9,
-                "hits {} cannot exceed messages {}",
-                h.y,
-                m.y
-            );
-        }
+    #[should_panic(expected = "scenario 'broken' failed")]
+    fn scenario_series_panics_on_invalid_specs() {
+        let spec = ScenarioSpec::sweep(
+            "broken",
+            TopologySpec::Pa {
+                nodes: 0,
+                m: 2,
+                cutoff: None,
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1], 1),
+            1,
+            1,
+        );
+        let _ = scenario_series(&spec, SweepMetric::Hits);
     }
 
     #[test]

@@ -1,198 +1,172 @@
 //! Normalized-flooding and random-walk figures: Figs. 9, 10, 11, and 12.
 //!
-//! NF curves report hits per search with fan-out `k_min = m`. RW curves are
-//! message-normalized: for each TTL the walk's hop budget equals the message count of the
-//! corresponding NF search (paper §V-B), so Figs. 9/11 and 10/12 are directly comparable.
+//! NF curves report hits per search with fan-out `k_min = m` (the spec layer's
+//! `k_min: None`). RW curves are message-normalized: for each TTL the walk's hop budget
+//! equals the message count of the corresponding NF search (paper §V-B), so Figs. 9/11
+//! and 10/12 are directly comparable.
+//!
+//! Both figure families share one panel of [`ScenarioSpec`]s — PA and HAPA across the
+//! cutoff sweep, CM at `γ = 2.2` and `3.0` (Figs. 9/11), DAPA across `τ_sub` (Figs.
+//! 10/12) — and differ only in the [`SearchSpec`] they attach.
 
-use crate::helpers::{nf_rw_ttls, rw_series, search_series};
+use crate::helpers::{nf_rw_ttls, scenario_series};
 use crate::{ExperimentOutput, Scale};
 use sfo_analysis::FigureData;
-use sfo_core::cm::ConfigurationModel;
-use sfo_core::dapa::DapaOverGrn;
-use sfo_core::hapa::HopAndAttempt;
-use sfo_core::pa::PreferentialAttachment;
-use sfo_core::{DegreeCutoff, TopologyGenerator};
-use sfo_search::normalized::NormalizedFlooding;
-
-fn cutoff_label(cutoff: DegreeCutoff) -> String {
-    match cutoff.value() {
-        None => "no k_c".to_string(),
-        Some(k_c) => format!("k_c={k_c}"),
-    }
-}
+use sfo_scenario::{ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec};
 
 /// The cutoff sweep used for the PA/HAPA panels of Figs. 9 and 11.
-fn cutoff_sweep() -> Vec<DegreeCutoff> {
-    vec![
-        DegreeCutoff::hard(10),
-        DegreeCutoff::hard(20),
-        DegreeCutoff::hard(40),
-        DegreeCutoff::hard(100),
-        DegreeCutoff::Unbounded,
-    ]
+fn cutoff_sweep() -> Vec<Option<usize>> {
+    vec![Some(10), Some(20), Some(40), Some(100), None]
 }
 
-/// Topology configurations (generator, label, m) for the PA / CM / HAPA panels.
-fn panel_configs(scale: &Scale) -> Vec<(Box<dyn TopologyGenerator>, String, usize)> {
-    let mut configs: Vec<(Box<dyn TopologyGenerator>, String, usize)> = Vec::new();
-    for m in [1usize, 2, 3] {
-        for cutoff in cutoff_sweep() {
-            let pa = PreferentialAttachment::new(scale.search_nodes, m)
-                .expect("scale sizes exceed the PA seed")
-                .with_cutoff(cutoff);
-            configs.push((
-                Box::new(pa),
-                format!("PA, m={m}, {}", cutoff_label(cutoff)),
-                m,
-            ));
-            let hapa = HopAndAttempt::new(scale.search_nodes, m)
-                .expect("scale sizes exceed the HAPA seed")
-                .with_cutoff(cutoff);
-            configs.push((
-                Box::new(hapa),
-                format!("HAPA, m={m}, {}", cutoff_label(cutoff)),
-                m,
-            ));
-        }
-        // CM panel: gamma = 2.2 and 3.0, cutoffs 10/40/none, as in Figs. 9(b,e) / 11(b,e).
-        for gamma in [2.2f64, 3.0] {
-            for cutoff in [
-                DegreeCutoff::hard(10),
-                DegreeCutoff::hard(40),
-                DegreeCutoff::Unbounded,
-            ] {
-                let cm = ConfigurationModel::new(scale.search_nodes, gamma, m)
-                    .expect("scale sizes are valid for CM")
-                    .with_cutoff(cutoff);
-                configs.push((
-                    Box::new(cm),
-                    format!("CM gamma={gamma}, m={m}, {}", cutoff_label(cutoff)),
-                    m,
-                ));
-            }
-        }
-    }
-    configs
+fn sweep(cutoffs: Vec<Option<usize>>, scale: &Scale) -> SweepSpec {
+    SweepSpec::grid(
+        vec![1, 2, 3],
+        cutoffs,
+        nf_rw_ttls(),
+        scale.searches_per_point,
+    )
 }
 
-/// DAPA configurations (generator, label, m) for Figs. 10 and 12.
-fn dapa_configs(scale: &Scale) -> Vec<(Box<dyn TopologyGenerator>, String, usize)> {
-    let mut configs: Vec<(Box<dyn TopologyGenerator>, String, usize)> = Vec::new();
-    let tau_subs = [2u32, 4, 10, 20];
-    for m in [1usize, 2, 3] {
-        for cutoff in [
-            DegreeCutoff::Unbounded,
-            DegreeCutoff::hard(50),
-            DegreeCutoff::hard(10),
-        ] {
-            for tau_sub in tau_subs {
-                let dapa = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
-                    .expect("scale sizes are valid for DAPA")
-                    .with_cutoff(cutoff);
-                configs.push((
-                    Box::new(dapa),
-                    format!("DAPA m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff)),
-                    m,
-                ));
-            }
-        }
-    }
-    configs
-}
-
-fn nf_figure(
-    id: &str,
-    title: &str,
-    configs: Vec<(Box<dyn TopologyGenerator>, String, usize)>,
-    scale: &Scale,
-    seed: u64,
-) -> ExperimentOutput {
-    let mut figure = FigureData::new(id, title, "tau", "hits");
-    let ttls = nf_rw_ttls();
-    for (generator, label, m) in configs {
-        let nf = NormalizedFlooding::new(m.max(1));
-        figure.push_series(search_series(
-            generator.as_ref(),
-            &nf,
-            &label,
-            &ttls,
-            scale,
+/// The topology specs of the PA / CM / HAPA panels (Figs. 9 and 11), with the cutoff
+/// grids the paper sweeps per family.
+fn panel_specs(figure: &str, search: &SearchSpec, scale: &Scale, seed: u64) -> Vec<ScenarioSpec> {
+    let mut specs = vec![
+        ScenarioSpec::sweep(
+            format!("{figure}-pa"),
+            TopologySpec::Pa {
+                nodes: scale.search_nodes,
+                m: 1,
+                cutoff: None,
+            },
+            search.clone(),
+            sweep(cutoff_sweep(), scale),
             seed,
+            scale.realizations,
+        ),
+        ScenarioSpec::sweep(
+            format!("{figure}-hapa"),
+            TopologySpec::Hapa {
+                nodes: scale.search_nodes,
+                m: 1,
+                cutoff: None,
+            },
+            search.clone(),
+            sweep(cutoff_sweep(), scale),
+            seed,
+            scale.realizations,
+        ),
+    ];
+    // CM panel: gamma = 2.2 and 3.0, cutoffs 10/40/none, as in Figs. 9(b,e) / 11(b,e).
+    for gamma in [2.2f64, 3.0] {
+        specs.push(ScenarioSpec::sweep(
+            format!("{figure}-cm-gamma{gamma}"),
+            TopologySpec::Cm {
+                nodes: scale.search_nodes,
+                gamma,
+                m: 1,
+                cutoff: None,
+            },
+            search.clone(),
+            sweep(vec![Some(10), Some(40), None], scale),
+            seed,
+            scale.realizations,
         ));
     }
-    ExperimentOutput::Figure(figure)
+    specs
 }
 
-fn rw_figure(
-    id: &str,
-    title: &str,
-    configs: Vec<(Box<dyn TopologyGenerator>, String, usize)>,
-    scale: &Scale,
-    seed: u64,
-) -> ExperimentOutput {
+/// The DAPA specs of Figs. 10 and 12, one per local TTL `τ_sub`.
+fn dapa_specs(figure: &str, search: &SearchSpec, scale: &Scale, seed: u64) -> Vec<ScenarioSpec> {
+    [2u32, 4, 10, 20]
+        .into_iter()
+        .map(|tau_sub| {
+            ScenarioSpec::sweep(
+                format!("{figure}-dapa-tau{tau_sub}"),
+                TopologySpec::DapaGrn {
+                    nodes: scale.search_nodes,
+                    m: 1,
+                    tau_sub,
+                    cutoff: None,
+                },
+                search.clone(),
+                sweep(vec![None, Some(50), Some(10)], scale),
+                seed,
+                scale.realizations,
+            )
+        })
+        .collect()
+}
+
+fn figure_from_specs(id: &str, title: &str, specs: Vec<ScenarioSpec>) -> ExperimentOutput {
     let mut figure = FigureData::new(id, title, "tau", "hits");
-    let ttls = nf_rw_ttls();
-    for (generator, label, m) in configs {
-        figure.push_series(rw_series(
-            generator.as_ref(),
-            m.max(1),
-            &label,
-            &ttls,
-            scale,
-            seed,
-        ));
+    for spec in &specs {
+        for series in scenario_series(spec, SweepMetric::Hits) {
+            figure.push_series(series);
+        }
     }
     ExperimentOutput::Figure(figure)
 }
 
 /// Fig. 9: NF hits versus `τ` on PA, CM, and HAPA topologies.
 pub fn fig9(scale: &Scale, seed: u64) -> ExperimentOutput {
-    nf_figure(
+    figure_from_specs(
         "fig9",
         "Normalized-flooding search efficiency on PA, CM, and HAPA topologies",
-        panel_configs(scale),
-        scale,
-        seed,
+        panel_specs(
+            "fig9",
+            &SearchSpec::NormalizedFlooding { k_min: None },
+            scale,
+            seed,
+        ),
     )
 }
 
 /// Fig. 10: NF hits versus `τ` on DAPA topologies.
 pub fn fig10(scale: &Scale, seed: u64) -> ExperimentOutput {
-    nf_figure(
+    figure_from_specs(
         "fig10",
         "Normalized-flooding search efficiency on DAPA topologies",
-        dapa_configs(scale),
-        scale,
-        seed,
+        dapa_specs(
+            "fig10",
+            &SearchSpec::NormalizedFlooding { k_min: None },
+            scale,
+            seed,
+        ),
     )
 }
 
 /// Fig. 11: message-normalized RW hits versus `τ` on PA, CM, and HAPA topologies.
 pub fn fig11(scale: &Scale, seed: u64) -> ExperimentOutput {
-    rw_figure(
+    figure_from_specs(
         "fig11",
         "Random-walk search efficiency (message-normalized to NF) on PA, CM, and HAPA topologies",
-        panel_configs(scale),
-        scale,
-        seed,
+        panel_specs(
+            "fig11",
+            &SearchSpec::RwNormalizedToNf { k_min: None },
+            scale,
+            seed,
+        ),
     )
 }
 
 /// Fig. 12: message-normalized RW hits versus `τ` on DAPA topologies.
 pub fn fig12(scale: &Scale, seed: u64) -> ExperimentOutput {
-    rw_figure(
+    figure_from_specs(
         "fig12",
         "Random-walk search efficiency (message-normalized to NF) on DAPA topologies",
-        dapa_configs(scale),
-        scale,
-        seed,
+        dapa_specs(
+            "fig12",
+            &SearchSpec::RwNormalizedToNf { k_min: None },
+            scale,
+            seed,
+        ),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfo_search::SearchInfo;
 
     fn tiny() -> Scale {
         Scale {
@@ -203,27 +177,38 @@ mod tests {
         }
     }
 
+    fn narrow_spec(search: SearchSpec, scale: &Scale, seed: u64) -> ScenarioSpec {
+        ScenarioSpec::sweep(
+            "nf-rw-test",
+            TopologySpec::Pa {
+                nodes: scale.search_nodes,
+                m: 2,
+                cutoff: None,
+            },
+            search,
+            SweepSpec::grid(
+                vec![2],
+                vec![Some(10), None],
+                nf_rw_ttls(),
+                scale.searches_per_point,
+            ),
+            seed,
+            scale.realizations,
+        )
+    }
+
     /// Figs. 9-12 sweep dozens of configurations; the unit tests exercise the shared
     /// machinery on a narrow subset so the full-figure runners stay exercisable through the
     /// `reproduce` binary without making `cargo test` slow.
     #[test]
     fn nf_figure_on_a_narrow_panel_behaves_sanely() {
         let scale = tiny();
-        let mut configs: Vec<(Box<dyn TopologyGenerator>, String, usize)> = Vec::new();
-        for cutoff in [DegreeCutoff::hard(10), DegreeCutoff::Unbounded] {
-            let pa = PreferentialAttachment::new(scale.search_nodes, 2)
-                .unwrap()
-                .with_cutoff(cutoff);
-            configs.push((
-                Box::new(pa),
-                format!("PA, m=2, {}", cutoff_label(cutoff)),
-                2,
-            ));
-        }
-        let output = nf_figure("fig9-test", "narrow NF panel", configs, &scale, 3);
-        let figure = output.as_figure().unwrap();
-        assert_eq!(figure.series.len(), 2);
-        for series in &figure.series {
+        let spec = narrow_spec(SearchSpec::NormalizedFlooding { k_min: None }, &scale, 3);
+        let series = scenario_series(&spec, SweepMetric::Hits);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "PA, m=2, k_c=10");
+        assert_eq!(series[1].label, "PA, m=2, no k_c");
+        for series in &series {
             assert_eq!(series.points.len(), nf_rw_ttls().len());
             let first = series.points.first().unwrap().y;
             let last = series.points.last().unwrap().y;
@@ -232,7 +217,6 @@ mod tests {
                 "{}: NF hits should not shrink with tau",
                 series.label
             );
-            // NF fan-out 2 can reach at most 2 + 4 + ... peers, far below the clique bound.
             assert!(last <= scale.search_nodes as f64);
         }
     }
@@ -242,21 +226,16 @@ mod tests {
         // The paper observes that NF does better averaging than a single RW of equal
         // message cost; verify the direction on one PA configuration.
         let scale = tiny();
-        let make = || -> Vec<(Box<dyn TopologyGenerator>, String, usize)> {
-            vec![(
-                Box::new(
-                    PreferentialAttachment::new(scale.search_nodes, 2)
-                        .unwrap()
-                        .with_cutoff(DegreeCutoff::hard(20)),
-                ),
-                "PA, m=2, k_c=20".to_string(),
-                2,
-            )]
-        };
-        let nf = nf_figure("nf-test", "nf", make(), &scale, 5);
-        let rw = rw_figure("rw-test", "rw", make(), &scale, 5);
-        let nf_last = nf.as_figure().unwrap().series[0].points.last().unwrap().y;
-        let rw_last = rw.as_figure().unwrap().series[0].points.last().unwrap().y;
+        let nf = scenario_series(
+            &narrow_spec(SearchSpec::NormalizedFlooding { k_min: None }, &scale, 5),
+            SweepMetric::Hits,
+        );
+        let rw = scenario_series(
+            &narrow_spec(SearchSpec::RwNormalizedToNf { k_min: None }, &scale, 5),
+            SweepMetric::Hits,
+        );
+        let nf_last = nf[0].points.last().unwrap().y;
+        let rw_last = rw[0].points.last().unwrap().y;
         assert!(
             rw_last <= nf_last * 1.25,
             "RW ({rw_last}) should not significantly exceed NF ({nf_last}) at equal message cost"
@@ -264,12 +243,14 @@ mod tests {
     }
 
     #[test]
-    fn helper_grids_have_expected_sizes() {
+    fn panel_sizes_match_the_paper_grid() {
         let scale = tiny();
-        assert_eq!(cutoff_sweep().len(), 5);
-        assert_eq!(panel_configs(&scale).len(), 3 * (2 * 5 + 2 * 3));
-        assert_eq!(dapa_configs(&scale).len(), 3 * 3 * 4);
-        // The normalized flooding used in the figures reports its name correctly.
-        assert_eq!(NormalizedFlooding::new(2).name(), "NF");
+        let search = SearchSpec::NormalizedFlooding { k_min: None };
+        let panel = panel_specs("fig9", &search, &scale, 1);
+        let curves: usize = panel.iter().map(|s| s.expanded_topologies().len()).sum();
+        assert_eq!(curves, 3 * (2 * 5 + 2 * 3));
+        let dapa = dapa_specs("fig10", &search, &scale, 1);
+        let curves: usize = dapa.iter().map(|s| s.expanded_topologies().len()).sum();
+        assert_eq!(curves, 3 * 3 * 4);
     }
 }

@@ -3,145 +3,127 @@
 //! Every curve reports the mean number of hits (distinct peers reached) per flooding search
 //! of time-to-live `τ`, averaged over random sources and network realizations, on
 //! `scale.search_nodes`-node topologies (the paper uses `N = 10^4`).
+//!
+//! Each figure is expressed as declarative [`ScenarioSpec`]s — one per topology family,
+//! sweeping the paper's `m × k_c` grid — handed to the shared scenario runner; curve
+//! labels and RNG streams are the spec layer's, so a curve here is bit-identical to the
+//! same curve run from a JSON spec file.
 
-use crate::helpers::{flooding_ttls, search_series};
+use crate::helpers::{flooding_ttls, scenario_series};
 use crate::{ExperimentOutput, Scale};
 use sfo_analysis::FigureData;
-use sfo_core::cm::ConfigurationModel;
-use sfo_core::dapa::DapaOverGrn;
-use sfo_core::hapa::HopAndAttempt;
-use sfo_core::pa::PreferentialAttachment;
-use sfo_core::DegreeCutoff;
-use sfo_search::flooding::Flooding;
+use sfo_scenario::{ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec};
 
-fn cutoff_label(cutoff: DegreeCutoff) -> String {
-    match cutoff.value() {
-        None => "no k_c".to_string(),
-        Some(k_c) => format!("k_c={k_c}"),
-    }
+/// The hard-cutoff axis the paper sweeps in Figs. 6 and 8 (`k_c = 10, 50, none`).
+fn fig6_cutoffs() -> Vec<Option<usize>> {
+    vec![Some(10), Some(50), None]
 }
 
-/// The `(m, k_c)` grid the paper sweeps in Figs. 6 and 7.
-fn m_kc_grid() -> Vec<(usize, DegreeCutoff)> {
-    let mut grid = Vec::new();
-    for m in [1usize, 2, 3] {
-        for cutoff in [
-            DegreeCutoff::hard(10),
-            DegreeCutoff::hard(50),
-            DegreeCutoff::Unbounded,
-        ] {
-            grid.push((m, cutoff));
+/// Builds the flooding sweep spec of one topology family for a figure.
+fn flooding_spec(
+    name: impl Into<String>,
+    topology: TopologySpec,
+    cutoffs: Vec<Option<usize>>,
+    scale: &Scale,
+    seed: u64,
+) -> ScenarioSpec {
+    ScenarioSpec::sweep(
+        name,
+        topology,
+        SearchSpec::Flooding,
+        SweepSpec::grid(
+            vec![1, 2, 3],
+            cutoffs,
+            flooding_ttls(),
+            scale.searches_per_point,
+        ),
+        seed,
+        scale.realizations,
+    )
+}
+
+fn figure_from_specs(id: &str, title: &str, specs: Vec<ScenarioSpec>) -> ExperimentOutput {
+    let mut figure = FigureData::new(id, title, "tau", "hits");
+    for spec in &specs {
+        for series in scenario_series(spec, SweepMetric::Hits) {
+            figure.push_series(series);
         }
     }
-    grid
+    ExperimentOutput::Figure(figure)
 }
 
 /// Fig. 6(a,b): FL hits versus `τ` on PA and HAPA topologies.
 pub fn fig6(scale: &Scale, seed: u64) -> ExperimentOutput {
-    let mut figure = FigureData::new(
+    let pa = TopologySpec::Pa {
+        nodes: scale.search_nodes,
+        m: 1,
+        cutoff: None,
+    };
+    let hapa = TopologySpec::Hapa {
+        nodes: scale.search_nodes,
+        m: 1,
+        cutoff: None,
+    };
+    figure_from_specs(
         "fig6",
         "Flooding search efficiency on PA and HAPA topologies",
-        "tau",
-        "hits",
-    );
-    let ttls = flooding_ttls();
-    for (m, cutoff) in m_kc_grid() {
-        let pa = PreferentialAttachment::new(scale.search_nodes, m)
-            .expect("scale sizes exceed the PA seed")
-            .with_cutoff(cutoff);
-        let label = format!("PA, m={m}, {}", cutoff_label(cutoff));
-        figure.push_series(search_series(
-            &pa,
-            &Flooding::new(),
-            &label,
-            &ttls,
-            scale,
-            seed,
-        ));
-
-        let hapa = HopAndAttempt::new(scale.search_nodes, m)
-            .expect("scale sizes exceed the HAPA seed")
-            .with_cutoff(cutoff);
-        let label = format!("HAPA, m={m}, {}", cutoff_label(cutoff));
-        figure.push_series(search_series(
-            &hapa,
-            &Flooding::new(),
-            &label,
-            &ttls,
-            scale,
-            seed,
-        ));
-    }
-    ExperimentOutput::Figure(figure)
+        vec![
+            flooding_spec("fig6-pa", pa, fig6_cutoffs(), scale, seed),
+            flooding_spec("fig6-hapa", hapa, fig6_cutoffs(), scale, seed),
+        ],
+    )
 }
 
 /// Fig. 7: FL hits versus `τ` on CM topologies with target exponents 2.2, 2.6, and 3.0.
 pub fn fig7(scale: &Scale, seed: u64) -> ExperimentOutput {
-    let mut figure = FigureData::new(
+    let specs = [2.2f64, 2.6, 3.0]
+        .into_iter()
+        .map(|gamma| {
+            flooding_spec(
+                format!("fig7-cm-gamma{gamma}"),
+                TopologySpec::Cm {
+                    nodes: scale.search_nodes,
+                    gamma,
+                    m: 1,
+                    cutoff: None,
+                },
+                vec![Some(10), Some(40), None],
+                scale,
+                seed,
+            )
+        })
+        .collect();
+    figure_from_specs(
         "fig7",
         "Flooding search efficiency on configuration-model topologies",
-        "tau",
-        "hits",
-    );
-    let ttls = flooding_ttls();
-    for gamma in [2.2f64, 2.6, 3.0] {
-        for m in [1usize, 2, 3] {
-            for cutoff in [
-                DegreeCutoff::hard(10),
-                DegreeCutoff::hard(40),
-                DegreeCutoff::Unbounded,
-            ] {
-                let cm = ConfigurationModel::new(scale.search_nodes, gamma, m)
-                    .expect("scale sizes are valid for CM")
-                    .with_cutoff(cutoff);
-                let label = format!("CM gamma={gamma}, m={m}, {}", cutoff_label(cutoff));
-                figure.push_series(search_series(
-                    &cm,
-                    &Flooding::new(),
-                    &label,
-                    &ttls,
-                    scale,
-                    seed,
-                ));
-            }
-        }
-    }
-    ExperimentOutput::Figure(figure)
+        specs,
+    )
 }
 
 /// Fig. 8: FL hits versus `τ` on DAPA topologies for different local TTLs `τ_sub`.
 pub fn fig8(scale: &Scale, seed: u64) -> ExperimentOutput {
-    let mut figure = FigureData::new(
+    let specs = [2u32, 4, 10, 20]
+        .into_iter()
+        .map(|tau_sub| {
+            flooding_spec(
+                format!("fig8-dapa-tau{tau_sub}"),
+                TopologySpec::DapaGrn {
+                    nodes: scale.search_nodes,
+                    m: 1,
+                    tau_sub,
+                    cutoff: None,
+                },
+                fig6_cutoffs(),
+                scale,
+                seed,
+            )
+        })
+        .collect();
+    figure_from_specs(
         "fig8",
         "Flooding search efficiency on DAPA topologies",
-        "tau",
-        "hits",
-    );
-    let ttls = flooding_ttls();
-    let tau_subs = [2u32, 4, 10, 20];
-    for m in [1usize, 2, 3] {
-        for cutoff in [
-            DegreeCutoff::hard(10),
-            DegreeCutoff::hard(50),
-            DegreeCutoff::Unbounded,
-        ] {
-            for tau_sub in tau_subs {
-                let dapa = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
-                    .expect("scale sizes are valid for DAPA")
-                    .with_cutoff(cutoff);
-                let label = format!("DAPA m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff));
-                figure.push_series(search_series(
-                    &dapa,
-                    &Flooding::new(),
-                    &label,
-                    &ttls,
-                    scale,
-                    seed,
-                ));
-            }
-        }
-    }
-    ExperimentOutput::Figure(figure)
+        specs,
+    )
 }
 
 #[cfg(test)]

@@ -9,9 +9,10 @@
 //! the 2-core/3-core: flooding and random-walk searches only circulate well inside them.
 //!
 //! The decomposition runs in `O(N + E)` using the standard bucket-peeling algorithm
-//! (Batagelj & Zaveršnik).
+//! (Batagelj & Zaveršnik), and is generic over [`GraphView`], so it runs on a mutable
+//! [`Graph`] or on a frozen [`CsrGraph`](crate::CsrGraph) snapshot alike.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Result of a k-core decomposition.
@@ -71,7 +72,7 @@ impl CoreDecomposition {
 /// # Ok(())
 /// # }
 /// ```
-pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
+pub fn core_decomposition<G: GraphView + ?Sized>(graph: &G) -> CoreDecomposition {
     let n = graph.node_count();
     if n == 0 {
         return CoreDecomposition {
@@ -139,15 +140,17 @@ pub fn core_decomposition(graph: &Graph) -> CoreDecomposition {
 ///
 /// Keeping the node-id space intact means search algorithms and metrics can be applied to
 /// the core directly without remapping identifiers.
-pub fn k_core_subgraph(graph: &Graph, k: usize) -> (Graph, Vec<NodeId>) {
+pub fn k_core_subgraph<G: GraphView + ?Sized>(graph: &G, k: usize) -> (Graph, Vec<NodeId>) {
     let decomposition = core_decomposition(graph);
     let members = decomposition.core_members(k);
     let in_core: Vec<bool> = decomposition.core_numbers.iter().map(|&c| c >= k).collect();
     let mut sub = Graph::with_nodes(graph.node_count());
-    for (a, b) in graph.edges() {
-        if in_core[a.index()] && in_core[b.index()] {
-            sub.add_edge(a, b)
-                .expect("edge endpoints exist and are unique");
+    for a in graph.nodes() {
+        for &b in graph.neighbors(a) {
+            if a.index() < b.index() && in_core[a.index()] && in_core[b.index()] {
+                sub.add_edge(a, b)
+                    .expect("edge endpoints exist and are unique");
+            }
         }
     }
     (sub, members)
@@ -157,6 +160,19 @@ pub fn k_core_subgraph(graph: &Graph, k: usize) -> (Graph, Vec<NodeId>) {
 mod tests {
     use super::*;
     use crate::generators::{complete_graph, ring_graph};
+
+    #[test]
+    fn decomposition_is_identical_on_frozen_snapshots() {
+        let mut g = complete_graph(6).unwrap();
+        g.add_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(6)).unwrap();
+        let frozen = g.freeze();
+        assert_eq!(core_decomposition(&g), core_decomposition(&frozen));
+        let (sub_g, members_g) = k_core_subgraph(&g, 2);
+        let (sub_c, members_c) = k_core_subgraph(&frozen, 2);
+        assert_eq!(members_g, members_c);
+        assert_eq!(sub_g.edge_count(), sub_c.edge_count());
+    }
 
     fn n(i: usize) -> NodeId {
         NodeId::new(i)

@@ -17,7 +17,7 @@
 //! pulls the threshold back down — the resilience price of fairness that the `resilience`
 //! experiment measures empirically.
 
-use crate::Graph;
+use crate::GraphView;
 use serde::{Deserialize, Serialize};
 
 /// Degree-moment summary used by the percolation criteria.
@@ -55,7 +55,7 @@ pub struct PercolationReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn percolation_report(graph: &Graph) -> PercolationReport {
+pub fn percolation_report<G: GraphView + ?Sized>(graph: &G) -> PercolationReport {
     let n = graph.node_count();
     if n == 0 || graph.edge_count() == 0 {
         return PercolationReport {
@@ -90,7 +90,7 @@ mod tests {
     use super::*;
     use crate::generators::{complete_graph, ring_graph, star_graph};
     use crate::traversal;
-    use crate::NodeId;
+    use crate::{Graph, NodeId};
 
     #[test]
     fn empty_and_edgeless_graphs_have_no_giant_component() {
@@ -100,6 +100,12 @@ mod tests {
         let report = percolation_report(&Graph::with_nodes(10));
         assert!(!report.predicts_giant_component);
         assert_eq!(report.random_removal_threshold, 0.0);
+    }
+
+    #[test]
+    fn report_is_identical_on_frozen_snapshots() {
+        let g = star_graph(30).unwrap();
+        assert_eq!(percolation_report(&g), percolation_report(&g.freeze()));
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! almost surely a low-degree satellite, but removing a few hubs shatters them. Capping the
 //! degree removes the super-hubs and therefore changes this trade-off; the `resilience`
 //! experiment in `sfo-experiments` quantifies it using the primitives in this module.
+//!
+//! Everything here reads through [`GraphView`], so profiles run on a mutable [`Graph`]
+//! or a frozen [`CsrGraph`](crate::CsrGraph) snapshot alike; the degraded copy is
+//! materialized per point via [`Graph::from_view`], the original is never touched.
 
 use crate::traversal::giant_component_fraction;
-use crate::{Graph, NodeId};
+use crate::{Graph, GraphView, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -35,8 +39,8 @@ pub struct RobustnessPoint {
 ///
 /// For [`RemovalStrategy::HighestDegree`] ties are broken by node id so results are
 /// deterministic; for [`RemovalStrategy::Random`] the RNG decides.
-pub fn select_victims<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn select_victims<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     strategy: RemovalStrategy,
     count: usize,
     rng: &mut R,
@@ -61,13 +65,14 @@ pub fn select_victims<R: Rng + ?Sized>(
 /// Removes (isolates) a fraction of nodes chosen by `strategy` and reports the surviving
 /// giant-component fraction relative to the original node count.
 ///
-/// The removal isolates nodes in a copy of the graph; the input is untouched.
+/// The removal isolates nodes in a mutable copy of the view (via [`Graph::from_view`]);
+/// the input — a [`Graph`] or a frozen snapshot — is untouched.
 ///
 /// # Panics
 ///
 /// Panics if `fraction` is not within `[0, 1]`.
-pub fn degrade<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn degrade<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     strategy: RemovalStrategy,
     fraction: f64,
     rng: &mut R,
@@ -84,7 +89,7 @@ pub fn degrade<R: Rng + ?Sized>(
     }
     let count = (fraction * graph.node_count() as f64).round() as usize;
     let victims = select_victims(graph, strategy, count, rng);
-    let mut damaged = graph.clone();
+    let mut damaged = Graph::from_view(graph);
     for victim in victims {
         damaged
             .isolate_node(victim)
@@ -101,8 +106,8 @@ pub fn degrade<R: Rng + ?Sized>(
 
 /// Computes a full robustness profile: the giant-component fraction after removing each of
 /// the given fractions of nodes (each point degrades a fresh copy of the original graph).
-pub fn robustness_profile<R: Rng + ?Sized>(
-    graph: &Graph,
+pub fn robustness_profile<G: GraphView + ?Sized, R: Rng + ?Sized>(
+    graph: &G,
     strategy: RemovalStrategy,
     fractions: &[f64],
     rng: &mut R,
@@ -200,6 +205,17 @@ mod tests {
         let edges_before = g.edge_count();
         let _ = degrade(&g, RemovalStrategy::HighestDegree, 0.5, &mut rng(6));
         assert_eq!(g.edge_count(), edges_before);
+    }
+
+    #[test]
+    fn frozen_snapshots_degrade_identically_to_their_graph() {
+        let g = ring(100);
+        let frozen = g.freeze();
+        for strategy in [RemovalStrategy::Random, RemovalStrategy::HighestDegree] {
+            let on_graph = robustness_profile(&g, strategy, &[0.1, 0.3], &mut rng(9));
+            let on_csr = robustness_profile(&frozen, strategy, &[0.1, 0.3], &mut rng(9));
+            assert_eq!(on_graph, on_csr);
+        }
     }
 
     #[test]

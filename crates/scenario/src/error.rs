@@ -1,0 +1,110 @@
+//! Error type of the scenario layer.
+
+use sfo_core::TopologyError;
+use sfo_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing, validating, or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// The spec is structurally valid JSON but describes an impossible scenario (zero
+    /// nodes, a cutoff below `m`, an empty TTL grid, ...), or a field has the wrong shape.
+    InvalidSpec {
+        /// Human-readable description of the violated constraint, naming the field.
+        reason: String,
+    },
+    /// The spec file is not valid JSON.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        column: usize,
+    },
+    /// A topology generator rejected its configuration or could not place a link.
+    Topology(TopologyError),
+    /// The churn simulator or trace runner rejected its configuration.
+    Sim(SimError),
+}
+
+impl ScenarioError {
+    /// Builds an [`ScenarioError::InvalidSpec`] from anything stringly.
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        ScenarioError::InvalidSpec {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidSpec { reason } => write!(f, "invalid scenario spec: {reason}"),
+            ScenarioError::Parse {
+                message,
+                line,
+                column,
+            } => write!(
+                f,
+                "spec parse error at line {line}, column {column}: {message}"
+            ),
+            ScenarioError::Topology(e) => write!(f, "topology generation failed: {e}"),
+            ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Topology(e) => Some(e),
+            ScenarioError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for ScenarioError {
+    fn from(value: TopologyError) -> Self {
+        ScenarioError::Topology(value)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(value: SimError) -> Self {
+        ScenarioError::Sim(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let invalid = ScenarioError::invalid("nodes must be positive");
+        assert!(invalid.to_string().contains("nodes must be positive"));
+        assert!(invalid.source().is_none());
+
+        let parse = ScenarioError::Parse {
+            message: "expected ':'".to_string(),
+            line: 3,
+            column: 9,
+        };
+        assert!(parse.to_string().contains("line 3"));
+
+        let topo = ScenarioError::from(TopologyError::InvalidConfig { reason: "m" });
+        assert!(topo.source().is_some());
+        let sim = ScenarioError::from(SimError::EmptyOverlay);
+        assert!(sim.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ScenarioError>();
+    }
+}

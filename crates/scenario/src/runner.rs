@@ -1,0 +1,491 @@
+//! The one execution engine behind every scenario spec.
+//!
+//! [`ScenarioRunner::run`] validates a [`ScenarioSpec`] and executes it end to end:
+//!
+//! * **Static sweeps** expand the spec's grid into labelled curves, fan every
+//!   `(curve, realization)` pair across worker threads, generate the topology, freeze it
+//!   to a CSR snapshot, and run the TTL sweep on the snapshot (build-once/query-many).
+//! * **Churn scenarios** run independent `sfo-sim` simulations, one per realization.
+//! * **Trace scenarios** generate one churn trace per realization and replay it.
+//!
+//! Determinism is absolute and thread-count independent: every task derives its RNG with
+//! [`stream_rng`] from `(seed, stream family, realization)`, where a curve's stream
+//! family is [`label_salt`] of its label and a dynamic scenario's is `label_salt` of the
+//! scenario name. Trace streams use a fixed family, so scenarios sharing a seed and
+//! trace configuration replay the *identical* churn no matter how their overlays differ
+//! — the controlled comparison the paper's future work asks for.
+
+use crate::report::{
+    ChurnRealization, ScenarioReport, ScenarioResult, Stat, SweepCurve, SweepPoint,
+    TraceRealization,
+};
+use crate::spec::{BuiltSearch, DynamicsSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec};
+use crate::ScenarioError;
+use sfo_analysis::Summary;
+use sfo_search::experiment::{
+    label_salt, rw_normalized_to_nf, stream_rng, ttl_sweep, AveragedOutcome,
+};
+use sfo_sim::churn::{generate_trace, ChurnTraceConfig};
+use sfo_sim::simulation::{Simulation, SimulationConfig};
+use sfo_sim::trace_runner::{run_trace, TraceRunConfig};
+
+/// Stream family of the per-realization churn traces. Deliberately independent of the
+/// scenario name, so scenarios with the same seed and trace configuration see identical
+/// event sequences even when their overlay policies differ.
+const TRACE_STREAM_SALT: u64 = 0x5452_4143_4553_414c; // "TRACESAL"
+
+/// Executes [`ScenarioSpec`]s (see the module docs for the execution model).
+///
+/// # Example
+///
+/// ```
+/// use sfo_scenario::{ScenarioRunner, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec};
+///
+/// # fn main() -> Result<(), sfo_scenario::ScenarioError> {
+/// let spec = ScenarioSpec::sweep(
+///     "doc-example",
+///     TopologySpec::Pa { nodes: 300, m: 2, cutoff: Some(10) },
+///     SearchSpec::Flooding,
+///     SweepSpec::single(vec![1, 2, 4], 5),
+///     42,
+///     2,
+/// );
+/// let report = ScenarioRunner::new().run(&spec)?;
+/// let curves = report.sweep_curves().unwrap();
+/// assert_eq!(curves.len(), 1);
+/// assert_eq!(report.spec, spec); // provenance: the report embeds the spec
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioRunner {
+    _private: (),
+}
+
+impl ScenarioRunner {
+    /// Creates a runner.
+    pub fn new() -> Self {
+        ScenarioRunner::default()
+    }
+
+    /// Validates and executes a spec, returning the report that embeds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation errors of [`ScenarioSpec::validate`], plus
+    /// [`ScenarioError::Topology`]/[`ScenarioError::Sim`] when generation or simulation
+    /// fails at run time (e.g. an attempt budget exhausted by a tight cutoff).
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
+        spec.validate()?;
+        let result = match &spec.dynamics {
+            DynamicsSpec::Static => self.run_sweep(spec)?,
+            DynamicsSpec::Churn { sim } => self.run_churn(spec, sim)?,
+            DynamicsSpec::Trace { trace, run } => self.run_traces(spec, trace, run)?,
+        };
+        Ok(ScenarioReport {
+            spec: spec.clone(),
+            result,
+        })
+    }
+
+    fn run_sweep(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError> {
+        let sweep = spec.sweep.as_ref().expect("validated static spec");
+        let search = spec.search.as_ref().expect("validated static spec");
+        let curves = spec.expanded_topologies();
+        let realizations = spec.realizations;
+
+        // One task per (curve, realization); tasks are independent and individually
+        // seeded, so the fan-out below cannot change any result.
+        let task_count = curves.len() * realizations;
+        let outcomes = run_tasks(
+            task_count,
+            effective_threads(sweep.threads, task_count),
+            |t| {
+                let curve = &curves[t / realizations];
+                let realization = t % realizations;
+                run_sweep_task(curve, search, sweep, spec.seed, realization)
+            },
+        )?;
+
+        // Fold the per-realization outcomes into per-TTL statistics, in stream order.
+        let mut report_curves = Vec::with_capacity(curves.len());
+        for (c, curve) in curves.iter().enumerate() {
+            let mut hits: Vec<Summary> = vec![Summary::new(); sweep.ttls.len()];
+            let mut messages: Vec<Summary> = vec![Summary::new(); sweep.ttls.len()];
+            for r in 0..realizations {
+                let points = &outcomes[c * realizations + r];
+                debug_assert_eq!(points.len(), sweep.ttls.len());
+                for (i, point) in points.iter().enumerate() {
+                    hits[i].add(point.mean_hits);
+                    messages[i].add(point.mean_messages);
+                }
+            }
+            let points = sweep
+                .ttls
+                .iter()
+                .enumerate()
+                .map(|(i, &ttl)| SweepPoint {
+                    ttl,
+                    hits: Stat::from_summary(&hits[i]),
+                    messages: Stat::from_summary(&messages[i]),
+                })
+                .collect();
+            report_curves.push(SweepCurve {
+                label: curve.label(),
+                points,
+            });
+        }
+        Ok(ScenarioResult::Sweep {
+            curves: report_curves,
+        })
+    }
+
+    fn run_churn(
+        &self,
+        spec: &ScenarioSpec,
+        sim: &SimulationConfig,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let salt = label_salt(&spec.name);
+        let sim = *sim;
+        let realizations = run_tasks(
+            spec.realizations,
+            effective_threads(0, spec.realizations),
+            |r| {
+                let mut rng = stream_rng(spec.seed, salt, r);
+                let report = Simulation::new(sim)?.run(&mut rng)?;
+                Ok(ChurnRealization {
+                    realization: r,
+                    queries_issued: report.queries_issued,
+                    queries_successful: report.queries_successful,
+                    query_messages: report.query_messages,
+                    success_rate: report.success_rate(),
+                    mean_query_messages: report.mean_query_messages(),
+                    mean_hops_to_find: report.mean_hops_to_find(),
+                    joins: report.joins,
+                    leaves: report.leaves,
+                    crashes: report.crashes,
+                    mean_churn_messages: report.mean_churn_messages(),
+                    final_peers: report.final_peers,
+                    samples: report.samples,
+                })
+            },
+        )?;
+        Ok(ScenarioResult::Churn { realizations })
+    }
+
+    fn run_traces(
+        &self,
+        spec: &ScenarioSpec,
+        trace_config: &ChurnTraceConfig,
+        run_config: &TraceRunConfig,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let salt = label_salt(&spec.name);
+        let realizations = run_tasks(
+            spec.realizations,
+            effective_threads(0, spec.realizations),
+            |r| {
+                let mut trace_rng = stream_rng(spec.seed, TRACE_STREAM_SALT, r);
+                let trace = generate_trace(trace_config, &mut trace_rng)?;
+                let mut run_rng = stream_rng(spec.seed, salt, r);
+                let report = run_trace(run_config, &trace, &mut run_rng)?;
+                Ok(TraceRealization {
+                    realization: r,
+                    arrivals_applied: report.arrivals_applied,
+                    leaves_applied: report.leaves_applied,
+                    crashes_applied: report.crashes_applied,
+                    departures_skipped: report.departures_skipped,
+                    queries_issued: report.queries_issued,
+                    queries_successful: report.queries_successful,
+                    success_rate: report.success_rate(),
+                    query_messages: report.query_messages,
+                    control_messages: report.control_messages,
+                    final_peers: report.final_peers,
+                    worst_connectivity: report.worst_connectivity(),
+                    samples: report.samples,
+                })
+            },
+        )?;
+        Ok(ScenarioResult::Trace { realizations })
+    }
+}
+
+/// One `(curve, realization)` task of a static sweep: generate, freeze, sweep.
+///
+/// This reproduces the stream discipline the figure harness has always used — the
+/// per-realization RNG is `stream_rng(seed, label_salt(curve label), realization)`, the
+/// topology is drawn first, and the TTL sweep continues on the same stream — so a curve
+/// produces bit-identical data whether it runs here or ran in the old bespoke loops.
+fn run_sweep_task(
+    curve: &TopologySpec,
+    search: &SearchSpec,
+    sweep: &SweepSpec,
+    seed: u64,
+    realization: usize,
+) -> Result<Vec<AveragedOutcome>, ScenarioError> {
+    let mut rng = stream_rng(seed, label_salt(&curve.label()), realization);
+    let generator = curve.build()?;
+    let frozen = generator.generate(&mut rng)?.freeze();
+    Ok(match search.build(curve.m())? {
+        BuiltSearch::Algorithm(algorithm) => ttl_sweep(
+            &frozen,
+            algorithm.as_ref(),
+            &sweep.ttls,
+            sweep.searches_per_point,
+            &mut rng,
+        ),
+        BuiltSearch::RwNormalizedToNf { k_min } => rw_normalized_to_nf(
+            &frozen,
+            k_min,
+            &sweep.ttls,
+            sweep.searches_per_point,
+            &mut rng,
+        ),
+    })
+}
+
+fn effective_threads(requested: usize, tasks: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, tasks.max(1))
+}
+
+/// Runs `count` independent tasks on `threads` workers and returns their results in task
+/// order. The first failure cancels the remaining work: every worker checks a shared
+/// flag before starting its next task, so a misconfigured curve aborts a large grid in
+/// roughly one task-length instead of burning the whole sweep. Among the failures that
+/// did run, the lowest-indexed error is returned.
+fn run_tasks<T, F>(count: usize, threads: usize, task: F) -> Result<Vec<T>, ScenarioError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ScenarioError> + Sync,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let mut slots: Vec<Option<Result<T, ScenarioError>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let failed = AtomicBool::new(false);
+
+    let chunks = std::thread::scope(|scope| {
+        let task = &task;
+        let failed = &failed;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    for t in (w..count).step_by(threads) {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let result = task(t);
+                        if result.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        results.push((t, result));
+                    }
+                    results
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for chunk in chunks {
+        for (t, result) in chunk {
+            slots[t] = Some(result);
+        }
+    }
+    let mut first_error: Option<ScenarioError> = None;
+    let mut results = Vec::with_capacity(count);
+    for slot in slots {
+        match slot {
+            Some(Ok(value)) => results.push(value),
+            Some(Err(e)) => {
+                first_error.get_or_insert(e);
+                break;
+            }
+            // A `None` slot means the task was cancelled after an earlier failure; the
+            // error that caused the cancellation sits in a lower or later slot.
+            None => continue,
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => {
+            assert_eq!(
+                results.len(),
+                count,
+                "every task must have run when none failed"
+            );
+            Ok(results)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfo_core::DegreeCutoff;
+    use sfo_sim::churn::SessionModel;
+    use sfo_sim::overlay::{JoinStrategy, OverlayConfig};
+
+    fn pa_spec(threads: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::sweep(
+            "runner-test",
+            TopologySpec::Pa {
+                nodes: 300,
+                m: 1,
+                cutoff: None,
+            },
+            SearchSpec::Flooding,
+            SweepSpec::grid(vec![1, 2], vec![Some(10), None], vec![1, 2, 4], 6),
+            11,
+            2,
+        );
+        spec.sweep.as_mut().unwrap().threads = threads;
+        spec
+    }
+
+    #[test]
+    fn sweep_produces_one_curve_per_grid_point() {
+        let report = ScenarioRunner::new().run(&pa_spec(1)).unwrap();
+        let curves = report.sweep_curves().unwrap();
+        assert_eq!(curves.len(), 4);
+        assert_eq!(curves[0].label, "PA, m=1, k_c=10");
+        for curve in curves {
+            assert_eq!(curve.points.len(), 3);
+            for point in &curve.points {
+                assert_eq!(point.hits.realizations, 2);
+                assert!(point.hits.mean > 0.0);
+                assert!(point.messages.mean >= point.hits.mean - 1e-12);
+            }
+            // Flooding hits do not shrink with TTL.
+            assert!(curve.points[2].hits.mean >= curve.points[0].hits.mean);
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let sequential = ScenarioRunner::new().run(&pa_spec(1)).unwrap();
+        let parallel = ScenarioRunner::new().run(&pa_spec(4)).unwrap();
+        // The thread knob is part of the spec, so compare results, not whole reports.
+        assert_eq!(sequential.result, parallel.result);
+    }
+
+    #[test]
+    fn rw_normalized_sweep_runs() {
+        let mut spec = pa_spec(2);
+        spec.search = Some(SearchSpec::RwNormalizedToNf { k_min: None });
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        for curve in report.sweep_curves().unwrap() {
+            for point in &curve.points {
+                assert!(point.hits.mean <= point.messages.mean + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_scenarios_report_per_realization_runs() {
+        let spec = ScenarioSpec::churn(
+            "runner-churn",
+            sfo_sim::simulation::SimulationConfig::small(),
+            5,
+            2,
+        );
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let runs = report.churn_realizations().unwrap();
+        assert_eq!(runs.len(), 2);
+        for (r, run) in runs.iter().enumerate() {
+            assert_eq!(run.realization, r);
+            assert!(run.queries_issued > 0);
+            assert!(run.success_rate > 0.0);
+            assert!(!run.samples.is_empty());
+        }
+        // Different realizations use different streams.
+        assert_ne!(runs[0].queries_issued, runs[1].queries_issued);
+    }
+
+    #[test]
+    fn trace_scenarios_share_churn_across_overlay_policies() {
+        let trace_config = ChurnTraceConfig {
+            duration: 200,
+            arrival_rate: 0.4,
+            sessions: SessionModel::Exponential { mean: 60.0 },
+            crash_fraction: 0.25,
+        };
+        let mut tight = TraceRunConfig::small();
+        tight.bootstrap_peers = 80;
+        tight.overlay = OverlayConfig {
+            stubs: 3,
+            cutoff: DegreeCutoff::hard(8),
+            join_strategy: JoinStrategy::UniformRandom,
+            repair_on_leave: true,
+        };
+        let mut loose = tight.clone();
+        loose.overlay.cutoff = DegreeCutoff::Unbounded;
+
+        let runner = ScenarioRunner::new();
+        let report_tight = runner
+            .run(&ScenarioSpec::trace("tight", trace_config, tight, 3, 2))
+            .unwrap();
+        let report_loose = runner
+            .run(&ScenarioSpec::trace("loose", trace_config, loose, 3, 2))
+            .unwrap();
+        let tight_runs = report_tight.trace_realizations().unwrap();
+        let loose_runs = report_loose.trace_realizations().unwrap();
+        for (a, b) in tight_runs.iter().zip(loose_runs) {
+            // Identical churn: the same arrivals were applied in both scenarios...
+            assert_eq!(a.arrivals_applied, b.arrivals_applied);
+            assert!(a.arrivals_applied > 0);
+            // ...but the cutoff bounds only the tight overlay's degrees.
+            assert!(a.samples.iter().all(|s| s.max_degree <= 8));
+        }
+        assert!(loose_runs
+            .iter()
+            .flat_map(|r| &r.samples)
+            .any(|s| s.max_degree > 8));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let spec = pa_spec(3);
+        let a = ScenarioRunner::new().run(&spec).unwrap();
+        let b = ScenarioRunner::new().run(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    #[test]
+    fn run_tasks_preserves_order_and_cancels_after_a_failure() {
+        let ok = run_tasks(8, 3, |t| Ok::<usize, ScenarioError>(t * 2)).unwrap();
+        assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+
+        let result: Result<Vec<usize>, ScenarioError> = run_tasks(64, 4, |t| {
+            if t == 3 {
+                Err(ScenarioError::invalid("boom"))
+            } else {
+                Ok(t)
+            }
+        });
+        assert!(matches!(result, Err(ScenarioError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_any_work() {
+        let mut spec = pa_spec(1);
+        spec.realizations = 0;
+        assert!(matches!(
+            ScenarioRunner::new().run(&spec),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+    }
+}

@@ -1,0 +1,1718 @@
+//! The declarative scenario vocabulary: specs as data.
+//!
+//! A [`ScenarioSpec`] is a complete, serializable description of one experiment cell from
+//! the paper's evaluation grid (or of one of its churn extensions): which topology family
+//! to grow ([`TopologySpec`]), which search to run over it ([`SearchSpec`]), whether the
+//! overlay is static or lives under join/leave dynamics ([`DynamicsSpec`]), and which
+//! parameter grid to sweep ([`SweepSpec`]). Specs round-trip through JSON (see
+//! [`crate::json`]) and are executed by [`crate::ScenarioRunner`], which embeds the spec
+//! in its [`crate::ScenarioReport`] for provenance.
+
+use crate::codec::{check_fields, opt_usize, req, req_f64, req_str, req_u32, req_u64, req_usize};
+use crate::json::{FromJson, JsonValue, ToJson};
+use crate::ScenarioError;
+use serde::{Deserialize, Serialize};
+use sfo_core::attractiveness::InitialAttractiveness;
+use sfo_core::cm::ConfigurationModel;
+use sfo_core::dapa::{DapaOverGrn, DapaOverMesh};
+use sfo_core::fitness::{FitnessDistribution, FitnessModel};
+use sfo_core::hapa::HopAndAttempt;
+use sfo_core::local_events::LocalEventsModel;
+use sfo_core::nonlinear::NonlinearPreferentialAttachment;
+use sfo_core::pa::PreferentialAttachment;
+use sfo_core::ucm::UncorrelatedConfigurationModel;
+use sfo_core::{DegreeCutoff, DynTopologyGenerator};
+use sfo_graph::CsrGraph;
+use sfo_search::biased_walk::DegreeBiasedWalk;
+use sfo_search::expanding_ring::ExpandingRing;
+use sfo_search::flooding::Flooding;
+use sfo_search::normalized::NormalizedFlooding;
+use sfo_search::probabilistic::ProbabilisticFlooding;
+use sfo_search::random_walk::{MultipleRandomWalk, RandomWalk};
+use sfo_search::SearchAlgorithm;
+use sfo_sim::catalog::Catalog;
+use sfo_sim::churn::ChurnTraceConfig;
+use sfo_sim::query::QueryMethod;
+use sfo_sim::simulation::SimulationConfig;
+use sfo_sim::trace_runner::TraceRunConfig;
+
+fn cutoff_label(cutoff: Option<usize>) -> String {
+    match cutoff {
+        None => "no k_c".to_string(),
+        Some(k_c) => format!("k_c={k_c}"),
+    }
+}
+
+/// One topology-generator configuration, covering every generator family in `sfo-core`.
+///
+/// Each variant holds exactly the parameters of the corresponding generator's
+/// constructor plus the hard cutoff, so [`TopologySpec::build`] compiles it into a
+/// [`DynTopologyGenerator`] without further input. `cutoff: None` means unbounded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Preferential attachment (paper Alg. 1).
+    Pa {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Hop-and-attempt PA (paper Alg. 3).
+    Hapa {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Configuration model with target exponent `gamma` (paper Alg. 2).
+    Cm {
+        /// Overlay size.
+        nodes: usize,
+        /// Target degree exponent.
+        gamma: f64,
+        /// Minimum degree.
+        m: usize,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Uncorrelated configuration model with the structural cutoff (ref. [59]).
+    Ucm {
+        /// Overlay size.
+        nodes: usize,
+        /// Target degree exponent.
+        gamma: f64,
+        /// Minimum degree.
+        m: usize,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Discover-and-attempt PA over a geometric-random-network substrate (paper Alg. 4).
+    DapaGrn {
+        /// Overlay size (the substrate defaults to twice this, mean degree 10).
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Local discovery TTL on the substrate.
+        tau_sub: u32,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Discover-and-attempt PA over a 2D torus-mesh substrate (paper §IV-B).
+    DapaMesh {
+        /// Overlay size (the torus holds at least twice this many nodes).
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Local discovery TTL on the substrate.
+        tau_sub: u32,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Nonlinear PA, `Π ∝ k^α` (refs. [52, 53]).
+    NonlinearPa {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Attachment exponent `α`.
+        alpha: f64,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Fitness model, `Π ∝ η k` (refs. [54, 55]).
+    Fitness {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Distribution of the per-node fitness values.
+        distribution: FitnessDistribution,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Local-events model: growth plus link addition and rewiring (ref. [7]).
+    LocalEvents {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Probability of a link-addition event.
+        p_add_links: f64,
+        /// Probability of a rewiring event.
+        q_rewire: f64,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+    /// Initial-attractiveness PA, `Π ∝ k + a` (paper §III-C exponent tuning).
+    Attractiveness {
+        /// Overlay size.
+        nodes: usize,
+        /// Stubs per joining node.
+        m: usize,
+        /// Initial attractiveness `a`.
+        a: f64,
+        /// Hard cutoff `k_c` (`None` = unbounded).
+        cutoff: Option<usize>,
+    },
+}
+
+impl TopologySpec {
+    /// Returns the overlay size the spec describes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            TopologySpec::Pa { nodes, .. }
+            | TopologySpec::Hapa { nodes, .. }
+            | TopologySpec::Cm { nodes, .. }
+            | TopologySpec::Ucm { nodes, .. }
+            | TopologySpec::DapaGrn { nodes, .. }
+            | TopologySpec::DapaMesh { nodes, .. }
+            | TopologySpec::NonlinearPa { nodes, .. }
+            | TopologySpec::Fitness { nodes, .. }
+            | TopologySpec::LocalEvents { nodes, .. }
+            | TopologySpec::Attractiveness { nodes, .. } => nodes,
+        }
+    }
+
+    /// Returns the stub count (minimum degree for the configuration models).
+    pub fn m(&self) -> usize {
+        match *self {
+            TopologySpec::Pa { m, .. }
+            | TopologySpec::Hapa { m, .. }
+            | TopologySpec::Cm { m, .. }
+            | TopologySpec::Ucm { m, .. }
+            | TopologySpec::DapaGrn { m, .. }
+            | TopologySpec::DapaMesh { m, .. }
+            | TopologySpec::NonlinearPa { m, .. }
+            | TopologySpec::Fitness { m, .. }
+            | TopologySpec::LocalEvents { m, .. }
+            | TopologySpec::Attractiveness { m, .. } => m,
+        }
+    }
+
+    /// Returns the hard cutoff (`None` = unbounded).
+    pub fn cutoff(&self) -> Option<usize> {
+        match *self {
+            TopologySpec::Pa { cutoff, .. }
+            | TopologySpec::Hapa { cutoff, .. }
+            | TopologySpec::Cm { cutoff, .. }
+            | TopologySpec::Ucm { cutoff, .. }
+            | TopologySpec::DapaGrn { cutoff, .. }
+            | TopologySpec::DapaMesh { cutoff, .. }
+            | TopologySpec::NonlinearPa { cutoff, .. }
+            | TopologySpec::Fitness { cutoff, .. }
+            | TopologySpec::LocalEvents { cutoff, .. }
+            | TopologySpec::Attractiveness { cutoff, .. } => cutoff,
+        }
+    }
+
+    /// Returns a copy with the stub count replaced (used by sweep expansion).
+    pub fn with_m(&self, new_m: usize) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            TopologySpec::Pa { m, .. }
+            | TopologySpec::Hapa { m, .. }
+            | TopologySpec::Cm { m, .. }
+            | TopologySpec::Ucm { m, .. }
+            | TopologySpec::DapaGrn { m, .. }
+            | TopologySpec::DapaMesh { m, .. }
+            | TopologySpec::NonlinearPa { m, .. }
+            | TopologySpec::Fitness { m, .. }
+            | TopologySpec::LocalEvents { m, .. }
+            | TopologySpec::Attractiveness { m, .. } => *m = new_m,
+        }
+        spec
+    }
+
+    /// Returns a copy with the hard cutoff replaced (used by sweep expansion).
+    pub fn with_cutoff(&self, new_cutoff: Option<usize>) -> Self {
+        let mut spec = self.clone();
+        match &mut spec {
+            TopologySpec::Pa { cutoff, .. }
+            | TopologySpec::Hapa { cutoff, .. }
+            | TopologySpec::Cm { cutoff, .. }
+            | TopologySpec::Ucm { cutoff, .. }
+            | TopologySpec::DapaGrn { cutoff, .. }
+            | TopologySpec::DapaMesh { cutoff, .. }
+            | TopologySpec::NonlinearPa { cutoff, .. }
+            | TopologySpec::Fitness { cutoff, .. }
+            | TopologySpec::LocalEvents { cutoff, .. }
+            | TopologySpec::Attractiveness { cutoff, .. } => *cutoff = new_cutoff,
+        }
+        spec
+    }
+
+    /// The family tag used in the JSON encoding.
+    pub fn family(&self) -> &'static str {
+        match self {
+            TopologySpec::Pa { .. } => "pa",
+            TopologySpec::Hapa { .. } => "hapa",
+            TopologySpec::Cm { .. } => "cm",
+            TopologySpec::Ucm { .. } => "ucm",
+            TopologySpec::DapaGrn { .. } => "dapa_grn",
+            TopologySpec::DapaMesh { .. } => "dapa_mesh",
+            TopologySpec::NonlinearPa { .. } => "nonlinear_pa",
+            TopologySpec::Fitness { .. } => "fitness",
+            TopologySpec::LocalEvents { .. } => "local_events",
+            TopologySpec::Attractiveness { .. } => "attractiveness",
+        }
+    }
+
+    /// The curve label of this configuration, matching the legend strings the figure
+    /// harness has always used (e.g. `"PA, m=2, k_c=10"`).
+    ///
+    /// The label doubles as the salt of the configuration's RNG stream family (via
+    /// [`sfo_search::experiment::label_salt`]), so a curve labelled the same way sees
+    /// identical topologies in every harness.
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::Pa { m, cutoff, .. } => {
+                format!("PA, m={m}, {}", cutoff_label(cutoff))
+            }
+            TopologySpec::Hapa { m, cutoff, .. } => {
+                format!("HAPA, m={m}, {}", cutoff_label(cutoff))
+            }
+            TopologySpec::Cm {
+                gamma, m, cutoff, ..
+            } => format!("CM gamma={gamma}, m={m}, {}", cutoff_label(cutoff)),
+            TopologySpec::Ucm {
+                gamma, m, cutoff, ..
+            } => format!("UCM gamma={gamma}, m={m}, {}", cutoff_label(cutoff)),
+            TopologySpec::DapaGrn {
+                m, tau_sub, cutoff, ..
+            } => format!("DAPA m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff)),
+            TopologySpec::DapaMesh {
+                m, tau_sub, cutoff, ..
+            } => format!(
+                "DAPA-mesh m={m}, {}, tau_sub={tau_sub}",
+                cutoff_label(cutoff)
+            ),
+            TopologySpec::NonlinearPa {
+                m, alpha, cutoff, ..
+            } => format!("PA alpha={alpha}, m={m}, {}", cutoff_label(cutoff)),
+            TopologySpec::Fitness {
+                m,
+                distribution,
+                cutoff,
+                ..
+            } => {
+                // The distribution is part of the label: configurations differing only in
+                // fitness law must not collide on stream family or curve identity.
+                let dist = match distribution {
+                    FitnessDistribution::Uniform => "uniform".to_string(),
+                    FitnessDistribution::UniformRange { min, max } => format!("U[{min},{max}]"),
+                    FitnessDistribution::Exponential { rate } => format!("exp({rate})"),
+                };
+                format!("fitness {dist}, m={m}, {}", cutoff_label(cutoff))
+            }
+            TopologySpec::LocalEvents {
+                m,
+                p_add_links,
+                q_rewire,
+                cutoff,
+                ..
+            } => format!(
+                "local events p={p_add_links} q={q_rewire}, m={m}, {}",
+                cutoff_label(cutoff)
+            ),
+            TopologySpec::Attractiveness { m, a, cutoff, .. } => {
+                format!("PA a={a}, m={m}, {}", cutoff_label(cutoff))
+            }
+        }
+    }
+
+    /// Compiles the spec into a boxed generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Topology`] when the generator constructor rejects the
+    /// parameters (zero `m`, too few nodes, ...).
+    pub fn build(&self) -> Result<DynTopologyGenerator, ScenarioError> {
+        let cutoff: DegreeCutoff = self.cutoff().into();
+        Ok(match *self {
+            TopologySpec::Pa { nodes, m, .. } => {
+                Box::new(PreferentialAttachment::new(nodes, m)?.with_cutoff(cutoff))
+            }
+            TopologySpec::Hapa { nodes, m, .. } => {
+                Box::new(HopAndAttempt::new(nodes, m)?.with_cutoff(cutoff))
+            }
+            TopologySpec::Cm {
+                nodes, gamma, m, ..
+            } => Box::new(ConfigurationModel::new(nodes, gamma, m)?.with_cutoff(cutoff)),
+            TopologySpec::Ucm {
+                nodes, gamma, m, ..
+            } => {
+                Box::new(UncorrelatedConfigurationModel::new(nodes, gamma, m)?.with_cutoff(cutoff))
+            }
+            TopologySpec::DapaGrn {
+                nodes, m, tau_sub, ..
+            } => Box::new(DapaOverGrn::new(nodes, m, tau_sub)?.with_cutoff(cutoff)),
+            TopologySpec::DapaMesh {
+                nodes, m, tau_sub, ..
+            } => Box::new(DapaOverMesh::new(nodes, m, tau_sub)?.with_cutoff(cutoff)),
+            TopologySpec::NonlinearPa {
+                nodes, m, alpha, ..
+            } => {
+                Box::new(NonlinearPreferentialAttachment::new(nodes, m, alpha)?.with_cutoff(cutoff))
+            }
+            TopologySpec::Fitness {
+                nodes,
+                m,
+                distribution,
+                ..
+            } => Box::new(
+                FitnessModel::new(nodes, m)?
+                    .with_distribution(distribution)
+                    .with_cutoff(cutoff),
+            ),
+            TopologySpec::LocalEvents {
+                nodes,
+                m,
+                p_add_links,
+                q_rewire,
+                ..
+            } => Box::new(
+                LocalEventsModel::new(nodes, m, p_add_links, q_rewire)?.with_cutoff(cutoff),
+            ),
+            TopologySpec::Attractiveness { nodes, m, a, .. } => {
+                Box::new(InitialAttractiveness::new(nodes, m, a)?.with_cutoff(cutoff))
+            }
+        })
+    }
+
+    /// Validates the configuration without generating anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidSpec`] for constraints the spec layer checks
+    /// itself (zero nodes, a hard cutoff below `m`) and [`ScenarioError::Topology`] for
+    /// everything the generator constructors reject.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.nodes() == 0 {
+            return Err(ScenarioError::invalid(format!(
+                "topology {}: nodes must be positive",
+                self.family()
+            )));
+        }
+        if let Some(k_c) = self.cutoff() {
+            if k_c < self.m() {
+                return Err(ScenarioError::invalid(format!(
+                    "topology {}: hard cutoff {k_c} is below the stub count m={}",
+                    self.family(),
+                    self.m()
+                )));
+            }
+        }
+        self.build().map(|_| ())
+    }
+}
+
+/// A compiled search configuration, ready to run against frozen snapshots.
+pub enum BuiltSearch {
+    /// A plain TTL-sweep algorithm.
+    Algorithm(Box<dyn SearchAlgorithm<CsrGraph> + Send + Sync>),
+    /// The paper's message-normalized random walk: for each TTL, the walk's hop budget is
+    /// the message count of a normalized flood with fan-out `k_min` from the same source.
+    RwNormalizedToNf {
+        /// NF fan-out whose message count sets the walk budget.
+        k_min: usize,
+    },
+}
+
+/// One search-algorithm configuration (paper §V plus the related-work variants).
+///
+/// `k_min: None` on the normalized-flooding variants means "match the topology's stub
+/// count `m`", which is how the paper couples NF fan-out to minimum connectedness in
+/// Figs. 9-12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SearchSpec {
+    /// Flooding (FL).
+    Flooding,
+    /// Normalized flooding (NF) with fan-out `k_min` (`None` = match `m`).
+    NormalizedFlooding {
+        /// Fan-out bound (`None` = match the topology's `m`).
+        k_min: Option<usize>,
+    },
+    /// Gossip-style probabilistic flooding with forwarding probability `p`.
+    ProbabilisticFlooding {
+        /// Per-neighbor forwarding probability, in `(0, 1]`.
+        p: f64,
+    },
+    /// Expanding-ring search: successive floods of growing radius.
+    ExpandingRing {
+        /// TTL of the first ring.
+        initial_ttl: u32,
+        /// Radius increment between rings.
+        increment: u32,
+    },
+    /// A single random walk (RW).
+    RandomWalk,
+    /// `walkers` parallel random walks sharing one TTL budget.
+    MultipleRandomWalk {
+        /// Number of parallel walkers.
+        walkers: usize,
+    },
+    /// The degree-biased (highest-degree-seeking) walk of Adamic et al.
+    DegreeBiasedWalk,
+    /// RW with its hop budget normalized to the message cost of NF at the same TTL
+    /// (the methodology of Figs. 11-12). `k_min: None` = match `m`.
+    RwNormalizedToNf {
+        /// NF fan-out whose message count sets the walk budget (`None` = match `m`).
+        k_min: Option<usize>,
+    },
+}
+
+impl SearchSpec {
+    /// Short display name ("FL", "NF", ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchSpec::Flooding => "FL",
+            SearchSpec::NormalizedFlooding { .. } => "NF",
+            SearchSpec::ProbabilisticFlooding { .. } => "pFL",
+            SearchSpec::ExpandingRing { .. } => "ring",
+            SearchSpec::RandomWalk => "RW",
+            SearchSpec::MultipleRandomWalk { .. } => "MRW",
+            SearchSpec::DegreeBiasedWalk => "HD-RW",
+            SearchSpec::RwNormalizedToNf { .. } => "RW/NF",
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidSpec`] for zero fan-outs, zero walkers, or
+    /// forwarding probabilities outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match *self {
+            SearchSpec::NormalizedFlooding { k_min: Some(0) }
+            | SearchSpec::RwNormalizedToNf { k_min: Some(0) } => Err(ScenarioError::invalid(
+                "search: normalized-flooding fan-out k_min must be positive",
+            )),
+            SearchSpec::ProbabilisticFlooding { p } => {
+                if p.is_finite() && p > 0.0 && p <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(ScenarioError::invalid(
+                        "search: forwarding probability p must lie in (0, 1]",
+                    ))
+                }
+            }
+            SearchSpec::ExpandingRing {
+                initial_ttl,
+                increment,
+            } => {
+                if initial_ttl == 0 || increment == 0 {
+                    Err(ScenarioError::invalid(
+                        "search: expanding ring needs a positive initial TTL and increment",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            SearchSpec::MultipleRandomWalk { walkers: 0 } => Err(ScenarioError::invalid(
+                "search: multiple random walk needs at least one walker",
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Compiles the spec for topologies with stub count `m` (resolving `k_min: None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`SearchSpec::validate`].
+    pub fn build(&self, m: usize) -> Result<BuiltSearch, ScenarioError> {
+        self.validate()?;
+        Ok(match *self {
+            SearchSpec::Flooding => BuiltSearch::Algorithm(Box::new(Flooding::new())),
+            SearchSpec::NormalizedFlooding { k_min } => {
+                BuiltSearch::Algorithm(Box::new(NormalizedFlooding::new(k_min.unwrap_or(m).max(1))))
+            }
+            SearchSpec::ProbabilisticFlooding { p } => {
+                BuiltSearch::Algorithm(Box::new(ProbabilisticFlooding::new(p)))
+            }
+            SearchSpec::ExpandingRing {
+                initial_ttl,
+                increment,
+            } => BuiltSearch::Algorithm(Box::new(ExpandingRing::new(initial_ttl, increment))),
+            SearchSpec::RandomWalk => BuiltSearch::Algorithm(Box::new(RandomWalk::new())),
+            SearchSpec::MultipleRandomWalk { walkers } => {
+                BuiltSearch::Algorithm(Box::new(MultipleRandomWalk::new(walkers)))
+            }
+            SearchSpec::DegreeBiasedWalk => {
+                BuiltSearch::Algorithm(Box::new(DegreeBiasedWalk::new()))
+            }
+            SearchSpec::RwNormalizedToNf { k_min } => BuiltSearch::RwNormalizedToNf {
+                k_min: k_min.unwrap_or(m).max(1),
+            },
+        })
+    }
+}
+
+/// Whether (and how) the overlay lives under join/leave dynamics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DynamicsSpec {
+    /// Static snapshots: generate realizations, freeze them, sweep searches (the paper's
+    /// §V methodology).
+    Static,
+    /// Rate-driven churn: the discrete-event simulator of `sfo-sim` with memoryless
+    /// join/leave/crash/query interarrivals (the paper's future-work question).
+    Churn {
+        /// The full simulator configuration, including the live-overlay policy.
+        sim: SimulationConfig,
+    },
+    /// Trace-driven churn: a reproducible churn trace replayed against the live overlay.
+    /// Scenarios sharing a seed and trace configuration replay the *identical* event
+    /// sequence, so overlay policies can be compared under the same churn.
+    Trace {
+        /// How the churn trace is generated.
+        trace: ChurnTraceConfig,
+        /// How the overlay, catalog, and workload replaying the trace are configured.
+        run: TraceRunConfig,
+    },
+}
+
+impl DynamicsSpec {
+    /// The kind tag used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DynamicsSpec::Static => "static",
+            DynamicsSpec::Churn { .. } => "churn",
+            DynamicsSpec::Trace { .. } => "trace",
+        }
+    }
+
+    /// Validates the dynamics configuration via the simulator's own validators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Sim`] naming the violated constraint (for example a
+    /// flash-crowd intensity outside `[0, 1]`).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match self {
+            DynamicsSpec::Static => Ok(()),
+            DynamicsSpec::Churn { sim } => {
+                validate_query_method(sim.query_method)?;
+                sim.validate().map_err(ScenarioError::from)
+            }
+            DynamicsSpec::Trace { trace, run } => {
+                validate_query_method(run.query_method)?;
+                trace.validate()?;
+                run.validate()?;
+                let catalog = Catalog::new(run.catalog_items, run.catalog_skew)?;
+                run.workload.validate(&catalog)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+fn validate_query_method(method: QueryMethod) -> Result<(), ScenarioError> {
+    if matches!(method, QueryMethod::NormalizedFlooding { k_min: 0 }) {
+        Err(ScenarioError::invalid(
+            "dynamics: query-method fan-out k_min must be positive",
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The parameter grid a static scenario expands into, plus the measurement knobs.
+///
+/// The cross product `stubs × cutoffs` is applied to the base topology (an empty axis
+/// keeps the base value), producing one labelled curve per combination; every curve is
+/// then swept over `ttls` with `searches_per_point` random sources per TTL and averaged
+/// over the scenario's realizations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Stub counts to sweep (empty = keep the base topology's `m`).
+    pub stubs: Vec<usize>,
+    /// Hard cutoffs to sweep, `None` = unbounded (empty = keep the base cutoff).
+    pub cutoffs: Vec<Option<usize>>,
+    /// Time-to-live grid.
+    pub ttls: Vec<u32>,
+    /// Searches (random sources) per TTL per realization.
+    pub searches_per_point: usize,
+    /// Worker threads fanning `(curve, realization)` tasks (0 = all available cores).
+    /// Results are independent of this value: every task has its own RNG stream.
+    pub threads: usize,
+}
+
+impl SweepSpec {
+    /// A sweep of the base topology only: no grid, just a TTL sweep.
+    pub fn single(ttls: Vec<u32>, searches_per_point: usize) -> Self {
+        SweepSpec {
+            stubs: Vec::new(),
+            cutoffs: Vec::new(),
+            ttls,
+            searches_per_point,
+            threads: 0,
+        }
+    }
+
+    /// A full `stubs × cutoffs` grid.
+    pub fn grid(
+        stubs: Vec<usize>,
+        cutoffs: Vec<Option<usize>>,
+        ttls: Vec<u32>,
+        searches_per_point: usize,
+    ) -> Self {
+        SweepSpec {
+            stubs,
+            cutoffs,
+            ttls,
+            searches_per_point,
+            threads: 0,
+        }
+    }
+}
+
+/// A complete, serializable scenario: one cell (or grid) of the paper's evaluation.
+///
+/// Static scenarios require `topology`, `search`, and `sweep`; dynamic scenarios (churn
+/// or trace replay) configure everything inside `dynamics` and must leave the three
+/// static fields `None` — [`ScenarioSpec::validate`] enforces the split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name; doubles as the RNG stream-family salt for dynamic runs.
+    pub name: String,
+    /// Base topology of a static sweep (`None` for dynamic scenarios).
+    pub topology: Option<TopologySpec>,
+    /// Search algorithm of a static sweep (`None` for dynamic scenarios).
+    pub search: Option<SearchSpec>,
+    /// Static snapshots, rate-driven churn, or trace replay.
+    pub dynamics: DynamicsSpec,
+    /// Parameter grid and measurement knobs of a static sweep (`None` for dynamic
+    /// scenarios).
+    pub sweep: Option<SweepSpec>,
+    /// Master seed; every realization/thread stream is derived from it.
+    pub seed: u64,
+    /// Independent realizations averaged per data point (static) or independent runs
+    /// (dynamic).
+    pub realizations: usize,
+}
+
+impl ScenarioSpec {
+    /// Builds a static sweep scenario.
+    pub fn sweep(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        search: SearchSpec,
+        sweep: SweepSpec,
+        seed: u64,
+        realizations: usize,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology: Some(topology),
+            search: Some(search),
+            dynamics: DynamicsSpec::Static,
+            sweep: Some(sweep),
+            seed,
+            realizations,
+        }
+    }
+
+    /// Builds a rate-driven churn scenario.
+    pub fn churn(
+        name: impl Into<String>,
+        sim: SimulationConfig,
+        seed: u64,
+        realizations: usize,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology: None,
+            search: None,
+            dynamics: DynamicsSpec::Churn { sim },
+            sweep: None,
+            seed,
+            realizations,
+        }
+    }
+
+    /// Builds a trace-replay scenario.
+    pub fn trace(
+        name: impl Into<String>,
+        trace: ChurnTraceConfig,
+        run: TraceRunConfig,
+        seed: u64,
+        realizations: usize,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology: None,
+            search: None,
+            dynamics: DynamicsSpec::Trace { trace, run },
+            sweep: None,
+            seed,
+            realizations,
+        }
+    }
+
+    /// Expands the sweep grid into the concrete topology of every curve, in grid order
+    /// (stub axis outer, cutoff axis inner). Empty for dynamic scenarios.
+    pub fn expanded_topologies(&self) -> Vec<TopologySpec> {
+        let (Some(base), Some(sweep)) = (&self.topology, &self.sweep) else {
+            return Vec::new();
+        };
+        let stubs = if sweep.stubs.is_empty() {
+            vec![base.m()]
+        } else {
+            sweep.stubs.clone()
+        };
+        let cutoffs = if sweep.cutoffs.is_empty() {
+            vec![base.cutoff()]
+        } else {
+            sweep.cutoffs.clone()
+        };
+        let mut expanded = Vec::with_capacity(stubs.len() * cutoffs.len());
+        for &m in &stubs {
+            for &cutoff in &cutoffs {
+                expanded.push(base.with_m(m).with_cutoff(cutoff));
+            }
+        }
+        expanded
+    }
+
+    /// Validates the whole scenario: field consistency, the topology grid, the search
+    /// configuration, and the dynamics configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidSpec`], [`ScenarioError::Topology`], or
+    /// [`ScenarioError::Sim`] naming the offending constraint.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.name.is_empty() {
+            return Err(ScenarioError::invalid("scenario name must not be empty"));
+        }
+        if self.realizations == 0 {
+            return Err(ScenarioError::invalid("realizations must be positive"));
+        }
+        self.dynamics.validate()?;
+        match self.dynamics {
+            DynamicsSpec::Static => {
+                let Some(search) = &self.search else {
+                    return Err(ScenarioError::invalid(
+                        "static scenarios require a \"search\" section",
+                    ));
+                };
+                let Some(sweep) = &self.sweep else {
+                    return Err(ScenarioError::invalid(
+                        "static scenarios require a \"sweep\" section",
+                    ));
+                };
+                if self.topology.is_none() {
+                    return Err(ScenarioError::invalid(
+                        "static scenarios require a \"topology\" section",
+                    ));
+                }
+                if sweep.ttls.is_empty() {
+                    return Err(ScenarioError::invalid("sweep: ttls must not be empty"));
+                }
+                if sweep.searches_per_point == 0 {
+                    return Err(ScenarioError::invalid(
+                        "sweep: searches_per_point must be positive",
+                    ));
+                }
+                search.validate()?;
+                for topology in self.expanded_topologies() {
+                    topology.validate()?;
+                }
+                Ok(())
+            }
+            DynamicsSpec::Churn { .. } | DynamicsSpec::Trace { .. } => {
+                if self.topology.is_some() || self.search.is_some() || self.sweep.is_some() {
+                    return Err(ScenarioError::invalid(
+                        "dynamic scenarios configure their overlay and workload inside \
+                         \"dynamics\"; \"topology\", \"search\", and \"sweep\" must be null",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Serializes the spec to its canonical JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a spec from JSON text (tolerating `//` line comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] for malformed JSON and
+    /// [`ScenarioError::InvalidSpec`] for well-formed JSON with wrong fields.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        ScenarioSpec::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// JSON codecs.
+
+impl ToJson for TopologySpec {
+    fn to_json(&self) -> JsonValue {
+        let mut members = vec![(
+            "family".to_string(),
+            JsonValue::from_str_value(self.family()),
+        )];
+        members.push(("nodes".to_string(), JsonValue::from_usize(self.nodes())));
+        match *self {
+            TopologySpec::Cm { gamma, .. } | TopologySpec::Ucm { gamma, .. } => {
+                members.push(("gamma".to_string(), JsonValue::from_f64(gamma)));
+            }
+            _ => {}
+        }
+        members.push(("m".to_string(), JsonValue::from_usize(self.m())));
+        match *self {
+            TopologySpec::DapaGrn { tau_sub, .. } | TopologySpec::DapaMesh { tau_sub, .. } => {
+                members.push((
+                    "tau_sub".to_string(),
+                    JsonValue::from_u64(u64::from(tau_sub)),
+                ));
+            }
+            TopologySpec::NonlinearPa { alpha, .. } => {
+                members.push(("alpha".to_string(), JsonValue::from_f64(alpha)));
+            }
+            TopologySpec::Fitness { distribution, .. } => {
+                members.push(("distribution".to_string(), distribution.to_json()));
+            }
+            TopologySpec::LocalEvents {
+                p_add_links,
+                q_rewire,
+                ..
+            } => {
+                members.push(("p_add_links".to_string(), JsonValue::from_f64(p_add_links)));
+                members.push(("q_rewire".to_string(), JsonValue::from_f64(q_rewire)));
+            }
+            TopologySpec::Attractiveness { a, .. } => {
+                members.push(("a".to_string(), JsonValue::from_f64(a)));
+            }
+            _ => {}
+        }
+        members.push((
+            "cutoff".to_string(),
+            JsonValue::from_opt_usize(self.cutoff()),
+        ));
+        JsonValue::Object(members)
+    }
+}
+
+impl FromJson for TopologySpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "topology";
+        let nodes = req_usize(value, "nodes", CTX)?;
+        let m = req_usize(value, "m", CTX)?;
+        let cutoff = opt_usize(value, "cutoff", CTX)?;
+        const BASE: [&str; 4] = ["family", "nodes", "m", "cutoff"];
+        let fields = |extra: &[&str]| {
+            let mut allowed: Vec<&str> = BASE.to_vec();
+            allowed.extend_from_slice(extra);
+            check_fields(value, CTX, &allowed)
+        };
+        match req_str(value, "family", CTX)? {
+            "pa" => {
+                fields(&[])?;
+                Ok(TopologySpec::Pa { nodes, m, cutoff })
+            }
+            "hapa" => {
+                fields(&[])?;
+                Ok(TopologySpec::Hapa { nodes, m, cutoff })
+            }
+            "cm" => {
+                fields(&["gamma"])?;
+                Ok(TopologySpec::Cm {
+                    nodes,
+                    gamma: req_f64(value, "gamma", CTX)?,
+                    m,
+                    cutoff,
+                })
+            }
+            "ucm" => {
+                fields(&["gamma"])?;
+                Ok(TopologySpec::Ucm {
+                    nodes,
+                    gamma: req_f64(value, "gamma", CTX)?,
+                    m,
+                    cutoff,
+                })
+            }
+            "dapa_grn" => {
+                fields(&["tau_sub"])?;
+                Ok(TopologySpec::DapaGrn {
+                    nodes,
+                    m,
+                    tau_sub: req_u32(value, "tau_sub", CTX)?,
+                    cutoff,
+                })
+            }
+            "dapa_mesh" => {
+                fields(&["tau_sub"])?;
+                Ok(TopologySpec::DapaMesh {
+                    nodes,
+                    m,
+                    tau_sub: req_u32(value, "tau_sub", CTX)?,
+                    cutoff,
+                })
+            }
+            "nonlinear_pa" => {
+                fields(&["alpha"])?;
+                Ok(TopologySpec::NonlinearPa {
+                    nodes,
+                    m,
+                    alpha: req_f64(value, "alpha", CTX)?,
+                    cutoff,
+                })
+            }
+            "fitness" => {
+                fields(&["distribution"])?;
+                Ok(TopologySpec::Fitness {
+                    nodes,
+                    m,
+                    distribution: FitnessDistribution::from_json(req(value, "distribution", CTX)?)?,
+                    cutoff,
+                })
+            }
+            "local_events" => {
+                fields(&["p_add_links", "q_rewire"])?;
+                Ok(TopologySpec::LocalEvents {
+                    nodes,
+                    m,
+                    p_add_links: req_f64(value, "p_add_links", CTX)?,
+                    q_rewire: req_f64(value, "q_rewire", CTX)?,
+                    cutoff,
+                })
+            }
+            "attractiveness" => {
+                fields(&["a"])?;
+                Ok(TopologySpec::Attractiveness {
+                    nodes,
+                    m,
+                    a: req_f64(value, "a", CTX)?,
+                    cutoff,
+                })
+            }
+            other => Err(ScenarioError::invalid(format!(
+                "{CTX}: unknown family \"{other}\""
+            ))),
+        }
+    }
+}
+
+fn opt_k_min(value: &JsonValue) -> Result<Option<usize>, ScenarioError> {
+    opt_usize(value, "k_min", "search")
+}
+
+impl ToJson for SearchSpec {
+    fn to_json(&self) -> JsonValue {
+        let tag = |s: &str| ("algorithm".to_string(), JsonValue::from_str_value(s));
+        match *self {
+            SearchSpec::Flooding => JsonValue::Object(vec![tag("flooding")]),
+            SearchSpec::NormalizedFlooding { k_min } => JsonValue::Object(vec![
+                tag("normalized_flooding"),
+                ("k_min".to_string(), JsonValue::from_opt_usize(k_min)),
+            ]),
+            SearchSpec::ProbabilisticFlooding { p } => JsonValue::Object(vec![
+                tag("probabilistic_flooding"),
+                ("p".to_string(), JsonValue::from_f64(p)),
+            ]),
+            SearchSpec::ExpandingRing {
+                initial_ttl,
+                increment,
+            } => JsonValue::Object(vec![
+                tag("expanding_ring"),
+                (
+                    "initial_ttl".to_string(),
+                    JsonValue::from_u64(u64::from(initial_ttl)),
+                ),
+                (
+                    "increment".to_string(),
+                    JsonValue::from_u64(u64::from(increment)),
+                ),
+            ]),
+            SearchSpec::RandomWalk => JsonValue::Object(vec![tag("random_walk")]),
+            SearchSpec::MultipleRandomWalk { walkers } => JsonValue::Object(vec![
+                tag("multiple_random_walk"),
+                ("walkers".to_string(), JsonValue::from_usize(walkers)),
+            ]),
+            SearchSpec::DegreeBiasedWalk => JsonValue::Object(vec![tag("degree_biased_walk")]),
+            SearchSpec::RwNormalizedToNf { k_min } => JsonValue::Object(vec![
+                tag("rw_normalized_to_nf"),
+                ("k_min".to_string(), JsonValue::from_opt_usize(k_min)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for SearchSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "search";
+        let fields = |extra: &[&str]| {
+            let mut allowed: Vec<&str> = vec!["algorithm"];
+            allowed.extend_from_slice(extra);
+            check_fields(value, CTX, &allowed)
+        };
+        match req_str(value, "algorithm", CTX)? {
+            "flooding" => {
+                fields(&[])?;
+                Ok(SearchSpec::Flooding)
+            }
+            "normalized_flooding" => {
+                fields(&["k_min"])?;
+                Ok(SearchSpec::NormalizedFlooding {
+                    k_min: opt_k_min(value)?,
+                })
+            }
+            "probabilistic_flooding" => {
+                fields(&["p"])?;
+                Ok(SearchSpec::ProbabilisticFlooding {
+                    p: req_f64(value, "p", CTX)?,
+                })
+            }
+            "expanding_ring" => {
+                fields(&["initial_ttl", "increment"])?;
+                Ok(SearchSpec::ExpandingRing {
+                    initial_ttl: req_u32(value, "initial_ttl", CTX)?,
+                    increment: req_u32(value, "increment", CTX)?,
+                })
+            }
+            "random_walk" => {
+                fields(&[])?;
+                Ok(SearchSpec::RandomWalk)
+            }
+            "multiple_random_walk" => {
+                fields(&["walkers"])?;
+                Ok(SearchSpec::MultipleRandomWalk {
+                    walkers: req_usize(value, "walkers", CTX)?,
+                })
+            }
+            "degree_biased_walk" => {
+                fields(&[])?;
+                Ok(SearchSpec::DegreeBiasedWalk)
+            }
+            "rw_normalized_to_nf" => {
+                fields(&["k_min"])?;
+                Ok(SearchSpec::RwNormalizedToNf {
+                    k_min: opt_k_min(value)?,
+                })
+            }
+            other => Err(ScenarioError::invalid(format!(
+                "{CTX}: unknown algorithm \"{other}\""
+            ))),
+        }
+    }
+}
+
+impl ToJson for DynamicsSpec {
+    fn to_json(&self) -> JsonValue {
+        let mut members = vec![("kind".to_string(), JsonValue::from_str_value(self.kind()))];
+        match self {
+            DynamicsSpec::Static => {}
+            DynamicsSpec::Churn { sim } => members.push(("sim".to_string(), sim.to_json())),
+            DynamicsSpec::Trace { trace, run } => {
+                members.push(("trace".to_string(), trace.to_json()));
+                members.push(("run".to_string(), run.to_json()));
+            }
+        }
+        JsonValue::Object(members)
+    }
+}
+
+impl FromJson for DynamicsSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "dynamics";
+        match req_str(value, "kind", CTX)? {
+            "static" => {
+                check_fields(value, CTX, &["kind"])?;
+                Ok(DynamicsSpec::Static)
+            }
+            "churn" => {
+                check_fields(value, CTX, &["kind", "sim"])?;
+                Ok(DynamicsSpec::Churn {
+                    sim: SimulationConfig::from_json(req(value, "sim", CTX)?)?,
+                })
+            }
+            "trace" => {
+                check_fields(value, CTX, &["kind", "trace", "run"])?;
+                Ok(DynamicsSpec::Trace {
+                    trace: ChurnTraceConfig::from_json(req(value, "trace", CTX)?)?,
+                    run: TraceRunConfig::from_json(req(value, "run", CTX)?)?,
+                })
+            }
+            other => Err(ScenarioError::invalid(format!(
+                "{CTX}: unknown kind \"{other}\" (expected static, churn, or trace)"
+            ))),
+        }
+    }
+}
+
+impl ToJson for SweepSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "stubs".to_string(),
+                JsonValue::Array(
+                    self.stubs
+                        .iter()
+                        .map(|&m| JsonValue::from_usize(m))
+                        .collect(),
+                ),
+            ),
+            (
+                "cutoffs".to_string(),
+                JsonValue::Array(
+                    self.cutoffs
+                        .iter()
+                        .map(|&c| JsonValue::from_opt_usize(c))
+                        .collect(),
+                ),
+            ),
+            (
+                "ttls".to_string(),
+                JsonValue::Array(
+                    self.ttls
+                        .iter()
+                        .map(|&t| JsonValue::from_u64(u64::from(t)))
+                        .collect(),
+                ),
+            ),
+            (
+                "searches_per_point".to_string(),
+                JsonValue::from_usize(self.searches_per_point),
+            ),
+            ("threads".to_string(), JsonValue::from_usize(self.threads)),
+        ])
+    }
+}
+
+impl FromJson for SweepSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "sweep";
+        check_fields(
+            value,
+            CTX,
+            &["stubs", "cutoffs", "ttls", "searches_per_point", "threads"],
+        )?;
+        let stubs = match value.get("stubs") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"stubs\" must be an array"))?
+                .iter()
+                .map(|item| {
+                    item.as_usize()
+                        .ok_or_else(|| ScenarioError::invalid("sweep: stubs must be integers"))
+                })
+                .collect::<Result<Vec<usize>, ScenarioError>>()?,
+        };
+        let cutoffs = match value.get("cutoffs") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"cutoffs\" must be an array"))?
+                .iter()
+                .map(|item| {
+                    if item.is_null() {
+                        Ok(None)
+                    } else {
+                        item.as_usize().map(Some).ok_or_else(|| {
+                            ScenarioError::invalid("sweep: cutoffs must be integers or null")
+                        })
+                    }
+                })
+                .collect::<Result<Vec<Option<usize>>, ScenarioError>>()?,
+        };
+        let ttls = req(value, "ttls", CTX)?
+            .as_array()
+            .ok_or_else(|| ScenarioError::invalid("sweep: \"ttls\" must be an array"))?
+            .iter()
+            .map(|item| {
+                item.as_u64()
+                    .and_then(|t| u32::try_from(t).ok())
+                    .ok_or_else(|| ScenarioError::invalid("sweep: ttls must be 32-bit integers"))
+            })
+            .collect::<Result<Vec<u32>, ScenarioError>>()?;
+        let threads = opt_usize(value, "threads", CTX)?.unwrap_or(0);
+        Ok(SweepSpec {
+            stubs,
+            cutoffs,
+            ttls,
+            searches_per_point: req_usize(value, "searches_per_point", CTX)?,
+            threads,
+        })
+    }
+}
+
+impl ToJson for ScenarioSpec {
+    fn to_json(&self) -> JsonValue {
+        let opt = |v: Option<JsonValue>| v.unwrap_or(JsonValue::Null);
+        JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::from_str_value(&self.name)),
+            (
+                "topology".to_string(),
+                opt(self.topology.as_ref().map(ToJson::to_json)),
+            ),
+            (
+                "search".to_string(),
+                opt(self.search.as_ref().map(ToJson::to_json)),
+            ),
+            ("dynamics".to_string(), self.dynamics.to_json()),
+            (
+                "sweep".to_string(),
+                opt(self.sweep.as_ref().map(ToJson::to_json)),
+            ),
+            ("seed".to_string(), JsonValue::from_u64(self.seed)),
+            (
+                "realizations".to_string(),
+                JsonValue::from_usize(self.realizations),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ScenarioSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "scenario";
+        check_fields(
+            value,
+            CTX,
+            &[
+                "name",
+                "topology",
+                "search",
+                "dynamics",
+                "sweep",
+                "seed",
+                "realizations",
+            ],
+        )?;
+        let section = |key: &str| -> Option<&JsonValue> { value.get(key).filter(|v| !v.is_null()) };
+        Ok(ScenarioSpec {
+            name: req_str(value, "name", CTX)?.to_string(),
+            topology: section("topology")
+                .map(TopologySpec::from_json)
+                .transpose()?,
+            search: section("search").map(SearchSpec::from_json).transpose()?,
+            dynamics: DynamicsSpec::from_json(req(value, "dynamics", CTX)?)?,
+            sweep: section("sweep").map(SweepSpec::from_json).transpose()?,
+            seed: req_u64(value, "seed", CTX)?,
+            realizations: req_usize(value, "realizations", CTX)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies(nodes: usize) -> Vec<TopologySpec> {
+        vec![
+            TopologySpec::Pa {
+                nodes,
+                m: 2,
+                cutoff: Some(10),
+            },
+            TopologySpec::Hapa {
+                nodes,
+                m: 2,
+                cutoff: None,
+            },
+            TopologySpec::Cm {
+                nodes,
+                gamma: 2.2,
+                m: 2,
+                cutoff: Some(20),
+            },
+            TopologySpec::Ucm {
+                nodes,
+                gamma: 2.6,
+                m: 1,
+                cutoff: None,
+            },
+            TopologySpec::DapaGrn {
+                nodes,
+                m: 2,
+                tau_sub: 4,
+                cutoff: Some(15),
+            },
+            TopologySpec::DapaMesh {
+                nodes,
+                m: 2,
+                tau_sub: 6,
+                cutoff: None,
+            },
+            TopologySpec::NonlinearPa {
+                nodes,
+                m: 2,
+                alpha: 0.8,
+                cutoff: None,
+            },
+            TopologySpec::Fitness {
+                nodes,
+                m: 2,
+                distribution: FitnessDistribution::UniformRange { min: 0.1, max: 1.0 },
+                cutoff: Some(25),
+            },
+            TopologySpec::LocalEvents {
+                nodes,
+                m: 2,
+                p_add_links: 0.2,
+                q_rewire: 0.1,
+                cutoff: None,
+            },
+            TopologySpec::Attractiveness {
+                nodes,
+                m: 2,
+                a: 2.0,
+                cutoff: Some(30),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_family_round_trips_through_json() {
+        for spec in all_topologies(200) {
+            let text = spec.to_json().to_pretty_string();
+            let back = TopologySpec::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn every_family_builds_and_generates() {
+        use rand::SeedableRng;
+        for spec in all_topologies(120) {
+            spec.validate().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            let generator = spec.build().unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            let graph = generator
+                .generate(&mut rng)
+                .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(graph.node_count(), 120, "{spec:?}");
+            if let Some(k_c) = spec.cutoff() {
+                assert!(graph.max_degree().unwrap() <= k_c, "{spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_the_legacy_legend_strings() {
+        assert_eq!(
+            TopologySpec::Pa {
+                nodes: 10,
+                m: 2,
+                cutoff: Some(10)
+            }
+            .label(),
+            "PA, m=2, k_c=10"
+        );
+        assert_eq!(
+            TopologySpec::Cm {
+                nodes: 10,
+                gamma: 2.2,
+                m: 1,
+                cutoff: None
+            }
+            .label(),
+            "CM gamma=2.2, m=1, no k_c"
+        );
+        assert_eq!(
+            TopologySpec::Cm {
+                nodes: 10,
+                gamma: 3.0,
+                m: 3,
+                cutoff: Some(40)
+            }
+            .label(),
+            "CM gamma=3, m=3, k_c=40"
+        );
+        assert_eq!(
+            TopologySpec::DapaGrn {
+                nodes: 10,
+                m: 1,
+                tau_sub: 4,
+                cutoff: Some(50)
+            }
+            .label(),
+            "DAPA m=1, k_c=50, tau_sub=4"
+        );
+    }
+
+    #[test]
+    fn parameter_variants_get_distinct_labels() {
+        // Labels are stream-family salts and curve identities, so configurations that
+        // differ in any generator parameter must not collide.
+        let fitness = |distribution| TopologySpec::Fitness {
+            nodes: 100,
+            m: 2,
+            distribution,
+            cutoff: None,
+        };
+        assert_ne!(
+            fitness(FitnessDistribution::Uniform).label(),
+            fitness(FitnessDistribution::Exponential { rate: 1.0 }).label()
+        );
+        assert_ne!(
+            fitness(FitnessDistribution::Exponential { rate: 1.0 }).label(),
+            fitness(FitnessDistribution::Exponential { rate: 2.0 }).label()
+        );
+        let local = |p, q| TopologySpec::LocalEvents {
+            nodes: 100,
+            m: 2,
+            p_add_links: p,
+            q_rewire: q,
+            cutoff: None,
+        };
+        assert_ne!(local(0.2, 0.1).label(), local(0.1, 0.2).label());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        // A typo must fail loudly instead of silently running a different experiment.
+        let misspelled_cutoff =
+            JsonValue::parse(r#"{"family": "pa", "nodes": 100, "m": 2, "cutof": 10}"#).unwrap();
+        let err = TopologySpec::from_json(&misspelled_cutoff).unwrap_err();
+        assert!(err.to_string().contains("cutof"), "{err}");
+
+        let misspelled_k_min =
+            JsonValue::parse(r#"{"algorithm": "normalized_flooding", "kmin": 5}"#).unwrap();
+        assert!(matches!(
+            SearchSpec::from_json(&misspelled_k_min),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        // Fields of another variant are also rejected.
+        let wrong_variant_field =
+            JsonValue::parse(r#"{"family": "pa", "nodes": 100, "m": 2, "gamma": 2.2}"#).unwrap();
+        assert!(TopologySpec::from_json(&wrong_variant_field).is_err());
+
+        let misspelled_sweep_threads =
+            JsonValue::parse(r#"{"ttls": [1, 2], "searches_per_point": 5, "thread": 4}"#).unwrap();
+        assert!(matches!(
+            SweepSpec::from_json(&misspelled_sweep_threads),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_topologies_yield_typed_errors() {
+        let zero_nodes = TopologySpec::Pa {
+            nodes: 0,
+            m: 2,
+            cutoff: None,
+        };
+        assert!(matches!(
+            zero_nodes.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+        let cutoff_below_m = TopologySpec::Pa {
+            nodes: 100,
+            m: 3,
+            cutoff: Some(2),
+        };
+        assert!(matches!(
+            cutoff_below_m.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+        let zero_m = TopologySpec::Pa {
+            nodes: 100,
+            m: 0,
+            cutoff: None,
+        };
+        assert!(matches!(zero_m.validate(), Err(ScenarioError::Topology(_))));
+    }
+
+    #[test]
+    fn search_specs_round_trip_and_validate() {
+        let specs = [
+            SearchSpec::Flooding,
+            SearchSpec::NormalizedFlooding { k_min: None },
+            SearchSpec::NormalizedFlooding { k_min: Some(3) },
+            SearchSpec::ProbabilisticFlooding { p: 0.5 },
+            SearchSpec::ExpandingRing {
+                initial_ttl: 1,
+                increment: 2,
+            },
+            SearchSpec::RandomWalk,
+            SearchSpec::MultipleRandomWalk { walkers: 4 },
+            SearchSpec::DegreeBiasedWalk,
+            SearchSpec::RwNormalizedToNf { k_min: None },
+        ];
+        for spec in specs {
+            spec.validate().unwrap();
+            let text = spec.to_json().to_pretty_string();
+            let back = SearchSpec::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "{text}");
+            let _ = spec.build(2).unwrap();
+        }
+        assert!(SearchSpec::NormalizedFlooding { k_min: Some(0) }
+            .validate()
+            .is_err());
+        assert!(SearchSpec::ProbabilisticFlooding { p: 1.5 }
+            .validate()
+            .is_err());
+        assert!(SearchSpec::MultipleRandomWalk { walkers: 0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn sweep_expansion_follows_grid_order() {
+        let spec = ScenarioSpec::sweep(
+            "grid",
+            TopologySpec::Pa {
+                nodes: 100,
+                m: 1,
+                cutoff: None,
+            },
+            SearchSpec::Flooding,
+            SweepSpec::grid(vec![1, 2], vec![Some(10), None], vec![1, 2], 5),
+            7,
+            1,
+        );
+        let labels: Vec<String> = spec
+            .expanded_topologies()
+            .iter()
+            .map(TopologySpec::label)
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "PA, m=1, k_c=10",
+                "PA, m=1, no k_c",
+                "PA, m=2, k_c=10",
+                "PA, m=2, no k_c",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_sweep_axes_keep_the_base_configuration() {
+        let spec = ScenarioSpec::sweep(
+            "single",
+            TopologySpec::Hapa {
+                nodes: 100,
+                m: 3,
+                cutoff: Some(12),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![4], 5),
+            7,
+            1,
+        );
+        let expanded = spec.expanded_topologies();
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0].m(), 3);
+        assert_eq!(expanded[0].cutoff(), Some(12));
+    }
+
+    #[test]
+    fn scenario_validation_enforces_the_static_dynamic_split() {
+        let mut churn = ScenarioSpec::churn("churn", SimulationConfig::small(), 1, 1);
+        churn.validate().unwrap();
+        churn.topology = Some(TopologySpec::Pa {
+            nodes: 100,
+            m: 2,
+            cutoff: None,
+        });
+        assert!(matches!(
+            churn.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        let mut incomplete = ScenarioSpec::sweep(
+            "static",
+            TopologySpec::Pa {
+                nodes: 100,
+                m: 2,
+                cutoff: None,
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![2], 5),
+            1,
+            1,
+        );
+        incomplete.sweep = None;
+        assert!(matches!(
+            incomplete.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_dynamic_specs_yield_typed_errors() {
+        use sfo_sim::catalog::ItemId;
+        use sfo_sim::workload::Workload;
+
+        let mut sim = SimulationConfig::small();
+        sim.initial_peers = 0;
+        let spec = ScenarioSpec::churn("bad-churn", sim, 1, 1);
+        assert!(matches!(spec.validate(), Err(ScenarioError::Sim(_))));
+
+        let trace_cfg = ChurnTraceConfig {
+            duration: 100,
+            arrival_rate: 0.5,
+            sessions: sfo_sim::churn::SessionModel::Exponential { mean: 40.0 },
+            crash_fraction: 0.2,
+        };
+        let mut run = TraceRunConfig::small();
+        run.workload = Workload::FlashCrowd {
+            hot_item: ItemId::new(0),
+            start: 0,
+            end: 50,
+            intensity: 1.5, // out of [0, 1]
+        };
+        let spec = ScenarioSpec::trace("bad-trace", trace_cfg, run, 1, 1);
+        assert!(matches!(spec.validate(), Err(ScenarioError::Sim(_))));
+    }
+
+    #[test]
+    fn scenario_specs_round_trip_through_json_text() {
+        let static_spec = ScenarioSpec::sweep(
+            "fig6-pa",
+            TopologySpec::Pa {
+                nodes: 1000,
+                m: 1,
+                cutoff: None,
+            },
+            SearchSpec::NormalizedFlooding { k_min: None },
+            SweepSpec::grid(
+                vec![1, 2, 3],
+                vec![Some(10), Some(50), None],
+                vec![2, 4, 6],
+                20,
+            ),
+            42,
+            3,
+        );
+        let churn_spec = ScenarioSpec::churn("churn", SimulationConfig::small(), 7, 2);
+        let trace_spec = ScenarioSpec::trace(
+            "trace",
+            ChurnTraceConfig {
+                duration: 300,
+                arrival_rate: 0.4,
+                sessions: sfo_sim::churn::SessionModel::Pareto {
+                    shape: 1.6,
+                    minimum: 30.0,
+                },
+                crash_fraction: 0.25,
+            },
+            TraceRunConfig::small(),
+            9,
+            1,
+        );
+        for spec in [static_spec, churn_spec, trace_spec] {
+            let text = spec.to_json_string();
+            let back = ScenarioSpec::parse(&text).unwrap();
+            assert_eq!(back, spec, "{text}");
+            // Serialization is deterministic.
+            assert_eq!(back.to_json_string(), text);
+        }
+    }
+}

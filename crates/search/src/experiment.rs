@@ -61,6 +61,23 @@ pub fn stream_rng(seed: u64, salt: u64, index: usize) -> StdRng {
     )
 }
 
+/// Hashes a series label into the salt of its stream family.
+///
+/// An FNV-style xor-and-multiply fold; note the multiplier is a historical constant of
+/// this workspace, *not* the 64-bit FNV prime — do not "correct" it, every seeded
+/// fixture and the scenario layer's bit-identical-reproduction guarantee depend on these
+/// exact stream identities.
+///
+/// Both the figure harness in `sfo-experiments` and the scenario runner in
+/// `sfo-scenario` derive their per-realization RNG streams as
+/// `stream_rng(seed, label_salt(label), realization)`, so a curve labelled the same way
+/// sees the same topologies no matter which harness runs it.
+pub fn label_salt(label: &str) -> u64 {
+    label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
 fn random_source<G: GraphView + ?Sized, R: Rng + ?Sized>(graph: &G, rng: &mut R) -> NodeId {
     NodeId::new(rng.gen_range(0..graph.node_count()))
 }

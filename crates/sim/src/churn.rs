@@ -40,7 +40,15 @@ pub enum SessionModel {
 }
 
 impl SessionModel {
-    fn validate(&self) -> Result<()> {
+    /// Checks that the distribution parameters are positive and finite.
+    ///
+    /// [`generate_trace`] calls this automatically; it is public so declarative layers
+    /// (for example `sfo-scenario`) can validate a model before sampling anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive or non-finite parameters.
+    pub fn validate(&self) -> Result<()> {
         let ok = match *self {
             SessionModel::Exponential { mean } => mean.is_finite() && mean > 0.0,
             SessionModel::Pareto { shape, minimum } => {
@@ -126,6 +134,36 @@ pub struct ChurnTraceConfig {
     pub crash_fraction: f64,
 }
 
+impl ChurnTraceConfig {
+    /// Checks the duration, arrival rate, crash fraction, and session model.
+    ///
+    /// [`generate_trace`] calls this automatically; it is public so declarative layers
+    /// (for example `sfo-scenario`) can validate a configuration without generating a
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.duration == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "churn trace duration must be positive",
+            });
+        }
+        if !self.arrival_rate.is_finite() || self.arrival_rate <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                reason: "arrival rate must be positive and finite",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crash_fraction) || self.crash_fraction.is_nan() {
+            return Err(SimError::InvalidConfig {
+                reason: "crash fraction must lie in [0, 1]",
+            });
+        }
+        self.sessions.validate()
+    }
+}
+
 /// A time-ordered churn trace.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChurnTrace {
@@ -166,22 +204,7 @@ pub fn generate_trace<R: Rng + ?Sized>(
     config: &ChurnTraceConfig,
     rng: &mut R,
 ) -> Result<ChurnTrace> {
-    if config.duration == 0 {
-        return Err(SimError::InvalidConfig {
-            reason: "churn trace duration must be positive",
-        });
-    }
-    if !config.arrival_rate.is_finite() || config.arrival_rate <= 0.0 {
-        return Err(SimError::InvalidConfig {
-            reason: "arrival rate must be positive and finite",
-        });
-    }
-    if !(0.0..=1.0).contains(&config.crash_fraction) || config.crash_fraction.is_nan() {
-        return Err(SimError::InvalidConfig {
-            reason: "crash fraction must lie in [0, 1]",
-        });
-    }
-    config.sessions.validate()?;
+    config.validate()?;
 
     let mut events: Vec<ChurnEvent> = Vec::new();
     let mut time = 0f64;

@@ -70,7 +70,16 @@ impl SimulationConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Checks every rate, size, and interval of the configuration.
+    ///
+    /// [`Simulation::new`] calls this automatically; it is public so declarative layers
+    /// (for example `sfo-scenario`) can validate a configuration without constructing a
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
         if self.initial_peers == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "initial_peers must be positive",

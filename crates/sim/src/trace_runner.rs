@@ -68,7 +68,17 @@ impl TraceRunConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Checks the sizes, budgets, and rates of the configuration.
+    ///
+    /// [`run_trace`] calls this automatically; it is public so declarative layers (for
+    /// example `sfo-scenario`) can validate a configuration before replaying anything.
+    /// The workload is validated separately against the catalog (see
+    /// [`Workload::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
         if self.bootstrap_peers == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "bootstrap_peers must be positive",

@@ -1,0 +1,256 @@
+//! The `sfo` command-line tool: run declarative scenario files end to end.
+//!
+//! ```text
+//! sfo scenario run <spec.json> [--out <report.json>] [--quiet]
+//! sfo scenario validate <spec.json> [<spec.json> ...]
+//! sfo scenario template [static|churn|trace]
+//! ```
+//!
+//! `run` parses and validates a [`ScenarioSpec`] file, executes it through the shared
+//! [`ScenarioRunner`], prints a human summary to stderr, and writes the full
+//! [`ScenarioReport`] JSON — which embeds the originating spec for provenance — to
+//! stdout or to `--out`. `validate` checks spec files without running them, and
+//! `template` prints a commented starter spec. Example spec files reproducing paper
+//! figures ship under `examples/*.json`.
+
+use sfoverlay::prelude::{
+    ScenarioReport, ScenarioRunner, ScenarioSpec, SearchSpec, SimulationConfig, SweepSpec,
+    TopologySpec,
+};
+use sfoverlay::scenario::{ScenarioResult, SweepMetric};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: sfo scenario <command>\n\
+     \n\
+     commands:\n\
+     \x20 run <spec.json> [--out <report.json>] [--quiet]   execute a scenario file\n\
+     \x20 validate <spec.json> [...]                         check scenario files\n\
+     \x20 template [static|churn|trace]                      print a starter spec\n\
+     \n\
+     Example spec files reproducing paper figures live in examples/*.json."
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("scenario") => scenario_command(&args[1..]),
+        Some("--help" | "-h") => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn scenario_command(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("template") => template(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    spec.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(spec)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(value) => out = Some(value),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if path.replace(other).is_some() {
+                    eprintln!("run takes exactly one spec file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("run requires a spec file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let spec = match load_spec(path) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        eprintln!(
+            "running scenario '{}' ({} realizations) ...",
+            spec.name, spec.realizations
+        );
+    }
+    let report = match ScenarioRunner::new().run(&spec) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scenario '{}' failed: {e}", spec.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !quiet {
+        summarize(&report);
+    }
+    let json = report.to_json_string();
+    match out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, &json) {
+                eprintln!("cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !quiet {
+                eprintln!("report written to {out_path}");
+            }
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints a short human-readable digest of the report to stderr.
+fn summarize(report: &ScenarioReport) {
+    match &report.result {
+        ScenarioResult::Sweep { curves } => {
+            eprintln!("{} curve(s):", curves.len());
+            for series in report.series(SweepMetric::Hits) {
+                let last = series.points.last();
+                eprintln!(
+                    "  {:<40} {} points, final hits {:.2}",
+                    series.label,
+                    series.points.len(),
+                    last.map(|p| p.y).unwrap_or(0.0),
+                );
+            }
+        }
+        ScenarioResult::Churn { realizations } => {
+            for run in realizations {
+                eprintln!(
+                    "  realization {}: {} queries, success rate {:.3}, {} peers at end",
+                    run.realization, run.queries_issued, run.success_rate, run.final_peers
+                );
+            }
+        }
+        ScenarioResult::Trace { realizations } => {
+            for run in realizations {
+                eprintln!(
+                    "  realization {}: {} arrivals, success rate {:.3}, worst connectivity {:.3}",
+                    run.realization, run.arrivals_applied, run.success_rate, run.worst_connectivity
+                );
+            }
+        }
+    }
+}
+
+fn validate(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("validate requires at least one spec file\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in paths {
+        match load_spec(path) {
+            Ok(spec) => {
+                let curves = spec.expanded_topologies().len();
+                println!(
+                    "{path}: ok — scenario '{}', {} dynamics{}",
+                    spec.name,
+                    spec.dynamics.kind(),
+                    if curves > 0 {
+                        format!(", {curves} curve(s)")
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn template(kind: Option<&str>) -> ExitCode {
+    let spec = match kind.unwrap_or("static") {
+        "static" => ScenarioSpec::sweep(
+            "my-sweep",
+            TopologySpec::Pa {
+                nodes: 1_000,
+                m: 1,
+                cutoff: None,
+            },
+            SearchSpec::NormalizedFlooding { k_min: None },
+            SweepSpec::grid(
+                vec![1, 2, 3],
+                vec![Some(10), Some(50), None],
+                vec![2, 3, 4, 5, 6, 7, 8],
+                30,
+            ),
+            42,
+            3,
+        ),
+        "churn" => ScenarioSpec::churn("my-churn", SimulationConfig::small(), 42, 3),
+        "trace" => {
+            use sfoverlay::prelude::{ChurnTraceConfig, SessionModel, TraceRunConfig};
+            ScenarioSpec::trace(
+                "my-trace",
+                ChurnTraceConfig {
+                    duration: 600,
+                    arrival_rate: 0.4,
+                    sessions: SessionModel::Pareto {
+                        shape: 1.6,
+                        minimum: 30.0,
+                    },
+                    crash_fraction: 0.25,
+                },
+                TraceRunConfig::small(),
+                42,
+                3,
+            )
+        }
+        other => {
+            eprintln!("unknown template '{other}' (expected static, churn, or trace)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", spec.to_json_string());
+    ExitCode::SUCCESS
+}

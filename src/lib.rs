@@ -13,11 +13,17 @@
 //! * [`search`] — flooding, normalized flooding, and random-walk search ([`sfo_search`]).
 //! * [`analysis`] — histograms, power-law fits, and result series ([`sfo_analysis`]).
 //! * [`sim`] — the live-overlay churn simulator ([`sfo_sim`]).
+//! * [`scenario`] — the declarative scenario layer ([`sfo_scenario`]): serializable
+//!   [`ScenarioSpec`](sfo_scenario::ScenarioSpec)s covering topologies × searches ×
+//!   dynamics × sweeps, executed by one
+//!   [`ScenarioRunner`](sfo_scenario::ScenarioRunner) into reports that embed their
+//!   spec. The `sfo` binary (`sfo scenario run <file.json>`) runs spec files directly;
+//!   examples ship under `examples/*.json`.
 //! * [`experiments`] — reproductions of every figure and table of the paper
-//!   ([`sfo_experiments`]).
+//!   ([`sfo_experiments`]), built on the scenario layer.
 //!
 //! The [`prelude`] collects the types needed for the common "generate a topology, run a
-//! search on it" workflow.
+//! search on it" workflow, plus the scenario and churn-simulation entry points.
 //!
 //! # Example
 //!
@@ -43,6 +49,7 @@ pub use sfo_analysis as analysis;
 pub use sfo_core as topology;
 pub use sfo_experiments as experiments;
 pub use sfo_graph as graph;
+pub use sfo_scenario as scenario;
 pub use sfo_search as search;
 pub use sfo_sim as sim;
 
@@ -58,8 +65,14 @@ pub mod prelude {
     pub use sfo_core::nonlinear::NonlinearPreferentialAttachment;
     pub use sfo_core::pa::PreferentialAttachment;
     pub use sfo_core::ucm::UncorrelatedConfigurationModel;
-    pub use sfo_core::{DegreeCutoff, Locality, StubCount, TopologyError, TopologyGenerator};
-    pub use sfo_graph::{Graph, GraphError, MultiGraph, NodeId};
+    pub use sfo_core::{
+        DegreeCutoff, DynTopologyGenerator, Locality, StubCount, TopologyError, TopologyGenerator,
+    };
+    pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
+    pub use sfo_scenario::{
+        DynamicsSpec, ScenarioError, ScenarioReport, ScenarioRunner, ScenarioSpec, SearchSpec,
+        SweepMetric, SweepSpec, TopologySpec,
+    };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;
     pub use sfo_search::flooding::Flooding;
@@ -67,9 +80,13 @@ pub mod prelude {
     pub use sfo_search::probabilistic::ProbabilisticFlooding;
     pub use sfo_search::random_walk::{MultipleRandomWalk, RandomWalk};
     pub use sfo_search::{SearchAlgorithm, SearchOutcome};
+    pub use sfo_sim::churn::{generate_trace, ChurnTrace, ChurnTraceConfig, SessionModel};
     pub use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
+    pub use sfo_sim::query::QueryMethod;
     pub use sfo_sim::replication::ReplicationStrategy;
     pub use sfo_sim::simulation::{Simulation, SimulationConfig};
+    pub use sfo_sim::trace_runner::{run_trace, TraceRunConfig};
+    pub use sfo_sim::workload::Workload;
 }
 
 #[cfg(test)]
@@ -86,5 +103,29 @@ mod tests {
         let _ = NormalizedFlooding::new(2);
         let _ = RandomWalk::new();
         let _ = DegreeCutoff::hard(5);
+        // The simulation and scenario layers are reachable without naming internal crates.
+        let _ = Workload::Stationary;
+        let _ = QueryMethod::NormalizedFlooding { k_min: 3 };
+        let _ = ChurnTraceConfig {
+            duration: 10,
+            arrival_rate: 0.5,
+            sessions: SessionModel::Fixed { length: 5.0 },
+            crash_fraction: 0.0,
+        };
+        let _ = TraceRunConfig::small();
+        let _ = ScenarioRunner::new();
+        let spec = ScenarioSpec::sweep(
+            "prelude",
+            TopologySpec::Pa {
+                nodes: 50,
+                m: 1,
+                cutoff: Some(5),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1], 1),
+            1,
+            1,
+        );
+        assert!(spec.validate().is_ok());
     }
 }

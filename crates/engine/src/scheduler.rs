@@ -1,0 +1,519 @@
+//! The batched query scheduler: a persistent worker pool with work stealing.
+//!
+//! Batches in this workspace are large sets of small, fully independent jobs (one search
+//! or lookup each, with its own derived RNG stream), so the scheduler is built around
+//! contiguous job ranges: the batch is split into one range per worker, a worker pops
+//! jobs from the front of its own range, and a worker that runs dry steals the back half
+//! of the fullest remaining range. Ranges live behind plain mutexes — a job costs
+//! microseconds to milliseconds, so queue operations are noise — and results are keyed
+//! by job index, which makes the output order (and, because every job derives its own
+//! RNG from its index, every result) independent of the worker count and of who stole
+//! what.
+//!
+//! Two frontends share the stealing core:
+//!
+//! * [`WorkerPool`] — a persistent pool: threads are spawned once and reused across
+//!   batches, the shape a long-lived query-serving process wants. Jobs must be
+//!   `'static` (share state via `Arc`).
+//! * [`execute`] — a scoped one-shot run for jobs that borrow local state (the churn
+//!   simulator's query batches borrow the live overlay, which cannot be `Arc`'d away).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of the batched query scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Number of worker threads (0 = all available cores).
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// A configuration with an explicit worker count (0 = all available cores).
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers }
+    }
+
+    /// Resolves the configured count to a concrete number of workers.
+    pub fn effective_workers(&self) -> usize {
+        resolve_workers(self.workers)
+    }
+}
+
+/// Resolves a requested worker count (0 = all available cores) to at least 1.
+pub(crate) fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// The stealing core, shared by the persistent pool and the scoped executor.
+
+/// Per-worker job ranges over `0..jobs`, contiguous and near-equal.
+fn split_ranges(jobs: usize, workers: usize) -> Vec<Mutex<(usize, usize)>> {
+    let base = jobs / workers;
+    let big = jobs % workers;
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let len = base + usize::from(w < big);
+            let range = (start, start + len);
+            start += len;
+            Mutex::new(range)
+        })
+        .collect()
+}
+
+/// Claims the next job for worker `me`: the front of its own range, or — once that runs
+/// dry — the back half of the fullest other range. Returns `None` when no jobs remain.
+fn claim(queues: &[Mutex<(usize, usize)>], me: usize) -> Option<usize> {
+    {
+        let mut own = queues[me].lock().expect("queue lock");
+        if own.0 < own.1 {
+            let job = own.0;
+            own.0 += 1;
+            return Some(job);
+        }
+    }
+    loop {
+        // Pick the victim with the most remaining work.
+        let mut best: Option<(usize, usize)> = None;
+        for (victim, queue) in queues.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            let queue = queue.lock().expect("queue lock");
+            let len = queue.1 - queue.0;
+            if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                best = Some((victim, len));
+            }
+        }
+        let (victim, _) = best?;
+        // Re-lock and take the back half (the range may have shrunk in between).
+        let (start, end) = {
+            let mut queue = queues[victim].lock().expect("queue lock");
+            let len = queue.1 - queue.0;
+            if len == 0 {
+                continue; // someone drained it first; rescan
+            }
+            let take = len.div_ceil(2);
+            queue.1 -= take;
+            (queue.1, queue.1 + take)
+        };
+        // Run the first stolen job now; the rest refill our own queue.
+        if end - start > 1 {
+            let mut own = queues[me].lock().expect("queue lock");
+            *own = (start + 1, end);
+        }
+        return Some(start);
+    }
+}
+
+/// Runs `jobs` independent jobs across `workers` scoped threads with work stealing and
+/// returns the results in job order.
+///
+/// The job closure may borrow local state (the threads are scoped); results are
+/// independent of the worker count as long as each job is a pure function of its index.
+/// With one worker (or at most one job) the jobs run inline on the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from the job closure.
+pub fn execute<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers).min(jobs.max(1));
+    if workers <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+    let queues = split_ranges(jobs, workers);
+    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let queues = &queues;
+        let job = &job;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    while let Some(index) = claim(queues, w) {
+                        results.push((index, job(index)));
+                    }
+                    results
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    for chunk in &mut chunks {
+        for (index, value) in chunk.drain(..) {
+            debug_assert!(slots[index].is_none(), "job {index} ran twice");
+            slots[index] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} was never claimed")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------------------
+// The persistent pool.
+
+/// One installed batch, shared with every worker.
+#[derive(Clone)]
+struct Batch {
+    /// Type-erased job runner: executes job `i` and stores its result.
+    runner: Arc<dyn Fn(usize) + Send + Sync>,
+    /// The per-worker stealing queues of this batch.
+    queues: Arc<Vec<Mutex<(usize, usize)>>>,
+    /// Jobs not yet completed; the worker finishing the last one signals `done`.
+    pending: Arc<AtomicUsize>,
+    /// First panic payload caught from a job; re-thrown by the submitter. Catching the
+    /// unwind on the worker keeps `pending` counting down (no deadlocked submitter)
+    /// and keeps the worker thread alive for later batches.
+    panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+}
+
+struct PoolState {
+    /// Monotonic batch counter; workers track the last epoch they served.
+    epoch: u64,
+    batch: Option<Batch>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new batch is installed or the pool shuts down.
+    ready: Condvar,
+    /// Signalled when the last job of a batch completes.
+    done: Condvar,
+}
+
+/// A persistent pool of worker threads executing query batches with work stealing.
+///
+/// Threads are spawned once at construction and reused for every batch — the shape a
+/// long-lived query-serving process wants, and what makes per-batch latency independent
+/// of thread spawn cost. Batches are submitted through [`WorkerPool::run`] (or the
+/// typed search frontend in [`crate::batch`]); one batch runs at a time, and results
+/// come back in job order regardless of which worker ran what.
+///
+/// # Example
+///
+/// ```
+/// use sfo_engine::{EngineConfig, WorkerPool};
+///
+/// let pool = WorkerPool::new(EngineConfig::with_workers(4));
+/// let squares = pool.run(10, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes batch submission: one batch at a time.
+    submit: Mutex<()>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns the pool's worker threads.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = config.effective_workers();
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                batch: None,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sfo-engine-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawning engine worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            submit: Mutex::new(()),
+            workers,
+        }
+    }
+
+    /// Returns the number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `jobs` independent jobs across the pool and returns the results in job
+    /// order.
+    ///
+    /// The job closure must be `'static` (share state via `Arc`); use [`execute`] for
+    /// jobs that borrow. Batches of at most one job (or on a single-worker pool) run
+    /// inline on the calling thread. Results are independent of the worker count as long
+    /// as each job is a pure function of its index.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any job raised: the unwind is caught on the worker (so
+    /// the batch still drains and the pool stays usable for later batches) and resumed
+    /// on the calling thread once the batch is done.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if jobs <= 1 || self.workers <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..jobs).map(|_| Mutex::new(None)).collect());
+        let runner = {
+            let slots = Arc::clone(&slots);
+            Arc::new(move |index: usize| {
+                let value = job(index);
+                *slots[index].lock().expect("result slot lock") = Some(value);
+            })
+        };
+        let pending = Arc::new(AtomicUsize::new(jobs));
+        let panic_slot = Arc::new(Mutex::new(None));
+        let batch = Batch {
+            runner,
+            queues: Arc::new(split_ranges(jobs, self.workers)),
+            pending: Arc::clone(&pending),
+            panic: Arc::clone(&panic_slot),
+        };
+
+        // Scope the submit turn so its guard is released before any re-raise below —
+        // a propagated job panic must not poison the pool for the next caller.
+        {
+            let _batch_turn = self.submit.lock().expect("submit lock");
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.epoch += 1;
+            state.batch = Some(batch);
+            self.shared.ready.notify_all();
+            while pending.load(Ordering::SeqCst) > 0 {
+                state = self.shared.done.wait(state).expect("pool state lock");
+            }
+            state.batch = None;
+        }
+
+        let caught = panic_slot.lock().expect("panic slot lock").take();
+        if let Some(payload) = caught {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.lock()
+                    .expect("result slot lock")
+                    .take()
+                    .unwrap_or_else(|| panic!("job {i} completed without a result"))
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+            self.shared.ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared, me: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Wait for a batch newer than the last one we served (or shutdown).
+        let batch = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch > seen_epoch {
+                    if let Some(batch) = state.batch.clone() {
+                        seen_epoch = state.epoch;
+                        break batch;
+                    }
+                }
+                state = shared.ready.wait(state).expect("pool state lock");
+            }
+        };
+        while let Some(index) = claim(&batch.queues, me) {
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (batch.runner)(index)));
+            if let Err(payload) = outcome {
+                batch
+                    .panic
+                    .lock()
+                    .expect("panic slot lock")
+                    .get_or_insert(payload);
+            }
+            if batch.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last job: wake the submitter. Taking the state lock first makes the
+                // notify race-free against the submitter's check-then-wait.
+                let _state = shared.state.lock().expect("pool state lock");
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_everything_contiguously() {
+        for (jobs, workers) in [(10usize, 3usize), (7, 7), (3, 8), (100, 4), (1, 1)] {
+            let queues = split_ranges(jobs, workers);
+            assert_eq!(queues.len(), workers);
+            let mut expected = 0;
+            for queue in &queues {
+                let (start, end) = *queue.lock().unwrap();
+                assert_eq!(start, expected);
+                assert!(end >= start);
+                expected = end;
+            }
+            assert_eq!(expected, jobs);
+        }
+    }
+
+    #[test]
+    fn scoped_execute_returns_results_in_job_order() {
+        let doubled = execute(4, 100, |i| i * 2);
+        assert_eq!(doubled.len(), 100);
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn scoped_execute_handles_edge_shapes() {
+        assert_eq!(execute(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(execute(4, 1, |i| i + 7), vec![7]);
+        assert_eq!(execute(1, 5, |i| i), vec![0, 1, 2, 3, 4]);
+        // More workers than jobs.
+        assert_eq!(execute(16, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scoped_execute_is_worker_count_independent() {
+        let reference: Vec<u64> = (0..200).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let got = execute(workers, 200, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stealing_drains_unbalanced_workloads() {
+        // Give the jobs wildly uneven costs: stealing must still complete everything.
+        let out = execute(4, 64, |i| {
+            if i < 4 {
+                // A few heavy jobs pin their owners...
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                acc
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.iter().enumerate().skip(4) {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn pool_runs_batches_in_order_and_is_reusable() {
+        let pool = WorkerPool::new(EngineConfig::with_workers(3));
+        assert_eq!(pool.workers(), 3);
+        for round in 0..5usize {
+            let out = pool.run(50, move |i| i + round);
+            assert_eq!(out, (0..50).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_handles_tiny_batches_inline() {
+        let pool = WorkerPool::new(EngineConfig::with_workers(4));
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |_| 42), vec![42]);
+    }
+
+    #[test]
+    fn pool_results_match_scoped_execute() {
+        let pool = WorkerPool::new(EngineConfig::with_workers(4));
+        let from_pool = pool.run(120, |i| (i as u64).rotate_left(7));
+        let from_scope = execute(2, 120, |i| (i as u64).rotate_left(7));
+        assert_eq!(from_pool, from_scope);
+    }
+
+    #[test]
+    fn pool_propagates_job_panics_and_stays_usable() {
+        let pool = WorkerPool::new(EngineConfig::with_workers(3));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                if i == 7 {
+                    panic!("job 7 exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("the job panic must reach the submitter");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "job 7 exploded");
+        // The batch drained and the pool (including its submit turn) is intact.
+        assert_eq!(pool.run(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn config_resolves_zero_to_available_cores() {
+        assert!(EngineConfig::default().effective_workers() >= 1);
+        assert_eq!(EngineConfig::with_workers(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_on_drop() {
+        let pool = WorkerPool::new(EngineConfig::with_workers(2));
+        let _ = pool.run(10, |i| i);
+        drop(pool); // must not hang or leak threads
+    }
+}

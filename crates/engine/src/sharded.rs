@@ -1,0 +1,569 @@
+//! The sharded CSR topology store.
+//!
+//! [`ShardedCsr`] partitions a frozen [`CsrGraph`] into contiguous node-id ranges. The
+//! CSR arrays stay flat — neighbor lookup is the same two array reads as on the
+//! unsharded snapshot, so the sharded store costs *nothing* on the traversal hot path —
+//! and each [`CsrShard`] describes one partition: its node range, the contiguous slice
+//! of the `targets` array holding its rows, and a [`BoundaryTable`] listing the directed
+//! adjacency entries that leave the shard. Because every shard's rows are one
+//! contiguous slice ([`ShardedCsr::shard_targets`]), a shard is exactly the unit a
+//! multi-process deployment would mmap or ship to a shard host, and the boundary table
+//! is exactly the routing table it would need for cross-shard edges.
+//!
+//! The assembly implements [`GraphView`] with the frozen neighbor order of the source
+//! snapshot, so *any* algorithm generic over `GraphView` — all seven search algorithms,
+//! BFS, the metric sweeps — runs on a sharded store unchanged and returns byte-identical
+//! results (enforced by `tests/shard_equivalence.rs` at the workspace root). The store
+//! is plain owned arrays, hence `Send + Sync`: a query batch fans out over one shared
+//! `ShardedCsr` from any number of worker threads.
+
+use serde::{Deserialize, Serialize};
+use sfo_graph::{CsrGraph, Graph, GraphView, NodeId};
+
+/// One directed adjacency entry whose endpoints live in different shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryEdge {
+    /// The node inside the owning shard.
+    pub source: NodeId,
+    /// Its neighbor in another shard.
+    pub target: NodeId,
+    /// The shard that owns `target`.
+    pub target_shard: usize,
+}
+
+/// The cross-shard edges of one shard, in frozen adjacency order.
+///
+/// Every undirected cross-shard edge appears in exactly two boundary tables, once per
+/// direction, so the table alone tells a shard which remote rows its traversals touch.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BoundaryTable {
+    edges: Vec<BoundaryEdge>,
+}
+
+impl BoundaryTable {
+    /// Returns the outgoing cross-shard entries, in frozen adjacency order.
+    pub fn edges(&self) -> &[BoundaryEdge] {
+        &self.edges
+    }
+
+    /// Returns the number of outgoing cross-shard entries.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the shard has no cross-shard edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Returns how many of the entries point into `shard`.
+    pub fn edges_into(&self, shard: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.target_shard == shard)
+            .count()
+    }
+}
+
+/// One contiguous node-id range of a [`ShardedCsr`].
+///
+/// The shard holds partition metadata — its node range, where its rows live in the
+/// store's flat `targets` array, and its boundary table; the rows themselves are served
+/// by the parent store ([`ShardedCsr::shard_targets`]) so the traversal hot path stays
+/// a flat-array lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrShard {
+    /// First global node id of the shard.
+    start: usize,
+    /// One past the last global node id of the shard.
+    end: usize,
+    /// Range of the store's `targets` array holding this shard's rows.
+    targets_start: usize,
+    /// End of the shard's row block in the store's `targets` array.
+    targets_end: usize,
+    /// The directed adjacency entries leaving this shard.
+    boundary: BoundaryTable,
+}
+
+impl CsrShard {
+    /// Returns the global node-id range `[start, end)` this shard owns.
+    pub fn node_range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Returns the number of nodes in the shard.
+    pub fn local_count(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if `node` (global id) belongs to this shard.
+    pub fn owns(&self, node: NodeId) -> bool {
+        self.node_range().contains(&node.index())
+    }
+
+    /// Returns the number of directed adjacency entries stored in the shard.
+    pub fn entry_count(&self) -> usize {
+        self.targets_end - self.targets_start
+    }
+
+    /// Returns the shard's cross-shard edge table.
+    pub fn boundary(&self) -> &BoundaryTable {
+        &self.boundary
+    }
+}
+
+/// A frozen CSR snapshot partitioned into contiguous node-id ranges.
+///
+/// Built by [`ShardedCsr::from_csr`] (or [`ShardedCsr::from_graph`]); the shard count is
+/// clamped to `[1, node_count]`, and when the count does not divide the node count the
+/// first `node_count % shards` shards hold one extra node, so shard sizes differ by at
+/// most one. Node ids, neighbor order, and therefore every RNG-consuming traversal are
+/// identical to the unsharded [`CsrGraph`].
+///
+/// # Example
+///
+/// ```
+/// use sfo_engine::ShardedCsr;
+/// use sfo_graph::{Graph, GraphView, NodeId};
+///
+/// # fn main() -> Result<(), sfo_graph::GraphError> {
+/// let mut g = Graph::with_nodes(5);
+/// g.add_edge(NodeId::new(0), NodeId::new(4))?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2))?;
+/// let sharded = ShardedCsr::from_csr(&g.freeze(), 2);
+/// assert_eq!(sharded.shard_count(), 2);
+/// assert_eq!(sharded.node_count(), 5);
+/// assert_eq!(sharded.neighbors(NodeId::new(0)), g.neighbors(NodeId::new(0)));
+/// // 0-4 crosses the shard boundary, 1-2 does not.
+/// assert_eq!(sharded.cross_shard_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedCsr {
+    /// `offsets[v] .. offsets[v + 1]` indexes the neighbor block of node `v` in
+    /// `targets`, exactly as in [`CsrGraph`]; length is `node_count + 1`.
+    offsets: Vec<u32>,
+    /// All adjacency lists, concatenated in node order. A shard's rows are one
+    /// contiguous sub-slice (see [`ShardedCsr::shard_targets`]).
+    targets: Vec<NodeId>,
+    /// The partition, ordered by node range.
+    shards: Vec<CsrShard>,
+    edge_count: usize,
+    /// Shards `0 .. big_shards` hold `base + 1` nodes; the rest hold `base`.
+    base: usize,
+    big_shards: usize,
+}
+
+impl ShardedCsr {
+    /// Partitions a borrowed snapshot into `shards` contiguous node-id ranges.
+    ///
+    /// `shards` is clamped to `[1, node_count]` (an empty graph yields one empty shard),
+    /// so any requested count is safe, including counts that do not divide the node
+    /// count. The CSR arrays are block-copied once; use [`ShardedCsr::from_csr_owned`]
+    /// to take them over without any copy.
+    pub fn from_csr(csr: &CsrGraph, shards: usize) -> Self {
+        ShardedCsr::from_csr_owned(csr.clone(), shards)
+    }
+
+    /// Partitions an owned snapshot into `shards` contiguous node-id ranges, taking
+    /// over its flat arrays without copying them.
+    ///
+    /// Computing the partition metadata (shard ranges, row blocks, boundary tables) is
+    /// one O(V + E) read-only pass over the arrays.
+    pub fn from_csr_owned(csr: CsrGraph, shards: usize) -> Self {
+        let node_count = csr.node_count();
+        let edge_count = csr.edge_count();
+        let (offsets, targets) = csr.into_parts();
+        let shard_count = shards.clamp(1, node_count.max(1));
+        let base = node_count / shard_count;
+        let big_shards = node_count % shard_count;
+
+        let mut built = Vec::with_capacity(shard_count);
+        let mut start = 0usize;
+        for s in 0..shard_count {
+            let len = base + usize::from(s < big_shards);
+            let mut boundary = Vec::new();
+            for node in start..start + len {
+                let row = &targets[offsets[node] as usize..offsets[node + 1] as usize];
+                for &neighbor in row {
+                    let target_shard = shard_of(neighbor.index(), base, big_shards);
+                    if target_shard != s {
+                        boundary.push(BoundaryEdge {
+                            source: NodeId::new(node),
+                            target: neighbor,
+                            target_shard,
+                        });
+                    }
+                }
+            }
+            built.push(CsrShard {
+                start,
+                end: start + len,
+                targets_start: offsets[start] as usize,
+                targets_end: offsets[start + len] as usize,
+                boundary: BoundaryTable { edges: boundary },
+            });
+            start += len;
+        }
+        debug_assert_eq!(start, node_count);
+
+        ShardedCsr {
+            offsets,
+            targets,
+            shards: built,
+            edge_count,
+            base,
+            big_shards,
+        }
+    }
+
+    /// Freezes a mutable graph and partitions the snapshot, moving its arrays straight
+    /// into the store.
+    pub fn from_graph(graph: &Graph, shards: usize) -> Self {
+        ShardedCsr::from_csr_owned(graph.freeze(), shards)
+    }
+
+    /// Returns the number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Returns the shards, ordered by node range.
+    pub fn shards(&self) -> &[CsrShard] {
+        &self.shards
+    }
+
+    /// Returns the contiguous slice of the `targets` array holding shard `s`'s rows —
+    /// the byte range a shard host would own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a shard index.
+    pub fn shard_targets(&self, s: usize) -> &[NodeId] {
+        let shard = &self.shards[s];
+        &self.targets[shard.targets_start..shard.targets_end]
+    }
+
+    /// Returns the shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        assert!(
+            node.index() < self.node_count(),
+            "node {node} out of bounds for a {}-node sharded snapshot",
+            self.node_count()
+        );
+        shard_of(node.index(), self.base, self.big_shards)
+    }
+
+    /// Returns the total number of directed cross-shard entries divided by two — i.e.
+    /// the number of undirected edges whose endpoints live in different shards.
+    pub fn cross_shard_edges(&self) -> usize {
+        self.shards.iter().map(|s| s.boundary.len()).sum::<usize>() / 2
+    }
+
+    /// Returns the fraction of undirected edges that cross a shard boundary (0.0 for an
+    /// edgeless graph).
+    pub fn boundary_fraction(&self) -> f64 {
+        if self.edge_count == 0 {
+            0.0
+        } else {
+            self.cross_shard_edges() as f64 / self.edge_count as f64
+        }
+    }
+
+    /// Reassembles the unsharded snapshot, exactly inverting [`ShardedCsr::from_csr`].
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_neighbor_lists(self.node_count(), |node| {
+            self.neighbors(NodeId::new(node)).iter().copied()
+        })
+    }
+
+    /// Returns the number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns the number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns the neighbors of `node` in frozen order (same as the source snapshot).
+    ///
+    /// Two flat-array reads, identical to [`CsrGraph::neighbors`] — sharding does not
+    /// tax the traversal hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Returns the degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+/// O(1) shard lookup: the first `big_shards` shards hold `base + 1` nodes, the rest
+/// `base`. Only used off the hot path (boundary construction, [`ShardedCsr::shard_of`]).
+#[inline]
+fn shard_of(index: usize, base: usize, big_shards: usize) -> usize {
+    let cut = big_shards * (base + 1);
+    if index < cut {
+        index / (base + 1)
+    } else {
+        // Only reachable when base > 0: with base == 0 every node lives in a big shard.
+        big_shards + (index - cut) / base
+    }
+}
+
+impl GraphView for ShardedCsr {
+    #[inline]
+    fn node_count(&self) -> usize {
+        ShardedCsr::node_count(self)
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        ShardedCsr::edge_count(self)
+    }
+
+    #[inline]
+    fn degree(&self, node: NodeId) -> usize {
+        ShardedCsr::degree(self, node)
+    }
+
+    #[inline]
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        ShardedCsr::neighbors(self, node)
+    }
+}
+
+impl From<&CsrGraph> for ShardedCsr {
+    /// A single-shard view of the snapshot.
+    fn from(csr: &CsrGraph) -> Self {
+        ShardedCsr::from_csr(csr, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample(nodes: usize) -> Graph {
+        // A ring plus a few chords, so every shard cut produces boundary edges.
+        let mut g = Graph::with_nodes(nodes);
+        for i in 0..nodes {
+            g.add_edge(n(i), n((i + 1) % nodes)).unwrap();
+        }
+        for i in 0..nodes / 3 {
+            let _ = g.add_edge(n(i), n((i + nodes / 2) % nodes));
+        }
+        g
+    }
+
+    #[test]
+    fn sharding_preserves_structure_for_all_counts() {
+        let g = sample(23);
+        let csr = g.freeze();
+        for shards in [1usize, 2, 3, 4, 7, 23, 100] {
+            let sharded = ShardedCsr::from_csr(&csr, shards);
+            assert_eq!(sharded.shard_count(), shards.min(23));
+            assert_eq!(sharded.node_count(), csr.node_count());
+            assert_eq!(sharded.edge_count(), csr.edge_count());
+            for node in csr.nodes() {
+                assert_eq!(
+                    sharded.neighbors(node),
+                    csr.neighbors(node),
+                    "{shards} shards, {node}"
+                );
+                assert_eq!(sharded.degree(node), csr.degree(node));
+            }
+            assert_eq!(sharded.to_csr(), csr, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_sizes_differ_by_at_most_one() {
+        let g = sample(23);
+        let sharded = ShardedCsr::from_graph(&g, 7);
+        let mut expected_start = 0;
+        let mut sizes = Vec::new();
+        for shard in sharded.shards() {
+            assert_eq!(shard.node_range().start, expected_start);
+            expected_start = shard.node_range().end;
+            sizes.push(shard.local_count());
+        }
+        assert_eq!(expected_start, 23);
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        // 23 = 7 * 3 + 2: two shards of 4, five of 3.
+        assert_eq!(sizes.iter().filter(|&&s| s == max).count(), 23 % 7);
+    }
+
+    #[test]
+    fn shard_of_matches_ownership() {
+        let g = sample(23);
+        let sharded = ShardedCsr::from_graph(&g, 4);
+        for node in (0..23).map(n) {
+            let s = sharded.shard_of(node);
+            assert!(sharded.shards()[s].owns(node), "{node} not in shard {s}");
+            for (other, shard) in sharded.shards().iter().enumerate() {
+                if other != s {
+                    assert!(!shard.owns(node));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_rows_are_contiguous_slices_of_the_flat_store() {
+        let g = sample(30);
+        let sharded = ShardedCsr::from_graph(&g, 4);
+        let mut reassembled: Vec<NodeId> = Vec::new();
+        for s in 0..sharded.shard_count() {
+            let rows = sharded.shard_targets(s);
+            assert_eq!(rows.len(), sharded.shards()[s].entry_count());
+            // The shard's row block is exactly the concatenation of its nodes' rows.
+            let concatenated: Vec<NodeId> = sharded.shards()[s]
+                .node_range()
+                .flat_map(|v| sharded.neighbors(n(v)).iter().copied())
+                .collect();
+            assert_eq!(rows, concatenated.as_slice(), "shard {s}");
+            reassembled.extend_from_slice(rows);
+        }
+        // All shard blocks together cover every directed entry exactly once.
+        assert_eq!(reassembled.len(), 2 * sharded.edge_count());
+    }
+
+    #[test]
+    fn boundary_tables_are_symmetric_and_complete() {
+        let g = sample(30);
+        let csr = g.freeze();
+        for shards in [2usize, 4, 7] {
+            let sharded = ShardedCsr::from_csr(&csr, shards);
+            // Internal + cross entries add up to all directed entries.
+            let cross: usize = sharded.shards().iter().map(|s| s.boundary().len()).sum();
+            let total: usize = sharded.shards().iter().map(CsrShard::entry_count).sum();
+            assert_eq!(total, 2 * csr.edge_count());
+            assert_eq!(cross % 2, 0, "directed cross entries pair up");
+            assert_eq!(sharded.cross_shard_edges(), cross / 2);
+
+            for (s, shard) in sharded.shards().iter().enumerate() {
+                for edge in shard.boundary().edges() {
+                    assert!(shard.owns(edge.source));
+                    assert_eq!(sharded.shard_of(edge.target), edge.target_shard);
+                    assert_ne!(edge.target_shard, s);
+                    // The mirrored entry sits in the target shard's table.
+                    let mirrored = sharded.shards()[edge.target_shard]
+                        .boundary()
+                        .edges()
+                        .iter()
+                        .any(|e| e.source == edge.target && e.target == edge.source);
+                    assert!(mirrored, "missing mirror of {edge:?}");
+                }
+            }
+            // edges_into is consistent with the mirrored counts.
+            for (s, shard) in sharded.shards().iter().enumerate() {
+                for (t, other) in sharded.shards().iter().enumerate() {
+                    if s != t {
+                        assert_eq!(
+                            shard.boundary().edges_into(t),
+                            other.boundary().edges_into(s)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let g = sample(20);
+        let sharded = ShardedCsr::from_graph(&g, 1);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.cross_shard_edges(), 0);
+        assert_eq!(sharded.boundary_fraction(), 0.0);
+        assert!(sharded.shards()[0].boundary().is_empty());
+    }
+
+    #[test]
+    fn boundary_fraction_grows_with_shard_count_on_a_ring() {
+        // A pure ring: k shards cut exactly k edges (for 1 < k <= n).
+        let mut g = Graph::with_nodes(24);
+        for i in 0..24 {
+            g.add_edge(n(i), n((i + 1) % 24)).unwrap();
+        }
+        let csr = g.freeze();
+        for shards in [2usize, 3, 4, 6] {
+            let sharded = ShardedCsr::from_csr(&csr, shards);
+            assert_eq!(sharded.cross_shard_edges(), shards, "{shards} shards");
+            assert!((sharded.boundary_fraction() - shards as f64 / 24.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_shard_safely() {
+        let empty = ShardedCsr::from_graph(&Graph::new(), 4);
+        assert_eq!(empty.shard_count(), 1);
+        assert_eq!(empty.node_count(), 0);
+        assert_eq!(empty.boundary_fraction(), 0.0);
+
+        let lone = ShardedCsr::from_graph(&Graph::with_nodes(1), 8);
+        assert_eq!(lone.shard_count(), 1);
+        assert_eq!(lone.degree(n(0)), 0);
+
+        let pair = ShardedCsr::from_graph(&Graph::with_nodes(2), 8);
+        assert_eq!(pair.shard_count(), 2);
+    }
+
+    #[test]
+    fn graph_view_provided_methods_work() {
+        let g = sample(20);
+        let sharded = ShardedCsr::from_graph(&g, 3);
+        let view: &dyn GraphView = &sharded;
+        assert_eq!(view.degrees(), g.degrees());
+        assert_eq!(view.min_degree(), g.min_degree());
+        assert_eq!(view.max_degree(), g.max_degree());
+        assert!(view.contains_edge(n(0), n(1)));
+        let edges: Vec<_> = GraphView::edges(&sharded).collect();
+        let expected: Vec<_> = g.edges().collect();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn conversion_from_csr_reference_is_single_shard() {
+        let csr = sample(9).freeze();
+        let sharded = ShardedCsr::from(&csr);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.to_csr(), csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_lookup_panics() {
+        let sharded = ShardedCsr::from_graph(&sample(10), 2);
+        let _ = sharded.neighbors(n(99));
+    }
+}

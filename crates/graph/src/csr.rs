@@ -94,6 +94,16 @@ impl CsrGraph {
         csr
     }
 
+    /// Decomposes the snapshot into its raw `(offsets, targets)` arrays without
+    /// copying, for layers that build their own storage over the same layout (the
+    /// sharded store in `sfo-engine` takes ownership this way). The inverse is
+    /// [`CsrGraph::from_neighbor_lists`]; the arrays uphold the invariants documented
+    /// on the fields: `offsets` has `node_count + 1` monotone entries indexing
+    /// `targets`, whose blocks are the per-node neighbor lists in frozen order.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<NodeId>) {
+        (self.offsets, self.targets)
+    }
+
     /// Rebuilds a mutable [`Graph`] from this snapshot in O(V + E).
     ///
     /// Neighbor order is preserved, so `graph.freeze().thaw() == graph` for any graph.

@@ -64,11 +64,13 @@ pub mod spec;
 
 pub use error::ScenarioError;
 pub use report::{
-    ChurnRealization, ScenarioReport, ScenarioResult, Stat, SweepCurve, SweepMetric, SweepPoint,
-    TraceRealization,
+    ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
+    SweepCurve, SweepMetric, SweepPoint, TraceRealization,
 };
 pub use runner::ScenarioRunner;
-pub use spec::{BuiltSearch, DynamicsSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec};
+pub use spec::{
+    BuiltSearch, DynamicsSpec, MeasureSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec,
+};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T, E = ScenarioError> = std::result::Result<T, E>;

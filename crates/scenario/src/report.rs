@@ -163,6 +163,95 @@ impl FromJson for SweepCurve {
     }
 }
 
+/// One log-binned point of a `P(k)` degree-distribution curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeBinPoint {
+    /// Geometric center of the bin (the abscissa on a log axis).
+    pub k: f64,
+    /// Probability density of the bin.
+    pub density: f64,
+    /// Raw number of degree samples in the bin.
+    pub count: usize,
+}
+
+impl ToJson for DegreeBinPoint {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("k".to_string(), JsonValue::from_f64(self.k)),
+            ("density".to_string(), JsonValue::from_f64(self.density)),
+            ("count".to_string(), JsonValue::from_usize(self.count)),
+        ])
+    }
+}
+
+impl FromJson for DegreeBinPoint {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "degree bin";
+        check_fields(value, CTX, &["k", "density", "count"])?;
+        Ok(DegreeBinPoint {
+            k: req_f64(value, "k", CTX)?,
+            density: req_f64(value, "density", CTX)?,
+            count: req_usize(value, "count", CTX)?,
+        })
+    }
+}
+
+/// One curve of a degree-distribution scenario: the log-binned `P(k)` of a labelled
+/// topology configuration, over the concatenated degrees of all its realizations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeCurve {
+    /// The curve label (see [`crate::TopologySpec::label`]); also names the RNG stream
+    /// family the curve's realizations were drawn from.
+    pub label: String,
+    /// Non-empty log bins, in increasing `k`.
+    pub points: Vec<DegreeBinPoint>,
+}
+
+impl DegreeCurve {
+    /// Converts the curve into a plot-ready `P(k)` series (the shape of Figs. 1-4).
+    pub fn to_series(&self, realizations: usize) -> DataSeries {
+        let mut series = DataSeries::new(self.label.clone());
+        for point in &self.points {
+            series.push(DataPoint {
+                x: point.k,
+                y: point.density,
+                y_error: 0.0,
+                realizations,
+            });
+        }
+        series
+    }
+}
+
+impl ToJson for DegreeCurve {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("label".to_string(), JsonValue::from_str_value(&self.label)),
+            (
+                "points".to_string(),
+                JsonValue::Array(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for DegreeCurve {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "degree curve";
+        check_fields(value, CTX, &["label", "points"])?;
+        let points = req(value, "points", CTX)?
+            .as_array()
+            .ok_or_else(|| ScenarioError::invalid("degree curve: \"points\" must be an array"))?
+            .iter()
+            .map(DegreeBinPoint::from_json)
+            .collect::<Result<Vec<DegreeBinPoint>, ScenarioError>>()?;
+        Ok(DegreeCurve {
+            label: req_str(value, "label", CTX)?.to_string(),
+            points,
+        })
+    }
+}
+
 /// Outcome of one independent churn-simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnRealization {
@@ -431,6 +520,12 @@ pub enum ScenarioResult {
         /// The measured curves, in sweep-grid order.
         curves: Vec<SweepCurve>,
     },
+    /// Result of a degree-distribution scenario: one `P(k)` curve per expanded topology
+    /// configuration.
+    DegreeDistribution {
+        /// The log-binned curves, in sweep-grid order.
+        curves: Vec<DegreeCurve>,
+    },
     /// Result of rate-driven churn runs.
     Churn {
         /// One entry per realization, in stream order.
@@ -448,6 +543,16 @@ impl ToJson for ScenarioResult {
         match self {
             ScenarioResult::Sweep { curves } => JsonValue::Object(vec![
                 ("kind".to_string(), JsonValue::from_str_value("sweep")),
+                (
+                    "curves".to_string(),
+                    JsonValue::Array(curves.iter().map(ToJson::to_json).collect()),
+                ),
+            ]),
+            ScenarioResult::DegreeDistribution { curves } => JsonValue::Object(vec![
+                (
+                    "kind".to_string(),
+                    JsonValue::from_str_value("degree_distribution"),
+                ),
                 (
                     "curves".to_string(),
                     JsonValue::Array(curves.iter().map(ToJson::to_json).collect()),
@@ -476,7 +581,7 @@ impl FromJson for ScenarioResult {
         const CTX: &str = "scenario result";
         let kind = req_str(value, "kind", CTX)?;
         match kind {
-            "sweep" => check_fields(value, CTX, &["kind", "curves"])?,
+            "sweep" | "degree_distribution" => check_fields(value, CTX, &["kind", "curves"])?,
             "churn" | "trace" => check_fields(value, CTX, &["kind", "realizations"])?,
             _ => {}
         }
@@ -489,6 +594,16 @@ impl FromJson for ScenarioResult {
                     })?
                     .iter()
                     .map(SweepCurve::from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "degree_distribution" => Ok(ScenarioResult::DegreeDistribution {
+                curves: req(value, "curves", CTX)?
+                    .as_array()
+                    .ok_or_else(|| {
+                        ScenarioError::invalid("scenario result: \"curves\" must be an array")
+                    })?
+                    .iter()
+                    .map(DegreeCurve::from_json)
                     .collect::<Result<_, _>>()?,
             }),
             "churn" => Ok(ScenarioResult::Churn {
@@ -551,6 +666,27 @@ impl ScenarioReport {
     pub fn series(&self, metric: SweepMetric) -> Vec<DataSeries> {
         self.sweep_curves()
             .map(|curves| curves.iter().map(|c| c.to_series(metric)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the degree-distribution curves, if this is a degree report.
+    pub fn degree_curves(&self) -> Option<&[DegreeCurve]> {
+        match &self.result {
+            ScenarioResult::DegreeDistribution { curves } => Some(curves),
+            _ => None,
+        }
+    }
+
+    /// Converts every degree curve into a plot-ready `P(k)` series (empty for other
+    /// report kinds).
+    pub fn degree_series(&self) -> Vec<DataSeries> {
+        self.degree_curves()
+            .map(|curves| {
+                curves
+                    .iter()
+                    .map(|c| c.to_series(self.spec.realizations))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

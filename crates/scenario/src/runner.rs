@@ -16,18 +16,27 @@
 //! — the controlled comparison the paper's future work asks for.
 
 use crate::report::{
-    ChurnRealization, ScenarioReport, ScenarioResult, Stat, SweepCurve, SweepPoint,
-    TraceRealization,
+    ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
+    SweepCurve, SweepPoint, TraceRealization,
 };
-use crate::spec::{BuiltSearch, DynamicsSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec};
+use crate::spec::{
+    BuiltSearch, DynamicsSpec, MeasureSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec,
+};
 use crate::ScenarioError;
+use rand::RngCore;
+use sfo_analysis::histogram::log_binned_distribution;
 use sfo_analysis::Summary;
+use sfo_engine::{
+    batched_rw_normalized_to_nf, batched_ttl_sweep, EngineConfig, ShardedCsr, WorkerPool,
+};
+use sfo_graph::GraphView;
 use sfo_search::experiment::{
     label_salt, rw_normalized_to_nf, stream_rng, ttl_sweep, AveragedOutcome,
 };
 use sfo_sim::churn::{generate_trace, ChurnTraceConfig};
 use sfo_sim::simulation::{Simulation, SimulationConfig};
 use sfo_sim::trace_runner::{run_trace, TraceRunConfig};
+use std::sync::Arc;
 
 /// Stream family of the per-realization churn traces. Deliberately independent of the
 /// scenario name, so scenarios with the same seed and trace configuration see identical
@@ -77,10 +86,13 @@ impl ScenarioRunner {
     /// fails at run time (e.g. an attempt budget exhausted by a tight cutoff).
     pub fn run(&self, spec: &ScenarioSpec) -> Result<ScenarioReport, ScenarioError> {
         spec.validate()?;
-        let result = match &spec.dynamics {
-            DynamicsSpec::Static => self.run_sweep(spec)?,
-            DynamicsSpec::Churn { sim } => self.run_churn(spec, sim)?,
-            DynamicsSpec::Trace { trace, run } => self.run_traces(spec, trace, run)?,
+        let result = match (&spec.dynamics, spec.measure) {
+            (DynamicsSpec::Static, MeasureSpec::SearchSweep) => self.run_sweep(spec)?,
+            (DynamicsSpec::Static, MeasureSpec::DegreeDistribution { bins_per_decade }) => {
+                self.run_degree(spec, bins_per_decade)?
+            }
+            (DynamicsSpec::Churn { sim }, _) => self.run_churn(spec, sim)?,
+            (DynamicsSpec::Trace { trace, run }, _) => self.run_traces(spec, trace, run)?,
         };
         Ok(ScenarioReport {
             spec: spec.clone(),
@@ -94,18 +106,33 @@ impl ScenarioRunner {
         let curves = spec.expanded_topologies();
         let realizations = spec.realizations;
 
-        // One task per (curve, realization); tasks are independent and individually
-        // seeded, so the fan-out below cannot change any result.
         let task_count = curves.len() * realizations;
-        let outcomes = run_tasks(
-            task_count,
-            effective_threads(sweep.threads, task_count),
-            |t| {
-                let curve = &curves[t / realizations];
-                let realization = t % realizations;
-                run_sweep_task(curve, search, sweep, spec.seed, realization)
-            },
-        )?;
+        let outcomes = if sweep.batch {
+            // Engine-batched execution: the (curve, realization) tasks run in order, and
+            // the parallelism lives *inside* each realization — every TTL sweep becomes
+            // one query batch fanned across a persistent worker pool, which is what
+            // serves the interactive single-realization case. Per-job RNG streams make
+            // the results independent of the worker and shard counts.
+            let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
+            (0..task_count)
+                .map(|t| {
+                    let curve = &curves[t / realizations];
+                    run_batched_sweep_task(&pool, curve, search, sweep, spec.seed, t % realizations)
+                })
+                .collect::<Result<Vec<_>, ScenarioError>>()?
+        } else {
+            // One task per (curve, realization); tasks are independent and individually
+            // seeded, so the fan-out below cannot change any result.
+            run_tasks(
+                task_count,
+                effective_threads(sweep.threads, task_count),
+                |t| {
+                    let curve = &curves[t / realizations];
+                    let realization = t % realizations;
+                    run_sweep_task(curve, search, sweep, spec.seed, realization)
+                },
+            )?
+        };
 
         // Fold the per-realization outcomes into per-TTL statistics, in stream order.
         let mut report_curves = Vec::with_capacity(curves.len());
@@ -136,6 +163,50 @@ impl ScenarioRunner {
             });
         }
         Ok(ScenarioResult::Sweep {
+            curves: report_curves,
+        })
+    }
+
+    /// Executes a degree-distribution scenario: one `(curve, realization)` task per
+    /// topology draw, each returning its degree sequence; the per-curve samples are then
+    /// concatenated and log-binned — exactly the methodology (and, because curve labels
+    /// salt the streams, exactly the streams) of the `P(k)` figure harness.
+    fn run_degree(
+        &self,
+        spec: &ScenarioSpec,
+        bins_per_decade: usize,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let curves = spec.expanded_topologies();
+        let realizations = spec.realizations;
+        let threads = spec.sweep.as_ref().map_or(0, |s| s.threads);
+        let task_count = curves.len() * realizations;
+        let samples = run_tasks(task_count, effective_threads(threads, task_count), |t| {
+            let curve = &curves[t / realizations];
+            let mut rng = stream_rng(spec.seed, label_salt(&curve.label()), t % realizations);
+            let graph = curve.build()?.generate(&mut rng)?;
+            Ok(graph.degrees())
+        })?;
+
+        let mut report_curves = Vec::with_capacity(curves.len());
+        for (c, curve) in curves.iter().enumerate() {
+            let mut degrees = Vec::new();
+            for r in 0..realizations {
+                degrees.extend_from_slice(&samples[c * realizations + r]);
+            }
+            let points = log_binned_distribution(&degrees, bins_per_decade)
+                .iter()
+                .map(|bin| DegreeBinPoint {
+                    k: bin.center,
+                    density: bin.density,
+                    count: bin.count,
+                })
+                .collect();
+            report_curves.push(DegreeCurve {
+                label: curve.label(),
+                points,
+            });
+        }
+        Ok(ScenarioResult::DegreeDistribution {
             curves: report_curves,
         })
     }
@@ -215,6 +286,9 @@ impl ScenarioRunner {
 /// per-realization RNG is `stream_rng(seed, label_salt(curve label), realization)`, the
 /// topology is drawn first, and the TTL sweep continues on the same stream — so a curve
 /// produces bit-identical data whether it runs here or ran in the old bespoke loops.
+/// With `shard_count > 1` the sweep runs on a [`ShardedCsr`] store instead of the plain
+/// snapshot; the sharded store reports identical neighbor slices, so even that does not
+/// change a single byte of the output.
 fn run_sweep_task(
     curve: &TopologySpec,
     search: &SearchSpec,
@@ -224,21 +298,74 @@ fn run_sweep_task(
 ) -> Result<Vec<AveragedOutcome>, ScenarioError> {
     let mut rng = stream_rng(seed, label_salt(&curve.label()), realization);
     let generator = curve.build()?;
-    let frozen = generator.generate(&mut rng)?.freeze();
-    Ok(match search.build(curve.m())? {
+    let graph = generator.generate(&mut rng)?;
+    if sweep.shard_count > 1 {
+        let sharded = ShardedCsr::from_graph(&graph, sweep.shard_count);
+        serial_sweep_on(&sharded, curve, search, sweep, &mut rng)
+    } else {
+        serial_sweep_on(&graph.freeze(), curve, search, sweep, &mut rng)
+    }
+}
+
+/// The serial TTL sweep over any frozen backend (plain or sharded CSR).
+fn serial_sweep_on<G: GraphView + Sync>(
+    frozen: &G,
+    curve: &TopologySpec,
+    search: &SearchSpec,
+    sweep: &SweepSpec,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Vec<AveragedOutcome>, ScenarioError> {
+    Ok(match search.build_for::<G>(curve.m())? {
         BuiltSearch::Algorithm(algorithm) => ttl_sweep(
-            &frozen,
+            frozen,
             algorithm.as_ref(),
             &sweep.ttls,
             sweep.searches_per_point,
-            &mut rng,
+            rng,
         ),
-        BuiltSearch::RwNormalizedToNf { k_min } => rw_normalized_to_nf(
-            &frozen,
+        BuiltSearch::RwNormalizedToNf { k_min } => {
+            rw_normalized_to_nf(frozen, k_min, &sweep.ttls, sweep.searches_per_point, rng)
+        }
+    })
+}
+
+/// One `(curve, realization)` task of an engine-batched sweep: generate on the
+/// realization stream, shard the snapshot, then hand the whole TTL grid to the engine as
+/// one query batch.
+///
+/// The batch seed is the next draw of the realization stream, so it inherits the
+/// workspace's `stream_rng(seed, label_salt(label), realization)` discipline; inside the
+/// batch every job derives its own stream from `(batch seed, job index)`, making the
+/// outcome independent of the pool's worker count and the store's shard count.
+fn run_batched_sweep_task(
+    pool: &WorkerPool,
+    curve: &TopologySpec,
+    search: &SearchSpec,
+    sweep: &SweepSpec,
+    seed: u64,
+    realization: usize,
+) -> Result<Vec<AveragedOutcome>, ScenarioError> {
+    let mut rng = stream_rng(seed, label_salt(&curve.label()), realization);
+    let generator = curve.build()?;
+    let graph = generator.generate(&mut rng)?;
+    let batch_seed = rng.next_u64();
+    let sharded = Arc::new(ShardedCsr::from_graph(&graph, sweep.shard_count.max(1)));
+    Ok(match search.build_for::<ShardedCsr>(curve.m())? {
+        BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
+            pool,
+            &sharded,
+            algorithm,
+            &sweep.ttls,
+            sweep.searches_per_point,
+            batch_seed,
+        ),
+        BuiltSearch::RwNormalizedToNf { k_min } => batched_rw_normalized_to_nf(
+            pool,
+            &sharded,
             k_min,
             &sweep.ttls,
             sweep.searches_per_point,
-            &mut rng,
+            batch_seed,
         ),
     })
 }
@@ -379,6 +506,150 @@ mod tests {
         let parallel = ScenarioRunner::new().run(&pa_spec(4)).unwrap();
         // The thread knob is part of the spec, so compare results, not whole reports.
         assert_eq!(sequential.result, parallel.result);
+    }
+
+    #[test]
+    fn sharding_the_store_does_not_change_serial_results() {
+        // shard_count without batch swaps the backend under the legacy sweep; the
+        // sharded store reports identical neighbor slices, so the results must be
+        // byte-identical, including for shard counts that do not divide N.
+        let reference = ScenarioRunner::new().run(&pa_spec(2)).unwrap();
+        for shards in [2usize, 7, 64] {
+            let mut spec = pa_spec(2);
+            spec.sweep.as_mut().unwrap().shard_count = shards;
+            let sharded = ScenarioRunner::new().run(&spec).unwrap();
+            assert_eq!(sharded.result, reference.result, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn batched_results_are_thread_and_shard_independent() {
+        let mut base = pa_spec(1);
+        base.sweep.as_mut().unwrap().batch = true;
+        let reference = ScenarioRunner::new().run(&base).unwrap();
+        for (threads, shards) in [(2usize, 1usize), (3, 4), (4, 7), (0, 2)] {
+            let mut spec = pa_spec(threads);
+            let sweep = spec.sweep.as_mut().unwrap();
+            sweep.batch = true;
+            sweep.shard_count = shards;
+            let report = ScenarioRunner::new().run(&spec).unwrap();
+            assert_eq!(
+                report.result, reference.result,
+                "threads={threads} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sweeps_produce_sane_curves() {
+        let mut spec = pa_spec(3);
+        spec.sweep.as_mut().unwrap().batch = true;
+        spec.sweep.as_mut().unwrap().shard_count = 4;
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let curves = report.sweep_curves().unwrap();
+        assert_eq!(curves.len(), 4);
+        for curve in curves {
+            assert_eq!(curve.points.len(), 3);
+            for point in &curve.points {
+                assert_eq!(point.hits.realizations, 2);
+                assert!(point.hits.mean > 0.0);
+                assert!(point.messages.mean >= point.hits.mean - 1e-12);
+            }
+            assert!(curve.points[2].hits.mean >= curve.points[0].hits.mean);
+        }
+        // The batched RW/NF normalization path also runs end to end.
+        let mut rw = spec.clone();
+        rw.search = Some(SearchSpec::RwNormalizedToNf { k_min: None });
+        let rw_report = ScenarioRunner::new().run(&rw).unwrap();
+        for curve in rw_report.sweep_curves().unwrap() {
+            for point in &curve.points {
+                assert!(point.hits.mean <= point.messages.mean + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_scenarios_follow_the_figure_stream_discipline() {
+        let topology = TopologySpec::Pa {
+            nodes: 500,
+            m: 2,
+            cutoff: Some(12),
+        };
+        let spec = ScenarioSpec::degree_distribution("deg", topology.clone(), None, 8, 5, 2);
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let curves = report.degree_curves().unwrap();
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].label, topology.label());
+
+        // Reproduce by hand with the workspace stream rule: the runner must use
+        // stream_rng(seed, label_salt(label), realization) and concatenate degrees, the
+        // exact methodology of the P(k) figure harness.
+        let mut samples = Vec::new();
+        for r in 0..2 {
+            let mut rng = stream_rng(5, label_salt(&topology.label()), r);
+            let graph = topology.build().unwrap().generate(&mut rng).unwrap();
+            samples.extend(sfo_graph::GraphView::degrees(&graph));
+        }
+        let expected = log_binned_distribution(&samples, 8);
+        assert_eq!(curves[0].points.len(), expected.len());
+        for (point, bin) in curves[0].points.iter().zip(&expected) {
+            assert_eq!(point.k, bin.center);
+            assert_eq!(point.density, bin.density);
+            assert_eq!(point.count, bin.count);
+        }
+        // The hard cutoff bounds the support (one log bin of slack for the bin center).
+        assert!(curves[0].points.iter().all(|p| p.k <= 12.0 * 1.4));
+        // Sample count: every node of every realization lands in some bin.
+        let counted: usize = curves[0].points.iter().map(|p| p.count).sum();
+        assert_eq!(counted, 2 * 500);
+    }
+
+    #[test]
+    fn degree_scenarios_expand_grids_and_rerun_identically() {
+        let spec = ScenarioSpec::degree_distribution(
+            "deg-grid",
+            TopologySpec::Pa {
+                nodes: 300,
+                m: 1,
+                cutoff: None,
+            },
+            Some(SweepSpec::axes(vec![1, 3], vec![Some(10), None])),
+            8,
+            9,
+            2,
+        );
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let curves = report.degree_curves().unwrap();
+        let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "PA, m=1, k_c=10",
+                "PA, m=1, no k_c",
+                "PA, m=3, k_c=10",
+                "PA, m=3, no k_c",
+            ]
+        );
+        // Capped curves stop near the cutoff; uncapped ones reach further.
+        let max_k = |label: &str| {
+            curves
+                .iter()
+                .find(|c| c.label == label)
+                .unwrap()
+                .points
+                .last()
+                .unwrap()
+                .k
+        };
+        assert!(max_k("PA, m=3, no k_c") > max_k("PA, m=3, k_c=10"));
+        // Deterministic rerun, byte-identical JSON.
+        let again = ScenarioRunner::new().run(&spec).unwrap();
+        assert_eq!(again, report);
+        assert_eq!(again.to_json_string(), report.to_json_string());
+        // P(k) series conversion carries the realization count.
+        let series = report.degree_series();
+        assert_eq!(series.len(), 4);
+        assert!(series[0].points.iter().all(|p| p.realizations == 2));
     }
 
     #[test]

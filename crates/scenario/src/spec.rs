@@ -22,7 +22,7 @@ use sfo_core::nonlinear::NonlinearPreferentialAttachment;
 use sfo_core::pa::PreferentialAttachment;
 use sfo_core::ucm::UncorrelatedConfigurationModel;
 use sfo_core::{DegreeCutoff, DynTopologyGenerator};
-use sfo_graph::CsrGraph;
+use sfo_graph::{CsrGraph, GraphView};
 use sfo_search::biased_walk::DegreeBiasedWalk;
 use sfo_search::expanding_ring::ExpandingRing;
 use sfo_search::flooding::Flooding;
@@ -411,9 +411,13 @@ impl TopologySpec {
 }
 
 /// A compiled search configuration, ready to run against frozen snapshots.
-pub enum BuiltSearch {
+///
+/// Generic over the snapshot backend: the legacy sweep path runs on [`CsrGraph`] (the
+/// default), the engine-batched path on [`sfo_engine::ShardedCsr`] — both compiled by
+/// [`SearchSpec::build_for`].
+pub enum BuiltSearch<G: GraphView + ?Sized = CsrGraph> {
     /// A plain TTL-sweep algorithm.
-    Algorithm(Box<dyn SearchAlgorithm<CsrGraph> + Send + Sync>),
+    Algorithm(Box<dyn SearchAlgorithm<G> + Send + Sync>),
     /// The paper's message-normalized random walk: for each TTL, the walk's hop budget is
     /// the message count of a normalized flood with fan-out `k_min` from the same source.
     RwNormalizedToNf {
@@ -520,12 +524,26 @@ impl SearchSpec {
         }
     }
 
-    /// Compiles the spec for topologies with stub count `m` (resolving `k_min: None`).
+    /// Compiles the spec for topologies with stub count `m` (resolving `k_min: None`),
+    /// bound to the default [`CsrGraph`] backend.
     ///
     /// # Errors
     ///
     /// Returns the same errors as [`SearchSpec::validate`].
     pub fn build(&self, m: usize) -> Result<BuiltSearch, ScenarioError> {
+        self.build_for::<CsrGraph>(m)
+    }
+
+    /// Compiles the spec for topologies with stub count `m`, bound to any graph backend
+    /// (every search algorithm is generic over [`GraphView`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`SearchSpec::validate`].
+    pub fn build_for<G: GraphView + ?Sized>(
+        &self,
+        m: usize,
+    ) -> Result<BuiltSearch<G>, ScenarioError> {
         self.validate()?;
         Ok(match *self {
             SearchSpec::Flooding => BuiltSearch::Algorithm(Box::new(Flooding::new())),
@@ -637,9 +655,22 @@ pub struct SweepSpec {
     pub ttls: Vec<u32>,
     /// Searches (random sources) per TTL per realization.
     pub searches_per_point: usize,
-    /// Worker threads fanning `(curve, realization)` tasks (0 = all available cores).
-    /// Results are independent of this value: every task has its own RNG stream.
+    /// Worker threads (0 = all available cores). With `batch: false` they fan
+    /// `(curve, realization)` tasks; with `batch: true` they are the engine pool fanning
+    /// searches *inside* each realization. Results are independent of this value either
+    /// way: every task or job has its own RNG stream.
     pub threads: usize,
+    /// Number of contiguous node-id shards each frozen realization is partitioned into
+    /// (0 or 1 = unsharded). Sharding never changes results: the sharded store reports
+    /// the exact neighbor order of the unsharded snapshot.
+    pub shard_count: usize,
+    /// Routes the TTL sweep of every realization through the `sfo-engine` query-batch
+    /// scheduler: one job per `(ttl, search)` cell with its own derived RNG stream,
+    /// fanned across a persistent worker pool. Batched results are independent of the
+    /// thread and shard counts, but use per-job streams instead of the legacy per-curve
+    /// sequential stream, so they differ numerically (not statistically) from
+    /// `batch: false` runs.
+    pub batch: bool,
 }
 
 impl SweepSpec {
@@ -651,6 +682,8 @@ impl SweepSpec {
             ttls,
             searches_per_point,
             threads: 0,
+            shard_count: 0,
+            batch: false,
         }
     }
 
@@ -667,28 +700,116 @@ impl SweepSpec {
             ttls,
             searches_per_point,
             threads: 0,
+            shard_count: 0,
+            batch: false,
+        }
+    }
+
+    /// A `stubs × cutoffs` grid with no measurement knobs: the shape of a
+    /// degree-distribution scenario, which sweeps topologies but runs no searches.
+    pub fn axes(stubs: Vec<usize>, cutoffs: Vec<Option<usize>>) -> Self {
+        SweepSpec {
+            stubs,
+            cutoffs,
+            ttls: Vec::new(),
+            searches_per_point: 0,
+            threads: 0,
+            shard_count: 0,
+            batch: false,
+        }
+    }
+
+    /// Returns a copy routed through the engine: `shard_count` shards per realization,
+    /// batched execution.
+    pub fn with_engine(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count;
+        self.batch = true;
+        self
+    }
+}
+
+/// What a static scenario measures over its expanded topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MeasureSpec {
+    /// The search sweep of the paper's §V: every curve swept over `ttls` with
+    /// `searches_per_point` sources per TTL (the default, and the only measure dynamic
+    /// scenarios support).
+    SearchSweep,
+    /// The degree distributions of the paper's §III/§IV: `P(k)` of every curve,
+    /// log-binned over the concatenated degrees of all realizations (the methodology of
+    /// Figs. 1-4). Needs no `search` section, and the `sweep` section — if present —
+    /// contributes only its `stubs`/`cutoffs` axes.
+    DegreeDistribution {
+        /// Logarithmic bins per decade of `k` (the figures use 8).
+        bins_per_decade: usize,
+    },
+}
+
+impl MeasureSpec {
+    /// The kind tag used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MeasureSpec::SearchSweep => "search_sweep",
+            MeasureSpec::DegreeDistribution { .. } => "degree_distribution",
+        }
+    }
+}
+
+impl ToJson for MeasureSpec {
+    fn to_json(&self) -> JsonValue {
+        let mut members = vec![("kind".to_string(), JsonValue::from_str_value(self.kind()))];
+        if let MeasureSpec::DegreeDistribution { bins_per_decade } = *self {
+            members.push((
+                "bins_per_decade".to_string(),
+                JsonValue::from_usize(bins_per_decade),
+            ));
+        }
+        JsonValue::Object(members)
+    }
+}
+
+impl FromJson for MeasureSpec {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "measure";
+        match req_str(value, "kind", CTX)? {
+            "search_sweep" => {
+                check_fields(value, CTX, &["kind"])?;
+                Ok(MeasureSpec::SearchSweep)
+            }
+            "degree_distribution" => {
+                check_fields(value, CTX, &["kind", "bins_per_decade"])?;
+                Ok(MeasureSpec::DegreeDistribution {
+                    bins_per_decade: req_usize(value, "bins_per_decade", CTX)?,
+                })
+            }
+            other => Err(ScenarioError::invalid(format!(
+                "{CTX}: unknown kind \"{other}\" (expected search_sweep or degree_distribution)"
+            ))),
         }
     }
 }
 
 /// A complete, serializable scenario: one cell (or grid) of the paper's evaluation.
 ///
-/// Static scenarios require `topology`, `search`, and `sweep`; dynamic scenarios (churn
-/// or trace replay) configure everything inside `dynamics` and must leave the three
-/// static fields `None` — [`ScenarioSpec::validate`] enforces the split.
+/// Static search sweeps require `topology`, `search`, and `sweep`; degree-distribution
+/// scenarios require `topology` and take no `search`; dynamic scenarios (churn or trace
+/// replay) configure everything inside `dynamics` and must leave the three static fields
+/// `None` — [`ScenarioSpec::validate`] enforces the split.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Scenario name; doubles as the RNG stream-family salt for dynamic runs.
     pub name: String,
-    /// Base topology of a static sweep (`None` for dynamic scenarios).
+    /// Base topology of a static scenario (`None` for dynamic scenarios).
     pub topology: Option<TopologySpec>,
-    /// Search algorithm of a static sweep (`None` for dynamic scenarios).
+    /// Search algorithm of a static sweep (`None` for dynamic and degree scenarios).
     pub search: Option<SearchSpec>,
     /// Static snapshots, rate-driven churn, or trace replay.
     pub dynamics: DynamicsSpec,
-    /// Parameter grid and measurement knobs of a static sweep (`None` for dynamic
-    /// scenarios).
+    /// Parameter grid and measurement knobs of a static scenario (`None` for dynamic
+    /// scenarios; optional for degree distributions).
     pub sweep: Option<SweepSpec>,
+    /// What the scenario measures (search sweep or degree distribution).
+    pub measure: MeasureSpec,
     /// Master seed; every realization/thread stream is derived from it.
     pub seed: u64,
     /// Independent realizations averaged per data point (static) or independent runs
@@ -712,6 +833,29 @@ impl ScenarioSpec {
             search: Some(search),
             dynamics: DynamicsSpec::Static,
             sweep: Some(sweep),
+            measure: MeasureSpec::SearchSweep,
+            seed,
+            realizations,
+        }
+    }
+
+    /// Builds a degree-distribution scenario: `P(k)` of the base topology (expanded over
+    /// the optional sweep axes), log-binned with `bins_per_decade` bins per decade.
+    pub fn degree_distribution(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        sweep: Option<SweepSpec>,
+        bins_per_decade: usize,
+        seed: u64,
+        realizations: usize,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology: Some(topology),
+            search: None,
+            dynamics: DynamicsSpec::Static,
+            sweep,
+            measure: MeasureSpec::DegreeDistribution { bins_per_decade },
             seed,
             realizations,
         }
@@ -730,6 +874,7 @@ impl ScenarioSpec {
             search: None,
             dynamics: DynamicsSpec::Churn { sim },
             sweep: None,
+            measure: MeasureSpec::SearchSweep,
             seed,
             realizations,
         }
@@ -749,16 +894,21 @@ impl ScenarioSpec {
             search: None,
             dynamics: DynamicsSpec::Trace { trace, run },
             sweep: None,
+            measure: MeasureSpec::SearchSweep,
             seed,
             realizations,
         }
     }
 
     /// Expands the sweep grid into the concrete topology of every curve, in grid order
-    /// (stub axis outer, cutoff axis inner). Empty for dynamic scenarios.
+    /// (stub axis outer, cutoff axis inner). A missing sweep section keeps the base
+    /// topology alone; dynamic scenarios (no topology) expand to nothing.
     pub fn expanded_topologies(&self) -> Vec<TopologySpec> {
-        let (Some(base), Some(sweep)) = (&self.topology, &self.sweep) else {
+        let Some(base) = &self.topology else {
             return Vec::new();
+        };
+        let Some(sweep) = &self.sweep else {
+            return vec![base.clone()];
         };
         let stubs = if sweep.stubs.is_empty() {
             vec![base.m()]
@@ -796,30 +946,56 @@ impl ScenarioSpec {
         self.dynamics.validate()?;
         match self.dynamics {
             DynamicsSpec::Static => {
-                let Some(search) = &self.search else {
-                    return Err(ScenarioError::invalid(
-                        "static scenarios require a \"search\" section",
-                    ));
-                };
-                let Some(sweep) = &self.sweep else {
-                    return Err(ScenarioError::invalid(
-                        "static scenarios require a \"sweep\" section",
-                    ));
-                };
                 if self.topology.is_none() {
                     return Err(ScenarioError::invalid(
                         "static scenarios require a \"topology\" section",
                     ));
                 }
-                if sweep.ttls.is_empty() {
-                    return Err(ScenarioError::invalid("sweep: ttls must not be empty"));
+                match self.measure {
+                    MeasureSpec::SearchSweep => {
+                        let Some(search) = &self.search else {
+                            return Err(ScenarioError::invalid(
+                                "static scenarios require a \"search\" section",
+                            ));
+                        };
+                        let Some(sweep) = &self.sweep else {
+                            return Err(ScenarioError::invalid(
+                                "static scenarios require a \"sweep\" section",
+                            ));
+                        };
+                        if sweep.ttls.is_empty() {
+                            return Err(ScenarioError::invalid("sweep: ttls must not be empty"));
+                        }
+                        if sweep.searches_per_point == 0 {
+                            return Err(ScenarioError::invalid(
+                                "sweep: searches_per_point must be positive",
+                            ));
+                        }
+                        search.validate()?;
+                    }
+                    MeasureSpec::DegreeDistribution { bins_per_decade } => {
+                        if bins_per_decade == 0 {
+                            return Err(ScenarioError::invalid(
+                                "measure: bins_per_decade must be positive",
+                            ));
+                        }
+                        if self.search.is_some() {
+                            return Err(ScenarioError::invalid(
+                                "degree-distribution scenarios run no searches; \
+                                 \"search\" must be null",
+                            ));
+                        }
+                        if let Some(sweep) = &self.sweep {
+                            if !sweep.ttls.is_empty() || sweep.searches_per_point != 0 {
+                                return Err(ScenarioError::invalid(
+                                    "degree-distribution scenarios use only the \
+                                     \"stubs\"/\"cutoffs\" sweep axes; \"ttls\" must be \
+                                     empty and \"searches_per_point\" zero",
+                                ));
+                            }
+                        }
+                    }
                 }
-                if sweep.searches_per_point == 0 {
-                    return Err(ScenarioError::invalid(
-                        "sweep: searches_per_point must be positive",
-                    ));
-                }
-                search.validate()?;
                 for topology in self.expanded_topologies() {
                     topology.validate()?;
                 }
@@ -830,6 +1006,11 @@ impl ScenarioSpec {
                     return Err(ScenarioError::invalid(
                         "dynamic scenarios configure their overlay and workload inside \
                          \"dynamics\"; \"topology\", \"search\", and \"sweep\" must be null",
+                    ));
+                }
+                if self.measure != MeasureSpec::SearchSweep {
+                    return Err(ScenarioError::invalid(
+                        "dynamic scenarios support only the search_sweep measure",
                     ));
                 }
                 Ok(())
@@ -1187,6 +1368,11 @@ impl ToJson for SweepSpec {
                 JsonValue::from_usize(self.searches_per_point),
             ),
             ("threads".to_string(), JsonValue::from_usize(self.threads)),
+            (
+                "shard_count".to_string(),
+                JsonValue::from_usize(self.shard_count),
+            ),
+            ("batch".to_string(), JsonValue::Bool(self.batch)),
         ])
     }
 }
@@ -1197,7 +1383,15 @@ impl FromJson for SweepSpec {
         check_fields(
             value,
             CTX,
-            &["stubs", "cutoffs", "ttls", "searches_per_point", "threads"],
+            &[
+                "stubs",
+                "cutoffs",
+                "ttls",
+                "searches_per_point",
+                "threads",
+                "shard_count",
+                "batch",
+            ],
         )?;
         let stubs = match value.get("stubs") {
             None => Vec::new(),
@@ -1228,23 +1422,39 @@ impl FromJson for SweepSpec {
                 })
                 .collect::<Result<Vec<Option<usize>>, ScenarioError>>()?,
         };
-        let ttls = req(value, "ttls", CTX)?
-            .as_array()
-            .ok_or_else(|| ScenarioError::invalid("sweep: \"ttls\" must be an array"))?
-            .iter()
-            .map(|item| {
-                item.as_u64()
-                    .and_then(|t| u32::try_from(t).ok())
-                    .ok_or_else(|| ScenarioError::invalid("sweep: ttls must be 32-bit integers"))
-            })
-            .collect::<Result<Vec<u32>, ScenarioError>>()?;
+        // Absent `ttls`/`searches_per_point` default to the empty measurement (the shape
+        // degree-distribution scenarios use); search sweeps enforce non-empty values at
+        // validation time.
+        let ttls = match value.get("ttls") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"ttls\" must be an array"))?
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .and_then(|t| u32::try_from(t).ok())
+                        .ok_or_else(|| {
+                            ScenarioError::invalid("sweep: ttls must be 32-bit integers")
+                        })
+                })
+                .collect::<Result<Vec<u32>, ScenarioError>>()?,
+        };
         let threads = opt_usize(value, "threads", CTX)?.unwrap_or(0);
+        let batch = match value.get("batch") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"batch\" must be a boolean"))?,
+        };
         Ok(SweepSpec {
             stubs,
             cutoffs,
             ttls,
-            searches_per_point: req_usize(value, "searches_per_point", CTX)?,
+            searches_per_point: opt_usize(value, "searches_per_point", CTX)?.unwrap_or(0),
             threads,
+            shard_count: opt_usize(value, "shard_count", CTX)?.unwrap_or(0),
+            batch,
         })
     }
 }
@@ -1267,6 +1477,7 @@ impl ToJson for ScenarioSpec {
                 "sweep".to_string(),
                 opt(self.sweep.as_ref().map(ToJson::to_json)),
             ),
+            ("measure".to_string(), self.measure.to_json()),
             ("seed".to_string(), JsonValue::from_u64(self.seed)),
             (
                 "realizations".to_string(),
@@ -1288,6 +1499,7 @@ impl FromJson for ScenarioSpec {
                 "search",
                 "dynamics",
                 "sweep",
+                "measure",
                 "seed",
                 "realizations",
             ],
@@ -1301,6 +1513,11 @@ impl FromJson for ScenarioSpec {
             search: section("search").map(SearchSpec::from_json).transpose()?,
             dynamics: DynamicsSpec::from_json(req(value, "dynamics", CTX)?)?,
             sweep: section("sweep").map(SweepSpec::from_json).transpose()?,
+            // Absent (pre-engine spec files) defaults to the search sweep.
+            measure: section("measure")
+                .map(MeasureSpec::from_json)
+                .transpose()?
+                .unwrap_or(MeasureSpec::SearchSweep),
             seed: req_u64(value, "seed", CTX)?,
             realizations: req_usize(value, "realizations", CTX)?,
         })
@@ -1707,12 +1924,126 @@ mod tests {
             9,
             1,
         );
-        for spec in [static_spec, churn_spec, trace_spec] {
+        let mut batched_spec = ScenarioSpec::sweep(
+            "batched",
+            TopologySpec::Pa {
+                nodes: 500,
+                m: 2,
+                cutoff: Some(20),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1, 2], 10).with_engine(4),
+            3,
+            2,
+        );
+        batched_spec.sweep.as_mut().unwrap().threads = 2;
+        let degree_spec = ScenarioSpec::degree_distribution(
+            "degrees",
+            TopologySpec::Hapa {
+                nodes: 400,
+                m: 1,
+                cutoff: Some(15),
+            },
+            Some(SweepSpec::axes(vec![1, 2], vec![Some(10), None])),
+            8,
+            11,
+            2,
+        );
+        for spec in [
+            static_spec,
+            churn_spec,
+            trace_spec,
+            batched_spec,
+            degree_spec,
+        ] {
             let text = spec.to_json_string();
             let back = ScenarioSpec::parse(&text).unwrap();
             assert_eq!(back, spec, "{text}");
             // Serialization is deterministic.
             assert_eq!(back.to_json_string(), text);
         }
+    }
+
+    #[test]
+    fn engine_knobs_default_off_and_old_spec_files_still_parse() {
+        // A pre-engine spec file: no shard_count/batch in the sweep, no measure section.
+        let text = r#"{
+            "name": "legacy",
+            "topology": {"family": "pa", "nodes": 100, "m": 2, "cutoff": null},
+            "search": {"algorithm": "flooding"},
+            "dynamics": {"kind": "static"},
+            "sweep": {"ttls": [1, 2], "searches_per_point": 5, "threads": 0},
+            "seed": 1,
+            "realizations": 1
+        }"#;
+        let spec = ScenarioSpec::parse(text).unwrap();
+        spec.validate().unwrap();
+        let sweep = spec.sweep.as_ref().unwrap();
+        assert_eq!(sweep.shard_count, 0);
+        assert!(!sweep.batch);
+        assert_eq!(spec.measure, MeasureSpec::SearchSweep);
+        // with_engine turns both knobs on.
+        let engined = SweepSpec::single(vec![1], 1).with_engine(8);
+        assert_eq!(engined.shard_count, 8);
+        assert!(engined.batch);
+    }
+
+    #[test]
+    fn measure_specs_round_trip_and_reject_unknown_kinds() {
+        for measure in [
+            MeasureSpec::SearchSweep,
+            MeasureSpec::DegreeDistribution { bins_per_decade: 8 },
+        ] {
+            let text = measure.to_json().to_pretty_string();
+            let back = MeasureSpec::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, measure, "{text}");
+        }
+        let bad = JsonValue::parse(r#"{"kind": "entropy"}"#).unwrap();
+        assert!(matches!(
+            MeasureSpec::from_json(&bad),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_scenario_validation_enforces_its_shape() {
+        let topology = TopologySpec::Pa {
+            nodes: 100,
+            m: 2,
+            cutoff: None,
+        };
+        let good = ScenarioSpec::degree_distribution("deg", topology.clone(), None, 8, 1, 1);
+        good.validate().unwrap();
+
+        // A search section is meaningless for a degree measure.
+        let mut with_search = good.clone();
+        with_search.search = Some(SearchSpec::Flooding);
+        assert!(matches!(
+            with_search.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        // Sweep measurement knobs must stay empty.
+        let mut with_ttls = good.clone();
+        with_ttls.sweep = Some(SweepSpec::single(vec![1], 5));
+        assert!(matches!(
+            with_ttls.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        // Zero bins per decade cannot bin anything.
+        let zero_bins = ScenarioSpec::degree_distribution("deg", topology, None, 0, 1, 1);
+        assert!(matches!(
+            zero_bins.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        // Dynamic scenarios only support the search-sweep measure.
+        let mut churn = ScenarioSpec::churn("churn", SimulationConfig::small(), 1, 1);
+        churn.measure = MeasureSpec::DegreeDistribution { bins_per_decade: 8 };
+        assert!(matches!(
+            churn.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
     }
 }

@@ -35,7 +35,11 @@ pub struct AveragedOutcome {
 }
 
 impl AveragedOutcome {
-    fn from_outcomes(ttl: u32, outcomes: &[SearchOutcome]) -> Self {
+    /// Folds raw per-search outcomes into the averaged point for `ttl`.
+    ///
+    /// This is the single averaging rule of the workspace — the serial harness below
+    /// and the batched sweeps in `sfo-engine` both produce their points through it.
+    pub fn from_outcomes(ttl: u32, outcomes: &[SearchOutcome]) -> Self {
         let n = outcomes.len().max(1) as f64;
         AveragedOutcome {
             ttl,

@@ -34,6 +34,17 @@ pub enum QueryMethod {
     RandomWalk,
 }
 
+/// One item lookup of a batch: who asks, for what, and how deep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchQuery {
+    /// The peer issuing the lookup.
+    pub source: PeerId,
+    /// The item looked for.
+    pub item: ItemId,
+    /// Time-to-live of the lookup.
+    pub ttl: u32,
+}
+
 /// Outcome of one item lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct QueryOutcome {
@@ -278,6 +289,73 @@ impl QuerySnapshot {
             QueryMethod::RandomWalk => Ok(self.walk(source, ttl, holds, rng)),
         }
     }
+
+    /// Runs a whole batch of independent lookups over the frozen topology, fanned across
+    /// the `sfo-engine` work-stealing scheduler with `workers` threads (0 = all cores).
+    ///
+    /// Every lookup runs on its own RNG stream derived from `(seed, its batch index)`
+    /// with the engine's [`sfo_engine::job_rng`] rule, so the outcome vector is
+    /// deterministic and *independent of the worker count* — unlike a serial loop over
+    /// one shared RNG, which is why this entry point takes a seed rather than an RNG.
+    /// Item placement is read live from `overlay`, exactly like [`QuerySnapshot::run_query`];
+    /// batches of fewer than [`QuerySnapshot::PARALLEL_BATCH_MIN`] lookups run inline,
+    /// where thread fan-out would cost more than it saves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPeer`] if any source was not part of the overlay when
+    /// the snapshot was captured and [`SimError::InvalidConfig`] for a zero NF fan-out;
+    /// both are checked before any lookup runs.
+    pub fn run_query_batch(
+        &self,
+        overlay: &OverlayNetwork,
+        method: QueryMethod,
+        queries: &[BatchQuery],
+        seed: u64,
+        workers: usize,
+    ) -> Result<Vec<QueryOutcome>> {
+        if let QueryMethod::NormalizedFlooding { k_min: 0 } = method {
+            return Err(SimError::InvalidConfig {
+                reason: "normalized flooding fan-out must be positive",
+            });
+        }
+        let sources: Vec<NodeId> = queries
+            .iter()
+            .map(|q| {
+                self.index
+                    .get(&q.source)
+                    .copied()
+                    .ok_or(SimError::UnknownPeer {
+                        peer: q.source.raw(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let workers = if queries.len() < Self::PARALLEL_BATCH_MIN {
+            1
+        } else {
+            workers
+        };
+        Ok(sfo_engine::run_batch_scoped(
+            workers,
+            queries.len(),
+            seed,
+            |i, rng| {
+                let query = &queries[i];
+                let holds = |node: NodeId| overlay.holds_item(self.peers[node.index()], query.item);
+                match method {
+                    QueryMethod::Flooding => self.flood(sources[i], query.ttl, None, holds, rng),
+                    QueryMethod::NormalizedFlooding { k_min } => {
+                        self.flood(sources[i], query.ttl, Some(k_min), holds, rng)
+                    }
+                    QueryMethod::RandomWalk => self.walk(sources[i], query.ttl, holds, rng),
+                }
+            },
+        ))
+    }
+
+    /// Below this batch size, [`QuerySnapshot::run_query_batch`] runs inline: spawning
+    /// scoped worker threads costs more than a handful of lookups.
+    pub const PARALLEL_BATCH_MIN: usize = 16;
 
     fn flood<R: Rng + ?Sized>(
         &self,
@@ -632,6 +710,117 @@ mod tests {
             .run_query(&overlay, QueryMethod::Flooding, source, missing, 5, &mut r)
             .unwrap();
         assert!(nf.messages < fl.messages);
+    }
+
+    #[test]
+    fn batched_queries_are_worker_count_independent() {
+        let mut overlay = build_overlay(120, 30);
+        let mut r = rng(31);
+        let item = ItemId::new(4);
+        for _ in 0..12 {
+            let holder = overlay.random_peer(&mut r).unwrap();
+            overlay.store_item(holder, item).unwrap();
+        }
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let queries: Vec<BatchQuery> = overlay
+            .peers()
+            .take(40)
+            .map(|source| BatchQuery {
+                source,
+                item,
+                ttl: 5,
+            })
+            .collect();
+        for method in [
+            QueryMethod::Flooding,
+            QueryMethod::NormalizedFlooding { k_min: 2 },
+            QueryMethod::RandomWalk,
+        ] {
+            let reference = snapshot
+                .run_query_batch(&overlay, method, &queries, 7, 1)
+                .unwrap();
+            assert_eq!(reference.len(), queries.len());
+            assert!(reference.iter().any(|o| o.found), "{method:?}");
+            for workers in [2usize, 4, 0] {
+                let got = snapshot
+                    .run_query_batch(&overlay, method, &queries, 7, workers)
+                    .unwrap();
+                assert_eq!(got, reference, "{method:?} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_per_job_stream_singles() {
+        // Each batched lookup must equal a single lookup run with the job's derived
+        // stream — the contract that makes batching a pure scheduling change.
+        let overlay = build_overlay(60, 32);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let queries: Vec<BatchQuery> = overlay
+            .peers()
+            .take(20)
+            .map(|source| BatchQuery {
+                source,
+                item: ItemId::new(999),
+                ttl: 4,
+            })
+            .collect();
+        let method = QueryMethod::NormalizedFlooding { k_min: 2 };
+        let batched = snapshot
+            .run_query_batch(&overlay, method, &queries, 11, 3)
+            .unwrap();
+        for (i, query) in queries.iter().enumerate() {
+            let mut job_rng = sfo_engine::job_rng(11, i);
+            let single = snapshot
+                .run_query(
+                    &overlay,
+                    method,
+                    query.source,
+                    query.item,
+                    query.ttl,
+                    &mut job_rng,
+                )
+                .unwrap();
+            assert_eq!(batched[i], single, "job {i}");
+        }
+    }
+
+    #[test]
+    fn batch_errors_are_reported_before_any_lookup_runs() {
+        let overlay = build_overlay(10, 33);
+        let snapshot = QuerySnapshot::capture(&overlay);
+        let mut queries: Vec<BatchQuery> = overlay
+            .peers()
+            .map(|source| BatchQuery {
+                source,
+                item: ItemId::new(0),
+                ttl: 3,
+            })
+            .collect();
+        queries.push(BatchQuery {
+            source: PeerId::new_for_tests(10_000),
+            item: ItemId::new(0),
+            ttl: 3,
+        });
+        assert!(matches!(
+            snapshot.run_query_batch(&overlay, QueryMethod::Flooding, &queries, 1, 2),
+            Err(SimError::UnknownPeer { .. })
+        ));
+        queries.pop();
+        assert!(matches!(
+            snapshot.run_query_batch(
+                &overlay,
+                QueryMethod::NormalizedFlooding { k_min: 0 },
+                &queries,
+                1,
+                2
+            ),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let empty = snapshot
+            .run_query_batch(&overlay, QueryMethod::Flooding, &[], 1, 2)
+            .unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::catalog::Catalog;
 use crate::churn::{ChurnAction, ChurnTrace};
 use crate::events::Tick;
 use crate::overlay::{OverlayConfig, OverlayNetwork, PeerId};
-use crate::query::{QueryMethod, QuerySnapshot};
+use crate::query::{BatchQuery, QueryMethod, QuerySnapshot};
 use crate::replication::{allocate, place, ReplicationStrategy};
 use crate::simulation::OverlaySample;
 use crate::workload::Workload;
@@ -193,20 +193,26 @@ pub fn run_trace<R: Rng + ?Sized>(
         if count == 0 {
             return Ok(());
         }
-        // The topology is fixed for the whole gap, so freeze it once and serve the batch
-        // from the CSR snapshot (build-once/query-many, same as `Simulation::run`).
+        // The topology is fixed for the whole gap, so freeze it once and serve the gap's
+        // lookups as one batch through the engine scheduler (build-once/query-many, now
+        // also query-in-parallel). The batch spec — who asks for what — is drawn from
+        // the main stream so churn replay stays deterministic; each lookup then runs on
+        // its own stream derived from the batch seed, so the outcomes are independent
+        // of the engine's worker count.
         let snapshot = QuerySnapshot::capture(overlay);
-        for _ in 0..count {
-            let source = overlay.random_peer(rng)?;
-            let item = config.workload.sample_query(&catalog, to, rng);
-            let outcome = snapshot.run_query(
-                overlay,
-                config.query_method,
-                source,
-                item,
-                config.query_ttl,
-                rng,
-            )?;
+        let queries = (0..count)
+            .map(|_| {
+                Ok(BatchQuery {
+                    source: overlay.random_peer(rng)?,
+                    item: config.workload.sample_query(&catalog, to, rng),
+                    ttl: config.query_ttl,
+                })
+            })
+            .collect::<Result<Vec<BatchQuery>>>()?;
+        let batch_seed = rng.next_u64();
+        let outcomes =
+            snapshot.run_query_batch(overlay, config.query_method, &queries, batch_seed, 0)?;
+        for outcome in outcomes {
             report.queries_issued += 1;
             report.query_messages += outcome.messages;
             if outcome.found {

@@ -1,10 +1,14 @@
 //! The `sfo` command-line tool: run declarative scenario files end to end.
 //!
 //! ```text
-//! sfo scenario run <spec.json> [--out <report.json>] [--quiet]
+//! sfo scenario run <spec.json> [--out <report.json>] [--threads N] [--quiet]
 //! sfo scenario validate <spec.json> [<spec.json> ...]
-//! sfo scenario template [static|churn|trace]
+//! sfo scenario template [static|degree|churn|trace]
 //! ```
+//!
+//! `--threads N` overrides the spec's sweep thread count without editing the file —
+//! results are unchanged, because every task and every engine-batched job derives its
+//! own RNG stream.
 //!
 //! `run` parses and validates a [`ScenarioSpec`] file, executes it through the shared
 //! [`ScenarioRunner`], prints a human summary to stderr, and writes the full
@@ -24,10 +28,13 @@ fn usage() -> String {
     "usage: sfo scenario <command>\n\
      \n\
      commands:\n\
-     \x20 run <spec.json> [--out <report.json>] [--quiet]   execute a scenario file\n\
+     \x20 run <spec.json> [--out <report.json>] [--threads N] [--quiet]\n\
+     \x20                                                    execute a scenario file\n\
      \x20 validate <spec.json> [...]                         check scenario files\n\
-     \x20 template [static|churn|trace]                      print a starter spec\n\
+     \x20 template [static|degree|churn|trace]               print a starter spec\n\
      \n\
+     --threads N overrides the spec's sweep thread count without editing the file\n\
+     (results are unchanged: every task and batched job has its own RNG stream).\n\
      Example spec files reproducing paper figures live in examples/*.json."
         .to_string()
 }
@@ -73,6 +80,7 @@ fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
 fn run(args: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut out: Option<&str> = None;
+    let mut threads: Option<usize> = None;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -81,6 +89,13 @@ fn run(args: &[String]) -> ExitCode {
                 Some(value) => out = Some(value),
                 None => {
                     eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => threads = Some(value),
+                None => {
+                    eprintln!("--threads requires a thread count (0 = all cores)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -101,13 +116,20 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("run requires a spec file\n{}", usage());
         return ExitCode::FAILURE;
     };
-    let spec = match load_spec(path) {
+    let mut spec = match load_spec(path) {
         Ok(spec) => spec,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(threads) = threads {
+        // Results are thread-count independent, so overriding the knob is always safe.
+        match spec.sweep.as_mut() {
+            Some(sweep) => sweep.threads = threads,
+            None => eprintln!("note: --threads only applies to scenarios with a sweep section"),
+        }
+    }
     if !quiet {
         eprintln!(
             "running scenario '{}' ({} realizations) ...",
@@ -152,6 +174,18 @@ fn summarize(report: &ScenarioReport) {
                     series.label,
                     series.points.len(),
                     last.map(|p| p.y).unwrap_or(0.0),
+                );
+            }
+        }
+        ScenarioResult::DegreeDistribution { curves } => {
+            eprintln!("{} P(k) curve(s):", curves.len());
+            for curve in curves {
+                let max_k = curve.points.last().map(|p| p.k).unwrap_or(0.0);
+                eprintln!(
+                    "  {:<40} {} bins, support up to k≈{:.1}",
+                    curve.label,
+                    curve.points.len(),
+                    max_k,
                 );
             }
         }
@@ -227,6 +261,21 @@ fn template(kind: Option<&str>) -> ExitCode {
             42,
             3,
         ),
+        "degree" => sfoverlay::prelude::ScenarioSpec::degree_distribution(
+            "my-degrees",
+            TopologySpec::Pa {
+                nodes: 10_000,
+                m: 1,
+                cutoff: None,
+            },
+            Some(sfoverlay::scenario::SweepSpec::axes(
+                vec![1, 3],
+                vec![Some(10), None],
+            )),
+            8,
+            42,
+            3,
+        ),
         "churn" => ScenarioSpec::churn("my-churn", SimulationConfig::small(), 42, 3),
         "trace" => {
             use sfoverlay::prelude::{ChurnTraceConfig, SessionModel, TraceRunConfig};
@@ -247,10 +296,18 @@ fn template(kind: Option<&str>) -> ExitCode {
             )
         }
         other => {
-            eprintln!("unknown template '{other}' (expected static, churn, or trace)");
+            eprintln!("unknown template '{other}' (expected static, degree, churn, or trace)");
             return ExitCode::FAILURE;
         }
     };
+    // The spec parser tolerates `//` comments, so the header survives a round trip.
+    println!("// Starter scenario — edit and run with: sfo scenario run <file.json>");
+    println!("// Override the sweep thread count without editing: --threads N (0 = all cores).");
+    println!(
+        "// Engine knobs under \"sweep\": \"shard_count\" partitions each frozen realization,"
+    );
+    println!("// \"batch\": true fans its searches over the sfo-engine worker pool; results are");
+    println!("// independent of both knobs and of --threads.");
     print!("{}", spec.to_json_string());
     ExitCode::SUCCESS
 }

@@ -11,6 +11,12 @@
 //!   modified preferential-attachment family (nonlinear PA, fitness, local events, initial
 //!   attractiveness, uncorrelated CM) ([`sfo_core`]).
 //! * [`search`] — flooding, normalized flooding, and random-walk search ([`sfo_search`]).
+//! * [`engine`] — the sharded CSR topology store and batched query scheduler
+//!   ([`sfo_engine`]): [`ShardedCsr`](sfo_engine::ShardedCsr) partitions a frozen
+//!   snapshot into `Send + Sync` node-range shards with cross-shard boundary tables,
+//!   and [`WorkerPool`](sfo_engine::WorkerPool) fans
+//!   [`QueryBatch`](sfo_engine::QueryBatch)es across a persistent work-stealing pool
+//!   with per-job RNG streams (results independent of worker and shard counts).
 //! * [`analysis`] — histograms, power-law fits, and result series ([`sfo_analysis`]).
 //! * [`sim`] — the live-overlay churn simulator ([`sfo_sim`]).
 //! * [`scenario`] — the declarative scenario layer ([`sfo_scenario`]): serializable
@@ -47,6 +53,7 @@
 
 pub use sfo_analysis as analysis;
 pub use sfo_core as topology;
+pub use sfo_engine as engine;
 pub use sfo_experiments as experiments;
 pub use sfo_graph as graph;
 pub use sfo_scenario as scenario;
@@ -68,10 +75,14 @@ pub mod prelude {
     pub use sfo_core::{
         DegreeCutoff, DynTopologyGenerator, Locality, StubCount, TopologyError, TopologyGenerator,
     };
+    pub use sfo_engine::{
+        batched_rw_normalized_to_nf, batched_ttl_sweep, BoundaryTable, CsrShard, EngineConfig,
+        QueryBatch, QueryJob, ShardedCsr, WorkerPool,
+    };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
     pub use sfo_scenario::{
-        DynamicsSpec, ScenarioError, ScenarioReport, ScenarioRunner, ScenarioSpec, SearchSpec,
-        SweepMetric, SweepSpec, TopologySpec,
+        DegreeCurve, DynamicsSpec, MeasureSpec, ScenarioError, ScenarioReport, ScenarioRunner,
+        ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
     };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;
@@ -114,6 +125,12 @@ mod tests {
         };
         let _ = TraceRunConfig::small();
         let _ = ScenarioRunner::new();
+        // The engine layer is reachable through the prelude too.
+        let sharded = ShardedCsr::from_graph(&Graph::with_nodes(4), 2);
+        assert_eq!(sharded.shard_count(), 2);
+        let _ = QueryBatch::new();
+        let _ = EngineConfig::with_workers(2);
+        let _ = MeasureSpec::DegreeDistribution { bins_per_decade: 8 };
         let spec = ScenarioSpec::sweep(
             "prelude",
             TopologySpec::Pa {

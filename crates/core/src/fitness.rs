@@ -1,6 +1,6 @@
-//! Fitness-based preferential attachment (paper §III-C, refs. [54, 55]).
+//! Fitness-based preferential attachment (paper §III-C, refs. \[54, 55\]).
 //!
-//! The paper lists "fitness models [54], [55]" among the modified preferential-attachment
+//! The paper lists "fitness models \[54\], \[55\]" among the modified preferential-attachment
 //! mechanisms that yield power-law networks with exponents other than `γ = 3`. In the
 //! Bianconi-Barabási formulation every node `i` carries an intrinsic *fitness* `η_i` drawn
 //! from a fixed distribution when it joins, and a new node attaches to `i` with probability

@@ -22,11 +22,11 @@
 //!
 //! | Mechanism | Module | Paper reference |
 //! |---|---|---|
-//! | Nonlinear PA (`Π ∝ k^α`) | [`nonlinear`] | refs. [52, 53] |
-//! | Fitness model (`Π ∝ η k`) | [`fitness`] | refs. [54, 55] |
-//! | Local events (add/rewire/grow) | [`local_events`] | ref. [7] |
+//! | Nonlinear PA (`Π ∝ k^α`) | [`nonlinear`] | refs. \[52, 53\] |
+//! | Fitness model (`Π ∝ η k`) | [`fitness`] | refs. \[54, 55\] |
+//! | Local events (add/rewire/grow) | [`local_events`] | ref. \[7\] |
 //! | Initial attractiveness (`Π ∝ k + a`, `γ = 3 + a/m`) | [`attractiveness`] | §III-C exponent tuning |
-//! | Uncorrelated CM (structural cutoff) | [`ucm`] | ref. [59] |
+//! | Uncorrelated CM (structural cutoff) | [`ucm`] | ref. \[59\] |
 //!
 //! # Example
 //!

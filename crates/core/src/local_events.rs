@@ -1,6 +1,6 @@
-//! Local-events growing network with edge addition and rewiring (paper §III-C, ref. [7]).
+//! Local-events growing network with edge addition and rewiring (paper §III-C, ref. \[7\]).
 //!
-//! The paper cites "dynamic edge-rewiring [7]" — the Albert-Barabási *local events* model —
+//! The paper cites "dynamic edge-rewiring \[7\]" — the Albert-Barabási *local events* model —
 //! as one of the modified preferential-attachment mechanisms that produce power-law degree
 //! distributions with tunable exponents. The model evolves an initially sparse network by
 //! repeating one of three local events at every time step:

@@ -1,7 +1,7 @@
-//! Nonlinear preferential attachment (paper §III-C, refs. [52, 53]).
+//! Nonlinear preferential attachment (paper §III-C, refs. \[52, 53\]).
 //!
 //! The paper motivates the Configuration Model by noting that "modified PA models such as
-//! nonlinear preferential attachment [52], [53] ... have been proposed" to obtain power-law
+//! nonlinear preferential attachment \[52\], \[53\] ... have been proposed" to obtain power-law
 //! networks whose exponent differs from the Barabási-Albert value `γ = 3`. This module
 //! implements that family: a growing network in which a new node attaches to an existing
 //! node `i` with probability proportional to `k_i^α`.

@@ -1,7 +1,7 @@
-//! Uncorrelated Configuration Model (UCM) with the structural cutoff (paper ref. [59]).
+//! Uncorrelated Configuration Model (UCM) with the structural cutoff (paper ref. \[59\]).
 //!
 //! The paper's configuration-model discussion cites Catanzaro, Boguñá & Pastor-Satorras
-//! [59] for the observation that wiring a heavy-tailed degree sequence whose maximum degree
+//! \[59\] for the observation that wiring a heavy-tailed degree sequence whose maximum degree
 //! exceeds the *structural cutoff* `k_s ∼ √(⟨k⟩ N)` necessarily creates degree correlations
 //! or multi-edges. The UCM avoids both by (i) truncating the degree-sequence support at
 //! `√N` and (ii) wiring stubs by *rejection*: a candidate pair is discarded (and redrawn)

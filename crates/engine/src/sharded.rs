@@ -18,7 +18,9 @@
 //! `ShardedCsr` from any number of worker threads.
 
 use serde::{Deserialize, Serialize};
+use sfo_graph::snapshot::{BoundaryRecord, ShardRecord, SnapshotError, SnapshotFile};
 use sfo_graph::{CsrGraph, Graph, GraphView, NodeId};
+use std::path::Path;
 
 /// One directed adjacency entry whose endpoints live in different shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -318,6 +320,86 @@ impl ShardedCsr {
         let i = node.index();
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
+
+    /// The store's partition as the snapshot codec's manifest records.
+    fn manifest_records(&self) -> Vec<ShardRecord> {
+        self.shards
+            .iter()
+            .map(|shard| ShardRecord {
+                start: shard.start as u64,
+                end: shard.end as u64,
+                boundary: shard
+                    .boundary
+                    .edges()
+                    .iter()
+                    .map(|edge| BoundaryRecord {
+                        source: edge.source.as_u32(),
+                        target: edge.target.as_u32(),
+                        target_shard: edge.target_shard as u32,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Packs the store into a [`SnapshotFile`]: the flat CSR arrays plus a shard
+    /// manifest recording every shard's node range and [`BoundaryTable`], with no
+    /// provenance (callers like `sfo snapshot build` attach their own before saving).
+    pub fn to_snapshot_file(&self) -> SnapshotFile {
+        SnapshotFile {
+            csr: self.to_csr(),
+            shards: Some(self.manifest_records()),
+            provenance: None,
+        }
+    }
+
+    /// Writes the store to `path` in the binary `SFOS` snapshot format: the flat CSR
+    /// arrays plus a shard manifest recording every shard's node range and
+    /// [`BoundaryTable`].
+    ///
+    /// A shard host deployment ships exactly what one manifest record describes — the
+    /// shard's contiguous [`ShardedCsr::shard_targets`] rows plus its boundary table as
+    /// the cross-shard routing table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.to_snapshot_file().save(path)
+    }
+
+    /// Reads a sharded store back from an `SFOS` snapshot file written by
+    /// [`ShardedCsr::save`], reconstructing every shard from its contiguous row slice.
+    ///
+    /// The shards are rebuilt with [`ShardedCsr::from_csr_owned`] over the stored
+    /// arrays and then checked against the file's manifest entry by entry, so a loaded
+    /// store is *exactly* the saved one — same ranges, same row blocks, same boundary
+    /// tables — or a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] when the file cannot be read,
+    /// [`SnapshotError::MissingSection`] when it has no shard manifest (a plain
+    /// [`CsrGraph::save`] file; load it with [`CsrGraph::load`] and shard it with
+    /// [`ShardedCsr::from_csr_owned`] instead), [`SnapshotError::Corrupt`] when the
+    /// stored manifest does not describe the stored topology, and every decoding error
+    /// of [`SnapshotFile::load`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let file = SnapshotFile::load(path)?;
+        let Some(stored) = file.shards else {
+            return Err(SnapshotError::MissingSection {
+                section: "shard manifest",
+            });
+        };
+        let rebuilt = ShardedCsr::from_csr_owned(file.csr, stored.len());
+        if rebuilt.manifest_records() != stored {
+            return Err(SnapshotError::Corrupt {
+                reason: "shard manifest does not match the partition of the stored topology"
+                    .to_string(),
+            });
+        }
+        Ok(rebuilt)
+    }
 }
 
 /// O(1) shard lookup: the first `big_shards` shards hold `base + 1` nodes, the rest
@@ -565,5 +647,77 @@ mod tests {
     fn out_of_bounds_lookup_panics() {
         let sharded = ShardedCsr::from_graph(&sample(10), 2);
         let _ = sharded.neighbors(n(99));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sfo-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly_including_boundary_tables() {
+        let g = sample(23);
+        for shards in [1usize, 2, 7] {
+            let store = ShardedCsr::from_graph(&g, shards);
+            let path = temp_path(&format!("roundtrip-{shards}.sfos"));
+            store.save(&path).unwrap();
+            let back = ShardedCsr::load(&path).unwrap();
+            assert_eq!(back, store, "{shards} shards");
+            for (a, b) in back.shards().iter().zip(store.shards()) {
+                assert_eq!(a.boundary(), b.boundary());
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn plain_snapshots_are_rejected_with_a_missing_section_error() {
+        let path = temp_path("plain.sfos");
+        sample(12).freeze().save(&path).unwrap();
+        assert_eq!(
+            ShardedCsr::load(&path),
+            Err(SnapshotError::MissingSection {
+                section: "shard manifest"
+            })
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sharded_files_load_as_plain_topologies_too() {
+        // The arrays in a sharded file are the full topology; CsrGraph::load serves a
+        // consumer that does not care about the partition.
+        let g = sample(16);
+        let store = ShardedCsr::from_graph(&g, 4);
+        let path = temp_path("as-plain.sfos");
+        store.save(&path).unwrap();
+        assert_eq!(CsrGraph::load(&path).unwrap(), g.freeze());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn manifests_that_disagree_with_the_topology_are_rejected() {
+        // Write a file whose manifest passes the codec's structural checks but lies
+        // about the partition: empty boundary tables on a topology with cross-shard
+        // edges. The load-time comparison against the recomputed partition catches it.
+        let g = sample(20);
+        let store = ShardedCsr::from_graph(&g, 4);
+        let mut records = store.manifest_records();
+        for record in &mut records {
+            record.boundary.clear();
+        }
+        let file = SnapshotFile {
+            csr: store.to_csr(),
+            shards: Some(records),
+            provenance: None,
+        };
+        let path = temp_path("bad-manifest.sfos");
+        file.save(&path).unwrap();
+        assert!(matches!(
+            ShardedCsr::load(&path),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -215,7 +215,7 @@ pub fn search_strategies(scale: &Scale, seed: u64) -> ExperimentOutput {
     ExperimentOutput::Figure(figure)
 }
 
-/// Replication-strategy comparison (Cohen & Shenker, ref. [22]): expected search size and
+/// Replication-strategy comparison (Cohen & Shenker, ref. \[22\]): expected search size and
 /// simulated normalized-flooding success rate for uniform, proportional, and square-root
 /// replica allocation over a live overlay with hard cutoffs.
 pub fn replication(scale: &Scale, seed: u64) -> ExperimentOutput {

@@ -1,6 +1,6 @@
 //! Degree correlations: average neighbor degree `k_nn(k)` and the rich-club coefficient.
 //!
-//! The configuration-model literature the paper builds on (refs. [50], [59]) distinguishes
+//! The configuration-model literature the paper builds on (refs. \[50\], \[59\]) distinguishes
 //! networks by whether high-degree nodes preferentially link to each other. Two standard
 //! summaries are provided here:
 //!

@@ -104,6 +104,51 @@ impl CsrGraph {
         (self.offsets, self.targets)
     }
 
+    /// Borrows the raw `(offsets, targets)` arrays without consuming the snapshot — the
+    /// read-side counterpart of [`CsrGraph::into_parts`], used by the binary snapshot
+    /// codec to serialize the arrays verbatim.
+    pub fn raw_parts(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Assembles a snapshot directly from raw arrays the caller has already proven
+    /// consistent. Only the snapshot codec constructs graphs this way, after its full
+    /// structural validation pass; everything else goes through
+    /// [`CsrGraph::from_neighbor_lists`].
+    pub(crate) fn from_raw_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        CsrGraph { offsets, targets }
+    }
+
+    /// Writes the snapshot to `path` in the binary `SFOS` format (no shard manifest, no
+    /// provenance — see [`crate::snapshot`] for the sectioned writers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`](crate::snapshot::SnapshotError::Io) when the file
+    /// cannot be written.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        crate::snapshot::write_bytes(path.as_ref(), &crate::snapshot::encode(self, None, None))
+    }
+
+    /// Reads a topology from an `SFOS` snapshot file, verifying its checksum and full
+    /// structural consistency.
+    ///
+    /// Any valid snapshot is accepted: a file written by a sharded store or by
+    /// `sfo snapshot build` yields the same topology, with the extra sections ignored.
+    /// Use [`crate::snapshot::SnapshotFile::load`] to keep them.
+    ///
+    /// # Errors
+    ///
+    /// Returns every decoding error of
+    /// [`SnapshotFile::load`](crate::snapshot::SnapshotFile::load).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(crate::snapshot::SnapshotFile::load(path)?.csr)
+    }
+
     /// Rebuilds a mutable [`Graph`] from this snapshot in O(V + E).
     ///
     /// Neighbor order is preserved, so `graph.freeze().thaw() == graph` for any graph.

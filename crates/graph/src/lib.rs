@@ -32,6 +32,10 @@
 //!   closeness / betweenness centrality, core numbers, `k_nn(k)`, rich-club coefficients)
 //!   used to quantify how hard cutoffs redistribute hub load.
 //! * [`io`]: plain-text edge-list serialization for replaying topologies across tools.
+//! * [`snapshot`]: the binary `SFOS` snapshot codec — versioned, checksummed CSR
+//!   topology files ([`CsrGraph::save`]/[`CsrGraph::load`]) with optional shard
+//!   manifests and provenance, the persistence and wire format of the workspace
+//!   (byte layout in `docs/FORMATS.md`).
 //! * [`percolation`]: the Molloy-Reed giant-component criterion and random-removal
 //!   thresholds behind the paper's connectivity and robustness observations.
 //! * [`rewire`]: degree-preserving double-edge-swap randomization (null models) and the
@@ -72,6 +76,7 @@ pub mod metrics;
 pub mod percolation;
 pub mod resilience;
 pub mod rewire;
+pub mod snapshot;
 pub mod traversal;
 
 pub use csr::CsrGraph;

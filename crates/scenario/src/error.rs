@@ -1,6 +1,7 @@
 //! Error type of the scenario layer.
 
 use sfo_core::TopologyError;
+use sfo_graph::snapshot::SnapshotError;
 use sfo_sim::SimError;
 use std::error::Error;
 use std::fmt;
@@ -28,6 +29,9 @@ pub enum ScenarioError {
     Topology(TopologyError),
     /// The churn simulator or trace runner rejected its configuration.
     Sim(SimError),
+    /// A `TopologySpec::Snapshot` file could not be read, failed verification, or lacks
+    /// the section the scenario needs.
+    Snapshot(SnapshotError),
 }
 
 impl ScenarioError {
@@ -53,6 +57,7 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::Topology(e) => write!(f, "topology generation failed: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ScenarioError::Snapshot(e) => write!(f, "topology snapshot failed: {e}"),
         }
     }
 }
@@ -62,6 +67,7 @@ impl Error for ScenarioError {
         match self {
             ScenarioError::Topology(e) => Some(e),
             ScenarioError::Sim(e) => Some(e),
+            ScenarioError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -76,6 +82,12 @@ impl From<TopologyError> for ScenarioError {
 impl From<SimError> for ScenarioError {
     fn from(value: SimError) -> Self {
         ScenarioError::Sim(value)
+    }
+}
+
+impl From<SnapshotError> for ScenarioError {
+    fn from(value: SnapshotError) -> Self {
+        ScenarioError::Snapshot(value)
     }
 }
 

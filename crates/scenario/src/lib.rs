@@ -24,6 +24,12 @@
 //! and the `sfo scenario run <file.json>` binary in the facade crate executes spec files
 //! directly (examples ship under `examples/*.json`).
 //!
+//! Topologies can also be built once and persisted: [`build_snapshot`] writes a spec's
+//! realization-0 topology as a binary `SFOS` file (with provenance and an optional
+//! shard manifest), and [`TopologySpec::Snapshot`] runs any later scenario against that
+//! file with byte-identical results — the paper's reuse-the-same-realizations workflow,
+//! served by `sfo snapshot build|inspect|verify` on the CLI.
+//!
 //! # Example
 //!
 //! ```
@@ -60,6 +66,7 @@ mod error;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod snapshot_build;
 pub mod spec;
 
 pub use error::ScenarioError;
@@ -68,6 +75,7 @@ pub use report::{
     SweepCurve, SweepMetric, SweepPoint, TraceRealization,
 };
 pub use runner::ScenarioRunner;
+pub use snapshot_build::build_snapshot;
 pub use spec::{
     BuiltSearch, DynamicsSpec, MeasureSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec,
 };

@@ -29,6 +29,7 @@ use sfo_analysis::Summary;
 use sfo_engine::{
     batched_rw_normalized_to_nf, batched_ttl_sweep, EngineConfig, ShardedCsr, WorkerPool,
 };
+use sfo_graph::snapshot::{Provenance, SnapshotError, SnapshotFile};
 use sfo_graph::GraphView;
 use sfo_search::experiment::{
     label_salt, rw_normalized_to_nf, stream_rng, ttl_sweep, AveragedOutcome,
@@ -103,6 +104,9 @@ impl ScenarioRunner {
     fn run_sweep(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError> {
         let sweep = spec.sweep.as_ref().expect("validated static spec");
         let search = spec.search.as_ref().expect("validated static spec");
+        if let Some(TopologySpec::Snapshot { path }) = &spec.topology {
+            return run_snapshot_sweep(path, search, sweep);
+        }
         let curves = spec.expanded_topologies();
         let realizations = spec.realizations;
 
@@ -176,6 +180,26 @@ impl ScenarioRunner {
         spec: &ScenarioSpec,
         bins_per_decade: usize,
     ) -> Result<ScenarioResult, ScenarioError> {
+        if let Some(TopologySpec::Snapshot { path }) = &spec.topology {
+            // The file *is* the realization: its degrees are the degrees the inline
+            // generator drew at build time, so the binned curve is byte-identical.
+            let (file, provenance) = load_snapshot_with_provenance(path)?;
+            let degrees = GraphView::degrees(&file.csr);
+            let points = log_binned_distribution(&degrees, bins_per_decade)
+                .iter()
+                .map(|bin| DegreeBinPoint {
+                    k: bin.center,
+                    density: bin.density,
+                    count: bin.count,
+                })
+                .collect();
+            return Ok(ScenarioResult::DegreeDistribution {
+                curves: vec![DegreeCurve {
+                    label: provenance.label,
+                    points,
+                }],
+            });
+        }
         let curves = spec.expanded_topologies();
         let realizations = spec.realizations;
         let threads = spec.sweep.as_ref().map_or(0, |s| s.threads);
@@ -278,6 +302,83 @@ impl ScenarioRunner {
         )?;
         Ok(ScenarioResult::Trace { realizations })
     }
+}
+
+/// Loads a snapshot file and unwraps the provenance record scenario runs require.
+fn load_snapshot_with_provenance(path: &str) -> Result<(SnapshotFile, Provenance), ScenarioError> {
+    let mut file = SnapshotFile::load(path)?;
+    let provenance = file
+        .provenance
+        .take()
+        .ok_or(SnapshotError::MissingSection {
+            section: "provenance",
+        })?;
+    Ok((file, provenance))
+}
+
+/// The whole sweep of a snapshot-backed scenario: load the file, shard its arrays, and
+/// hand the TTL grid to the engine as one query batch seeded with the file's stored
+/// `sweep_seed`.
+///
+/// That seed is the `next_u64()` the generation stream produced right after the
+/// topology was drawn — exactly the batch seed [`run_batched_sweep_task`] derives on the
+/// inline path — and the curve label is the generating spec's label from the provenance
+/// record, so the resulting [`SweepCurve`] is byte-identical to an inline run of the
+/// same scenario (enforced by `tests/snapshot_roundtrip.rs`). Validation has already
+/// pinned snapshot sweeps to `batch: true`, one curve, one realization.
+fn run_snapshot_sweep(
+    path: &str,
+    search: &SearchSpec,
+    sweep: &SweepSpec,
+) -> Result<ScenarioResult, ScenarioError> {
+    let (file, provenance) = load_snapshot_with_provenance(path)?;
+    let sharded = Arc::new(ShardedCsr::from_csr_owned(
+        file.csr,
+        sweep.shard_count.max(1),
+    ));
+    let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
+    let m = usize::try_from(provenance.m).unwrap_or(usize::MAX);
+    let outcomes = match search.build_for::<ShardedCsr>(m)? {
+        BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
+            &pool,
+            &sharded,
+            algorithm,
+            &sweep.ttls,
+            sweep.searches_per_point,
+            provenance.sweep_seed,
+        ),
+        BuiltSearch::RwNormalizedToNf { k_min } => batched_rw_normalized_to_nf(
+            &pool,
+            &sharded,
+            k_min,
+            &sweep.ttls,
+            sweep.searches_per_point,
+            provenance.sweep_seed,
+        ),
+    };
+    // Identical folding to the inline path with one realization.
+    let points = sweep
+        .ttls
+        .iter()
+        .zip(&outcomes)
+        .map(|(&ttl, outcome)| {
+            let mut hits = Summary::new();
+            let mut messages = Summary::new();
+            hits.add(outcome.mean_hits);
+            messages.add(outcome.mean_messages);
+            SweepPoint {
+                ttl,
+                hits: Stat::from_summary(&hits),
+                messages: Stat::from_summary(&messages),
+            }
+        })
+        .collect();
+    Ok(ScenarioResult::Sweep {
+        curves: vec![SweepCurve {
+            label: provenance.label,
+            points,
+        }],
+    })
 }
 
 /// One `(curve, realization)` task of a static sweep: generate, freeze, sweep.

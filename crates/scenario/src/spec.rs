@@ -79,7 +79,7 @@ pub enum TopologySpec {
         /// Hard cutoff `k_c` (`None` = unbounded).
         cutoff: Option<usize>,
     },
-    /// Uncorrelated configuration model with the structural cutoff (ref. [59]).
+    /// Uncorrelated configuration model with the structural cutoff (ref. \[59\]).
     Ucm {
         /// Overlay size.
         nodes: usize,
@@ -112,7 +112,7 @@ pub enum TopologySpec {
         /// Hard cutoff `k_c` (`None` = unbounded).
         cutoff: Option<usize>,
     },
-    /// Nonlinear PA, `Π ∝ k^α` (refs. [52, 53]).
+    /// Nonlinear PA, `Π ∝ k^α` (refs. \[52, 53\]).
     NonlinearPa {
         /// Overlay size.
         nodes: usize,
@@ -123,7 +123,7 @@ pub enum TopologySpec {
         /// Hard cutoff `k_c` (`None` = unbounded).
         cutoff: Option<usize>,
     },
-    /// Fitness model, `Π ∝ η k` (refs. [54, 55]).
+    /// Fitness model, `Π ∝ η k` (refs. \[54, 55\]).
     Fitness {
         /// Overlay size.
         nodes: usize,
@@ -134,7 +134,7 @@ pub enum TopologySpec {
         /// Hard cutoff `k_c` (`None` = unbounded).
         cutoff: Option<usize>,
     },
-    /// Local-events model: growth plus link addition and rewiring (ref. [7]).
+    /// Local-events model: growth plus link addition and rewiring (ref. \[7\]).
     LocalEvents {
         /// Overlay size.
         nodes: usize,
@@ -158,12 +158,33 @@ pub enum TopologySpec {
         /// Hard cutoff `k_c` (`None` = unbounded).
         cutoff: Option<usize>,
     },
+    /// A pre-built topology loaded from a binary `SFOS` snapshot file written by
+    /// `sfo snapshot build` (see `sfo_graph::snapshot`).
+    ///
+    /// The file carries the topology *and* its provenance — the generating curve's
+    /// label, `m`, cutoff, seed, and the `sweep_seed` drawn from the generation stream
+    /// right after the topology was built — so a scenario run against the snapshot is
+    /// byte-identical to the same scenario run against the inline generator. The
+    /// structural accessors ([`TopologySpec::nodes`], [`TopologySpec::m`],
+    /// [`TopologySpec::cutoff`]) return placeholder values for this variant; the runner
+    /// resolves the real ones from the file.
+    ///
+    /// Snapshot scenarios are single-curve and single-realization (the file holds one
+    /// frozen realization), and search sweeps over them must set `sweep.batch = true`:
+    /// the engine's per-job RNG streams are the only sweep discipline that survives the
+    /// build/run split, which is what makes the results byte-identical.
+    Snapshot {
+        /// Path of the `.sfos` file, relative to the working directory of the run.
+        path: String,
+    },
 }
 
 impl TopologySpec {
-    /// Returns the overlay size the spec describes.
+    /// Returns the overlay size the spec describes (0 for [`TopologySpec::Snapshot`],
+    /// whose size lives in the file header and is resolved by the runner).
     pub fn nodes(&self) -> usize {
         match *self {
+            TopologySpec::Snapshot { .. } => 0,
             TopologySpec::Pa { nodes, .. }
             | TopologySpec::Hapa { nodes, .. }
             | TopologySpec::Cm { nodes, .. }
@@ -177,9 +198,11 @@ impl TopologySpec {
         }
     }
 
-    /// Returns the stub count (minimum degree for the configuration models).
+    /// Returns the stub count (minimum degree for the configuration models; 0 for
+    /// [`TopologySpec::Snapshot`], whose `m` lives in the file's provenance record).
     pub fn m(&self) -> usize {
         match *self {
+            TopologySpec::Snapshot { .. } => 0,
             TopologySpec::Pa { m, .. }
             | TopologySpec::Hapa { m, .. }
             | TopologySpec::Cm { m, .. }
@@ -193,9 +216,11 @@ impl TopologySpec {
         }
     }
 
-    /// Returns the hard cutoff (`None` = unbounded).
+    /// Returns the hard cutoff (`None` = unbounded; also `None` for
+    /// [`TopologySpec::Snapshot`], whose cutoff lives in the file's provenance record).
     pub fn cutoff(&self) -> Option<usize> {
         match *self {
+            TopologySpec::Snapshot { .. } => None,
             TopologySpec::Pa { cutoff, .. }
             | TopologySpec::Hapa { cutoff, .. }
             | TopologySpec::Cm { cutoff, .. }
@@ -209,10 +234,12 @@ impl TopologySpec {
         }
     }
 
-    /// Returns a copy with the stub count replaced (used by sweep expansion).
+    /// Returns a copy with the stub count replaced (used by sweep expansion; a no-op
+    /// for [`TopologySpec::Snapshot`], which validation bars from sweep axes anyway).
     pub fn with_m(&self, new_m: usize) -> Self {
         let mut spec = self.clone();
         match &mut spec {
+            TopologySpec::Snapshot { .. } => {}
             TopologySpec::Pa { m, .. }
             | TopologySpec::Hapa { m, .. }
             | TopologySpec::Cm { m, .. }
@@ -227,10 +254,12 @@ impl TopologySpec {
         spec
     }
 
-    /// Returns a copy with the hard cutoff replaced (used by sweep expansion).
+    /// Returns a copy with the hard cutoff replaced (used by sweep expansion; a no-op
+    /// for [`TopologySpec::Snapshot`], which validation bars from sweep axes anyway).
     pub fn with_cutoff(&self, new_cutoff: Option<usize>) -> Self {
         let mut spec = self.clone();
         match &mut spec {
+            TopologySpec::Snapshot { .. } => {}
             TopologySpec::Pa { cutoff, .. }
             | TopologySpec::Hapa { cutoff, .. }
             | TopologySpec::Cm { cutoff, .. }
@@ -258,6 +287,7 @@ impl TopologySpec {
             TopologySpec::Fitness { .. } => "fitness",
             TopologySpec::LocalEvents { .. } => "local_events",
             TopologySpec::Attractiveness { .. } => "attractiveness",
+            TopologySpec::Snapshot { .. } => "snapshot",
         }
     }
 
@@ -321,6 +351,9 @@ impl TopologySpec {
             TopologySpec::Attractiveness { m, a, cutoff, .. } => {
                 format!("PA a={a}, m={m}, {}", cutoff_label(cutoff))
             }
+            // Placeholder only: the runner labels snapshot curves with the provenance
+            // label stored in the file, so reports match the inline generator's.
+            TopologySpec::Snapshot { ref path } => format!("snapshot:{path}"),
         }
     }
 
@@ -380,6 +413,12 @@ impl TopologySpec {
             TopologySpec::Attractiveness { nodes, m, a, .. } => {
                 Box::new(InitialAttractiveness::new(nodes, m, a)?.with_cutoff(cutoff))
             }
+            TopologySpec::Snapshot { .. } => {
+                return Err(ScenarioError::invalid(
+                    "snapshot topologies are loaded from their file, not generated; \
+                     the scenario runner resolves them directly",
+                ))
+            }
         })
     }
 
@@ -391,6 +430,24 @@ impl TopologySpec {
     /// itself (zero nodes, a hard cutoff below `m`) and [`ScenarioError::Topology`] for
     /// everything the generator constructors reject.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        if let TopologySpec::Snapshot { path } = self {
+            // The file must exist, be a snapshot this build reads, and carry the
+            // provenance record the runner needs for its RNG discipline. The arrays
+            // themselves are verified (checksum and structure) at load time.
+            let (header, provenance) = sfo_graph::snapshot::read_meta(path)?;
+            if header.node_count == 0 {
+                return Err(ScenarioError::invalid(format!(
+                    "topology snapshot: {path} holds an empty topology"
+                )));
+            }
+            if provenance.is_none() {
+                return Err(ScenarioError::invalid(format!(
+                    "topology snapshot: {path} has no provenance record; scenario runs \
+                     need one — build the file with `sfo snapshot build`",
+                )));
+            }
+            return Ok(());
+        }
         if self.nodes() == 0 {
             return Err(ScenarioError::invalid(format!(
                 "topology {}: nodes must be positive",
@@ -999,6 +1056,9 @@ impl ScenarioSpec {
                 for topology in self.expanded_topologies() {
                     topology.validate()?;
                 }
+                if let Some(TopologySpec::Snapshot { path }) = &self.topology {
+                    self.validate_snapshot_rules(path)?;
+                }
                 Ok(())
             }
             DynamicsSpec::Churn { .. } | DynamicsSpec::Trace { .. } => {
@@ -1016,6 +1076,54 @@ impl ScenarioSpec {
                 Ok(())
             }
         }
+    }
+
+    /// The extra constraints of a scenario whose topology is a pre-built snapshot file.
+    ///
+    /// A snapshot holds exactly one frozen realization of one curve, so the scenario
+    /// must be single-curve (no sweep axes) and single-realization; its seed must match
+    /// the seed the file was built with (anything else would silently measure a
+    /// different experiment than the spec claims); and a search sweep must route
+    /// through the engine batch scheduler, because per-job RNG streams are the only
+    /// sweep discipline that can continue identically across the build/run split.
+    fn validate_snapshot_rules(&self, path: &str) -> Result<(), ScenarioError> {
+        // TopologySpec::validate has already rejected provenance-less files, but this
+        // is a fresh read of an external file — never assume it still agrees.
+        let (_, provenance) = sfo_graph::snapshot::read_meta(path)?;
+        let Some(provenance) = provenance else {
+            return Err(ScenarioError::invalid(format!(
+                "topology snapshot: {path} has no provenance record; scenario runs \
+                 need one — build the file with `sfo snapshot build`",
+            )));
+        };
+        if self.realizations != 1 {
+            return Err(ScenarioError::invalid(
+                "snapshot scenarios hold one frozen realization; \"realizations\" must be 1",
+            ));
+        }
+        if self.seed != provenance.seed {
+            return Err(ScenarioError::invalid(format!(
+                "scenario seed {} does not match the seed {} the snapshot was built \
+                 with; the file continues that seed's RNG streams",
+                self.seed, provenance.seed
+            )));
+        }
+        if let Some(sweep) = &self.sweep {
+            if !sweep.stubs.is_empty() || !sweep.cutoffs.is_empty() {
+                return Err(ScenarioError::invalid(
+                    "snapshot topologies cannot be regenerated along \"stubs\"/\"cutoffs\" \
+                     sweep axes; both must be empty",
+                ));
+            }
+            if self.measure == MeasureSpec::SearchSweep && !sweep.batch {
+                return Err(ScenarioError::invalid(
+                    "snapshot search sweeps require \"batch\": true — the engine's \
+                     per-job RNG streams are what make results byte-identical to the \
+                     inline generator",
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Serializes the spec to its canonical JSON text.
@@ -1043,6 +1151,10 @@ impl ToJson for TopologySpec {
             "family".to_string(),
             JsonValue::from_str_value(self.family()),
         )];
+        if let TopologySpec::Snapshot { path } = self {
+            members.push(("path".to_string(), JsonValue::from_str_value(path)));
+            return JsonValue::Object(members);
+        }
         members.push(("nodes".to_string(), JsonValue::from_usize(self.nodes())));
         match *self {
             TopologySpec::Cm { gamma, .. } | TopologySpec::Ucm { gamma, .. } => {
@@ -1088,6 +1200,14 @@ impl ToJson for TopologySpec {
 impl FromJson for TopologySpec {
     fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
         const CTX: &str = "topology";
+        // Snapshot is the one family with no generator parameters, so it is dispatched
+        // before the shared nodes/m/cutoff fields are required.
+        if req_str(value, "family", CTX)? == "snapshot" {
+            check_fields(value, CTX, &["family", "path"])?;
+            return Ok(TopologySpec::Snapshot {
+                path: req_str(value, "path", CTX)?.to_string(),
+            });
+        }
         let nodes = req_usize(value, "nodes", CTX)?;
         let m = req_usize(value, "m", CTX)?;
         let cutoff = opt_usize(value, "cutoff", CTX)?;

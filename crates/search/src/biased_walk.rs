@@ -1,4 +1,4 @@
-//! Degree-biased random walk — the "power-law search" of Adamic et al. (paper ref. [62]).
+//! Degree-biased random walk — the "power-law search" of Adamic et al. (paper ref. \[62\]).
 //!
 //! The paper quotes Adamic, Lukose, Puniyani & Huberman's result that a random walk on a
 //! scale-free network with exponent `γ ≈ 2.1` needs `T_N ∼ N^0.79` steps. The same work

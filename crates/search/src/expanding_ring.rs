@@ -1,5 +1,5 @@
 //! Expanding-ring search — successive floods with growing time-to-live (Lv et al.,
-//! paper ref. [23]).
+//! paper ref. \[23\]).
 //!
 //! Fixing the flood TTL in advance is wasteful in both directions: too small and popular
 //! items are missed, too large and the query sweeps the whole overlay for an item that was

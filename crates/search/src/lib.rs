@@ -14,9 +14,9 @@
 //! Beyond the paper's three algorithms, the crate implements the practical variants its
 //! related-work section points to, so they can be compared on the same topologies:
 //!
-//! * [`probabilistic`] — gossip-style probabilistic flooding (refs. [29, 30]);
-//! * [`expanding_ring`] — successive floods of growing radius (Lv et al., ref. [23]);
-//! * [`biased_walk`] — the high-degree-seeking walk of Adamic et al. (ref. [62]);
+//! * [`probabilistic`] — gossip-style probabilistic flooding (refs. \[29, 30\]);
+//! * [`expanding_ring`] — successive floods of growing radius (Lv et al., ref. \[23\]);
+//! * [`biased_walk`] — the high-degree-seeking walk of Adamic et al. (ref. \[62\]);
 //! * [`coverage`] — coverage-curve, granularity, and item-hit-probability metrics.
 //!
 //! The [`experiment`] module reproduces the paper's measurement methodology: hits

@@ -1,4 +1,4 @@
-//! Probabilistic flooding — the query-suppression family of refs. [29, 30].
+//! Probabilistic flooding — the query-suppression family of refs. \[29, 30\].
 //!
 //! Plain flooding forwards the query over *every* link, which the paper calls unscalable;
 //! normalized flooding caps the fan-out at `k_min`. Probabilistic flooding is the third

@@ -19,7 +19,7 @@
 //! * [`simulation`] — the end-to-end simulation loop and its report (overlay health and
 //!   query success over time).
 //! * [`replication`] — uniform / proportional / square-root replica allocation (Cohen &
-//!   Shenker, ref. [22]) and placement over the live overlay.
+//!   Shenker, ref. \[22\]) and placement over the live overlay.
 //! * [`churn`] — heavy-tailed session-time models and reproducible churn traces.
 //! * [`workload`] — stationary Zipf and flash-crowd query workloads.
 //! * [`trace_runner`] — replays a churn trace (plus a workload) against the live overlay,

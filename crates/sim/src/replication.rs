@@ -1,4 +1,4 @@
-//! Replication strategies for the item catalog (Cohen & Shenker, paper ref. [22]).
+//! Replication strategies for the item catalog (Cohen & Shenker, paper ref. \[22\]).
 //!
 //! How many copies of each item the overlay keeps determines how far a blind search has to
 //! look. The replication literature the paper cites compares three allocation rules given a

@@ -1,7 +1,7 @@
 //! Query workloads: stationary Zipf popularity and flash crowds.
 //!
 //! The paper's related work highlights "handling of dynamic flash crowds" as a challenge
-//! for small-world/unstructured overlays (ref. [4]): a previously unremarkable item
+//! for small-world/unstructured overlays (ref. \[4\]): a previously unremarkable item
 //! suddenly dominates the query stream, and an overlay whose replication and topology were
 //! tuned for the stationary popularity has to absorb it. This module models both regimes on
 //! top of the [`Catalog`]: a stationary workload simply samples the catalog's Zipf law,

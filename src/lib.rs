@@ -6,7 +6,10 @@
 //! It re-exports the workspace crates under stable module names so applications can depend
 //! on a single crate:
 //!
-//! * [`graph`] — graph substrate and substrate-network generators ([`sfo_graph`]).
+//! * [`graph`] — graph substrate and substrate-network generators ([`sfo_graph`]),
+//!   including the binary `SFOS` snapshot codec ([`sfo_graph::snapshot`]) behind
+//!   `CsrGraph::save`/`load`, `ShardedCsr::save`/`load`, and the `sfo snapshot`
+//!   subcommands (byte layout documented in `docs/FORMATS.md`).
 //! * [`topology`] — PA, CM, HAPA, and DAPA overlay generators with hard cutoffs, plus the
 //!   modified preferential-attachment family (nonlinear PA, fitness, local events, initial
 //!   attractiveness, uncorrelated CM) ([`sfo_core`]).
@@ -79,10 +82,13 @@ pub mod prelude {
         batched_rw_normalized_to_nf, batched_ttl_sweep, BoundaryTable, CsrShard, EngineConfig,
         QueryBatch, QueryJob, ShardedCsr, WorkerPool,
     };
+    pub use sfo_graph::snapshot::{
+        Provenance, SnapshotError, SnapshotFile, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
     pub use sfo_scenario::{
-        DegreeCurve, DynamicsSpec, MeasureSpec, ScenarioError, ScenarioReport, ScenarioRunner,
-        ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
+        build_snapshot, DegreeCurve, DynamicsSpec, MeasureSpec, ScenarioError, ScenarioReport,
+        ScenarioRunner, ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
     };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;

@@ -172,6 +172,42 @@ fn every_spec_variant_round_trips_and_reruns_byte_identically() {
 }
 
 #[test]
+fn snapshot_topology_specs_round_trip_through_json() {
+    // The snapshot family has no generator parameters — just a path — and must survive
+    // spec -> JSON -> spec like every other family. (Validation and execution against
+    // real .sfos files are covered by tests/snapshot_roundtrip.rs; this is the codec.)
+    let mut spec = ScenarioSpec::sweep(
+        "snapshot-sweep",
+        TopologySpec::Snapshot {
+            path: "realization0.sfos".to_string(),
+        },
+        SearchSpec::NormalizedFlooding { k_min: Some(2) },
+        SweepSpec::single(vec![1, 2, 4], 10),
+        2024,
+        1,
+    );
+    spec.sweep.as_mut().unwrap().batch = true;
+    let text = spec.to_json_string();
+    assert!(text.contains("\"family\": \"snapshot\""));
+    assert!(text.contains("\"path\": \"realization0.sfos\""));
+    let back = ScenarioSpec::parse(&text).unwrap();
+    assert_eq!(back, spec, "{text}");
+    assert_eq!(back.to_json_string(), text);
+
+    // Unknown or generator-family fields on a snapshot topology fail loudly.
+    let stray = r#"{"family": "snapshot", "path": "x.sfos", "nodes": 100}"#;
+    let full = format!(
+        r#"{{"name": "s", "topology": {stray}, "search": null,
+            "dynamics": {{"kind": "static"}}, "sweep": null,
+            "measure": {{"kind": "search_sweep"}}, "seed": 1, "realizations": 1}}"#
+    );
+    assert!(matches!(
+        ScenarioSpec::parse(&full),
+        Err(ScenarioError::InvalidSpec { .. })
+    ));
+}
+
+#[test]
 fn invalid_specs_return_typed_errors_not_panics() {
     let base = |topology| {
         ScenarioSpec::sweep(

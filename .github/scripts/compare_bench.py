@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a smoke bench run against its checked-in baseline.
+
+Usage: compare_bench.py <baseline.json> <current.json> [tolerance]
+
+Both files are the JSON exported by the vendored criterion shim: a list of
+{"id", "min_ns", "mean_ns", "max_ns", "iterations"} rows. The gate fails when any
+benchmark id present in both files got slower than `tolerance` times its baseline
+mean (default 3.0 — generous on purpose: shared CI runners are noisy, and the gate
+exists to catch order-of-magnitude regressions like an accidentally quadratic hot
+path, not single-digit drift). Ids missing on either side fail too: a silently
+dropped benchmark is how a regression gate rots.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    with open(baseline_path) as f:
+        baseline = {row["id"]: row for row in json.load(f)}
+    with open(current_path) as f:
+        current = {row["id"]: row for row in json.load(f)}
+
+    failures = []
+    for bench_id in sorted(baseline):
+        if bench_id not in current:
+            failures.append(f"{bench_id}: missing from the current run")
+            continue
+        base_mean = baseline[bench_id]["mean_ns"]
+        cur_mean = current[bench_id]["mean_ns"]
+        ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+        marker = "FAIL" if ratio > tolerance else "ok"
+        print(
+            f"{marker:>4}  {bench_id}: baseline {base_mean / 1e6:.3f} ms, "
+            f"current {cur_mean / 1e6:.3f} ms ({ratio:.2f}x)"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{bench_id}: {ratio:.2f}x slower than baseline (limit {tolerance}x)"
+            )
+    for bench_id in sorted(set(current) - set(baseline)):
+        print(f"FAIL  {bench_id}: new benchmark with no baseline")
+        failures.append(
+            f"{bench_id}: not in the baseline — regenerate {baseline_path} so the "
+            "new benchmark is gated too"
+        )
+
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} issue(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the slowdown is expected (intentional algorithm change, bench "
+            "reshape), regenerate the BENCH_ci_*.json baselines with the smoke "
+            "commands in .github/workflows/ci.yml and commit them."
+        )
+        return 1
+    print(f"\nbench gate ok: {len(baseline)} benchmark(s) within {tolerance}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -122,6 +122,33 @@ pub fn run_queries<G>(
 where
     G: GraphView + Send + Sync + 'static,
 {
+    run_queries_offset(pool, graph, algorithms, batch, seed, 0)
+}
+
+/// [`run_queries`] for a batch slice that starts at global job index `index_offset`.
+///
+/// Job `i` of `batch` runs on the stream of global index `index_offset + i` —
+/// [`job_rng`]`(seed, index_offset + i)` — so a batch split into contiguous slices and
+/// executed piecewise (on one pool or on several remote workers) concatenates to exactly
+/// the outcome vector of the unsplit batch. This is the primitive `sfo-net` workers
+/// execute: the dispatcher ships each worker a slice plus its offset, and the merged
+/// results are byte-identical to a local run by construction.
+///
+/// # Panics
+///
+/// Panics on the calling thread, before any job runs, if a job's algorithm index is out
+/// of range for the table or a job's source is not a node of the graph.
+pub fn run_queries_offset<G>(
+    pool: &WorkerPool,
+    graph: &Arc<G>,
+    algorithms: &Arc<AlgorithmTable<G>>,
+    batch: &QueryBatch,
+    seed: u64,
+    index_offset: usize,
+) -> Vec<SearchOutcome>
+where
+    G: GraphView + Send + Sync + 'static,
+{
     for (i, job) in batch.jobs.iter().enumerate() {
         assert!(
             job.algorithm < algorithms.len(),
@@ -141,7 +168,7 @@ where
     let jobs: Arc<[QueryJob]> = Arc::from(batch.jobs.as_slice());
     pool.run(jobs.len(), move |i| {
         let job = jobs[i];
-        let mut rng = job_rng(seed, i);
+        let mut rng = job_rng(seed, index_offset + i);
         algorithms[job.algorithm].search(graph.as_ref(), job.source, job.ttl, &mut rng)
     })
 }
@@ -193,18 +220,54 @@ pub fn batched_ttl_sweep<G>(
 where
     G: GraphView + Send + Sync + 'static,
 {
+    let total = ttls.len() * searches;
+    let outcomes = batched_ttl_sweep_range(pool, graph, algorithm, ttls, searches, seed, 0, total);
+    average_per_ttl(ttls, searches, &outcomes)
+}
+
+/// The raw per-job outcomes of the global job range `start..end` of a batched TTL sweep.
+///
+/// The full sweep is a grid of `ttls.len() * searches` jobs (job `t * searches + s` is
+/// search `s` of `ttls[t]`); this function executes only the contiguous slice
+/// `start..end` of that grid, with every job on the stream of its *global* index. Any
+/// partition of `0..total` into ranges — across calls, pools, or remote workers —
+/// therefore concatenates to the identical outcome vector, which is the invariant the
+/// `sfo-net` dispatcher relies on when it splits a sweep across worker processes.
+///
+/// # Panics
+///
+/// Panics if `graph` has no nodes or the range is out of bounds for the grid.
+#[allow(clippy::too_many_arguments)]
+pub fn batched_ttl_sweep_range<G>(
+    pool: &WorkerPool,
+    graph: &Arc<G>,
+    algorithm: Box<dyn SearchAlgorithm<G> + Send + Sync>,
+    ttls: &[u32],
+    searches: usize,
+    seed: u64,
+    start: usize,
+    end: usize,
+) -> Vec<SearchOutcome>
+where
+    G: GraphView + Send + Sync + 'static,
+{
     assert!(graph.node_count() > 0, "cannot search an empty graph");
+    assert!(
+        start <= end && end <= ttls.len() * searches,
+        "job range {start}..{end} out of bounds for a grid of {} jobs",
+        ttls.len() * searches
+    );
     let node_count = graph.node_count();
     let graph = Arc::clone(graph);
     let algorithm: Arc<dyn SearchAlgorithm<G> + Send + Sync> = Arc::from(algorithm);
     let ttls_owned: Arc<[u32]> = Arc::from(ttls);
-    let outcomes = pool.run(ttls.len() * searches, move |i| {
-        let ttl = ttls_owned[i / searches];
-        let mut rng = job_rng(seed, i);
+    pool.run(end - start, move |i| {
+        let global = start + i;
+        let ttl = ttls_owned[global / searches];
+        let mut rng = job_rng(seed, global);
         let source = NodeId::new(rand::Rng::gen_range(&mut rng, 0..node_count));
         algorithm.search(graph.as_ref(), source, ttl, &mut rng)
-    });
-    average_per_ttl(ttls, searches, &outcomes)
+    })
 }
 
 /// The batched counterpart of
@@ -227,30 +290,70 @@ pub fn batched_rw_normalized_to_nf<G>(
 where
     G: GraphView + Send + Sync + 'static,
 {
+    let total = ttls.len() * searches;
+    let outcomes =
+        batched_rw_normalized_to_nf_range(pool, graph, k_min, ttls, searches, seed, 0, total);
+    average_per_ttl(ttls, searches, &outcomes)
+}
+
+/// The raw per-job outcomes of the global job range `start..end` of a batched
+/// NF-normalized random-walk sweep — the [`batched_ttl_sweep_range`] counterpart of
+/// [`batched_rw_normalized_to_nf`], with the same split-anywhere concatenation
+/// invariant.
+///
+/// # Panics
+///
+/// Panics if `graph` has no nodes or the range is out of bounds for the grid.
+#[allow(clippy::too_many_arguments)]
+pub fn batched_rw_normalized_to_nf_range<G>(
+    pool: &WorkerPool,
+    graph: &Arc<G>,
+    k_min: usize,
+    ttls: &[u32],
+    searches: usize,
+    seed: u64,
+    start: usize,
+    end: usize,
+) -> Vec<SearchOutcome>
+where
+    G: GraphView + Send + Sync + 'static,
+{
     assert!(graph.node_count() > 0, "cannot search an empty graph");
+    assert!(
+        start <= end && end <= ttls.len() * searches,
+        "job range {start}..{end} out of bounds for a grid of {} jobs",
+        ttls.len() * searches
+    );
     let node_count = graph.node_count();
     let graph = Arc::clone(graph);
     let ttls_owned: Arc<[u32]> = Arc::from(ttls);
-    let outcomes = pool.run(ttls.len() * searches, move |i| {
-        let ttl = ttls_owned[i / searches];
-        let mut rng = job_rng(seed, i);
+    pool.run(end - start, move |i| {
+        let global = start + i;
+        let ttl = ttls_owned[global / searches];
+        let mut rng = job_rng(seed, global);
         let source = NodeId::new(rand::Rng::gen_range(&mut rng, 0..node_count));
         let nf = NormalizedFlooding::new(k_min);
         let nf_outcome = nf.search(graph.as_ref(), source, ttl, &mut rng);
         let budget = u32::try_from(nf_outcome.messages).unwrap_or(u32::MAX);
         RandomWalk::new().search(graph.as_ref(), source, budget, &mut rng)
-    });
-    average_per_ttl(ttls, searches, &outcomes)
+    })
 }
 
 /// Folds per-job outcomes (grouped as `searches` consecutive jobs per TTL) into one
 /// averaged point per TTL, through the workspace's single averaging rule.
-fn average_per_ttl(
+///
+/// Public because it is the one folding every sweep frontend — local, snapshot-backed,
+/// or remote-dispatched — must share for their points to be byte-comparable.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is not exactly `ttls.len() * searches` entries.
+pub fn average_per_ttl(
     ttls: &[u32],
     searches: usize,
     outcomes: &[SearchOutcome],
 ) -> Vec<AveragedOutcome> {
-    debug_assert_eq!(outcomes.len(), ttls.len() * searches);
+    assert_eq!(outcomes.len(), ttls.len() * searches);
     ttls.iter()
         .enumerate()
         .map(|(t, &ttl)| {
@@ -383,6 +486,112 @@ mod tests {
         }
         let again = batched_rw_normalized_to_nf(&pool(4), &graph, 2, &[2, 4], 15, 3);
         assert_eq!(again, points);
+    }
+
+    #[test]
+    fn sweep_ranges_concatenate_to_the_full_sweep() {
+        // The distributed-execution invariant: any contiguous partition of the job grid
+        // concatenates to the unsplit outcome vector, byte for byte.
+        let graph = sharded(3);
+        let ttls = [1u32, 2, 4];
+        let (searches, seed) = (10usize, 21u64);
+        let total = ttls.len() * searches;
+        let full = batched_ttl_sweep_range(
+            &pool(2),
+            &graph,
+            Box::new(Flooding::new()),
+            &ttls,
+            searches,
+            seed,
+            0,
+            total,
+        );
+        assert_eq!(full.len(), total);
+        for cuts in [vec![0, total], vec![0, 7, total], vec![0, 1, 13, 29, total]] {
+            let mut merged = Vec::new();
+            for pair in cuts.windows(2) {
+                merged.extend(batched_ttl_sweep_range(
+                    &pool(3),
+                    &graph,
+                    Box::new(Flooding::new()),
+                    &ttls,
+                    searches,
+                    seed,
+                    pair[0],
+                    pair[1],
+                ));
+            }
+            assert_eq!(merged, full, "split at {cuts:?}");
+        }
+        // The averaged frontend is exactly the folded range run.
+        let averaged = batched_ttl_sweep(
+            &pool(2),
+            &graph,
+            Box::new(Flooding::new()),
+            &ttls,
+            searches,
+            seed,
+        );
+        assert_eq!(averaged, average_per_ttl(&ttls, searches, &full));
+    }
+
+    #[test]
+    fn rw_normalized_ranges_concatenate_to_the_full_sweep() {
+        let graph = sharded(2);
+        let ttls = [2u32, 3];
+        let total = ttls.len() * 8;
+        let full = batched_rw_normalized_to_nf_range(&pool(2), &graph, 2, &ttls, 8, 9, 0, total);
+        let mut merged = Vec::new();
+        for pair in [(0usize, 5usize), (5, 11), (11, total)] {
+            merged.extend(batched_rw_normalized_to_nf_range(
+                &pool(4),
+                &graph,
+                2,
+                &ttls,
+                8,
+                9,
+                pair.0,
+                pair.1,
+            ));
+        }
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn offset_queries_concatenate_to_the_unsplit_batch() {
+        let graph = sharded(2);
+        let algorithms = Arc::new(table());
+        let batch = mixed_batch(24);
+        let serial = run_queries_serial(graph.as_ref(), &algorithms, &batch, 13);
+        let split = 10usize;
+        let head = QueryBatch::from_jobs(batch.jobs()[..split].to_vec());
+        let tail = QueryBatch::from_jobs(batch.jobs()[split..].to_vec());
+        let mut merged = run_queries_offset(&pool(2), &graph, &algorithms, &head, 13, 0);
+        merged.extend(run_queries_offset(
+            &pool(3),
+            &graph,
+            &algorithms,
+            &tail,
+            13,
+            split,
+        ));
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sweep_ranges_reject_out_of_bounds_ends() {
+        let graph = sharded(1);
+        let _ = batched_ttl_sweep_range(
+            &pool(1),
+            &graph,
+            Box::new(Flooding::new()),
+            &[1],
+            2,
+            1,
+            0,
+            3,
+        );
     }
 
     #[test]

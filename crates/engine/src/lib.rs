@@ -49,8 +49,10 @@ pub mod scheduler;
 pub mod sharded;
 
 pub use batch::{
-    batched_rw_normalized_to_nf, batched_ttl_sweep, job_rng, run_batch_scoped, run_queries,
-    run_queries_serial, AlgorithmTable, QueryBatch, QueryJob, BATCH_STREAM_LABEL,
+    average_per_ttl, batched_rw_normalized_to_nf, batched_rw_normalized_to_nf_range,
+    batched_ttl_sweep, batched_ttl_sweep_range, job_rng, run_batch_scoped, run_queries,
+    run_queries_offset, run_queries_serial, AlgorithmTable, QueryBatch, QueryJob,
+    BATCH_STREAM_LABEL,
 };
 pub use scheduler::{execute, EngineConfig, WorkerPool};
 pub use sharded::{BoundaryEdge, BoundaryTable, CsrShard, ShardedCsr};

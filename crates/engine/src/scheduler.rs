@@ -175,6 +175,8 @@ where
 /// One installed batch, shared with every worker.
 #[derive(Clone)]
 struct Batch {
+    /// Identity of the batch inside the active set (monotonic submission counter).
+    id: u64,
     /// Type-erased job runner: executes job `i` and stores its result.
     runner: Arc<dyn Fn(usize) + Send + Sync>,
     /// The per-worker stealing queues of this batch.
@@ -188,9 +190,13 @@ struct Batch {
 }
 
 struct PoolState {
-    /// Monotonic batch counter; workers track the last epoch they served.
-    epoch: u64,
-    batch: Option<Batch>,
+    /// Monotonic batch counter; the next submitted batch takes this id.
+    next_id: u64,
+    /// Every batch currently submitted and not yet fully drained. Workers scan the set
+    /// in submission order, so earlier batches keep priority while later ones fill any
+    /// idle workers — concurrent submitters (multiple scenario tasks, multiple network
+    /// clients) simply coexist instead of serializing.
+    batches: Vec<Batch>,
     shutdown: bool,
 }
 
@@ -207,8 +213,11 @@ struct PoolShared {
 /// Threads are spawned once at construction and reused for every batch — the shape a
 /// long-lived query-serving process wants, and what makes per-batch latency independent
 /// of thread spawn cost. Batches are submitted through [`WorkerPool::run`] (or the
-/// typed search frontend in [`crate::batch`]); one batch runs at a time, and results
-/// come back in job order regardless of which worker ran what.
+/// typed search frontend in [`crate::batch`]); any number of threads may submit
+/// concurrently — each submission joins the active batch set and workers drain the set
+/// in submission order, so a snapshot-serving daemon can fan several clients' batches
+/// over one pool — and results come back in job order regardless of which worker ran
+/// what.
 ///
 /// # Example
 ///
@@ -222,8 +231,6 @@ struct PoolShared {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
-    /// Serializes batch submission: one batch at a time.
-    submit: Mutex<()>,
     workers: usize,
 }
 
@@ -233,8 +240,8 @@ impl WorkerPool {
         let workers = config.effective_workers();
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
-                epoch: 0,
-                batch: None,
+                next_id: 0,
+                batches: Vec::new(),
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -252,7 +259,6 @@ impl WorkerPool {
         WorkerPool {
             shared,
             handles,
-            submit: Mutex::new(()),
             workers,
         }
     }
@@ -269,6 +275,10 @@ impl WorkerPool {
     /// jobs that borrow. Batches of at most one job (or on a single-worker pool) run
     /// inline on the calling thread. Results are independent of the worker count as long
     /// as each job is a pure function of its index.
+    ///
+    /// Submissions from different threads run concurrently: each batch joins the pool's
+    /// active set, workers prefer earlier submissions and steal into later ones, and
+    /// every submitter wakes when its own batch drains.
     ///
     /// # Panics
     ///
@@ -295,25 +305,23 @@ impl WorkerPool {
         };
         let pending = Arc::new(AtomicUsize::new(jobs));
         let panic_slot = Arc::new(Mutex::new(None));
-        let batch = Batch {
-            runner,
-            queues: Arc::new(split_ranges(jobs, self.workers)),
-            pending: Arc::clone(&pending),
-            panic: Arc::clone(&panic_slot),
-        };
 
-        // Scope the submit turn so its guard is released before any re-raise below —
-        // a propagated job panic must not poison the pool for the next caller.
         {
-            let _batch_turn = self.submit.lock().expect("submit lock");
             let mut state = self.shared.state.lock().expect("pool state lock");
-            state.epoch += 1;
-            state.batch = Some(batch);
+            let id = state.next_id;
+            state.next_id += 1;
+            state.batches.push(Batch {
+                id,
+                runner,
+                queues: Arc::new(split_ranges(jobs, self.workers)),
+                pending: Arc::clone(&pending),
+                panic: Arc::clone(&panic_slot),
+            });
             self.shared.ready.notify_all();
             while pending.load(Ordering::SeqCst) > 0 {
                 state = self.shared.done.wait(state).expect("pool state lock");
             }
-            state.batch = None;
+            state.batches.retain(|b| b.id != id);
         }
 
         let caught = panic_slot.lock().expect("panic slot lock").take();
@@ -355,40 +363,41 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 fn worker_loop(shared: &PoolShared, me: usize) {
-    let mut seen_epoch = 0u64;
     loop {
-        // Wait for a batch newer than the last one we served (or shutdown).
-        let batch = {
+        // Claim one job from the earliest active batch that still has queued work (or
+        // exit on shutdown). Claiming under the state lock serializes queue access,
+        // which is noise next to millisecond-scale jobs and keeps the scan race-free
+        // against batch insertion and removal.
+        let (batch, index) = {
             let mut state = shared.state.lock().expect("pool state lock");
             loop {
                 if state.shutdown {
                     return;
                 }
-                if state.epoch > seen_epoch {
-                    if let Some(batch) = state.batch.clone() {
-                        seen_epoch = state.epoch;
-                        break batch;
-                    }
+                let claimed = state
+                    .batches
+                    .iter()
+                    .find_map(|b| claim(&b.queues, me).map(|index| (b.clone(), index)));
+                if let Some(claimed) = claimed {
+                    break claimed;
                 }
                 state = shared.ready.wait(state).expect("pool state lock");
             }
         };
-        while let Some(index) = claim(&batch.queues, me) {
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (batch.runner)(index)));
-            if let Err(payload) = outcome {
-                batch
-                    .panic
-                    .lock()
-                    .expect("panic slot lock")
-                    .get_or_insert(payload);
-            }
-            if batch.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Last job: wake the submitter. Taking the state lock first makes the
-                // notify race-free against the submitter's check-then-wait.
-                let _state = shared.state.lock().expect("pool state lock");
-                shared.done.notify_all();
-            }
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (batch.runner)(index)));
+        if let Err(payload) = outcome {
+            batch
+                .panic
+                .lock()
+                .expect("panic slot lock")
+                .get_or_insert(payload);
+        }
+        if batch.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last job: wake the submitter. Taking the state lock first makes the
+            // notify race-free against the submitter's check-then-wait.
+            let _state = shared.state.lock().expect("pool state lock");
+            shared.done.notify_all();
         }
     }
 }
@@ -502,6 +511,53 @@ mod tests {
         assert_eq!(message, "job 7 exploded");
         // The batch drained and the pool (including its submit turn) is intact.
         assert_eq!(pool.run(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn pool_accepts_concurrent_batches_from_many_threads() {
+        // The per-batch queue sets mean submissions no longer serialize: four threads
+        // submit interleaved batches and each must get exactly its own results back.
+        let pool = WorkerPool::new(EngineConfig::with_workers(3));
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..4usize)
+                .map(|t| {
+                    scope.spawn(move || {
+                        for round in 0..3usize {
+                            let out = pool.run(40, move |i| i * 31 + t * 1000 + round);
+                            let expected: Vec<usize> =
+                                (0..40).map(|i| i * 31 + t * 1000 + round).collect();
+                            assert_eq!(out, expected, "thread {t} round {round}");
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("submitter thread panicked");
+            }
+        });
+        // The pool is still healthy afterwards.
+        assert_eq!(pool.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_batches_match_their_serial_results() {
+        // Determinism under concurrency: a batch's outcome vector must not depend on
+        // what else is in flight on the pool.
+        let pool = WorkerPool::new(EngineConfig::with_workers(4));
+        let serial: Vec<u64> = (0..100)
+            .map(|i| (i as u64).wrapping_mul(0x1234_5677))
+            .collect();
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let serial = &serial;
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    let got = pool.run(100, |i| (i as u64).wrapping_mul(0x1234_5677));
+                    assert_eq!(&got, serial);
+                });
+            }
+        });
     }
 
     #[test]

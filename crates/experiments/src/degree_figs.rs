@@ -4,18 +4,25 @@
 //! (PA/CM/HAPA) and `N_O = 10^4` over an `N_S = 2·10^4` GRN substrate (DAPA). DAPA figures
 //! use `scale.search_nodes` rather than `scale.degree_nodes` because every join performs a
 //! bounded substrate BFS, which dominates the runtime.
+//!
+//! Every `P(k)` panel is expressed as a [`TopologySpec`] handed to the scenario layer
+//! through [`degree_distribution_series`], with the figure's historical legend string
+//! as the curve-label override — the legend salts the realization streams, so the
+//! migrated panels are bit-identical to the bespoke loops they replaced. The exponent
+//! panels (1(c), 4(g)) keep generating directly: a power-law fit needs raw
+//! per-realization histograms, which a binned degree report deliberately does not
+//! carry.
 
 use crate::helpers::{degree_distribution_series, fitted_exponent};
 use crate::{ExperimentOutput, Scale};
 use sfo_analysis::{DataPoint, DataSeries, FigureData};
-use sfo_core::cm::ConfigurationModel;
 use sfo_core::dapa::DapaOverGrn;
-use sfo_core::hapa::HopAndAttempt;
 use sfo_core::pa::PreferentialAttachment;
 use sfo_core::DegreeCutoff;
+use sfo_scenario::TopologySpec;
 
-fn cutoff_label(cutoff: DegreeCutoff) -> String {
-    match cutoff.value() {
+fn cutoff_label(cutoff: Option<usize>) -> String {
+    match cutoff {
         None => "no k_c".to_string(),
         Some(k_c) => format!("k_c={k_c}"),
     }
@@ -30,10 +37,13 @@ pub fn fig1a(scale: &Scale, seed: u64) -> ExperimentOutput {
         "P(k)",
     );
     for m in [1usize, 2, 3] {
-        let generator = PreferentialAttachment::new(scale.degree_nodes, m)
-            .expect("scale sizes exceed the PA seed");
+        let topology = TopologySpec::Pa {
+            nodes: scale.degree_nodes,
+            m,
+            cutoff: None,
+        };
         let label = format!("m={m}");
-        figure.push_series(degree_distribution_series(&generator, &label, scale, seed));
+        figure.push_series(degree_distribution_series(topology, &label, scale, seed));
     }
     ExperimentOutput::Figure(figure)
 }
@@ -46,19 +56,16 @@ pub fn fig1b(scale: &Scale, seed: u64) -> ExperimentOutput {
         "k",
         "P(k)",
     );
-    let cutoffs = [
-        DegreeCutoff::Unbounded,
-        DegreeCutoff::hard(100),
-        DegreeCutoff::hard(40),
-        DegreeCutoff::hard(10),
-    ];
+    let cutoffs = [None, Some(100usize), Some(40), Some(10)];
     for m in [1usize, 3] {
         for cutoff in cutoffs {
-            let generator = PreferentialAttachment::new(scale.degree_nodes, m)
-                .expect("scale sizes exceed the PA seed")
-                .with_cutoff(cutoff);
+            let topology = TopologySpec::Pa {
+                nodes: scale.degree_nodes,
+                m,
+                cutoff,
+            };
             let label = format!("m={m}, {}", cutoff_label(cutoff));
-            figure.push_series(degree_distribution_series(&generator, &label, scale, seed));
+            figure.push_series(degree_distribution_series(topology, &label, scale, seed));
         }
     }
     ExperimentOutput::Figure(figure)
@@ -100,16 +107,15 @@ pub fn fig2(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     for gamma in [2.2f64, 2.6, 3.0] {
         for m in [1usize, 3] {
-            for cutoff in [
-                DegreeCutoff::Unbounded,
-                DegreeCutoff::hard(40),
-                DegreeCutoff::hard(10),
-            ] {
-                let generator = ConfigurationModel::new(scale.degree_nodes, gamma, m)
-                    .expect("scale sizes are valid for CM")
-                    .with_cutoff(cutoff);
+            for cutoff in [None, Some(40usize), Some(10)] {
+                let topology = TopologySpec::Cm {
+                    nodes: scale.degree_nodes,
+                    gamma,
+                    m,
+                    cutoff,
+                };
                 let label = format!("gamma={gamma}, m={m}, {}", cutoff_label(cutoff));
-                figure.push_series(degree_distribution_series(&generator, &label, scale, seed));
+                figure.push_series(degree_distribution_series(topology, &label, scale, seed));
             }
         }
     }
@@ -125,16 +131,14 @@ pub fn fig3(scale: &Scale, seed: u64) -> ExperimentOutput {
         "P(k)",
     );
     for m in [1usize, 3] {
-        for cutoff in [
-            DegreeCutoff::Unbounded,
-            DegreeCutoff::hard(50),
-            DegreeCutoff::hard(10),
-        ] {
-            let generator = HopAndAttempt::new(scale.degree_nodes, m)
-                .expect("scale sizes exceed the HAPA seed")
-                .with_cutoff(cutoff);
+        for cutoff in [None, Some(50usize), Some(10)] {
+            let topology = TopologySpec::Hapa {
+                nodes: scale.degree_nodes,
+                m,
+                cutoff,
+            };
             let label = format!("m={m}, {}", cutoff_label(cutoff));
-            figure.push_series(degree_distribution_series(&generator, &label, scale, seed));
+            figure.push_series(degree_distribution_series(topology, &label, scale, seed));
         }
     }
     ExperimentOutput::Figure(figure)
@@ -151,17 +155,16 @@ pub fn fig4(scale: &Scale, seed: u64) -> ExperimentOutput {
     );
     let tau_subs = [2u32, 4, 10, 20];
     for m in [1usize, 3] {
-        for cutoff in [
-            DegreeCutoff::Unbounded,
-            DegreeCutoff::hard(40),
-            DegreeCutoff::hard(10),
-        ] {
+        for cutoff in [None, Some(40usize), Some(10)] {
             for tau_sub in tau_subs {
-                let generator = DapaOverGrn::new(scale.search_nodes, m, tau_sub)
-                    .expect("scale sizes are valid for DAPA")
-                    .with_cutoff(cutoff);
+                let topology = TopologySpec::DapaGrn {
+                    nodes: scale.search_nodes,
+                    m,
+                    tau_sub,
+                    cutoff,
+                };
                 let label = format!("m={m}, {}, tau_sub={tau_sub}", cutoff_label(cutoff));
-                figure.push_series(degree_distribution_series(&generator, &label, scale, seed));
+                figure.push_series(degree_distribution_series(topology, &label, scale, seed));
             }
         }
     }

@@ -1,20 +1,20 @@
 //! Shared building blocks for the figure reproductions.
 //!
-//! Search sweeps run through the declarative scenario layer: a figure builds
-//! [`ScenarioSpec`]s and [`scenario_series`] hands them to the shared
-//! [`ScenarioRunner`], which freezes every realization once and fans the work across
-//! threads (build-once/query-many). What remains here is the degree-distribution
-//! machinery (sample collection, log-binning, exponent fits) that the `P(k)` figures
-//! use, plus the TTL grids.
+//! Both measurement families run through the declarative scenario layer: search
+//! figures build sweep [`ScenarioSpec`]s and hand them to [`scenario_series`]; the
+//! `P(k)` figures build degree-distribution specs and hand them to
+//! [`degree_distribution_series`], using the spec's `curve_label` override so the
+//! historical legend strings keep salting the *identical* RNG streams the bespoke
+//! loops always used. What remains in-crate is the exponent-fit machinery (which needs
+//! raw per-realization histograms, not binned reports) and the TTL grids.
 
 use crate::Scale;
 use rand::rngs::StdRng;
-use sfo_analysis::histogram::log_binned_distribution;
 use sfo_analysis::powerlaw_fit::fit_exponent_from_counts;
-use sfo_analysis::{DataPoint, DataSeries, Summary};
+use sfo_analysis::{DataSeries, Summary};
 use sfo_core::TopologyGenerator;
 use sfo_graph::metrics;
-use sfo_scenario::{ScenarioRunner, ScenarioSpec, SweepMetric};
+use sfo_scenario::{ScenarioRunner, ScenarioSpec, SweepMetric, TopologySpec};
 use sfo_search::experiment::{label_salt, stream_rng};
 
 /// Number of logarithmic bins per decade used for all degree-distribution figures.
@@ -43,48 +43,41 @@ pub fn scenario_series(spec: &ScenarioSpec, metric: SweepMetric) -> Vec<DataSeri
         .series(metric)
 }
 
-/// Generates `scale.realizations` independent topologies and concatenates the degrees of
-/// all their nodes into one sample, the input of the paper's `P(k)` plots.
-pub fn degree_samples(
-    generator: &dyn TopologyGenerator,
-    label: &str,
-    scale: &Scale,
-    seed: u64,
-) -> Vec<usize> {
-    let salt = label_salt(label);
-    let mut samples = Vec::new();
-    for r in 0..scale.realizations {
-        let mut rng = realization_rng(seed, salt, r);
-        let graph = generator.generate(&mut rng).unwrap_or_else(|e| {
-            panic!(
-                "generator {} failed for series '{label}': {e}",
-                generator.name()
-            )
-        });
-        samples.extend(graph.degrees());
-    }
-    samples
-}
-
-/// Builds a `P(k)` series (log-binned density versus degree) for one generator
-/// configuration.
+/// Builds a `P(k)` series (log-binned density versus degree) for one topology
+/// configuration, as a degree-distribution scenario.
+///
+/// The figure legends predate [`TopologySpec::label`] (a PA panel says `"m=1"`, not
+/// `"PA, m=1, no k_c"`), and those legend strings salt the realization streams — so
+/// the spec carries `label` as its `curve_label` override, which makes the runner use
+/// it for both the legend and the salt. The resulting series is bit-identical to the
+/// bespoke generate-and-bin loop this helper replaced.
+///
+/// # Panics
+///
+/// Panics when the spec is invalid or a generator fails — figure code treats both as
+/// programming errors, exactly like the old bespoke loops did.
 pub fn degree_distribution_series(
-    generator: &dyn TopologyGenerator,
+    topology: TopologySpec,
     label: &str,
     scale: &Scale,
     seed: u64,
 ) -> DataSeries {
-    let samples = degree_samples(generator, label, scale, seed);
-    let mut series = DataSeries::new(label);
-    for bin in log_binned_distribution(&samples, BINS_PER_DECADE) {
-        series.push(DataPoint {
-            x: bin.center,
-            y: bin.density,
-            y_error: 0.0,
-            realizations: scale.realizations,
-        });
-    }
-    series
+    let mut spec = ScenarioSpec::degree_distribution(
+        format!("degree-series-{label}"),
+        topology,
+        None,
+        BINS_PER_DECADE,
+        seed,
+        scale.realizations,
+    );
+    spec.curve_label = Some(label.to_string());
+    let report = ScenarioRunner::new()
+        .run(&spec)
+        .unwrap_or_else(|e| panic!("scenario '{}' failed: {e}", spec.name));
+    report
+        .degree_series()
+        .pop()
+        .expect("a single-curve degree scenario yields one series")
 }
 
 /// Estimates the degree-distribution exponent of one generator configuration, averaged over
@@ -154,20 +147,49 @@ mod tests {
     }
 
     #[test]
-    fn degree_samples_concatenate_realizations() {
+    fn degree_distribution_series_is_decreasing_for_pa() {
         let scale = tiny_scale();
-        let generator = PreferentialAttachment::new(scale.degree_nodes, 1).unwrap();
-        let samples = degree_samples(&generator, "m=1", &scale, 3);
-        assert_eq!(samples.len(), scale.degree_nodes * scale.realizations);
+        let topology = TopologySpec::Pa {
+            nodes: scale.degree_nodes,
+            m: 1,
+            cutoff: None,
+        };
+        let series = degree_distribution_series(topology, "m=1", &scale, 5);
+        assert_eq!(series.label, "m=1");
+        assert!(series.points.len() >= 3);
+        assert!(series.points.first().unwrap().y > series.points.last().unwrap().y);
+        assert!(series.points.iter().all(|p| p.realizations == 2));
     }
 
     #[test]
-    fn degree_distribution_series_is_decreasing_for_pa() {
+    fn degree_series_preserve_the_legacy_label_salted_streams() {
+        // The migration contract: the spec-based series must reproduce, bit for bit,
+        // what the old bespoke loop produced — generate each realization on
+        // stream_rng(seed, label_salt(legend label), r), concatenate degrees, log-bin.
+        use sfo_analysis::histogram::log_binned_distribution;
         let scale = tiny_scale();
-        let generator = PreferentialAttachment::new(scale.degree_nodes, 1).unwrap();
-        let series = degree_distribution_series(&generator, "m=1", &scale, 5);
-        assert!(series.points.len() >= 3);
-        assert!(series.points.first().unwrap().y > series.points.last().unwrap().y);
+        let topology = TopologySpec::Pa {
+            nodes: scale.degree_nodes,
+            m: 2,
+            cutoff: Some(10),
+        };
+        let series = degree_distribution_series(topology.clone(), "m=2, k_c=10", &scale, 7);
+
+        let generator = topology.build().unwrap();
+        let mut samples = Vec::new();
+        for r in 0..scale.realizations {
+            let mut rng = realization_rng(7, label_salt("m=2, k_c=10"), r);
+            samples.extend(sfo_graph::GraphView::degrees(
+                &generator.generate(&mut rng).unwrap(),
+            ));
+        }
+        let expected = log_binned_distribution(&samples, BINS_PER_DECADE);
+        assert_eq!(series.points.len(), expected.len());
+        for (point, bin) in series.points.iter().zip(&expected) {
+            assert_eq!(point.x, bin.center);
+            assert_eq!(point.y, bin.density);
+            assert_eq!(point.y_error, 0.0);
+        }
     }
 
     #[test]

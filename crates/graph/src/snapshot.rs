@@ -142,8 +142,20 @@ impl Error for SnapshotError {}
 /// Not cryptographic — it guards against truncation, bit rot, and concatenation
 /// mistakes, which is what a local topology store needs. The whole file except the
 /// 8-byte trailer is hashed.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+///
+/// Public because it is the workspace's one checksum: the `SFNF` wire frames of
+/// `sfo-net` use the identical function (via [`fnv1a64_update`] for streaming over
+/// non-contiguous sections), so the cross-format "same function, same constants"
+/// guarantee is enforced by sharing code, not by keeping copies in sync.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a fold from `hash` over `bytes` — `fnv1a64(a ++ b)` equals
+/// `fnv1a64_update(fnv1a64(a), b)`, so callers can checksum non-contiguous sections
+/// without concatenating them.
+pub fn fnv1a64_update(hash: u64, bytes: &[u8]) -> u64 {
+    let mut hash = hash;
     for &byte in bytes {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -565,6 +577,47 @@ pub fn read_meta(
     Ok((header, Some(provenance)))
 }
 
+/// Reads the identity hash of a snapshot file: the FNV-1a 64 checksum stored in its
+/// trailer, which (for files that pass verification) is a content hash of everything
+/// before it — two valid snapshots share an identity exactly when they are byte-for-byte
+/// the same file.
+///
+/// This is the value `sfo-net` workers echo in their `Hello` frame and dispatchers
+/// compare against the snapshot a scenario names, refusing to split work across a worker
+/// that serves a different realization. Only the header prefix and the trailer are read;
+/// like [`read_meta`], this does **not** verify the checksum against the arrays —
+/// the serving process does that once at load time via [`SnapshotFile::load`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] when the file cannot be opened, the header errors of
+/// the full reader (wrong magic, unsupported version, unknown flags), and
+/// [`SnapshotError::Truncated`] when the file is too short to hold a trailer.
+pub fn read_identity(path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+    let path = path.as_ref();
+    let mut file = std::fs::File::open(path).map_err(|e| SnapshotError::io(path, &e))?;
+    let mut header_bytes = Vec::with_capacity(HEADER_LEN);
+    file.by_ref()
+        .take(HEADER_LEN as u64)
+        .read_to_end(&mut header_bytes)
+        .map_err(|e| SnapshotError::io(path, &e))?;
+    decode_header(&header_bytes)?;
+    let len = file
+        .metadata()
+        .map_err(|e| SnapshotError::io(path, &e))?
+        .len();
+    if len < (HEADER_LEN + TRAILER_LEN) as u64 {
+        return Err(SnapshotError::Truncated { section: "trailer" });
+    }
+    use std::io::{Seek, SeekFrom};
+    file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))
+        .map_err(|e| SnapshotError::io(path, &e))?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    file.read_exact(&mut trailer)
+        .map_err(|_| SnapshotError::Truncated { section: "trailer" })?;
+    Ok(u64::from_le_bytes(trailer))
+}
+
 /// Decodes and sanity-checks the fixed-size header prefix.
 fn decode_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
     if bytes.len() < HEADER_LEN {
@@ -943,6 +996,56 @@ mod tests {
             Err(SnapshotError::Io { .. })
         ));
         assert!(matches!(read_meta(&missing), Err(SnapshotError::Io { .. })));
+        assert!(matches!(
+            read_identity(&missing),
+            Err(SnapshotError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn read_identity_is_the_stored_trailer_and_separates_files() {
+        let dir = std::env::temp_dir().join(format!("sfos-identity-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("identity.sfos");
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: None,
+            provenance: Some(provenance()),
+        };
+        file.save(&path).unwrap();
+        let bytes = file.to_bytes();
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(read_identity(&path).unwrap(), stored);
+        assert_eq!(stored, fnv1a64(&bytes[..bytes.len() - 8]));
+
+        // A different topology has a different identity.
+        let other_path = dir.join("identity-other.sfos");
+        let mut g = Graph::with_nodes(6);
+        for i in 0..5 {
+            g.add_edge(n(i), n(i + 1)).unwrap();
+        }
+        SnapshotFile::plain(g.freeze()).save(&other_path).unwrap();
+        assert_ne!(
+            read_identity(&other_path).unwrap(),
+            read_identity(&path).unwrap()
+        );
+
+        // Not-a-snapshot and too-short files are typed errors, never garbage values.
+        let junk = dir.join("identity-junk.sfos");
+        std::fs::write(&junk, b"JUNKJUNKJUNK").unwrap();
+        assert!(matches!(
+            read_identity(&junk),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let short = dir.join("identity-short.sfos");
+        std::fs::write(&short, &bytes[..HEADER_LEN]).unwrap();
+        assert!(matches!(
+            read_identity(&short),
+            Err(SnapshotError::Truncated { section: "trailer" })
+        ));
+        for p in [&path, &other_path, &junk, &short] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! The client half of a worker connection.
+
+use crate::message::{recv_message, send_message, BatchRequest, Hello, Message};
+use crate::stream::NetStream;
+use crate::NetError;
+use sfo_search::SearchOutcome;
+
+/// One connection to an `sfo serve` worker.
+///
+/// Connecting reads the worker's [`Hello`]; every subsequent call is a synchronous
+/// request/reply. A worker's `Error` reply surfaces as [`NetError::Remote`] and leaves
+/// the connection usable — the protocol never desynchronizes on a refused request.
+#[derive(Debug)]
+pub struct WorkerClient {
+    stream: NetStream,
+    addr: String,
+    hello: Hello,
+}
+
+impl WorkerClient {
+    /// Dials `addr` (`host:port` or `unix:/path`) and reads the worker's `Hello`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the dial fails and [`NetError::Protocol`] when the
+    /// peer's first message is not a `Hello` (it is not an `sfo serve` worker).
+    pub fn connect(addr: &str) -> Result<Self, NetError> {
+        let mut stream = NetStream::connect(addr)?;
+        let hello = match recv_message(&mut stream)? {
+            Message::Hello(hello) => hello,
+            Message::Error { message } => return Err(NetError::Remote { message }),
+            other => {
+                return Err(NetError::protocol(format!(
+                    "expected a Hello from {addr}, got {other:?}"
+                )))
+            }
+        };
+        Ok(WorkerClient {
+            stream,
+            addr: addr.to_string(),
+            hello,
+        })
+    }
+
+    /// The worker's address, as dialed.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The worker's most recent announcement (updated by [`WorkerClient::load_snapshot`]).
+    pub fn hello(&self) -> &Hello {
+        &self.hello
+    }
+
+    /// Asks the worker to serve a different snapshot (a path on *its* filesystem) and
+    /// returns the fresh announcement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] when the worker cannot load the file.
+    pub fn load_snapshot(&mut self, path: &str) -> Result<Hello, NetError> {
+        send_message(
+            &mut self.stream,
+            &Message::LoadSnapshot {
+                path: path.to_string(),
+            },
+        )?;
+        match recv_message(&mut self.stream)? {
+            Message::Hello(hello) => {
+                self.hello = hello;
+                Ok(hello)
+            }
+            Message::Error { message } => Err(NetError::Remote { message }),
+            other => Err(NetError::protocol(format!(
+                "expected a Hello after LoadSnapshot, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits one batch and returns its outcomes in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] when the worker refuses the request.
+    pub fn submit(&mut self, request: &BatchRequest) -> Result<Vec<SearchOutcome>, NetError> {
+        send_message(&mut self.stream, &Message::SubmitBatch(request.clone()))?;
+        match recv_message(&mut self.stream)? {
+            Message::BatchResult { outcomes } => Ok(outcomes),
+            Message::Error { message } => Err(NetError::Remote { message }),
+            other => Err(NetError::protocol(format!(
+                "expected a BatchResult, got {other:?}"
+            ))),
+        }
+    }
+}

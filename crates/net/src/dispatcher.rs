@@ -1,0 +1,246 @@
+//! The dispatcher: splits one job grid across worker processes and merges the results.
+//!
+//! [`RemoteDispatcher`] is `sfo-net`'s implementation of the scenario layer's
+//! [`RemoteSweepExecutor`] seam — the piece [`remote_runner`] installs into a
+//! [`ScenarioRunner`] so that a spec with `sweep.workers` set executes against
+//! `sfo serve` daemons. The split is mechanical: `W` workers get `W` contiguous,
+//! near-equal ranges of the `ttls × searches` grid (the same partition rule as the
+//! engine's in-process queues), each worker runs its range with per-job streams keyed
+//! by *global* index, and the slices concatenate in index order. Determinism therefore
+//! does not depend on the dispatcher at all — any split of the grid yields the same
+//! bytes; what the dispatcher adds is the refusal machinery (identity handshake, slice
+//! length checks) that turns deployment mistakes into errors instead of wrong data.
+
+use crate::client::WorkerClient;
+use crate::message::BatchRequest;
+use crate::NetError;
+use sfo_engine::QueryBatch;
+use sfo_scenario::{
+    RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioRunner, SearchSpec,
+};
+use sfo_search::SearchOutcome;
+use std::sync::Arc;
+
+/// Splits `total` jobs into `parts` contiguous near-equal ranges (sizes differ by at
+/// most one; earlier ranges take the remainder), skipping empty ranges.
+fn split_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let big = total % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < big);
+        if len > 0 {
+            ranges.push((start, start + len));
+        }
+        start += len;
+    }
+    ranges
+}
+
+/// Executes [`RemoteSweepRequest`]s against `sfo serve` workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemoteDispatcher {
+    _private: (),
+}
+
+impl RemoteDispatcher {
+    /// Creates a dispatcher.
+    pub fn new() -> Self {
+        RemoteDispatcher::default()
+    }
+}
+
+impl RemoteSweepExecutor for RemoteDispatcher {
+    fn run_sweep(&self, request: &RemoteSweepRequest) -> Result<Vec<SearchOutcome>, ScenarioError> {
+        dispatch_sweep(request).map_err(|e| ScenarioError::remote(e.to_string()))
+    }
+}
+
+/// A [`ScenarioRunner`] with the [`RemoteDispatcher`] installed — behaves exactly like
+/// [`ScenarioRunner::new`] for specs without workers, and is what the `sfo` binary uses
+/// for every scenario run.
+pub fn remote_runner() -> ScenarioRunner {
+    ScenarioRunner::new().with_remote(Arc::new(RemoteDispatcher::new()))
+}
+
+/// Connects to `addr` and verifies the worker serves the snapshot `identity` names.
+fn connect_verified(addr: &str, identity: u64) -> Result<WorkerClient, NetError> {
+    let client = WorkerClient::connect(addr)?;
+    let found = client.hello().identity;
+    if found != identity {
+        return Err(NetError::IdentityMismatch {
+            worker: addr.to_string(),
+            expected: identity,
+            found,
+        });
+    }
+    Ok(client)
+}
+
+/// Runs the whole sweep grid of `request` across its workers — one contiguous range
+/// each, dispatched concurrently — and returns the outcomes merged in global job order.
+///
+/// # Errors
+///
+/// Returns the first failing worker's error (connection, identity mismatch, refusal,
+/// or a slice of the wrong length). No partial results are ever returned.
+pub fn dispatch_sweep(request: &RemoteSweepRequest) -> Result<Vec<SearchOutcome>, NetError> {
+    if request.workers.is_empty() {
+        return Err(NetError::protocol("no workers to dispatch to"));
+    }
+    let total = request.job_count();
+    let ranges = split_ranges(total, request.workers.len());
+    let slices = dispatch_slices(
+        &request.workers,
+        request.identity,
+        &ranges,
+        |&(start, end)| BatchRequest::SweepRange {
+            seed: request.seed,
+            start: start as u64,
+            end: end as u64,
+            searches_per_point: request.searches_per_point as u64,
+            ttls: request.ttls.clone(),
+            search: request.search.clone(),
+        },
+    )?;
+    Ok(merge(ranges.iter().map(|r| r.1 - r.0), slices))
+}
+
+/// Runs an explicit [`QueryBatch`] across workers — one contiguous job slice each —
+/// and returns the outcomes merged in job order; the remote counterpart of
+/// [`sfo_engine::run_queries`] and the same bytes as
+/// [`sfo_engine::run_queries_serial`] on the unsplit batch.
+///
+/// # Errors
+///
+/// As [`dispatch_sweep`].
+pub fn dispatch_queries(
+    workers: &[String],
+    identity: u64,
+    seed: u64,
+    algorithms: &[SearchSpec],
+    batch: &QueryBatch,
+) -> Result<Vec<SearchOutcome>, NetError> {
+    if workers.is_empty() {
+        return Err(NetError::protocol("no workers to dispatch to"));
+    }
+    let ranges = split_ranges(batch.len(), workers.len());
+    let slices = dispatch_slices(workers, identity, &ranges, |&(start, end)| {
+        BatchRequest::Queries {
+            seed,
+            index_offset: start as u64,
+            algorithms: algorithms.to_vec(),
+            batch: QueryBatch::from_jobs(batch.jobs()[start..end].to_vec()),
+        }
+    })?;
+    Ok(merge(ranges.iter().map(|r| r.1 - r.0), slices))
+}
+
+/// Ships one request per range to one worker per range, concurrently, and collects the
+/// slices in range order.
+fn dispatch_slices(
+    workers: &[String],
+    identity: u64,
+    ranges: &[(usize, usize)],
+    request_for: impl Fn(&(usize, usize)) -> BatchRequest + Sync,
+) -> Result<Vec<Vec<SearchOutcome>>, NetError> {
+    // More workers than non-empty ranges leaves the tail of the list idle.
+    let assignments: Vec<(&String, &(usize, usize))> = workers.iter().zip(ranges).collect();
+    let results: Vec<Result<Vec<SearchOutcome>, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|(addr, range)| {
+                let request = request_for(range);
+                scope.spawn(move || {
+                    let mut client = connect_verified(addr, identity)?;
+                    let outcomes = client.submit(&request)?;
+                    let expected = range.1 - range.0;
+                    if outcomes.len() != expected {
+                        return Err(NetError::protocol(format!(
+                            "worker {addr} returned {} outcomes for a {expected}-job slice",
+                            outcomes.len()
+                        )));
+                    }
+                    Ok(outcomes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatch thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Concatenates per-range slices (already validated to their expected lengths) in
+/// range order.
+fn merge(
+    lengths: impl Iterator<Item = usize>,
+    slices: Vec<Vec<SearchOutcome>>,
+) -> Vec<SearchOutcome> {
+    let mut merged = Vec::with_capacity(lengths.sum());
+    for slice in slices {
+        merged.extend(slice);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_contiguous_near_equal_and_skip_empties() {
+        for (total, parts) in [(30usize, 3usize), (31, 3), (2, 5), (0, 4), (7, 1)] {
+            let ranges = split_ranges(total, parts);
+            let mut cursor = 0;
+            for &(start, end) in &ranges {
+                assert_eq!(start, cursor);
+                assert!(end > start, "empty ranges must be skipped");
+                cursor = end;
+            }
+            assert_eq!(cursor, total);
+            if total >= parts {
+                assert_eq!(ranges.len(), parts);
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.1 - r.0).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatching_to_nobody_is_an_error() {
+        let request = RemoteSweepRequest {
+            workers: Vec::new(),
+            identity: 1,
+            seed: 1,
+            ttls: vec![1],
+            searches_per_point: 1,
+            search: SearchSpec::Flooding,
+            m: 1,
+        };
+        assert!(matches!(
+            dispatch_sweep(&request),
+            Err(NetError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_workers_fail_with_io_errors() {
+        let request = RemoteSweepRequest {
+            // Port 1 is essentially never listening.
+            workers: vec!["127.0.0.1:1".to_string()],
+            identity: 1,
+            seed: 1,
+            ttls: vec![1],
+            searches_per_point: 2,
+            search: SearchSpec::Flooding,
+            m: 1,
+        };
+        assert!(matches!(dispatch_sweep(&request), Err(NetError::Io { .. })));
+    }
+}

@@ -1,0 +1,183 @@
+//! Error type of the wire protocol and its endpoints.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while framing, decoding, serving, or dispatching.
+///
+/// Mirrors the philosophy of `sfo_graph::snapshot::SnapshotError`: a frame is either
+/// exactly what was written or it is rejected with a typed error — malformed network
+/// input can never panic an endpoint or decode to a silently wrong message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The underlying socket or file operation failed.
+    Io {
+        /// What was being done (`"connect 127.0.0.1:9000"`, `"read frame"`, ...).
+        context: String,
+        /// The operating-system error message.
+        message: String,
+    },
+    /// The frame does not start with the `SFNF` magic — the peer is not speaking this
+    /// protocol (or the stream lost sync).
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The peer speaks a protocol version this build does not understand.
+    UnsupportedVersion {
+        /// The version stored in the frame header.
+        found: u16,
+    },
+    /// The frame header names a message type this build does not know.
+    UnknownMessageType {
+        /// The type tag actually found.
+        found: u16,
+    },
+    /// The frame header declares a payload larger than the protocol allows. Raised
+    /// *before* any allocation, so a corrupt or malicious length field cannot request
+    /// gigabytes of memory.
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+        /// The maximum this build accepts ([`crate::frame::MAX_PAYLOAD_LEN`]).
+        max: u64,
+    },
+    /// The stream ended before the section being decoded was complete.
+    Truncated {
+        /// The section that could not be read in full.
+        section: &'static str,
+    },
+    /// The frame trailer checksum does not match the frame contents.
+    ChecksumMismatch {
+        /// The checksum stored in the trailer.
+        stored: u64,
+        /// The checksum computed over the frame.
+        computed: u64,
+    },
+    /// The frame decodes but violates a payload invariant (an inner length lying about
+    /// the payload size, invalid UTF-8, an unknown request kind, ...).
+    Corrupt {
+        /// The violated invariant.
+        reason: String,
+    },
+    /// The peer answered with an `Error` frame; this carries its message.
+    Remote {
+        /// The error text the peer reported.
+        message: String,
+    },
+    /// A worker serves a different snapshot than the one the dispatcher needs.
+    IdentityMismatch {
+        /// The worker's address.
+        worker: String,
+        /// The identity hash of the snapshot the scenario names.
+        expected: u64,
+        /// The identity hash the worker echoed in its `Hello`.
+        found: u64,
+    },
+    /// The conversation is well-framed but semantically wrong (an unexpected reply
+    /// kind, a request the endpoint cannot serve, a job range out of bounds, ...).
+    Protocol {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl NetError {
+    /// Builds an [`NetError::Io`] from an OS error and what was being attempted.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> Self {
+        NetError::Io {
+            context: context.into(),
+            message: error.to_string(),
+        }
+    }
+
+    /// Builds a [`NetError::Corrupt`] from anything stringly.
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        NetError::Corrupt {
+            reason: reason.into(),
+        }
+    }
+
+    /// Builds a [`NetError::Protocol`] from anything stringly.
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        NetError::Protocol {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, message } => write!(f, "net io error ({context}): {message}"),
+            NetError::BadMagic { found } => {
+                write!(f, "not an sfo-net frame: expected magic \"SFNF\", found {found:?}")
+            }
+            NetError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported protocol version {found} (this build speaks version {})",
+                crate::frame::PROTOCOL_VERSION
+            ),
+            NetError::UnknownMessageType { found } => {
+                write!(f, "unknown message type {found}")
+            }
+            NetError::Oversized { declared, max } => write!(
+                f,
+                "frame declares a {declared}-byte payload, above the {max}-byte limit"
+            ),
+            NetError::Truncated { section } => {
+                write!(f, "stream ended inside the {section} section")
+            }
+            NetError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: trailer says {stored:#018x}, contents hash to {computed:#018x}"
+            ),
+            NetError::Corrupt { reason } => write!(f, "corrupt frame: {reason}"),
+            NetError::Remote { message } => write!(f, "peer reported an error: {message}"),
+            NetError::IdentityMismatch {
+                worker,
+                expected,
+                found,
+            } => write!(
+                f,
+                "worker {worker} serves snapshot {found:#018x}, but the scenario needs \
+                 {expected:#018x}; point it at the same .sfos file"
+            ),
+            NetError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(NetError::BadMagic { found: *b"HTTP" }
+            .to_string()
+            .contains("SFNF"));
+        assert!(NetError::Oversized {
+            declared: 1 << 40,
+            max: 1 << 26
+        }
+        .to_string()
+        .contains("limit"));
+        assert!(NetError::IdentityMismatch {
+            worker: "w:1".to_string(),
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("w:1"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetError>();
+    }
+}

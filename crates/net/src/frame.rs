@@ -1,0 +1,353 @@
+//! The `SFNF` frame layer: versioned, length-prefixed, checksummed message envelopes.
+//!
+//! Every message on an `sfo-net` connection travels inside one frame, hand-rolled in
+//! the same little-endian style as the `SFOS` snapshot container (the full byte layout
+//! is documented in `docs/FORMATS.md`):
+//!
+//! | offset      | size | field |
+//! |------------:|-----:|-------|
+//! | 0           | 4    | magic `"SFNF"` |
+//! | 4           | 2    | protocol version (`u16`, = [`PROTOCOL_VERSION`]) |
+//! | 6           | 2    | message type (`u16`, see [`crate::message::Message`]) |
+//! | 8           | 4    | payload length (`u32`, at most [`MAX_PAYLOAD_LEN`]) |
+//! | 12          | …    | payload |
+//! | 12 + length | 8    | FNV-1a 64 checksum of every preceding frame byte |
+//!
+//! Readers are strict: wrong magic, unknown versions, truncation mid-frame, checksum
+//! mismatches, and oversized declared lengths are typed [`NetError`]s, never panics —
+//! and the length bound is enforced *before* the payload allocation, so a corrupt or
+//! hostile header cannot request gigabytes. The checksum guards against stream
+//! desynchronization and bit rot, which is what a trusted-cluster work protocol needs
+//! (it is not an authentication mechanism; run the daemon inside the trust boundary).
+
+use crate::NetError;
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"SFNF";
+
+/// The protocol version this build speaks and the only one it accepts.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame's payload length (64 MiB).
+///
+/// Large enough for a `BatchResult` of ~4 million outcomes — far beyond a sensible
+/// batch slice — while bounding what a corrupt length field can make a reader allocate.
+pub const MAX_PAYLOAD_LEN: u32 = 64 << 20;
+
+/// Fixed-size prefix of a frame before the payload.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Size of the trailing checksum.
+pub const FRAME_TRAILER_LEN: usize = 8;
+
+/// The frame trailer checksum is byte-for-byte the `SFOS` container's: the same
+/// function, shared (not copied) from the snapshot codec so the two formats cannot
+/// drift apart.
+pub use sfo_graph::snapshot::{fnv1a64, fnv1a64_update};
+
+/// Encodes one frame — header, payload, trailer — to its wire bytes.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD_LEN`]; writers build payloads, so an
+/// oversized one is a programming error on this side of the wire, not bad input.
+pub fn encode_frame(message_type: u16, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_LEN as usize,
+        "frame payload of {} bytes exceeds the {MAX_PAYLOAD_LEN}-byte protocol limit",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + FRAME_TRAILER_LEN);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&message_type.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Writes one frame to `writer` and flushes it.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] when the underlying write fails.
+pub fn write_frame(
+    writer: &mut impl Write,
+    message_type: u16,
+    payload: &[u8],
+) -> Result<(), NetError> {
+    let bytes = encode_frame(message_type, payload);
+    writer
+        .write_all(&bytes)
+        .and_then(|()| writer.flush())
+        .map_err(|e| NetError::io("write frame", &e))
+}
+
+/// Reads one complete frame from `reader`, verifying magic, version, length bound, and
+/// checksum, and returns `(message type, payload)`.
+///
+/// A clean end-of-stream *before the first header byte* is reported as
+/// `Truncated { section: "header" }`; callers that treat connection close as a normal
+/// event (the serving daemon) check for that variant.
+///
+/// # Errors
+///
+/// Every decoding failure is a typed [`NetError`]; see the module docs.
+pub fn read_frame(reader: &mut impl Read) -> Result<(u16, Vec<u8>), NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact(reader, &mut header, "header")?;
+    let magic: [u8; 4] = header[..4].try_into().expect("4-byte slice");
+    if magic != FRAME_MAGIC {
+        return Err(NetError::BadMagic { found: magic });
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::UnsupportedVersion { found: version });
+    }
+    let message_type = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+    let declared = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    // The bound comes before the allocation: this is the whole point of declaring the
+    // length in a fixed-size header.
+    if declared > MAX_PAYLOAD_LEN {
+        return Err(NetError::Oversized {
+            declared: u64::from(declared),
+            max: u64::from(MAX_PAYLOAD_LEN),
+        });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    read_exact(reader, &mut payload, "payload")?;
+    let mut trailer = [0u8; FRAME_TRAILER_LEN];
+    read_exact(reader, &mut trailer, "trailer")?;
+    let stored = u64::from_le_bytes(trailer);
+    // Stream the fold over the two sections — no concatenation copy on the read path.
+    let computed = fnv1a64_update(fnv1a64(&header), &payload);
+    if stored != computed {
+        return Err(NetError::ChecksumMismatch { stored, computed });
+    }
+    Ok((message_type, payload))
+}
+
+fn read_exact(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), NetError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Truncated { section }
+        } else {
+            NetError::io(format!("read frame {section}"), &e)
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------------------
+// Payload primitives: a strict little-endian reader/writer pair shared by every message
+// codec in `crate::message`.
+
+/// Appends a length-prefixed UTF-8 string (`u32` length, then the bytes).
+pub(crate) fn put_str(out: &mut Vec<u8>, value: &str) {
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value.as_bytes());
+}
+
+/// A strict cursor over a fully-read payload buffer.
+///
+/// Every inner length is checked against the bytes actually present before any slice or
+/// allocation, so a payload cannot lie its way into an out-of-bounds read or an
+/// attacker-sized buffer; [`PayloadReader::finish`] rejects trailing bytes, so a
+/// payload is either exactly its message or corrupt.
+pub(crate) struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize, section: &'static str) -> Result<&'a [u8], NetError> {
+        if self.remaining() < len {
+            return Err(NetError::Truncated { section });
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self, section: &'static str) -> Result<u8, NetError> {
+        Ok(self.take(1, section)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, section: &'static str) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, section)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self, section: &'static str) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, section)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn str(&mut self, section: &'static str) -> Result<&'a str, NetError> {
+        let len = self.u32(section)? as usize;
+        let bytes = self.take(len, section)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| NetError::corrupt(format!("{section}: string is not valid UTF-8")))
+    }
+
+    /// Declares that `count` records of `record_size` bytes each follow, bounding the
+    /// product by the bytes actually present *before* the caller allocates a collection
+    /// of `count` entries.
+    pub(crate) fn expect_records(
+        &mut self,
+        count: usize,
+        record_size: usize,
+        section: &'static str,
+    ) -> Result<(), NetError> {
+        let needed = count.checked_mul(record_size);
+        match needed {
+            Some(needed) if needed <= self.remaining() => Ok(()),
+            _ => Err(NetError::Truncated { section }),
+        }
+    }
+
+    pub(crate) fn finish(self, context: &'static str) -> Result<(), NetError> {
+        if self.remaining() != 0 {
+            return Err(NetError::corrupt(format!(
+                "{context}: {} undeclared trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        for (message_type, payload) in [
+            (1u16, Vec::new()),
+            (2, vec![0u8; 1]),
+            (3, (0..=255u8).collect::<Vec<u8>>()),
+        ] {
+            let bytes = encode_frame(message_type, &payload);
+            let mut cursor = std::io::Cursor::new(&bytes);
+            let (got_type, got_payload) = read_frame(&mut cursor).unwrap();
+            assert_eq!(got_type, message_type);
+            assert_eq!(got_payload, payload);
+            assert_eq!(cursor.position() as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_stream_cleanly() {
+        let mut stream = encode_frame(1, b"first");
+        stream.extend_from_slice(&encode_frame(2, b"second"));
+        let mut cursor = std::io::Cursor::new(&stream);
+        assert_eq!(read_frame(&mut cursor).unwrap(), (1, b"first".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), (2, b"second".to_vec()));
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Truncated { section: "header" })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = encode_frame(1, b"x");
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(NetError::BadMagic { found }) if found[0] == b'X'
+        ));
+        let mut bytes = encode_frame(1, b"x");
+        bytes[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(NetError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_lengths_fail_before_allocation() {
+        // A header declaring u32::MAX bytes with nothing behind it: the reader must
+        // reject on the declared bound, not attempt a 4 GiB read.
+        let mut bytes = encode_frame(1, b"");
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(NetError::Oversized { declared, .. }) if declared == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn truncation_in_every_section_is_typed() {
+        let bytes = encode_frame(3, b"payload!");
+        for (cut, section) in [
+            (4usize, "header"),
+            (14, "payload"),
+            (bytes.len() - 2, "trailer"),
+        ] {
+            let got = read_frame(&mut &bytes[..cut]);
+            assert!(
+                matches!(got, Err(NetError::Truncated { section: s }) if s == section),
+                "cut at {cut}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_caught_by_the_checksum() {
+        let bytes = encode_frame(4, b"integrity matters");
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x20;
+            assert!(
+                read_frame(&mut corrupted.as_slice()).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_reader_bounds_every_access() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&7u32.to_le_bytes());
+        put_str(&mut out, "hello");
+        let mut reader = PayloadReader::new(&out);
+        assert_eq!(reader.u32("n").unwrap(), 7);
+        assert_eq!(reader.str("s").unwrap(), "hello");
+        reader.finish("test").unwrap();
+
+        // A string length lying about the buffer is truncation, not a slice panic.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&100u32.to_le_bytes());
+        lying.extend_from_slice(b"short");
+        assert!(matches!(
+            PayloadReader::new(&lying).str("s"),
+            Err(NetError::Truncated { .. })
+        ));
+
+        // Trailing bytes are corrupt, and record counts are bounded before allocation.
+        let mut trailing = PayloadReader::new(&[1, 2, 3]);
+        assert!(trailing
+            .expect_records(usize::MAX / 2, 12, "records")
+            .is_err());
+        let _ = trailing.u8("b").unwrap();
+        assert!(trailing.finish("test").is_err());
+    }
+}

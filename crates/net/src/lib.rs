@@ -1,0 +1,88 @@
+//! # sfo-net
+//!
+//! The transport/process half of distributed scenario execution: a framed wire
+//! protocol, a snapshot-serving worker daemon, and the dispatcher that splits one
+//! scenario's work across worker processes — the layer between
+//! `sfo-engine`/`sfo-scenario` and the `sfo` binary's `serve`/`dispatch` commands.
+//!
+//! The serialization half already existed: `.sfos` snapshot files ship frozen
+//! realizations between processes, a `ScenarioSpec` is the wire unit for a whole
+//! experiment, and a `QueryBatch` for work against a shared snapshot. This crate adds
+//! the missing pieces:
+//!
+//! * [`frame`] — a versioned, length-prefixed, FNV-checksummed frame codec over TCP or
+//!   Unix sockets, hand-rolled in the same style as `sfo_graph::snapshot` (byte layout
+//!   in `docs/FORMATS.md`). Strict readers: corrupt frames are typed [`NetError`]s,
+//!   never panics, and declared lengths are bounded before allocation.
+//! * [`message`] — the worker vocabulary: `Hello` / `LoadSnapshot` / `SubmitBatch` /
+//!   `BatchResult` / `Error`.
+//! * [`server`] — [`WorkerServer`], the `sfo serve` daemon: loads one `.sfos` snapshot
+//!   into a sharded store and serves query batches from any number of clients over one
+//!   persistent engine pool.
+//! * [`client`] / [`dispatcher`] — [`WorkerClient`] for one connection, and
+//!   [`RemoteDispatcher`], which implements the scenario layer's
+//!   [`RemoteSweepExecutor`](sfo_scenario::RemoteSweepExecutor) seam: it splits a
+//!   snapshot sweep's job grid into contiguous ranges, one per worker, and merges the
+//!   outcomes in global job order.
+//!
+//! **The headline invariant is byte-identity.** Every job of a batch derives its RNG
+//! from `(batch seed, global job index)` — the workspace's single stream rule — so
+//! where a job runs (which worker, which process, which host) is invisible in the
+//! results: a `ScenarioSpec` with `workers: [...]` produces a `ScenarioReport.result`
+//! byte-identical to the same spec run locally, for any worker count and any job
+//! split. The dispatcher's own machinery is therefore pure refusal logic: workers echo
+//! the identity hash of the snapshot they serve in `Hello`, and a dispatcher refuses
+//! to send work to one serving the wrong realization.
+//!
+//! # Example
+//!
+//! Serve a snapshot on a loopback port and run one sweep slice against it:
+//!
+//! ```no_run
+//! use sfo_net::{ServeConfig, WorkerServer, WorkerClient};
+//! use sfo_net::message::BatchRequest;
+//! use sfo_scenario::SearchSpec;
+//!
+//! # fn main() -> Result<(), sfo_net::NetError> {
+//! let server = WorkerServer::bind(&ServeConfig {
+//!     snapshot_path: "pa.sfos".to_string(),
+//!     listen: "127.0.0.1:0".to_string(),
+//!     engine_workers: 0,
+//!     shard_count: 4,
+//! })?;
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut client = WorkerClient::connect(&addr)?;
+//! let outcomes = client.submit(&BatchRequest::SweepRange {
+//!     seed: client.hello().identity, // illustrative; a sweep uses the stored sweep_seed
+//!     start: 0,
+//!     end: 30,
+//!     searches_per_point: 10,
+//!     ttls: vec![1, 2, 4],
+//!     search: SearchSpec::Flooding,
+//! })?;
+//! assert_eq!(outcomes.len(), 30);
+//! handle.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod client;
+pub mod dispatcher;
+pub mod frame;
+pub mod message;
+pub mod server;
+pub mod stream;
+
+pub use client::WorkerClient;
+pub use dispatcher::{dispatch_queries, dispatch_sweep, remote_runner, RemoteDispatcher};
+pub use error::NetError;
+pub use message::{BatchRequest, Hello, Message};
+pub use server::{ServeConfig, WorkerServer, WorkerServerHandle};
+pub use stream::{NetListener, NetStream};

@@ -1,0 +1,449 @@
+//! The message vocabulary carried by [`crate::frame`] envelopes.
+//!
+//! Five messages cover the whole worker conversation (byte layouts in
+//! `docs/FORMATS.md`):
+//!
+//! * [`Message::Hello`] — sent by a worker on connect (and after a
+//!   [`Message::LoadSnapshot`]): which snapshot it serves, by identity hash, plus its
+//!   shape. The dispatcher compares the identity against the scenario's file and
+//!   refuses a worker serving the wrong realization.
+//! * [`Message::LoadSnapshot`] — asks the worker to load a different `.sfos` file
+//!   (a path on the *worker's* filesystem).
+//! * [`Message::SubmitBatch`] — a [`BatchRequest`]: either an explicit
+//!   [`QueryBatch`] slice or a contiguous range of a TTL sweep grid, both tagged with
+//!   the global index information that makes per-job RNG streams split-invariant.
+//! * [`Message::BatchResult`] — one [`SearchOutcome`] per job, in job order.
+//! * [`Message::Error`] — the worker's typed failure surface; the connection stays
+//!   usable afterwards.
+//!
+//! Search algorithms travel as their scenario-layer JSON encoding (a length-prefixed
+//! string inside the binary payload): the `SearchSpec` codec is already the workspace's
+//! one tested vocabulary for naming an algorithm, and reusing it keeps the wire format
+//! and the spec files from drifting apart.
+
+use crate::frame::{put_str, PayloadReader};
+use crate::NetError;
+use sfo_engine::QueryBatch;
+use sfo_scenario::json::{FromJson, JsonValue, ToJson};
+use sfo_scenario::SearchSpec;
+use sfo_search::SearchOutcome;
+
+/// Frame type tag of [`Message::Hello`].
+pub const TYPE_HELLO: u16 = 1;
+/// Frame type tag of [`Message::LoadSnapshot`].
+pub const TYPE_LOAD_SNAPSHOT: u16 = 2;
+/// Frame type tag of [`Message::SubmitBatch`].
+pub const TYPE_SUBMIT_BATCH: u16 = 3;
+/// Frame type tag of [`Message::BatchResult`].
+pub const TYPE_BATCH_RESULT: u16 = 4;
+/// Frame type tag of [`Message::Error`].
+pub const TYPE_ERROR: u16 = 5;
+
+/// What a worker announces about the snapshot it serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Identity hash of the served snapshot file
+    /// ([`sfo_graph::snapshot::read_identity`]).
+    pub identity: u64,
+    /// Nodes in the served topology.
+    pub node_count: u64,
+    /// Undirected edges in the served topology.
+    pub edge_count: u64,
+    /// Shards the worker's store is partitioned into.
+    pub shard_count: u32,
+    /// Worker threads in the serving engine pool.
+    pub engine_workers: u32,
+}
+
+/// Work shipped to a worker inside a [`Message::SubmitBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchRequest {
+    /// An explicit job list: a [`QueryBatch`] slice whose job `i` runs on the RNG
+    /// stream of global index `index_offset + i`, against an algorithm table resolved
+    /// from [`SearchSpec`]s on the worker (using the served snapshot's provenance `m`).
+    Queries {
+        /// The batch seed.
+        seed: u64,
+        /// Global index of the slice's first job.
+        index_offset: u64,
+        /// The algorithm table, by wire encoding; jobs index into it.
+        algorithms: Vec<SearchSpec>,
+        /// The jobs of this slice.
+        batch: QueryBatch,
+    },
+    /// The contiguous global job range `start..end` of a TTL sweep grid of
+    /// `ttls.len() * searches_per_point` jobs — the unit the dispatcher splits a
+    /// snapshot sweep into.
+    SweepRange {
+        /// The batch seed (a snapshot sweep uses the file's stored `sweep_seed`).
+        seed: u64,
+        /// First global job index of the range.
+        start: u64,
+        /// One past the last global job index of the range.
+        end: u64,
+        /// Searches per TTL of the full grid.
+        searches_per_point: u64,
+        /// The TTL grid.
+        ttls: Vec<u32>,
+        /// The search to run (`RwNormalizedToNf` selects the paper's normalized-walk
+        /// job shape).
+        search: SearchSpec,
+    },
+}
+
+/// One message of the worker protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → client: what this worker serves.
+    Hello(Hello),
+    /// Client → worker: load a different snapshot (path on the worker's filesystem).
+    LoadSnapshot {
+        /// The `.sfos` path to load.
+        path: String,
+    },
+    /// Client → worker: execute a batch.
+    SubmitBatch(BatchRequest),
+    /// Worker → client: the outcomes of a batch, in job order.
+    BatchResult {
+        /// One outcome per job of the request.
+        outcomes: Vec<SearchOutcome>,
+    },
+    /// Either direction: a typed failure; the connection survives.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn put_search_spec(out: &mut Vec<u8>, spec: &SearchSpec) {
+    put_str(out, &spec.to_json().to_pretty_string());
+}
+
+fn read_search_spec(reader: &mut PayloadReader<'_>) -> Result<SearchSpec, NetError> {
+    let text = reader.str("search spec")?;
+    let value = JsonValue::parse(text)
+        .map_err(|e| NetError::corrupt(format!("search spec is not valid JSON: {e}")))?;
+    SearchSpec::from_json(&value)
+        .map_err(|e| NetError::corrupt(format!("search spec does not decode: {e}")))
+}
+
+impl Message {
+    /// Encodes the message to `(frame type, payload bytes)`.
+    pub fn encode(&self) -> (u16, Vec<u8>) {
+        match self {
+            Message::Hello(hello) => {
+                let mut out = Vec::with_capacity(32);
+                out.extend_from_slice(&hello.identity.to_le_bytes());
+                out.extend_from_slice(&hello.node_count.to_le_bytes());
+                out.extend_from_slice(&hello.edge_count.to_le_bytes());
+                out.extend_from_slice(&hello.shard_count.to_le_bytes());
+                out.extend_from_slice(&hello.engine_workers.to_le_bytes());
+                (TYPE_HELLO, out)
+            }
+            Message::LoadSnapshot { path } => {
+                let mut out = Vec::new();
+                put_str(&mut out, path);
+                (TYPE_LOAD_SNAPSHOT, out)
+            }
+            Message::SubmitBatch(request) => {
+                let mut out = Vec::new();
+                match request {
+                    BatchRequest::Queries {
+                        seed,
+                        index_offset,
+                        algorithms,
+                        batch,
+                    } => {
+                        out.push(0u8);
+                        out.extend_from_slice(&seed.to_le_bytes());
+                        out.extend_from_slice(&index_offset.to_le_bytes());
+                        out.extend_from_slice(&(algorithms.len() as u32).to_le_bytes());
+                        for spec in algorithms {
+                            put_search_spec(&mut out, spec);
+                        }
+                        out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+                        for job in batch.jobs() {
+                            out.extend_from_slice(&(job.source.as_u32()).to_le_bytes());
+                            out.extend_from_slice(&(job.algorithm as u32).to_le_bytes());
+                            out.extend_from_slice(&job.ttl.to_le_bytes());
+                        }
+                    }
+                    BatchRequest::SweepRange {
+                        seed,
+                        start,
+                        end,
+                        searches_per_point,
+                        ttls,
+                        search,
+                    } => {
+                        out.push(1u8);
+                        out.extend_from_slice(&seed.to_le_bytes());
+                        out.extend_from_slice(&start.to_le_bytes());
+                        out.extend_from_slice(&end.to_le_bytes());
+                        out.extend_from_slice(&searches_per_point.to_le_bytes());
+                        out.extend_from_slice(&(ttls.len() as u32).to_le_bytes());
+                        for &ttl in ttls {
+                            out.extend_from_slice(&ttl.to_le_bytes());
+                        }
+                        put_search_spec(&mut out, search);
+                    }
+                }
+                (TYPE_SUBMIT_BATCH, out)
+            }
+            Message::BatchResult { outcomes } => {
+                let mut out = Vec::with_capacity(4 + 16 * outcomes.len());
+                out.extend_from_slice(&(outcomes.len() as u32).to_le_bytes());
+                for outcome in outcomes {
+                    out.extend_from_slice(&(outcome.hits as u64).to_le_bytes());
+                    out.extend_from_slice(&(outcome.messages as u64).to_le_bytes());
+                }
+                (TYPE_BATCH_RESULT, out)
+            }
+            Message::Error { message } => {
+                let mut out = Vec::new();
+                put_str(&mut out, message);
+                (TYPE_ERROR, out)
+            }
+        }
+    }
+
+    /// Decodes a message from a frame's `(type, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownMessageType`] for unknown tags and
+    /// [`NetError::Truncated`]/[`NetError::Corrupt`] when the payload does not decode
+    /// exactly — trailing bytes included.
+    pub fn decode(message_type: u16, payload: &[u8]) -> Result<Message, NetError> {
+        let mut reader = PayloadReader::new(payload);
+        let message = match message_type {
+            TYPE_HELLO => {
+                let hello = Hello {
+                    identity: reader.u64("hello")?,
+                    node_count: reader.u64("hello")?,
+                    edge_count: reader.u64("hello")?,
+                    shard_count: reader.u32("hello")?,
+                    engine_workers: reader.u32("hello")?,
+                };
+                Message::Hello(hello)
+            }
+            TYPE_LOAD_SNAPSHOT => Message::LoadSnapshot {
+                path: reader.str("load snapshot")?.to_string(),
+            },
+            TYPE_SUBMIT_BATCH => {
+                let request = match reader.u8("batch request")? {
+                    0 => {
+                        let seed = reader.u64("batch request")?;
+                        let index_offset = reader.u64("batch request")?;
+                        let algorithm_count = reader.u32("algorithm table")? as usize;
+                        // Each encoded algorithm is at least a 4-byte length prefix.
+                        reader.expect_records(algorithm_count, 4, "algorithm table")?;
+                        let mut algorithms = Vec::with_capacity(algorithm_count);
+                        for _ in 0..algorithm_count {
+                            algorithms.push(read_search_spec(&mut reader)?);
+                        }
+                        let job_count = reader.u32("job list")? as usize;
+                        reader.expect_records(job_count, 12, "job list")?;
+                        let mut batch = QueryBatch::new();
+                        for _ in 0..job_count {
+                            let source = reader.u32("job list")?;
+                            let algorithm = reader.u32("job list")? as usize;
+                            let ttl = reader.u32("job list")?;
+                            batch.push(sfo_graph::NodeId::new(source as usize), algorithm, ttl);
+                        }
+                        BatchRequest::Queries {
+                            seed,
+                            index_offset,
+                            algorithms,
+                            batch,
+                        }
+                    }
+                    1 => {
+                        let seed = reader.u64("batch request")?;
+                        let start = reader.u64("batch request")?;
+                        let end = reader.u64("batch request")?;
+                        let searches_per_point = reader.u64("batch request")?;
+                        let ttl_count = reader.u32("ttl grid")? as usize;
+                        reader.expect_records(ttl_count, 4, "ttl grid")?;
+                        let mut ttls = Vec::with_capacity(ttl_count);
+                        for _ in 0..ttl_count {
+                            ttls.push(reader.u32("ttl grid")?);
+                        }
+                        let search = read_search_spec(&mut reader)?;
+                        BatchRequest::SweepRange {
+                            seed,
+                            start,
+                            end,
+                            searches_per_point,
+                            ttls,
+                            search,
+                        }
+                    }
+                    other => {
+                        return Err(NetError::corrupt(format!(
+                            "unknown batch request kind {other}"
+                        )))
+                    }
+                };
+                Message::SubmitBatch(request)
+            }
+            TYPE_BATCH_RESULT => {
+                let count = reader.u32("batch result")? as usize;
+                reader.expect_records(count, 16, "batch result")?;
+                let mut outcomes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let hits = reader.u64("batch result")?;
+                    let messages = reader.u64("batch result")?;
+                    outcomes.push(SearchOutcome {
+                        hits: usize::try_from(hits)
+                            .map_err(|_| NetError::corrupt("hit count exceeds usize"))?,
+                        messages: usize::try_from(messages)
+                            .map_err(|_| NetError::corrupt("message count exceeds usize"))?,
+                    });
+                }
+                Message::BatchResult { outcomes }
+            }
+            TYPE_ERROR => Message::Error {
+                message: reader.str("error")?.to_string(),
+            },
+            other => return Err(NetError::UnknownMessageType { found: other }),
+        };
+        reader.finish("message payload")?;
+        Ok(message)
+    }
+}
+
+/// Writes one message as a frame.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] when the underlying write fails.
+pub fn send_message(writer: &mut impl std::io::Write, message: &Message) -> Result<(), NetError> {
+    let (message_type, payload) = message.encode();
+    crate::frame::write_frame(writer, message_type, &payload)
+}
+
+/// Reads one message from a frame.
+///
+/// # Errors
+///
+/// Every framing and decoding failure of [`crate::frame::read_frame`] and
+/// [`Message::decode`].
+pub fn recv_message(reader: &mut impl std::io::Read) -> Result<Message, NetError> {
+    let (message_type, payload) = crate::frame::read_frame(reader)?;
+    Message::decode(message_type, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfo_graph::NodeId;
+
+    fn sample_messages() -> Vec<Message> {
+        let mut batch = QueryBatch::new();
+        batch.push(NodeId::new(3), 0, 4);
+        batch.push(NodeId::new(9), 1, 2);
+        vec![
+            Message::Hello(Hello {
+                identity: 0xFEED_F00D_DEAD_BEEF,
+                node_count: 10_000,
+                edge_count: 20_000,
+                shard_count: 4,
+                engine_workers: 8,
+            }),
+            Message::LoadSnapshot {
+                path: "topologies/pa_m2_kc10.sfos".to_string(),
+            },
+            Message::SubmitBatch(BatchRequest::Queries {
+                seed: 7,
+                index_offset: 40,
+                algorithms: vec![
+                    SearchSpec::Flooding,
+                    SearchSpec::NormalizedFlooding { k_min: Some(2) },
+                ],
+                batch,
+            }),
+            Message::SubmitBatch(BatchRequest::SweepRange {
+                seed: 11,
+                start: 30,
+                end: 60,
+                searches_per_point: 30,
+                ttls: vec![1, 2, 4, 8],
+                search: SearchSpec::RwNormalizedToNf { k_min: None },
+            }),
+            Message::BatchResult {
+                outcomes: vec![SearchOutcome::new(5, 9), SearchOutcome::new(0, 1)],
+            },
+            Message::Error {
+                message: "no snapshot loaded".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_its_frame() {
+        for message in sample_messages() {
+            let (message_type, payload) = message.encode();
+            let back = Message::decode(message_type, &payload).unwrap();
+            assert_eq!(back, message);
+
+            // And through a real byte stream.
+            let mut wire = Vec::new();
+            send_message(&mut wire, &message).unwrap();
+            assert_eq!(recv_message(&mut wire.as_slice()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn unknown_types_and_trailing_bytes_are_rejected() {
+        assert!(matches!(
+            Message::decode(99, &[]),
+            Err(NetError::UnknownMessageType { found: 99 })
+        ));
+        let (message_type, mut payload) = Message::Error {
+            message: "x".to_string(),
+        }
+        .encode();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(message_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn lying_inner_counts_are_bounded_before_allocation() {
+        // A BatchResult claiming u32::MAX outcomes in a 4-byte payload must fail on the
+        // record bound, not allocate a 64 GiB vector.
+        let payload = u32::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            Message::decode(TYPE_BATCH_RESULT, &payload),
+            Err(NetError::Truncated { .. })
+        ));
+        // Same for a job list.
+        let mut payload = vec![0u8];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // no algorithms
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // a lie
+        assert!(matches!(
+            Message::decode(TYPE_SUBMIT_BATCH, &payload),
+            Err(NetError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_search_specs_are_corrupt_not_panics() {
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // no ttls
+        put_str(&mut payload, "{\"algorithm\": \"teleportation\"}");
+        assert!(matches!(
+            Message::decode(TYPE_SUBMIT_BATCH, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,395 @@
+//! The snapshot-serving worker daemon behind `sfo serve`.
+//!
+//! A [`WorkerServer`] loads one `.sfos` snapshot into a sharded store, spins up a
+//! persistent [`WorkerPool`], and serves [`BatchRequest`]s from any number of client
+//! connections concurrently — each connection gets its own handler thread, and the
+//! engine's per-batch queues let their submissions interleave on one pool instead of
+//! serializing. The worker is deterministic by construction: every job it runs derives
+//! its RNG from `(batch seed, global job index)` exactly like a local run, so *where*
+//! a job runs is invisible in the results.
+//!
+//! On connect the worker announces a [`Hello`] carrying the identity hash of the file
+//! it serves ([`sfo_graph::snapshot::read_identity`]); a dispatcher that needs a
+//! different realization refuses it instead of silently measuring the wrong topology.
+//! `LoadSnapshot` swaps the served file (answering with a fresh `Hello`), and every
+//! failure — unknown request kinds, out-of-range jobs, unloadable files — comes back
+//! as a typed `Error` frame on a connection that stays usable.
+
+use crate::message::{recv_message, send_message, BatchRequest, Hello, Message};
+use crate::stream::{NetListener, NetStream};
+use crate::NetError;
+use sfo_engine::{
+    batched_rw_normalized_to_nf_range, batched_ttl_sweep_range, run_queries_offset, AlgorithmTable,
+    EngineConfig, ShardedCsr, WorkerPool,
+};
+use sfo_graph::snapshot::{read_identity, Provenance, SnapshotFile};
+use sfo_scenario::spec::BuiltSearch;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Configuration of a serving daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The `.sfos` file to serve (must carry a provenance record).
+    pub snapshot_path: String,
+    /// Listen address: `host:port` (port 0 picks a free one) or `unix:/path`.
+    pub listen: String,
+    /// Engine pool worker threads (0 = all available cores).
+    pub engine_workers: usize,
+    /// Shards the loaded store is partitioned into (0 or 1 = unsharded). Sharding
+    /// never changes results.
+    pub shard_count: usize,
+}
+
+/// One loaded snapshot: the store plus what `Hello` announces about it.
+struct Store {
+    graph: Arc<ShardedCsr>,
+    provenance: Provenance,
+    identity: u64,
+}
+
+impl Store {
+    fn load(path: &str, shard_count: usize) -> Result<Store, NetError> {
+        let file = SnapshotFile::load(path)
+            .map_err(|e| NetError::protocol(format!("cannot serve {path}: {e}")))?;
+        let provenance = file.provenance.ok_or_else(|| {
+            NetError::protocol(format!(
+                "cannot serve {path}: no provenance record — scenario jobs need the \
+                 stored m and stream state; build the file with `sfo snapshot build`"
+            ))
+        })?;
+        if file.csr.node_count() == 0 {
+            return Err(NetError::protocol(format!(
+                "cannot serve {path}: the topology is empty"
+            )));
+        }
+        let identity = read_identity(path)
+            .map_err(|e| NetError::protocol(format!("cannot serve {path}: {e}")))?;
+        Ok(Store {
+            graph: Arc::new(ShardedCsr::from_csr_owned(file.csr, shard_count.max(1))),
+            provenance,
+            identity,
+        })
+    }
+
+    fn hello(&self, engine_workers: u32) -> Hello {
+        Hello {
+            identity: self.identity,
+            node_count: self.graph.node_count() as u64,
+            edge_count: self.graph.edge_count() as u64,
+            shard_count: self.graph.shard_count() as u32,
+            engine_workers,
+        }
+    }
+}
+
+struct ServerState {
+    pool: WorkerPool,
+    store: RwLock<Arc<Store>>,
+    shard_count: usize,
+    stop: AtomicBool,
+}
+
+/// A bound, snapshot-loaded worker daemon; [`WorkerServer::run`] serves until stopped.
+pub struct WorkerServer {
+    listener: NetListener,
+    state: Arc<ServerState>,
+}
+
+impl WorkerServer {
+    /// Loads the configured snapshot (fully verified), spawns the engine pool, and
+    /// binds the listen address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Protocol`] when the snapshot cannot be served (unreadable,
+    /// corrupt, empty, or provenance-less) and [`NetError::Io`] when the bind fails.
+    pub fn bind(config: &ServeConfig) -> Result<Self, NetError> {
+        let store = Store::load(&config.snapshot_path, config.shard_count)?;
+        let listener = NetListener::bind(&config.listen)?;
+        Ok(WorkerServer {
+            listener,
+            state: Arc::new(ServerState {
+                pool: WorkerPool::new(EngineConfig::with_workers(config.engine_workers)),
+                store: RwLock::new(Arc::new(store)),
+                shard_count: config.shard_count,
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address, dialable by [`crate::WorkerClient::connect`] — how callers
+    /// learn the real port after binding `host:0`.
+    pub fn local_addr(&self) -> String {
+        self.listener.local_addr()
+    }
+
+    /// The `Hello` this server currently announces.
+    pub fn hello(&self) -> Hello {
+        let store = self.state.store.read().expect("store lock").clone();
+        store.hello(self.state.pool.workers() as u32)
+    }
+
+    /// Serves connections until [`WorkerServerHandle::stop`] is called (or forever, for
+    /// a daemon run from the CLI). Each connection is handled on its own thread; accept
+    /// errors on a live listener are logged to stderr and survived.
+    pub fn run(&self) {
+        loop {
+            match self.listener.accept() {
+                Ok(stream) => {
+                    if self.state.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let state = Arc::clone(&self.state);
+                    // Handlers are detached: they exit when their client hangs up, and
+                    // an OS process exit reaps any that remain.
+                    let _ = std::thread::Builder::new()
+                        .name("sfo-net-conn".to_string())
+                        .spawn(move || handle_connection(stream, &state));
+                }
+                Err(_) if self.state.stop.load(Ordering::SeqCst) => return,
+                Err(e) => eprintln!("sfo serve: accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Moves the server onto a background thread and returns a stop handle — the shape
+    /// the in-process tests and the CI smoke use.
+    pub fn spawn(self) -> WorkerServerHandle {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let join = std::thread::Builder::new()
+            .name("sfo-net-accept".to_string())
+            .spawn(move || self.run())
+            .expect("spawning accept thread");
+        WorkerServerHandle { addr, state, join }
+    }
+}
+
+/// Stop handle of a [`WorkerServer::spawn`]ed daemon.
+pub struct WorkerServerHandle {
+    addr: String,
+    state: Arc<ServerState>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl WorkerServerHandle {
+    /// The served address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Connections already established
+    /// drain on their own threads when their clients hang up.
+    pub fn stop(self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with one throwaway connection. If the dial fails
+        // (e.g. a unix socket file someone unlinked or rebound), the accept loop may
+        // never observe the flag — leak the thread rather than deadlock the caller;
+        // it holds no work and dies with the process.
+        if NetStream::connect(&self.addr).is_ok() {
+            let _ = self.join.join();
+        }
+    }
+}
+
+/// One client conversation: `Hello`, then request/reply until the peer hangs up.
+fn handle_connection(mut stream: NetStream, state: &ServerState) {
+    // The store is pinned per connection: every batch on this connection runs against
+    // exactly the snapshot its Hello announced, even if another client swaps the
+    // server's default with LoadSnapshot in between. The identity handshake is a
+    // promise about *this* conversation, and the `Arc` keeps a swapped-out store
+    // alive until its last pinned connection drains.
+    let mut pinned = state.store.read().expect("store lock").clone();
+    let announce = Message::Hello(pinned.hello(state.pool.workers() as u32));
+    if send_message(&mut stream, &announce).is_err() {
+        return;
+    }
+    loop {
+        let request = match recv_message(&mut stream) {
+            Ok(message) => message,
+            // A clean hang-up between frames is the normal end of a conversation.
+            Err(NetError::Truncated { section: "header" }) => return,
+            Err(e) => {
+                // The stream may be desynchronized; answer once and drop it.
+                let _ = send_message(
+                    &mut stream,
+                    &Message::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let reply = match request {
+            Message::LoadSnapshot { path } => match Store::load(&path, state.shard_count) {
+                Ok(store) => {
+                    let store = Arc::new(store);
+                    let hello = store.hello(state.pool.workers() as u32);
+                    // New connections see the new store; this connection repins.
+                    *state.store.write().expect("store lock") = Arc::clone(&store);
+                    pinned = store;
+                    Message::Hello(hello)
+                }
+                Err(e) => Message::Error {
+                    message: e.to_string(),
+                },
+            },
+            Message::SubmitBatch(request) => match execute_request(state, &pinned, &request) {
+                Ok(outcomes) => Message::BatchResult { outcomes },
+                Err(e) => Message::Error {
+                    message: e.to_string(),
+                },
+            },
+            other => Message::Error {
+                message: format!(
+                    "unexpected message {:?} on a worker connection",
+                    kind(&other)
+                ),
+            },
+        };
+        if send_message(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn kind(message: &Message) -> &'static str {
+    match message {
+        Message::Hello(_) => "Hello",
+        Message::LoadSnapshot { .. } => "LoadSnapshot",
+        Message::SubmitBatch(_) => "SubmitBatch",
+        Message::BatchResult { .. } => "BatchResult",
+        Message::Error { .. } => "Error",
+    }
+}
+
+/// Validates and executes one batch request against the connection's pinned store.
+///
+/// Every precondition the engine asserts is checked here first and returned as a typed
+/// error instead — a malformed request must never panic the daemon — and the execution
+/// itself runs under `catch_unwind` as a second line of defense.
+fn execute_request(
+    state: &ServerState,
+    store: &Arc<Store>,
+    request: &BatchRequest,
+) -> Result<Vec<sfo_search::SearchOutcome>, NetError> {
+    let m = usize::try_from(store.provenance.m).unwrap_or(usize::MAX);
+    let run = || -> Result<Vec<sfo_search::SearchOutcome>, NetError> {
+        match request {
+            BatchRequest::Queries {
+                seed,
+                index_offset,
+                algorithms,
+                batch,
+            } => {
+                let index_offset = usize::try_from(*index_offset)
+                    .map_err(|_| NetError::protocol("index offset exceeds usize"))?;
+                let mut table: AlgorithmTable<ShardedCsr> = Vec::with_capacity(algorithms.len());
+                for spec in algorithms {
+                    match spec.build_for::<ShardedCsr>(m) {
+                        Ok(BuiltSearch::Algorithm(algorithm)) => table.push(algorithm),
+                        Ok(BuiltSearch::RwNormalizedToNf { .. }) => {
+                            return Err(NetError::protocol(
+                                "rw_normalized_to_nf is not a table algorithm; \
+                                 use a sweep-range request",
+                            ))
+                        }
+                        Err(e) => {
+                            return Err(NetError::protocol(format!(
+                                "algorithm does not build: {e}"
+                            )))
+                        }
+                    }
+                }
+                for (i, job) in batch.jobs().iter().enumerate() {
+                    if job.algorithm >= table.len() {
+                        return Err(NetError::protocol(format!(
+                            "job {i}: algorithm index {} out of range for a table of {}",
+                            job.algorithm,
+                            table.len()
+                        )));
+                    }
+                    if !sfo_graph::GraphView::contains_node(store.graph.as_ref(), job.source) {
+                        return Err(NetError::protocol(format!(
+                            "job {i}: source {} out of bounds for a {}-node snapshot",
+                            job.source,
+                            store.graph.node_count()
+                        )));
+                    }
+                }
+                let table = Arc::new(table);
+                Ok(run_queries_offset(
+                    &state.pool,
+                    &store.graph,
+                    &table,
+                    batch,
+                    *seed,
+                    index_offset,
+                ))
+            }
+            BatchRequest::SweepRange {
+                seed,
+                start,
+                end,
+                searches_per_point,
+                ttls,
+                search,
+            } => {
+                let start = usize::try_from(*start)
+                    .map_err(|_| NetError::protocol("range start exceeds usize"))?;
+                let end = usize::try_from(*end)
+                    .map_err(|_| NetError::protocol("range end exceeds usize"))?;
+                let searches = usize::try_from(*searches_per_point)
+                    .map_err(|_| NetError::protocol("searches_per_point exceeds usize"))?;
+                let total = ttls
+                    .len()
+                    .checked_mul(searches)
+                    .ok_or_else(|| NetError::protocol("sweep grid size overflows usize"))?;
+                if start > end || end > total {
+                    return Err(NetError::protocol(format!(
+                        "job range {start}..{end} out of bounds for a grid of {total} jobs"
+                    )));
+                }
+                match search.build_for::<ShardedCsr>(m) {
+                    Ok(BuiltSearch::Algorithm(algorithm)) => Ok(batched_ttl_sweep_range(
+                        &state.pool,
+                        &store.graph,
+                        algorithm,
+                        ttls,
+                        searches,
+                        *seed,
+                        start,
+                        end,
+                    )),
+                    Ok(BuiltSearch::RwNormalizedToNf { k_min }) => {
+                        Ok(batched_rw_normalized_to_nf_range(
+                            &state.pool,
+                            &store.graph,
+                            k_min,
+                            ttls,
+                            searches,
+                            *seed,
+                            start,
+                            end,
+                        ))
+                    }
+                    Err(e) => Err(NetError::protocol(format!("search does not build: {e}"))),
+                }
+            }
+        }
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            Err(NetError::protocol(format!(
+                "batch execution panicked: {message}"
+            )))
+        }
+    }
+}

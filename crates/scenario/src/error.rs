@@ -32,6 +32,13 @@ pub enum ScenarioError {
     /// A `TopologySpec::Snapshot` file could not be read, failed verification, or lacks
     /// the section the scenario needs.
     Snapshot(SnapshotError),
+    /// Remote execution failed: a worker could not be reached, served the wrong
+    /// snapshot, or returned a protocol error (the transport lives in `sfo-net`; this
+    /// variant is its error surface inside the scenario layer).
+    Remote {
+        /// Human-readable description of what the dispatcher or a worker reported.
+        message: String,
+    },
 }
 
 impl ScenarioError {
@@ -39,6 +46,13 @@ impl ScenarioError {
     pub fn invalid(reason: impl Into<String>) -> Self {
         ScenarioError::InvalidSpec {
             reason: reason.into(),
+        }
+    }
+
+    /// Builds an [`ScenarioError::Remote`] from anything stringly.
+    pub fn remote(message: impl Into<String>) -> Self {
+        ScenarioError::Remote {
+            message: message.into(),
         }
     }
 }
@@ -58,6 +72,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Topology(e) => write!(f, "topology generation failed: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
             ScenarioError::Snapshot(e) => write!(f, "topology snapshot failed: {e}"),
+            ScenarioError::Remote { message } => write!(f, "remote execution failed: {message}"),
         }
     }
 }

@@ -64,12 +64,14 @@ mod codec;
 mod error;
 
 pub mod json;
+pub mod remote;
 pub mod report;
 pub mod runner;
 pub mod snapshot_build;
 pub mod spec;
 
 pub use error::ScenarioError;
+pub use remote::{RemoteSweepExecutor, RemoteSweepRequest};
 pub use report::{
     ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
     SweepCurve, SweepMetric, SweepPoint, TraceRealization,

@@ -15,6 +15,7 @@
 //! trace configuration replay the *identical* churn no matter how their overlays differ
 //! — the controlled comparison the paper's future work asks for.
 
+use crate::remote::{RemoteSweepExecutor, RemoteSweepRequest};
 use crate::report::{
     ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
     SweepCurve, SweepPoint, TraceRealization,
@@ -27,7 +28,8 @@ use rand::RngCore;
 use sfo_analysis::histogram::log_binned_distribution;
 use sfo_analysis::Summary;
 use sfo_engine::{
-    batched_rw_normalized_to_nf, batched_ttl_sweep, EngineConfig, ShardedCsr, WorkerPool,
+    average_per_ttl, batched_rw_normalized_to_nf, batched_ttl_sweep, EngineConfig, ShardedCsr,
+    WorkerPool,
 };
 use sfo_graph::snapshot::{Provenance, SnapshotError, SnapshotFile};
 use sfo_graph::GraphView;
@@ -67,15 +69,34 @@ const TRACE_STREAM_SALT: u64 = 0x5452_4143_4553_414c; // "TRACESAL"
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone, Default)]
 pub struct ScenarioRunner {
-    _private: (),
+    /// Executes sweeps whose spec names remote workers; `None` (the default) makes such
+    /// specs fail with a pointer at the `sfo` binary, which installs `sfo-net`'s
+    /// dispatcher.
+    remote: Option<Arc<dyn RemoteSweepExecutor>>,
+}
+
+impl std::fmt::Debug for ScenarioRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioRunner")
+            .field("remote", &self.remote.is_some())
+            .finish()
+    }
 }
 
 impl ScenarioRunner {
     /// Creates a runner.
     pub fn new() -> Self {
         ScenarioRunner::default()
+    }
+
+    /// Returns a runner that hands specs with a non-empty `sweep.workers` list to the
+    /// given executor (`sfo-net`'s `RemoteDispatcher`, or a fake in tests). Specs
+    /// without workers are unaffected.
+    pub fn with_remote(mut self, executor: Arc<dyn RemoteSweepExecutor>) -> Self {
+        self.remote = Some(executor);
+        self
     }
 
     /// Validates and executes a spec, returning the report that embeds it.
@@ -105,9 +126,10 @@ impl ScenarioRunner {
         let sweep = spec.sweep.as_ref().expect("validated static spec");
         let search = spec.search.as_ref().expect("validated static spec");
         if let Some(TopologySpec::Snapshot { path }) = &spec.topology {
-            return run_snapshot_sweep(path, search, sweep);
+            return self.run_snapshot_sweep(path, search, sweep);
         }
         let curves = spec.expanded_topologies();
+        let labels = curve_labels(spec, &curves);
         let realizations = spec.realizations;
 
         let task_count = curves.len() * realizations;
@@ -120,8 +142,16 @@ impl ScenarioRunner {
             let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
             (0..task_count)
                 .map(|t| {
-                    let curve = &curves[t / realizations];
-                    run_batched_sweep_task(&pool, curve, search, sweep, spec.seed, t % realizations)
+                    let c = t / realizations;
+                    run_batched_sweep_task(
+                        &pool,
+                        &curves[c],
+                        &labels[c],
+                        search,
+                        sweep,
+                        spec.seed,
+                        t % realizations,
+                    )
                 })
                 .collect::<Result<Vec<_>, ScenarioError>>()?
         } else {
@@ -131,16 +161,23 @@ impl ScenarioRunner {
                 task_count,
                 effective_threads(sweep.threads, task_count),
                 |t| {
-                    let curve = &curves[t / realizations];
+                    let c = t / realizations;
                     let realization = t % realizations;
-                    run_sweep_task(curve, search, sweep, spec.seed, realization)
+                    run_sweep_task(
+                        &curves[c],
+                        &labels[c],
+                        search,
+                        sweep,
+                        spec.seed,
+                        realization,
+                    )
                 },
             )?
         };
 
         // Fold the per-realization outcomes into per-TTL statistics, in stream order.
         let mut report_curves = Vec::with_capacity(curves.len());
-        for (c, curve) in curves.iter().enumerate() {
+        for (c, _curve) in curves.iter().enumerate() {
             let mut hits: Vec<Summary> = vec![Summary::new(); sweep.ttls.len()];
             let mut messages: Vec<Summary> = vec![Summary::new(); sweep.ttls.len()];
             for r in 0..realizations {
@@ -162,7 +199,7 @@ impl ScenarioRunner {
                 })
                 .collect();
             report_curves.push(SweepCurve {
-                label: curve.label(),
+                label: labels[c].clone(),
                 points,
             });
         }
@@ -201,18 +238,19 @@ impl ScenarioRunner {
             });
         }
         let curves = spec.expanded_topologies();
+        let labels = curve_labels(spec, &curves);
         let realizations = spec.realizations;
         let threads = spec.sweep.as_ref().map_or(0, |s| s.threads);
         let task_count = curves.len() * realizations;
         let samples = run_tasks(task_count, effective_threads(threads, task_count), |t| {
-            let curve = &curves[t / realizations];
-            let mut rng = stream_rng(spec.seed, label_salt(&curve.label()), t % realizations);
-            let graph = curve.build()?.generate(&mut rng)?;
+            let c = t / realizations;
+            let mut rng = stream_rng(spec.seed, label_salt(&labels[c]), t % realizations);
+            let graph = curves[c].build()?.generate(&mut rng)?;
             Ok(graph.degrees())
         })?;
 
         let mut report_curves = Vec::with_capacity(curves.len());
-        for (c, curve) in curves.iter().enumerate() {
+        for c in 0..curves.len() {
             let mut degrees = Vec::new();
             for r in 0..realizations {
                 degrees.extend_from_slice(&samples[c * realizations + r]);
@@ -226,7 +264,7 @@ impl ScenarioRunner {
                 })
                 .collect();
             report_curves.push(DegreeCurve {
-                label: curve.label(),
+                label: labels[c].clone(),
                 points,
             });
         }
@@ -302,6 +340,115 @@ impl ScenarioRunner {
         )?;
         Ok(ScenarioResult::Trace { realizations })
     }
+    /// The whole sweep of a snapshot-backed scenario: load the file, shard its arrays,
+    /// and hand the TTL grid to the engine as one query batch seeded with the file's
+    /// stored `sweep_seed` — or, when the spec names remote workers, ship contiguous
+    /// slices of the same grid to `sfo serve` processes through the installed
+    /// [`RemoteSweepExecutor`].
+    ///
+    /// That seed is the `next_u64()` the generation stream produced right after the
+    /// topology was drawn — exactly the batch seed [`run_batched_sweep_task`] derives on
+    /// the inline path — and the curve label is the generating spec's label from the
+    /// provenance record, so the resulting [`SweepCurve`] is byte-identical to an inline
+    /// run of the same scenario (enforced by `tests/snapshot_roundtrip.rs`), and a
+    /// remote run is byte-identical to both for any worker count and job split
+    /// (enforced by `tests/remote_equivalence.rs`). Validation has already pinned
+    /// snapshot sweeps to `batch: true`, one curve, one realization.
+    fn run_snapshot_sweep(
+        &self,
+        path: &str,
+        search: &SearchSpec,
+        sweep: &SweepSpec,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        if !sweep.workers.is_empty() {
+            return self.run_remote_sweep(path, search, sweep);
+        }
+        let (file, provenance) = load_snapshot_with_provenance(path)?;
+        let sharded = Arc::new(ShardedCsr::from_csr_owned(
+            file.csr,
+            sweep.shard_count.max(1),
+        ));
+        let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
+        let m = usize::try_from(provenance.m).unwrap_or(usize::MAX);
+        let outcomes = match search.build_for::<ShardedCsr>(m)? {
+            BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
+                &pool,
+                &sharded,
+                algorithm,
+                &sweep.ttls,
+                sweep.searches_per_point,
+                provenance.sweep_seed,
+            ),
+            BuiltSearch::RwNormalizedToNf { k_min } => batched_rw_normalized_to_nf(
+                &pool,
+                &sharded,
+                k_min,
+                &sweep.ttls,
+                sweep.searches_per_point,
+                provenance.sweep_seed,
+            ),
+        };
+        Ok(fold_snapshot_sweep(provenance.label, sweep, &outcomes))
+    }
+
+    /// The distributed variant of a snapshot sweep: build one [`RemoteSweepRequest`]
+    /// describing the whole job grid and hand it to the installed executor, then fold
+    /// the merged outcomes exactly like the local path.
+    ///
+    /// The runner never opens a socket itself — but it *does* read the snapshot's
+    /// meta locally, both for the provenance (seed, m, label) and for the identity
+    /// hash the dispatcher requires every worker to echo.
+    fn run_remote_sweep(
+        &self,
+        path: &str,
+        search: &SearchSpec,
+        sweep: &SweepSpec,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let Some(executor) = &self.remote else {
+            return Err(ScenarioError::remote(
+                "this runner has no remote dispatcher installed; run the spec through \
+                 the `sfo` binary (which wires up sfo-net) or clear \"workers\"",
+            ));
+        };
+        let (header, provenance) = sfo_graph::snapshot::read_meta(path)?;
+        let provenance = provenance.ok_or(SnapshotError::MissingSection {
+            section: "provenance",
+        })?;
+        if header.node_count == 0 {
+            return Err(ScenarioError::invalid(format!(
+                "topology snapshot: {path} holds an empty topology"
+            )));
+        }
+        let request = RemoteSweepRequest {
+            workers: sweep.workers.clone(),
+            identity: sfo_graph::snapshot::read_identity(path)?,
+            seed: provenance.sweep_seed,
+            ttls: sweep.ttls.clone(),
+            searches_per_point: sweep.searches_per_point,
+            search: search.clone(),
+            m: usize::try_from(provenance.m).unwrap_or(usize::MAX),
+        };
+        let outcomes = executor.run_sweep(&request)?;
+        if outcomes.len() != request.job_count() {
+            return Err(ScenarioError::remote(format!(
+                "dispatcher returned {} outcomes for a grid of {} jobs",
+                outcomes.len(),
+                request.job_count()
+            )));
+        }
+        let averaged = average_per_ttl(&sweep.ttls, sweep.searches_per_point, &outcomes);
+        Ok(fold_snapshot_sweep(provenance.label, sweep, &averaged))
+    }
+}
+
+/// Resolves the report/stream label of every expanded curve: the spec's `curve_label`
+/// override (validation has pinned it to single-curve scenarios) or each topology's own
+/// label.
+fn curve_labels(spec: &ScenarioSpec, curves: &[TopologySpec]) -> Vec<String> {
+    match &spec.curve_label {
+        Some(label) => vec![label.clone()],
+        None => curves.iter().map(TopologySpec::label).collect(),
+    }
 }
 
 /// Loads a snapshot file and unwraps the provenance record scenario runs require.
@@ -316,51 +463,18 @@ fn load_snapshot_with_provenance(path: &str) -> Result<(SnapshotFile, Provenance
     Ok((file, provenance))
 }
 
-/// The whole sweep of a snapshot-backed scenario: load the file, shard its arrays, and
-/// hand the TTL grid to the engine as one query batch seeded with the file's stored
-/// `sweep_seed`.
-///
-/// That seed is the `next_u64()` the generation stream produced right after the
-/// topology was drawn — exactly the batch seed [`run_batched_sweep_task`] derives on the
-/// inline path — and the curve label is the generating spec's label from the provenance
-/// record, so the resulting [`SweepCurve`] is byte-identical to an inline run of the
-/// same scenario (enforced by `tests/snapshot_roundtrip.rs`). Validation has already
-/// pinned snapshot sweeps to `batch: true`, one curve, one realization.
-fn run_snapshot_sweep(
-    path: &str,
-    search: &SearchSpec,
+/// Folds the averaged per-TTL points of a one-realization snapshot sweep into its
+/// single labelled curve — identical folding to the inline path with one realization,
+/// shared by the local and remote branches so they cannot drift.
+fn fold_snapshot_sweep(
+    label: String,
     sweep: &SweepSpec,
-) -> Result<ScenarioResult, ScenarioError> {
-    let (file, provenance) = load_snapshot_with_provenance(path)?;
-    let sharded = Arc::new(ShardedCsr::from_csr_owned(
-        file.csr,
-        sweep.shard_count.max(1),
-    ));
-    let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
-    let m = usize::try_from(provenance.m).unwrap_or(usize::MAX);
-    let outcomes = match search.build_for::<ShardedCsr>(m)? {
-        BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
-            &pool,
-            &sharded,
-            algorithm,
-            &sweep.ttls,
-            sweep.searches_per_point,
-            provenance.sweep_seed,
-        ),
-        BuiltSearch::RwNormalizedToNf { k_min } => batched_rw_normalized_to_nf(
-            &pool,
-            &sharded,
-            k_min,
-            &sweep.ttls,
-            sweep.searches_per_point,
-            provenance.sweep_seed,
-        ),
-    };
-    // Identical folding to the inline path with one realization.
+    outcomes: &[sfo_search::experiment::AveragedOutcome],
+) -> ScenarioResult {
     let points = sweep
         .ttls
         .iter()
-        .zip(&outcomes)
+        .zip(outcomes)
         .map(|(&ttl, outcome)| {
             let mut hits = Summary::new();
             let mut messages = Summary::new();
@@ -373,12 +487,9 @@ fn run_snapshot_sweep(
             }
         })
         .collect();
-    Ok(ScenarioResult::Sweep {
-        curves: vec![SweepCurve {
-            label: provenance.label,
-            points,
-        }],
-    })
+    ScenarioResult::Sweep {
+        curves: vec![SweepCurve { label, points }],
+    }
 }
 
 /// One `(curve, realization)` task of a static sweep: generate, freeze, sweep.
@@ -392,12 +503,13 @@ fn run_snapshot_sweep(
 /// change a single byte of the output.
 fn run_sweep_task(
     curve: &TopologySpec,
+    label: &str,
     search: &SearchSpec,
     sweep: &SweepSpec,
     seed: u64,
     realization: usize,
 ) -> Result<Vec<AveragedOutcome>, ScenarioError> {
-    let mut rng = stream_rng(seed, label_salt(&curve.label()), realization);
+    let mut rng = stream_rng(seed, label_salt(label), realization);
     let generator = curve.build()?;
     let graph = generator.generate(&mut rng)?;
     if sweep.shard_count > 1 {
@@ -441,12 +553,13 @@ fn serial_sweep_on<G: GraphView + Sync>(
 fn run_batched_sweep_task(
     pool: &WorkerPool,
     curve: &TopologySpec,
+    label: &str,
     search: &SearchSpec,
     sweep: &SweepSpec,
     seed: u64,
     realization: usize,
 ) -> Result<Vec<AveragedOutcome>, ScenarioError> {
-    let mut rng = stream_rng(seed, label_salt(&curve.label()), realization);
+    let mut rng = stream_rng(seed, label_salt(label), realization);
     let generator = curve.build()?;
     let graph = generator.generate(&mut rng)?;
     let batch_seed = rng.next_u64();
@@ -859,5 +972,183 @@ mod tests {
             ScenarioRunner::new().run(&spec),
             Err(ScenarioError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn curve_label_overrides_legend_and_streams() {
+        // A spec whose override equals another topology's natural label must reproduce
+        // that topology's curve byte for byte: the label *is* the stream family.
+        let topology = TopologySpec::Pa {
+            nodes: 300,
+            m: 2,
+            cutoff: Some(10),
+        };
+        let natural = ScenarioSpec::degree_distribution("nat", topology.clone(), None, 8, 5, 2);
+        let mut overridden =
+            ScenarioSpec::degree_distribution("ovr", topology.clone(), None, 8, 5, 2);
+        overridden.curve_label = Some(topology.label());
+        let a = ScenarioRunner::new().run(&natural).unwrap();
+        let b = ScenarioRunner::new().run(&overridden).unwrap();
+        assert_eq!(a.result, b.result);
+
+        // A different override produces a different stream family (and legend).
+        let mut renamed = overridden.clone();
+        renamed.curve_label = Some("m=2".to_string());
+        let c = ScenarioRunner::new().run(&renamed).unwrap();
+        assert_eq!(c.degree_curves().unwrap()[0].label, "m=2");
+        assert_ne!(c.result, b.result);
+
+        // The override survives a JSON round trip.
+        let reparsed = ScenarioSpec::parse(&renamed.to_json_string()).unwrap();
+        assert_eq!(reparsed, renamed);
+        // And applies to search sweeps identically.
+        let mut sweep_spec = pa_spec(1);
+        sweep_spec.sweep.as_mut().unwrap().stubs = vec![];
+        sweep_spec.sweep.as_mut().unwrap().cutoffs = vec![];
+        sweep_spec.curve_label = Some("renamed sweep".to_string());
+        let report = ScenarioRunner::new().run(&sweep_spec).unwrap();
+        assert_eq!(report.sweep_curves().unwrap()[0].label, "renamed sweep");
+    }
+
+    #[test]
+    fn curve_label_rejects_grids_and_dynamic_scenarios() {
+        let mut grid = pa_spec(1);
+        grid.curve_label = Some("one label, four curves".to_string());
+        assert!(matches!(
+            grid.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+        let mut churn = ScenarioSpec::churn(
+            "churn",
+            sfo_sim::simulation::SimulationConfig::small(),
+            1,
+            1,
+        );
+        churn.curve_label = Some("nope".to_string());
+        assert!(matches!(
+            churn.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn workers_require_a_snapshot_topology_and_a_dispatcher() {
+        // Workers on an inline topology: rejected at validation time.
+        let mut spec = pa_spec(1);
+        {
+            let sweep = spec.sweep.as_mut().unwrap();
+            sweep.batch = true;
+            sweep.workers = vec!["127.0.0.1:4000".to_string()];
+        }
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::InvalidSpec { .. })
+        ));
+
+        // Workers on a snapshot topology but no installed dispatcher: a Remote error
+        // pointing at the binary, raised only at run time.
+        let dir = std::env::temp_dir().join(format!("sfo-runner-remote-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workers.sfos");
+        let mut build = ScenarioSpec::sweep(
+            "remote-test",
+            TopologySpec::Pa {
+                nodes: 200,
+                m: 2,
+                cutoff: Some(10),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1, 2], 4),
+            9,
+            1,
+        );
+        build.sweep.as_mut().unwrap().batch = true;
+        crate::build_snapshot(&build, 0)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let mut remote = build.clone();
+        remote.topology = Some(TopologySpec::Snapshot {
+            path: path.display().to_string(),
+        });
+        remote.sweep.as_mut().unwrap().workers = vec!["127.0.0.1:4000".to_string()];
+        remote.validate().unwrap();
+        assert!(matches!(
+            ScenarioRunner::new().run(&remote),
+            Err(ScenarioError::Remote { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn installed_executors_get_the_grid_and_their_outcomes_fold_like_local_runs() {
+        use crate::remote::{RemoteSweepExecutor, RemoteSweepRequest};
+        use sfo_search::SearchOutcome;
+
+        /// A "remote" worker that runs the whole grid in-process through the engine's
+        /// serial oracle — if the runner's remote plumbing is faithful, the report must
+        /// equal the genuinely local run.
+        struct Inline(std::path::PathBuf);
+        impl RemoteSweepExecutor for Inline {
+            fn run_sweep(
+                &self,
+                request: &RemoteSweepRequest,
+            ) -> Result<Vec<SearchOutcome>, ScenarioError> {
+                let pool = WorkerPool::new(EngineConfig::with_workers(2));
+                // The executor sees everything it needs to reconstruct the jobs.
+                assert!(request.identity != 0);
+                assert_eq!(request.workers, vec!["fake:1".to_string()]);
+                let graph = Arc::new(ShardedCsr::from_csr_owned(
+                    SnapshotFile::load(&self.0).unwrap().csr,
+                    1,
+                ));
+                match request.search.build_for::<ShardedCsr>(request.m)? {
+                    BuiltSearch::Algorithm(algorithm) => Ok(sfo_engine::batched_ttl_sweep_range(
+                        &pool,
+                        &graph,
+                        algorithm,
+                        &request.ttls,
+                        request.searches_per_point,
+                        request.seed,
+                        0,
+                        request.job_count(),
+                    )),
+                    BuiltSearch::RwNormalizedToNf { .. } => unreachable!("flooding spec"),
+                }
+            }
+        }
+
+        let mut build = ScenarioSpec::sweep(
+            "remote-fold",
+            TopologySpec::Pa {
+                nodes: 250,
+                m: 2,
+                cutoff: Some(12),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1, 2, 3], 6),
+            17,
+            1,
+        );
+        build.sweep.as_mut().unwrap().batch = true;
+        let dir = std::env::temp_dir().join(format!("sfo-runner-fold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inline_executor_test.sfos");
+        crate::build_snapshot(&build, 0)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        let mut spec = build.clone();
+        spec.topology = Some(TopologySpec::Snapshot {
+            path: path.display().to_string(),
+        });
+        let local = ScenarioRunner::new().run(&spec).unwrap();
+        spec.sweep.as_mut().unwrap().workers = vec!["fake:1".to_string()];
+        let remote = ScenarioRunner::new()
+            .with_remote(Arc::new(Inline(path.clone())))
+            .run(&spec)
+            .unwrap();
+        assert_eq!(remote.result, local.result);
+        std::fs::remove_file(&path).unwrap();
     }
 }

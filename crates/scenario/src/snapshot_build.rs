@@ -63,12 +63,15 @@ pub fn build_snapshot(spec: &ScenarioSpec, shards: usize) -> Result<SnapshotFile
 
     // The exact stream discipline of an inline (curve, realization 0) sweep task:
     // generate on the realization stream, then one u64 draw becomes the batch seed.
-    let mut rng = stream_rng(spec.seed, label_salt(&curve.label()), 0);
+    // `curve_label` overrides both the salt and the stored label, exactly as it does
+    // in an inline run.
+    let label = spec.curve_label.clone().unwrap_or_else(|| curve.label());
+    let mut rng = stream_rng(spec.seed, label_salt(&label), 0);
     let graph = curve.build()?.generate(&mut rng)?;
     let sweep_seed = rng.next_u64();
 
     let provenance = Provenance {
-        label: curve.label(),
+        label,
         m: curve.m() as u64,
         cutoff: curve.cutoff().map(|k_c| k_c as u64),
         seed: spec.seed,

@@ -728,6 +728,14 @@ pub struct SweepSpec {
     /// sequential stream, so they differ numerically (not statistically) from
     /// `batch: false` runs.
     pub batch: bool,
+    /// Addresses of `sfo serve` worker processes to split the sweep across (`host:port`
+    /// for TCP, `unix:/path` for Unix sockets; empty = run locally). Requires a
+    /// snapshot topology — the workers must serve the *identical* realization, which
+    /// the dispatcher enforces by comparing snapshot identity hashes — and therefore
+    /// also `batch: true`. Because every job's RNG stream is a pure function of its
+    /// global job index, the worker list (its length *and* how the grid is split) can
+    /// never change a byte of the report.
+    pub workers: Vec<String>,
 }
 
 impl SweepSpec {
@@ -741,6 +749,7 @@ impl SweepSpec {
             threads: 0,
             shard_count: 0,
             batch: false,
+            workers: Vec::new(),
         }
     }
 
@@ -759,6 +768,7 @@ impl SweepSpec {
             threads: 0,
             shard_count: 0,
             batch: false,
+            workers: Vec::new(),
         }
     }
 
@@ -773,6 +783,7 @@ impl SweepSpec {
             threads: 0,
             shard_count: 0,
             batch: false,
+            workers: Vec::new(),
         }
     }
 
@@ -872,6 +883,13 @@ pub struct ScenarioSpec {
     /// Independent realizations averaged per data point (static) or independent runs
     /// (dynamic).
     pub realizations: usize,
+    /// Overrides the single curve's label — and therefore its RNG stream-family salt —
+    /// in place of [`TopologySpec::label`]. Only valid for static scenarios that expand
+    /// to exactly one inline curve (no sweep axes, not a snapshot topology, whose
+    /// provenance label already pins the streams). This is what lets the `P(k)` figure
+    /// harness express its historically-labelled curves as degree specs without moving
+    /// a single stream.
+    pub curve_label: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -893,6 +911,7 @@ impl ScenarioSpec {
             measure: MeasureSpec::SearchSweep,
             seed,
             realizations,
+            curve_label: None,
         }
     }
 
@@ -915,6 +934,7 @@ impl ScenarioSpec {
             measure: MeasureSpec::DegreeDistribution { bins_per_decade },
             seed,
             realizations,
+            curve_label: None,
         }
     }
 
@@ -934,6 +954,7 @@ impl ScenarioSpec {
             measure: MeasureSpec::SearchSweep,
             seed,
             realizations,
+            curve_label: None,
         }
     }
 
@@ -954,6 +975,7 @@ impl ScenarioSpec {
             measure: MeasureSpec::SearchSweep,
             seed,
             realizations,
+            curve_label: None,
         }
     }
 
@@ -1059,6 +1081,29 @@ impl ScenarioSpec {
                 if let Some(TopologySpec::Snapshot { path }) = &self.topology {
                     self.validate_snapshot_rules(path)?;
                 }
+                if let Some(label) = &self.curve_label {
+                    if label.is_empty() {
+                        return Err(ScenarioError::invalid(
+                            "\"curve_label\" must not be empty (omit it to use the \
+                             topology's own label)",
+                        ));
+                    }
+                    if matches!(self.topology, Some(TopologySpec::Snapshot { .. })) {
+                        return Err(ScenarioError::invalid(
+                            "\"curve_label\" cannot override a snapshot topology; the \
+                             file's provenance label already names (and salts) its streams",
+                        ));
+                    }
+                    if self.expanded_topologies().len() != 1 {
+                        return Err(ScenarioError::invalid(
+                            "\"curve_label\" names exactly one curve; drop the \
+                             \"stubs\"/\"cutoffs\" sweep axes or the override",
+                        ));
+                    }
+                }
+                if let Some(sweep) = &self.sweep {
+                    self.validate_workers(sweep)?;
+                }
                 Ok(())
             }
             DynamicsSpec::Churn { .. } | DynamicsSpec::Trace { .. } => {
@@ -1073,9 +1118,47 @@ impl ScenarioSpec {
                         "dynamic scenarios support only the search_sweep measure",
                     ));
                 }
+                if self.curve_label.is_some() {
+                    return Err(ScenarioError::invalid(
+                        "dynamic scenarios have no curves; \"curve_label\" must be null",
+                    ));
+                }
                 Ok(())
             }
         }
+    }
+
+    /// The extra constraints of a scenario that splits its sweep across remote workers.
+    ///
+    /// Workers serve one frozen realization loaded from a snapshot file, so a
+    /// distributed sweep must name that file as its topology (anything generated inline
+    /// would exist only in the dispatching process; the identity-hash handshake makes
+    /// the mismatch impossible rather than silent). The snapshot rules then already pin
+    /// the scenario to one curve, one realization, and `batch: true` — the per-job
+    /// stream discipline that makes the split invisible in the results.
+    fn validate_workers(&self, sweep: &SweepSpec) -> Result<(), ScenarioError> {
+        if sweep.workers.is_empty() {
+            return Ok(());
+        }
+        if sweep.workers.iter().any(|w| w.is_empty()) {
+            return Err(ScenarioError::invalid(
+                "sweep: worker addresses must not be empty strings",
+            ));
+        }
+        if self.measure != MeasureSpec::SearchSweep {
+            return Err(ScenarioError::invalid(
+                "sweep: \"workers\" applies only to search sweeps; degree \
+                 distributions read the snapshot locally",
+            ));
+        }
+        if !matches!(self.topology, Some(TopologySpec::Snapshot { .. })) {
+            return Err(ScenarioError::invalid(
+                "sweep: \"workers\" requires a snapshot topology — remote workers \
+                 serve a persisted realization (`sfo snapshot build`, then point \
+                 \"topology\" at the .sfos file and `sfo serve` it on every worker)",
+            ));
+        }
+        Ok(())
     }
 
     /// The extra constraints of a scenario whose topology is a pre-built snapshot file.
@@ -1493,6 +1576,15 @@ impl ToJson for SweepSpec {
                 JsonValue::from_usize(self.shard_count),
             ),
             ("batch".to_string(), JsonValue::Bool(self.batch)),
+            (
+                "workers".to_string(),
+                JsonValue::Array(
+                    self.workers
+                        .iter()
+                        .map(|w| JsonValue::from_str_value(w))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -1511,6 +1603,7 @@ impl FromJson for SweepSpec {
                 "threads",
                 "shard_count",
                 "batch",
+                "workers",
             ],
         )?;
         let stubs = match value.get("stubs") {
@@ -1567,6 +1660,23 @@ impl FromJson for SweepSpec {
                 .as_bool()
                 .ok_or_else(|| ScenarioError::invalid("sweep: \"batch\" must be a boolean"))?,
         };
+        // Absent `workers` (every pre-`sfo-net` spec file) means local execution.
+        let workers = match value.get("workers") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"workers\" must be an array"))?
+                .iter()
+                .map(|item| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        ScenarioError::invalid(
+                            "sweep: workers must be address strings \
+                             (\"host:port\" or \"unix:/path\")",
+                        )
+                    })
+                })
+                .collect::<Result<Vec<String>, ScenarioError>>()?,
+        };
         Ok(SweepSpec {
             stubs,
             cutoffs,
@@ -1575,6 +1685,7 @@ impl FromJson for SweepSpec {
             threads,
             shard_count: opt_usize(value, "shard_count", CTX)?.unwrap_or(0),
             batch,
+            workers,
         })
     }
 }
@@ -1603,6 +1714,10 @@ impl ToJson for ScenarioSpec {
                 "realizations".to_string(),
                 JsonValue::from_usize(self.realizations),
             ),
+            (
+                "curve_label".to_string(),
+                opt(self.curve_label.as_deref().map(JsonValue::from_str_value)),
+            ),
         ])
     }
 }
@@ -1622,6 +1737,7 @@ impl FromJson for ScenarioSpec {
                 "measure",
                 "seed",
                 "realizations",
+                "curve_label",
             ],
         )?;
         let section = |key: &str| -> Option<&JsonValue> { value.get(key).filter(|v| !v.is_null()) };
@@ -1640,6 +1756,13 @@ impl FromJson for ScenarioSpec {
                 .unwrap_or(MeasureSpec::SearchSweep),
             seed: req_u64(value, "seed", CTX)?,
             realizations: req_usize(value, "realizations", CTX)?,
+            curve_label: section("curve_label")
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        ScenarioError::invalid("scenario: \"curve_label\" must be a string")
+                    })
+                })
+                .transpose()?,
         })
     }
 }

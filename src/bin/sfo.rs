@@ -8,6 +8,8 @@
 //! sfo snapshot build <spec.json> -o <file.sfos> [--shards N]
 //! sfo snapshot inspect <file.sfos>
 //! sfo snapshot verify <file.sfos>
+//! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]
+//! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--out <report.json>] [--quiet]
 //! ```
 //!
 //! `--threads N` overrides the spec's sweep thread count without editing the file —
@@ -15,7 +17,8 @@
 //! own RNG stream.
 //!
 //! `scenario run` parses and validates a [`ScenarioSpec`] file, executes it through the
-//! shared [`ScenarioRunner`], prints a human summary to stderr, and writes the full
+//! shared [`ScenarioRunner`](sfoverlay::scenario::ScenarioRunner) (with the `sfo-net`
+//! dispatcher installed), prints a human summary to stderr, and writes the full
 //! [`ScenarioReport`] JSON — which embeds the originating spec for provenance — to
 //! stdout or to `--out`. `validate` checks spec files without running them, and
 //! `template` prints a commented starter spec. Example spec files reproducing paper
@@ -27,16 +30,25 @@
 //! regeneration and still produce byte-identical reports. `inspect` prints the header,
 //! provenance, degree summary, and boundary fraction; `verify` re-reads the whole file,
 //! checksum and structure included.
+//!
+//! `serve` turns this process into an `sfo-net` worker: the snapshot is loaded once
+//! (fully verified) into a sharded store and query batches are served to any number of
+//! clients over TCP (`host:port`) or a Unix socket (`unix:/path`). `dispatch` runs a
+//! snapshot-backed scenario against such workers (`--worker` repeats; it overrides the
+//! spec's own `sweep.workers` list) — and because every job's RNG stream is keyed by
+//! its global job index, the report is byte-identical to `sfo scenario run` of the same
+//! spec, whatever the worker count. Plain `scenario run` also honors a spec's
+//! `workers` field; `dispatch` just makes the worker list a command-line concern.
 
 use sfoverlay::prelude::{
-    build_snapshot, ScenarioReport, ScenarioRunner, ScenarioSpec, SearchSpec, ShardedCsr,
-    SimulationConfig, SnapshotFile, SweepSpec, TopologySpec,
+    build_snapshot, remote_runner, ScenarioReport, ScenarioSpec, SearchSpec, ServeConfig,
+    ShardedCsr, SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerServer,
 };
 use sfoverlay::scenario::{ScenarioResult, SweepMetric};
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: sfo <scenario|snapshot> <command>\n\
+    "usage: sfo <scenario|snapshot|serve|dispatch> <command>\n\
      \n\
      scenario commands:\n\
      \x20 run <spec.json> [--out <report.json>] [--threads N] [--quiet]\n\
@@ -51,11 +63,21 @@ fn usage() -> String {
      \x20                                                    degrees, boundary fraction\n\
      \x20 verify <file.sfos>                                 full checksum + structure check\n\
      \n\
+     distributed execution:\n\
+     \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]\n\
+     \x20                                                    serve the snapshot's query\n\
+     \x20                                                    batches to remote dispatchers\n\
+     \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...]\n\
+     \x20          [--out <report.json>] [--quiet]           split the spec's sweep across\n\
+     \x20                                                    sfo serve workers\n\
+     \n\
+     Addresses are host:port (TCP; port 0 picks a free one) or unix:/path.\n\
      --threads N overrides the spec's sweep thread count without editing the file\n\
      (results are unchanged: every task and batched job has its own RNG stream).\n\
      Run a persisted topology by pointing a spec's topology section at the file:\n\
      {\"family\": \"snapshot\", \"path\": \"<file.sfos>\"} — reports are byte-identical\n\
-     to the inline generator. Example spec files live in examples/*.json."
+     to the inline generator, and dispatched runs are byte-identical to local ones\n\
+     for any worker count. Example spec files live in examples/*.json."
         .to_string()
 }
 
@@ -64,6 +86,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("scenario") => scenario_command(&args[1..]),
         Some("snapshot") => snapshot_command(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("dispatch") => dispatch(&args[1..]),
         Some("--help" | "-h") => {
             println!("{}", usage());
             ExitCode::SUCCESS
@@ -77,6 +101,166 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut snapshot_path: Option<&str> = None;
+    let mut listen: Option<&str> = None;
+    let mut engine_workers = 0usize;
+    let mut shards = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => match iter.next() {
+                Some(value) => listen = Some(value),
+                None => {
+                    eprintln!("--listen requires an address (host:port or unix:/path)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--engine-workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => engine_workers = value,
+                None => {
+                    eprintln!("--engine-workers requires a thread count (0 = all cores)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => shards = value,
+                None => {
+                    eprintln!("--shards requires a shard count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if snapshot_path.replace(other).is_some() {
+                    eprintln!("serve takes exactly one snapshot file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let (Some(snapshot_path), Some(listen)) = (snapshot_path, listen) else {
+        eprintln!(
+            "serve requires a snapshot file and --listen <addr>\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let server = match WorkerServer::bind(&ServeConfig {
+        snapshot_path: snapshot_path.to_string(),
+        listen: listen.to_string(),
+        engine_workers,
+        shard_count: shards,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hello = server.hello();
+    eprintln!(
+        "serving {snapshot_path} on {} — {} nodes, {} edges, {} shard(s), \
+         {} engine worker(s), identity {:#018x}",
+        server.local_addr(),
+        hello.node_count,
+        hello.edge_count,
+        hello.shard_count,
+        hello.engine_workers,
+        hello.identity,
+    );
+    server.run();
+    ExitCode::SUCCESS
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut workers: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--worker" => match iter.next() {
+                Some(value) => workers.push(value.clone()),
+                None => {
+                    eprintln!("--worker requires an address (host:port or unix:/path)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(value) => out = Some(value),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if path.replace(other).is_some() {
+                    eprintln!("dispatch takes exactly one spec file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("dispatch requires a spec file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    // Parse first, inject the worker list, then validate: the spec on disk may carry
+    // no workers at all (the list is this command's concern).
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match ScenarioSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !workers.is_empty() {
+        match spec.sweep.as_mut() {
+            Some(sweep) => sweep.workers = workers,
+            None => {
+                eprintln!("{path}: dispatch needs a scenario with a \"sweep\" section");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if spec.sweep.as_ref().is_none_or(|s| s.workers.is_empty()) {
+        eprintln!(
+            "{path}: no workers — pass --worker <addr> or set \"workers\" in the spec's sweep"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = spec.validate() {
+        eprintln!("{path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if !quiet {
+        let sweep = spec.sweep.as_ref().expect("validated above");
+        eprintln!(
+            "dispatching scenario '{}' across {} worker(s) ...",
+            spec.name,
+            sweep.workers.len()
+        );
+    }
+    execute_and_emit(&spec, out, quiet)
 }
 
 fn scenario_command(args: &[String]) -> ExitCode {
@@ -357,7 +541,13 @@ fn run(args: &[String]) -> ExitCode {
             spec.name, spec.realizations
         );
     }
-    let report = match ScenarioRunner::new().run(&spec) {
+    execute_and_emit(&spec, out, quiet)
+}
+
+/// Shared tail of `scenario run` and `dispatch`: execute through the remote-enabled
+/// runner (a no-op wiring difference for specs without workers) and emit the report.
+fn execute_and_emit(spec: &ScenarioSpec, out: Option<&str>, quiet: bool) -> ExitCode {
+    let report = match remote_runner().run(spec) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("scenario '{}' failed: {e}", spec.name);

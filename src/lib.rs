@@ -28,6 +28,11 @@
 //!   [`ScenarioRunner`](sfo_scenario::ScenarioRunner) into reports that embed their
 //!   spec. The `sfo` binary (`sfo scenario run <file.json>`) runs spec files directly;
 //!   examples ship under `examples/*.json`.
+//! * [`net`] — the distributed execution layer ([`sfo_net`]): a framed wire protocol
+//!   over TCP or Unix sockets, the [`WorkerServer`](sfo_net::WorkerServer) daemon
+//!   behind `sfo serve` (a loaded `.sfos` snapshot served to many clients through one
+//!   engine pool), and the [`RemoteDispatcher`](sfo_net::RemoteDispatcher) that splits
+//!   a spec's job grid across workers with byte-identical results.
 //! * [`experiments`] — reproductions of every figure and table of the paper
 //!   ([`sfo_experiments`]), built on the scenario layer.
 //!
@@ -59,6 +64,7 @@ pub use sfo_core as topology;
 pub use sfo_engine as engine;
 pub use sfo_experiments as experiments;
 pub use sfo_graph as graph;
+pub use sfo_net as net;
 pub use sfo_scenario as scenario;
 pub use sfo_search as search;
 pub use sfo_sim as sim;
@@ -86,9 +92,13 @@ pub mod prelude {
         Provenance, SnapshotError, SnapshotFile, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
     };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
+    pub use sfo_net::{
+        remote_runner, NetError, RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
+    };
     pub use sfo_scenario::{
-        build_snapshot, DegreeCurve, DynamicsSpec, MeasureSpec, ScenarioError, ScenarioReport,
-        ScenarioRunner, ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
+        build_snapshot, DegreeCurve, DynamicsSpec, MeasureSpec, RemoteSweepExecutor,
+        RemoteSweepRequest, ScenarioError, ScenarioReport, ScenarioRunner, ScenarioSpec,
+        SearchSpec, SweepMetric, SweepSpec, TopologySpec,
     };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;

@@ -1,0 +1,261 @@
+//! Corruption matrix for the `sfo-net` frame codec, mirroring the snapshot matrix in
+//! `tests/snapshot_roundtrip.rs`: every way a frame can be malformed — wrong magic,
+//! unknown version or message type, truncation in every section, checksum mismatches,
+//! oversized declared lengths, lying inner counts — must surface as a typed
+//! [`NetError`], never a panic and never a silently wrong message; and every
+//! well-formed message must round-trip bit-exactly.
+
+use sfoverlay::net::frame::{
+    encode_frame, read_frame, FRAME_HEADER_LEN, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
+};
+use sfoverlay::net::message::{
+    recv_message, send_message, BatchRequest, Hello, Message, TYPE_BATCH_RESULT, TYPE_ERROR,
+    TYPE_HELLO, TYPE_SUBMIT_BATCH,
+};
+use sfoverlay::net::NetError;
+use sfoverlay::prelude::{NodeId, QueryBatch, SearchOutcome, SearchSpec};
+
+/// One of every message kind, with both batch-request shapes.
+fn all_messages() -> Vec<Message> {
+    let mut batch = QueryBatch::new();
+    batch.push(NodeId::new(0), 0, 1);
+    batch.push(NodeId::new(41), 1, 6);
+    vec![
+        Message::Hello(Hello {
+            identity: u64::MAX,
+            node_count: 1,
+            edge_count: 0,
+            shard_count: 1,
+            engine_workers: 64,
+        }),
+        Message::LoadSnapshot {
+            path: "shards/realization-0.sfos".to_string(),
+        },
+        Message::SubmitBatch(BatchRequest::Queries {
+            seed: 0,
+            index_offset: u32::MAX as u64,
+            algorithms: vec![
+                SearchSpec::Flooding,
+                SearchSpec::ProbabilisticFlooding { p: 0.25 },
+                SearchSpec::MultipleRandomWalk { walkers: 4 },
+            ],
+            batch,
+        }),
+        Message::SubmitBatch(BatchRequest::SweepRange {
+            seed: 0xDEAD_BEEF,
+            start: 0,
+            end: 0,
+            searches_per_point: 0,
+            ttls: Vec::new(),
+            search: SearchSpec::NormalizedFlooding { k_min: None },
+        }),
+        Message::BatchResult {
+            outcomes: vec![SearchOutcome::new(0, 0), SearchOutcome::new(9999, 123456)],
+        },
+        Message::Error {
+            message: "worker 3 refused: wrong identity".to_string(),
+        },
+    ]
+}
+
+#[test]
+fn every_message_round_trips_bit_exactly() {
+    for message in all_messages() {
+        let mut wire = Vec::new();
+        send_message(&mut wire, &message).unwrap();
+        let back = recv_message(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, message);
+        // Encoding is deterministic: the same message produces the same bytes.
+        let mut again = Vec::new();
+        send_message(&mut again, &message).unwrap();
+        assert_eq!(again, wire);
+    }
+}
+
+#[test]
+fn messages_stream_back_to_back() {
+    let messages = all_messages();
+    let mut wire = Vec::new();
+    for message in &messages {
+        send_message(&mut wire, message).unwrap();
+    }
+    let mut reader = wire.as_slice();
+    for message in &messages {
+        assert_eq!(&recv_message(&mut reader).unwrap(), message);
+    }
+    // The stream ends cleanly on a frame boundary.
+    assert!(matches!(
+        recv_message(&mut reader),
+        Err(NetError::Truncated { section: "header" })
+    ));
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let mut bytes = encode_frame(TYPE_HELLO, &[0u8; 32]);
+    bytes[..4].copy_from_slice(b"HTTP");
+    assert!(matches!(
+        read_frame(&mut bytes.as_slice()),
+        Err(NetError::BadMagic { found }) if &found == b"HTTP"
+    ));
+}
+
+#[test]
+fn unknown_versions_are_rejected_with_the_found_value() {
+    let mut bytes = encode_frame(TYPE_ERROR, &{
+        let mut p = Vec::new();
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.push(b'x');
+        p
+    });
+    let future = PROTOCOL_VERSION + 41;
+    bytes[4..6].copy_from_slice(&future.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut bytes.as_slice()),
+        Err(NetError::UnsupportedVersion { found }) if found == future
+    ));
+}
+
+#[test]
+fn unknown_message_types_are_rejected() {
+    let bytes = encode_frame(999, b"");
+    let (message_type, payload) = read_frame(&mut bytes.as_slice()).unwrap();
+    assert!(matches!(
+        Message::decode(message_type, &payload),
+        Err(NetError::UnknownMessageType { found: 999 })
+    ));
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed_never_a_panic() {
+    let message = &all_messages()[2]; // the biggest payload: a Queries request
+    let mut wire = Vec::new();
+    send_message(&mut wire, message).unwrap();
+    for cut in 0..wire.len() {
+        let result = recv_message(&mut &wire[..cut]);
+        assert!(
+            matches!(result, Err(NetError::Truncated { .. })),
+            "cut at {cut}: {result:?}"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    // The FNV trailer (or a structural check it guards) must catch any one-byte
+    // corruption anywhere in the frame.
+    let mut wire = Vec::new();
+    send_message(
+        &mut wire,
+        &Message::BatchResult {
+            outcomes: vec![SearchOutcome::new(3, 7); 5],
+        },
+    )
+    .unwrap();
+    for i in 0..wire.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupted = wire.clone();
+            corrupted[i] ^= bit;
+            assert!(
+                recv_message(&mut corrupted.as_slice()).is_err(),
+                "flip of bit {bit:#04x} at byte {i} went unnoticed"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_declared_lengths_error_before_allocation() {
+    // Declares 4 GiB with a 12-byte header and nothing behind it. If the reader tried
+    // to allocate first, this test would OOM rather than fail an assertion.
+    let mut header = Vec::with_capacity(FRAME_HEADER_LEN);
+    header.extend_from_slice(b"SFNF");
+    header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&TYPE_ERROR.to_le_bytes());
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut header.as_slice()),
+        Err(NetError::Oversized { declared, max })
+            if declared == u64::from(u32::MAX) && max == u64::from(MAX_PAYLOAD_LEN)
+    ));
+    // One past the limit is rejected; the limit itself is the boundary of acceptance.
+    let mut header_over = header.clone();
+    header_over[8..12].copy_from_slice(&(MAX_PAYLOAD_LEN + 1).to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut header_over.as_slice()),
+        Err(NetError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn inner_counts_lying_about_the_payload_are_bounded_before_allocation() {
+    // A BatchResult whose count field claims ~4 billion outcomes (64 GiB of records)
+    // inside a 4-byte payload.
+    let payload = u32::MAX.to_le_bytes();
+    assert!(matches!(
+        Message::decode(TYPE_BATCH_RESULT, &payload),
+        Err(NetError::Truncated { .. })
+    ));
+
+    // A sweep request whose TTL count lies the same way.
+    let mut payload = vec![1u8];
+    for _ in 0..4 {
+        payload.extend_from_slice(&0u64.to_le_bytes());
+    }
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(TYPE_SUBMIT_BATCH, &payload),
+        Err(NetError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn trailing_payload_bytes_are_corrupt() {
+    let (message_type, mut payload) = Message::LoadSnapshot {
+        path: "x.sfos".to_string(),
+    }
+    .encode();
+    payload.extend_from_slice(b"extra");
+    assert!(matches!(
+        Message::decode(message_type, &payload),
+        Err(NetError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn invalid_utf8_and_malformed_specs_are_corrupt() {
+    // A LoadSnapshot whose path bytes are not UTF-8.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    payload.extend_from_slice(&[0xFF, 0xFE]);
+    assert!(matches!(
+        Message::decode(sfoverlay::net::message::TYPE_LOAD_SNAPSHOT, &payload),
+        Err(NetError::Corrupt { .. })
+    ));
+
+    // A sweep request naming an algorithm this build has never heard of.
+    let (message_type, payload) = Message::SubmitBatch(BatchRequest::SweepRange {
+        seed: 1,
+        start: 0,
+        end: 1,
+        searches_per_point: 1,
+        ttls: vec![1],
+        search: SearchSpec::Flooding,
+    })
+    .encode();
+    let good = String::from_utf8_lossy(&payload).into_owned();
+    assert!(good.contains("flooding"));
+    let bad = payload
+        .windows("flooding".len())
+        .position(|w| w == b"flooding")
+        .map(|at| {
+            let mut p = payload.clone();
+            p[at..at + 8].copy_from_slice(b"floodxng");
+            p
+        })
+        .expect("the encoded spec names its algorithm");
+    assert!(matches!(
+        Message::decode(message_type, &bad),
+        Err(NetError::Corrupt { .. })
+    ));
+}

@@ -1,0 +1,303 @@
+//! Local-vs-distributed byte identity: the headline invariant of `sfo-net`.
+//!
+//! A `ScenarioSpec` with `workers: [...]` run against `sfo serve` processes must
+//! produce a `ScenarioReport.result` byte-identical to the same spec run locally, for
+//! any worker count and job split — and the raw worker protocol must reproduce the
+//! engine's serial oracle job for job. Worker-count and split-boundary invariance hold
+//! by construction (per-job RNG streams keyed by global index); these tests pin the
+//! construction.
+
+use sfoverlay::net::message::BatchRequest;
+use sfoverlay::net::{dispatch_queries, remote_runner, NetError, ServeConfig, WorkerServer};
+use sfoverlay::prelude::*;
+use std::path::PathBuf;
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfo-remote-eq-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds and saves a small capped-PA snapshot; returns its path and the build spec.
+fn build_fixture(dir: &std::path::Path, name: &str, seed: u64) -> (String, ScenarioSpec) {
+    let mut spec = ScenarioSpec::sweep(
+        format!("remote-eq-{name}"),
+        TopologySpec::Pa {
+            nodes: 500,
+            m: 2,
+            cutoff: Some(12),
+        },
+        SearchSpec::Flooding,
+        SweepSpec::single(vec![1, 2, 3, 5], 9),
+        seed,
+        1,
+    );
+    spec.sweep.as_mut().unwrap().batch = true;
+    let path = dir.join(format!("{name}.sfos"));
+    build_snapshot(&spec, 0).unwrap().save(&path).unwrap();
+    (path.display().to_string(), spec)
+}
+
+/// Spawns `count` servers over the same snapshot and returns their stop handles and
+/// dialable addresses.
+fn spawn_workers(
+    snapshot_path: &str,
+    count: usize,
+) -> (Vec<sfoverlay::net::WorkerServerHandle>, Vec<String>) {
+    let mut handles = Vec::with_capacity(count);
+    let mut addrs = Vec::with_capacity(count);
+    for w in 0..count {
+        let server = WorkerServer::bind(&ServeConfig {
+            snapshot_path: snapshot_path.to_string(),
+            listen: "127.0.0.1:0".to_string(),
+            engine_workers: 1 + w, // deliberately heterogeneous pools
+            shard_count: w + 1,    // and heterogeneous shard counts
+        })
+        .unwrap();
+        addrs.push(server.local_addr());
+        handles.push(server.spawn());
+    }
+    (handles, addrs)
+}
+
+/// The snapshot-backed spec pointing at `path`, with the given worker list.
+fn snapshot_spec(base: &ScenarioSpec, path: &str, workers: Vec<String>) -> ScenarioSpec {
+    let mut spec = base.clone();
+    spec.topology = Some(TopologySpec::Snapshot {
+        path: path.to_string(),
+    });
+    spec.sweep.as_mut().unwrap().workers = workers;
+    spec
+}
+
+#[test]
+fn one_two_and_three_worker_splits_equal_the_local_run() {
+    let dir = scratch("splits");
+    let (path, base) = build_fixture(&dir, "splits", 77);
+    let local = remote_runner()
+        .run(&snapshot_spec(&base, &path, Vec::new()))
+        .unwrap();
+
+    for worker_count in [1usize, 2, 3] {
+        let (handles, addrs) = spawn_workers(&path, worker_count);
+        let spec = snapshot_spec(&base, &path, addrs.clone());
+        let report = remote_runner().run(&spec).unwrap();
+        // The *result* is byte-identical (the embedded spec differs by the worker
+        // list, which is a deployment knob, not a measurement).
+        assert_eq!(
+            report.result, local.result,
+            "{worker_count} workers diverged"
+        );
+        assert_eq!(
+            sfoverlay::scenario::report::ScenarioReport {
+                spec: local.spec.clone(),
+                result: report.result.clone(),
+            }
+            .to_json_string(),
+            local.to_json_string(),
+            "{worker_count} workers: JSON bytes diverged"
+        );
+        // Repeating the same worker address also works: splits are contiguity, not
+        // placement.
+        if worker_count == 1 {
+            let doubled = snapshot_spec(&base, &path, vec![addrs[0].clone(), addrs[0].clone()]);
+            assert_eq!(remote_runner().run(&doubled).unwrap().result, local.result);
+        }
+        for handle in handles {
+            handle.stop();
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rw_normalized_sweeps_are_split_invariant_too() {
+    // The two-phase normalized-walk job (NF then budgeted RW on one stream) is the
+    // most stream-sensitive shape; split it asymmetrically across two workers.
+    let dir = scratch("rwnf");
+    let (path, mut base) = build_fixture(&dir, "rwnf", 19);
+    base.search = Some(SearchSpec::RwNormalizedToNf { k_min: None });
+    let local = remote_runner()
+        .run(&snapshot_spec(&base, &path, Vec::new()))
+        .unwrap();
+    let (handles, addrs) = spawn_workers(&path, 2);
+    let report = remote_runner()
+        .run(&snapshot_spec(&base, &path, addrs))
+        .unwrap();
+    assert_eq!(report.result, local.result);
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dispatched_query_batches_equal_the_serial_oracle() {
+    let dir = scratch("queries");
+    let (path, _) = build_fixture(&dir, "queries", 5);
+
+    // The oracle: the engine's serial loop over the unsharded snapshot.
+    let file = SnapshotFile::load(&path).unwrap();
+    let node_count = file.csr.node_count();
+    let specs = vec![SearchSpec::Flooding, SearchSpec::RandomWalk];
+    let algorithms: Vec<Box<dyn SearchAlgorithm<CsrGraph> + Send + Sync>> =
+        vec![Box::new(Flooding::new()), Box::new(RandomWalk::new())];
+    let mut batch = QueryBatch::new();
+    for i in 0..37 {
+        batch.push(
+            NodeId::new((i * 13) % node_count),
+            i % 2,
+            1 + (i % 4) as u32,
+        );
+    }
+    let seed = 23u64;
+    let serial = sfoverlay::engine::run_queries_serial(&file.csr, &algorithms, &batch, seed);
+
+    let identity = sfoverlay::graph::snapshot::read_identity(&path).unwrap();
+    for worker_count in [1usize, 2, 3] {
+        let (handles, addrs) = spawn_workers(&path, worker_count);
+        let outcomes = dispatch_queries(&addrs, identity, seed, &specs, &batch).unwrap();
+        assert_eq!(outcomes, serial, "{worker_count} workers diverged");
+        for handle in handles {
+            handle.stop();
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn workers_serving_the_wrong_snapshot_are_refused() {
+    let dir = scratch("identity");
+    let (right_path, base) = build_fixture(&dir, "right", 42);
+    // Same shape, different seed: a different realization with a different identity.
+    let (wrong_path, _) = build_fixture(&dir, "wrong", 43);
+
+    let (handles, addrs) = spawn_workers(&wrong_path, 1);
+    let spec = snapshot_spec(&base, &right_path, addrs);
+    let err = remote_runner().run(&spec).unwrap_err();
+    match err {
+        ScenarioError::Remote { message } => {
+            assert!(
+                message.contains("identity") || message.contains("serves snapshot"),
+                "unhelpful refusal: {message}"
+            );
+        }
+        other => panic!("expected a Remote error, got {other:?}"),
+    }
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_single_connection_survives_refused_requests() {
+    let dir = scratch("refusals");
+    let (path, _) = build_fixture(&dir, "refusals", 3);
+    let (handles, addrs) = spawn_workers(&path, 1);
+    let mut client = WorkerClient::connect(&addrs[0]).unwrap();
+    assert!(client.hello().node_count == 500);
+
+    // An out-of-bounds range is refused...
+    let refused = client.submit(&BatchRequest::SweepRange {
+        seed: 1,
+        start: 0,
+        end: 10_000,
+        searches_per_point: 2,
+        ttls: vec![1],
+        search: SearchSpec::Flooding,
+    });
+    assert!(matches!(refused, Err(NetError::Remote { .. })));
+    // ...an unknown snapshot load too...
+    assert!(matches!(
+        client.load_snapshot("definitely-missing.sfos"),
+        Err(NetError::Remote { .. })
+    ));
+    // ...and the connection still serves good requests afterwards.
+    let outcomes = client
+        .submit(&BatchRequest::SweepRange {
+            seed: 1,
+            start: 0,
+            end: 4,
+            searches_per_point: 2,
+            ttls: vec![1, 2],
+            search: SearchSpec::Flooding,
+        })
+        .unwrap();
+    assert_eq!(outcomes.len(), 4);
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn connections_pin_the_snapshot_their_hello_announced() {
+    // The identity handshake is a per-conversation promise: a LoadSnapshot from one
+    // client must not silently retarget batches already in flight on another client's
+    // connection — that connection keeps serving the store its Hello named.
+    let dir = scratch("pinning");
+    let (path_a, _) = build_fixture(&dir, "pin-a", 101);
+    let (path_b, _) = build_fixture(&dir, "pin-b", 202);
+    let (handles, addrs) = spawn_workers(&path_a, 1);
+
+    let request = BatchRequest::SweepRange {
+        seed: 9,
+        start: 0,
+        end: 8,
+        searches_per_point: 4,
+        ttls: vec![1, 2],
+        search: SearchSpec::Flooding,
+    };
+    let mut client_a = WorkerClient::connect(&addrs[0]).unwrap();
+    let identity_a = client_a.hello().identity;
+    let before = client_a.submit(&request).unwrap();
+
+    // Client B swaps the server's default snapshot...
+    let mut client_b = WorkerClient::connect(&addrs[0]).unwrap();
+    let hello_b = client_b.load_snapshot(&path_b).unwrap();
+    assert_ne!(hello_b.identity, identity_a);
+
+    // ...but A's connection still serves what A's Hello announced...
+    let after = client_a.submit(&request).unwrap();
+    assert_eq!(
+        after, before,
+        "a foreign LoadSnapshot retargeted a pinned connection"
+    );
+    // ...while fresh connections see the new default.
+    let client_c = WorkerClient::connect(&addrs[0]).unwrap();
+    assert_eq!(client_c.hello().identity, hello_b.identity);
+
+    for handle in handles {
+        handle.stop();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_workers_are_byte_identical_to_tcp_ones() {
+    let dir = scratch("unix");
+    let (path, base) = build_fixture(&dir, "unix", 11);
+    let local = remote_runner()
+        .run(&snapshot_spec(&base, &path, Vec::new()))
+        .unwrap();
+
+    let socket = dir.join("worker.sock");
+    let server = WorkerServer::bind(&ServeConfig {
+        snapshot_path: path.clone(),
+        listen: format!("unix:{}", socket.display()),
+        engine_workers: 2,
+        shard_count: 2,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let report = remote_runner()
+        .run(&snapshot_spec(&base, &path, vec![addr]))
+        .unwrap();
+    assert_eq!(report.result, local.result);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

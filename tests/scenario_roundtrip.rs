@@ -113,6 +113,23 @@ fn all_spec_variants() -> Vec<ScenarioSpec> {
         ));
     }
 
+    // A curve-label override (single curve, static): the label names the legend *and*
+    // the RNG stream family.
+    let mut labelled = ScenarioSpec::degree_distribution(
+        "roundtrip-curve-label",
+        TopologySpec::Pa {
+            nodes,
+            m: 2,
+            cutoff: Some(10),
+        },
+        None,
+        8,
+        29,
+        2,
+    );
+    labelled.curve_label = Some("m=2".to_string());
+    specs.push(labelled);
+
     let mut sim = SimulationConfig::small();
     sim.initial_peers = 120;
     sim.duration = 120;
@@ -187,12 +204,30 @@ fn snapshot_topology_specs_round_trip_through_json() {
         1,
     );
     spec.sweep.as_mut().unwrap().batch = true;
+    // The worker list is part of the sweep section and must round-trip verbatim.
+    spec.sweep.as_mut().unwrap().workers = vec![
+        "10.0.0.1:9000".to_string(),
+        "unix:/var/run/sfo.sock".to_string(),
+    ];
     let text = spec.to_json_string();
     assert!(text.contains("\"family\": \"snapshot\""));
     assert!(text.contains("\"path\": \"realization0.sfos\""));
+    assert!(text.contains("\"workers\""));
+    assert!(text.contains("unix:/var/run/sfo.sock"));
     let back = ScenarioSpec::parse(&text).unwrap();
     assert_eq!(back, spec, "{text}");
     assert_eq!(back.to_json_string(), text);
+
+    // Pre-sfo-net spec files have no "workers" key at all; absence parses to an empty
+    // worker list (local execution).
+    let legacy = text.replace(
+        ",\n    \"workers\": [\"10.0.0.1:9000\", \"unix:/var/run/sfo.sock\"]",
+        "",
+    );
+    assert_ne!(legacy, text, "the replace must have found the worker list");
+    let mut no_workers = spec.clone();
+    no_workers.sweep.as_mut().unwrap().workers = Vec::new();
+    assert_eq!(ScenarioSpec::parse(&legacy).unwrap(), no_workers);
 
     // Unknown or generator-family fields on a snapshot topology fail loudly.
     let stray = r#"{"family": "snapshot", "path": "x.sfos", "nodes": 100}"#;

@@ -9,7 +9,12 @@
 //! * `n{N}/load` — reading the file back with the full checksum and structural
 //!   validation pass;
 //! * `n{N}/load_sharded` — the same read through `ShardedCsr::load`, which additionally
-//!   reconstructs a 4-shard partition and verifies the stored boundary manifest.
+//!   reconstructs a 4-shard partition and verifies the stored boundary manifest;
+//! * `n{N}/load_mmap` / `n{N}/load_sharded_mmap` — the zero-copy variants: the file is
+//!   mapped, checksum-verified once in place, and the CSR arrays are borrowed from the
+//!   page cache instead of copied into owned buffers (`docs/FORMATS.md`, "The mmap
+//!   contract"). The verification pass is identical, so the delta against the read
+//!   rows isolates the copy the mapping avoids.
 //!
 //! Results are written to `BENCH_snapshot.json` at the workspace root (tracked in git,
 //! regenerate with `cargo bench --bench snapshot_io`). Environment knobs for smoke
@@ -79,6 +84,12 @@ fn bench_snapshot_io(c: &mut Criterion) {
         group.bench_function(format!("n{nodes}/load_sharded"), |b| {
             b.iter(|| ShardedCsr::load(&sharded_path).expect("bench sharded load"))
         });
+        group.bench_function(format!("n{nodes}/load_mmap"), |b| {
+            b.iter(|| CsrGraph::load_mmap(&path).expect("bench mmap load"))
+        });
+        group.bench_function(format!("n{nodes}/load_sharded_mmap"), |b| {
+            b.iter(|| ShardedCsr::load_mmap(&sharded_path).expect("bench sharded mmap load"))
+        });
         group.finish();
 
         std::fs::remove_file(&path).ok();
@@ -112,7 +123,13 @@ fn main() {
     };
     for nodes in node_sizes() {
         let generate = mean(&format!("snapshot_io/n{nodes}/generate"));
-        for row in ["save", "load", "load_sharded"] {
+        for row in [
+            "save",
+            "load",
+            "load_sharded",
+            "load_mmap",
+            "load_sharded_mmap",
+        ] {
             let cost = mean(&format!("snapshot_io/n{nodes}/{row}"));
             println!(
                 "n={nodes}: generate/{row} = {:.2}x ({row} {:.2} ms)",

@@ -16,13 +16,13 @@
 //! the same [`AveragedOutcome`] points as the serial harness in
 //! [`sfo_search::experiment`].
 
-use crate::scheduler::{execute, WorkerPool};
+use crate::scheduler::{execute_with_scratch, WorkerPool};
 use serde::{Deserialize, Serialize};
 use sfo_graph::{GraphView, NodeId};
 use sfo_search::experiment::{label_salt, stream_rng, AveragedOutcome};
 use sfo_search::normalized::NormalizedFlooding;
 use sfo_search::random_walk::RandomWalk;
-use sfo_search::{SearchAlgorithm, SearchOutcome};
+use sfo_search::{SearchAlgorithm, SearchOutcome, SearchScratch};
 use std::sync::Arc;
 
 /// The stream-family label of batched query jobs; its [`label_salt`] is the salt of
@@ -166,10 +166,16 @@ where
     let graph = Arc::clone(graph);
     let algorithms = Arc::clone(algorithms);
     let jobs: Arc<[QueryJob]> = Arc::from(batch.jobs.as_slice());
-    pool.run(jobs.len(), move |i| {
+    pool.run_with_scratch(jobs.len(), move |i, scratch| {
         let job = jobs[i];
         let mut rng = job_rng(seed, index_offset + i);
-        algorithms[job.algorithm].search(graph.as_ref(), job.source, job.ttl, &mut rng)
+        algorithms[job.algorithm].search_with_scratch(
+            graph.as_ref(),
+            job.source,
+            job.ttl,
+            &mut rng,
+            scratch,
+        )
     })
 }
 
@@ -261,12 +267,12 @@ where
     let graph = Arc::clone(graph);
     let algorithm: Arc<dyn SearchAlgorithm<G> + Send + Sync> = Arc::from(algorithm);
     let ttls_owned: Arc<[u32]> = Arc::from(ttls);
-    pool.run(end - start, move |i| {
+    pool.run_with_scratch(end - start, move |i, scratch| {
         let global = start + i;
         let ttl = ttls_owned[global / searches];
         let mut rng = job_rng(seed, global);
         let source = NodeId::new(rand::Rng::gen_range(&mut rng, 0..node_count));
-        algorithm.search(graph.as_ref(), source, ttl, &mut rng)
+        algorithm.search_with_scratch(graph.as_ref(), source, ttl, &mut rng, scratch)
     })
 }
 
@@ -327,15 +333,15 @@ where
     let node_count = graph.node_count();
     let graph = Arc::clone(graph);
     let ttls_owned: Arc<[u32]> = Arc::from(ttls);
-    pool.run(end - start, move |i| {
+    pool.run_with_scratch(end - start, move |i, scratch| {
         let global = start + i;
         let ttl = ttls_owned[global / searches];
         let mut rng = job_rng(seed, global);
         let source = NodeId::new(rand::Rng::gen_range(&mut rng, 0..node_count));
         let nf = NormalizedFlooding::new(k_min);
-        let nf_outcome = nf.search(graph.as_ref(), source, ttl, &mut rng);
+        let nf_outcome = nf.search_with_scratch(graph.as_ref(), source, ttl, &mut rng, scratch);
         let budget = u32::try_from(nf_outcome.messages).unwrap_or(u32::MAX);
-        RandomWalk::new().search(graph.as_ref(), source, budget, &mut rng)
+        RandomWalk::new().search_with_scratch(graph.as_ref(), source, budget, &mut rng, scratch)
     })
 }
 
@@ -374,9 +380,22 @@ where
     T: Send,
     F: Fn(usize, &mut rand::rngs::StdRng) -> T + Sync,
 {
-    execute(workers, jobs, |i| {
+    run_batch_scoped_with_scratch(workers, jobs, seed, |i, rng, _| job(i, rng))
+}
+
+/// [`run_batch_scoped`] with a per-worker [`SearchScratch`] arena.
+///
+/// The closure receives `(job index, job rng, worker scratch)`; each scoped worker owns
+/// one arena reused across all jobs it claims. The arena must stay invisible to the RNG
+/// draws, so results are still a pure function of the job index.
+pub fn run_batch_scoped_with_scratch<T, F>(workers: usize, jobs: usize, seed: u64, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut rand::rngs::StdRng, &mut SearchScratch) -> T + Sync,
+{
+    execute_with_scratch(workers, jobs, |i, scratch| {
         let mut rng = job_rng(seed, i);
-        job(i, &mut rng)
+        job(i, &mut rng, scratch)
     })
 }
 

@@ -50,9 +50,13 @@ pub mod sharded;
 
 pub use batch::{
     average_per_ttl, batched_rw_normalized_to_nf, batched_rw_normalized_to_nf_range,
-    batched_ttl_sweep, batched_ttl_sweep_range, job_rng, run_batch_scoped, run_queries,
-    run_queries_offset, run_queries_serial, AlgorithmTable, QueryBatch, QueryJob,
-    BATCH_STREAM_LABEL,
+    batched_ttl_sweep, batched_ttl_sweep_range, job_rng, run_batch_scoped,
+    run_batch_scoped_with_scratch, run_queries, run_queries_offset, run_queries_serial,
+    AlgorithmTable, QueryBatch, QueryJob, BATCH_STREAM_LABEL,
 };
-pub use scheduler::{execute, EngineConfig, WorkerPool};
+pub use scheduler::{execute, execute_with_scratch, EngineConfig, WorkerPool};
 pub use sharded::{BoundaryEdge, BoundaryTable, CsrShard, ShardedCsr};
+
+// Re-exported so scratch-aware consumers that do not depend on `sfo-search` directly
+// (notably `sfo-sim`'s snapshot query batches) can name the arena type.
+pub use sfo_search::SearchScratch;

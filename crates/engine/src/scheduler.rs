@@ -17,7 +17,15 @@
 //!   `'static` (share state via `Arc`).
 //! * [`execute`] — a scoped one-shot run for jobs that borrow local state (the churn
 //!   simulator's query batches borrow the live overlay, which cannot be `Arc`'d away).
+//!
+//! Both frontends come in a `_with_scratch` flavor ([`WorkerPool::run_with_scratch`],
+//! [`execute_with_scratch`]) that hands every job a per-worker [`SearchScratch`] arena:
+//! each worker thread owns exactly one arena for its whole lifetime and reuses it across
+//! jobs and batches, so the hot path allocates nothing per query. The arena is pure
+//! workspace memory — it never feeds the job's RNG stream — so outcomes stay
+//! byte-identical to the allocate-fresh paths.
 
+use sfo_search::SearchScratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -130,9 +138,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    execute_with_scratch(workers, jobs, |i, _| job(i))
+}
+
+/// [`execute`] with a per-worker [`SearchScratch`] arena.
+///
+/// Each worker thread (and the inline single-worker path) owns exactly one arena, reused
+/// for every job it claims or steals. The arena is a pure workspace — jobs must not let
+/// it influence their RNG draws — so results remain independent of the worker count and
+/// byte-identical to a run that allocates fresh scratch per job.
+///
+/// # Panics
+///
+/// Propagates panics from the job closure.
+pub fn execute_with_scratch<T, F>(workers: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut SearchScratch) -> T + Sync,
+{
     let workers = resolve_workers(workers).min(jobs.max(1));
     if workers <= 1 {
-        return (0..jobs).map(job).collect();
+        let mut scratch = SearchScratch::new();
+        return (0..jobs).map(|i| job(i, &mut scratch)).collect();
     }
     let queues = split_ranges(jobs, workers);
     let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
@@ -141,9 +168,10 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 scope.spawn(move || {
+                    let mut scratch = SearchScratch::new();
                     let mut results = Vec::new();
                     while let Some(index) = claim(queues, w) {
-                        results.push((index, job(index)));
+                        results.push((index, job(index, &mut scratch)));
                     }
                     results
                 })
@@ -172,13 +200,16 @@ where
 // ---------------------------------------------------------------------------------------
 // The persistent pool.
 
+/// Type-erased job runner: executes job `i` with the worker's scratch arena and
+/// stores its result.
+type BatchRunner = Arc<dyn Fn(usize, &mut SearchScratch) + Send + Sync>;
+
 /// One installed batch, shared with every worker.
 #[derive(Clone)]
 struct Batch {
     /// Identity of the batch inside the active set (monotonic submission counter).
     id: u64,
-    /// Type-erased job runner: executes job `i` and stores its result.
-    runner: Arc<dyn Fn(usize) + Send + Sync>,
+    runner: BatchRunner,
     /// The per-worker stealing queues of this batch.
     queues: Arc<Vec<Mutex<(usize, usize)>>>,
     /// Jobs not yet completed; the worker finishing the last one signals `done`.
@@ -290,16 +321,36 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
+        self.run_with_scratch(jobs, move |i, _| job(i))
+    }
+
+    /// [`WorkerPool::run`] with a per-worker [`SearchScratch`] arena.
+    ///
+    /// Every pool thread owns exactly one arena for its whole lifetime and hands it to
+    /// each job it runs, across jobs *and* across batches — the hot path of a long-lived
+    /// query-serving process allocates no per-query scratch. Jobs must treat the arena
+    /// as a pure workspace (reset before use, never feeding RNG draws), which keeps
+    /// results byte-identical to [`WorkerPool::run`] and to a serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`WorkerPool::run`].
+    pub fn run_with_scratch<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut SearchScratch) -> T + Send + Sync + 'static,
+    {
         if jobs <= 1 || self.workers <= 1 {
-            return (0..jobs).map(job).collect();
+            let mut scratch = SearchScratch::new();
+            return (0..jobs).map(|i| job(i, &mut scratch)).collect();
         }
 
         let slots: Arc<Vec<Mutex<Option<T>>>> =
             Arc::new((0..jobs).map(|_| Mutex::new(None)).collect());
         let runner = {
             let slots = Arc::clone(&slots);
-            Arc::new(move |index: usize| {
-                let value = job(index);
+            Arc::new(move |index: usize, scratch: &mut SearchScratch| {
+                let value = job(index, scratch);
                 *slots[index].lock().expect("result slot lock") = Some(value);
             })
         };
@@ -363,6 +414,10 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 fn worker_loop(shared: &PoolShared, me: usize) {
+    // One scratch arena per worker thread, alive for the thread's whole lifetime and
+    // reused across every job of every batch. Jobs reset it before use; it never feeds
+    // their RNG streams, so reuse is invisible in the results.
+    let mut scratch = SearchScratch::new();
     loop {
         // Claim one job from the earliest active batch that still has queued work (or
         // exit on shutdown). Claiming under the state lock serializes queue access,
@@ -384,8 +439,9 @@ fn worker_loop(shared: &PoolShared, me: usize) {
                 state = shared.ready.wait(state).expect("pool state lock");
             }
         };
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (batch.runner)(index)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (batch.runner)(index, &mut scratch)
+        }));
         if let Err(payload) = outcome {
             batch
                 .panic

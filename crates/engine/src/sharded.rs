@@ -143,15 +143,13 @@ impl CsrShard {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardedCsr {
-    /// `offsets[v] .. offsets[v + 1]` indexes the neighbor block of node `v` in
-    /// `targets`, exactly as in [`CsrGraph`]; length is `node_count + 1`.
-    offsets: Vec<u32>,
-    /// All adjacency lists, concatenated in node order. A shard's rows are one
-    /// contiguous sub-slice (see [`ShardedCsr::shard_targets`]).
-    targets: Vec<NodeId>,
+    /// The flat snapshot serving every row lookup — a shard's rows are one contiguous
+    /// sub-slice of its `targets` array (see [`ShardedCsr::shard_targets`]). Usually
+    /// owned; after [`ShardedCsr::load_mmap`] the arrays are borrowed from a read-only
+    /// file mapping, with identical values and neighbor order either way.
+    csr: CsrGraph,
     /// The partition, ordered by node range.
     shards: Vec<CsrShard>,
-    edge_count: usize,
     /// Shards `0 .. big_shards` hold `base + 1` nodes; the rest hold `base`.
     base: usize,
     big_shards: usize,
@@ -169,14 +167,14 @@ impl ShardedCsr {
     }
 
     /// Partitions an owned snapshot into `shards` contiguous node-id ranges, taking
-    /// over its flat arrays without copying them.
+    /// over its flat arrays without copying them (a memory-mapped snapshot stays
+    /// mapped — the partition metadata is computed over the borrowed arrays in place).
     ///
     /// Computing the partition metadata (shard ranges, row blocks, boundary tables) is
     /// one O(V + E) read-only pass over the arrays.
     pub fn from_csr_owned(csr: CsrGraph, shards: usize) -> Self {
         let node_count = csr.node_count();
-        let edge_count = csr.edge_count();
-        let (offsets, targets) = csr.into_parts();
+        let (offsets, targets) = csr.raw_parts();
         let shard_count = shards.clamp(1, node_count.max(1));
         let base = node_count / shard_count;
         let big_shards = node_count % shard_count;
@@ -211,10 +209,8 @@ impl ShardedCsr {
         debug_assert_eq!(start, node_count);
 
         ShardedCsr {
-            offsets,
-            targets,
+            csr,
             shards: built,
-            edge_count,
             base,
             big_shards,
         }
@@ -244,7 +240,7 @@ impl ShardedCsr {
     /// Panics if `s` is not a shard index.
     pub fn shard_targets(&self, s: usize) -> &[NodeId] {
         let shard = &self.shards[s];
-        &self.targets[shard.targets_start..shard.targets_end]
+        &self.csr.raw_parts().1[shard.targets_start..shard.targets_end]
     }
 
     /// Returns the shard owning `node`.
@@ -270,30 +266,34 @@ impl ShardedCsr {
     /// Returns the fraction of undirected edges that cross a shard boundary (0.0 for an
     /// edgeless graph).
     pub fn boundary_fraction(&self) -> f64 {
-        if self.edge_count == 0 {
+        if self.edge_count() == 0 {
             0.0
         } else {
-            self.cross_shard_edges() as f64 / self.edge_count as f64
+            self.cross_shard_edges() as f64 / self.edge_count() as f64
         }
     }
 
     /// Reassembles the unsharded snapshot, exactly inverting [`ShardedCsr::from_csr`].
     pub fn to_csr(&self) -> CsrGraph {
-        CsrGraph::from_neighbor_lists(self.node_count(), |node| {
-            self.neighbors(NodeId::new(node)).iter().copied()
-        })
+        self.csr.clone()
+    }
+
+    /// Returns `true` when the store's arrays are borrowed from a file mapping (a
+    /// [`ShardedCsr::load_mmap`] store) rather than owned by the heap.
+    pub fn is_mapped(&self) -> bool {
+        self.csr.is_mapped()
     }
 
     /// Returns the number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.csr.node_count()
     }
 
     /// Returns the number of undirected edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.csr.edge_count()
     }
 
     /// Returns the neighbors of `node` in frozen order (same as the source snapshot).
@@ -306,8 +306,7 @@ impl ShardedCsr {
     /// Panics if `node` is out of bounds.
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        let i = node.index();
-        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        self.csr.neighbors(node)
     }
 
     /// Returns the degree of `node`.
@@ -317,8 +316,7 @@ impl ShardedCsr {
     /// Panics if `node` is out of bounds.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        let i = node.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        self.csr.degree(node)
     }
 
     /// The store's partition as the snapshot codec's manifest records.
@@ -385,7 +383,26 @@ impl ShardedCsr {
     /// stored manifest does not describe the stored topology, and every decoding error
     /// of [`SnapshotFile::load`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
-        let file = SnapshotFile::load(path)?;
+        Self::from_snapshot_file(SnapshotFile::load(path)?)
+    }
+
+    /// Like [`ShardedCsr::load`], but through
+    /// [`SnapshotFile::load_mmap`]: the store's arrays are borrowed out of a read-only
+    /// file mapping (checksum-verified once) instead of copied into the heap, with the
+    /// partition metadata rebuilt and checked against the stored manifest exactly as in
+    /// the read-based load. On targets without mmap support, or for files whose array
+    /// sections the loader cannot borrow, the result is the identical owned store.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`ShardedCsr::load`].
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_snapshot_file(SnapshotFile::load_mmap(path)?)
+    }
+
+    /// Shared tail of the loaders: require a manifest, rebuild the partition over the
+    /// decoded arrays, and accept only if it matches the stored manifest exactly.
+    fn from_snapshot_file(file: SnapshotFile) -> Result<Self, SnapshotError> {
         let Some(stored) = file.shards else {
             return Err(SnapshotError::MissingSection {
                 section: "shard manifest",
@@ -667,6 +684,28 @@ mod tests {
             for (a, b) in back.shards().iter().zip(store.shards()) {
                 assert_eq!(a.boundary(), b.boundary());
             }
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn mmap_load_matches_the_read_load_exactly() {
+        let g = sample(23);
+        for shards in [1usize, 2, 7] {
+            let store = ShardedCsr::from_graph(&g, shards);
+            let path = temp_path(&format!("mmap-roundtrip-{shards}.sfos"));
+            store.save(&path).unwrap();
+            let read = ShardedCsr::load(&path).unwrap();
+            let mapped = ShardedCsr::load_mmap(&path).unwrap();
+            // Semantic equality across storages, plus the full per-shard surface.
+            assert_eq!(mapped, read, "{shards} shards");
+            assert_eq!(mapped, store, "{shards} shards");
+            for s in 0..read.shard_count() {
+                assert_eq!(mapped.shard_targets(s), read.shard_targets(s));
+            }
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            assert!(mapped.is_mapped());
+            assert!(!read.is_mapped());
             std::fs::remove_file(&path).unwrap();
         }
     }

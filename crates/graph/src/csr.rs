@@ -36,17 +36,53 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct CsrGraph {
-    /// `offsets[v] .. offsets[v + 1]` indexes the neighbor block of node `v` in
-    /// `targets`; length is `node_count + 1`. `u32` halves the index footprint: the
-    /// workspace bounds graphs by `u32::MAX` nodes and directed-edge entries.
-    offsets: Vec<u32>,
-    /// All adjacency lists, concatenated in node order; length is `2 * edge_count`.
-    targets: Vec<NodeId>,
+    storage: CsrStorage,
+}
+
+/// Where a snapshot's `offsets`/`targets` arrays live.
+///
+/// Every traversal goes through the [`CsrGraph::offsets`]/[`CsrGraph::targets`]
+/// accessors, so the two variants are indistinguishable to callers — same values, same
+/// neighbor order, same RNG streams. `Owned` is the universal case; `Mapped` borrows the
+/// arrays out of a checksum-verified `SFOS` file mapping (see [`crate::mmap`]) and only
+/// exists on targets where that reinterpretation is sound.
+#[derive(Clone, Serialize, Deserialize)]
+enum CsrStorage {
+    Owned {
+        /// `offsets[v] .. offsets[v + 1]` indexes the neighbor block of node `v` in
+        /// `targets`; length is `node_count + 1`. `u32` halves the index footprint: the
+        /// workspace bounds graphs by `u32::MAX` nodes and directed-edge entries.
+        offsets: Vec<u32>,
+        /// All adjacency lists, concatenated in node order; length is `2 * edge_count`.
+        targets: Vec<NodeId>,
+    },
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    Mapped(crate::mmap::MappedCsr),
 }
 
 impl CsrGraph {
+    /// The `offsets` array, wherever it lives. All reads in this impl go through here.
+    #[inline]
+    fn offsets(&self) -> &[u32] {
+        match &self.storage {
+            CsrStorage::Owned { offsets, .. } => offsets,
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            CsrStorage::Mapped(mapped) => mapped.offsets(),
+        }
+    }
+
+    /// The `targets` array, wherever it lives.
+    #[inline]
+    fn targets(&self) -> &[NodeId] {
+        match &self.storage {
+            CsrStorage::Owned { targets, .. } => targets,
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            CsrStorage::Mapped(mapped) => mapped.targets(),
+        }
+    }
+
     /// Builds a CSR snapshot of `graph` in O(V + E), preserving neighbor order.
     ///
     /// # Panics
@@ -86,7 +122,9 @@ impl CsrGraph {
                 .expect("directed adjacency entries exceed the u32 CSR index");
             offsets.push(end);
         }
-        let csr = CsrGraph { offsets, targets };
+        let csr = CsrGraph {
+            storage: CsrStorage::Owned { offsets, targets },
+        };
         debug_assert!({
             csr.thaw().assert_consistent();
             true
@@ -94,21 +132,27 @@ impl CsrGraph {
         csr
     }
 
-    /// Decomposes the snapshot into its raw `(offsets, targets)` arrays without
-    /// copying, for layers that build their own storage over the same layout (the
-    /// sharded store in `sfo-engine` takes ownership this way). The inverse is
+    /// Decomposes the snapshot into its raw `(offsets, targets)` arrays, for layers
+    /// that build their own storage over the same layout (the sharded store in
+    /// `sfo-engine` takes ownership this way). Owned storage moves without copying; a
+    /// mapped snapshot copies its borrowed sections into fresh vectors, since the
+    /// caller is asking for ownership. The inverse is
     /// [`CsrGraph::from_neighbor_lists`]; the arrays uphold the invariants documented
-    /// on the fields: `offsets` has `node_count + 1` monotone entries indexing
+    /// on the storage fields: `offsets` has `node_count + 1` monotone entries indexing
     /// `targets`, whose blocks are the per-node neighbor lists in frozen order.
     pub fn into_parts(self) -> (Vec<u32>, Vec<NodeId>) {
-        (self.offsets, self.targets)
+        match self.storage {
+            CsrStorage::Owned { offsets, targets } => (offsets, targets),
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            CsrStorage::Mapped(mapped) => (mapped.offsets().to_vec(), mapped.targets().to_vec()),
+        }
     }
 
     /// Borrows the raw `(offsets, targets)` arrays without consuming the snapshot — the
     /// read-side counterpart of [`CsrGraph::into_parts`], used by the binary snapshot
     /// codec to serialize the arrays verbatim.
     pub fn raw_parts(&self) -> (&[u32], &[NodeId]) {
-        (&self.offsets, &self.targets)
+        (self.offsets(), self.targets())
     }
 
     /// Assembles a snapshot directly from raw arrays the caller has already proven
@@ -117,7 +161,32 @@ impl CsrGraph {
     /// [`CsrGraph::from_neighbor_lists`].
     pub(crate) fn from_raw_parts(offsets: Vec<u32>, targets: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
-        CsrGraph { offsets, targets }
+        CsrGraph {
+            storage: CsrStorage::Owned { offsets, targets },
+        }
+    }
+
+    /// Assembles a snapshot over sections borrowed from a checksum-verified file
+    /// mapping. Only the snapshot codec's mmap loader constructs graphs this way, after
+    /// running the same structural validation pass as [`CsrGraph::from_raw_parts`]
+    /// callers.
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub(crate) fn from_mapped(mapped: crate::mmap::MappedCsr) -> Self {
+        debug_assert!(!mapped.offsets().is_empty());
+        CsrGraph {
+            storage: CsrStorage::Mapped(mapped),
+        }
+    }
+
+    /// Returns `true` when this snapshot's arrays are borrowed from a file mapping
+    /// rather than owned by the heap. Purely observational — the two storages behave
+    /// identically — but useful to assert which path a load actually took.
+    pub fn is_mapped(&self) -> bool {
+        match &self.storage {
+            CsrStorage::Owned { .. } => false,
+            #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+            CsrStorage::Mapped(_) => true,
+        }
     }
 
     /// Writes the snapshot to `path` in the binary `SFOS` format (no shard manifest, no
@@ -149,6 +218,27 @@ impl CsrGraph {
         Ok(crate::snapshot::SnapshotFile::load(path)?.csr)
     }
 
+    /// Like [`CsrGraph::load`], but borrows the topology arrays out of a read-only file
+    /// mapping instead of copying them into the heap — the checksum and full structural
+    /// validation run once against the mapped bytes, after which traversals read the
+    /// page cache directly.
+    ///
+    /// Falls back to [`CsrGraph::load`] (same result, owned storage) on targets without
+    /// mmap support, when the mapping cannot be established, or when the file's array
+    /// sections are not 4-byte aligned; see `docs/FORMATS.md` for the contract. Decoding
+    /// errors — bad magic, checksum mismatch, structural corruption — are never masked
+    /// by the fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns every decoding error of
+    /// [`SnapshotFile::load_mmap`](crate::snapshot::SnapshotFile::load_mmap).
+    pub fn load_mmap(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(crate::snapshot::SnapshotFile::load_mmap(path)?.csr)
+    }
+
     /// Rebuilds a mutable [`Graph`] from this snapshot in O(V + E).
     ///
     /// Neighbor order is preserved, so `graph.freeze().thaw() == graph` for any graph.
@@ -163,13 +253,13 @@ impl CsrGraph {
     /// Returns the number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets().len() - 1
     }
 
     /// Returns the number of undirected edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.targets.len() / 2
+        self.targets().len() / 2
     }
 
     /// Returns `true` if the graph has no nodes.
@@ -192,7 +282,8 @@ impl CsrGraph {
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
         let i = node.index();
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+        let offsets = self.offsets();
+        (offsets[i + 1] - offsets[i]) as usize
     }
 
     /// Returns the neighbors of `node` as a slice, in frozen order.
@@ -203,7 +294,8 @@ impl CsrGraph {
     #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
         let i = node.index();
-        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let offsets = self.offsets();
+        &self.targets()[offsets[i] as usize..offsets[i + 1] as usize]
     }
 
     /// Returns an iterator over all node ids.
@@ -224,11 +316,34 @@ impl Default for CsrGraph {
     /// An empty snapshot, equal to `Graph::new().freeze()`.
     fn default() -> Self {
         CsrGraph {
-            offsets: vec![0],
-            targets: Vec::new(),
+            storage: CsrStorage::Owned {
+                offsets: vec![0],
+                targets: Vec::new(),
+            },
         }
     }
 }
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("mapped", &self.is_mapped())
+            .field("offsets", &self.offsets())
+            .field("targets", &self.targets())
+            .finish()
+    }
+}
+
+/// Equality is semantic — same topology, same neighbor order — regardless of whether
+/// either side owns or borrows its arrays, so a mapped load compares equal to the
+/// read-based load of the same file.
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw_parts() == other.raw_parts()
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl GraphView for CsrGraph {
     #[inline]
@@ -347,6 +462,12 @@ mod tests {
     fn out_of_bounds_neighbors_panic() {
         let frozen = sample().freeze();
         let _ = frozen.neighbors(n(40));
+    }
+
+    #[test]
+    fn owned_snapshots_report_unmapped() {
+        assert!(!sample().freeze().is_mapped());
+        assert!(!CsrGraph::default().is_mapped());
     }
 
     #[test]

@@ -57,12 +57,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `mmap` module below is the one place in the
+// workspace allowed to use `unsafe` (the mmap syscall shim and the alignment-checked
+// byte-slice reinterpretation behind zero-copy snapshot loads). Everything else in this
+// crate — and every crate above it — still refuses unsafe code outright.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod csr;
 mod error;
 mod graph;
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+mod mmap;
 mod multigraph;
 mod node;
 mod view;

@@ -19,10 +19,14 @@ use std::fmt;
 /// assert_eq!(a.index(), 7);
 /// assert_eq!(format!("{a}"), "n7");
 /// ```
+/// `#[repr(transparent)]` guarantees `NodeId` has exactly the layout of its `u32`, which
+/// is what lets the snapshot mmap loader reinterpret a borrowed little-endian `u32`
+/// section as `&[NodeId]` without copying.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct NodeId(u32);
 
 impl NodeId {

@@ -25,6 +25,7 @@ use crate::{CsrGraph, NodeId};
 use std::error::Error;
 use std::fmt;
 use std::io::Read;
+use std::ops::Range;
 use std::path::Path;
 
 /// The four magic bytes opening every snapshot file.
@@ -246,12 +247,15 @@ pub struct Provenance {
 /// | …      | …    | shard manifest, if flagged |
 /// | end−8  | 8    | FNV-1a 64 checksum of every preceding byte |
 ///
-/// The provenance section is `label_len (u32)`, the UTF-8 label bytes, then `m`,
+/// The provenance section is `label_len (u32)`, the UTF-8 label bytes, zero padding to
+/// the next 4-byte boundary (0–3 bytes; readers require it to be zero), then `m`,
 /// `cutoff` (`u64::MAX` = unbounded), `seed`, `realization`, `sweep_seed`, each `u64`.
 /// The shard manifest is `shard_count` records of `start (u64)`, `end (u64)`,
 /// `boundary_len (u64)` and `boundary_len` boundary entries of `source`, `target`,
 /// `target_shard` (each `u32`). Placing provenance *before* the arrays keeps
-/// [`read_meta`] a small prefix read.
+/// [`read_meta`] a small prefix read; padding the label keeps the `offsets`/`targets`
+/// sections on 4-byte file offsets, which is what lets the zero-copy mmap loader
+/// ([`SnapshotFile::load_mmap`]) borrow them in place (see `docs/FORMATS.md`).
 ///
 /// # Example
 ///
@@ -330,11 +334,75 @@ impl SnapshotFile {
         let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, &e))?;
         SnapshotFile::from_bytes(&bytes)
     }
+
+    /// Like [`SnapshotFile::load`], but borrows the `offsets`/`targets` arrays straight
+    /// out of a read-only file mapping instead of copying them into the heap.
+    ///
+    /// Verify once, then borrow: the checksum and the full structural validation pass
+    /// run against the mapped bytes exactly as the read-based loader runs them against
+    /// a heap copy, after which the returned [`CsrGraph`] traverses the page cache in
+    /// place ([`CsrGraph::is_mapped`] reports which storage a load produced). The
+    /// fallbacks, in order:
+    ///
+    /// * the mapping cannot be established (unsupported filesystem, empty file, …) —
+    ///   retry as [`SnapshotFile::load`], so callers see the reader's usual errors;
+    /// * the array sections are not 4-byte-aligned in the file (files written by this
+    ///   build always are, via label padding; see `docs/FORMATS.md`) — decode an owned
+    ///   copy from the *same* mapped bytes, no second read of the file.
+    ///
+    /// Decoding errors — bad magic, checksum mismatch, structural corruption — are
+    /// never masked by either fallback.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`SnapshotFile::load`].
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        use std::sync::Arc;
+        let path = path.as_ref();
+        let file = match crate::mmap::MappedFile::map(path) {
+            Ok(file) => Arc::new(file),
+            Err(_) => return Self::load(path),
+        };
+        let bytes = file.bytes();
+        let layout = decode_layout(bytes)?;
+        match crate::mmap::MappedCsr::new(
+            Arc::clone(&file),
+            layout.offsets.clone(),
+            layout.targets.clone(),
+        ) {
+            Some(mapped) => {
+                validate_topology(mapped.offsets(), mapped.targets())?;
+                if let Some(shards) = &layout.shards {
+                    validate_manifest(shards, mapped.offsets(), mapped.targets())?;
+                }
+                Ok(SnapshotFile {
+                    csr: CsrGraph::from_mapped(mapped),
+                    shards: layout.shards,
+                    provenance: layout.provenance,
+                })
+            }
+            None => build_owned(bytes, layout),
+        }
+    }
+
+    /// Read-based stand-in on targets without mmap support: same validation, same
+    /// result, owned storage.
+    #[cfg(not(all(unix, target_pointer_width = "64", target_endian = "little")))]
+    pub fn load_mmap(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::load(path)
+    }
 }
 
 /// Writes `bytes` to `path`, mapping failures to [`SnapshotError::Io`].
 pub(crate) fn write_bytes(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
     std::fs::write(path, bytes).map_err(|e| SnapshotError::io(path, &e))
+}
+
+/// Number of zero bytes written after a provenance label so the section that follows
+/// starts on a 4-byte boundary. Readers require the pad to be zero.
+fn label_pad(label_len: usize) -> usize {
+    (4 - label_len % 4) % 4
 }
 
 /// Encodes a topology plus optional sections to the on-disk byte representation —
@@ -369,6 +437,9 @@ pub fn encode(
         let label = provenance.label.as_bytes();
         out.extend_from_slice(&(label.len() as u32).to_le_bytes());
         out.extend_from_slice(label);
+        // Zero-pad the label so the offsets/targets arrays that follow start on a
+        // 4-byte file offset — the precondition for borrowing them out of a mapping.
+        out.extend_from_slice(&[0u8; 3][..label_pad(label.len())]);
         out.extend_from_slice(&provenance.m.to_le_bytes());
         out.extend_from_slice(&provenance.cutoff.unwrap_or(u64::MAX).to_le_bytes());
         out.extend_from_slice(&provenance.seed.to_le_bytes());
@@ -411,120 +482,156 @@ impl SnapshotFile {
     /// flags, truncation, trailing bytes, a checksum mismatch, or any structural
     /// inconsistency between the header, the arrays, and the manifest.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
-        let header = decode_header(bytes)?;
-        if bytes.len() < HEADER_LEN + TRAILER_LEN {
-            // decode_header only needs the fixed prefix; a file cut between the header
-            // and the trailer still has to be rejected before the checksum is "read".
-            return Err(SnapshotError::Truncated { section: "trailer" });
-        }
-        let body = &bytes[..bytes.len() - TRAILER_LEN];
-        let stored = u64::from_le_bytes(
-            bytes[bytes.len() - TRAILER_LEN..]
-                .try_into()
-                .expect("trailer is 8 bytes"),
-        );
-        let computed = fnv1a64(body);
-        if stored != computed {
-            return Err(SnapshotError::ChecksumMismatch { stored, computed });
-        }
-
-        let mut cursor = Cursor::new(&body[HEADER_LEN..]);
-        let provenance = if header.has_provenance {
-            Some(cursor.provenance()?)
-        } else {
-            None
-        };
-
-        let node_count = usize::try_from(header.node_count)
-            .ok()
-            .filter(|&n| n < u32::MAX as usize)
-            .ok_or_else(|| SnapshotError::corrupt("node count exceeds the u32 index space"))?;
-        let entry_count = header
-            .edge_count
-            .checked_mul(2)
-            .and_then(|n| usize::try_from(n).ok())
-            .filter(|&n| n <= u32::MAX as usize)
-            .ok_or_else(|| SnapshotError::corrupt("edge count exceeds the u32 index space"))?;
-
-        // The arrays decode from contiguous chunks, not element-wise cursor reads:
-        // loading must stay cheaper than regenerating (see the snapshot_io bench).
-        // `take` bounds-checks against the body before anything is allocated, so the
-        // untrusted header counts can never size an allocation the file cannot back.
-        let array_len = |elements: usize, section: &'static str| {
-            elements
-                .checked_mul(4)
-                .ok_or(SnapshotError::Truncated { section })
-        };
-        let offsets: Vec<u32> = cursor
-            .take(array_len(node_count + 1, "offsets")?, "offsets")?
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
-        let targets: Vec<NodeId> = cursor
-            .take(array_len(entry_count, "targets")?, "targets")?
-            .chunks_exact(4)
-            .map(|c| NodeId::from(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
-            .collect();
-
-        let shards = if header.has_shard_manifest {
-            // Every record is at least 24 bytes, so a shard count the remaining bytes
-            // cannot possibly hold is rejected *before* sizing any allocation by it —
-            // lengths read from the file are untrusted until proven affordable.
-            if header.shard_count as u64 > (cursor.remaining() / 24) as u64 {
-                return Err(SnapshotError::Truncated {
-                    section: "shard manifest",
-                });
-            }
-            let mut shards = Vec::with_capacity(header.shard_count as usize);
-            for _ in 0..header.shard_count {
-                let start = cursor.u64("shard manifest")?;
-                let end = cursor.u64("shard manifest")?;
-                let boundary_len = cursor.u64("shard manifest")?;
-                let boundary_len = usize::try_from(boundary_len)
-                    .ok()
-                    .filter(|&n| n <= entry_count)
-                    .ok_or_else(|| {
-                        SnapshotError::corrupt(
-                            "shard boundary table longer than the adjacency itself",
-                        )
-                    })?;
-                let mut boundary = Vec::with_capacity(boundary_len);
-                for _ in 0..boundary_len {
-                    boundary.push(BoundaryRecord {
-                        source: cursor.u32("shard manifest")?,
-                        target: cursor.u32("shard manifest")?,
-                        target_shard: cursor.u32("shard manifest")?,
-                    });
-                }
-                shards.push(ShardRecord {
-                    start,
-                    end,
-                    boundary,
-                });
-            }
-            Some(shards)
-        } else {
-            None
-        };
-
-        if !cursor.is_empty() {
-            return Err(SnapshotError::corrupt(format!(
-                "{} undeclared bytes between the last section and the trailer",
-                cursor.remaining()
-            )));
-        }
-
-        validate_topology(&offsets, &targets)?;
-        if let Some(shards) = &shards {
-            validate_manifest(shards, &offsets, &targets)?;
-        }
-        let snapshot = SnapshotFile {
-            csr: CsrGraph::from_raw_parts(offsets, targets),
-            shards,
-            provenance,
-        };
-        Ok(snapshot)
+        let layout = decode_layout(bytes)?;
+        build_owned(bytes, layout)
     }
+}
+
+/// The fully-verified shape of a snapshot body, before the arrays are materialized.
+///
+/// [`decode_layout`] is the single parse both loaders share; it records *where* the
+/// `offsets`/`targets` sections live rather than copying them, so
+/// [`SnapshotFile::from_bytes`] can collect them into owned vectors while the mmap
+/// loader borrows the same ranges in place.
+struct DecodedLayout {
+    provenance: Option<Provenance>,
+    /// Absolute byte range of the `offsets` section within the input bytes.
+    offsets: Range<usize>,
+    /// Absolute byte range of the `targets` section within the input bytes.
+    targets: Range<usize>,
+    shards: Option<Vec<ShardRecord>>,
+}
+
+/// Verifies the checksum and decodes everything except the arrays themselves: header,
+/// provenance, array section bounds, shard manifest, and the no-trailing-bytes
+/// invariant. The topology/manifest *content* validation runs in the caller once the
+/// arrays are materialized (owned) or borrowed (mapped).
+fn decode_layout(bytes: &[u8]) -> Result<DecodedLayout, SnapshotError> {
+    let header = decode_header(bytes)?;
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        // decode_header only needs the fixed prefix; a file cut between the header
+        // and the trailer still has to be rejected before the checksum is "read".
+        return Err(SnapshotError::Truncated { section: "trailer" });
+    }
+    let body = &bytes[..bytes.len() - TRAILER_LEN];
+    let stored = u64::from_le_bytes(
+        bytes[bytes.len() - TRAILER_LEN..]
+            .try_into()
+            .expect("trailer is 8 bytes"),
+    );
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut cursor = Cursor::new(&body[HEADER_LEN..]);
+    let provenance = if header.has_provenance {
+        Some(cursor.provenance()?)
+    } else {
+        None
+    };
+
+    let node_count = usize::try_from(header.node_count)
+        .ok()
+        .filter(|&n| n < u32::MAX as usize)
+        .ok_or_else(|| SnapshotError::corrupt("node count exceeds the u32 index space"))?;
+    let entry_count = header
+        .edge_count
+        .checked_mul(2)
+        .and_then(|n| usize::try_from(n).ok())
+        .filter(|&n| n <= u32::MAX as usize)
+        .ok_or_else(|| SnapshotError::corrupt("edge count exceeds the u32 index space"))?;
+
+    // The array sections are bounds-checked as whole byte ranges, never element-wise:
+    // `take` proves the body holds them before anything downstream allocates, so the
+    // untrusted header counts can never size an allocation the file cannot back.
+    let array_len = |elements: usize, section: &'static str| {
+        elements
+            .checked_mul(4)
+            .ok_or(SnapshotError::Truncated { section })
+    };
+    let offsets_len = array_len(node_count + 1, "offsets")?;
+    let offsets_start = HEADER_LEN + cursor.position();
+    cursor.take(offsets_len, "offsets")?;
+    let targets_len = array_len(entry_count, "targets")?;
+    let targets_start = HEADER_LEN + cursor.position();
+    cursor.take(targets_len, "targets")?;
+
+    let shards = if header.has_shard_manifest {
+        // Every record is at least 24 bytes, so a shard count the remaining bytes
+        // cannot possibly hold is rejected *before* sizing any allocation by it —
+        // lengths read from the file are untrusted until proven affordable.
+        if header.shard_count as u64 > (cursor.remaining() / 24) as u64 {
+            return Err(SnapshotError::Truncated {
+                section: "shard manifest",
+            });
+        }
+        let mut shards = Vec::with_capacity(header.shard_count as usize);
+        for _ in 0..header.shard_count {
+            let start = cursor.u64("shard manifest")?;
+            let end = cursor.u64("shard manifest")?;
+            let boundary_len = cursor.u64("shard manifest")?;
+            let boundary_len = usize::try_from(boundary_len)
+                .ok()
+                .filter(|&n| n <= entry_count)
+                .ok_or_else(|| {
+                    SnapshotError::corrupt("shard boundary table longer than the adjacency itself")
+                })?;
+            let mut boundary = Vec::with_capacity(boundary_len);
+            for _ in 0..boundary_len {
+                boundary.push(BoundaryRecord {
+                    source: cursor.u32("shard manifest")?,
+                    target: cursor.u32("shard manifest")?,
+                    target_shard: cursor.u32("shard manifest")?,
+                });
+            }
+            shards.push(ShardRecord {
+                start,
+                end,
+                boundary,
+            });
+        }
+        Some(shards)
+    } else {
+        None
+    };
+
+    if !cursor.is_empty() {
+        return Err(SnapshotError::corrupt(format!(
+            "{} undeclared bytes between the last section and the trailer",
+            cursor.remaining()
+        )));
+    }
+
+    Ok(DecodedLayout {
+        provenance,
+        offsets: offsets_start..offsets_start + offsets_len,
+        targets: targets_start..targets_start + targets_len,
+        shards,
+    })
+}
+
+/// Materializes a verified layout into an owned snapshot: collect the arrays from
+/// contiguous chunks (loading must stay cheaper than regenerating — see the
+/// snapshot_io bench), then run the full structural validation over them.
+fn build_owned(bytes: &[u8], layout: DecodedLayout) -> Result<SnapshotFile, SnapshotError> {
+    let offsets: Vec<u32> = bytes[layout.offsets.clone()]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let targets: Vec<NodeId> = bytes[layout.targets.clone()]
+        .chunks_exact(4)
+        .map(|c| NodeId::from(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+        .collect();
+    validate_topology(&offsets, &targets)?;
+    if let Some(shards) = &layout.shards {
+        validate_manifest(shards, &offsets, &targets)?;
+    }
+    Ok(SnapshotFile {
+        csr: CsrGraph::from_raw_parts(offsets, targets),
+        shards: layout.shards,
+        provenance: layout.provenance,
+    })
 }
 
 /// Reads only the header and (if present) provenance of a snapshot file — a small
@@ -562,12 +669,13 @@ pub fn read_meta(
         .metadata()
         .map_err(|e| SnapshotError::io(path, &e))?
         .len();
-    if label_len as u64 + 5 * 8 > file_len.saturating_sub((HEADER_LEN + 4) as u64) {
+    let body_len = label_len + label_pad(label_len) + 5 * 8;
+    if body_len as u64 > file_len.saturating_sub((HEADER_LEN + 4) as u64) {
         return Err(SnapshotError::Truncated {
             section: "provenance",
         });
     }
-    let mut rest = vec![0u8; label_len + 5 * 8];
+    let mut rest = vec![0u8; body_len];
     file.read_exact(&mut rest)
         .map_err(|_| SnapshotError::Truncated {
             section: "provenance",
@@ -616,6 +724,125 @@ pub fn read_identity(path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
     file.read_exact(&mut trailer)
         .map_err(|_| SnapshotError::Truncated { section: "trailer" })?;
     Ok(u64::from_le_bytes(trailer))
+}
+
+/// Absolute byte ranges of every section of a snapshot file.
+///
+/// Built by [`section_layout`] from a prefix read — header plus (when flagged) the
+/// 4-byte provenance label length — and the file size; the arrays are never read and
+/// the checksum is not verified. This is what `sfo snapshot inspect` prints to answer
+/// "where does each section live and how big is it" in O(header) time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionLayout {
+    /// The decoded fixed-size header.
+    pub header: SnapshotHeader,
+    /// Byte range of the fixed-size header (always `0..32`).
+    pub header_bytes: Range<u64>,
+    /// Byte range of the provenance section, when flagged.
+    pub provenance_bytes: Option<Range<u64>>,
+    /// Byte range of the `offsets` array: `(node_count + 1) × u32`.
+    pub offsets_bytes: Range<u64>,
+    /// Byte range of the `targets` array: `2 × edge_count × u32`.
+    pub targets_bytes: Range<u64>,
+    /// Byte range of the shard manifest, when flagged. Its internal record boundaries
+    /// are variable-length, so only the section extent is computable from the prefix.
+    pub manifest_bytes: Option<Range<u64>>,
+    /// Byte range of the checksum trailer (the last 8 bytes).
+    pub trailer_bytes: Range<u64>,
+    /// Total file size in bytes.
+    pub file_len: u64,
+}
+
+impl SectionLayout {
+    /// `true` when both array sections sit on 4-byte file offsets — the structural
+    /// precondition for [`SnapshotFile::load_mmap`] to borrow them in place instead of
+    /// taking the owned fallback. Files written by this build always qualify.
+    pub fn zero_copy_eligible(&self) -> bool {
+        self.offsets_bytes.start.is_multiple_of(4) && self.targets_bytes.start.is_multiple_of(4)
+    }
+}
+
+/// Computes the [`SectionLayout`] of a snapshot file from a prefix read.
+///
+/// Like [`read_meta`], this touches none of the arrays and does **not** verify the
+/// checksum; anything that will traverse the topology goes through
+/// [`SnapshotFile::load`] or [`SnapshotFile::load_mmap`], which verify everything.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Io`] when the file cannot be opened, the header errors of
+/// the full reader, and [`SnapshotError::Truncated`]/[`SnapshotError::Corrupt`] when
+/// the file size cannot hold the sections the header declares.
+pub fn section_layout(path: impl AsRef<Path>) -> Result<SectionLayout, SnapshotError> {
+    let path = path.as_ref();
+    let mut file = std::fs::File::open(path).map_err(|e| SnapshotError::io(path, &e))?;
+    let mut header_bytes = [0u8; HEADER_LEN];
+    file.read_exact(&mut header_bytes)
+        .map_err(|_| SnapshotError::Truncated { section: "header" })?;
+    let header = decode_header(&header_bytes)?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| SnapshotError::io(path, &e))?
+        .len();
+
+    let provenance_bytes = if header.has_provenance {
+        let mut len_bytes = [0u8; 4];
+        file.read_exact(&mut len_bytes)
+            .map_err(|_| SnapshotError::Truncated {
+                section: "provenance",
+            })?;
+        let label_len = u32::from_le_bytes(len_bytes) as usize;
+        let section_len = (4 + label_len + label_pad(label_len) + 5 * 8) as u64;
+        Some(HEADER_LEN as u64..HEADER_LEN as u64 + section_len)
+    } else {
+        None
+    };
+
+    let truncated = |section: &'static str| SnapshotError::Truncated { section };
+    let offsets_start = provenance_bytes
+        .as_ref()
+        .map_or(HEADER_LEN as u64, |p| p.end);
+    let offsets_end = header
+        .node_count
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(4))
+        .and_then(|len| offsets_start.checked_add(len))
+        .ok_or_else(|| truncated("offsets"))?;
+    let targets_end = header
+        .edge_count
+        .checked_mul(8)
+        .and_then(|len| offsets_end.checked_add(len))
+        .ok_or_else(|| truncated("targets"))?;
+    if targets_end + TRAILER_LEN as u64 > file_len {
+        return Err(truncated("targets"));
+    }
+    let trailer_start = file_len - TRAILER_LEN as u64;
+
+    let manifest_bytes = if header.has_shard_manifest {
+        // Each of the shard_count records is at least 24 bytes.
+        if trailer_start - targets_end < header.shard_count as u64 * 24 {
+            return Err(truncated("shard manifest"));
+        }
+        Some(targets_end..trailer_start)
+    } else if targets_end != trailer_start {
+        return Err(SnapshotError::corrupt(format!(
+            "{} undeclared bytes between the last section and the trailer",
+            trailer_start - targets_end
+        )));
+    } else {
+        None
+    };
+
+    Ok(SectionLayout {
+        header,
+        header_bytes: 0..HEADER_LEN as u64,
+        provenance_bytes,
+        offsets_bytes: offsets_start..offsets_end,
+        targets_bytes: offsets_end..targets_end,
+        manifest_bytes,
+        trailer_bytes: trailer_start..file_len,
+        file_len,
+    })
 }
 
 /// Decodes and sanity-checks the fixed-size header prefix.
@@ -837,6 +1064,12 @@ impl<'a> Cursor<'a> {
         let label = std::str::from_utf8(label_bytes)
             .map_err(|_| SnapshotError::corrupt("provenance label is not valid UTF-8"))?
             .to_string();
+        let pad = self.take(label_pad(label_len), "provenance")?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(SnapshotError::corrupt(
+                "provenance label padding is not zero",
+            ));
+        }
         let m = self.u64("provenance")?;
         let cutoff = match self.u64("provenance")? {
             u64::MAX => None,
@@ -858,6 +1091,10 @@ impl<'a> Cursor<'a> {
 
     fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
+    }
+
+    fn position(&self) -> usize {
+        self.pos
     }
 }
 
@@ -1363,5 +1600,196 @@ mod tests {
         // Reference vectors for FNV-1a 64.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn provenance_labels_of_every_length_keep_the_arrays_4_aligned() {
+        // The label pad is what makes the zero-copy borrow the structural common case:
+        // whatever the label length, the offsets section must start on a 4-byte file
+        // offset, the pad must round-trip invisibly, and a nonzero pad byte must fail.
+        for len in 0..9usize {
+            let mut prov = provenance();
+            prov.label = "x".repeat(len);
+            let file = SnapshotFile {
+                csr: sample(),
+                shards: None,
+                provenance: Some(prov.clone()),
+            };
+            let bytes = file.to_bytes();
+            let prov_len = 4 + len + label_pad(len) + 5 * 8;
+            assert_eq!((HEADER_LEN + prov_len) % 4, 0, "label len {len}");
+            let back = SnapshotFile::from_bytes(&bytes).unwrap();
+            assert_eq!(back.provenance, Some(prov));
+
+            if label_pad(len) > 0 {
+                let dirty = rehashed(&file, |b| b[HEADER_LEN + 4 + len] = 0xAA);
+                assert!(matches!(
+                    SnapshotFile::from_bytes(&dirty),
+                    Err(SnapshotError::Corrupt { reason }) if reason.contains("padding")
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn section_layout_tiles_the_file_and_marks_zero_copy_eligibility() {
+        let dir = std::env::temp_dir().join(format!("sfos-layout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("layout.sfos");
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: Some(vec![ShardRecord {
+                start: 0,
+                end: 6,
+                boundary: Vec::new(),
+            }]),
+            provenance: Some(provenance()),
+        };
+        file.save(&path).unwrap();
+        let layout = section_layout(&path).unwrap();
+        let bytes = file.to_bytes();
+        assert_eq!(layout.file_len, bytes.len() as u64);
+        assert_eq!(layout.header_bytes, 0..32);
+        // Sections tile the file contiguously with nothing unaccounted for.
+        let prov = layout.provenance_bytes.clone().unwrap();
+        assert_eq!(prov.start, 32);
+        assert_eq!(layout.offsets_bytes.start, prov.end);
+        assert_eq!(layout.offsets_bytes.end, layout.targets_bytes.start);
+        // 7 nodes' worth of offsets (6 + 1) and 14 directed entries.
+        assert_eq!(layout.offsets_bytes.end - layout.offsets_bytes.start, 28);
+        assert_eq!(layout.targets_bytes.end - layout.targets_bytes.start, 56);
+        let manifest = layout.manifest_bytes.clone().unwrap();
+        assert_eq!(manifest.start, layout.targets_bytes.end);
+        assert_eq!(manifest.end, layout.trailer_bytes.start);
+        assert_eq!(layout.trailer_bytes.end, layout.file_len);
+        assert!(layout.zero_copy_eligible());
+
+        // Plain files have no optional sections and still tile exactly.
+        let plain_path = dir.join("layout-plain.sfos");
+        SnapshotFile::plain(sample()).save(&plain_path).unwrap();
+        let plain = section_layout(&plain_path).unwrap();
+        assert!(plain.provenance_bytes.is_none());
+        assert!(plain.manifest_bytes.is_none());
+        assert_eq!(plain.offsets_bytes.start, 32);
+        assert_eq!(plain.targets_bytes.end, plain.trailer_bytes.start);
+        assert!(plain.zero_copy_eligible());
+
+        // A header whose counts the file cannot hold is a typed error.
+        let mut truncated = bytes.clone();
+        truncated.truncate(48);
+        let short_path = dir.join("layout-short.sfos");
+        std::fs::write(&short_path, &truncated).unwrap();
+        assert!(matches!(
+            section_layout(&short_path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        for p in [&path, &plain_path, &short_path] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_meta_reads_only_the_prefix() {
+        // Regression guard for the inspect path's cost model: read_meta must decode the
+        // header and provenance from a prefix read and never touch the arrays. The file
+        // below *claims* enormous arrays but is truncated right after the provenance —
+        // a reader that touched anything past the provenance would fail.
+        let full = SnapshotFile {
+            csr: sample(),
+            shards: None,
+            provenance: Some(provenance()),
+        }
+        .to_bytes();
+        let label_len = provenance().label.len();
+        let prefix_len = HEADER_LEN + 4 + label_len + label_pad(label_len) + 5 * 8;
+        let mut prefix = full[..prefix_len].to_vec();
+        // Claim 2^30 nodes and 2^30 edges the file does not hold.
+        prefix[8..16].copy_from_slice(&(1u64 << 30).to_le_bytes());
+        prefix[16..24].copy_from_slice(&(1u64 << 30).to_le_bytes());
+
+        let dir = std::env::temp_dir().join(format!("sfos-prefix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prefix-only.sfos");
+        std::fs::write(&path, &prefix).unwrap();
+        let (header, meta) = read_meta(&path).unwrap();
+        assert_eq!(header.node_count, 1 << 30);
+        assert_eq!(meta, Some(provenance()));
+        // The full readers must still reject the same file loudly.
+        assert!(SnapshotFile::load(&path).is_err());
+        assert!(SnapshotFile::load_mmap(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mmap_load_is_byte_identical_to_the_read_load() {
+        let dir = std::env::temp_dir().join(format!("sfos-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mapped.sfos");
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: Some(vec![ShardRecord {
+                start: 0,
+                end: 6,
+                boundary: Vec::new(),
+            }]),
+            provenance: Some(provenance()),
+        };
+        file.save(&path).unwrap();
+
+        let read = SnapshotFile::load(&path).unwrap();
+        let mapped = SnapshotFile::load_mmap(&path).unwrap();
+        assert_eq!(mapped, read);
+        assert_eq!(mapped.shards, read.shards);
+        assert_eq!(mapped.provenance, read.provenance);
+        #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+        assert!(mapped.csr.is_mapped());
+        assert!(!read.csr.is_mapped());
+        // The mapped graph is traversable after the loader's locals drop, and owned
+        // copies detach from the mapping.
+        assert_eq!(mapped.csr.neighbors(n(0)), read.csr.neighbors(n(0)));
+        let (offsets, targets) = mapped.csr.clone().into_parts();
+        assert_eq!(
+            (offsets.as_slice(), targets.as_slice()),
+            read.csr.raw_parts()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mmap_load_never_masks_decode_errors() {
+        let dir = std::env::temp_dir().join(format!("sfos-mmap-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A bit flip must surface as the checksum mismatch, not as a fallback load.
+        let mut bytes = SnapshotFile::plain(sample()).to_bytes();
+        bytes[HEADER_LEN + 2] ^= 0x40;
+        let flipped = dir.join("flipped.sfos");
+        std::fs::write(&flipped, &bytes).unwrap();
+        assert!(matches!(
+            SnapshotFile::load_mmap(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Not-a-snapshot and empty files produce the reader's usual typed errors.
+        let junk = dir.join("junk.sfos");
+        std::fs::write(&junk, b"JUNKJUNKJUNKJUNK").unwrap();
+        assert!(matches!(
+            SnapshotFile::load_mmap(&junk),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        let empty = dir.join("empty.sfos");
+        std::fs::write(&empty, b"").unwrap();
+        assert!(matches!(
+            SnapshotFile::load_mmap(&empty),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let missing = dir.join("missing.sfos");
+        assert!(matches!(
+            SnapshotFile::load_mmap(&missing),
+            Err(SnapshotError::Io { .. })
+        ));
+        for p in [&flipped, &junk, &empty] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 }

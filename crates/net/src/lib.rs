@@ -49,6 +49,7 @@
 //!     listen: "127.0.0.1:0".to_string(),
 //!     engine_workers: 0,
 //!     shard_count: 4,
+//!     mmap: false,
 //! })?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();

@@ -39,6 +39,11 @@ pub struct ServeConfig {
     /// Shards the loaded store is partitioned into (0 or 1 = unsharded). Sharding
     /// never changes results.
     pub shard_count: usize,
+    /// Memory-map the snapshot's topology arrays instead of reading them into owned
+    /// buffers (`sfo serve --mmap`). The file is checksum-verified once either way,
+    /// and a mapped store answers every request byte-identically to a read one; on
+    /// platforms without the mapping path this silently falls back to reading.
+    pub mmap: bool,
 }
 
 /// One loaded snapshot: the store plus what `Hello` announces about it.
@@ -49,9 +54,13 @@ struct Store {
 }
 
 impl Store {
-    fn load(path: &str, shard_count: usize) -> Result<Store, NetError> {
-        let file = SnapshotFile::load(path)
-            .map_err(|e| NetError::protocol(format!("cannot serve {path}: {e}")))?;
+    fn load(path: &str, shard_count: usize, mmap: bool) -> Result<Store, NetError> {
+        let file = if mmap {
+            SnapshotFile::load_mmap(path)
+        } else {
+            SnapshotFile::load(path)
+        }
+        .map_err(|e| NetError::protocol(format!("cannot serve {path}: {e}")))?;
         let provenance = file.provenance.ok_or_else(|| {
             NetError::protocol(format!(
                 "cannot serve {path}: no provenance record — scenario jobs need the \
@@ -87,6 +96,7 @@ struct ServerState {
     pool: WorkerPool,
     store: RwLock<Arc<Store>>,
     shard_count: usize,
+    mmap: bool,
     stop: AtomicBool,
 }
 
@@ -105,7 +115,7 @@ impl WorkerServer {
     /// Returns [`NetError::Protocol`] when the snapshot cannot be served (unreadable,
     /// corrupt, empty, or provenance-less) and [`NetError::Io`] when the bind fails.
     pub fn bind(config: &ServeConfig) -> Result<Self, NetError> {
-        let store = Store::load(&config.snapshot_path, config.shard_count)?;
+        let store = Store::load(&config.snapshot_path, config.shard_count, config.mmap)?;
         let listener = NetListener::bind(&config.listen)?;
         Ok(WorkerServer {
             listener,
@@ -113,6 +123,7 @@ impl WorkerServer {
                 pool: WorkerPool::new(EngineConfig::with_workers(config.engine_workers)),
                 store: RwLock::new(Arc::new(store)),
                 shard_count: config.shard_count,
+                mmap: config.mmap,
                 stop: AtomicBool::new(false),
             }),
         })
@@ -222,19 +233,21 @@ fn handle_connection(mut stream: NetStream, state: &ServerState) {
             }
         };
         let reply = match request {
-            Message::LoadSnapshot { path } => match Store::load(&path, state.shard_count) {
-                Ok(store) => {
-                    let store = Arc::new(store);
-                    let hello = store.hello(state.pool.workers() as u32);
-                    // New connections see the new store; this connection repins.
-                    *state.store.write().expect("store lock") = Arc::clone(&store);
-                    pinned = store;
-                    Message::Hello(hello)
+            Message::LoadSnapshot { path } => {
+                match Store::load(&path, state.shard_count, state.mmap) {
+                    Ok(store) => {
+                        let store = Arc::new(store);
+                        let hello = store.hello(state.pool.workers() as u32);
+                        // New connections see the new store; this connection repins.
+                        *state.store.write().expect("store lock") = Arc::clone(&store);
+                        pinned = store;
+                        Message::Hello(hello)
+                    }
+                    Err(e) => Message::Error {
+                        message: e.to_string(),
+                    },
                 }
-                Err(e) => Message::Error {
-                    message: e.to_string(),
-                },
-            },
+            }
             Message::SubmitBatch(request) => match execute_request(state, &pinned, &request) {
                 Ok(outcomes) => Message::BatchResult { outcomes },
                 Err(e) => Message::Error {

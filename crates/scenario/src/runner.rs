@@ -75,12 +75,16 @@ pub struct ScenarioRunner {
     /// specs fail with a pointer at the `sfo` binary, which installs `sfo-net`'s
     /// dispatcher.
     remote: Option<Arc<dyn RemoteSweepExecutor>>,
+    /// Memory-map snapshot topologies instead of reading them (`--mmap`). Reports are
+    /// byte-identical either way; platforms without the mapping path read as usual.
+    mmap: bool,
 }
 
 impl std::fmt::Debug for ScenarioRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScenarioRunner")
             .field("remote", &self.remote.is_some())
+            .field("mmap", &self.mmap)
             .finish()
     }
 }
@@ -96,6 +100,16 @@ impl ScenarioRunner {
     /// without workers are unaffected.
     pub fn with_remote(mut self, executor: Arc<dyn RemoteSweepExecutor>) -> Self {
         self.remote = Some(executor);
+        self
+    }
+
+    /// Returns a runner that memory-maps snapshot topologies in place of reading them
+    /// into owned buffers. The file is checksum-verified once either way and every
+    /// report stays byte-identical; on platforms without the mapping path this is a
+    /// no-op. Only snapshot-backed scenarios are affected — inline generation never
+    /// touches a file.
+    pub fn with_mmap(mut self, mmap: bool) -> Self {
+        self.mmap = mmap;
         self
     }
 
@@ -220,7 +234,7 @@ impl ScenarioRunner {
         if let Some(TopologySpec::Snapshot { path }) = &spec.topology {
             // The file *is* the realization: its degrees are the degrees the inline
             // generator drew at build time, so the binned curve is byte-identical.
-            let (file, provenance) = load_snapshot_with_provenance(path)?;
+            let (file, provenance) = load_snapshot_with_provenance(path, self.mmap)?;
             let degrees = GraphView::degrees(&file.csr);
             let points = log_binned_distribution(&degrees, bins_per_decade)
                 .iter()
@@ -363,7 +377,7 @@ impl ScenarioRunner {
         if !sweep.workers.is_empty() {
             return self.run_remote_sweep(path, search, sweep);
         }
-        let (file, provenance) = load_snapshot_with_provenance(path)?;
+        let (file, provenance) = load_snapshot_with_provenance(path, self.mmap)?;
         let sharded = Arc::new(ShardedCsr::from_csr_owned(
             file.csr,
             sweep.shard_count.max(1),
@@ -451,9 +465,17 @@ fn curve_labels(spec: &ScenarioSpec, curves: &[TopologySpec]) -> Vec<String> {
     }
 }
 
-/// Loads a snapshot file and unwraps the provenance record scenario runs require.
-fn load_snapshot_with_provenance(path: &str) -> Result<(SnapshotFile, Provenance), ScenarioError> {
-    let mut file = SnapshotFile::load(path)?;
+/// Loads a snapshot file (mapped or read) and unwraps the provenance record scenario
+/// runs require.
+fn load_snapshot_with_provenance(
+    path: &str,
+    mmap: bool,
+) -> Result<(SnapshotFile, Provenance), ScenarioError> {
+    let mut file = if mmap {
+        SnapshotFile::load_mmap(path)?
+    } else {
+        SnapshotFile::load(path)?
+    };
     let provenance = file
         .provenance
         .take()

@@ -13,7 +13,7 @@
 //! the cutoff takes away from hub-exploiting searches, complementing the paper's NF/RW
 //! comparison.
 
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::Rng;
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
@@ -51,12 +51,25 @@ impl DegreeBiasedWalk {
 
 impl<G: GraphView + ?Sized> SearchAlgorithm<G> for DegreeBiasedWalk {
     fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        let mut scratch = SearchScratch::new();
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
         assert!(
             graph.contains_node(source),
             "biased walk source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut hits = 0usize;
         let mut messages = 0usize;
         let mut current = source;
@@ -74,7 +87,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for DegreeBiasedWalk {
             let next = neighbors
                 .iter()
                 .copied()
-                .filter(|&n| !visited[n.index()])
+                .filter(|&n| !visited.contains(n.index()))
                 .max_by_key(|&n| (graph.degree(n), std::cmp::Reverse(n)))
                 .unwrap_or_else(|| {
                     if neighbors.len() == 1 {
@@ -89,8 +102,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for DegreeBiasedWalk {
                     }
                 });
             messages += 1;
-            if !visited[next.index()] {
-                visited[next.index()] = true;
+            if visited.insert(next.index()) {
                 hits += 1;
             }
             previous = Some(current);

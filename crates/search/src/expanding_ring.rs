@@ -18,7 +18,7 @@
 //! `sfo-sim`, which models item placement and replication explicitly.
 
 use crate::flooding::Flooding;
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
 
@@ -98,11 +98,28 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for ExpandingRing {
             graph.contains_node(source),
             "expanding-ring source {source} out of bounds"
         );
+        let mut scratch = SearchScratch::for_search(graph, source);
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "expanding-ring source {source} out of bounds"
+        );
         let flood = Flooding::new();
         let mut total_messages = 0usize;
         let mut final_hits = 0usize;
+        // One arena serves every ring: each flood resets the visited epoch on entry.
         for radius in self.schedule(ttl) {
-            let outcome = flood.search(graph, source, radius, rng);
+            let outcome = flood.search_with_scratch(graph, source, radius, rng, scratch);
             total_messages += outcome.messages;
             final_hits = outcome.hits;
         }

@@ -6,10 +6,9 @@
 //! but the duplicate transmissions still count as messages — this is exactly the "large
 //! number of messages" downside the paper attributes to FL.
 
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
-use std::collections::VecDeque;
 
 /// Flooding (broadcast) search.
 ///
@@ -42,17 +41,37 @@ impl Flooding {
 }
 
 impl<G: GraphView + ?Sized> SearchAlgorithm<G> for Flooding {
-    fn search(&self, graph: &G, source: NodeId, ttl: u32, _rng: &mut dyn RngCore) -> SearchOutcome {
+    fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
         assert!(
             graph.contains_node(source),
             "flood source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        // Fresh-allocation path: the frontier starts at the first round's size
+        // instead of reallocating up the whole growth curve from empty.
+        let mut scratch = SearchScratch::for_search(graph, source);
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        _rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "flood source {source} out of bounds"
+        );
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut messages = 0usize;
         let mut hits = 0usize;
         // Queue of peers that still have to forward the query: (peer, previous hop, depth).
-        let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         queue.push_back((source, None, 0));
 
         while let Some((node, from, depth)) = queue.pop_front() {
@@ -64,8 +83,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for Flooding {
                     continue;
                 }
                 messages += 1;
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if visited.insert(next.index()) {
                     hits += 1;
                     queue.push_back((next, Some(node), depth + 1));
                 }

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod outcome;
+mod scratch;
 
 pub mod biased_walk;
 pub mod coverage;
@@ -56,3 +57,4 @@ pub mod probabilistic;
 pub mod random_walk;
 
 pub use outcome::{SearchAlgorithm, SearchInfo, SearchOutcome};
+pub use scratch::{SearchScratch, VisitedSet};

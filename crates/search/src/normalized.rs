@@ -8,11 +8,10 @@
 //! stub count of the topology-generation mechanism, even when a few peers end up below `m`
 //! (CM after simplification, DAPA with short horizons).
 
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
-use std::collections::VecDeque;
 
 /// Normalized flooding with a configurable fan-out `k_min`.
 ///
@@ -61,35 +60,52 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for NormalizedFlooding {
             graph.contains_node(source),
             "nf source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        let mut scratch = SearchScratch::for_search(graph, source);
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "nf source {source} out of bounds"
+        );
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut hits = 0usize;
         let mut messages = 0usize;
-        let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         queue.push_back((source, None, 0));
-        let mut scratch: Vec<NodeId> = Vec::new();
+        let candidates = &mut scratch.candidates;
 
         while let Some((node, from, depth)) = queue.pop_front() {
             if depth >= ttl {
                 continue;
             }
-            scratch.clear();
-            scratch.extend(
+            candidates.clear();
+            candidates.extend(
                 graph
                     .neighbors(node)
                     .iter()
                     .copied()
                     .filter(|&n| Some(n) != from),
             );
-            let targets: &[NodeId] = if scratch.len() > self.k_min {
-                scratch.partial_shuffle(rng, self.k_min).0
+            let targets: &[NodeId] = if candidates.len() > self.k_min {
+                candidates.partial_shuffle(rng, self.k_min).0
             } else {
-                &scratch
+                candidates
             };
             for &next in targets {
                 messages += 1;
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if visited.insert(next.index()) {
                     hits += 1;
                     queue.push_back((next, Some(node), depth + 1));
                 }

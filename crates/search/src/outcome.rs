@@ -1,5 +1,6 @@
 //! Search outcomes and the common algorithm interface.
 
+use crate::scratch::SearchScratch;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use sfo_graph::{Graph, GraphView, NodeId};
@@ -57,6 +58,34 @@ pub trait SearchAlgorithm<G: GraphView + ?Sized = Graph>: SearchInfo {
     ///
     /// Implementations may panic if `source` is not a node of `graph`.
     fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome;
+
+    /// Runs one search like [`SearchAlgorithm::search`], but using `scratch` for its
+    /// visited set and frontier buffers instead of allocating them fresh.
+    ///
+    /// The arena is pure memory reuse: for any `scratch` state — fresh, or dirty from
+    /// previous searches of any algorithm on any graph — the outcome and the RNG
+    /// draws are byte-identical to [`SearchAlgorithm::search`]. Callers running many
+    /// searches (the `sfo-engine` worker pool keeps one arena per worker) avoid the
+    /// O(node_count) allocation-and-zeroing cost per query.
+    ///
+    /// The default implementation ignores `scratch` and allocates fresh, so external
+    /// implementations of the trait stay correct without opting in; every algorithm
+    /// in this crate overrides it.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `source` is not a node of `graph`.
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        let _ = scratch;
+        self.search(graph, source, ttl, rng)
+    }
 }
 
 /// Backend-independent description of a search algorithm.

@@ -9,11 +9,10 @@
 //! many neighbors, each kept with probability `p`), so the coverage penalty is far smaller
 //! than the message saving — the same granularity argument the paper makes for NF.
 
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::Rng;
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
-use std::collections::VecDeque;
 
 /// Probabilistic (gossip-style) flooding with forwarding probability `p`.
 ///
@@ -66,11 +65,29 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for ProbabilisticFlooding {
             graph.contains_node(source),
             "probabilistic flood source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        let mut scratch = SearchScratch::for_search(graph, source);
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        assert!(
+            graph.contains_node(source),
+            "probabilistic flood source {source} out of bounds"
+        );
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut hits = 0usize;
         let mut messages = 0usize;
-        let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
+        let queue = &mut scratch.queue;
+        queue.clear();
         queue.push_back((source, None, 0));
 
         while let Some((node, from, depth)) = queue.pop_front() {
@@ -88,8 +105,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for ProbabilisticFlooding {
                     continue;
                 }
                 messages += 1;
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if visited.insert(next.index()) {
                     hits += 1;
                     queue.push_back((next, Some(node), depth + 1));
                 }

@@ -7,7 +7,7 @@
 //! launches several walkers that share a hop budget, which the paper mentions as the way to
 //! make RW behave more like NF.
 
-use crate::{SearchAlgorithm, SearchInfo, SearchOutcome};
+use crate::{SearchAlgorithm, SearchInfo, SearchOutcome, SearchScratch};
 use rand::Rng;
 use rand::RngCore;
 use sfo_graph::{GraphView, NodeId};
@@ -66,12 +66,25 @@ fn next_hop<G: GraphView + ?Sized, R: Rng + ?Sized>(
 
 impl<G: GraphView + ?Sized> SearchAlgorithm<G> for RandomWalk {
     fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        let mut scratch = SearchScratch::new();
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
         assert!(
             graph.contains_node(source),
             "rw source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut hits = 0usize;
         let mut messages = 0usize;
         let mut current = source;
@@ -81,8 +94,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for RandomWalk {
                 break;
             };
             messages += 1;
-            if !visited[next.index()] {
-                visited[next.index()] = true;
+            if visited.insert(next.index()) {
                 hits += 1;
             }
             previous = Some(current);
@@ -127,12 +139,25 @@ impl MultipleRandomWalk {
 
 impl<G: GraphView + ?Sized> SearchAlgorithm<G> for MultipleRandomWalk {
     fn search(&self, graph: &G, source: NodeId, ttl: u32, rng: &mut dyn RngCore) -> SearchOutcome {
+        let mut scratch = SearchScratch::new();
+        self.search_with_scratch(graph, source, ttl, rng, &mut scratch)
+    }
+
+    fn search_with_scratch(
+        &self,
+        graph: &G,
+        source: NodeId,
+        ttl: u32,
+        rng: &mut dyn RngCore,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
         assert!(
             graph.contains_node(source),
             "rw source {source} out of bounds"
         );
-        let mut visited = vec![false; graph.node_count()];
-        visited[source.index()] = true;
+        let visited = &mut scratch.visited;
+        visited.reset(graph.node_count());
+        visited.insert(source.index());
         let mut hits = 0usize;
         let mut messages = 0usize;
         let budget = ttl as usize;
@@ -147,8 +172,7 @@ impl<G: GraphView + ?Sized> SearchAlgorithm<G> for MultipleRandomWalk {
                     break;
                 };
                 messages += 1;
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if visited.insert(next.index()) {
                     hits += 1;
                 }
                 previous = Some(current);

@@ -1,0 +1,223 @@
+//! Reusable per-worker scratch space for the search hot path.
+//!
+//! Every search marks visited peers and (for the flooding family) queues a frontier.
+//! Allocating those structures fresh per query — `vec![false; N]` plus an empty
+//! `VecDeque` — costs a megabyte of zeroing per query at N=10^6 before the first
+//! neighbor read, and the sweeps run thousands of queries per frozen realization.
+//! [`SearchScratch`] amortizes that: one arena per worker thread, reused across jobs
+//! and batches, with an epoch-stamped bitset whose reset is O(1) instead of O(N).
+//!
+//! The arena is pure *memory* state: algorithms read and write exactly the same
+//! visited/frontier values they would with fresh allocations, in the same order, so a
+//! search through a dirty reused arena consumes its RNG stream identically and returns
+//! a byte-identical [`SearchOutcome`](crate::SearchOutcome). That invariant is what
+//! lets `sfo-engine` hand every pool worker a private arena without disturbing the
+//! per-job RNG streams (`tests/scratch_equivalence.rs` enforces it).
+
+use sfo_graph::{GraphView, NodeId};
+use std::collections::VecDeque;
+
+/// A dense visited set over `u64` bitset words with epoch stamping.
+///
+/// Clearing a `vec![bool; N]` between searches costs O(N); the epoch trick makes it
+/// O(1): [`VisitedSet::reset`] bumps a generation counter, and each word lazily
+/// zeroes itself the first time it is touched in the new generation. A word whose
+/// stamp is stale *reads* as all-unset without being written, so a reset costs
+/// nothing for the (vast majority of) words a short search never visits.
+///
+/// # Example
+///
+/// ```
+/// use sfo_search::VisitedSet;
+///
+/// let mut visited = VisitedSet::new();
+/// visited.reset(1000);
+/// assert!(visited.insert(7)); // newly marked
+/// assert!(!visited.insert(7)); // already marked
+/// visited.reset(1000); // O(1): everything reads as unset again
+/// assert!(!visited.contains(7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VisitedSet {
+    words: Vec<u64>,
+    stamps: Vec<u64>,
+    epoch: u64,
+}
+
+impl VisitedSet {
+    /// Creates an empty set; call [`VisitedSet::reset`] before use.
+    pub fn new() -> Self {
+        VisitedSet::default()
+    }
+
+    /// Prepares the set for node indexes in `0..node_count`: every bit reads as
+    /// unset. Grows the backing words when `node_count` exceeds the current
+    /// capacity and never shrinks, so a worker's set settles at the largest graph
+    /// it has served.
+    pub fn reset(&mut self, node_count: usize) {
+        let words = node_count.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+            self.stamps.resize(words, 0);
+        }
+        // Stamps start at 0, so the first reset must move the epoch past the
+        // initial stamp value; wrapping is unreachable in practice (2^64 resets).
+        self.epoch += 1;
+    }
+
+    /// Marks `index` as visited; returns `true` when it was not yet marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the range given to the last [`VisitedSet::reset`].
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        let w = index / 64;
+        let bit = 1u64 << (index % 64);
+        if self.stamps[w] != self.epoch {
+            self.stamps[w] = self.epoch;
+            self.words[w] = bit;
+            return true;
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
+
+    /// Returns `true` if `index` has been marked since the last reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the range given to the last [`VisitedSet::reset`].
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        let w = index / 64;
+        self.stamps[w] == self.epoch && self.words[w] & (1u64 << (index % 64)) != 0
+    }
+}
+
+/// Reusable buffers for one search at a time: the visited bitset, the flooding
+/// frontier, and the fan-out candidate list.
+///
+/// One arena serves one search at a time and any number of searches in sequence;
+/// every algorithm resets the state it uses on entry, so a *dirty* arena left by a
+/// previous job (even of a different algorithm, or on a different graph) is
+/// indistinguishable from a fresh one. `sfo-engine` keeps one per pool worker.
+///
+/// The buffers are public so scratch-aware traversals outside this crate (the
+/// simulator's snapshot query batches) can reuse them under the same contract:
+/// reset what you use on entry, leave whatever you like behind.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Visited marks, reset per search.
+    pub visited: VisitedSet,
+    /// Flooding frontier: (peer, previous hop, depth) entries still to forward.
+    pub queue: VecDeque<(NodeId, Option<NodeId>, u32)>,
+    /// Per-round neighbor candidates for fan-out-limited forwarding (NF).
+    pub candidates: Vec<NodeId>,
+}
+
+impl SearchScratch {
+    /// Creates an empty arena; buffers grow to the workload on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Creates an arena pre-sized for one search from `source` on `graph`: the
+    /// frontier and candidate buffers start at the first forwarding round's size
+    /// (the source's degree, floored by the graph's average degree) instead of
+    /// reallocating up the whole growth curve from zero.
+    pub fn for_search<G: GraphView + ?Sized>(graph: &G, source: NodeId) -> Self {
+        let average = (2 * graph.edge_count()) / graph.node_count().max(1);
+        let estimate = graph.degree(source).max(average) + 1;
+        let mut scratch = SearchScratch {
+            visited: VisitedSet::new(),
+            queue: VecDeque::with_capacity(estimate),
+            candidates: Vec::with_capacity(estimate),
+        };
+        scratch.visited.reset(graph.node_count());
+        scratch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfo_graph::generators::ring_graph;
+
+    #[test]
+    fn insert_reports_first_marks_only() {
+        let mut v = VisitedSet::new();
+        v.reset(130);
+        assert!(v.insert(0));
+        assert!(v.insert(64));
+        assert!(v.insert(129));
+        assert!(!v.insert(0));
+        assert!(!v.insert(64));
+        assert!(v.contains(129));
+        assert!(!v.contains(128));
+    }
+
+    #[test]
+    fn reset_clears_in_constant_time_semantics() {
+        let mut v = VisitedSet::new();
+        v.reset(256);
+        for i in 0..256 {
+            assert!(v.insert(i));
+        }
+        v.reset(256);
+        for i in 0..256 {
+            assert!(!v.contains(i), "bit {i} survived a reset");
+            assert!(v.insert(i));
+        }
+    }
+
+    #[test]
+    fn reset_grows_to_larger_graphs() {
+        let mut v = VisitedSet::new();
+        v.reset(10);
+        assert!(v.insert(9));
+        v.reset(1000);
+        assert!(!v.contains(9));
+        assert!(v.insert(999));
+    }
+
+    #[test]
+    fn matches_a_bool_vector_under_random_operations() {
+        // The bitset must be semantically identical to vec![false; N] — that
+        // equivalence is what keeps scratch searches byte-identical.
+        let n = 300usize;
+        let mut v = VisitedSet::new();
+        let mut reference = vec![false; n];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        v.reset(n);
+        for round in 0..5 {
+            for _ in 0..500 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(round);
+                let i = (state >> 33) as usize % n;
+                let fresh = !reference[i];
+                reference[i] = true;
+                assert_eq!(v.insert(i), fresh, "insert({i}) disagreed");
+                assert!(v.contains(i));
+            }
+            v.reset(n);
+            reference.iter_mut().for_each(|b| *b = false);
+        }
+    }
+
+    #[test]
+    fn for_search_seeds_capacity_from_degrees() {
+        let g = ring_graph(100, 3).unwrap();
+        let scratch = SearchScratch::for_search(&g, NodeId::new(0));
+        assert!(scratch.queue.capacity() >= 6);
+        assert!(scratch.candidates.capacity() >= 6);
+        assert!(!scratch.visited.contains(0));
+    }
+
+    #[test]
+    fn empty_graph_does_not_divide_by_zero() {
+        let g = sfo_graph::Graph::with_nodes(1);
+        let scratch = SearchScratch::for_search(&g, NodeId::new(0));
+        assert_eq!(scratch.queue.len(), 0);
+    }
+}

@@ -17,6 +17,7 @@ use crate::{Result, SimError};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use sfo_engine::SearchScratch;
 use sfo_graph::{CsrGraph, NodeId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -335,19 +336,28 @@ impl QuerySnapshot {
         } else {
             workers
         };
-        Ok(sfo_engine::run_batch_scoped(
+        Ok(sfo_engine::run_batch_scoped_with_scratch(
             workers,
             queries.len(),
             seed,
-            |i, rng| {
+            |i, rng, scratch| {
                 let query = &queries[i];
                 let holds = |node: NodeId| overlay.holds_item(self.peers[node.index()], query.item);
                 match method {
-                    QueryMethod::Flooding => self.flood(sources[i], query.ttl, None, holds, rng),
-                    QueryMethod::NormalizedFlooding { k_min } => {
-                        self.flood(sources[i], query.ttl, Some(k_min), holds, rng)
+                    QueryMethod::Flooding => {
+                        self.flood_with_scratch(sources[i], query.ttl, None, holds, rng, scratch)
                     }
-                    QueryMethod::RandomWalk => self.walk(sources[i], query.ttl, holds, rng),
+                    QueryMethod::NormalizedFlooding { k_min } => self.flood_with_scratch(
+                        sources[i],
+                        query.ttl,
+                        Some(k_min),
+                        holds,
+                        rng,
+                        scratch,
+                    ),
+                    QueryMethod::RandomWalk => {
+                        self.walk_with_scratch(sources[i], query.ttl, holds, rng, scratch)
+                    }
                 }
             },
         ))
@@ -365,6 +375,22 @@ impl QuerySnapshot {
         holds: impl Fn(NodeId) -> bool,
         rng: &mut R,
     ) -> QueryOutcome {
+        let mut scratch = SearchScratch::for_search(&self.graph, source);
+        self.flood_with_scratch(source, ttl, fan_out, holds, rng, &mut scratch)
+    }
+
+    /// The flooding lookup loop over a caller-owned arena. The arena is pure memory
+    /// state — visited marks and frontier values are identical to fresh allocations,
+    /// in the same order, so a dirty reused arena consumes the RNG stream identically.
+    fn flood_with_scratch<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        ttl: u32,
+        fan_out: Option<usize>,
+        holds: impl Fn(NodeId) -> bool,
+        rng: &mut R,
+        scratch: &mut SearchScratch,
+    ) -> QueryOutcome {
         if holds(source) {
             return QueryOutcome {
                 found: true,
@@ -374,18 +400,17 @@ impl QuerySnapshot {
             };
         }
         let mut outcome = QueryOutcome::default();
-        let mut visited = vec![false; self.graph.node_count()];
-        visited[source.index()] = true;
-        let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
-        queue.push_back((source, None, 0));
-        let mut scratch: Vec<NodeId> = Vec::new();
+        scratch.visited.reset(self.graph.node_count());
+        scratch.visited.insert(source.index());
+        scratch.queue.clear();
+        scratch.queue.push_back((source, None, 0));
 
-        while let Some((node, from, depth)) = queue.pop_front() {
+        while let Some((node, from, depth)) = scratch.queue.pop_front() {
             if depth >= ttl {
                 continue;
             }
-            scratch.clear();
-            scratch.extend(
+            scratch.candidates.clear();
+            scratch.candidates.extend(
                 self.graph
                     .neighbors(node)
                     .iter()
@@ -393,19 +418,20 @@ impl QuerySnapshot {
                     .filter(|&n| Some(n) != from),
             );
             let targets: &[NodeId] = match fan_out {
-                Some(k) if scratch.len() > k => scratch.partial_shuffle(rng, k).0,
-                _ => &scratch,
+                Some(k) if scratch.candidates.len() > k => {
+                    scratch.candidates.partial_shuffle(rng, k).0
+                }
+                _ => &scratch.candidates,
             };
             for &next in targets {
                 outcome.messages += 1;
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if scratch.visited.insert(next.index()) {
                     outcome.peers_probed += 1;
                     if holds(next) && !outcome.found {
                         outcome.found = true;
                         outcome.hops_to_find = Some(depth + 1);
                     }
-                    queue.push_back((next, Some(node), depth + 1));
+                    scratch.queue.push_back((next, Some(node), depth + 1));
                 }
             }
         }
@@ -419,6 +445,19 @@ impl QuerySnapshot {
         holds: impl Fn(NodeId) -> bool,
         rng: &mut R,
     ) -> QueryOutcome {
+        let mut scratch = SearchScratch::new();
+        self.walk_with_scratch(source, ttl, holds, rng, &mut scratch)
+    }
+
+    /// The random-walk lookup loop over a caller-owned arena (visited set only).
+    fn walk_with_scratch<R: Rng + ?Sized>(
+        &self,
+        source: NodeId,
+        ttl: u32,
+        holds: impl Fn(NodeId) -> bool,
+        rng: &mut R,
+        scratch: &mut SearchScratch,
+    ) -> QueryOutcome {
         if holds(source) {
             return QueryOutcome {
                 found: true,
@@ -428,8 +467,8 @@ impl QuerySnapshot {
             };
         }
         let mut outcome = QueryOutcome::default();
-        let mut visited = vec![false; self.graph.node_count()];
-        visited[source.index()] = true;
+        scratch.visited.reset(self.graph.node_count());
+        scratch.visited.insert(source.index());
         let mut current = source;
         let mut previous: Option<NodeId> = None;
         for hop in 1..=ttl {
@@ -445,8 +484,7 @@ impl QuerySnapshot {
                 },
             };
             outcome.messages += 1;
-            if !visited[next.index()] {
-                visited[next.index()] = true;
+            if scratch.visited.insert(next.index()) {
                 outcome.peers_probed += 1;
             }
             if holds(next) {

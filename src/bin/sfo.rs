@@ -2,13 +2,13 @@
 //! binary topology snapshots.
 //!
 //! ```text
-//! sfo scenario run <spec.json> [--out <report.json>] [--threads N] [--quiet]
+//! sfo scenario run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]
 //! sfo scenario validate <spec.json> [<spec.json> ...]
 //! sfo scenario template [static|degree|churn|trace]
 //! sfo snapshot build <spec.json> -o <file.sfos> [--shards N]
 //! sfo snapshot inspect <file.sfos>
 //! sfo snapshot verify <file.sfos>
-//! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]
+//! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]
 //! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--out <report.json>] [--quiet]
 //! ```
 //!
@@ -51,7 +51,7 @@ fn usage() -> String {
     "usage: sfo <scenario|snapshot|serve|dispatch> <command>\n\
      \n\
      scenario commands:\n\
-     \x20 run <spec.json> [--out <report.json>] [--threads N] [--quiet]\n\
+     \x20 run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]\n\
      \x20                                                    execute a scenario file\n\
      \x20 validate <spec.json> [...]                         check scenario files\n\
      \x20 template [static|degree|churn|trace]               print a starter spec\n\
@@ -60,11 +60,12 @@ fn usage() -> String {
      \x20 build <spec.json> -o <file.sfos> [--shards N]      generate the spec's topology\n\
      \x20                                                    once and persist it\n\
      \x20 inspect <file.sfos>                                print header, provenance,\n\
-     \x20                                                    degrees, boundary fraction\n\
+     \x20                                                    degrees, boundary fraction,\n\
+     \x20                                                    section byte layout\n\
      \x20 verify <file.sfos>                                 full checksum + structure check\n\
      \n\
      distributed execution:\n\
-     \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]\n\
+     \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]\n\
      \x20                                                    serve the snapshot's query\n\
      \x20                                                    batches to remote dispatchers\n\
      \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...]\n\
@@ -72,6 +73,9 @@ fn usage() -> String {
      \x20                                                    sfo serve workers\n\
      \n\
      Addresses are host:port (TCP; port 0 picks a free one) or unix:/path.\n\
+     --mmap memory-maps snapshot topologies instead of reading them into owned\n\
+     buffers (checksum-verified once either way; results are byte-identical, and\n\
+     platforms without the mapping path silently fall back to reading).\n\
      --threads N overrides the spec's sweep thread count without editing the file\n\
      (results are unchanged: every task and batched job has its own RNG stream).\n\
      Run a persisted topology by pointing a spec's topology section at the file:\n\
@@ -108,9 +112,11 @@ fn serve(args: &[String]) -> ExitCode {
     let mut listen: Option<&str> = None;
     let mut engine_workers = 0usize;
     let mut shards = 0usize;
+    let mut mmap = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--mmap" => mmap = true,
             "--listen" => match iter.next() {
                 Some(value) => listen = Some(value),
                 None => {
@@ -156,6 +162,7 @@ fn serve(args: &[String]) -> ExitCode {
         listen: listen.to_string(),
         engine_workers,
         shard_count: shards,
+        mmap,
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -260,7 +267,9 @@ fn dispatch(args: &[String]) -> ExitCode {
             sweep.workers.len()
         );
     }
-    execute_and_emit(&spec, out, quiet)
+    // A dispatched sweep reads only the snapshot's meta locally — the workers load
+    // the file — so the mapping knob is theirs (`sfo serve --mmap`), not ours.
+    execute_and_emit(&spec, out, quiet, false)
 }
 
 fn scenario_command(args: &[String]) -> ExitCode {
@@ -441,6 +450,44 @@ fn snapshot_inspect(args: &[String]) -> ExitCode {
         }
         None => println!("  provenance: none (not runnable as a scenario topology)"),
     }
+    // The byte layout comes from a prefix read of the file itself (the full load above
+    // already proved the checksum), answering "where does each section live" and
+    // whether `--mmap` can borrow the arrays in place.
+    match sfoverlay::prelude::section_layout(path) {
+        Ok(layout) => {
+            println!("  layout ({} bytes total):", layout.file_len);
+            let row = |name: &str, range: &std::ops::Range<u64>| {
+                println!(
+                    "    {name:<12} {:>12} .. {:<12} ({} bytes)",
+                    range.start,
+                    range.end,
+                    range.end - range.start
+                );
+            };
+            row("header", &layout.header_bytes);
+            if let Some(provenance) = &layout.provenance_bytes {
+                row("provenance", provenance);
+            }
+            row("offsets", &layout.offsets_bytes);
+            row("targets", &layout.targets_bytes);
+            if let Some(manifest) = &layout.manifest_bytes {
+                row("manifest", manifest);
+            }
+            row("trailer", &layout.trailer_bytes);
+            println!(
+                "    zero-copy eligible: {}",
+                if layout.zero_copy_eligible() {
+                    "yes (arrays are 4-byte aligned; --mmap borrows them in place)"
+                } else {
+                    "no (--mmap falls back to an owned copy)"
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -487,9 +534,11 @@ fn run(args: &[String]) -> ExitCode {
     let mut out: Option<&str> = None;
     let mut threads: Option<usize> = None;
     let mut quiet = false;
+    let mut mmap = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--mmap" => mmap = true,
             "--out" => match iter.next() {
                 Some(value) => out = Some(value),
                 None => {
@@ -541,13 +590,13 @@ fn run(args: &[String]) -> ExitCode {
             spec.name, spec.realizations
         );
     }
-    execute_and_emit(&spec, out, quiet)
+    execute_and_emit(&spec, out, quiet, mmap)
 }
 
 /// Shared tail of `scenario run` and `dispatch`: execute through the remote-enabled
 /// runner (a no-op wiring difference for specs without workers) and emit the report.
-fn execute_and_emit(spec: &ScenarioSpec, out: Option<&str>, quiet: bool) -> ExitCode {
-    let report = match remote_runner().run(spec) {
+fn execute_and_emit(spec: &ScenarioSpec, out: Option<&str>, quiet: bool, mmap: bool) -> ExitCode {
+    let report = match remote_runner().with_mmap(mmap).run(spec) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("scenario '{}' failed: {e}", spec.name);

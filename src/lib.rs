@@ -89,7 +89,8 @@ pub mod prelude {
         QueryBatch, QueryJob, ShardedCsr, WorkerPool,
     };
     pub use sfo_graph::snapshot::{
-        Provenance, SnapshotError, SnapshotFile, SnapshotHeader, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+        section_layout, Provenance, SectionLayout, SnapshotError, SnapshotFile, SnapshotHeader,
+        SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
     };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
     pub use sfo_net::{
@@ -106,7 +107,7 @@ pub mod prelude {
     pub use sfo_search::normalized::NormalizedFlooding;
     pub use sfo_search::probabilistic::ProbabilisticFlooding;
     pub use sfo_search::random_walk::{MultipleRandomWalk, RandomWalk};
-    pub use sfo_search::{SearchAlgorithm, SearchOutcome};
+    pub use sfo_search::{SearchAlgorithm, SearchOutcome, SearchScratch, VisitedSet};
     pub use sfo_sim::churn::{generate_trace, ChurnTrace, ChurnTraceConfig, SessionModel};
     pub use sfo_sim::overlay::{JoinStrategy, OverlayConfig, OverlayNetwork};
     pub use sfo_sim::query::QueryMethod;

@@ -1,0 +1,258 @@
+//! Contract tests of the hot-path scratch arenas and the zero-copy snapshot loads:
+//! reusing a dirty [`SearchScratch`] must be byte-identical to allocating fresh for
+//! every algorithm, every job order, every worker count, and every shard count — and a
+//! memory-mapped snapshot must be indistinguishable from a read one all the way up to
+//! the `ScenarioReport`.
+//!
+//! The arena is pure memory reuse: each algorithm resets the state it uses on entry,
+//! so the visited marks and frontier values it observes — and therefore its RNG draws
+//! — are the same whether the buffers are freshly zeroed or left dirty by an earlier
+//! search of a different algorithm on a different graph. Any divergence here would
+//! silently corrupt sweep results, because `sfo-engine` hands every pool worker one
+//! arena reused across all its jobs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfoverlay::engine::{run_queries, run_queries_serial, AlgorithmTable, QueryBatch, ShardedCsr};
+use sfoverlay::graph::CsrGraph;
+use sfoverlay::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The seven search algorithms of the workspace, boxed for the backend `G`.
+type NamedAlgorithms<G> = Vec<(&'static str, Box<dyn SearchAlgorithm<G> + Send + Sync>)>;
+
+fn algorithms<G: GraphView + ?Sized>() -> NamedAlgorithms<G> {
+    vec![
+        ("FL", Box::new(Flooding::new())),
+        ("NF", Box::new(NormalizedFlooding::new(2))),
+        ("RW", Box::new(RandomWalk::new())),
+        ("multi-RW", Box::new(MultipleRandomWalk::new(4))),
+        ("HD-RW", Box::new(DegreeBiasedWalk::new())),
+        ("pFL", Box::new(ProbabilisticFlooding::new(0.5))),
+        ("ER", Box::new(ExpandingRing::new(1, 2))),
+    ]
+}
+
+/// A capped-PA realization of `nodes` peers, frozen to CSR.
+fn pa_csr(nodes: usize, seed: u64) -> CsrGraph {
+    PreferentialAttachment::new(nodes, 2)
+        .unwrap()
+        .with_cutoff(DegreeCutoff::hard(15))
+        .generate(&mut rng(seed))
+        .unwrap()
+        .freeze()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfo-scratch-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// One arena, threaded dirty through every algorithm on graphs of different sizes:
+/// every `search_with_scratch` outcome is byte-identical to the fresh-allocation
+/// `search` at the same seed, no matter what the previous search left behind.
+#[test]
+fn dirty_arena_reuse_is_byte_identical_for_every_algorithm() {
+    // Shrinking then growing node counts exercise both the lazily-cleared bitset
+    // epochs and the buffer growth path.
+    let graphs: Vec<CsrGraph> = [500usize, 120, 800]
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| pa_csr(n, 40 + i as u64))
+        .collect();
+    let algorithms = algorithms::<CsrGraph>();
+    let mut arena = SearchScratch::new();
+    let mut input = rng(0xD1FF);
+    for round in 0..6 {
+        for graph in &graphs {
+            let source = NodeId::new(input.gen_range(0..graph.node_count()));
+            let ttl: u32 = input.gen_range(1..8);
+            let seed: u64 = input.gen_range(0..10_000);
+            for (name, algorithm) in &algorithms {
+                let fresh = algorithm.search(graph, source, ttl, &mut rng(seed));
+                let reused =
+                    algorithm.search_with_scratch(graph, source, ttl, &mut rng(seed), &mut arena);
+                assert_eq!(
+                    reused,
+                    fresh,
+                    "round {round}: {name} diverged on a dirty arena \
+                     ({} nodes, source {source}, ttl {ttl})",
+                    graph.node_count()
+                );
+            }
+        }
+    }
+}
+
+/// The default `search_with_scratch` (no override) must also hold the contract: an
+/// external `SearchAlgorithm` impl that ignores the arena stays correct.
+#[test]
+fn default_search_with_scratch_matches_search() {
+    struct FixedProbe;
+    impl sfoverlay::search::SearchInfo for FixedProbe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+    }
+    impl SearchAlgorithm<CsrGraph> for FixedProbe {
+        fn search(
+            &self,
+            graph: &CsrGraph,
+            source: NodeId,
+            ttl: u32,
+            rng: &mut dyn rand::RngCore,
+        ) -> SearchOutcome {
+            let draws = rng.next_u64() as usize % (ttl as usize + 1);
+            SearchOutcome::new(graph.degree(source), draws)
+        }
+    }
+    let graph = pa_csr(200, 7);
+    let mut arena = SearchScratch::new();
+    let fresh = FixedProbe.search(&graph, NodeId::new(3), 5, &mut rng(11));
+    let reused =
+        FixedProbe.search_with_scratch(&graph, NodeId::new(3), 5, &mut rng(11), &mut arena);
+    assert_eq!(reused, fresh);
+}
+
+/// Pooled execution — where every worker owns one arena reused across all its jobs and
+/// batches — equals the serial reference for every worker count, shard count, and job
+/// order, including repeated submissions that hit the pool with arenas left dirty by
+/// earlier batches.
+#[test]
+fn pooled_arenas_are_invariant_across_job_orders_workers_and_shards() {
+    let csr = pa_csr(600, 99);
+    let seed = 4242u64;
+
+    let plain_table: AlgorithmTable<CsrGraph> = algorithms::<CsrGraph>()
+        .into_iter()
+        .map(|(_, a)| a)
+        .collect();
+    let sharded_table: Arc<AlgorithmTable<ShardedCsr>> = Arc::new(
+        algorithms::<ShardedCsr>()
+            .into_iter()
+            .map(|(_, a)| a)
+            .collect(),
+    );
+
+    // Two batches over the same grid of jobs in different orders. Each job keys its
+    // RNG stream by its index, so the *outcomes* differ between orders — but for any
+    // fixed order, pooled execution must equal the serial oracle.
+    let mut input = rng(0xBA7C);
+    let jobs: Vec<(NodeId, usize, u32)> = (0..70)
+        .map(|i| {
+            (
+                NodeId::new(input.gen_range(0..csr.node_count())),
+                i % plain_table.len(),
+                input.gen_range(1..6),
+            )
+        })
+        .collect();
+    let mut reversed = jobs.clone();
+    reversed.reverse();
+
+    for (order, job_list) in [("forward", &jobs), ("reversed", &reversed)] {
+        let mut batch = QueryBatch::new();
+        for &(source, algorithm, ttl) in job_list {
+            batch.push(source, algorithm, ttl);
+        }
+        let reference = run_queries_serial(&csr, &plain_table, &batch, seed);
+        for shards in [1usize, 3, 5] {
+            let sharded = Arc::new(ShardedCsr::from_csr(&csr, shards));
+            for workers in [1usize, 2, 4] {
+                let pool = WorkerPool::new(EngineConfig::with_workers(workers));
+                // Same pool, same batch, twice: the second run starts with every
+                // worker's arena dirty from the first.
+                for repeat in 0..2 {
+                    let pooled = run_queries(&pool, &sharded, &sharded_table, &batch, seed);
+                    assert_eq!(
+                        pooled, reference,
+                        "{order} order diverged at {shards} shards / {workers} workers \
+                         (repeat {repeat})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The inline scenario the mmap tests build their snapshot from.
+fn inline_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::sweep(
+        "scratch-mmap-it",
+        TopologySpec::Pa {
+            nodes: 600,
+            m: 2,
+            cutoff: Some(12),
+        },
+        SearchSpec::NormalizedFlooding { k_min: None },
+        SweepSpec::single(vec![1, 2, 4], 12),
+        555,
+        1,
+    );
+    let sweep = spec.sweep.as_mut().unwrap();
+    sweep.batch = true;
+    sweep.shard_count = 3;
+    spec
+}
+
+/// `inline_spec` with its topology swapped for the snapshot at `path`.
+fn snapshot_spec(base: &ScenarioSpec, path: &Path) -> ScenarioSpec {
+    let mut spec = base.clone();
+    spec.topology = Some(TopologySpec::Snapshot {
+        path: path.to_string_lossy().into_owned(),
+    });
+    spec
+}
+
+/// A memory-mapped snapshot is indistinguishable from a read one at every layer: the
+/// graph, the sharded store, and the full `ScenarioReport` (sweep and degree runs).
+#[test]
+fn mmap_loads_are_byte_identical_to_read_loads_up_to_the_report() {
+    let base = inline_spec();
+    let path = temp_path("mmap-identity.sfos");
+    build_snapshot(&base, 3).unwrap().save(&path).unwrap();
+
+    // Graph and store layers: semantic equality between the two load paths.
+    assert_eq!(
+        CsrGraph::load_mmap(&path).unwrap(),
+        CsrGraph::load(&path).unwrap()
+    );
+    assert_eq!(
+        ShardedCsr::load_mmap(&path).unwrap(),
+        ShardedCsr::load(&path).unwrap()
+    );
+
+    // Scenario layer: byte-identical reports, serialized form included.
+    let spec = snapshot_spec(&base, &path);
+    let read_report = ScenarioRunner::new().run(&spec).unwrap();
+    let mapped_report = ScenarioRunner::new().with_mmap(true).run(&spec).unwrap();
+    assert_eq!(mapped_report.result, read_report.result);
+    assert_eq!(mapped_report.to_json_string(), read_report.to_json_string());
+
+    // Degree-distribution runs read the same arrays through the mapping too.
+    let mut degree_base = base.clone();
+    degree_base.search = None;
+    degree_base.sweep = None;
+    degree_base.measure = MeasureSpec::DegreeDistribution { bins_per_decade: 8 };
+    let degree_path = temp_path("mmap-degree.sfos");
+    build_snapshot(&degree_base, 0)
+        .unwrap()
+        .save(&degree_path)
+        .unwrap();
+    let degree_spec = snapshot_spec(&degree_base, &degree_path);
+    let read_degrees = ScenarioRunner::new().run(&degree_spec).unwrap();
+    let mapped_degrees = ScenarioRunner::new()
+        .with_mmap(true)
+        .run(&degree_spec)
+        .unwrap();
+    assert_eq!(mapped_degrees.result, read_degrees.result);
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&degree_path).unwrap();
+}

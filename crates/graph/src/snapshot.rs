@@ -38,8 +38,11 @@ pub const SNAPSHOT_VERSION: u16 = 1;
 const FLAG_SHARD_MANIFEST: u16 = 1 << 0;
 /// Header flag bit: the file carries a provenance section.
 const FLAG_PROVENANCE: u16 = 1 << 1;
+/// Header flag bit: the provenance section ends with an origin tag. Requires
+/// [`FLAG_PROVENANCE`]; older files never set it and keep loading unchanged.
+const FLAG_ORIGIN: u16 = 1 << 2;
 /// All flag bits this version understands; anything else is a corrupt or future file.
-const KNOWN_FLAGS: u16 = FLAG_SHARD_MANIFEST | FLAG_PROVENANCE;
+const KNOWN_FLAGS: u16 = FLAG_SHARD_MANIFEST | FLAG_PROVENANCE | FLAG_ORIGIN;
 
 /// Fixed-size prefix of the file before any variable-length section.
 const HEADER_LEN: usize = 32;
@@ -179,6 +182,8 @@ pub struct SnapshotHeader {
     pub has_shard_manifest: bool,
     /// Whether a provenance section is present.
     pub has_provenance: bool,
+    /// Whether the provenance section ends with an origin tag (absent in older files).
+    pub has_origin: bool,
 }
 
 /// One directed cross-shard adjacency entry of a stored shard manifest.
@@ -201,6 +206,35 @@ pub struct ShardRecord {
     pub end: u64,
     /// The directed adjacency entries leaving the shard, in frozen adjacency order.
     pub boundary: Vec<BoundaryRecord>,
+}
+
+/// How a snapshot's topology came to exist: drawn offline by a generator, or frozen
+/// from a live overlay-protocol run.
+///
+/// The distinction matters downstream: a generator file's label names a closed-form
+/// topology family, while a live-overlay file's degrees *emerged* from peers following
+/// a local attachment rule — `params` records the protocol knobs (active-view cap,
+/// attachment walks, churn model) that shaped it. Older files carry no tag and decode
+/// to `origin: None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotOrigin {
+    /// Drawn by an offline topology generator (`sfo snapshot build`).
+    Generator,
+    /// Frozen from a live membership-protocol run (`DynamicsSpec::Live` or
+    /// `sfo overlay`).
+    LiveOverlay {
+        /// Human-readable protocol parameters, e.g. `"k_c=20, walks=2, peers=1000"`.
+        params: String,
+    },
+}
+
+impl fmt::Display for SnapshotOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotOrigin::Generator => write!(f, "generator"),
+            SnapshotOrigin::LiveOverlay { params } => write!(f, "live-overlay ({params})"),
+        }
+    }
 }
 
 /// Where a snapshot came from and how to continue its RNG stream.
@@ -226,6 +260,8 @@ pub struct Provenance {
     /// The generation stream's next `u64` after the topology was drawn — the batch seed
     /// of a snapshot-backed sweep.
     pub sweep_seed: u64,
+    /// How the topology came to exist (`None` in files written before the origin tag).
+    pub origin: Option<SnapshotOrigin>,
 }
 
 /// A decoded snapshot: the topology plus its optional sections.
@@ -236,7 +272,7 @@ pub struct Provenance {
 /// |-------:|-----:|-------|
 /// | 0      | 4    | magic `"SFOS"` |
 /// | 4      | 2    | version (`u16`, = 1) |
-/// | 6      | 2    | flags (`u16`: bit 0 shard manifest, bit 1 provenance) |
+/// | 6      | 2    | flags (`u16`: bit 0 shard manifest, bit 1 provenance, bit 2 origin) |
 /// | 8      | 8    | `node_count` (`u64`) |
 /// | 16     | 8    | `edge_count` (`u64`, undirected) |
 /// | 24     | 4    | `shard_count` (`u32`, 0 without a manifest) |
@@ -250,6 +286,11 @@ pub struct Provenance {
 /// The provenance section is `label_len (u32)`, the UTF-8 label bytes, zero padding to
 /// the next 4-byte boundary (0–3 bytes; readers require it to be zero), then `m`,
 /// `cutoff` (`u64::MAX` = unbounded), `seed`, `realization`, `sweep_seed`, each `u64`.
+/// When the origin flag (bit 2) is set, the provenance section continues with an origin
+/// tag: `kind (u32`, 0 = generator, 1 = live-overlay`)`, `params_len (u32)`, the UTF-8
+/// params bytes, and zero padding to the next 4-byte boundary — so the arrays stay
+/// 4-aligned. The origin flag requires the provenance flag; files without it decode to
+/// `origin: None`, which keeps every pre-origin snapshot loading unchanged.
 /// The shard manifest is `shard_count` records of `start (u64)`, `end (u64)`,
 /// `boundary_len (u64)` and `boundary_len` boundary entries of `source`, `target`,
 /// `target_shard` (each `u32`). Placing provenance *before* the arrays keeps
@@ -306,6 +347,7 @@ impl SnapshotFile {
             shard_count: self.shards.as_ref().map_or(0, |s| s.len() as u32),
             has_shard_manifest: self.shards.is_some(),
             has_provenance: self.provenance.is_some(),
+            has_origin: self.provenance.as_ref().is_some_and(|p| p.origin.is_some()),
         }
     }
 
@@ -421,6 +463,9 @@ pub fn encode(
     if provenance.is_some() {
         flags |= FLAG_PROVENANCE;
     }
+    if provenance.is_some_and(|p| p.origin.is_some()) {
+        flags |= FLAG_ORIGIN;
+    }
 
     let mut out =
         Vec::with_capacity(HEADER_LEN + TRAILER_LEN + 4 * (node_count + 1) + 8 * edge_count + 256);
@@ -445,6 +490,18 @@ pub fn encode(
         out.extend_from_slice(&provenance.seed.to_le_bytes());
         out.extend_from_slice(&provenance.realization.to_le_bytes());
         out.extend_from_slice(&provenance.sweep_seed.to_le_bytes());
+        if let Some(origin) = &provenance.origin {
+            let (kind, params) = match origin {
+                SnapshotOrigin::Generator => (0u32, ""),
+                SnapshotOrigin::LiveOverlay { params } => (1u32, params.as_str()),
+            };
+            let params = params.as_bytes();
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+            out.extend_from_slice(params);
+            // The origin tail is padded like the label, so the arrays stay 4-aligned.
+            out.extend_from_slice(&[0u8; 3][..label_pad(params.len())]);
+        }
     }
 
     let (offsets, targets) = csr.raw_parts();
@@ -526,7 +583,7 @@ fn decode_layout(bytes: &[u8]) -> Result<DecodedLayout, SnapshotError> {
 
     let mut cursor = Cursor::new(&body[HEADER_LEN..]);
     let provenance = if header.has_provenance {
-        Some(cursor.provenance()?)
+        Some(cursor.provenance(header.has_origin)?)
     } else {
         None
     };
@@ -681,7 +738,25 @@ pub fn read_meta(
             section: "provenance",
         })?;
     let mut cursor = Cursor::new(&rest);
-    let provenance = cursor.provenance_body(label_len)?;
+    let mut provenance = cursor.provenance_body(label_len)?;
+    if header.has_origin {
+        // The origin tail: kind + params_len, then params bounded by the file size
+        // (params_len is as untrusted as label_len above).
+        let mut prefix = [0u8; 8];
+        file.read_exact(&mut prefix)
+            .map_err(|_| SnapshotError::Truncated { section: "origin" })?;
+        let params_len = u32::from_le_bytes(prefix[4..8].try_into().expect("4 bytes")) as usize;
+        let tail_len = params_len + label_pad(params_len);
+        let consumed = (HEADER_LEN + 4 + body_len + 8) as u64;
+        if tail_len as u64 > file_len.saturating_sub(consumed) {
+            return Err(SnapshotError::Truncated { section: "origin" });
+        }
+        let mut origin_bytes = prefix.to_vec();
+        origin_bytes.resize(8 + tail_len, 0);
+        file.read_exact(&mut origin_bytes[8..])
+            .map_err(|_| SnapshotError::Truncated { section: "origin" })?;
+        provenance.origin = Some(Cursor::new(&origin_bytes).origin()?);
+    }
     Ok((header, Some(provenance)))
 }
 
@@ -792,7 +867,22 @@ pub fn section_layout(path: impl AsRef<Path>) -> Result<SectionLayout, SnapshotE
                 section: "provenance",
             })?;
         let label_len = u32::from_le_bytes(len_bytes) as usize;
-        let section_len = (4 + label_len + label_pad(label_len) + 5 * 8) as u64;
+        let mut section_len = (4 + label_len + label_pad(label_len) + 5 * 8) as u64;
+        if header.has_origin {
+            // The origin tail is variable-length too: skip to its kind/params_len
+            // prefix and fold its extent into the provenance section.
+            use std::io::{Seek, SeekFrom};
+            file.seek(SeekFrom::Current(
+                (label_len + label_pad(label_len) + 5 * 8) as i64,
+            ))
+            .map_err(|e| SnapshotError::io(path, &e))?;
+            let mut origin_prefix = [0u8; 8];
+            file.read_exact(&mut origin_prefix)
+                .map_err(|_| SnapshotError::Truncated { section: "origin" })?;
+            let params_len =
+                u32::from_le_bytes(origin_prefix[4..8].try_into().expect("4 bytes")) as usize;
+            section_len += (8 + params_len + label_pad(params_len)) as u64;
+        }
         Some(HEADER_LEN as u64..HEADER_LEN as u64 + section_len)
     } else {
         None
@@ -890,13 +980,21 @@ fn decode_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
             "shard count set but no shard manifest flagged",
         ));
     }
+    let has_provenance = flags & FLAG_PROVENANCE != 0;
+    let has_origin = flags & FLAG_ORIGIN != 0;
+    if has_origin && !has_provenance {
+        return Err(SnapshotError::corrupt(
+            "origin tag flagged but no provenance section",
+        ));
+    }
     Ok(SnapshotHeader {
         version,
         node_count,
         edge_count,
         shard_count,
         has_shard_manifest,
-        has_provenance: flags & FLAG_PROVENANCE != 0,
+        has_provenance,
+        has_origin,
     })
 }
 
@@ -1054,9 +1152,36 @@ impl<'a> Cursor<'a> {
         ))
     }
 
-    fn provenance(&mut self) -> Result<Provenance, SnapshotError> {
+    fn provenance(&mut self, with_origin: bool) -> Result<Provenance, SnapshotError> {
         let label_len = self.u32("provenance")? as usize;
-        self.provenance_body(label_len)
+        let mut provenance = self.provenance_body(label_len)?;
+        if with_origin {
+            provenance.origin = Some(self.origin()?);
+        }
+        Ok(provenance)
+    }
+
+    fn origin(&mut self) -> Result<SnapshotOrigin, SnapshotError> {
+        let kind = self.u32("origin")?;
+        let params_len = self.u32("origin")? as usize;
+        let params_bytes = self.take(params_len, "origin")?;
+        let params = std::str::from_utf8(params_bytes)
+            .map_err(|_| SnapshotError::corrupt("origin params are not valid UTF-8"))?
+            .to_string();
+        let pad = self.take(label_pad(params_len), "origin")?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(SnapshotError::corrupt("origin params padding is not zero"));
+        }
+        match kind {
+            0 if params.is_empty() => Ok(SnapshotOrigin::Generator),
+            0 => Err(SnapshotError::corrupt(
+                "generator origin carries protocol params",
+            )),
+            1 => Ok(SnapshotOrigin::LiveOverlay { params }),
+            other => Err(SnapshotError::corrupt(format!(
+                "unknown origin kind {other}"
+            ))),
+        }
     }
 
     fn provenance_body(&mut self, label_len: usize) -> Result<Provenance, SnapshotError> {
@@ -1082,6 +1207,7 @@ impl<'a> Cursor<'a> {
             seed: self.u64("provenance")?,
             realization: self.u64("provenance")?,
             sweep_seed: self.u64("provenance")?,
+            origin: None,
         })
     }
 
@@ -1124,6 +1250,7 @@ mod tests {
             seed: 42,
             realization: 0,
             sweep_seed: 0xDEAD_BEEF_CAFE_F00D,
+            origin: None,
         }
     }
 
@@ -1629,6 +1756,171 @@ mod tests {
                 ));
             }
         }
+    }
+
+    fn live_origin() -> SnapshotOrigin {
+        SnapshotOrigin::LiveOverlay {
+            params: "k_c=10, walks=2".to_string(),
+        }
+    }
+
+    #[test]
+    fn origin_tags_round_trip_and_set_the_flag() {
+        for origin in [SnapshotOrigin::Generator, live_origin()] {
+            let mut prov = provenance();
+            prov.origin = Some(origin.clone());
+            let file = SnapshotFile {
+                csr: sample(),
+                shards: None,
+                provenance: Some(prov.clone()),
+            };
+            let bytes = file.to_bytes();
+            assert_eq!(bytes[6] & (FLAG_ORIGIN as u8), FLAG_ORIGIN as u8);
+            let back = SnapshotFile::from_bytes(&bytes).unwrap();
+            assert_eq!(back.provenance, Some(prov));
+            assert!(back.header().has_origin);
+        }
+    }
+
+    #[test]
+    fn origin_params_of_every_length_keep_the_arrays_4_aligned() {
+        // The origin tail uses the same pad-to-4 rule as the label, so the offsets
+        // section keeps starting on a 4-byte file offset and mmap stays zero-copy.
+        for len in 0..9usize {
+            let mut prov = provenance();
+            prov.origin = Some(SnapshotOrigin::LiveOverlay {
+                params: "p".repeat(len.max(1)),
+            });
+            let params_len = len.max(1);
+            let file = SnapshotFile {
+                csr: sample(),
+                shards: None,
+                provenance: Some(prov.clone()),
+            };
+            let label_len = prov.label.len();
+            let prov_len = 4
+                + label_len
+                + label_pad(label_len)
+                + 5 * 8
+                + 8
+                + params_len
+                + label_pad(params_len);
+            assert_eq!((HEADER_LEN + prov_len) % 4, 0, "params len {params_len}");
+            let back = SnapshotFile::from_bytes(&file.to_bytes()).unwrap();
+            assert_eq!(back.provenance, Some(prov));
+        }
+    }
+
+    #[test]
+    fn files_without_origin_encode_exactly_as_before_and_keep_loading() {
+        // Version tolerance both ways: a provenance with no origin writes the
+        // pre-origin byte layout (flag bit 2 clear, no tail), and decodes to
+        // `origin: None` — old files are untouched by the new field.
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: None,
+            provenance: Some(provenance()),
+        };
+        let bytes = file.to_bytes();
+        assert_eq!(bytes[6] & (FLAG_ORIGIN as u8), 0);
+        let label_len = provenance().label.len();
+        let prov_len = 4 + label_len + label_pad(label_len) + 5 * 8;
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + prov_len + 28 + 56 + TRAILER_LEN,
+            "no origin tail is written when the field is None"
+        );
+        let back = SnapshotFile::from_bytes(&bytes).unwrap();
+        assert!(!back.header().has_origin);
+        assert_eq!(back.provenance.unwrap().origin, None);
+    }
+
+    #[test]
+    fn corrupt_origin_tags_are_rejected_even_with_valid_checksums() {
+        let mut prov = provenance();
+        prov.origin = Some(live_origin());
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: None,
+            provenance: Some(prov),
+        };
+        let label_len = provenance().label.len();
+        let kind_at = HEADER_LEN + 4 + label_len + label_pad(label_len) + 5 * 8;
+
+        // Unknown origin kind.
+        let bytes = rehashed(&file, |b| {
+            b[kind_at..kind_at + 4].copy_from_slice(&7u32.to_le_bytes())
+        });
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { reason }) if reason.contains("origin kind")
+        ));
+
+        // Generator origins carry no params; rewriting the kind alone must fail.
+        let bytes = rehashed(&file, |b| {
+            b[kind_at..kind_at + 4].copy_from_slice(&0u32.to_le_bytes())
+        });
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { reason }) if reason.contains("params")
+        ));
+
+        // Nonzero origin pad byte ("k_c=10, walks=2" is 15 bytes, 1 pad byte).
+        let params_len = 15;
+        let bytes = rehashed(&file, |b| b[kind_at + 8 + params_len] = 0xAA);
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { reason }) if reason.contains("padding")
+        ));
+
+        // The origin flag without a provenance section is an inconsistent header.
+        let plain = SnapshotFile::plain(sample());
+        let bytes = rehashed(&plain, |b| b[6] |= FLAG_ORIGIN as u8);
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { reason }) if reason.contains("origin")
+        ));
+    }
+
+    #[test]
+    fn read_meta_and_section_layout_cover_origin_tails() {
+        let dir = std::env::temp_dir().join(format!("sfos-origin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("origin.sfos");
+        let mut prov = provenance();
+        prov.origin = Some(live_origin());
+        let file = SnapshotFile {
+            csr: sample(),
+            shards: None,
+            provenance: Some(prov.clone()),
+        };
+        file.save(&path).unwrap();
+
+        let (header, meta) = read_meta(&path).unwrap();
+        assert!(header.has_origin);
+        assert_eq!(meta, Some(prov.clone()));
+
+        // The provenance extent includes the origin tail, sections still tile the
+        // file, and the arrays stay mmap-eligible.
+        let layout = section_layout(&path).unwrap();
+        let prov_bytes = layout.provenance_bytes.clone().unwrap();
+        let label_len = prov.label.len();
+        let params_len = 15;
+        let expected =
+            4 + label_len + label_pad(label_len) + 5 * 8 + 8 + params_len + label_pad(params_len);
+        assert_eq!(prov_bytes.end - prov_bytes.start, expected as u64);
+        assert_eq!(layout.offsets_bytes.start, prov_bytes.end);
+        assert!(layout.zero_copy_eligible());
+
+        let mapped = SnapshotFile::load_mmap(&path).unwrap();
+        assert_eq!(mapped.provenance, Some(prov));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn origin_display_is_human_readable() {
+        assert_eq!(SnapshotOrigin::Generator.to_string(), "generator");
+        assert_eq!(live_origin().to_string(), "live-overlay (k_c=10, walks=2)");
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub enum NetError {
         /// The version stored in the frame header.
         found: u16,
     },
-    /// The frame header names a message type this build does not know.
-    UnknownMessageType {
+    /// The frame header names a frame type this build does not know.
+    UnknownFrameType {
         /// The type tag actually found.
         found: u16,
     },
@@ -119,8 +119,8 @@ impl fmt::Display for NetError {
                 "unsupported protocol version {found} (this build speaks version {})",
                 crate::frame::PROTOCOL_VERSION
             ),
-            NetError::UnknownMessageType { found } => {
-                write!(f, "unknown message type {found}")
+            NetError::UnknownFrameType { found } => {
+                write!(f, "unknown frame type {found}")
             }
             NetError::Oversized { declared, max } => write!(
                 f,

@@ -24,6 +24,9 @@
 //!   [`RemoteSweepExecutor`](sfo_scenario::RemoteSweepExecutor) seam: it splits a
 //!   snapshot sweep's job grid into contiguous ranges, one per worker, and merges the
 //!   outcomes in global job order.
+//! * [`overlay`] — [`OverlayNode`], the `sfo overlay` daemon: one `sfo-overlay` peer
+//!   over real sockets, with the five membership messages carried one-to-one on their
+//!   own frame types.
 //!
 //! **The headline invariant is byte-identity.** Every job of a batch derives its RNG
 //! from `(batch seed, global job index)` — the workspace's single stream rule — so
@@ -78,6 +81,7 @@ pub mod client;
 pub mod dispatcher;
 pub mod frame;
 pub mod message;
+pub mod overlay;
 pub mod server;
 pub mod stream;
 
@@ -85,5 +89,6 @@ pub use client::WorkerClient;
 pub use dispatcher::{dispatch_queries, dispatch_sweep, remote_runner, RemoteDispatcher};
 pub use error::NetError;
 pub use message::{BatchRequest, Hello, Message};
+pub use overlay::{OverlayNode, OverlayNodeConfig, OverlayNodeHandle};
 pub use server::{ServeConfig, WorkerServer, WorkerServerHandle};
 pub use stream::{NetListener, NetStream};

@@ -1,6 +1,8 @@
 //! The message vocabulary carried by [`crate::frame`] envelopes.
 //!
-//! Five messages cover the whole worker conversation (byte layouts in
+//! Five messages cover the whole worker conversation, and five more —
+//! [`Message::Overlay`], one frame type per [`OverlayMessage`] variant — carry the
+//! live membership protocol between `sfo overlay` daemons (byte layouts in
 //! `docs/FORMATS.md`):
 //!
 //! * [`Message::Hello`] — sent by a worker on connect (and after a
@@ -24,6 +26,7 @@
 use crate::frame::{put_str, PayloadReader};
 use crate::NetError;
 use sfo_engine::QueryBatch;
+use sfo_overlay::protocol::{OverlayMessage, PeerRef};
 use sfo_scenario::json::{FromJson, JsonValue, ToJson};
 use sfo_scenario::SearchSpec;
 use sfo_search::SearchOutcome;
@@ -38,6 +41,16 @@ pub const TYPE_SUBMIT_BATCH: u16 = 3;
 pub const TYPE_BATCH_RESULT: u16 = 4;
 /// Frame type tag of [`Message::Error`].
 pub const TYPE_ERROR: u16 = 5;
+/// Frame type tag of [`OverlayMessage::Join`].
+pub const TYPE_JOIN: u16 = 6;
+/// Frame type tag of [`OverlayMessage::ForwardJoin`].
+pub const TYPE_FORWARD_JOIN: u16 = 7;
+/// Frame type tag of [`OverlayMessage::Shuffle`].
+pub const TYPE_SHUFFLE: u16 = 8;
+/// Frame type tag of [`OverlayMessage::Probe`].
+pub const TYPE_PROBE: u16 = 9;
+/// Frame type tag of [`OverlayMessage::Leave`].
+pub const TYPE_LEAVE: u16 = 10;
 
 /// What a worker announces about the snapshot it serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +126,35 @@ pub enum Message {
         /// Human-readable description.
         message: String,
     },
+    /// One live-membership message of `sfo-overlay`, carried one-to-one on its own
+    /// frame type ([`TYPE_JOIN`] through [`TYPE_LEAVE`]) — the wire side of the
+    /// `sfo overlay` daemon.
+    Overlay(OverlayMessage),
+}
+
+fn put_peer(out: &mut Vec<u8>, peer: &PeerRef) {
+    out.extend_from_slice(&peer.id.to_le_bytes());
+    put_str(out, &peer.addr);
+}
+
+fn read_peer(reader: &mut PayloadReader<'_>, section: &'static str) -> Result<PeerRef, NetError> {
+    let id = reader.u64(section)?;
+    let addr = reader.str(section)?.to_string();
+    Ok(PeerRef { id, addr })
+}
+
+fn put_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(u8::from(value));
+}
+
+fn read_bool(reader: &mut PayloadReader<'_>, section: &'static str) -> Result<bool, NetError> {
+    match reader.u8(section)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(NetError::corrupt(format!(
+            "{section}: flag byte must be 0 or 1, found {other}"
+        ))),
+    }
 }
 
 fn put_search_spec(out: &mut Vec<u8>, spec: &SearchSpec) {
@@ -204,6 +246,42 @@ impl Message {
                 put_str(&mut out, message);
                 (TYPE_ERROR, out)
             }
+            Message::Overlay(overlay) => match overlay {
+                OverlayMessage::Join { origin, walks } => {
+                    let mut out = Vec::new();
+                    put_peer(&mut out, origin);
+                    out.extend_from_slice(&walks.to_le_bytes());
+                    (TYPE_JOIN, out)
+                }
+                OverlayMessage::ForwardJoin { origin, ttl } => {
+                    let mut out = Vec::new();
+                    put_peer(&mut out, origin);
+                    out.extend_from_slice(&ttl.to_le_bytes());
+                    (TYPE_FORWARD_JOIN, out)
+                }
+                OverlayMessage::Shuffle { from, peers, reply } => {
+                    let mut out = Vec::new();
+                    put_peer(&mut out, from);
+                    out.extend_from_slice(&(peers.len() as u32).to_le_bytes());
+                    for peer in peers {
+                        put_peer(&mut out, peer);
+                    }
+                    put_bool(&mut out, *reply);
+                    (TYPE_SHUFFLE, out)
+                }
+                OverlayMessage::Probe { from, nonce, ack } => {
+                    let mut out = Vec::new();
+                    put_peer(&mut out, from);
+                    out.extend_from_slice(&nonce.to_le_bytes());
+                    put_bool(&mut out, *ack);
+                    (TYPE_PROBE, out)
+                }
+                OverlayMessage::Leave { from } => {
+                    let mut out = Vec::new();
+                    put_peer(&mut out, from);
+                    (TYPE_LEAVE, out)
+                }
+            },
         }
     }
 
@@ -211,7 +289,7 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::UnknownMessageType`] for unknown tags and
+    /// Returns [`NetError::UnknownFrameType`] for unknown tags and
     /// [`NetError::Truncated`]/[`NetError::Corrupt`] when the payload does not decode
     /// exactly — trailing bytes included.
     pub fn decode(message_type: u16, payload: &[u8]) -> Result<Message, NetError> {
@@ -306,7 +384,35 @@ impl Message {
             TYPE_ERROR => Message::Error {
                 message: reader.str("error")?.to_string(),
             },
-            other => return Err(NetError::UnknownMessageType { found: other }),
+            TYPE_JOIN => Message::Overlay(OverlayMessage::Join {
+                origin: read_peer(&mut reader, "join")?,
+                walks: reader.u32("join")?,
+            }),
+            TYPE_FORWARD_JOIN => Message::Overlay(OverlayMessage::ForwardJoin {
+                origin: read_peer(&mut reader, "forward join")?,
+                ttl: reader.u32("forward join")?,
+            }),
+            TYPE_SHUFFLE => {
+                let from = read_peer(&mut reader, "shuffle")?;
+                let count = reader.u32("shuffle sample")? as usize;
+                // Each encoded peer is at least an 8-byte id plus a 4-byte length.
+                reader.expect_records(count, 12, "shuffle sample")?;
+                let mut peers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    peers.push(read_peer(&mut reader, "shuffle sample")?);
+                }
+                let reply = read_bool(&mut reader, "shuffle")?;
+                Message::Overlay(OverlayMessage::Shuffle { from, peers, reply })
+            }
+            TYPE_PROBE => Message::Overlay(OverlayMessage::Probe {
+                from: read_peer(&mut reader, "probe")?,
+                nonce: reader.u64("probe")?,
+                ack: read_bool(&mut reader, "probe")?,
+            }),
+            TYPE_LEAVE => Message::Overlay(OverlayMessage::Leave {
+                from: read_peer(&mut reader, "leave")?,
+            }),
+            other => return Err(NetError::UnknownFrameType { found: other }),
         };
         reader.finish("message payload")?;
         Ok(message)
@@ -377,6 +483,30 @@ mod tests {
             Message::Error {
                 message: "no snapshot loaded".to_string(),
             },
+            Message::Overlay(OverlayMessage::Join {
+                origin: PeerRef::new(3, "127.0.0.1:9100"),
+                walks: 2,
+            }),
+            Message::Overlay(OverlayMessage::ForwardJoin {
+                origin: PeerRef::new(3, "127.0.0.1:9100"),
+                ttl: 7,
+            }),
+            Message::Overlay(OverlayMessage::Shuffle {
+                from: PeerRef::new(1, "127.0.0.1:9101"),
+                peers: vec![
+                    PeerRef::new(4, "127.0.0.1:9104"),
+                    PeerRef::new(5, "127.0.0.1:9105"),
+                ],
+                reply: true,
+            }),
+            Message::Overlay(OverlayMessage::Probe {
+                from: PeerRef::new(2, "127.0.0.1:9102"),
+                nonce: 0xA5A5_5A5A_0F0F_F0F0,
+                ack: false,
+            }),
+            Message::Overlay(OverlayMessage::Leave {
+                from: PeerRef::new(9, "127.0.0.1:9109"),
+            }),
         ]
     }
 
@@ -398,7 +528,7 @@ mod tests {
     fn unknown_types_and_trailing_bytes_are_rejected() {
         assert!(matches!(
             Message::decode(99, &[]),
-            Err(NetError::UnknownMessageType { found: 99 })
+            Err(NetError::UnknownFrameType { found: 99 })
         ));
         let (message_type, mut payload) = Message::Error {
             message: "x".to_string(),
@@ -428,6 +558,33 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // a lie
         assert!(matches!(
             Message::decode(TYPE_SUBMIT_BATCH, &payload),
+            Err(NetError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overlay_frames_reject_bad_flags_and_lying_counts() {
+        // A probe whose ack byte is neither 0 nor 1.
+        let (frame_type, mut payload) = Message::Overlay(OverlayMessage::Probe {
+            from: PeerRef::new(1, "127.0.0.1:9100"),
+            nonce: 9,
+            ack: true,
+        })
+        .encode();
+        *payload.last_mut().unwrap() = 2;
+        assert!(matches!(
+            Message::decode(frame_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+
+        // A shuffle claiming u32::MAX peers in a tiny payload must fail on the record
+        // bound, not allocate.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        put_str(&mut payload, "127.0.0.1:9100");
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode(TYPE_SHUFFLE, &payload),
             Err(NetError::Truncated { .. })
         ));
     }

@@ -274,6 +274,7 @@ fn kind(message: &Message) -> &'static str {
         Message::SubmitBatch(_) => "SubmitBatch",
         Message::BatchResult { .. } => "BatchResult",
         Message::Error { .. } => "Error",
+        Message::Overlay(_) => "Overlay",
     }
 }
 

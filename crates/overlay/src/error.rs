@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by the overlay protocol and its transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// A transport failed to move a protocol message.
+    Transport {
+        /// What the transport reported.
+        reason: String,
+    },
+}
+
+impl OverlayError {
+    /// Shorthand for an [`OverlayError::InvalidConfig`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        OverlayError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand for an [`OverlayError::Transport`].
+    pub fn transport(reason: impl Into<String>) -> Self {
+        OverlayError::Transport {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::InvalidConfig { reason } => {
+                write!(f, "invalid overlay configuration: {reason}")
+            }
+            OverlayError::Transport { reason } => write!(f, "overlay transport error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(OverlayError::invalid("k_c must be positive")
+            .to_string()
+            .contains("k_c"));
+        assert!(OverlayError::transport("connection refused")
+            .to_string()
+            .contains("refused"));
+    }
+}

@@ -1,0 +1,83 @@
+//! The message-passing surface between the protocol core and the outside world.
+//!
+//! [`Peer`](crate::protocol::Peer) is pure state: it decides *what* to send and
+//! *how* to react, a transport decides how bytes move. Two implementations exist:
+//!
+//! * the deterministic in-process network in [`crate::sim`] (tick-synchronous FIFO
+//!   queues — the reproducible substrate scenario runs grow topologies on), and
+//! * the SFNF socket transport in `sfo-net` (each message is one framed TCP exchange,
+//!   served by the `sfo overlay` CLI mode).
+
+use crate::protocol::{OverlayMessage, PeerRef};
+use crate::Result;
+
+/// Moves protocol messages for one endpoint; the state machine itself never performs
+/// I/O.
+///
+/// Implementations must preserve per-sender message order (FIFO); the protocol does
+/// not require global ordering or reliable delivery — lost messages surface as failed
+/// probes and are repaired.
+pub trait OverlayTransport {
+    /// Queues `msg` for delivery to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Transport`](crate::OverlayError::Transport) when the
+    /// message cannot be queued or written.
+    fn send(&mut self, to: &PeerRef, msg: OverlayMessage) -> Result<()>;
+
+    /// Drains every message addressed to this endpoint that arrived since the last
+    /// call. An empty vector means nothing is pending; it is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverlayError::Transport`](crate::OverlayError::Transport) when the
+    /// inbound channel is broken.
+    fn recv(&mut self) -> Result<Vec<OverlayMessage>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loopback transport: everything sent is received back, regardless of target.
+    struct Loopback {
+        queue: Vec<OverlayMessage>,
+    }
+
+    impl OverlayTransport for Loopback {
+        fn send(&mut self, _to: &PeerRef, msg: OverlayMessage) -> Result<()> {
+            self.queue.push(msg);
+            Ok(())
+        }
+
+        fn recv(&mut self) -> Result<Vec<OverlayMessage>> {
+            Ok(std::mem::take(&mut self.queue))
+        }
+    }
+
+    #[test]
+    fn the_trait_is_object_safe_and_pumps() {
+        use crate::protocol::{Peer, ProtocolConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut transport: Box<dyn OverlayTransport> = Box::new(Loopback { queue: Vec::new() });
+        transport
+            .send(
+                &PeerRef::new(0, "sim:0"),
+                OverlayMessage::Join {
+                    origin: PeerRef::new(1, "sim:1"),
+                    walks: 0,
+                },
+            )
+            .unwrap();
+        let mut peer = Peer::new(
+            PeerRef::new(0, "sim:0"),
+            ProtocolConfig::small(),
+            StdRng::seed_from_u64(1),
+        );
+        peer.pump(0, &mut *transport).unwrap();
+        assert_eq!(peer.active().len(), 1);
+    }
+}

@@ -1,14 +1,17 @@
-//! JSON codecs for the configuration types owned by `sfo-core` and `sfo-sim`.
+//! JSON codecs for the configuration types owned by `sfo-core`, `sfo-sim`, and
+//! `sfo-overlay`.
 //!
 //! The spec layer embeds the simulator's own configuration structs
-//! ([`SimulationConfig`], [`TraceRunConfig`], [`ChurnTraceConfig`], ...) rather than
-//! mirroring them, so a scenario file configures exactly what the simulator runs. This
+//! ([`SimulationConfig`], [`TraceRunConfig`], [`ChurnTraceConfig`], [`LiveConfig`], ...)
+//! rather than mirroring them, so a scenario file configures exactly what runs. This
 //! module gives those foreign types [`ToJson`]/[`FromJson`] implementations; every codec
 //! writes a fixed field order so serialization stays deterministic.
 
 use crate::json::{FromJson, JsonValue, ToJson};
 use crate::ScenarioError;
 use sfo_core::fitness::FitnessDistribution;
+use sfo_overlay::protocol::ProtocolConfig;
+use sfo_overlay::sim::LiveConfig;
 use sfo_sim::catalog::ItemId;
 use sfo_sim::churn::{ChurnTraceConfig, SessionModel};
 use sfo_sim::events::Tick;
@@ -674,6 +677,129 @@ impl FromJson for OverlaySample {
     }
 }
 
+// ---------------------------------------------------------------------------------------
+// sfo-overlay types.
+
+impl ToJson for ProtocolConfig {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "active_cap".to_string(),
+                JsonValue::from_usize(self.active_cap),
+            ),
+            (
+                "passive_cap".to_string(),
+                JsonValue::from_usize(self.passive_cap),
+            ),
+            (
+                "attach_walks".to_string(),
+                JsonValue::from_u64(u64::from(self.attach_walks)),
+            ),
+            (
+                "forward_ttl".to_string(),
+                JsonValue::from_u64(u64::from(self.forward_ttl)),
+            ),
+            (
+                "shuffle_interval".to_string(),
+                JsonValue::from_u64(self.shuffle_interval),
+            ),
+            (
+                "shuffle_size".to_string(),
+                JsonValue::from_usize(self.shuffle_size),
+            ),
+            (
+                "probe_interval".to_string(),
+                JsonValue::from_u64(self.probe_interval),
+            ),
+            (
+                "probe_timeout".to_string(),
+                JsonValue::from_u64(self.probe_timeout),
+            ),
+            (
+                "suspect_grace".to_string(),
+                JsonValue::from_u64(self.suspect_grace),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ProtocolConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "overlay protocol config";
+        check_fields(
+            value,
+            CTX,
+            &[
+                "active_cap",
+                "passive_cap",
+                "attach_walks",
+                "forward_ttl",
+                "shuffle_interval",
+                "shuffle_size",
+                "probe_interval",
+                "probe_timeout",
+                "suspect_grace",
+            ],
+        )?;
+        Ok(ProtocolConfig {
+            active_cap: req_usize(value, "active_cap", CTX)?,
+            passive_cap: req_usize(value, "passive_cap", CTX)?,
+            attach_walks: req_u32(value, "attach_walks", CTX)?,
+            forward_ttl: req_u32(value, "forward_ttl", CTX)?,
+            shuffle_interval: req_u64(value, "shuffle_interval", CTX)?,
+            shuffle_size: req_usize(value, "shuffle_size", CTX)?,
+            probe_interval: req_u64(value, "probe_interval", CTX)?,
+            probe_timeout: req_u64(value, "probe_timeout", CTX)?,
+            suspect_grace: req_u64(value, "suspect_grace", CTX)?,
+        })
+    }
+}
+
+impl ToJson for LiveConfig {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("peers".to_string(), JsonValue::from_usize(self.peers)),
+            (
+                "arrival_spacing".to_string(),
+                JsonValue::from_u64(self.arrival_spacing),
+            ),
+            ("sessions".to_string(), self.sessions.to_json()),
+            (
+                "crash_fraction".to_string(),
+                JsonValue::from_f64(self.crash_fraction),
+            ),
+            ("settle".to_string(), JsonValue::from_u64(self.settle)),
+            ("protocol".to_string(), self.protocol.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LiveConfig {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "live overlay config";
+        check_fields(
+            value,
+            CTX,
+            &[
+                "peers",
+                "arrival_spacing",
+                "sessions",
+                "crash_fraction",
+                "settle",
+                "protocol",
+            ],
+        )?;
+        Ok(LiveConfig {
+            peers: req_usize(value, "peers", CTX)?,
+            arrival_spacing: req_u64(value, "arrival_spacing", CTX)?,
+            sessions: SessionModel::from_json(req(value, "sessions", CTX)?)?,
+            crash_fraction: req_f64(value, "crash_fraction", CTX)?,
+            settle: req_u64(value, "settle", CTX)?,
+            protocol: ProtocolConfig::from_json(req(value, "protocol", CTX)?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +851,20 @@ mod tests {
         });
         roundtrip(SessionModel::Exponential { mean: 80.0 });
         roundtrip(SessionModel::Fixed { length: 12.0 });
+    }
+
+    #[test]
+    fn live_configs_round_trip() {
+        roundtrip(ProtocolConfig::small());
+        roundtrip(LiveConfig::small());
+        let mut cfg = LiveConfig::small();
+        cfg.sessions = SessionModel::Pareto {
+            shape: 1.2,
+            minimum: 64.0,
+        };
+        cfg.crash_fraction = 0.5;
+        cfg.protocol.active_cap = 20;
+        roundtrip(cfg);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use sfo_core::TopologyError;
 use sfo_graph::snapshot::SnapshotError;
+use sfo_overlay::OverlayError;
 use sfo_sim::SimError;
 use std::error::Error;
 use std::fmt;
@@ -32,6 +33,8 @@ pub enum ScenarioError {
     /// A `TopologySpec::Snapshot` file could not be read, failed verification, or lacks
     /// the section the scenario needs.
     Snapshot(SnapshotError),
+    /// The live membership protocol rejected its configuration or a transport failed.
+    Overlay(OverlayError),
     /// Remote execution failed: a worker could not be reached, served the wrong
     /// snapshot, or returned a protocol error (the transport lives in `sfo-net`; this
     /// variant is its error surface inside the scenario layer).
@@ -72,6 +75,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::Topology(e) => write!(f, "topology generation failed: {e}"),
             ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
             ScenarioError::Snapshot(e) => write!(f, "topology snapshot failed: {e}"),
+            ScenarioError::Overlay(e) => write!(f, "live overlay failed: {e}"),
             ScenarioError::Remote { message } => write!(f, "remote execution failed: {message}"),
         }
     }
@@ -83,6 +87,7 @@ impl Error for ScenarioError {
             ScenarioError::Topology(e) => Some(e),
             ScenarioError::Sim(e) => Some(e),
             ScenarioError::Snapshot(e) => Some(e),
+            ScenarioError::Overlay(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +108,12 @@ impl From<SimError> for ScenarioError {
 impl From<SnapshotError> for ScenarioError {
     fn from(value: SnapshotError) -> Self {
         ScenarioError::Snapshot(value)
+    }
+}
+
+impl From<OverlayError> for ScenarioError {
+    fn from(value: OverlayError) -> Self {
+        ScenarioError::Overlay(value)
     }
 }
 
@@ -127,6 +138,9 @@ mod tests {
         assert!(topo.source().is_some());
         let sim = ScenarioError::from(SimError::EmptyOverlay);
         assert!(sim.source().is_some());
+        let overlay = ScenarioError::from(OverlayError::invalid("peers"));
+        assert!(overlay.to_string().contains("live overlay failed"));
+        assert!(overlay.source().is_some());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!
 //! * **Specs** ([`spec`]): [`TopologySpec`] covers every generator family in `sfo-core`,
 //!   [`SearchSpec`] every search algorithm in `sfo-search`, [`DynamicsSpec`] selects
-//!   static snapshots, rate-driven churn, or trace replay, and [`SweepSpec`] spans the
-//!   `m × k_c × τ` grid. A top-level [`ScenarioSpec`] bundles them with a seed and a
+//!   static snapshots, rate-driven churn, trace replay, or live protocol growth
+//!   (`sfo-overlay`), and [`SweepSpec`] spans the `m × k_c × τ` grid. A top-level [`ScenarioSpec`] bundles them with a seed and a
 //!   realization count, and round-trips through JSON files ([`json`]).
 //! * **Runner** ([`runner`]): [`ScenarioRunner`] executes any spec end to end —
 //!   generating realizations, freezing them to CSR snapshots, fanning
@@ -73,8 +73,8 @@ pub mod spec;
 pub use error::ScenarioError;
 pub use remote::{RemoteSweepExecutor, RemoteSweepRequest};
 pub use report::{
-    ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
-    SweepCurve, SweepMetric, SweepPoint, TraceRealization,
+    ChurnRealization, DegreeBinPoint, DegreeCurve, LiveRealization, ScenarioReport, ScenarioResult,
+    Stat, SweepCurve, SweepMetric, SweepPoint, TraceRealization,
 };
 pub use runner::ScenarioRunner;
 pub use snapshot_build::build_snapshot;

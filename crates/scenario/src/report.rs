@@ -7,7 +7,7 @@
 //! deserialized spec reproduces the report byte for byte (enforced by the workspace's
 //! round-trip tests), and a report file alone is enough to rerun or extend an experiment.
 
-use crate::codec::{check_fields, req, req_f64, req_str, req_u32, req_usize};
+use crate::codec::{check_fields, req, req_f64, req_str, req_u32, req_u64, req_usize};
 use crate::json::{FromJson, JsonValue, ToJson};
 use crate::spec::ScenarioSpec;
 use crate::ScenarioError;
@@ -503,6 +503,94 @@ impl FromJson for TraceRealization {
     }
 }
 
+/// Outcome of growing one overlay through the live membership protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveRealization {
+    /// Realization index (always 0: live scenarios grow one overlay per snapshot).
+    pub realization: usize,
+    /// Peers that arrived over the run.
+    pub arrivals: usize,
+    /// Graceful departures.
+    pub leaves: usize,
+    /// Crashes (departures without a `Leave` broadcast).
+    pub crashes: usize,
+    /// Peers still alive when the overlay was frozen.
+    pub final_peers: usize,
+    /// Mutual overlay links frozen into the snapshot graph.
+    pub edges: usize,
+    /// Largest frozen degree (never exceeds the protocol's active-view cap).
+    pub max_degree: usize,
+    /// Protocol messages delivered over the run.
+    pub messages: usize,
+    /// Path the provenance-tagged snapshot was written to.
+    pub snapshot: String,
+    /// Content identity of the written snapshot file.
+    pub identity: u64,
+}
+
+impl ToJson for LiveRealization {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "realization".to_string(),
+                JsonValue::from_usize(self.realization),
+            ),
+            ("arrivals".to_string(), JsonValue::from_usize(self.arrivals)),
+            ("leaves".to_string(), JsonValue::from_usize(self.leaves)),
+            ("crashes".to_string(), JsonValue::from_usize(self.crashes)),
+            (
+                "final_peers".to_string(),
+                JsonValue::from_usize(self.final_peers),
+            ),
+            ("edges".to_string(), JsonValue::from_usize(self.edges)),
+            (
+                "max_degree".to_string(),
+                JsonValue::from_usize(self.max_degree),
+            ),
+            ("messages".to_string(), JsonValue::from_usize(self.messages)),
+            (
+                "snapshot".to_string(),
+                JsonValue::from_str_value(&self.snapshot),
+            ),
+            ("identity".to_string(), JsonValue::from_u64(self.identity)),
+        ])
+    }
+}
+
+impl FromJson for LiveRealization {
+    fn from_json(value: &JsonValue) -> Result<Self, ScenarioError> {
+        const CTX: &str = "live realization";
+        check_fields(
+            value,
+            CTX,
+            &[
+                "realization",
+                "arrivals",
+                "leaves",
+                "crashes",
+                "final_peers",
+                "edges",
+                "max_degree",
+                "messages",
+                "snapshot",
+                "identity",
+            ],
+        )?;
+        Ok(LiveRealization {
+            realization: req_usize(value, "realization", CTX)?,
+            arrivals: req_usize(value, "arrivals", CTX)?,
+            leaves: req_usize(value, "leaves", CTX)?,
+            crashes: req_usize(value, "crashes", CTX)?,
+            final_peers: req_usize(value, "final_peers", CTX)?,
+            edges: req_usize(value, "edges", CTX)?,
+            max_degree: req_usize(value, "max_degree", CTX)?,
+            messages: req_usize(value, "messages", CTX)?,
+            snapshot: req_str(value, "snapshot", CTX)?.to_string(),
+            identity: req_u64(value, "identity", CTX)?,
+        })
+    }
+}
+
 fn samples_from_json(value: &JsonValue, ctx: &str) -> Result<Vec<OverlaySample>, ScenarioError> {
     req(value, "samples", ctx)?
         .as_array()
@@ -535,6 +623,11 @@ pub enum ScenarioResult {
     Trace {
         /// One entry per realization, in stream order.
         realizations: Vec<TraceRealization>,
+    },
+    /// Result of growing an overlay through the live membership protocol.
+    Live {
+        /// One entry per realization (always exactly one).
+        realizations: Vec<LiveRealization>,
     },
 }
 
@@ -572,6 +665,13 @@ impl ToJson for ScenarioResult {
                     JsonValue::Array(realizations.iter().map(ToJson::to_json).collect()),
                 ),
             ]),
+            ScenarioResult::Live { realizations } => JsonValue::Object(vec![
+                ("kind".to_string(), JsonValue::from_str_value("live")),
+                (
+                    "realizations".to_string(),
+                    JsonValue::Array(realizations.iter().map(ToJson::to_json).collect()),
+                ),
+            ]),
         }
     }
 }
@@ -582,7 +682,7 @@ impl FromJson for ScenarioResult {
         let kind = req_str(value, "kind", CTX)?;
         match kind {
             "sweep" | "degree_distribution" => check_fields(value, CTX, &["kind", "curves"])?,
-            "churn" | "trace" => check_fields(value, CTX, &["kind", "realizations"])?,
+            "churn" | "trace" | "live" => check_fields(value, CTX, &["kind", "realizations"])?,
             _ => {}
         }
         match kind {
@@ -617,6 +717,16 @@ impl FromJson for ScenarioResult {
                     })?
                     .iter()
                     .map(TraceRealization::from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "live" => Ok(ScenarioResult::Live {
+                realizations: req(value, "realizations", CTX)?
+                    .as_array()
+                    .ok_or_else(|| {
+                        ScenarioError::invalid("scenario result: \"realizations\" must be an array")
+                    })?
+                    .iter()
+                    .map(LiveRealization::from_json)
                     .collect::<Result<_, _>>()?,
             }),
             other => Err(ScenarioError::invalid(format!(
@@ -702,6 +812,14 @@ impl ScenarioReport {
     pub fn trace_realizations(&self) -> Option<&[TraceRealization]> {
         match &self.result {
             ScenarioResult::Trace { realizations } => Some(realizations),
+            _ => None,
+        }
+    }
+
+    /// Returns the live-overlay realizations, if this is a live-growth report.
+    pub fn live_realizations(&self) -> Option<&[LiveRealization]> {
+        match &self.result {
+            ScenarioResult::Live { realizations } => Some(realizations),
             _ => None,
         }
     }

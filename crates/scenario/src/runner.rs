@@ -17,8 +17,8 @@
 
 use crate::remote::{RemoteSweepExecutor, RemoteSweepRequest};
 use crate::report::{
-    ChurnRealization, DegreeBinPoint, DegreeCurve, ScenarioReport, ScenarioResult, Stat,
-    SweepCurve, SweepPoint, TraceRealization,
+    ChurnRealization, DegreeBinPoint, DegreeCurve, LiveRealization, ScenarioReport, ScenarioResult,
+    Stat, SweepCurve, SweepPoint, TraceRealization,
 };
 use crate::spec::{
     BuiltSearch, DynamicsSpec, MeasureSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec,
@@ -31,7 +31,7 @@ use sfo_engine::{
     average_per_ttl, batched_rw_normalized_to_nf, batched_ttl_sweep, EngineConfig, ShardedCsr,
     WorkerPool,
 };
-use sfo_graph::snapshot::{Provenance, SnapshotError, SnapshotFile};
+use sfo_graph::snapshot::{Provenance, SnapshotError, SnapshotFile, SnapshotOrigin};
 use sfo_graph::GraphView;
 use sfo_search::experiment::{
     label_salt, rw_normalized_to_nf, stream_rng, ttl_sweep, AveragedOutcome,
@@ -129,6 +129,7 @@ impl ScenarioRunner {
             }
             (DynamicsSpec::Churn { sim }, _) => self.run_churn(spec, sim)?,
             (DynamicsSpec::Trace { trace, run }, _) => self.run_traces(spec, trace, run)?,
+            (DynamicsSpec::Live { live, snapshot }, _) => self.run_live(spec, live, snapshot)?,
         };
         Ok(ScenarioReport {
             spec: spec.clone(),
@@ -354,6 +355,58 @@ impl ScenarioRunner {
         )?;
         Ok(ScenarioResult::Trace { realizations })
     }
+
+    /// Grows one overlay through the live membership protocol and freezes it into a
+    /// provenance-tagged snapshot file at the spec's `snapshot` path.
+    ///
+    /// The written file is a first-class topology snapshot: its provenance records the
+    /// live curve label, `m` = `attach_walks`, `cutoff` = `active_cap`, the scenario
+    /// seed, and the master stream's post-growth `sweep_seed` — exactly the contract of
+    /// `sfo snapshot build` — plus a [`SnapshotOrigin::LiveOverlay`] tag naming the
+    /// protocol parameters. Everything downstream (`sfo run` against the snapshot,
+    /// `sfo snapshot inspect`/`verify`, distributed serving) consumes it unchanged.
+    fn run_live(
+        &self,
+        spec: &ScenarioSpec,
+        live: &sfo_overlay::sim::LiveConfig,
+        snapshot: &str,
+    ) -> Result<ScenarioResult, ScenarioError> {
+        let outcome = sfo_overlay::sim::grow(live, spec.seed)?;
+        let params = format!(
+            "peers={}, k_c={}, walks={}, ttl={}",
+            live.peers,
+            live.protocol.active_cap,
+            live.protocol.attach_walks,
+            live.protocol.forward_ttl
+        );
+        let mut file = SnapshotFile::plain(outcome.graph.freeze());
+        file.provenance = Some(Provenance {
+            label: live.label(),
+            m: u64::from(live.protocol.attach_walks),
+            cutoff: Some(live.protocol.active_cap as u64),
+            seed: spec.seed,
+            realization: 0,
+            sweep_seed: outcome.sweep_seed,
+            origin: Some(SnapshotOrigin::LiveOverlay { params }),
+        });
+        file.save(snapshot)?;
+        let realization = LiveRealization {
+            realization: 0,
+            arrivals: outcome.stats.arrivals,
+            leaves: outcome.stats.leaves,
+            crashes: outcome.stats.crashes,
+            final_peers: outcome.stats.final_peers,
+            edges: outcome.stats.edges,
+            max_degree: outcome.stats.max_degree,
+            messages: usize::try_from(outcome.stats.messages).unwrap_or(usize::MAX),
+            snapshot: snapshot.to_string(),
+            identity: sfo_graph::snapshot::read_identity(snapshot)?,
+        };
+        Ok(ScenarioResult::Live {
+            realizations: vec![realization],
+        })
+    }
+
     /// The whole sweep of a snapshot-backed scenario: load the file, shard its arrays,
     /// and hand the TTL grid to the engine as one query batch seeded with the file's
     /// stored `sweep_seed` — or, when the spec names remote workers, ship contiguous
@@ -1051,6 +1104,66 @@ mod tests {
             churn.validate(),
             Err(ScenarioError::InvalidSpec { .. })
         ));
+    }
+
+    #[test]
+    fn live_scenarios_grow_deterministic_provenance_tagged_snapshots() {
+        use sfo_overlay::sim::LiveConfig;
+        let dir = std::env::temp_dir().join(format!("sfo-runner-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grown.sfos");
+        let spec = ScenarioSpec::live(
+            "live-test",
+            LiveConfig::small(),
+            path.display().to_string(),
+            11,
+        );
+        let report = ScenarioRunner::new().run(&spec).unwrap();
+        let grown = &report.live_realizations().unwrap()[0];
+        assert_eq!(grown.realization, 0);
+        assert_eq!(grown.arrivals, LiveConfig::small().peers);
+        assert!(grown.edges > 0);
+        assert!(grown.max_degree <= LiveConfig::small().protocol.active_cap);
+        assert!(grown.identity != 0);
+        let first = std::fs::read(&path).unwrap();
+
+        // Reports round-trip through JSON like every other kind.
+        let reparsed = ScenarioReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(reparsed, report);
+
+        // The same spec grows a byte-identical file and report.
+        let again = ScenarioRunner::new().run(&spec).unwrap();
+        assert_eq!(again, report);
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+
+        // The provenance names the live curve and carries the protocol parameters.
+        let (_, provenance) = sfo_graph::snapshot::read_meta(path.to_str().unwrap()).unwrap();
+        let provenance = provenance.unwrap();
+        assert_eq!(provenance.label, "live, m=2, k_c=8");
+        assert_eq!(provenance.m, 2);
+        assert_eq!(provenance.cutoff, Some(8));
+        assert_eq!(
+            provenance.origin,
+            Some(SnapshotOrigin::LiveOverlay {
+                params: "peers=48, k_c=8, walks=2, ttl=8".to_string()
+            })
+        );
+
+        // The grown file is a first-class snapshot: a sweep consumes it unchanged.
+        let mut sweep = ScenarioSpec::sweep(
+            "live-sweep",
+            TopologySpec::Snapshot {
+                path: path.display().to_string(),
+            },
+            SearchSpec::Flooding,
+            SweepSpec::single(vec![1, 2], 4),
+            11,
+            1,
+        );
+        sweep.sweep.as_mut().unwrap().batch = true;
+        let swept = ScenarioRunner::new().run(&sweep).unwrap();
+        assert_eq!(swept.sweep_curves().unwrap()[0].label, "live, m=2, k_c=8");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::spec::{DynamicsSpec, ScenarioSpec, TopologySpec};
 use crate::ScenarioError;
 use rand::RngCore;
 use sfo_engine::ShardedCsr;
-use sfo_graph::snapshot::{Provenance, SnapshotFile};
+use sfo_graph::snapshot::{Provenance, SnapshotFile, SnapshotOrigin};
 use sfo_search::experiment::{label_salt, stream_rng};
 
 /// Generates the realization-0 topology of `spec` and packs it as a snapshot with
@@ -77,6 +77,7 @@ pub fn build_snapshot(spec: &ScenarioSpec, shards: usize) -> Result<SnapshotFile
         seed: spec.seed,
         realization: 0,
         sweep_seed,
+        origin: Some(SnapshotOrigin::Generator),
     };
     let mut file = if shards > 1 {
         ShardedCsr::from_csr_owned(graph.freeze(), shards).to_snapshot_file()

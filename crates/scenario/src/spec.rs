@@ -23,6 +23,7 @@ use sfo_core::pa::PreferentialAttachment;
 use sfo_core::ucm::UncorrelatedConfigurationModel;
 use sfo_core::{DegreeCutoff, DynTopologyGenerator};
 use sfo_graph::{CsrGraph, GraphView};
+use sfo_overlay::sim::LiveConfig;
 use sfo_search::biased_walk::DegreeBiasedWalk;
 use sfo_search::expanding_ring::ExpandingRing;
 use sfo_search::flooding::Flooding;
@@ -649,6 +650,16 @@ pub enum DynamicsSpec {
         /// How the overlay, catalog, and workload replaying the trace are configured.
         run: TraceRunConfig,
     },
+    /// Protocol-grown topology: run the `sfo-overlay` membership protocol over its
+    /// deterministic in-process transport, freeze the emergent overlay, and write it to
+    /// a provenance-tagged snapshot — so the whole static measurement stack (sweeps,
+    /// degree figures, remote dispatch) consumes live-grown graphs unchanged.
+    Live {
+        /// Peer count, churn schedule, and protocol parameters of the growth run.
+        live: LiveConfig,
+        /// Path the frozen overlay is written to as a `.sfos` snapshot.
+        snapshot: String,
+    },
 }
 
 impl DynamicsSpec {
@@ -658,6 +669,7 @@ impl DynamicsSpec {
             DynamicsSpec::Static => "static",
             DynamicsSpec::Churn { .. } => "churn",
             DynamicsSpec::Trace { .. } => "trace",
+            DynamicsSpec::Live { .. } => "live",
         }
     }
 
@@ -680,6 +692,17 @@ impl DynamicsSpec {
                 run.validate()?;
                 let catalog = Catalog::new(run.catalog_items, run.catalog_skew)?;
                 run.workload.validate(&catalog)?;
+                Ok(())
+            }
+            DynamicsSpec::Live { live, snapshot } => {
+                live.validate()
+                    .map_err(|e| ScenarioError::invalid(e.to_string()))?;
+                if snapshot.is_empty() {
+                    return Err(ScenarioError::invalid(
+                        "live scenarios must name the \"snapshot\" path the grown \
+                         overlay is written to",
+                    ));
+                }
                 Ok(())
             }
         }
@@ -979,6 +1002,30 @@ impl ScenarioSpec {
         }
     }
 
+    /// Builds a live-overlay growth scenario: the protocol grows the topology, the
+    /// emergent overlay is frozen and written to `snapshot`.
+    pub fn live(
+        name: impl Into<String>,
+        live: LiveConfig,
+        snapshot: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            topology: None,
+            search: None,
+            dynamics: DynamicsSpec::Live {
+                live,
+                snapshot: snapshot.into(),
+            },
+            sweep: None,
+            measure: MeasureSpec::SearchSweep,
+            seed,
+            realizations: 1,
+            curve_label: None,
+        }
+    }
+
     /// Expands the sweep grid into the concrete topology of every curve, in grid order
     /// (stub axis outer, cutoff axis inner). A missing sweep section keeps the base
     /// topology alone; dynamic scenarios (no topology) expand to nothing.
@@ -1106,7 +1153,7 @@ impl ScenarioSpec {
                 }
                 Ok(())
             }
-            DynamicsSpec::Churn { .. } | DynamicsSpec::Trace { .. } => {
+            DynamicsSpec::Churn { .. } | DynamicsSpec::Trace { .. } | DynamicsSpec::Live { .. } => {
                 if self.topology.is_some() || self.search.is_some() || self.sweep.is_some() {
                     return Err(ScenarioError::invalid(
                         "dynamic scenarios configure their overlay and workload inside \
@@ -1121,6 +1168,12 @@ impl ScenarioSpec {
                 if self.curve_label.is_some() {
                     return Err(ScenarioError::invalid(
                         "dynamic scenarios have no curves; \"curve_label\" must be null",
+                    ));
+                }
+                if matches!(self.dynamics, DynamicsSpec::Live { .. }) && self.realizations != 1 {
+                    return Err(ScenarioError::invalid(
+                        "live scenarios grow exactly one overlay per snapshot file; \
+                         \"realizations\" must be 1",
                     ));
                 }
                 Ok(())
@@ -1503,6 +1556,10 @@ impl ToJson for DynamicsSpec {
                 members.push(("trace".to_string(), trace.to_json()));
                 members.push(("run".to_string(), run.to_json()));
             }
+            DynamicsSpec::Live { live, snapshot } => {
+                members.push(("live".to_string(), live.to_json()));
+                members.push(("snapshot".to_string(), JsonValue::from_str_value(snapshot)));
+            }
         }
         JsonValue::Object(members)
     }
@@ -1529,8 +1586,15 @@ impl FromJson for DynamicsSpec {
                     run: TraceRunConfig::from_json(req(value, "run", CTX)?)?,
                 })
             }
+            "live" => {
+                check_fields(value, CTX, &["kind", "live", "snapshot"])?;
+                Ok(DynamicsSpec::Live {
+                    live: LiveConfig::from_json(req(value, "live", CTX)?)?,
+                    snapshot: req_str(value, "snapshot", CTX)?.to_string(),
+                })
+            }
             other => Err(ScenarioError::invalid(format!(
-                "{CTX}: unknown kind \"{other}\" (expected static, churn, or trace)"
+                "{CTX}: unknown kind \"{other}\" (expected static, churn, trace, or live)"
             ))),
         }
     }

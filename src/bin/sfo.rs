@@ -4,12 +4,14 @@
 //! ```text
 //! sfo scenario run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]
 //! sfo scenario validate <spec.json> [<spec.json> ...]
-//! sfo scenario template [static|degree|churn|trace]
+//! sfo scenario template [static|degree|churn|trace|live]
 //! sfo snapshot build <spec.json> -o <file.sfos> [--shards N]
 //! sfo snapshot inspect <file.sfos>
 //! sfo snapshot verify <file.sfos>
 //! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]
 //! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--out <report.json>] [--quiet]
+//! sfo overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>] [--tick-millis N]
+//!             [--active-cap N] [--walks N]
 //! ```
 //!
 //! `--threads N` overrides the spec's sweep thread count without editing the file —
@@ -39,22 +41,31 @@
 //! its global job index, the report is byte-identical to `sfo scenario run` of the same
 //! spec, whatever the worker count. Plain `scenario run` also honors a spec's
 //! `workers` field; `dispatch` just makes the worker list a command-line concern.
+//!
+//! `overlay` runs one live membership peer ([`OverlayNode`]) over real sockets: it joins an
+//! overlay through `--bootstrap <id>@<addr>` (or seeds a new one without it) and grows
+//! a capped scale-free topology by protocol execution. The deterministic counterpart —
+//! the same state machine over a simulated transport — is a scenario whose dynamics
+//! section is `{"kind": "live", ...}` (`sfo scenario template live`), which freezes the
+//! emergent overlay into a provenance-tagged `.sfos` the rest of the stack consumes
+//! unchanged.
 
 use sfoverlay::prelude::{
-    build_snapshot, remote_runner, ScenarioReport, ScenarioSpec, SearchSpec, ServeConfig,
-    ShardedCsr, SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerServer,
+    build_snapshot, remote_runner, LiveConfig, OverlayNode, OverlayNodeConfig, PeerRef,
+    ProtocolConfig, ScenarioReport, ScenarioSpec, SearchSpec, ServeConfig, ShardedCsr,
+    SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerServer,
 };
 use sfoverlay::scenario::{ScenarioResult, SweepMetric};
 use std::process::ExitCode;
 
 fn usage() -> String {
-    "usage: sfo <scenario|snapshot|serve|dispatch> <command>\n\
+    "usage: sfo <scenario|snapshot|serve|dispatch|overlay> <command>\n\
      \n\
      scenario commands:\n\
      \x20 run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]\n\
      \x20                                                    execute a scenario file\n\
      \x20 validate <spec.json> [...]                         check scenario files\n\
-     \x20 template [static|degree|churn|trace]               print a starter spec\n\
+     \x20 template [static|degree|churn|trace|live]          print a starter spec\n\
      \n\
      snapshot commands:\n\
      \x20 build <spec.json> -o <file.sfos> [--shards N]      generate the spec's topology\n\
@@ -71,6 +82,15 @@ fn usage() -> String {
      \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...]\n\
      \x20          [--out <report.json>] [--quiet]           split the spec's sweep across\n\
      \x20                                                    sfo serve workers\n\
+     \n\
+     live membership:\n\
+     \x20 overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>]\n\
+     \x20         [--tick-millis N] [--active-cap N] [--walks N]\n\
+     \x20                                                    run one live overlay peer; it\n\
+     \x20                                                    joins through the bootstrap\n\
+     \x20                                                    contact (or seeds a new overlay)\n\
+     \x20                                                    and grows a capped topology by\n\
+     \x20                                                    protocol execution\n\
      \n\
      Addresses are host:port (TCP; port 0 picks a free one) or unix:/path.\n\
      --mmap memory-maps snapshot topologies instead of reading them into owned\n\
@@ -92,6 +112,7 @@ fn main() -> ExitCode {
         Some("snapshot") => snapshot_command(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("dispatch") => dispatch(&args[1..]),
+        Some("overlay") => overlay(&args[1..]),
         Some("--help" | "-h") => {
             println!("{}", usage());
             ExitCode::SUCCESS
@@ -272,6 +293,116 @@ fn dispatch(args: &[String]) -> ExitCode {
     execute_and_emit(&spec, out, quiet, false)
 }
 
+fn overlay(args: &[String]) -> ExitCode {
+    let mut listen: Option<&str> = None;
+    let mut id: Option<u64> = None;
+    let mut seed = 0u64;
+    let mut bootstrap: Option<PeerRef> = None;
+    let mut tick_millis = 50u64;
+    let mut protocol = ProtocolConfig::small();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => match iter.next() {
+                Some(value) => listen = Some(value),
+                None => {
+                    eprintln!("--listen requires an address (host:port or unix:/path)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--id" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) => id = Some(value),
+                None => {
+                    eprintln!("--id requires a peer identifier (u64, unique per overlay)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) => seed = value,
+                None => {
+                    eprintln!("--seed requires a u64");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bootstrap" => match iter.next().and_then(|v| parse_peer_ref(v)) {
+                Some(value) => bootstrap = Some(value),
+                None => {
+                    eprintln!("--bootstrap requires <id>@<addr> (e.g. 0@10.0.0.5:9200)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tick-millis" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(value) => tick_millis = value,
+                None => {
+                    eprintln!("--tick-millis requires a duration in milliseconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--active-cap" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => protocol.active_cap = value,
+                None => {
+                    eprintln!("--active-cap requires the hard degree cutoff k_c");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--walks" => match iter.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(value) => protocol.attach_walks = value,
+                None => {
+                    eprintln!("--walks requires the attachment walk count m");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown option '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(listen), Some(id)) = (listen, id) else {
+        eprintln!("overlay requires --listen <addr> and --id N\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let node = match OverlayNode::bind(&OverlayNodeConfig {
+        listen: listen.to_string(),
+        id,
+        seed,
+        protocol: protocol.clone(),
+        bootstrap: bootstrap.clone(),
+        tick_millis,
+    }) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "overlay peer {id} on {} — k_c {}, {} attachment walk(s), seed {seed}, {}",
+        node.local_addr(),
+        protocol.active_cap,
+        protocol.attach_walks,
+        match &bootstrap {
+            Some(contact) => format!("joining through {}@{}", contact.id, contact.addr),
+            None => "seeding a new overlay".to_string(),
+        },
+    );
+    let _handle = node.run();
+    // The daemon runs until the process is killed; the protocol threads own the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Parses the `--bootstrap` contact syntax `<id>@<addr>`.
+fn parse_peer_ref(value: &str) -> Option<PeerRef> {
+    let (id, addr) = value.split_once('@')?;
+    let id = id.parse::<u64>().ok()?;
+    if addr.is_empty() {
+        return None;
+    }
+    Some(PeerRef::new(id, addr))
+}
+
 fn scenario_command(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
@@ -447,6 +578,9 @@ fn snapshot_inspect(args: &[String]) -> ExitCode {
                 "  streams: seed {}, realization {}, sweep seed {:#018x}",
                 p.seed, p.realization, p.sweep_seed
             );
+            if let Some(origin) = &p.origin {
+                println!("  origin: {origin}");
+            }
         }
         None => println!("  provenance: none (not runnable as a scenario topology)"),
     }
@@ -665,6 +799,22 @@ fn summarize(report: &ScenarioReport) {
                 );
             }
         }
+        ScenarioResult::Live { realizations } => {
+            for run in realizations {
+                eprintln!(
+                    "  realization {}: {} arrivals, {} leaves, {} peers at end, {} edges, \
+                     max degree {}, {} message(s) — snapshot {}",
+                    run.realization,
+                    run.arrivals,
+                    run.leaves,
+                    run.final_peers,
+                    run.edges,
+                    run.max_degree,
+                    run.messages,
+                    run.snapshot,
+                );
+            }
+        }
     }
 }
 
@@ -755,8 +905,11 @@ fn template(kind: Option<&str>) -> ExitCode {
                 3,
             )
         }
+        "live" => ScenarioSpec::live("my-live", LiveConfig::small(), "my-live.sfos", 42),
         other => {
-            eprintln!("unknown template '{other}' (expected static, degree, churn, or trace)");
+            eprintln!(
+                "unknown template '{other}' (expected static, degree, churn, trace, or live)"
+            );
             return ExitCode::FAILURE;
         }
     };

@@ -22,6 +22,10 @@
 //!   with per-job RNG streams (results independent of worker and shard counts).
 //! * [`analysis`] — histograms, power-law fits, and result series ([`sfo_analysis`]).
 //! * [`sim`] — the live-overlay churn simulator ([`sfo_sim`]).
+//! * [`overlay`] — the live membership protocol ([`sfo_overlay`]): a HyParView-style
+//!   peer state machine whose capped attachment walks grow the paper's scale-free
+//!   topologies *by protocol execution*, over a deterministic simulated transport
+//!   ([`sfo_overlay::sim::grow`]) or real sockets (`sfo overlay`, via [`sfo_net`]).
 //! * [`scenario`] — the declarative scenario layer ([`sfo_scenario`]): serializable
 //!   [`ScenarioSpec`](sfo_scenario::ScenarioSpec)s covering topologies × searches ×
 //!   dynamics × sweeps, executed by one
@@ -65,6 +69,7 @@ pub use sfo_engine as engine;
 pub use sfo_experiments as experiments;
 pub use sfo_graph as graph;
 pub use sfo_net as net;
+pub use sfo_overlay as overlay;
 pub use sfo_scenario as scenario;
 pub use sfo_search as search;
 pub use sfo_sim as sim;
@@ -90,16 +95,19 @@ pub mod prelude {
     };
     pub use sfo_graph::snapshot::{
         section_layout, Provenance, SectionLayout, SnapshotError, SnapshotFile, SnapshotHeader,
-        SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+        SnapshotOrigin, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
     };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
     pub use sfo_net::{
-        remote_runner, NetError, RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
+        remote_runner, NetError, OverlayNode, OverlayNodeConfig, OverlayNodeHandle,
+        RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
     };
+    pub use sfo_overlay::protocol::{OverlayMessage, Peer, PeerRef, ProtocolConfig};
+    pub use sfo_overlay::sim::{grow, LiveConfig, LiveOutcome, LiveStats};
     pub use sfo_scenario::{
-        build_snapshot, DegreeCurve, DynamicsSpec, MeasureSpec, RemoteSweepExecutor,
-        RemoteSweepRequest, ScenarioError, ScenarioReport, ScenarioRunner, ScenarioSpec,
-        SearchSpec, SweepMetric, SweepSpec, TopologySpec,
+        build_snapshot, DegreeCurve, DynamicsSpec, LiveRealization, MeasureSpec,
+        RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioReport, ScenarioRunner,
+        ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
     };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;
@@ -142,6 +150,11 @@ mod tests {
         };
         let _ = TraceRunConfig::small();
         let _ = ScenarioRunner::new();
+        // The live membership protocol is reachable through the prelude.
+        let live = LiveConfig::small();
+        assert!(live.validate().is_ok());
+        assert!(ProtocolConfig::small().validate().is_ok());
+        let _ = PeerRef::new(0, "127.0.0.1:9200");
         // The engine layer is reachable through the prelude too.
         let sharded = ShardedCsr::from_graph(&Graph::with_nodes(4), 2);
         assert_eq!(sharded.shard_count(), 2);

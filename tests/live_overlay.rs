@@ -1,0 +1,142 @@
+//! End-to-end checks of the live membership protocol at scale (N = 10^3): the
+//! emergent topology respects the hard cutoff *exactly*, its log-binned degree
+//! distribution tracks the capped-PA generator the paper builds on, and one seed
+//! replays the whole growth byte-for-byte — including the sweep reports measured on
+//! the grown snapshot.
+
+use rand::SeedableRng;
+use sfoverlay::analysis::log_binned_distribution;
+use sfoverlay::prelude::*;
+
+/// A growth-focused live configuration at N = 10^3: everyone arrives two ticks
+/// apart, sessions outlast the run (nobody leaves), and the overlay settles before
+/// it is frozen.
+fn thousand_peers(k_c: usize) -> LiveConfig {
+    let mut config = LiveConfig::small();
+    config.peers = 1_000;
+    config.protocol.active_cap = k_c;
+    config
+}
+
+#[test]
+fn emergent_degrees_respect_the_hard_cutoff_exactly() {
+    let config = thousand_peers(8);
+    let outcome = grow(&config, 7).unwrap();
+    assert_eq!(outcome.stats.arrivals, 1_000);
+    assert_eq!(outcome.stats.final_peers, 1_000);
+
+    let frozen = outcome.graph.freeze();
+    let degrees = GraphView::degrees(&frozen);
+    assert_eq!(degrees.len(), 1_000);
+    let max = degrees.iter().copied().max().unwrap();
+    assert!(max <= 8, "emergent degree {max} exceeds k_c = 8");
+    assert_eq!(max, 8, "at N = 1000 the cutoff should be binding");
+    assert_eq!(outcome.stats.max_degree, max);
+}
+
+#[test]
+fn emergent_distribution_tracks_the_capped_pa_generator() {
+    let k_c = 20;
+    let outcome = grow(&thousand_peers(k_c), 11).unwrap();
+    let live_degrees = GraphView::degrees(&outcome.graph.freeze());
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let generated = PreferentialAttachment::new(1_000, 2)
+        .unwrap()
+        .with_cutoff(DegreeCutoff::hard(k_c))
+        .generate(&mut rng)
+        .unwrap();
+    let pa_degrees = GraphView::degrees(&generated);
+
+    // Both distributions bind the cap and nothing escapes it.
+    assert!(live_degrees.iter().all(|&k| k <= k_c));
+    assert_eq!(live_degrees.iter().max(), Some(&k_c));
+    assert_eq!(pa_degrees.iter().max(), Some(&k_c));
+
+    // The first moment agrees closely (every join attaches ~m edges either way).
+    let live_mean = live_degrees.iter().sum::<usize>() as f64 / live_degrees.len() as f64;
+    let pa_mean = pa_degrees.iter().sum::<usize>() as f64 / pa_degrees.len() as f64;
+    assert!(
+        (live_mean - pa_mean).abs() / pa_mean < 0.10,
+        "mean degree diverged: live {live_mean:.3} vs generated {pa_mean:.3}"
+    );
+
+    // Log-binned P(k) agrees bin for bin: every bin the generator populates exists in
+    // the emergent distribution with a density within 2x, and the emergent bins the
+    // generator lacks (degree-1 stragglers from freezing mutual links only) carry a
+    // negligible share of the mass.
+    let live_bins = log_binned_distribution(&live_degrees, 4);
+    let pa_bins = log_binned_distribution(&pa_degrees, 4);
+    for pa_bin in &pa_bins {
+        let live_bin = live_bins
+            .iter()
+            .find(|b| (b.lower - pa_bin.lower).abs() < 1e-9)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no emergent bin at [{:.2}, {:.2})",
+                    pa_bin.lower, pa_bin.upper
+                )
+            });
+        let ratio = live_bin.density / pa_bin.density;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "bin [{:.2}, {:.2}): emergent density {:.5} vs generated {:.5}",
+            pa_bin.lower,
+            pa_bin.upper,
+            live_bin.density,
+            pa_bin.density
+        );
+    }
+    let unmatched: usize = live_bins
+        .iter()
+        .filter(|b| !pa_bins.iter().any(|p| (p.lower - b.lower).abs() < 1e-9))
+        .map(|b| b.count)
+        .sum();
+    assert!(
+        (unmatched as f64) < 0.05 * live_degrees.len() as f64,
+        "{unmatched} emergent samples fall in bins the generator never populates"
+    );
+}
+
+#[test]
+fn one_seed_replays_the_growth_and_its_measurements_byte_for_byte() {
+    let config = thousand_peers(8);
+    let first = grow(&config, 42).unwrap();
+    let second = grow(&config, 42).unwrap();
+    assert_eq!(first.stats, second.stats);
+    assert_eq!(first.sweep_seed, second.sweep_seed);
+    let frozen_first = first.graph.freeze();
+    let frozen_second = second.graph.freeze();
+    assert_eq!(
+        GraphView::degrees(&frozen_first),
+        GraphView::degrees(&frozen_second)
+    );
+
+    // Persisted, the two runs are the same bytes, and sweeps measured on the grown
+    // snapshot reproduce byte-for-byte too.
+    let dir = std::env::temp_dir().join(format!("sfo-live-overlay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("grown.sfos");
+    let spec = ScenarioSpec::live("replay", config, path.display().to_string(), 42);
+    let report = ScenarioRunner::new().run(&spec).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let again = ScenarioRunner::new().run(&spec).unwrap();
+    assert_eq!(again.to_json_string(), report.to_json_string());
+    assert_eq!(std::fs::read(&path).unwrap(), bytes);
+
+    let mut sweep = ScenarioSpec::sweep(
+        "replay-sweep",
+        TopologySpec::Snapshot {
+            path: path.display().to_string(),
+        },
+        SearchSpec::NormalizedFlooding { k_min: None },
+        SweepSpec::single(vec![1, 2, 4], 8),
+        42,
+        1,
+    );
+    sweep.sweep.as_mut().unwrap().batch = true;
+    let swept = ScenarioRunner::new().run(&sweep).unwrap().to_json_string();
+    let swept_again = ScenarioRunner::new().run(&sweep).unwrap().to_json_string();
+    assert_eq!(swept, swept_again);
+    std::fs::remove_dir_all(&dir).ok();
+}

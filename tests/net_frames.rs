@@ -10,8 +10,9 @@ use sfoverlay::net::frame::{
 };
 use sfoverlay::net::message::{
     recv_message, send_message, BatchRequest, Hello, Message, TYPE_BATCH_RESULT, TYPE_ERROR,
-    TYPE_HELLO, TYPE_SUBMIT_BATCH,
+    TYPE_HELLO, TYPE_SHUFFLE, TYPE_SUBMIT_BATCH,
 };
+use sfoverlay::net::overlay::{OverlayMessage, PeerRef};
 use sfoverlay::net::NetError;
 use sfoverlay::prelude::{NodeId, QueryBatch, SearchOutcome, SearchSpec};
 
@@ -55,6 +56,30 @@ fn all_messages() -> Vec<Message> {
         Message::Error {
             message: "worker 3 refused: wrong identity".to_string(),
         },
+        Message::Overlay(OverlayMessage::Join {
+            origin: PeerRef::new(17, "10.0.0.5:9200"),
+            walks: 2,
+        }),
+        Message::Overlay(OverlayMessage::ForwardJoin {
+            origin: PeerRef::new(17, "10.0.0.5:9200"),
+            ttl: 8,
+        }),
+        Message::Overlay(OverlayMessage::Shuffle {
+            from: PeerRef::new(2, "10.0.0.2:9200"),
+            peers: vec![
+                PeerRef::new(5, "10.0.0.5:9200"),
+                PeerRef::new(6, "unix:/tmp/peer-6.sock"),
+            ],
+            reply: false,
+        }),
+        Message::Overlay(OverlayMessage::Probe {
+            from: PeerRef::new(3, "10.0.0.3:9200"),
+            nonce: u64::MAX,
+            ack: true,
+        }),
+        Message::Overlay(OverlayMessage::Leave {
+            from: PeerRef::new(4, "10.0.0.4:9200"),
+        }),
     ]
 }
 
@@ -122,7 +147,7 @@ fn unknown_message_types_are_rejected() {
     let (message_type, payload) = read_frame(&mut bytes.as_slice()).unwrap();
     assert!(matches!(
         Message::decode(message_type, &payload),
-        Err(NetError::UnknownMessageType { found: 999 })
+        Err(NetError::UnknownFrameType { found: 999 })
     ));
 }
 
@@ -207,6 +232,42 @@ fn inner_counts_lying_about_the_payload_are_bounded_before_allocation() {
         Message::decode(TYPE_SUBMIT_BATCH, &payload),
         Err(NetError::Truncated { .. })
     ));
+}
+
+#[test]
+fn overlay_frame_corruption_rows_are_typed() {
+    // A shuffle whose peer count lies about the payload is bounded before allocation.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&2u64.to_le_bytes());
+    payload.extend_from_slice(&4u32.to_le_bytes());
+    payload.extend_from_slice(b"a:99");
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(TYPE_SHUFFLE, &payload),
+        Err(NetError::Truncated { .. })
+    ));
+
+    // A probe whose ack flag is neither 0 nor 1 is corrupt, and truncation anywhere
+    // inside an overlay frame stays a typed error.
+    let message = Message::Overlay(OverlayMessage::Probe {
+        from: PeerRef::new(3, "10.0.0.3:9200"),
+        nonce: 11,
+        ack: false,
+    });
+    let (frame_type, mut payload) = message.encode();
+    *payload.last_mut().unwrap() = 7;
+    assert!(matches!(
+        Message::decode(frame_type, &payload),
+        Err(NetError::Corrupt { .. })
+    ));
+    let mut wire = Vec::new();
+    send_message(&mut wire, &message).unwrap();
+    for cut in 0..wire.len() {
+        assert!(matches!(
+            recv_message(&mut &wire[..cut]),
+            Err(NetError::Truncated { .. })
+        ));
+    }
 }
 
 #[test]

@@ -24,7 +24,14 @@
 //! jobs and batches, so the hot path allocates nothing per query. The arena is pure
 //! workspace memory — it never feeds the job's RNG stream — so outcomes stay
 //! byte-identical to the allocate-fresh paths.
+//!
+//! The persistent pool carries telemetry (an `sfo-obs` [`Registry`], see
+//! [`WorkerPool::with_metrics`]): jobs executed, steals, per-worker queue depths, and
+//! per-batch wall time. Recording is relaxed atomics at points the scheduler already
+//! passes through — it never touches a job's RNG stream and never reorders work, so a
+//! metered pool's results are byte-identical to an unmetered one's.
 
+use sfo_obs::{Counter, Histogram, PhaseTimer, Registry};
 use sfo_search::SearchScratch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -79,14 +86,15 @@ fn split_ranges(jobs: usize, workers: usize) -> Vec<Mutex<(usize, usize)>> {
 }
 
 /// Claims the next job for worker `me`: the front of its own range, or — once that runs
-/// dry — the back half of the fullest other range. Returns `None` when no jobs remain.
-fn claim(queues: &[Mutex<(usize, usize)>], me: usize) -> Option<usize> {
+/// dry — the back half of the fullest other range. Returns `None` when no jobs remain;
+/// the flag is true when the job was stolen rather than popped from `me`'s own range.
+fn claim(queues: &[Mutex<(usize, usize)>], me: usize) -> Option<(usize, bool)> {
     {
         let mut own = queues[me].lock().expect("queue lock");
         if own.0 < own.1 {
             let job = own.0;
             own.0 += 1;
-            return Some(job);
+            return Some((job, false));
         }
     }
     loop {
@@ -119,7 +127,7 @@ fn claim(queues: &[Mutex<(usize, usize)>], me: usize) -> Option<usize> {
             let mut own = queues[me].lock().expect("queue lock");
             *own = (start + 1, end);
         }
-        return Some(start);
+        return Some((start, true));
     }
 }
 
@@ -170,7 +178,7 @@ where
                 scope.spawn(move || {
                     let mut scratch = SearchScratch::new();
                     let mut results = Vec::new();
-                    while let Some(index) = claim(queues, w) {
+                    while let Some((index, _stolen)) = claim(queues, w) {
                         results.push((index, job(index, &mut scratch)));
                     }
                     results
@@ -231,12 +239,44 @@ struct PoolState {
     shutdown: bool,
 }
 
+/// The pool's telemetry, pre-resolved from its [`Registry`] once at construction so
+/// the claim path records through plain `Arc`s without any name lookup. Counters and
+/// histograms are relaxed atomics: they observe the schedule, they never shape it, and
+/// no metric feeds a job's RNG stream — batch results stay byte-identical with
+/// telemetry on or off.
+struct PoolMetrics {
+    /// `engine.jobs`: jobs executed, across all batches (inline ones included).
+    jobs: Arc<Counter>,
+    /// `engine.steals`: claims served by stealing from another worker's range.
+    steals: Arc<Counter>,
+    /// `engine.batches`: batches submitted (inline ones included).
+    batches: Arc<Counter>,
+    /// `engine.queue_depth`: per-worker queue length at batch submission.
+    queue_depth: Arc<Histogram>,
+    /// `engine.batch_micros`: wall time of each batch, submit to drain.
+    batch_micros: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn register(registry: &Registry) -> Self {
+        PoolMetrics {
+            jobs: registry.counter("engine.jobs"),
+            steals: registry.counter("engine.steals"),
+            batches: registry.counter("engine.batches"),
+            queue_depth: registry.histogram("engine.queue_depth"),
+            batch_micros: registry.histogram("engine.batch_micros"),
+        }
+    }
+}
+
 struct PoolShared {
     state: Mutex<PoolState>,
     /// Signalled when a new batch is installed or the pool shuts down.
     ready: Condvar,
     /// Signalled when the last job of a batch completes.
     done: Condvar,
+    /// Pre-resolved telemetry shared with every worker thread.
+    metrics: PoolMetrics,
 }
 
 /// A persistent pool of worker threads executing query batches with work stealing.
@@ -263,11 +303,24 @@ pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    registry: Arc<Registry>,
 }
 
 impl WorkerPool {
-    /// Spawns the pool's worker threads.
+    /// Spawns the pool's worker threads with a private metrics registry.
     pub fn new(config: EngineConfig) -> Self {
+        WorkerPool::with_metrics(config, Arc::new(Registry::new()))
+    }
+
+    /// Spawns the pool's worker threads, recording telemetry into `registry`.
+    ///
+    /// The pool registers `engine.jobs`, `engine.steals`, and `engine.batches`
+    /// counters plus `engine.queue_depth` and `engine.batch_micros` histograms. A
+    /// caller that owns a wider registry (the `sfo serve` daemon, the scenario
+    /// runner) passes it here so one [`Registry::snapshot`] covers every layer.
+    /// Telemetry is pure observation: it never touches a job's RNG stream and never
+    /// reorders work, so results are byte-identical to an unobserved pool.
+    pub fn with_metrics(config: EngineConfig, registry: Arc<Registry>) -> Self {
         let workers = config.effective_workers();
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -277,6 +330,7 @@ impl WorkerPool {
             }),
             ready: Condvar::new(),
             done: Condvar::new(),
+            metrics: PoolMetrics::register(&registry),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -291,12 +345,19 @@ impl WorkerPool {
             shared,
             handles,
             workers,
+            registry,
         }
     }
 
     /// Returns the number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The registry this pool records telemetry into (the one passed to
+    /// [`WorkerPool::with_metrics`], or a private one for [`WorkerPool::new`]).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Runs `jobs` independent jobs across the pool and returns the results in job
@@ -340,9 +401,16 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(usize, &mut SearchScratch) -> T + Send + Sync + 'static,
     {
+        let timer = PhaseTimer::start();
+        let metrics = &self.shared.metrics;
+        metrics.batches.inc();
         if jobs <= 1 || self.workers <= 1 {
+            metrics.queue_depth.record(jobs as u64);
             let mut scratch = SearchScratch::new();
-            return (0..jobs).map(|i| job(i, &mut scratch)).collect();
+            let out: Vec<T> = (0..jobs).map(|i| job(i, &mut scratch)).collect();
+            metrics.jobs.add(jobs as u64);
+            timer.observe(&metrics.batch_micros);
+            return out;
         }
 
         let slots: Arc<Vec<Mutex<Option<T>>>> =
@@ -357,6 +425,12 @@ impl WorkerPool {
         let pending = Arc::new(AtomicUsize::new(jobs));
         let panic_slot = Arc::new(Mutex::new(None));
 
+        let queues = Arc::new(split_ranges(jobs, self.workers));
+        for queue in queues.iter() {
+            let (start, end) = *queue.lock().expect("queue lock");
+            metrics.queue_depth.record((end - start) as u64);
+        }
+
         {
             let mut state = self.shared.state.lock().expect("pool state lock");
             let id = state.next_id;
@@ -364,7 +438,7 @@ impl WorkerPool {
             state.batches.push(Batch {
                 id,
                 runner,
-                queues: Arc::new(split_ranges(jobs, self.workers)),
+                queues,
                 pending: Arc::clone(&pending),
                 panic: Arc::clone(&panic_slot),
             });
@@ -374,6 +448,7 @@ impl WorkerPool {
             }
             state.batches.retain(|b| b.id != id);
         }
+        timer.observe(&metrics.batch_micros);
 
         let caught = panic_slot.lock().expect("panic slot lock").take();
         if let Some(payload) = caught {
@@ -423,22 +498,25 @@ fn worker_loop(shared: &PoolShared, me: usize) {
         // exit on shutdown). Claiming under the state lock serializes queue access,
         // which is noise next to millisecond-scale jobs and keeps the scan race-free
         // against batch insertion and removal.
-        let (batch, index) = {
+        let (batch, index, stolen) = {
             let mut state = shared.state.lock().expect("pool state lock");
             loop {
                 if state.shutdown {
                     return;
                 }
-                let claimed = state
-                    .batches
-                    .iter()
-                    .find_map(|b| claim(&b.queues, me).map(|index| (b.clone(), index)));
+                let claimed = state.batches.iter().find_map(|b| {
+                    claim(&b.queues, me).map(|(index, stolen)| (b.clone(), index, stolen))
+                });
                 if let Some(claimed) = claimed {
                     break claimed;
                 }
                 state = shared.ready.wait(state).expect("pool state lock");
             }
         };
+        shared.metrics.jobs.inc();
+        if stolen {
+            shared.metrics.steals.inc();
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             (batch.runner)(index, &mut scratch)
         }));
@@ -627,5 +705,36 @@ mod tests {
         let pool = WorkerPool::new(EngineConfig::with_workers(2));
         let _ = pool.run(10, |i| i);
         drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn pool_metrics_count_jobs_batches_and_timings() {
+        let registry = Arc::new(Registry::new());
+        let pool = WorkerPool::with_metrics(EngineConfig::with_workers(3), Arc::clone(&registry));
+        for _ in 0..4 {
+            let _ = pool.run(25, |i| i);
+        }
+        let _ = pool.run(1, |i| i); // inline path must be counted too
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("engine.jobs"), Some(101));
+        assert_eq!(snapshot.counter("engine.batches"), Some(5));
+        // Balanced tiny batches may or may not steal, but the counter exists and is
+        // bounded by the claims that happened.
+        assert!(snapshot.counter("engine.steals").unwrap() <= 100);
+        assert_eq!(snapshot.histogram("engine.batch_micros").unwrap().count, 5);
+        // 3 queue depths per pooled batch plus 1 for the inline batch.
+        let depth = snapshot.histogram("engine.queue_depth").unwrap();
+        assert_eq!(depth.count, 13);
+        assert_eq!(depth.max, 9); // ceil(25 / 3)
+    }
+
+    #[test]
+    fn pool_metrics_do_not_change_results() {
+        let registry = Arc::new(Registry::new());
+        let observed = WorkerPool::with_metrics(EngineConfig::with_workers(4), registry);
+        let plain = WorkerPool::new(EngineConfig::with_workers(2));
+        let a = observed.run(120, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        let b = plain.run(120, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(a, b);
     }
 }

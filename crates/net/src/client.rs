@@ -3,6 +3,7 @@
 use crate::message::{recv_message, send_message, BatchRequest, Hello, Message};
 use crate::stream::NetStream;
 use crate::NetError;
+use sfo_obs::MetricsSnapshot;
 use sfo_search::SearchOutcome;
 
 /// One connection to an `sfo serve` worker.
@@ -89,6 +90,24 @@ impl WorkerClient {
             Message::Error { message } => Err(NetError::Remote { message }),
             other => Err(NetError::protocol(format!(
                 "expected a BatchResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls the worker's telemetry: counters, latency histograms, and phase timings
+    /// accumulated since the daemon started — the wire behind `sfo stats <addr>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] when the worker refuses the request (an older
+    /// worker answers `Error` and the connection stays usable).
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, NetError> {
+        send_message(&mut self.stream, &Message::StatsRequest)?;
+        match recv_message(&mut self.stream)? {
+            Message::StatsReport(snapshot) => Ok(snapshot),
+            Message::Error { message } => Err(NetError::Remote { message }),
+            other => Err(NetError::protocol(format!(
+                "expected a StatsReport, got {other:?}"
             ))),
         }
     }

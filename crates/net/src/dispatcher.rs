@@ -15,6 +15,7 @@ use crate::client::WorkerClient;
 use crate::message::BatchRequest;
 use crate::NetError;
 use sfo_engine::QueryBatch;
+use sfo_obs::{PhaseTimer, Registry};
 use sfo_scenario::{
     RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioRunner, SearchSpec,
 };
@@ -40,21 +41,32 @@ fn split_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
 }
 
 /// Executes [`RemoteSweepRequest`]s against `sfo serve` workers.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RemoteDispatcher {
-    _private: (),
+    metrics: Option<Arc<Registry>>,
 }
 
 impl RemoteDispatcher {
-    /// Creates a dispatcher.
+    /// Creates a dispatcher without telemetry.
     pub fn new() -> Self {
         RemoteDispatcher::default()
+    }
+
+    /// Creates a dispatcher recording per-worker dispatch latency
+    /// (`dispatch.worker_micros`) and slice counts (`dispatch.slices`) into
+    /// `registry`. Telemetry observes the dispatch, it never changes the split or the
+    /// merged bytes.
+    pub fn with_metrics(registry: Arc<Registry>) -> Self {
+        RemoteDispatcher {
+            metrics: Some(registry),
+        }
     }
 }
 
 impl RemoteSweepExecutor for RemoteDispatcher {
     fn run_sweep(&self, request: &RemoteSweepRequest) -> Result<Vec<SearchOutcome>, ScenarioError> {
-        dispatch_sweep(request).map_err(|e| ScenarioError::remote(e.to_string()))
+        dispatch_sweep_metered(request, self.metrics.as_deref())
+            .map_err(|e| ScenarioError::remote(e.to_string()))
     }
 }
 
@@ -63,6 +75,17 @@ impl RemoteSweepExecutor for RemoteDispatcher {
 /// for every scenario run.
 pub fn remote_runner() -> ScenarioRunner {
     ScenarioRunner::new().with_remote(Arc::new(RemoteDispatcher::new()))
+}
+
+/// [`remote_runner`] with telemetry installed end to end: the dispatcher's per-worker
+/// latency and the runner's phase timings both record into `registry` — the runner
+/// behind `--metrics-out` on the CLI. Results are byte-identical to [`remote_runner`].
+pub fn remote_runner_with_metrics(registry: Arc<Registry>) -> ScenarioRunner {
+    ScenarioRunner::new()
+        .with_remote(Arc::new(RemoteDispatcher::with_metrics(Arc::clone(
+            &registry,
+        ))))
+        .with_metrics(registry)
 }
 
 /// Connects to `addr` and verifies the worker serves the snapshot `identity` names.
@@ -87,6 +110,14 @@ fn connect_verified(addr: &str, identity: u64) -> Result<WorkerClient, NetError>
 /// Returns the first failing worker's error (connection, identity mismatch, refusal,
 /// or a slice of the wrong length). No partial results are ever returned.
 pub fn dispatch_sweep(request: &RemoteSweepRequest) -> Result<Vec<SearchOutcome>, NetError> {
+    dispatch_sweep_metered(request, None)
+}
+
+/// [`dispatch_sweep`] with optional telemetry (see [`RemoteDispatcher::with_metrics`]).
+fn dispatch_sweep_metered(
+    request: &RemoteSweepRequest,
+    metrics: Option<&Registry>,
+) -> Result<Vec<SearchOutcome>, NetError> {
     if request.workers.is_empty() {
         return Err(NetError::protocol("no workers to dispatch to"));
     }
@@ -96,6 +127,7 @@ pub fn dispatch_sweep(request: &RemoteSweepRequest) -> Result<Vec<SearchOutcome>
         &request.workers,
         request.identity,
         &ranges,
+        metrics,
         |&(start, end)| BatchRequest::SweepRange {
             seed: request.seed,
             start: start as u64,
@@ -127,7 +159,7 @@ pub fn dispatch_queries(
         return Err(NetError::protocol("no workers to dispatch to"));
     }
     let ranges = split_ranges(batch.len(), workers.len());
-    let slices = dispatch_slices(workers, identity, &ranges, |&(start, end)| {
+    let slices = dispatch_slices(workers, identity, &ranges, None, |&(start, end)| {
         BatchRequest::Queries {
             seed,
             index_offset: start as u64,
@@ -139,11 +171,13 @@ pub fn dispatch_queries(
 }
 
 /// Ships one request per range to one worker per range, concurrently, and collects the
-/// slices in range order.
+/// slices in range order. With `metrics`, each slice's connect-to-reply wall time is
+/// recorded as `dispatch.worker_micros` and counted as `dispatch.slices`.
 fn dispatch_slices(
     workers: &[String],
     identity: u64,
     ranges: &[(usize, usize)],
+    metrics: Option<&Registry>,
     request_for: impl Fn(&(usize, usize)) -> BatchRequest + Sync,
 ) -> Result<Vec<Vec<SearchOutcome>>, NetError> {
     // More workers than non-empty ranges leaves the tail of the list idle.
@@ -154,8 +188,13 @@ fn dispatch_slices(
             .map(|(addr, range)| {
                 let request = request_for(range);
                 scope.spawn(move || {
+                    let timer = PhaseTimer::start();
                     let mut client = connect_verified(addr, identity)?;
                     let outcomes = client.submit(&request)?;
+                    if let Some(registry) = metrics {
+                        timer.observe(&registry.histogram("dispatch.worker_micros"));
+                        registry.counter("dispatch.slices").inc();
+                    }
                     let expected = range.1 - range.0;
                     if outcomes.len() != expected {
                         return Err(NetError::protocol(format!(

@@ -15,7 +15,8 @@
 //!   in `docs/FORMATS.md`). Strict readers: corrupt frames are typed [`NetError`]s,
 //!   never panics, and declared lengths are bounded before allocation.
 //! * [`message`] — the worker vocabulary: `Hello` / `LoadSnapshot` / `SubmitBatch` /
-//!   `BatchResult` / `Error`.
+//!   `BatchResult` / `Error`, plus the observability pair `StatsRequest` /
+//!   `StatsReport` carrying a worker's `sfo-obs` [`MetricsSnapshot`](sfo_obs::MetricsSnapshot).
 //! * [`server`] — [`WorkerServer`], the `sfo serve` daemon: loads one `.sfos` snapshot
 //!   into a sharded store and serves query batches from any number of clients over one
 //!   persistent engine pool.
@@ -86,7 +87,9 @@ pub mod server;
 pub mod stream;
 
 pub use client::WorkerClient;
-pub use dispatcher::{dispatch_queries, dispatch_sweep, remote_runner, RemoteDispatcher};
+pub use dispatcher::{
+    dispatch_queries, dispatch_sweep, remote_runner, remote_runner_with_metrics, RemoteDispatcher,
+};
 pub use error::NetError;
 pub use message::{BatchRequest, Hello, Message};
 pub use overlay::{OverlayNode, OverlayNodeConfig, OverlayNodeHandle};

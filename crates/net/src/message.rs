@@ -17,6 +17,10 @@
 //! * [`Message::BatchResult`] — one [`SearchOutcome`] per job, in job order.
 //! * [`Message::Error`] — the worker's typed failure surface; the connection stays
 //!   usable afterwards.
+//! * [`Message::StatsRequest`] / [`Message::StatsReport`] — the observability pair: a
+//!   client (the dispatcher, or `sfo stats` on the CLI) polls a live worker, which
+//!   answers with the [`MetricsSnapshot`] of its `sfo-obs` registry — counters plus
+//!   log-bucketed histograms, name-sorted, mergeable across workers.
 //!
 //! Search algorithms travel as their scenario-layer JSON encoding (a length-prefixed
 //! string inside the binary payload): the `SearchSpec` codec is already the workspace's
@@ -26,6 +30,7 @@
 use crate::frame::{put_str, PayloadReader};
 use crate::NetError;
 use sfo_engine::QueryBatch;
+use sfo_obs::{HistogramSnapshot, MetricsSnapshot, BUCKET_COUNT};
 use sfo_overlay::protocol::{OverlayMessage, PeerRef};
 use sfo_scenario::json::{FromJson, JsonValue, ToJson};
 use sfo_scenario::SearchSpec;
@@ -51,6 +56,10 @@ pub const TYPE_SHUFFLE: u16 = 8;
 pub const TYPE_PROBE: u16 = 9;
 /// Frame type tag of [`OverlayMessage::Leave`].
 pub const TYPE_LEAVE: u16 = 10;
+/// Frame type tag of [`Message::StatsRequest`].
+pub const TYPE_STATS_REQUEST: u16 = 11;
+/// Frame type tag of [`Message::StatsReport`].
+pub const TYPE_STATS_REPORT: u16 = 12;
 
 /// What a worker announces about the snapshot it serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +139,11 @@ pub enum Message {
     /// frame type ([`TYPE_JOIN`] through [`TYPE_LEAVE`]) — the wire side of the
     /// `sfo overlay` daemon.
     Overlay(OverlayMessage),
+    /// Client → worker: send me your metrics snapshot. Empty payload.
+    StatsRequest,
+    /// Worker → client: the point-in-time [`MetricsSnapshot`] of the worker's
+    /// `sfo-obs` registry.
+    StatsReport(MetricsSnapshot),
 }
 
 fn put_peer(out: &mut Vec<u8>, peer: &PeerRef) {
@@ -282,6 +296,28 @@ impl Message {
                     (TYPE_LEAVE, out)
                 }
             },
+            Message::StatsRequest => (TYPE_STATS_REQUEST, Vec::new()),
+            Message::StatsReport(snapshot) => {
+                let mut out = Vec::new();
+                out.extend_from_slice(&(snapshot.counters.len() as u32).to_le_bytes());
+                for (name, value) in &snapshot.counters {
+                    put_str(&mut out, name);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                out.extend_from_slice(&(snapshot.histograms.len() as u32).to_le_bytes());
+                for (name, hist) in &snapshot.histograms {
+                    put_str(&mut out, name);
+                    out.extend_from_slice(&hist.count.to_le_bytes());
+                    out.extend_from_slice(&hist.sum.to_le_bytes());
+                    out.extend_from_slice(&hist.max.to_le_bytes());
+                    out.extend_from_slice(&(hist.buckets.len() as u32).to_le_bytes());
+                    for &(bucket, samples) in &hist.buckets {
+                        out.push(bucket);
+                        out.extend_from_slice(&samples.to_le_bytes());
+                    }
+                }
+                (TYPE_STATS_REPORT, out)
+            }
         }
     }
 
@@ -412,6 +448,61 @@ impl Message {
             TYPE_LEAVE => Message::Overlay(OverlayMessage::Leave {
                 from: read_peer(&mut reader, "leave")?,
             }),
+            TYPE_STATS_REQUEST => Message::StatsRequest,
+            TYPE_STATS_REPORT => {
+                let counter_count = reader.u32("stats counters")? as usize;
+                // Each counter is at least a 4-byte name length plus an 8-byte value.
+                reader.expect_records(counter_count, 12, "stats counters")?;
+                let mut counters = Vec::with_capacity(counter_count);
+                for _ in 0..counter_count {
+                    let name = reader.str("stats counters")?.to_string();
+                    let value = reader.u64("stats counters")?;
+                    counters.push((name, value));
+                }
+                let histogram_count = reader.u32("stats histograms")? as usize;
+                // At least a 4-byte name length, count/sum/max, and a bucket count.
+                reader.expect_records(histogram_count, 32, "stats histograms")?;
+                let mut histograms = Vec::with_capacity(histogram_count);
+                for _ in 0..histogram_count {
+                    let name = reader.str("stats histograms")?.to_string();
+                    let count = reader.u64("stats histograms")?;
+                    let sum = reader.u64("stats histograms")?;
+                    let max = reader.u64("stats histograms")?;
+                    let bucket_count = reader.u32("stats buckets")? as usize;
+                    reader.expect_records(bucket_count, 9, "stats buckets")?;
+                    let mut buckets = Vec::with_capacity(bucket_count);
+                    let mut previous: Option<u8> = None;
+                    for _ in 0..bucket_count {
+                        let bucket = reader.u8("stats buckets")?;
+                        if bucket as usize >= BUCKET_COUNT {
+                            return Err(NetError::corrupt(format!(
+                                "stats buckets: bucket index {bucket} out of range"
+                            )));
+                        }
+                        if previous.is_some_and(|p| p >= bucket) {
+                            return Err(NetError::corrupt(
+                                "stats buckets: bucket indices must be strictly ascending",
+                            ));
+                        }
+                        previous = Some(bucket);
+                        let samples = reader.u64("stats buckets")?;
+                        buckets.push((bucket, samples));
+                    }
+                    histograms.push((
+                        name,
+                        HistogramSnapshot {
+                            count,
+                            sum,
+                            max,
+                            buckets,
+                        },
+                    ));
+                }
+                Message::StatsReport(MetricsSnapshot {
+                    counters,
+                    histograms,
+                })
+            }
             other => return Err(NetError::UnknownFrameType { found: other }),
         };
         reader.finish("message payload")?;
@@ -436,8 +527,40 @@ pub fn send_message(writer: &mut impl std::io::Write, message: &Message) -> Resu
 /// Every framing and decoding failure of [`crate::frame::read_frame`] and
 /// [`Message::decode`].
 pub fn recv_message(reader: &mut impl std::io::Read) -> Result<Message, NetError> {
+    recv_message_counted(reader).map(|(message, _)| message)
+}
+
+/// Total frame size (header + payload + checksum trailer) of a payload of `len` bytes.
+fn frame_bytes(len: usize) -> u64 {
+    (crate::frame::FRAME_HEADER_LEN + len + crate::frame::FRAME_TRAILER_LEN) as u64
+}
+
+/// [`send_message`], also returning the total frame bytes written — the hook the
+/// server's byte accounting uses.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] when the underlying write fails.
+pub fn send_message_counted(
+    writer: &mut impl std::io::Write,
+    message: &Message,
+) -> Result<u64, NetError> {
+    let (message_type, payload) = message.encode();
+    crate::frame::write_frame(writer, message_type, &payload)?;
+    Ok(frame_bytes(payload.len()))
+}
+
+/// [`recv_message`], also returning the total frame bytes consumed — the hook the
+/// server's byte accounting uses.
+///
+/// # Errors
+///
+/// Every framing and decoding failure of [`crate::frame::read_frame`] and
+/// [`Message::decode`].
+pub fn recv_message_counted(reader: &mut impl std::io::Read) -> Result<(Message, u64), NetError> {
     let (message_type, payload) = crate::frame::read_frame(reader)?;
-    Message::decode(message_type, &payload)
+    let bytes = frame_bytes(payload.len());
+    Ok((Message::decode(message_type, &payload)?, bytes))
 }
 
 #[cfg(test)]
@@ -507,6 +630,23 @@ mod tests {
             Message::Overlay(OverlayMessage::Leave {
                 from: PeerRef::new(9, "127.0.0.1:9109"),
             }),
+            Message::StatsRequest,
+            Message::StatsReport(MetricsSnapshot {
+                counters: vec![
+                    ("engine.jobs".to_string(), 4096),
+                    ("net.connections".to_string(), 3),
+                ],
+                histograms: vec![(
+                    "net.request_micros".to_string(),
+                    HistogramSnapshot {
+                        count: 5,
+                        sum: 700,
+                        max: 300,
+                        buckets: vec![(6, 4), (9, 1)],
+                    },
+                )],
+            }),
+            Message::StatsReport(MetricsSnapshot::default()),
         ]
     }
 
@@ -586,6 +726,52 @@ mod tests {
         assert!(matches!(
             Message::decode(TYPE_SHUFFLE, &payload),
             Err(NetError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_reports_reject_lying_counts_and_bad_buckets() {
+        // A report claiming u32::MAX counters in an 8-byte payload must fail on the
+        // record bound, not allocate.
+        let mut payload = u32::MAX.to_le_bytes().to_vec();
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Message::decode(TYPE_STATS_REPORT, &payload),
+            Err(NetError::Truncated { .. })
+        ));
+
+        fn report_with_buckets(buckets: Vec<(u8, u64)>) -> (u16, Vec<u8>) {
+            Message::StatsReport(MetricsSnapshot {
+                counters: vec![],
+                histograms: vec![(
+                    "h".to_string(),
+                    HistogramSnapshot {
+                        count: 2,
+                        sum: 2,
+                        max: 1,
+                        buckets,
+                    },
+                )],
+            })
+            .encode()
+        }
+
+        // A bucket index past the histogram's range is corrupt.
+        let (frame_type, payload) = report_with_buckets(vec![(200, 2)]);
+        assert!(matches!(
+            Message::decode(frame_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+        // Out-of-order buckets are corrupt too: snapshots are canonical.
+        let (frame_type, payload) = report_with_buckets(vec![(5, 1), (3, 1)]);
+        assert!(matches!(
+            Message::decode(frame_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+        // A stats request carries no payload at all.
+        assert!(matches!(
+            Message::decode(TYPE_STATS_REQUEST, &[1]),
+            Err(NetError::Corrupt { .. })
         ));
     }
 

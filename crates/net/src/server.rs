@@ -15,7 +15,9 @@
 //! failure — unknown request kinds, out-of-range jobs, unloadable files — comes back
 //! as a typed `Error` frame on a connection that stays usable.
 
-use crate::message::{recv_message, send_message, BatchRequest, Hello, Message};
+use crate::message::{
+    recv_message_counted, send_message, send_message_counted, BatchRequest, Hello, Message,
+};
 use crate::stream::{NetListener, NetStream};
 use crate::NetError;
 use sfo_engine::{
@@ -23,6 +25,7 @@ use sfo_engine::{
     EngineConfig, ShardedCsr, WorkerPool,
 };
 use sfo_graph::snapshot::{read_identity, Provenance, SnapshotFile};
+use sfo_obs::{PhaseTimer, Registry};
 use sfo_scenario::spec::BuiltSearch;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -98,6 +101,11 @@ struct ServerState {
     shard_count: usize,
     mmap: bool,
     stop: AtomicBool,
+    /// The daemon's one telemetry registry: the engine pool records into it, the
+    /// connection handlers count frames/bytes and request service times, and a
+    /// `StatsRequest` answers with its snapshot. Pure observation — nothing in it
+    /// feeds an RNG stream or reorders work.
+    metrics: Arc<Registry>,
 }
 
 /// A bound, snapshot-loaded worker daemon; [`WorkerServer::run`] serves until stopped.
@@ -117,16 +125,28 @@ impl WorkerServer {
     pub fn bind(config: &ServeConfig) -> Result<Self, NetError> {
         let store = Store::load(&config.snapshot_path, config.shard_count, config.mmap)?;
         let listener = NetListener::bind(&config.listen)?;
+        let metrics = Arc::new(Registry::new());
         Ok(WorkerServer {
             listener,
             state: Arc::new(ServerState {
-                pool: WorkerPool::new(EngineConfig::with_workers(config.engine_workers)),
+                pool: WorkerPool::with_metrics(
+                    EngineConfig::with_workers(config.engine_workers),
+                    Arc::clone(&metrics),
+                ),
                 store: RwLock::new(Arc::new(store)),
                 shard_count: config.shard_count,
                 mmap: config.mmap,
                 stop: AtomicBool::new(false),
+                metrics,
             }),
         })
+    }
+
+    /// The daemon's telemetry registry — engine pool counters plus the wire-side
+    /// frame/byte/service-time metrics. A `StatsRequest` frame (or `sfo stats` on the
+    /// CLI) fetches its snapshot remotely.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.state.metrics
     }
 
     /// The bound address, dialable by [`crate::WorkerClient::connect`] — how callers
@@ -146,17 +166,18 @@ impl WorkerServer {
     /// errors on a live listener are logged to stderr and survived.
     pub fn run(&self) {
         loop {
-            match self.listener.accept() {
-                Ok(stream) => {
+            match self.listener.accept_peer() {
+                Ok((stream, peer)) => {
                     if self.state.stop.load(Ordering::SeqCst) {
                         return;
                     }
+                    self.state.metrics.counter("net.connections").inc();
                     let state = Arc::clone(&self.state);
                     // Handlers are detached: they exit when their client hangs up, and
                     // an OS process exit reaps any that remain.
                     let _ = std::thread::Builder::new()
                         .name("sfo-net-conn".to_string())
-                        .spawn(move || handle_connection(stream, &state));
+                        .spawn(move || handle_connection(stream, &state, &peer));
                 }
                 Err(_) if self.state.stop.load(Ordering::SeqCst) => return,
                 Err(e) => eprintln!("sfo serve: accept failed: {e}"),
@@ -205,24 +226,35 @@ impl WorkerServerHandle {
 }
 
 /// One client conversation: `Hello`, then request/reply until the peer hangs up.
-fn handle_connection(mut stream: NetStream, state: &ServerState) {
+fn handle_connection(mut stream: NetStream, state: &ServerState, peer: &str) {
     // The store is pinned per connection: every batch on this connection runs against
     // exactly the snapshot its Hello announced, even if another client swaps the
     // server's default with LoadSnapshot in between. The identity handshake is a
     // promise about *this* conversation, and the `Arc` keeps a swapped-out store
     // alive until its last pinned connection drains.
+    let metrics = &state.metrics;
     let mut pinned = state.store.read().expect("store lock").clone();
     let announce = Message::Hello(pinned.hello(state.pool.workers() as u32));
-    if send_message(&mut stream, &announce).is_err() {
-        return;
+    match send_message_counted(&mut stream, &announce) {
+        Ok(bytes) => record_sent(metrics, &announce, bytes),
+        Err(_) => return,
     }
     loop {
-        let request = match recv_message(&mut stream) {
-            Ok(message) => message,
+        let request = match recv_message_counted(&mut stream) {
+            Ok((message, bytes)) => {
+                metrics
+                    .counter(&format!("net.frames_in.{}", kind(&message)))
+                    .inc();
+                metrics.counter("net.bytes_in").add(bytes);
+                message
+            }
             // A clean hang-up between frames is the normal end of a conversation.
             Err(NetError::Truncated { section: "header" }) => return,
             Err(e) => {
-                // The stream may be desynchronized; answer once and drop it.
+                // The stream may be desynchronized; answer once and drop it — loudly,
+                // so an operator can trace a misbehaving client by its address.
+                eprintln!("sfo serve: {peer}: request does not decode, dropping connection: {e}");
+                metrics.counter("net.decode_errors").inc();
                 let _ = send_message(
                     &mut stream,
                     &Message::Error {
@@ -232,6 +264,8 @@ fn handle_connection(mut stream: NetStream, state: &ServerState) {
                 return;
             }
         };
+        let request_kind = kind(&request);
+        let timer = PhaseTimer::start();
         let reply = match request {
             Message::LoadSnapshot { path } => {
                 match Store::load(&path, state.shard_count, state.mmap) {
@@ -254,6 +288,9 @@ fn handle_connection(mut stream: NetStream, state: &ServerState) {
                     message: e.to_string(),
                 },
             },
+            // The snapshot is taken before this request's own service time is
+            // recorded, so the reported histograms describe completed requests only.
+            Message::StatsRequest => Message::StatsReport(metrics.snapshot()),
             other => Message::Error {
                 message: format!(
                     "unexpected message {:?} on a worker connection",
@@ -261,10 +298,24 @@ fn handle_connection(mut stream: NetStream, state: &ServerState) {
                 ),
             },
         };
-        if send_message(&mut stream, &reply).is_err() {
-            return;
+        let micros = timer.elapsed_micros();
+        metrics.histogram("net.request_micros").record(micros);
+        metrics
+            .histogram(&format!("net.request_micros.{request_kind}"))
+            .record(micros);
+        match send_message_counted(&mut stream, &reply) {
+            Ok(bytes) => record_sent(metrics, &reply, bytes),
+            Err(_) => return,
         }
     }
+}
+
+/// Counts one sent frame: `net.frames_out.<Kind>` plus `net.bytes_out`.
+fn record_sent(metrics: &Registry, message: &Message, bytes: u64) {
+    metrics
+        .counter(&format!("net.frames_out.{}", kind(message)))
+        .inc();
+    metrics.counter("net.bytes_out").add(bytes);
 }
 
 fn kind(message: &Message) -> &'static str {
@@ -275,6 +326,8 @@ fn kind(message: &Message) -> &'static str {
         Message::BatchResult { .. } => "BatchResult",
         Message::Error { .. } => "Error",
         Message::Overlay(_) => "Overlay",
+        Message::StatsRequest => "StatsRequest",
+        Message::StatsReport(_) => "StatsReport",
     }
 }
 

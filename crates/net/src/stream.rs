@@ -145,15 +145,26 @@ impl NetListener {
     ///
     /// Returns [`NetError::Io`] when the accept fails.
     pub fn accept(&self) -> Result<NetStream, NetError> {
+        self.accept_peer().map(|(stream, _)| stream)
+    }
+
+    /// Blocks until one connection arrives, returning the peer's address for logging
+    /// and diagnostics. TCP peers report their real `ip:port`; Unix-domain peers are
+    /// unnamed, so the listener's own `unix:/path` stands in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the accept fails.
+    pub fn accept_peer(&self) -> Result<(NetStream, String), NetError> {
         match self {
             NetListener::Tcp(listener) => listener
                 .accept()
-                .map(|(stream, _)| NetStream::Tcp(stream))
+                .map(|(stream, peer)| (NetStream::Tcp(stream), peer.to_string()))
                 .map_err(|e| NetError::io("accept", &e)),
             #[cfg(unix)]
-            NetListener::Unix(listener, _) => listener
+            NetListener::Unix(listener, path) => listener
                 .accept()
-                .map(|(stream, _)| NetStream::Unix(stream))
+                .map(|(stream, _)| (NetStream::Unix(stream), format!("{UNIX_PREFIX}{path}")))
                 .map_err(|e| NetError::io("accept", &e)),
         }
     }
@@ -208,6 +219,24 @@ mod tests {
         drop(server_side);
         drop(listener);
         assert!(!path.exists(), "socket file must be cleaned up on drop");
+    }
+
+    #[test]
+    fn accept_peer_reports_the_tcp_peer_address() {
+        let listener = NetListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let client = std::thread::spawn(move || {
+            let stream = NetStream::connect(&addr).unwrap();
+            // Hold the connection open until the accept side has seen it.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(stream);
+        });
+        let (_stream, peer) = listener.accept_peer().unwrap();
+        assert!(
+            peer.starts_with("127.0.0.1:"),
+            "peer address should be the client's ip:port, got {peer}"
+        );
+        client.join().unwrap();
     }
 
     #[test]

@@ -170,6 +170,23 @@ enum Churn {
 ///
 /// Returns [`OverlayError::InvalidConfig`] when `config` does not validate.
 pub fn grow(config: &LiveConfig, seed: u64) -> Result<LiveOutcome> {
+    grow_metered(config, seed, None)
+}
+
+/// [`grow`] with optional telemetry: every peer of the cohort shares the given
+/// [`OverlayMetrics`](crate::protocol::OverlayMetrics), so the registry behind it
+/// aggregates messages, probe RTTs, and
+/// failure-detection events across the whole run. The outcome is byte-identical to
+/// [`grow`] — telemetry never draws from a stream or reorders the schedule.
+///
+/// # Errors
+///
+/// As [`grow`].
+pub fn grow_metered(
+    config: &LiveConfig,
+    seed: u64,
+    metrics: Option<crate::protocol::OverlayMetrics>,
+) -> Result<LiveOutcome> {
     config.validate()?;
     let salt = label_salt(&config.label());
     let mut master = stream_rng(seed, salt, 0);
@@ -223,6 +240,9 @@ pub fn grow(config: &LiveConfig, seed: u64) -> Result<LiveOutcome> {
                     let me = PeerRef::new(index as u64, format!("sim:{index}"));
                     let rng = stream_rng(seed, salt ^ PEER_STREAM_SALT, index);
                     let mut peer = Peer::new(me.clone(), config.protocol.clone(), rng);
+                    if let Some(metrics) = &metrics {
+                        peer = peer.with_metrics(metrics.clone());
+                    }
                     let alive: Vec<PeerRef> =
                         peers.iter().flatten().map(|p| p.me().clone()).collect();
                     if index < seed_size {

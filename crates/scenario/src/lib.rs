@@ -64,6 +64,7 @@ mod codec;
 mod error;
 
 pub mod json;
+pub mod metrics_json;
 pub mod remote;
 pub mod report;
 pub mod runner;

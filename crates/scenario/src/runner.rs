@@ -33,6 +33,7 @@ use sfo_engine::{
 };
 use sfo_graph::snapshot::{Provenance, SnapshotError, SnapshotFile, SnapshotOrigin};
 use sfo_graph::GraphView;
+use sfo_obs::{PhaseTimer, Registry};
 use sfo_search::experiment::{
     label_salt, rw_normalized_to_nf, stream_rng, ttl_sweep, AveragedOutcome,
 };
@@ -78,6 +79,12 @@ pub struct ScenarioRunner {
     /// Memory-map snapshot topologies instead of reading them (`--mmap`). Reports are
     /// byte-identical either way; platforms without the mapping path read as usual.
     mmap: bool,
+    /// Telemetry sink (`--metrics-out`): per-phase generate/freeze/sweep timings, the
+    /// sharded store's boundary fraction, and — through
+    /// [`WorkerPool::with_metrics`] — the engine's job/steal/batch counters. Purely
+    /// observational: a metered run's report is byte-identical to an unmetered one
+    /// (enforced by `tests/metrics_invariance.rs`).
+    metrics: Option<Arc<Registry>>,
 }
 
 impl std::fmt::Debug for ScenarioRunner {
@@ -85,6 +92,7 @@ impl std::fmt::Debug for ScenarioRunner {
         f.debug_struct("ScenarioRunner")
             .field("remote", &self.remote.is_some())
             .field("mmap", &self.mmap)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -113,6 +121,17 @@ impl ScenarioRunner {
         self
     }
 
+    /// Returns a runner that records telemetry into `registry`: the
+    /// `scenario.generate_micros` / `scenario.freeze_micros` / `scenario.sweep_micros`
+    /// phase histograms, the per-realization `scenario.boundary_fraction_ppm` of the
+    /// sharded store, and the engine pool's own counters (batched sweeps build their
+    /// [`WorkerPool`] with this registry). Telemetry never touches an RNG stream and
+    /// never reorders work, so every report stays byte-identical to an unmetered run.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Validates and executes a spec, returning the report that embeds it.
     ///
     /// # Errors
@@ -137,6 +156,17 @@ impl ScenarioRunner {
         })
     }
 
+    /// Builds the batched-sweep engine pool, sharing the runner's metrics registry when
+    /// one is installed so engine counters land beside the scenario phase timings.
+    fn pool(&self, threads: usize) -> WorkerPool {
+        match &self.metrics {
+            Some(registry) => {
+                WorkerPool::with_metrics(EngineConfig::with_workers(threads), Arc::clone(registry))
+            }
+            None => WorkerPool::new(EngineConfig::with_workers(threads)),
+        }
+    }
+
     fn run_sweep(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, ScenarioError> {
         let sweep = spec.sweep.as_ref().expect("validated static spec");
         let search = spec.search.as_ref().expect("validated static spec");
@@ -154,7 +184,7 @@ impl ScenarioRunner {
             // one query batch fanned across a persistent worker pool, which is what
             // serves the interactive single-realization case. Per-job RNG streams make
             // the results independent of the worker and shard counts.
-            let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
+            let pool = self.pool(sweep.threads);
             (0..task_count)
                 .map(|t| {
                     let c = t / realizations;
@@ -166,6 +196,7 @@ impl ScenarioRunner {
                         sweep,
                         spec.seed,
                         t % realizations,
+                        self.metrics.as_deref(),
                     )
                 })
                 .collect::<Result<Vec<_>, ScenarioError>>()?
@@ -185,6 +216,7 @@ impl ScenarioRunner {
                         sweep,
                         spec.seed,
                         realization,
+                        self.metrics.as_deref(),
                     )
                 },
             )?
@@ -371,7 +403,17 @@ impl ScenarioRunner {
         live: &sfo_overlay::sim::LiveConfig,
         snapshot: &str,
     ) -> Result<ScenarioResult, ScenarioError> {
-        let outcome = sfo_overlay::sim::grow(live, spec.seed)?;
+        let overlay_metrics = self
+            .metrics
+            .as_deref()
+            .map(sfo_overlay::protocol::OverlayMetrics::register);
+        let grow_timer = PhaseTimer::start();
+        let outcome = sfo_overlay::sim::grow_metered(live, spec.seed, overlay_metrics)?;
+        observe_phase(
+            self.metrics.as_deref(),
+            "scenario.generate_micros",
+            grow_timer,
+        );
         let params = format!(
             "peers={}, k_c={}, walks={}, ttl={}",
             live.peers,
@@ -430,13 +472,21 @@ impl ScenarioRunner {
         if !sweep.workers.is_empty() {
             return self.run_remote_sweep(path, search, sweep);
         }
+        let freeze_timer = PhaseTimer::start();
         let (file, provenance) = load_snapshot_with_provenance(path, self.mmap)?;
         let sharded = Arc::new(ShardedCsr::from_csr_owned(
             file.csr,
             sweep.shard_count.max(1),
         ));
-        let pool = WorkerPool::new(EngineConfig::with_workers(sweep.threads));
+        observe_phase(
+            self.metrics.as_deref(),
+            "scenario.freeze_micros",
+            freeze_timer,
+        );
+        record_boundary_fraction(self.metrics.as_deref(), sharded.boundary_fraction());
+        let pool = self.pool(sweep.threads);
         let m = usize::try_from(provenance.m).unwrap_or(usize::MAX);
+        let sweep_timer = PhaseTimer::start();
         let outcomes = match search.build_for::<ShardedCsr>(m)? {
             BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
                 &pool,
@@ -455,6 +505,11 @@ impl ScenarioRunner {
                 provenance.sweep_seed,
             ),
         };
+        observe_phase(
+            self.metrics.as_deref(),
+            "scenario.sweep_micros",
+            sweep_timer,
+        );
         Ok(fold_snapshot_sweep(provenance.label, sweep, &outcomes))
     }
 
@@ -583,15 +638,29 @@ fn run_sweep_task(
     sweep: &SweepSpec,
     seed: u64,
     realization: usize,
+    metrics: Option<&Registry>,
 ) -> Result<Vec<AveragedOutcome>, ScenarioError> {
     let mut rng = stream_rng(seed, label_salt(label), realization);
+    let generate_timer = PhaseTimer::start();
     let generator = curve.build()?;
     let graph = generator.generate(&mut rng)?;
+    observe_phase(metrics, "scenario.generate_micros", generate_timer);
+    let freeze_timer = PhaseTimer::start();
     if sweep.shard_count > 1 {
         let sharded = ShardedCsr::from_graph(&graph, sweep.shard_count);
-        serial_sweep_on(&sharded, curve, search, sweep, &mut rng)
+        observe_phase(metrics, "scenario.freeze_micros", freeze_timer);
+        record_boundary_fraction(metrics, sharded.boundary_fraction());
+        let sweep_timer = PhaseTimer::start();
+        let outcomes = serial_sweep_on(&sharded, curve, search, sweep, &mut rng);
+        observe_phase(metrics, "scenario.sweep_micros", sweep_timer);
+        outcomes
     } else {
-        serial_sweep_on(&graph.freeze(), curve, search, sweep, &mut rng)
+        let frozen = graph.freeze();
+        observe_phase(metrics, "scenario.freeze_micros", freeze_timer);
+        let sweep_timer = PhaseTimer::start();
+        let outcomes = serial_sweep_on(&frozen, curve, search, sweep, &mut rng);
+        observe_phase(metrics, "scenario.sweep_micros", sweep_timer);
+        outcomes
     }
 }
 
@@ -625,6 +694,7 @@ fn serial_sweep_on<G: GraphView + Sync>(
 /// workspace's `stream_rng(seed, label_salt(label), realization)` discipline; inside the
 /// batch every job derives its own stream from `(batch seed, job index)`, making the
 /// outcome independent of the pool's worker count and the store's shard count.
+#[allow(clippy::too_many_arguments)]
 fn run_batched_sweep_task(
     pool: &WorkerPool,
     curve: &TopologySpec,
@@ -633,13 +703,20 @@ fn run_batched_sweep_task(
     sweep: &SweepSpec,
     seed: u64,
     realization: usize,
+    metrics: Option<&Registry>,
 ) -> Result<Vec<AveragedOutcome>, ScenarioError> {
     let mut rng = stream_rng(seed, label_salt(label), realization);
+    let generate_timer = PhaseTimer::start();
     let generator = curve.build()?;
     let graph = generator.generate(&mut rng)?;
+    observe_phase(metrics, "scenario.generate_micros", generate_timer);
     let batch_seed = rng.next_u64();
+    let freeze_timer = PhaseTimer::start();
     let sharded = Arc::new(ShardedCsr::from_graph(&graph, sweep.shard_count.max(1)));
-    Ok(match search.build_for::<ShardedCsr>(curve.m())? {
+    observe_phase(metrics, "scenario.freeze_micros", freeze_timer);
+    record_boundary_fraction(metrics, sharded.boundary_fraction());
+    let sweep_timer = PhaseTimer::start();
+    let outcomes = match search.build_for::<ShardedCsr>(curve.m())? {
         BuiltSearch::Algorithm(algorithm) => batched_ttl_sweep(
             pool,
             &sharded,
@@ -656,7 +733,30 @@ fn run_batched_sweep_task(
             sweep.searches_per_point,
             batch_seed,
         ),
-    })
+    };
+    observe_phase(metrics, "scenario.sweep_micros", sweep_timer);
+    Ok(outcomes)
+}
+
+/// Records the elapsed time of a finished phase into `metrics` (when installed) under
+/// the given histogram name. A pure clock observation: no RNG stream is touched and no
+/// work is reordered, per the workspace's telemetry rules.
+fn observe_phase(metrics: Option<&Registry>, name: &str, timer: PhaseTimer) {
+    if let Some(registry) = metrics {
+        timer.observe(&registry.histogram(name));
+    }
+}
+
+/// Records a sharded store's boundary fraction — the cross-shard share of its edge
+/// endpoints, a pure function of the frozen topology and the shard count — as parts
+/// per million in the `scenario.boundary_fraction_ppm` histogram.
+fn record_boundary_fraction(metrics: Option<&Registry>, fraction: f64) {
+    if let Some(registry) = metrics {
+        let ppm = (fraction * 1_000_000.0).round() as u64;
+        registry
+            .histogram("scenario.boundary_fraction_ppm")
+            .record(ppm);
+    }
 }
 
 fn effective_threads(requested: usize, tasks: usize) -> usize {
@@ -1013,6 +1113,59 @@ mod tests {
             .iter()
             .flat_map(|r| &r.samples)
             .any(|s| s.max_degree > 8));
+    }
+
+    #[test]
+    fn metered_runs_record_phases_without_changing_results() {
+        let mut spec = pa_spec(2);
+        spec.sweep.as_mut().unwrap().batch = true;
+        let plain = ScenarioRunner::new().run(&spec).unwrap();
+        let registry = Arc::new(Registry::new());
+        let metered = ScenarioRunner::new()
+            .with_metrics(Arc::clone(&registry))
+            .run(&spec)
+            .unwrap();
+        // Telemetry is pure observation: identical report, identical JSON bytes.
+        assert_eq!(metered, plain);
+        assert_eq!(metered.to_json_string(), plain.to_json_string());
+        // 4 curves × 2 realizations = 8 tasks, each recording all three phases plus
+        // its sharded store's boundary fraction.
+        let snapshot = registry.snapshot();
+        for phase in [
+            "scenario.generate_micros",
+            "scenario.freeze_micros",
+            "scenario.sweep_micros",
+            "scenario.boundary_fraction_ppm",
+        ] {
+            assert_eq!(snapshot.histogram(phase).unwrap().count, 8, "{phase}");
+        }
+        // The engine pool shares the registry: one batch per task, many jobs.
+        assert_eq!(snapshot.counter("engine.batches"), Some(8));
+        assert!(snapshot.counter("engine.jobs").unwrap() > 0);
+
+        // The legacy (non-batch) path records the same phases.
+        let legacy = Arc::new(Registry::new());
+        let legacy_spec = pa_spec(2);
+        let metered_legacy = ScenarioRunner::new()
+            .with_metrics(Arc::clone(&legacy))
+            .run(&legacy_spec)
+            .unwrap();
+        assert_eq!(
+            metered_legacy,
+            ScenarioRunner::new().run(&legacy_spec).unwrap()
+        );
+        let snapshot = legacy.snapshot();
+        assert_eq!(
+            snapshot
+                .histogram("scenario.generate_micros")
+                .unwrap()
+                .count,
+            8
+        );
+        assert_eq!(
+            snapshot.histogram("scenario.sweep_micros").unwrap().count,
+            8
+        );
     }
 
     #[test]

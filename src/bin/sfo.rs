@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sfo scenario run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]
+//!                  [--metrics-out <metrics.json>]
 //! sfo scenario validate <spec.json> [<spec.json> ...]
 //! sfo scenario template [static|degree|churn|trace|live]
 //! sfo snapshot build <spec.json> -o <file.sfos> [--shards N]
@@ -10,6 +11,8 @@
 //! sfo snapshot verify <file.sfos>
 //! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]
 //! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--out <report.json>] [--quiet]
+//!              [--metrics-out <metrics.json>]
+//! sfo stats <addr>
 //! sfo overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>] [--tick-millis N]
 //!             [--active-cap N] [--walks N]
 //! ```
@@ -42,6 +45,15 @@
 //! spec, whatever the worker count. Plain `scenario run` also honors a spec's
 //! `workers` field; `dispatch` just makes the worker list a command-line concern.
 //!
+//! `stats` polls a running worker's telemetry — the `sfo-obs` counters and latency
+//! histograms the daemon accumulates (connections, frames and bytes by message type,
+//! per-request service times, engine jobs/steals/batches) — and prints the snapshot as
+//! JSON. `--metrics-out <file.json>` on `scenario run` and `dispatch` writes the local
+//! process's own telemetry (per-phase generate/freeze/sweep timings, boundary
+//! fractions, dispatch latencies) beside the report; the report itself never contains
+//! telemetry, so instrumented and plain runs stay byte-identical
+//! (metric names and determinism rules: `docs/ARCHITECTURE.md`).
+//!
 //! `overlay` runs one live membership peer ([`OverlayNode`]) over real sockets: it joins an
 //! overlay through `--bootstrap <id>@<addr>` (or seeds a new one without it) and grows
 //! a capped scale-free topology by protocol execution. The deterministic counterpart —
@@ -51,19 +63,22 @@
 //! unchanged.
 
 use sfoverlay::prelude::{
-    build_snapshot, remote_runner, LiveConfig, OverlayNode, OverlayNodeConfig, PeerRef,
-    ProtocolConfig, ScenarioReport, ScenarioSpec, SearchSpec, ServeConfig, ShardedCsr,
-    SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerServer,
+    build_snapshot, remote_runner, remote_runner_with_metrics, LiveConfig, OverlayNode,
+    OverlayNodeConfig, PeerRef, ProtocolConfig, Registry, ScenarioReport, ScenarioSpec, SearchSpec,
+    ServeConfig, ShardedCsr, SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerClient,
+    WorkerServer,
 };
+use sfoverlay::scenario::json::ToJson;
 use sfoverlay::scenario::{ScenarioResult, SweepMetric};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> String {
-    "usage: sfo <scenario|snapshot|serve|dispatch|overlay> <command>\n\
+    "usage: sfo <scenario|snapshot|serve|dispatch|stats|overlay> <command>\n\
      \n\
      scenario commands:\n\
      \x20 run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]\n\
-     \x20                                                    execute a scenario file\n\
+     \x20     [--metrics-out <metrics.json>]                 execute a scenario file\n\
      \x20 validate <spec.json> [...]                         check scenario files\n\
      \x20 template [static|degree|churn|trace|live]          print a starter spec\n\
      \n\
@@ -81,7 +96,10 @@ fn usage() -> String {
      \x20                                                    batches to remote dispatchers\n\
      \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...]\n\
      \x20          [--out <report.json>] [--quiet]           split the spec's sweep across\n\
-     \x20                                                    sfo serve workers\n\
+     \x20          [--metrics-out <metrics.json>]            sfo serve workers\n\
+     \x20 stats <addr>                                       poll a worker's telemetry\n\
+     \x20                                                    (counters + latency\n\
+     \x20                                                    histograms) as JSON\n\
      \n\
      live membership:\n\
      \x20 overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>]\n\
@@ -98,6 +116,9 @@ fn usage() -> String {
      platforms without the mapping path silently fall back to reading).\n\
      --threads N overrides the spec's sweep thread count without editing the file\n\
      (results are unchanged: every task and batched job has its own RNG stream).\n\
+     --metrics-out <file.json> writes the run's local telemetry (phase timings,\n\
+     boundary fractions, engine and dispatch counters) beside the report; reports\n\
+     never embed telemetry, so instrumented runs stay byte-identical to plain ones.\n\
      Run a persisted topology by pointing a spec's topology section at the file:\n\
      {\"family\": \"snapshot\", \"path\": \"<file.sfos>\"} — reports are byte-identical\n\
      to the inline generator, and dispatched runs are byte-identical to local ones\n\
@@ -112,6 +133,7 @@ fn main() -> ExitCode {
         Some("snapshot") => snapshot_command(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("dispatch") => dispatch(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("overlay") => overlay(&args[1..]),
         Some("--help" | "-h") => {
             println!("{}", usage());
@@ -209,6 +231,7 @@ fn serve(args: &[String]) -> ExitCode {
 fn dispatch(args: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut out: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
     let mut workers: Vec<String> = Vec::new();
     let mut quiet = false;
     let mut iter = args.iter();
@@ -225,6 +248,13 @@ fn dispatch(args: &[String]) -> ExitCode {
                 Some(value) => out = Some(value),
                 None => {
                     eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match iter.next() {
+                Some(value) => metrics_out = Some(value),
+                None => {
+                    eprintln!("--metrics-out requires a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -290,7 +320,7 @@ fn dispatch(args: &[String]) -> ExitCode {
     }
     // A dispatched sweep reads only the snapshot's meta locally — the workers load
     // the file — so the mapping knob is theirs (`sfo serve --mmap`), not ours.
-    execute_and_emit(&spec, out, quiet, false)
+    execute_and_emit(&spec, out, quiet, false, metrics_out)
 }
 
 fn overlay(args: &[String]) -> ExitCode {
@@ -560,6 +590,27 @@ fn snapshot_inspect(args: &[String]) -> ExitCode {
                 "  shards: {} (cross-shard edges: {cross}, boundary fraction {fraction:.4})",
                 records.len()
             );
+            // Per-shard cut quality: adjacency entries come straight from the offsets
+            // array, boundary entries from the manifest, so the per-shard fraction is
+            // outbound boundary entries over the shard's directed entries.
+            let (offsets, _) = file.csr.raw_parts();
+            for (index, record) in records.iter().enumerate() {
+                let entries =
+                    offsets[record.end as usize] as u64 - offsets[record.start as usize] as u64;
+                let shard_fraction = if entries == 0 {
+                    0.0
+                } else {
+                    record.boundary.len() as f64 / entries as f64
+                };
+                println!(
+                    "    shard {index}: nodes {}..{} ({} entries, {} boundary, \
+                     boundary fraction {shard_fraction:.4})",
+                    record.start,
+                    record.end,
+                    entries,
+                    record.boundary.len(),
+                );
+            }
         }
         None => println!("  shards: none (plain topology)"),
     }
@@ -666,6 +717,7 @@ fn load_spec(path: &str) -> Result<ScenarioSpec, String> {
 fn run(args: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut out: Option<&str> = None;
+    let mut metrics_out: Option<&str> = None;
     let mut threads: Option<usize> = None;
     let mut quiet = false;
     let mut mmap = false;
@@ -677,6 +729,13 @@ fn run(args: &[String]) -> ExitCode {
                 Some(value) => out = Some(value),
                 None => {
                     eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-out" => match iter.next() {
+                Some(value) => metrics_out = Some(value),
+                None => {
+                    eprintln!("--metrics-out requires a path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -724,13 +783,28 @@ fn run(args: &[String]) -> ExitCode {
             spec.name, spec.realizations
         );
     }
-    execute_and_emit(&spec, out, quiet, mmap)
+    execute_and_emit(&spec, out, quiet, mmap, metrics_out)
 }
 
 /// Shared tail of `scenario run` and `dispatch`: execute through the remote-enabled
 /// runner (a no-op wiring difference for specs without workers) and emit the report.
-fn execute_and_emit(spec: &ScenarioSpec, out: Option<&str>, quiet: bool, mmap: bool) -> ExitCode {
-    let report = match remote_runner().with_mmap(mmap).run(spec) {
+///
+/// With `metrics_out`, the runner is handed a telemetry [`Registry`] and its snapshot is
+/// written as a second JSON file after a successful run. The report bytes are the same
+/// either way: telemetry never enters the report.
+fn execute_and_emit(
+    spec: &ScenarioSpec,
+    out: Option<&str>,
+    quiet: bool,
+    mmap: bool,
+    metrics_out: Option<&str>,
+) -> ExitCode {
+    let registry = metrics_out.map(|_| Arc::new(Registry::new()));
+    let runner = match &registry {
+        Some(registry) => remote_runner_with_metrics(Arc::clone(registry)),
+        None => remote_runner(),
+    };
+    let report = match runner.with_mmap(mmap).run(spec) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("scenario '{}' failed: {e}", spec.name);
@@ -753,6 +827,49 @@ fn execute_and_emit(spec: &ScenarioSpec, out: Option<&str>, quiet: bool, mmap: b
         }
         None => print!("{json}"),
     }
+    if let (Some(metrics_path), Some(registry)) = (metrics_out, &registry) {
+        let metrics_json = registry.snapshot().to_json().to_pretty_string();
+        if let Err(e) = std::fs::write(metrics_path, &metrics_json) {
+            eprintln!("cannot write {metrics_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("metrics written to {metrics_path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sfo stats <addr>` — poll a running worker's telemetry snapshot and print it as JSON.
+fn stats(args: &[String]) -> ExitCode {
+    let [addr] = args else {
+        eprintln!(
+            "stats takes exactly one worker address (host:port or unix:/path)\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let addr = addr.as_str();
+    let mut client = match WorkerClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snapshot = match client.stats() {
+        Ok(snapshot) => snapshot,
+        Err(e) => {
+            eprintln!("{addr}: stats request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{addr}: {} counter(s), {} histogram(s)",
+        snapshot.counters.len(),
+        snapshot.histograms.len()
+    );
+    print!("{}", snapshot.to_json().to_pretty_string());
     ExitCode::SUCCESS
 }
 

@@ -37,6 +37,12 @@
 //!   behind `sfo serve` (a loaded `.sfos` snapshot served to many clients through one
 //!   engine pool), and the [`RemoteDispatcher`](sfo_net::RemoteDispatcher) that splits
 //!   a spec's job grid across workers with byte-identical results.
+//! * [`obs`] — the workspace telemetry layer ([`sfo_obs`]): lock-free counters,
+//!   log-bucketed latency histograms, phase timers, and the named-metric
+//!   [`Registry`](sfo_obs::Registry) instrumenting the engine, the wire protocol, the
+//!   overlay, and the scenario runner — surfaced by `sfo stats <addr>` and
+//!   `--metrics-out`, and never allowed to perturb a result byte (see
+//!   `docs/ARCHITECTURE.md`).
 //! * [`experiments`] — reproductions of every figure and table of the paper
 //!   ([`sfo_experiments`]), built on the scenario layer.
 //!
@@ -69,6 +75,7 @@ pub use sfo_engine as engine;
 pub use sfo_experiments as experiments;
 pub use sfo_graph as graph;
 pub use sfo_net as net;
+pub use sfo_obs as obs;
 pub use sfo_overlay as overlay;
 pub use sfo_scenario as scenario;
 pub use sfo_search as search;
@@ -99,11 +106,16 @@ pub mod prelude {
     };
     pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
     pub use sfo_net::{
-        remote_runner, NetError, OverlayNode, OverlayNodeConfig, OverlayNodeHandle,
-        RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
+        remote_runner, remote_runner_with_metrics, NetError, OverlayNode, OverlayNodeConfig,
+        OverlayNodeHandle, RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
     };
-    pub use sfo_overlay::protocol::{OverlayMessage, Peer, PeerRef, ProtocolConfig};
-    pub use sfo_overlay::sim::{grow, LiveConfig, LiveOutcome, LiveStats};
+    pub use sfo_obs::{
+        Counter, Histogram, HistogramSnapshot, MetricsSnapshot, PhaseTimer, Registry,
+    };
+    pub use sfo_overlay::protocol::{
+        OverlayMessage, OverlayMetrics, Peer, PeerRef, ProtocolConfig,
+    };
+    pub use sfo_overlay::sim::{grow, grow_metered, LiveConfig, LiveOutcome, LiveStats};
     pub use sfo_scenario::{
         build_snapshot, DegreeCurve, DynamicsSpec, LiveRealization, MeasureSpec,
         RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioReport, ScenarioRunner,
@@ -160,6 +172,10 @@ mod tests {
         assert_eq!(sharded.shard_count(), 2);
         let _ = QueryBatch::new();
         let _ = EngineConfig::with_workers(2);
+        // The telemetry layer is reachable through the prelude.
+        let registry = Registry::new();
+        registry.counter("prelude.smoke").inc();
+        assert_eq!(registry.snapshot().counter("prelude.smoke"), Some(1));
         let _ = MeasureSpec::DegreeDistribution { bins_per_decade: 8 };
         let spec = ScenarioSpec::sweep(
             "prelude",

@@ -1,0 +1,208 @@
+//! Telemetry never changes results: the headline invariant of `sfo-obs`.
+//!
+//! Instrumentation is pure observation — relaxed atomic increments and monotonic
+//! clock reads — so a run with a metrics registry attached must produce a
+//! `ScenarioReport` byte-identical to a plain run's, while the registry itself fills
+//! with the phase timings and counters the run generated. These tests pin both halves
+//! at the facade level (determinism rule 6 in `docs/ARCHITECTURE.md`), including over
+//! the wire: a serving worker accumulates request telemetry that `WorkerClient::stats`
+//! polls without perturbing the batches it serves.
+
+use sfoverlay::net::{ServeConfig, WorkerServer};
+use sfoverlay::prelude::*;
+use sfoverlay::scenario::json::{FromJson, JsonValue, ToJson};
+use sfoverlay::scenario::ScenarioResult;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfo-metrics-inv-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A batched capped-PA sweep: the shape that exercises the engine pool, the freeze
+/// path, and the sweep fold all at once.
+fn sweep_spec(name: &str, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::sweep(
+        format!("metrics-inv-{name}"),
+        TopologySpec::Pa {
+            nodes: 400,
+            m: 2,
+            cutoff: Some(12),
+        },
+        SearchSpec::Flooding,
+        SweepSpec::single(vec![1, 2, 4], 7),
+        seed,
+        2,
+    );
+    spec.sweep.as_mut().unwrap().batch = true;
+    spec
+}
+
+#[test]
+fn metered_sweep_reports_are_byte_identical_to_plain_ones() {
+    let spec = sweep_spec("sweep", 29);
+    let plain = ScenarioRunner::new().run(&spec).unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let metered = ScenarioRunner::new()
+        .with_metrics(Arc::clone(&registry))
+        .run(&spec)
+        .unwrap();
+    assert_eq!(
+        metered.to_json_string(),
+        plain.to_json_string(),
+        "attaching a registry changed the report bytes"
+    );
+
+    // The registry really observed the run: every phase histogram saw one sample per
+    // (curve, realization) task and the engine pool counted its batched jobs.
+    let snapshot = registry.snapshot();
+    let tasks = 2; // one sweep curve × two realizations
+    for phase in [
+        "scenario.generate_micros",
+        "scenario.freeze_micros",
+        "scenario.sweep_micros",
+    ] {
+        let hist = snapshot
+            .histogram(phase)
+            .unwrap_or_else(|| panic!("{phase} missing"));
+        assert_eq!(hist.count, tasks, "{phase} sample count");
+    }
+    assert_eq!(snapshot.counter("engine.batches"), Some(tasks));
+    assert!(snapshot.counter("engine.jobs").unwrap() > 0);
+}
+
+#[test]
+fn metered_live_overlay_reports_are_byte_identical_to_plain_ones() {
+    // The live path routes telemetry all the way into the overlay peers; the emergent
+    // topology (grown by per-peer RNG streams) must not notice.
+    let dir = scratch("live");
+    let plain_path = dir.join("plain.sfos").display().to_string();
+    let metered_path = dir.join("metered.sfos").display().to_string();
+    let plain = ScenarioRunner::new()
+        .run(&ScenarioSpec::live(
+            "metrics-inv-live",
+            LiveConfig::small(),
+            &plain_path,
+            7,
+        ))
+        .unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let metered = ScenarioRunner::new()
+        .with_metrics(Arc::clone(&registry))
+        .run(&ScenarioSpec::live(
+            "metrics-inv-live",
+            LiveConfig::small(),
+            &metered_path,
+            7,
+        ))
+        .unwrap();
+
+    // The grown snapshot bytes are identical (so the emergent topology, its
+    // provenance, and its identity all are)...
+    let plain_bytes = std::fs::read(&plain_path).unwrap();
+    let metered_bytes = std::fs::read(&metered_path).unwrap();
+    assert_eq!(plain_bytes, metered_bytes, "telemetry changed grown bytes");
+    // ...and so is every realization field except the output path the specs differ by.
+    let (ScenarioResult::Live { realizations: a }, ScenarioResult::Live { realizations: b }) =
+        (&plain.result, &metered.result)
+    else {
+        panic!("expected live results");
+    };
+    let (a, b) = (&a[0], &b[0]);
+    assert_eq!(
+        (a.arrivals, a.leaves, a.crashes, a.final_peers),
+        (b.arrivals, b.leaves, b.crashes, b.final_peers)
+    );
+    assert_eq!(
+        (a.edges, a.max_degree, a.messages, a.identity),
+        (b.edges, b.max_degree, b.messages, b.identity)
+    );
+
+    let snapshot = registry.snapshot();
+    assert!(snapshot.counter("overlay.msg.join").unwrap() > 0);
+    assert_eq!(
+        snapshot
+            .histogram("scenario.generate_micros")
+            .unwrap()
+            .count,
+        1
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn served_batches_fill_worker_telemetry_that_stats_polls() {
+    let dir = scratch("wire");
+    let base = sweep_spec("wire", 41);
+    let path = dir.join("wire.sfos");
+    build_snapshot(&base, 0).unwrap().save(&path).unwrap();
+
+    let server = WorkerServer::bind(&ServeConfig {
+        snapshot_path: path.display().to_string(),
+        listen: "127.0.0.1:0".to_string(),
+        engine_workers: 2,
+        shard_count: 2,
+        mmap: false,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Snapshot sweeps are pinned to one realization by validation.
+    let mut spec = base.clone();
+    spec.realizations = 1;
+    spec.topology = Some(TopologySpec::Snapshot {
+        path: path.display().to_string(),
+    });
+    let local = remote_runner().run(&spec).unwrap();
+    // Two slices through the same worker: splits are contiguity, not placement.
+    spec.sweep.as_mut().unwrap().workers = vec![addr.clone(), addr.clone()];
+
+    // Dispatch with a client-side registry: the distributed result matches the local
+    // one (telemetry on either end changes nothing)...
+    let registry = Arc::new(Registry::new());
+    let report = remote_runner_with_metrics(Arc::clone(&registry))
+        .run(&spec)
+        .unwrap();
+    assert_eq!(report.result, local.result);
+    let client_side = registry.snapshot();
+    assert_eq!(client_side.counter("dispatch.slices"), Some(2));
+    assert_eq!(
+        client_side
+            .histogram("dispatch.worker_micros")
+            .unwrap()
+            .count,
+        2
+    );
+
+    // ...and the worker accumulated the served side, polled over the wire.
+    let mut client = WorkerClient::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.counter("net.connections").unwrap() > 0);
+    assert!(stats.counter("net.frames_in.SubmitBatch").unwrap() >= 2);
+    assert!(stats.counter("engine.jobs").unwrap() > 0);
+    assert!(stats.counter("net.bytes_out").unwrap() > 0);
+    let requests = stats.histogram("net.request_micros").unwrap();
+    assert!(requests.count >= 2);
+    assert!(requests.p95() >= requests.p50());
+
+    // Polling is itself observed: a second poll sees the first one's frame.
+    let again = client.stats().unwrap();
+    assert!(
+        again.counter("net.frames_in.StatsRequest").unwrap()
+            > stats.counter("net.frames_in.StatsRequest").unwrap_or(0)
+    );
+
+    // The polled snapshot survives the JSON rendering `--metrics-out` uses.
+    let json = stats.to_json().to_pretty_string();
+    let reparsed = MetricsSnapshot::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+    assert_eq!(reparsed, stats);
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -22,6 +22,10 @@
 //!   pool, each on its own RNG stream derived with the workspace's single
 //!   [`stream_rng`](sfo_search::experiment::stream_rng) rule — results are independent
 //!   of the worker count, of stealing order, and of the shard count.
+//! * [`placed`]: the cross-host traversal state machine behind placed execution — a
+//!   suspended search ([`PlacedState`]) moves between shard hosts as a visited-bitset
+//!   delta plus frontier plus raw RNG state, reproducing the serial oracle byte for
+//!   byte on any placement ([`placed_advance`]).
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod placed;
 pub mod scheduler;
 pub mod sharded;
 
@@ -53,6 +58,9 @@ pub use batch::{
     batched_ttl_sweep, batched_ttl_sweep_range, job_rng, run_batch_scoped,
     run_batch_scoped_with_scratch, run_queries, run_queries_offset, run_queries_serial,
     AlgorithmTable, QueryBatch, QueryJob, BATCH_STREAM_LABEL,
+};
+pub use placed::{
+    placed_advance, placed_start, PlacedAlgorithm, PlacedState, PlacedStep, StepStats, NO_NODE,
 };
 pub use scheduler::{execute, execute_with_scratch, EngineConfig, WorkerPool};
 pub use sharded::{BoundaryEdge, BoundaryTable, CsrShard, ShardedCsr};

@@ -71,6 +71,7 @@ mod graph;
 mod mmap;
 mod multigraph;
 mod node;
+mod slice;
 mod view;
 
 pub mod centrality;
@@ -90,6 +91,7 @@ pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NeighborIter};
 pub use multigraph::{MultiGraph, SimplifyReport};
 pub use node::NodeId;
+pub use slice::{CsrSlice, ShardView};
 pub use view::{GraphView, NodeIds, ViewEdges};
 
 /// Convenience result alias used throughout this crate.

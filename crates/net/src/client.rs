@@ -1,8 +1,11 @@
 //! The client half of a worker connection.
 
-use crate::message::{recv_message, send_message, BatchRequest, Hello, Message};
+use crate::message::{
+    recv_message, send_message, BatchRequest, FrontierResult, Hello, Message, ShardPayload,
+};
 use crate::stream::NetStream;
 use crate::NetError;
+use sfo_engine::PlacedState;
 use sfo_obs::MetricsSnapshot;
 use sfo_search::SearchOutcome;
 
@@ -74,6 +77,52 @@ impl WorkerClient {
             Message::Error { message } => Err(NetError::Remote { message }),
             other => Err(NetError::protocol(format!(
                 "expected a Hello after LoadSnapshot, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ships one placed shard to the worker and returns the fresh announcement — the
+    /// worker now serves those rows (and only those) to `ForwardFrontier` requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] when the worker refuses the shard (it is pinned
+    /// to different placement coordinates).
+    pub fn load_shard(&mut self, payload: ShardPayload) -> Result<Hello, NetError> {
+        send_message(&mut self.stream, &Message::LoadShard(payload))?;
+        match recv_message(&mut self.stream)? {
+            Message::Hello(hello) => {
+                self.hello = hello;
+                Ok(hello)
+            }
+            Message::Error { message } => Err(NetError::Remote { message }),
+            other => Err(NetError::protocol(format!(
+                "expected a Hello after LoadShard, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Forwards one suspended placed search to the worker and returns how far it got:
+    /// the finished outcome, or the re-suspended state to route onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] when the worker refuses the frontier (wrong
+    /// snapshot identity, out-of-range fields, or a cursor it does not own).
+    pub fn forward_frontier(
+        &mut self,
+        identity: u64,
+        state: PlacedState,
+    ) -> Result<FrontierResult, NetError> {
+        send_message(
+            &mut self.stream,
+            &Message::ForwardFrontier { identity, state },
+        )?;
+        match recv_message(&mut self.stream)? {
+            Message::FrontierResult(result) => Ok(result),
+            Message::Error { message } => Err(NetError::Remote { message }),
+            other => Err(NetError::protocol(format!(
+                "expected a FrontierResult, got {other:?}"
             ))),
         }
     }

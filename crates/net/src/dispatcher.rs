@@ -12,9 +12,11 @@
 //! length checks) that turns deployment mistakes into errors instead of wrong data.
 
 use crate::client::WorkerClient;
-use crate::message::BatchRequest;
+use crate::message::{BatchRequest, FrontierResult, WHOLE_SNAPSHOT};
+use crate::placed::{placed_algorithm, shard_of, shard_payload, sweep_job_state};
 use crate::NetError;
 use sfo_engine::QueryBatch;
+use sfo_graph::snapshot::SnapshotFile;
 use sfo_obs::{PhaseTimer, Registry};
 use sfo_scenario::{
     RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioRunner, SearchSpec,
@@ -121,6 +123,9 @@ fn dispatch_sweep_metered(
     if request.workers.is_empty() {
         return Err(NetError::protocol("no workers to dispatch to"));
     }
+    if request.placed {
+        return dispatch_placed(request, metrics);
+    }
     let total = request.job_count();
     let ranges = split_ranges(total, request.workers.len());
     let slices = dispatch_slices(
@@ -138,6 +143,130 @@ fn dispatch_sweep_metered(
         },
     )?;
     Ok(merge(ranges.iter().map(|r| r.1 - r.0), slices))
+}
+
+/// Placed execution of one sweep grid: worker `i` holds shard `i` of
+/// `workers.len()`, every job is injected at the worker owning its source node, and
+/// a traversal needing a foreign row hops between workers as a forwarded frontier.
+///
+/// Setup first ships each worker exactly its [`crate::placed::shard_range`] slice
+/// (cut from the locally-read snapshot file) — or, for a worker already announcing a
+/// shard index (`sfo serve --shard`), verifies the announced coordinates and refuses
+/// a worker holding the wrong shard. The job loop then routes each suspended state
+/// to the owner of its cursor until the search completes. Because a frontier carries
+/// the exact serial traversal state (RNG words included), the merged outcomes are
+/// byte-identical to the serial oracle for any shard count and any interleaving.
+fn dispatch_placed(
+    request: &RemoteSweepRequest,
+    metrics: Option<&Registry>,
+) -> Result<Vec<SearchOutcome>, NetError> {
+    let algorithm = placed_algorithm(&request.search, request.m)?;
+    let path = &request.snapshot_path;
+    let identity = sfo_graph::snapshot::read_identity(path)
+        .map_err(|e| NetError::protocol(format!("cannot read {path}: {e}")))?;
+    if identity != request.identity {
+        return Err(NetError::protocol(format!(
+            "{path} hashes to {identity:#018x}, but the scenario names \
+             {:#018x}; the dispatcher must read the same realization it places",
+            request.identity
+        )));
+    }
+    let csr = SnapshotFile::load(path)
+        .map_err(|e| NetError::protocol(format!("cannot read {path}: {e}")))?
+        .csr;
+    let node_count = csr.node_count();
+    if node_count == 0 {
+        return Err(NetError::protocol(format!(
+            "{path} holds an empty topology"
+        )));
+    }
+    let shard_count = request.workers.len();
+
+    // Placement handshake: every worker must end up holding exactly its shard of
+    // this snapshot before any frontier moves.
+    for (w, addr) in request.workers.iter().enumerate() {
+        let mut client = connect_verified(addr, request.identity)?;
+        let hello = *client.hello();
+        let confirmed = if hello.shard_index == WHOLE_SNAPSHOT {
+            client.load_shard(shard_payload(&csr, request.identity, shard_count, w))?
+        } else {
+            hello
+        };
+        if confirmed.shard_index != w as u32 || confirmed.shard_count as usize != shard_count {
+            return Err(NetError::protocol(format!(
+                "worker {addr} holds shard {} of {}, but this placement needs it to \
+                 hold shard {w} of {shard_count}",
+                confirmed.shard_index, confirmed.shard_count
+            )));
+        }
+    }
+
+    let total = request.job_count();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let searches = request.searches_per_point;
+    // Striped across threads (thread t owns jobs ≡ t mod threads); each thread keeps
+    // its own connection per shard, opened on first use. The stripe shape is
+    // invisible in the results — every job's bytes depend only on its global index.
+    let threads = shard_count.min(total).max(1);
+    let results: Vec<Result<Vec<(usize, SearchOutcome)>, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut clients: Vec<Option<WorkerClient>> = Vec::new();
+                    clients.resize_with(shard_count, || None);
+                    let mut slice = Vec::new();
+                    for global in (t..total).step_by(threads) {
+                        let ttl = request.ttls[global / searches];
+                        let mut state =
+                            sweep_job_state(algorithm, request.seed, global, ttl, node_count);
+                        let outcome = loop {
+                            // Route to the owner of the row the search needs
+                            // next; a cursor-less (finished-flood) state can
+                            // complete anywhere.
+                            let shard = state
+                                .cursor()
+                                .map_or(0, |c| shard_of(c as usize, node_count, shard_count));
+                            let client = match &mut clients[shard] {
+                                Some(client) => client,
+                                slot => slot.insert(connect_verified(
+                                    &request.workers[shard],
+                                    request.identity,
+                                )?),
+                            };
+                            let timer = PhaseTimer::start();
+                            let reply = client.forward_frontier(request.identity, state)?;
+                            if let Some(registry) = metrics {
+                                timer.observe(&registry.histogram("placed.hop_micros"));
+                                registry.counter("placed.frontiers_sent").inc();
+                            }
+                            match reply {
+                                FrontierResult::Done(outcome) => break outcome,
+                                FrontierResult::Continue(next) => state = next,
+                            }
+                        };
+                        slice.push((global, outcome));
+                    }
+                    Ok(slice)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("placed dispatch thread panicked"))
+            .collect()
+    });
+    let mut merged: Vec<Option<SearchOutcome>> = vec![None; total];
+    for slice in results {
+        for (global, outcome) in slice? {
+            merged[global] = Some(outcome);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|slot| slot.ok_or_else(|| NetError::protocol("placed dispatch lost a job")))
+        .collect()
 }
 
 /// Runs an explicit [`QueryBatch`] across workers — one contiguous job slice each —
@@ -261,6 +390,8 @@ mod tests {
             searches_per_point: 1,
             search: SearchSpec::Flooding,
             m: 1,
+            placed: false,
+            snapshot_path: String::new(),
         };
         assert!(matches!(
             dispatch_sweep(&request),
@@ -279,6 +410,8 @@ mod tests {
             searches_per_point: 2,
             search: SearchSpec::Flooding,
             m: 1,
+            placed: false,
+            snapshot_path: String::new(),
         };
         assert!(matches!(dispatch_sweep(&request), Err(NetError::Io { .. })));
     }

@@ -28,6 +28,11 @@
 //! * [`overlay`] — [`OverlayNode`], the `sfo overlay` daemon: one `sfo-overlay` peer
 //!   over real sockets, with the five membership messages carried one-to-one on their
 //!   own frame types.
+//! * [`placed`] — real shard placement: the canonical shard partition
+//!   ([`placed::shard_range`]/[`placed::shard_of`]), `LoadShard` shipments that give
+//!   worker `i` exactly shard `i`'s rows, and the dispatcher loop that routes every
+//!   search to the owner of the row it needs next, hopping between hosts as
+//!   `ForwardFrontier`/`FrontierResult` frames (`sweep.placed`, `sfo serve --shard`).
 //!
 //! **The headline invariant is byte-identity.** Every job of a batch derives its RNG
 //! from `(batch seed, global job index)` — the workspace's single stream rule — so
@@ -36,7 +41,11 @@
 //! byte-identical to the same spec run locally, for any worker count and any job
 //! split. The dispatcher's own machinery is therefore pure refusal logic: workers echo
 //! the identity hash of the snapshot they serve in `Hello`, and a dispatcher refuses
-//! to send work to one serving the wrong realization.
+//! to send work to one serving the wrong realization. Placed runs keep the same
+//! invariant by a stronger mechanism: a forwarded frontier carries the search's exact
+//! serial state (visited delta, queue, raw RNG words), so cross-host traversal is a
+//! pure partition of the serial oracle's work — byte-identical for any shard count,
+//! placement, and interleaving.
 //!
 //! # Example
 //!
@@ -53,6 +62,7 @@
 //!     listen: "127.0.0.1:0".to_string(),
 //!     engine_workers: 0,
 //!     shard_count: 4,
+//!     shard_index: None,
 //!     mmap: false,
 //! })?;
 //! let addr = server.local_addr();
@@ -83,6 +93,7 @@ pub mod dispatcher;
 pub mod frame;
 pub mod message;
 pub mod overlay;
+pub mod placed;
 pub mod server;
 pub mod stream;
 

@@ -29,7 +29,8 @@
 
 use crate::frame::{put_str, PayloadReader};
 use crate::NetError;
-use sfo_engine::QueryBatch;
+use sfo_engine::{PlacedAlgorithm, PlacedState, QueryBatch};
+use sfo_graph::{CsrSlice, NodeId};
 use sfo_obs::{HistogramSnapshot, MetricsSnapshot, BUCKET_COUNT};
 use sfo_overlay::protocol::{OverlayMessage, PeerRef};
 use sfo_scenario::json::{FromJson, JsonValue, ToJson};
@@ -60,6 +61,16 @@ pub const TYPE_LEAVE: u16 = 10;
 pub const TYPE_STATS_REQUEST: u16 = 11;
 /// Frame type tag of [`Message::StatsReport`].
 pub const TYPE_STATS_REPORT: u16 = 12;
+/// Frame type tag of [`Message::LoadShard`].
+pub const TYPE_LOAD_SHARD: u16 = 13;
+/// Frame type tag of [`Message::ForwardFrontier`].
+pub const TYPE_FORWARD_FRONTIER: u16 = 14;
+/// Frame type tag of [`Message::FrontierResult`].
+pub const TYPE_FRONTIER_RESULT: u16 = 15;
+
+/// [`Hello::shard_index`] value of a worker serving the whole snapshot rather than
+/// one placed shard.
+pub const WHOLE_SNAPSHOT: u32 = u32::MAX;
 
 /// What a worker announces about the snapshot it serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +86,40 @@ pub struct Hello {
     pub shard_count: u32,
     /// Worker threads in the serving engine pool.
     pub engine_workers: u32,
+    /// Which placed shard the worker holds, or [`WHOLE_SNAPSHOT`] when it serves the
+    /// entire topology. A placed dispatcher refuses a worker whose announced shard is
+    /// not the one its placement assigns it.
+    pub shard_index: u32,
+}
+
+/// One placed shard as shipped to its host: the slice (range, rebased offsets,
+/// contiguous target rows, global shape) plus the identity hash and placement
+/// coordinates that let the host refuse a shipment for the wrong snapshot or slot.
+///
+/// Boundary tables are deliberately *not* shipped: under the canonical contiguous
+/// partition, ownership of any node is pure arithmetic on
+/// `(node, node_count, shard_count)` (see [`crate::placed::shard_range`]), so the
+/// slice alone is enough to route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPayload {
+    /// Identity hash of the snapshot the slice was cut from.
+    pub identity: u64,
+    /// Which shard of the partition this is.
+    pub shard_index: u32,
+    /// How many shards the partition has.
+    pub shard_count: u32,
+    /// The shard's rows.
+    pub slice: CsrSlice,
+}
+
+/// A worker's answer to a forwarded frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontierResult {
+    /// The search completed on this host; the job's final outcome.
+    Done(SearchOutcome),
+    /// The search needs a row this host does not own; the suspended state to resume
+    /// on the owner of its cursor.
+    Continue(PlacedState),
 }
 
 /// Work shipped to a worker inside a [`Message::SubmitBatch`].
@@ -144,6 +189,19 @@ pub enum Message {
     /// Worker → client: the point-in-time [`MetricsSnapshot`] of the worker's
     /// `sfo-obs` registry.
     StatsReport(MetricsSnapshot),
+    /// Client → worker: serve this placed shard (the worker answers with its new
+    /// [`Message::Hello`], now announcing the shard index).
+    LoadShard(ShardPayload),
+    /// Client → worker: resume this suspended placed search on your rows.
+    ForwardFrontier {
+        /// Identity hash of the snapshot the search runs on; a worker holding a
+        /// different snapshot (or shard) refuses.
+        identity: u64,
+        /// The suspended search.
+        state: PlacedState,
+    },
+    /// Worker → client: the forwarded frontier either finished here or must hop on.
+    FrontierResult(FrontierResult),
 }
 
 fn put_peer(out: &mut Vec<u8>, peer: &PeerRef) {
@@ -171,6 +229,163 @@ fn read_bool(reader: &mut PayloadReader<'_>, section: &'static str) -> Result<bo
     }
 }
 
+fn put_placed_algorithm(out: &mut Vec<u8>, algorithm: PlacedAlgorithm) {
+    let (tag, param): (u8, u64) = match algorithm {
+        PlacedAlgorithm::Flooding => (0, 0),
+        PlacedAlgorithm::NormalizedFlooding { k_min } => (1, k_min as u64),
+        PlacedAlgorithm::ProbabilisticFlooding { p } => (2, p.to_bits()),
+        PlacedAlgorithm::RandomWalk => (3, 0),
+        PlacedAlgorithm::MultipleRandomWalk { walkers } => (4, walkers as u64),
+        PlacedAlgorithm::RwNormalizedToNf { k_min } => (5, k_min as u64),
+    };
+    out.push(tag);
+    out.extend_from_slice(&param.to_le_bytes());
+}
+
+fn read_placed_algorithm(reader: &mut PayloadReader<'_>) -> Result<PlacedAlgorithm, NetError> {
+    let tag = reader.u8("placed algorithm")?;
+    let param = reader.u64("placed algorithm")?;
+    let positive = |param: u64| {
+        usize::try_from(param)
+            .ok()
+            .filter(|&v| v >= 1)
+            .ok_or_else(|| {
+                NetError::corrupt(format!(
+                    "placed algorithm parameter {param} must be a positive machine integer"
+                ))
+            })
+    };
+    match tag {
+        0 | 3 => {
+            if param != 0 {
+                return Err(NetError::corrupt(
+                    "placed algorithm: parameterless algorithms carry parameter 0",
+                ));
+            }
+            Ok(if tag == 0 {
+                PlacedAlgorithm::Flooding
+            } else {
+                PlacedAlgorithm::RandomWalk
+            })
+        }
+        1 => Ok(PlacedAlgorithm::NormalizedFlooding {
+            k_min: positive(param)?,
+        }),
+        2 => {
+            let p = f64::from_bits(param);
+            if p.is_finite() && p > 0.0 && p <= 1.0 {
+                Ok(PlacedAlgorithm::ProbabilisticFlooding { p })
+            } else {
+                Err(NetError::corrupt(
+                    "placed algorithm: forwarding probability must lie in (0, 1]",
+                ))
+            }
+        }
+        4 => Ok(PlacedAlgorithm::MultipleRandomWalk {
+            walkers: positive(param)?,
+        }),
+        5 => Ok(PlacedAlgorithm::RwNormalizedToNf {
+            k_min: positive(param)?,
+        }),
+        other => Err(NetError::corrupt(format!(
+            "unknown placed algorithm tag {other}"
+        ))),
+    }
+}
+
+fn put_placed_state(out: &mut Vec<u8>, state: &PlacedState) {
+    put_placed_algorithm(out, state.algorithm);
+    put_bool(out, state.walk_phase);
+    out.extend_from_slice(&state.source.to_le_bytes());
+    out.extend_from_slice(&state.ttl.to_le_bytes());
+    out.extend_from_slice(&state.hits.to_le_bytes());
+    out.extend_from_slice(&state.messages.to_le_bytes());
+    out.extend_from_slice(&state.current.to_le_bytes());
+    out.extend_from_slice(&state.previous.to_le_bytes());
+    out.extend_from_slice(&state.walker.to_le_bytes());
+    out.extend_from_slice(&state.steps_done.to_le_bytes());
+    for word in state.rng {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.extend_from_slice(&(state.visited.len() as u32).to_le_bytes());
+    for &(word_index, word) in &state.visited {
+        out.extend_from_slice(&word_index.to_le_bytes());
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.extend_from_slice(&(state.queue.len() as u32).to_le_bytes());
+    for &(node, from, depth) in &state.queue {
+        out.extend_from_slice(&node.to_le_bytes());
+        out.extend_from_slice(&from.to_le_bytes());
+        out.extend_from_slice(&depth.to_le_bytes());
+    }
+}
+
+fn read_placed_state(reader: &mut PayloadReader<'_>) -> Result<PlacedState, NetError> {
+    let algorithm = read_placed_algorithm(reader)?;
+    let walk_phase = read_bool(reader, "frontier phase")?;
+    if !walk_phase
+        && matches!(
+            algorithm,
+            PlacedAlgorithm::RandomWalk | PlacedAlgorithm::MultipleRandomWalk { .. }
+        )
+    {
+        return Err(NetError::corrupt(
+            "frontier: a walk algorithm cannot be in the flood phase",
+        ));
+    }
+    let source = reader.u32("frontier")?;
+    let ttl = reader.u32("frontier")?;
+    let hits = reader.u64("frontier")?;
+    let messages = reader.u64("frontier")?;
+    let current = reader.u32("frontier")?;
+    let previous = reader.u32("frontier")?;
+    let walker = reader.u32("frontier")?;
+    let steps_done = reader.u32("frontier")?;
+    let mut rng = [0u64; 4];
+    for word in &mut rng {
+        *word = reader.u64("frontier rng")?;
+    }
+    let visited_count = reader.u32("visited delta")? as usize;
+    reader.expect_records(visited_count, 12, "visited delta")?;
+    let mut visited = Vec::with_capacity(visited_count);
+    let mut last_word: Option<u32> = None;
+    for _ in 0..visited_count {
+        let word_index = reader.u32("visited delta")?;
+        if last_word.is_some_and(|previous| previous >= word_index) {
+            return Err(NetError::corrupt(
+                "visited delta: word indices must be strictly ascending",
+            ));
+        }
+        last_word = Some(word_index);
+        visited.push((word_index, reader.u64("visited delta")?));
+    }
+    let queue_count = reader.u32("frontier queue")? as usize;
+    reader.expect_records(queue_count, 12, "frontier queue")?;
+    let mut queue = Vec::with_capacity(queue_count);
+    for _ in 0..queue_count {
+        queue.push((
+            reader.u32("frontier queue")?,
+            reader.u32("frontier queue")?,
+            reader.u32("frontier queue")?,
+        ));
+    }
+    Ok(PlacedState {
+        algorithm,
+        walk_phase,
+        source,
+        ttl,
+        hits,
+        messages,
+        current,
+        previous,
+        walker,
+        steps_done,
+        rng,
+        visited,
+        queue,
+    })
+}
+
 fn put_search_spec(out: &mut Vec<u8>, spec: &SearchSpec) {
     put_str(out, &spec.to_json().to_pretty_string());
 }
@@ -194,6 +409,7 @@ impl Message {
                 out.extend_from_slice(&hello.edge_count.to_le_bytes());
                 out.extend_from_slice(&hello.shard_count.to_le_bytes());
                 out.extend_from_slice(&hello.engine_workers.to_le_bytes());
+                out.extend_from_slice(&hello.shard_index.to_le_bytes());
                 (TYPE_HELLO, out)
             }
             Message::LoadSnapshot { path } => {
@@ -318,6 +534,51 @@ impl Message {
                 }
                 (TYPE_STATS_REPORT, out)
             }
+            Message::LoadShard(shard) => {
+                let (offsets, targets) = shard.slice.raw_parts();
+                let mut out = Vec::with_capacity(60 + 4 * offsets.len() + 4 * targets.len());
+                out.extend_from_slice(&shard.identity.to_le_bytes());
+                out.extend_from_slice(
+                    &(sfo_graph::ShardView::node_count(&shard.slice) as u64).to_le_bytes(),
+                );
+                out.extend_from_slice(
+                    &(sfo_graph::ShardView::edge_count(&shard.slice) as u64).to_le_bytes(),
+                );
+                out.extend_from_slice(&shard.shard_index.to_le_bytes());
+                out.extend_from_slice(&shard.shard_count.to_le_bytes());
+                out.extend_from_slice(&(shard.slice.start() as u64).to_le_bytes());
+                out.extend_from_slice(&(shard.slice.end() as u64).to_le_bytes());
+                for &offset in offsets {
+                    out.extend_from_slice(&offset.to_le_bytes());
+                }
+                out.extend_from_slice(&(targets.len() as u32).to_le_bytes());
+                for &target in targets {
+                    out.extend_from_slice(&target.as_u32().to_le_bytes());
+                }
+                (TYPE_LOAD_SHARD, out)
+            }
+            Message::ForwardFrontier { identity, state } => {
+                let mut out =
+                    Vec::with_capacity(128 + 12 * state.visited.len() + 12 * state.queue.len());
+                out.extend_from_slice(&identity.to_le_bytes());
+                put_placed_state(&mut out, state);
+                (TYPE_FORWARD_FRONTIER, out)
+            }
+            Message::FrontierResult(result) => {
+                let mut out = Vec::new();
+                match result {
+                    FrontierResult::Done(outcome) => {
+                        out.push(0u8);
+                        out.extend_from_slice(&(outcome.hits as u64).to_le_bytes());
+                        out.extend_from_slice(&(outcome.messages as u64).to_le_bytes());
+                    }
+                    FrontierResult::Continue(state) => {
+                        out.push(1u8);
+                        put_placed_state(&mut out, state);
+                    }
+                }
+                (TYPE_FRONTIER_RESULT, out)
+            }
         }
     }
 
@@ -338,6 +599,7 @@ impl Message {
                     edge_count: reader.u64("hello")?,
                     shard_count: reader.u32("hello")?,
                     engine_workers: reader.u32("hello")?,
+                    shard_index: reader.u32("hello")?,
                 };
                 Message::Hello(hello)
             }
@@ -503,6 +765,94 @@ impl Message {
                     histograms,
                 })
             }
+            TYPE_LOAD_SHARD => {
+                let identity = reader.u64("shard payload")?;
+                let node_count = reader.u64("shard payload")?;
+                let edge_count = reader.u64("shard payload")?;
+                let shard_index = reader.u32("shard payload")?;
+                let shard_count = reader.u32("shard payload")?;
+                let start = reader.u64("shard payload")?;
+                let end = reader.u64("shard payload")?;
+                if shard_count == 0 || shard_index >= shard_count {
+                    return Err(NetError::corrupt(format!(
+                        "shard payload: shard index {shard_index} of {shard_count} is not a placement"
+                    )));
+                }
+                let as_size = |value: u64, what: &str| {
+                    usize::try_from(value).map_err(|_| {
+                        NetError::corrupt(format!("shard payload: {what} {value} exceeds usize"))
+                    })
+                };
+                let node_count = as_size(node_count, "node count")?;
+                let edge_count = as_size(edge_count, "edge count")?;
+                let start = as_size(start, "range start")?;
+                let end = as_size(end, "range end")?;
+                if start > end || end > node_count {
+                    return Err(NetError::corrupt(format!(
+                        "shard payload: range {start}..{end} out of bounds for {node_count} nodes"
+                    )));
+                }
+                let expected = crate::placed::shard_range(
+                    node_count,
+                    shard_count as usize,
+                    shard_index as usize,
+                );
+                if expected != (start..end) {
+                    return Err(NetError::corrupt(format!(
+                        "shard payload: range {start}..{end} is not shard {shard_index} of \
+                         {shard_count} over {node_count} nodes (expected {expected:?})"
+                    )));
+                }
+                let offset_count = end - start + 1;
+                reader.expect_records(offset_count, 4, "shard offsets")?;
+                let mut offsets = Vec::with_capacity(offset_count);
+                for _ in 0..offset_count {
+                    offsets.push(reader.u32("shard offsets")?);
+                }
+                let target_count = reader.u32("shard targets")? as usize;
+                reader.expect_records(target_count, 4, "shard targets")?;
+                let mut targets = Vec::with_capacity(target_count);
+                for _ in 0..target_count {
+                    targets.push(NodeId::new(reader.u32("shard targets")? as usize));
+                }
+                let slice =
+                    CsrSlice::from_parts(start..end, node_count, edge_count, offsets, targets)
+                        .map_err(|e| {
+                            NetError::corrupt(format!("shard payload does not assemble: {e}"))
+                        })?;
+                Message::LoadShard(ShardPayload {
+                    identity,
+                    shard_index,
+                    shard_count,
+                    slice,
+                })
+            }
+            TYPE_FORWARD_FRONTIER => {
+                let identity = reader.u64("frontier")?;
+                let state = read_placed_state(&mut reader)?;
+                Message::ForwardFrontier { identity, state }
+            }
+            TYPE_FRONTIER_RESULT => {
+                let result = match reader.u8("frontier result")? {
+                    0 => {
+                        let hits = reader.u64("frontier result")?;
+                        let messages = reader.u64("frontier result")?;
+                        FrontierResult::Done(SearchOutcome {
+                            hits: usize::try_from(hits)
+                                .map_err(|_| NetError::corrupt("hit count exceeds usize"))?,
+                            messages: usize::try_from(messages)
+                                .map_err(|_| NetError::corrupt("message count exceeds usize"))?,
+                        })
+                    }
+                    1 => FrontierResult::Continue(read_placed_state(&mut reader)?),
+                    other => {
+                        return Err(NetError::corrupt(format!(
+                            "unknown frontier result kind {other}"
+                        )))
+                    }
+                };
+                Message::FrontierResult(result)
+            }
             other => return Err(NetError::UnknownFrameType { found: other }),
         };
         reader.finish("message payload")?;
@@ -568,6 +918,38 @@ mod tests {
     use super::*;
     use sfo_graph::NodeId;
 
+    fn sample_placed_state() -> PlacedState {
+        PlacedState {
+            algorithm: PlacedAlgorithm::NormalizedFlooding { k_min: 2 },
+            walk_phase: false,
+            source: 3,
+            ttl: 5,
+            hits: 17,
+            messages: 40,
+            current: 3,
+            previous: sfo_engine::NO_NODE,
+            walker: 0,
+            steps_done: 0,
+            rng: [1, 2, 3, 4],
+            visited: vec![(0, 0b1001), (2, u64::MAX)],
+            queue: vec![(9, 3, 1), (14, sfo_engine::NO_NODE, 2)],
+        }
+    }
+
+    fn sample_shard_payload() -> ShardPayload {
+        let mut g = sfo_graph::Graph::with_nodes(10);
+        for i in 0..9 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1)).unwrap();
+        }
+        let csr = g.freeze();
+        ShardPayload {
+            identity: 0xABCD_EF01_2345_6789,
+            shard_index: 1,
+            shard_count: 3,
+            slice: csr.extract_slice(crate::placed::shard_range(10, 3, 1)),
+        }
+    }
+
     fn sample_messages() -> Vec<Message> {
         let mut batch = QueryBatch::new();
         batch.push(NodeId::new(3), 0, 4);
@@ -579,6 +961,7 @@ mod tests {
                 edge_count: 20_000,
                 shard_count: 4,
                 engine_workers: 8,
+                shard_index: WHOLE_SNAPSHOT,
             }),
             Message::LoadSnapshot {
                 path: "topologies/pa_m2_kc10.sfos".to_string(),
@@ -647,6 +1030,22 @@ mod tests {
                 )],
             }),
             Message::StatsReport(MetricsSnapshot::default()),
+            Message::LoadShard(sample_shard_payload()),
+            Message::ForwardFrontier {
+                identity: 0xFEED_F00D_DEAD_BEEF,
+                state: sample_placed_state(),
+            },
+            Message::FrontierResult(FrontierResult::Done(SearchOutcome::new(12, 99))),
+            Message::FrontierResult(FrontierResult::Continue(PlacedState {
+                algorithm: PlacedAlgorithm::MultipleRandomWalk { walkers: 4 },
+                walk_phase: true,
+                current: 7,
+                previous: 3,
+                walker: 2,
+                steps_done: 5,
+                queue: Vec::new(),
+                ..sample_placed_state()
+            })),
         ]
     }
 
@@ -771,6 +1170,70 @@ mod tests {
         // A stats request carries no payload at all.
         assert!(matches!(
             Message::decode(TYPE_STATS_REQUEST, &[1]),
+            Err(NetError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn placed_frames_reject_malformed_payloads() {
+        // A frontier whose visited count lies about the payload is bounded before
+        // allocation.
+        let (frame_type, payload) = Message::ForwardFrontier {
+            identity: 1,
+            state: sample_placed_state(),
+        }
+        .encode();
+        let mut lying = payload.clone();
+        // The visited count sits right after identity(8) + algorithm(9) + phase(1) +
+        // 8 u32 fields... easier: find the encoded count (2) and inflate it.
+        let count_at = 8 + 9 + 1 + 4 * 6 + 8 * 2 + 8 * 4;
+        assert_eq!(&lying[count_at..count_at + 4], &2u32.to_le_bytes());
+        lying[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Message::decode(frame_type, &lying),
+            Err(NetError::Truncated { .. })
+        ));
+
+        // Out-of-order visited words are corrupt: exports are canonical.
+        let mut disordered = sample_placed_state();
+        disordered.visited = vec![(2, 1), (1, 1)];
+        let (frame_type, payload) = Message::ForwardFrontier {
+            identity: 1,
+            state: disordered,
+        }
+        .encode();
+        assert!(matches!(
+            Message::decode(frame_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+
+        // A walk algorithm claiming to be mid-flood is structurally impossible.
+        let mut impossible = sample_placed_state();
+        impossible.algorithm = PlacedAlgorithm::RandomWalk;
+        impossible.walk_phase = false;
+        let (frame_type, payload) = Message::ForwardFrontier {
+            identity: 1,
+            state: impossible,
+        }
+        .encode();
+        assert!(matches!(
+            Message::decode(frame_type, &payload),
+            Err(NetError::Corrupt { .. })
+        ));
+
+        // A shard payload whose range is not the canonical placement of its index.
+        let (frame_type, payload) = Message::LoadShard(sample_shard_payload()).encode();
+        let mut misplaced = payload.clone();
+        misplaced[28..32].copy_from_slice(&0u32.to_le_bytes()); // claim shard 0
+        assert!(matches!(
+            Message::decode(frame_type, &misplaced),
+            Err(NetError::Corrupt { .. })
+        ));
+        // A shard index outside the partition.
+        let mut wild = payload.clone();
+        wild[28..32].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            Message::decode(frame_type, &wild),
             Err(NetError::Corrupt { .. })
         ));
     }

@@ -14,20 +14,38 @@
 //! `LoadSnapshot` swaps the served file (answering with a fresh `Hello`), and every
 //! failure — unknown request kinds, out-of-range jobs, unloadable files — comes back
 //! as a typed `Error` frame on a connection that stays usable.
+//!
+//! # Shard serving
+//!
+//! Besides the whole-snapshot mode, a worker can hold one *shard* of a placed
+//! deployment: the contiguous [`CsrSlice`] of the node range
+//! [`crate::placed::shard_range`] assigns it, installed either at startup
+//! (`sfo serve --shard i`, which cuts the slice out of the local snapshot file) or
+//! over the wire by a dispatcher's `LoadShard` frame. A shard host announces its
+//! shard index in `Hello` (whole-snapshot workers announce
+//! [`WHOLE_SNAPSHOT`]), refuses `SubmitBatch` — it cannot run whole jobs — and
+//! instead serves `ForwardFrontier`: it resumes a suspended placed search on its
+//! rows with [`placed_advance`] and answers `FrontierResult::Done` or
+//! `FrontierResult::Continue`. Admission is strict: a frontier whose cursor this
+//! shard does not own, or whose snapshot identity differs, is a typed error, never
+//! silently-wrong work.
 
 use crate::message::{
-    recv_message_counted, send_message, send_message_counted, BatchRequest, Hello, Message,
+    recv_message_counted, send_message, send_message_counted, BatchRequest, FrontierResult, Hello,
+    Message, ShardPayload, WHOLE_SNAPSHOT,
 };
 use crate::stream::{NetListener, NetStream};
 use crate::NetError;
 use sfo_engine::{
-    batched_rw_normalized_to_nf_range, batched_ttl_sweep_range, run_queries_offset, AlgorithmTable,
-    EngineConfig, ShardedCsr, WorkerPool,
+    batched_rw_normalized_to_nf_range, batched_ttl_sweep_range, placed_advance, run_queries_offset,
+    AlgorithmTable, EngineConfig, PlacedState, PlacedStep, SearchScratch, ShardedCsr, StepStats,
+    WorkerPool,
 };
 use sfo_graph::snapshot::{read_identity, Provenance, SnapshotFile};
+use sfo_graph::{CsrSlice, ShardView};
 use sfo_obs::{PhaseTimer, Registry};
 use sfo_scenario::spec::BuiltSearch;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Configuration of a serving daemon.
@@ -39,9 +57,15 @@ pub struct ServeConfig {
     pub listen: String,
     /// Engine pool worker threads (0 = all available cores).
     pub engine_workers: usize,
-    /// Shards the loaded store is partitioned into (0 or 1 = unsharded). Sharding
-    /// never changes results.
+    /// Whole-snapshot mode: shards the loaded store is partitioned into (0 or 1 =
+    /// unsharded; sharding never changes results). Shard mode (`shard_index` set):
+    /// the placement's total shard count.
     pub shard_count: usize,
+    /// Serve one placed shard instead of the whole snapshot: cut shard `i` of
+    /// `shard_count` out of the file and answer `ForwardFrontier` only
+    /// (`sfo serve --shard i`). The pin is permanent for the daemon's lifetime —
+    /// `LoadShard`/`LoadSnapshot` for a different shard or file are refused.
+    pub shard_index: Option<usize>,
     /// Memory-map the snapshot's topology arrays instead of reading them into owned
     /// buffers (`sfo serve --mmap`). The file is checksum-verified once either way,
     /// and a mapped store answers every request byte-identically to a read one; on
@@ -49,15 +73,35 @@ pub struct ServeConfig {
     pub mmap: bool,
 }
 
-/// One loaded snapshot: the store plus what `Hello` announces about it.
+/// What a store holds: every row, or one placed shard's rows.
+enum Topology {
+    /// The whole snapshot, shardable for the in-process engine.
+    Whole(Arc<ShardedCsr>),
+    /// One placed shard: the slice plus its position in the placement.
+    Shard {
+        slice: Arc<CsrSlice>,
+        shard_index: u32,
+        shard_count: u32,
+    },
+}
+
+/// One loaded snapshot (or shard of one): the store plus what `Hello` announces.
 struct Store {
-    graph: Arc<ShardedCsr>,
-    provenance: Provenance,
+    topology: Topology,
+    /// Present on stores loaded from `.sfos` files; absent on shards installed over
+    /// the wire (`LoadShard` ships rows, not provenance — shard hosts never build
+    /// jobs, so they never need the stored `m`).
+    provenance: Option<Provenance>,
     identity: u64,
 }
 
 impl Store {
-    fn load(path: &str, shard_count: usize, mmap: bool) -> Result<Store, NetError> {
+    fn load(
+        path: &str,
+        shard_count: usize,
+        shard_index: Option<usize>,
+        mmap: bool,
+    ) -> Result<Store, NetError> {
         let file = if mmap {
             SnapshotFile::load_mmap(path)
         } else {
@@ -77,20 +121,70 @@ impl Store {
         }
         let identity = read_identity(path)
             .map_err(|e| NetError::protocol(format!("cannot serve {path}: {e}")))?;
+        let topology = match shard_index {
+            None => Topology::Whole(Arc::new(ShardedCsr::from_csr_owned(
+                file.csr,
+                shard_count.max(1),
+            ))),
+            Some(index) => {
+                if shard_count == 0 || index >= shard_count {
+                    return Err(NetError::protocol(format!(
+                        "cannot serve {path}: shard {index} of {shard_count} is not a \
+                         placement (need --shards above the shard index)"
+                    )));
+                }
+                let range = crate::placed::shard_range(file.csr.node_count(), shard_count, index);
+                Topology::Shard {
+                    slice: Arc::new(file.csr.extract_slice(range)),
+                    shard_index: index as u32,
+                    shard_count: shard_count as u32,
+                }
+            }
+        };
         Ok(Store {
-            graph: Arc::new(ShardedCsr::from_csr_owned(file.csr, shard_count.max(1))),
-            provenance,
+            topology,
+            provenance: Some(provenance),
             identity,
         })
     }
 
+    /// Wraps a wire-shipped shard as a servable store.
+    fn from_payload(payload: ShardPayload) -> Store {
+        Store {
+            identity: payload.identity,
+            topology: Topology::Shard {
+                slice: Arc::new(payload.slice),
+                shard_index: payload.shard_index,
+                shard_count: payload.shard_count,
+            },
+            provenance: None,
+        }
+    }
+
+    /// The view placed frontiers run against.
+    fn shard_view(&self) -> &dyn ShardView {
+        match &self.topology {
+            Topology::Whole(graph) => graph.as_ref(),
+            Topology::Shard { slice, .. } => slice.as_ref(),
+        }
+    }
+
     fn hello(&self, engine_workers: u32) -> Hello {
+        let (shard_count, shard_index) = match &self.topology {
+            Topology::Whole(graph) => (graph.shard_count() as u32, WHOLE_SNAPSHOT),
+            Topology::Shard {
+                shard_index,
+                shard_count,
+                ..
+            } => (*shard_count, *shard_index),
+        };
         Hello {
             identity: self.identity,
-            node_count: self.graph.node_count() as u64,
-            edge_count: self.graph.edge_count() as u64,
-            shard_count: self.graph.shard_count() as u32,
+            node_count: self.shard_view().node_count() as u64,
+            edge_count: self.shard_view().edge_count() as u64,
+            shard_count,
             engine_workers,
+            shard_index,
         }
     }
 }
@@ -99,8 +193,14 @@ struct ServerState {
     pool: WorkerPool,
     store: RwLock<Arc<Store>>,
     shard_count: usize,
+    /// The `--shard` pin: a pinned daemon serves exactly this placed shard forever.
+    pinned_shard: Option<usize>,
     mmap: bool,
     stop: AtomicBool,
+    /// Monotonic connection ids, so per-connection telemetry and logs attribute to
+    /// the conversation that misbehaved, not to whichever peer string a thread last
+    /// held.
+    connections: AtomicU64,
     /// The daemon's one telemetry registry: the engine pool records into it, the
     /// connection handlers count frames/bytes and request service times, and a
     /// `StatsRequest` answers with its snapshot. Pure observation — nothing in it
@@ -121,9 +221,15 @@ impl WorkerServer {
     /// # Errors
     ///
     /// Returns [`NetError::Protocol`] when the snapshot cannot be served (unreadable,
-    /// corrupt, empty, or provenance-less) and [`NetError::Io`] when the bind fails.
+    /// corrupt, empty, provenance-less, or a `--shard` index outside the placement)
+    /// and [`NetError::Io`] when the bind fails.
     pub fn bind(config: &ServeConfig) -> Result<Self, NetError> {
-        let store = Store::load(&config.snapshot_path, config.shard_count, config.mmap)?;
+        let store = Store::load(
+            &config.snapshot_path,
+            config.shard_count,
+            config.shard_index,
+            config.mmap,
+        )?;
         let listener = NetListener::bind(&config.listen)?;
         let metrics = Arc::new(Registry::new());
         Ok(WorkerServer {
@@ -135,8 +241,10 @@ impl WorkerServer {
                 ),
                 store: RwLock::new(Arc::new(store)),
                 shard_count: config.shard_count,
+                pinned_shard: config.shard_index,
                 mmap: config.mmap,
                 stop: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
                 metrics,
             }),
         })
@@ -172,12 +280,13 @@ impl WorkerServer {
                         return;
                     }
                     self.state.metrics.counter("net.connections").inc();
+                    let conn = self.state.connections.fetch_add(1, Ordering::SeqCst) + 1;
                     let state = Arc::clone(&self.state);
                     // Handlers are detached: they exit when their client hangs up, and
                     // an OS process exit reaps any that remain.
                     let _ = std::thread::Builder::new()
                         .name("sfo-net-conn".to_string())
-                        .spawn(move || handle_connection(stream, &state, &peer));
+                        .spawn(move || handle_connection(stream, &state, conn, &peer));
                 }
                 Err(_) if self.state.stop.load(Ordering::SeqCst) => return,
                 Err(e) => eprintln!("sfo serve: accept failed: {e}"),
@@ -225,8 +334,24 @@ impl WorkerServerHandle {
     }
 }
 
+/// Whether a receive error means the stream can no longer be trusted to be
+/// frame-aligned. Errors raised *after* a whole checksum-verified frame was consumed
+/// (an unknown frame type, a payload that decodes wrong) leave the stream aligned on
+/// the next frame boundary — the connection answers a typed error and keeps serving.
+/// Everything raised mid-frame (bad magic, a truncated payload or trailer, a failed
+/// checksum, an IO error) means desync: answer once, then drop.
+fn frame_desynced(error: &NetError) -> bool {
+    match error {
+        NetError::UnknownFrameType { .. } | NetError::Corrupt { .. } => false,
+        // Payload-section truncation is a full frame whose *contents* ran short;
+        // only the frame codec's own sections mean the stream itself broke.
+        NetError::Truncated { section } => matches!(*section, "payload" | "trailer"),
+        _ => true,
+    }
+}
+
 /// One client conversation: `Hello`, then request/reply until the peer hangs up.
-fn handle_connection(mut stream: NetStream, state: &ServerState, peer: &str) {
+fn handle_connection(mut stream: NetStream, state: &ServerState, conn: u64, peer: &str) {
     // The store is pinned per connection: every batch on this connection runs against
     // exactly the snapshot its Hello announced, even if another client swaps the
     // server's default with LoadSnapshot in between. The identity handshake is a
@@ -234,6 +359,8 @@ fn handle_connection(mut stream: NetStream, state: &ServerState, peer: &str) {
     // alive until its last pinned connection drains.
     let metrics = &state.metrics;
     let mut pinned = state.store.read().expect("store lock").clone();
+    // Per-connection traversal arena for placed frontiers, reused across requests.
+    let mut scratch = SearchScratch::new();
     let announce = Message::Hello(pinned.hello(state.pool.workers() as u32));
     match send_message_counted(&mut stream, &announce) {
         Ok(bytes) => record_sent(metrics, &announce, bytes),
@@ -251,24 +378,39 @@ fn handle_connection(mut stream: NetStream, state: &ServerState, peer: &str) {
             // A clean hang-up between frames is the normal end of a conversation.
             Err(NetError::Truncated { section: "header" }) => return,
             Err(e) => {
-                // The stream may be desynchronized; answer once and drop it — loudly,
-                // so an operator can trace a misbehaving client by its address.
-                eprintln!("sfo serve: {peer}: request does not decode, dropping connection: {e}");
+                // Attributed to this connection, not to whatever peer string the
+                // thread last logged — loudly, so an operator can trace a
+                // misbehaving client.
                 metrics.counter("net.decode_errors").inc();
+                metrics
+                    .counter(&format!("net.decode_errors.conn.{conn}"))
+                    .inc();
+                let desynced = frame_desynced(&e);
+                eprintln!(
+                    "sfo serve: conn#{conn} ({peer}): request does not decode{}: {e}",
+                    if desynced {
+                        ", dropping connection"
+                    } else {
+                        ""
+                    }
+                );
                 let _ = send_message(
                     &mut stream,
                     &Message::Error {
                         message: e.to_string(),
                     },
                 );
-                return;
+                if desynced {
+                    return;
+                }
+                continue;
             }
         };
         let request_kind = kind(&request);
         let timer = PhaseTimer::start();
         let reply = match request {
             Message::LoadSnapshot { path } => {
-                match Store::load(&path, state.shard_count, state.mmap) {
+                match Store::load(&path, state.shard_count, state.pinned_shard, state.mmap) {
                     Ok(store) => {
                         let store = Arc::new(store);
                         let hello = store.hello(state.pool.workers() as u32);
@@ -282,6 +424,30 @@ fn handle_connection(mut stream: NetStream, state: &ServerState, peer: &str) {
                     },
                 }
             }
+            Message::LoadShard(payload) => match install_shard(state, payload) {
+                Ok(store) => {
+                    let hello = store.hello(state.pool.workers() as u32);
+                    pinned = store;
+                    Message::Hello(hello)
+                }
+                Err(e) => Message::Error {
+                    message: e.to_string(),
+                },
+            },
+            Message::ForwardFrontier {
+                identity,
+                state: frontier,
+            } => match serve_frontier(state, &pinned, identity, frontier, &mut scratch) {
+                Ok(PlacedStep::Done(outcome)) => {
+                    Message::FrontierResult(FrontierResult::Done(outcome))
+                }
+                Ok(PlacedStep::Forward(next)) => {
+                    Message::FrontierResult(FrontierResult::Continue(next))
+                }
+                Err(e) => Message::Error {
+                    message: e.to_string(),
+                },
+            },
             Message::SubmitBatch(request) => match execute_request(state, &pinned, &request) {
                 Ok(outcomes) => Message::BatchResult { outcomes },
                 Err(e) => Message::Error {
@@ -322,13 +488,98 @@ fn kind(message: &Message) -> &'static str {
     match message {
         Message::Hello(_) => "Hello",
         Message::LoadSnapshot { .. } => "LoadSnapshot",
+        Message::LoadShard(_) => "LoadShard",
         Message::SubmitBatch(_) => "SubmitBatch",
         Message::BatchResult { .. } => "BatchResult",
+        Message::ForwardFrontier { .. } => "ForwardFrontier",
+        Message::FrontierResult(_) => "FrontierResult",
         Message::Error { .. } => "Error",
         Message::Overlay(_) => "Overlay",
         Message::StatsRequest => "StatsRequest",
         Message::StatsReport(_) => "StatsReport",
     }
+}
+
+/// Installs a wire-shipped shard as the served store (and repins new connections to
+/// it). A daemon pinned by `--shard` only accepts its own coordinates back — the
+/// handshake then merely confirms the shard it already cut locally.
+fn install_shard(state: &ServerState, payload: ShardPayload) -> Result<Arc<Store>, NetError> {
+    if let Some(pin) = state.pinned_shard {
+        let held = state.store.read().expect("store lock").clone();
+        if payload.shard_index as usize != pin || payload.identity != held.identity {
+            return Err(NetError::protocol(format!(
+                "this worker is pinned to shard {pin} of snapshot {:#018x}; refusing \
+                 shard {} of snapshot {:#018x}",
+                held.identity, payload.shard_index, payload.identity
+            )));
+        }
+    }
+    let store = Arc::new(Store::from_payload(payload));
+    *state.store.write().expect("store lock") = Arc::clone(&store);
+    Ok(store)
+}
+
+/// Resumes one placed frontier on this store's rows.
+///
+/// Admission is checked before any traversal: the frontier must name this store's
+/// snapshot identity, decode-validated fields must fit the snapshot's id space, and
+/// its cursor — the row it needs next — must be a row this store owns. The advance
+/// itself runs under `catch_unwind`: a frontier must never take the daemon down.
+fn serve_frontier(
+    state: &ServerState,
+    store: &Arc<Store>,
+    identity: u64,
+    frontier: PlacedState,
+    scratch: &mut SearchScratch,
+) -> Result<PlacedStep, NetError> {
+    if identity != store.identity {
+        return Err(NetError::protocol(format!(
+            "frontier names snapshot {identity:#018x}, but this worker serves {:#018x}",
+            store.identity
+        )));
+    }
+    let view = store.shard_view();
+    crate::placed::validate_state(&frontier, view.node_count())?;
+    if let Some(cursor) = frontier.cursor() {
+        if !view.owns(cursor as usize) {
+            let place = match &store.topology {
+                Topology::Whole(_) => "the whole snapshot".to_string(),
+                Topology::Shard {
+                    shard_index,
+                    shard_count,
+                    ..
+                } => format!("shard {shard_index} of {shard_count}"),
+            };
+            return Err(NetError::protocol(format!(
+                "frontier cursor {cursor} is not owned by {place}; route it to shard {}",
+                crate::placed::shard_of(
+                    cursor as usize,
+                    view.node_count(),
+                    match &store.topology {
+                        Topology::Whole(_) => 1,
+                        Topology::Shard { shard_count, .. } => *shard_count as usize,
+                    }
+                )
+            )));
+        }
+    }
+    let mut stats = StepStats::default();
+    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        placed_advance(view, frontier, scratch, &mut stats)
+    }))
+    .map_err(|_| NetError::protocol("frontier advance panicked"))?;
+    let metrics = &state.metrics;
+    metrics.counter("placed.frontiers_served").inc();
+    metrics
+        .counter("placed.frontier_entries_scanned")
+        .add(stats.entries_scanned);
+    metrics
+        .counter("placed.frontier_entries_cross")
+        .add(stats.entries_cross);
+    if matches!(step, PlacedStep::Forward(_)) {
+        metrics.counter("placed.frontiers_forwarded").inc();
+    }
+    Ok(step)
 }
 
 /// Validates and executes one batch request against the connection's pinned store.
@@ -341,7 +592,25 @@ fn execute_request(
     store: &Arc<Store>,
     request: &BatchRequest,
 ) -> Result<Vec<sfo_search::SearchOutcome>, NetError> {
-    let m = usize::try_from(store.provenance.m).unwrap_or(usize::MAX);
+    let Topology::Whole(graph) = &store.topology else {
+        let (index, count) = match &store.topology {
+            Topology::Shard {
+                shard_index,
+                shard_count,
+                ..
+            } => (*shard_index, *shard_count),
+            Topology::Whole(_) => unreachable!(),
+        };
+        return Err(NetError::protocol(format!(
+            "this worker serves shard {index} of {count}: it accepts placed frontiers, \
+             not whole-snapshot batches"
+        )));
+    };
+    let m = store
+        .provenance
+        .as_ref()
+        .map(|p| usize::try_from(p.m).unwrap_or(usize::MAX))
+        .ok_or_else(|| NetError::protocol("the served snapshot carries no provenance"))?;
     let run = || -> Result<Vec<sfo_search::SearchOutcome>, NetError> {
         match request {
             BatchRequest::Queries {
@@ -377,18 +646,18 @@ fn execute_request(
                             table.len()
                         )));
                     }
-                    if !sfo_graph::GraphView::contains_node(store.graph.as_ref(), job.source) {
+                    if !sfo_graph::GraphView::contains_node(graph.as_ref(), job.source) {
                         return Err(NetError::protocol(format!(
                             "job {i}: source {} out of bounds for a {}-node snapshot",
                             job.source,
-                            store.graph.node_count()
+                            graph.node_count()
                         )));
                     }
                 }
                 let table = Arc::new(table);
                 Ok(run_queries_offset(
                     &state.pool,
-                    &store.graph,
+                    graph,
                     &table,
                     batch,
                     *seed,
@@ -421,7 +690,7 @@ fn execute_request(
                 match search.build_for::<ShardedCsr>(m) {
                     Ok(BuiltSearch::Algorithm(algorithm)) => Ok(batched_ttl_sweep_range(
                         &state.pool,
-                        &store.graph,
+                        graph,
                         algorithm,
                         ttls,
                         searches,
@@ -432,7 +701,7 @@ fn execute_request(
                     Ok(BuiltSearch::RwNormalizedToNf { k_min }) => {
                         Ok(batched_rw_normalized_to_nf_range(
                             &state.pool,
-                            &store.graph,
+                            graph,
                             k_min,
                             ttls,
                             searches,
@@ -458,5 +727,307 @@ fn execute_request(
                 "batch execution panicked: {message}"
             )))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+    use crate::message::{recv_message, TYPE_LOAD_SHARD};
+    use sfo_engine::{placed_start, PlacedAlgorithm};
+    use sfo_graph::generators::ring_graph;
+    use sfo_graph::NodeId;
+    use std::io::Write;
+
+    /// Writes a 40-node ring snapshot (with provenance) into a fresh temp dir and
+    /// returns its path.
+    fn snapshot_fixture(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("sfo-serve-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.sfos");
+        let file = SnapshotFile {
+            csr: ring_graph(40, 2).unwrap().freeze(),
+            shards: None,
+            provenance: Some(Provenance {
+                label: format!("serve-test-{tag}"),
+                m: 2,
+                cutoff: None,
+                seed: 7,
+                realization: 0,
+                sweep_seed: 11,
+                origin: None,
+            }),
+        };
+        file.save(&path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn serve(
+        path: &str,
+        shard_index: Option<usize>,
+        shard_count: usize,
+    ) -> (WorkerServerHandle, Arc<Registry>) {
+        let server = WorkerServer::bind(&ServeConfig {
+            snapshot_path: path.to_string(),
+            listen: "127.0.0.1:0".to_string(),
+            engine_workers: 1,
+            shard_count,
+            shard_index,
+            mmap: false,
+        })
+        .unwrap();
+        let metrics = Arc::clone(server.metrics());
+        (server.spawn(), metrics)
+    }
+
+    fn connect(addr: &str) -> (NetStream, Hello) {
+        let mut stream = NetStream::connect(addr).unwrap();
+        let Message::Hello(hello) = recv_message(&mut stream).unwrap() else {
+            panic!("expected a Hello on connect");
+        };
+        (stream, hello)
+    }
+
+    #[test]
+    fn decode_errors_attribute_to_their_own_connection_and_payload_errors_are_survivable() {
+        let path = snapshot_fixture("decode");
+        let (handle, metrics) = serve(&path, None, 1);
+        // Connection 1: a checksummed frame of an unknown type. The stream stays
+        // aligned, so the connection must answer an Error and keep serving.
+        let (mut first, _) = connect(handle.addr());
+        first.write_all(&encode_frame(999, b"")).unwrap();
+        first.flush().unwrap();
+        assert!(matches!(
+            recv_message(&mut first).unwrap(),
+            Message::Error { .. }
+        ));
+        send_message(&mut first, &Message::StatsRequest).unwrap();
+        assert!(matches!(
+            recv_message(&mut first).unwrap(),
+            Message::StatsReport(_)
+        ));
+        // Connection 2: a well-framed LoadShard whose payload runs short. Also a
+        // full frame — also survivable, and attributed to connection 2, not 1.
+        let (mut second, _) = connect(handle.addr());
+        second
+            .write_all(&encode_frame(TYPE_LOAD_SHARD, &[0u8; 4]))
+            .unwrap();
+        second.flush().unwrap();
+        assert!(matches!(
+            recv_message(&mut second).unwrap(),
+            Message::Error { .. }
+        ));
+        send_message(&mut second, &Message::StatsRequest).unwrap();
+        assert!(matches!(
+            recv_message(&mut second).unwrap(),
+            Message::StatsReport(_)
+        ));
+        let snapshot = metrics.snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("net.decode_errors"), 2);
+        // The regression: each error lands on its own connection's counter instead
+        // of both piling onto whichever peer label the handler saw first.
+        assert_eq!(counter("net.decode_errors.conn.1"), 1);
+        assert_eq!(counter("net.decode_errors.conn.2"), 1);
+        // A desyncing error (bad magic) still drops the connection.
+        let (mut third, _) = connect(handle.addr());
+        third.write_all(b"HTTP/1.1 GET /").unwrap();
+        third.flush().unwrap();
+        assert!(matches!(
+            recv_message(&mut third).unwrap(),
+            Message::Error { .. }
+        ));
+        assert!(matches!(
+            recv_message(&mut third),
+            Err(NetError::Truncated { section: "header" }) | Err(NetError::Io { .. })
+        ));
+        handle.stop();
+    }
+
+    #[test]
+    fn a_pinned_shard_server_admits_only_its_own_rows() {
+        let path = snapshot_fixture("shard");
+        // 40 nodes, 3 shards: shard 1 owns 14..27.
+        let (handle, metrics) = serve(&path, Some(1), 3);
+        let (mut stream, hello) = connect(handle.addr());
+        assert_eq!(hello.shard_index, 1);
+        assert_eq!(hello.shard_count, 3);
+        assert_eq!(hello.node_count, 40);
+
+        // Whole batches are refused with a typed error naming the shard.
+        send_message(
+            &mut stream,
+            &Message::SubmitBatch(BatchRequest::SweepRange {
+                seed: 1,
+                start: 0,
+                end: 1,
+                searches_per_point: 1,
+                ttls: vec![1],
+                search: sfo_scenario::SearchSpec::Flooding,
+            }),
+        )
+        .unwrap();
+        let Message::Error { message } = recv_message(&mut stream).unwrap() else {
+            panic!("a shard host must refuse SubmitBatch");
+        };
+        assert!(message.contains("shard 1 of 3"), "got: {message}");
+
+        // A frontier whose cursor it owns advances; a deep ring flood from node 20
+        // must eventually leave shard 1's rows.
+        let frontier = placed_start(PlacedAlgorithm::Flooding, NodeId::new(20), 12, [1, 2, 3, 4]);
+        send_message(
+            &mut stream,
+            &Message::ForwardFrontier {
+                identity: hello.identity,
+                state: frontier.clone(),
+            },
+        )
+        .unwrap();
+        let Message::FrontierResult(FrontierResult::Continue(next)) =
+            recv_message(&mut stream).unwrap()
+        else {
+            panic!("a deep flood from inside shard 1 must forward");
+        };
+        let cursor = next.cursor().unwrap() as usize;
+        assert!(
+            !(14..27).contains(&cursor),
+            "forwarded cursor {cursor} is owned"
+        );
+
+        // That same forwarded frontier is refused here — its cursor lives elsewhere.
+        send_message(
+            &mut stream,
+            &Message::ForwardFrontier {
+                identity: hello.identity,
+                state: next,
+            },
+        )
+        .unwrap();
+        let Message::Error { message } = recv_message(&mut stream).unwrap() else {
+            panic!("a foreign cursor must be refused");
+        };
+        assert!(message.contains("not owned"), "got: {message}");
+
+        // Wrong snapshot identity: refused before any traversal.
+        send_message(
+            &mut stream,
+            &Message::ForwardFrontier {
+                identity: hello.identity ^ 1,
+                state: frontier,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            recv_message(&mut stream).unwrap(),
+            Message::Error { .. }
+        ));
+
+        let snapshot = metrics.snapshot();
+        let served = snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == "placed.frontiers_served")
+            .map(|(_, v)| *v);
+        assert_eq!(served, Some(1));
+        handle.stop();
+    }
+
+    #[test]
+    fn load_shard_installs_a_slice_and_a_whole_store_finishes_any_frontier() {
+        let path = snapshot_fixture("loadshard");
+        let (handle, _metrics) = serve(&path, None, 1);
+        let (mut stream, hello) = connect(handle.addr());
+        assert_eq!(hello.shard_index, WHOLE_SNAPSHOT);
+
+        // A whole-snapshot store owns every row: any frontier completes in one hop.
+        let frontier = placed_start(PlacedAlgorithm::Flooding, NodeId::new(5), 3, [9, 8, 7, 6]);
+        send_message(
+            &mut stream,
+            &Message::ForwardFrontier {
+                identity: hello.identity,
+                state: frontier,
+            },
+        )
+        .unwrap();
+        let Message::FrontierResult(FrontierResult::Done(outcome)) =
+            recv_message(&mut stream).unwrap()
+        else {
+            panic!("a whole store must finish the frontier");
+        };
+        assert!(outcome.messages > 0);
+
+        // Ship shard 2 of 4 over the wire; the worker re-announces as that shard.
+        let csr = ring_graph(40, 2).unwrap().freeze();
+        let payload = crate::placed::shard_payload(&csr, hello.identity, 4, 2);
+        send_message(&mut stream, &Message::LoadShard(payload)).unwrap();
+        let Message::Hello(reannounced) = recv_message(&mut stream).unwrap() else {
+            panic!("LoadShard must answer with a fresh Hello");
+        };
+        assert_eq!(reannounced.shard_index, 2);
+        assert_eq!(reannounced.shard_count, 4);
+        assert_eq!(reannounced.identity, hello.identity);
+
+        // The connection now serves shard rows only.
+        let foreign = placed_start(PlacedAlgorithm::Flooding, NodeId::new(0), 2, [1, 1, 1, 1]);
+        send_message(
+            &mut stream,
+            &Message::ForwardFrontier {
+                identity: hello.identity,
+                state: foreign,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            recv_message(&mut stream).unwrap(),
+            Message::Error { .. }
+        ));
+        handle.stop();
+    }
+
+    #[test]
+    fn a_pinned_server_refuses_foreign_shard_shipments() {
+        let path = snapshot_fixture("pin");
+        let (handle, _metrics) = serve(&path, Some(0), 2);
+        let (mut stream, hello) = connect(handle.addr());
+        let csr = ring_graph(40, 2).unwrap().freeze();
+        // Wrong shard index for the pin.
+        send_message(
+            &mut stream,
+            &Message::LoadShard(crate::placed::shard_payload(&csr, hello.identity, 2, 1)),
+        )
+        .unwrap();
+        let Message::Error { message } = recv_message(&mut stream).unwrap() else {
+            panic!("a pinned server must refuse a foreign shard");
+        };
+        assert!(message.contains("pinned to shard 0"), "got: {message}");
+        // Wrong identity for the pin.
+        send_message(
+            &mut stream,
+            &Message::LoadShard(crate::placed::shard_payload(&csr, hello.identity ^ 7, 2, 0)),
+        )
+        .unwrap();
+        assert!(matches!(
+            recv_message(&mut stream).unwrap(),
+            Message::Error { .. }
+        ));
+        // The right coordinates are accepted (the handshake confirms the pin).
+        send_message(
+            &mut stream,
+            &Message::LoadShard(crate::placed::shard_payload(&csr, hello.identity, 2, 0)),
+        )
+        .unwrap();
+        let Message::Hello(confirmed) = recv_message(&mut stream).unwrap() else {
+            panic!("the pinned shard's own coordinates must be accepted");
+        };
+        assert_eq!(confirmed.shard_index, 0);
+        handle.stop();
     }
 }

@@ -20,7 +20,16 @@
 //!    on a metric's value.
 //!
 //! Consequently a metrics-on run produces a byte-identical `ScenarioReport` to a
-//! metrics-off run of the same spec and seed (the workspace tests pin this).
+//! metrics-off run of the same spec and seed (the workspace tests pin this). Placed
+//! (shard-routed) execution leans on this harder than any other layer: the
+//! `placed.*` family — `placed.frontiers_served` / `placed.frontiers_forwarded` /
+//! `placed.frontier_entries_scanned` / `placed.frontier_entries_cross` on workers,
+//! `placed.frontiers_sent` and the `placed.hop_micros` histogram on the dispatcher —
+//! observes cross-host frontier traffic whose *results* must remain byte-identical
+//! to the serial run, so every one of those call sites obeys rules 1 and 2. On a
+//! full flood, `frontier_entries_cross / frontier_entries_scanned` equals the
+//! topology's `boundary_fraction()` exactly (an integer identity the workspace
+//! tests pin).
 //!
 //! # Bucketing
 //!

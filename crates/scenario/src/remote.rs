@@ -45,6 +45,14 @@ pub struct RemoteSweepRequest {
     pub search: SearchSpec,
     /// Stub count `m` of the generating topology (resolves `k_min: None` searches).
     pub m: usize,
+    /// Placed execution (`sweep.placed`): instead of one whole-snapshot range per
+    /// worker, worker `i` holds shard `i` of `workers.len()` and every search hops
+    /// between workers as a forwarded frontier — still byte-identical to the local
+    /// run.
+    pub placed: bool,
+    /// The `.sfos` file the sweep runs on, as named by the spec — a placed dispatcher
+    /// reads it to cut the per-worker shard shipments.
+    pub snapshot_path: String,
 }
 
 impl RemoteSweepRequest {
@@ -82,6 +90,8 @@ mod tests {
             searches_per_point: 10,
             search: SearchSpec::Flooding,
             m: 2,
+            placed: false,
+            snapshot_path: "pa.sfos".to_string(),
         };
         assert_eq!(request.job_count(), 30);
     }

@@ -549,6 +549,8 @@ impl ScenarioRunner {
             searches_per_point: sweep.searches_per_point,
             search: search.clone(),
             m: usize::try_from(provenance.m).unwrap_or(usize::MAX),
+            placed: sweep.placed,
+            snapshot_path: path.to_string(),
         };
         let outcomes = executor.run_sweep(&request)?;
         if outcomes.len() != request.job_count() {

@@ -759,6 +759,14 @@ pub struct SweepSpec {
     /// global job index, the worker list (its length *and* how the grid is split) can
     /// never change a byte of the report.
     pub workers: Vec<String>,
+    /// Placed execution: worker `i` of the list holds only shard `i` of
+    /// `workers.len()` (shipped by the dispatcher, or pinned with `sfo serve
+    /// --shard i`), each job starts on the worker owning its source node, and a
+    /// traversal that needs a foreign row hops between workers as a forwarded
+    /// frontier. Requires a non-empty `workers` list. Because every frontier carries
+    /// the exact serial traversal state, placement can never change a byte of the
+    /// report either.
+    pub placed: bool,
 }
 
 impl SweepSpec {
@@ -773,6 +781,7 @@ impl SweepSpec {
             shard_count: 0,
             batch: false,
             workers: Vec::new(),
+            placed: false,
         }
     }
 
@@ -792,6 +801,7 @@ impl SweepSpec {
             shard_count: 0,
             batch: false,
             workers: Vec::new(),
+            placed: false,
         }
     }
 
@@ -807,6 +817,7 @@ impl SweepSpec {
             shard_count: 0,
             batch: false,
             workers: Vec::new(),
+            placed: false,
         }
     }
 
@@ -1191,6 +1202,12 @@ impl ScenarioSpec {
     /// stream discipline that makes the split invisible in the results.
     fn validate_workers(&self, sweep: &SweepSpec) -> Result<(), ScenarioError> {
         if sweep.workers.is_empty() {
+            if sweep.placed {
+                return Err(ScenarioError::invalid(
+                    "sweep: \"placed\" splits the topology across the \"workers\" \
+                     list; name at least one worker address",
+                ));
+            }
             return Ok(());
         }
         if sweep.workers.iter().any(|w| w.is_empty()) {
@@ -1649,6 +1666,7 @@ impl ToJson for SweepSpec {
                         .collect(),
                 ),
             ),
+            ("placed".to_string(), JsonValue::Bool(self.placed)),
         ])
     }
 }
@@ -1668,6 +1686,7 @@ impl FromJson for SweepSpec {
                 "shard_count",
                 "batch",
                 "workers",
+                "placed",
             ],
         )?;
         let stubs = match value.get("stubs") {
@@ -1741,6 +1760,13 @@ impl FromJson for SweepSpec {
                 })
                 .collect::<Result<Vec<String>, ScenarioError>>()?,
         };
+        // Absent `placed` (every pre-placement spec file) means whole-snapshot ranges.
+        let placed = match value.get("placed") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ScenarioError::invalid("sweep: \"placed\" must be a boolean"))?,
+        };
         Ok(SweepSpec {
             stubs,
             cutoffs,
@@ -1750,6 +1776,7 @@ impl FromJson for SweepSpec {
             shard_count: opt_usize(value, "shard_count", CTX)?.unwrap_or(0),
             batch,
             workers,
+            placed,
         })
     }
 }

@@ -94,6 +94,44 @@ impl VisitedSet {
         let w = index / 64;
         self.stamps[w] == self.epoch && self.words[w] & (1u64 << (index % 64)) != 0
     }
+
+    /// Exports the visited marks as sparse `(word index, bitset word)` pairs — only
+    /// words holding at least one mark in the current generation appear, in ascending
+    /// word order. This is the visited-bitset delta a forwarded search frontier
+    /// carries across hosts: a short search on a large graph exports a handful of
+    /// words, never O(N).
+    pub fn export_sparse(&self) -> Vec<(u32, u64)> {
+        self.words
+            .iter()
+            .zip(&self.stamps)
+            .enumerate()
+            .filter(|(_, (&word, &stamp))| stamp == self.epoch && word != 0)
+            .map(|(w, (&word, _))| (w as u32, word))
+            .collect()
+    }
+
+    /// Resets the set for `node_count` nodes and installs the sparse marks exported
+    /// by [`VisitedSet::export_sparse`] on another host. Round-trips exactly: after
+    /// the import, every `contains`/`insert` answers as it would have on the
+    /// exporting set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word index lies outside `0..node_count.div_ceil(64)` — callers
+    /// decoding untrusted frontiers must bound-check first.
+    pub fn import_sparse(&mut self, node_count: usize, marks: &[(u32, u64)]) {
+        self.reset(node_count);
+        let words = node_count.div_ceil(64);
+        for &(w, word) in marks {
+            let w = w as usize;
+            assert!(
+                w < words,
+                "visited word {w} out of range for {node_count} nodes"
+            );
+            self.stamps[w] = self.epoch;
+            self.words[w] = word;
+        }
+    }
 }
 
 /// Reusable buffers for one search at a time: the visited bitset, the flooding
@@ -203,6 +241,48 @@ mod tests {
             v.reset(n);
             reference.iter_mut().for_each(|b| *b = false);
         }
+    }
+
+    #[test]
+    fn sparse_export_round_trips_and_skips_stale_generations() {
+        let mut v = VisitedSet::new();
+        v.reset(400);
+        for i in [0usize, 63, 64, 199, 399] {
+            v.insert(i);
+        }
+        let marks = v.export_sparse();
+        // Only touched words appear, in ascending order.
+        assert_eq!(
+            marks.iter().map(|&(w, _)| w).collect::<Vec<_>>(),
+            vec![0, 1, 3, 6]
+        );
+        let mut other = VisitedSet::new();
+        other.reset(50); // deliberately dirty and smaller
+        other.insert(13);
+        other.import_sparse(400, &marks);
+        for i in 0..400 {
+            assert_eq!(
+                other.contains(i),
+                v.contains(i),
+                "bit {i} diverged after import"
+            );
+        }
+        assert!(!other.insert(63));
+        assert!(other.insert(62));
+        // Marks from a previous generation never leak into an export.
+        v.reset(400);
+        v.insert(7);
+        assert_eq!(v.export_sparse(), vec![(0, 1u64 << 7)]);
+        // A fully unvisited set exports nothing.
+        v.reset(400);
+        assert!(v.export_sparse().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn importing_an_out_of_range_word_panics() {
+        let mut v = VisitedSet::new();
+        v.import_sparse(100, &[(2, 1)]);
     }
 
     #[test]

@@ -313,6 +313,32 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the generator's raw xoshiro256++ state words.
+        ///
+        /// Together with [`StdRng::from_state_words`] this lets a generator be
+        /// suspended, shipped across a process boundary, and resumed mid-stream with
+        /// bit-identical continuation — the mechanism behind cross-host frontier
+        /// forwarding in `sfo-net`.
+        #[inline]
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by [`StdRng::state_words`].
+        ///
+        /// An all-zero state is a fixed point of xoshiro and can never be produced by
+        /// [`SeedableRng::from_seed`] or by stepping a live generator, so it is nudged
+        /// to the same nonzero state `from_seed` uses for all-zero seeds.
+        #[inline]
+        pub fn from_state_words(words: [u64; 4]) -> Self {
+            if words == [0; 4] {
+                return <StdRng as super::SeedableRng>::from_seed([0; 32]);
+            }
+            StdRng { s: words }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 

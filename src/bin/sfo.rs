@@ -9,9 +9,9 @@
 //! sfo snapshot build <spec.json> -o <file.sfos> [--shards N]
 //! sfo snapshot inspect <file.sfos>
 //! sfo snapshot verify <file.sfos>
-//! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]
-//! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--out <report.json>] [--quiet]
-//!              [--metrics-out <metrics.json>]
+//! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--shard I] [--mmap]
+//! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--placed]
+//!              [--out <report.json>] [--quiet] [--metrics-out <metrics.json>]
 //! sfo stats <addr>
 //! sfo overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>] [--tick-millis N]
 //!             [--active-cap N] [--walks N]
@@ -44,6 +44,13 @@
 //! its global job index, the report is byte-identical to `sfo scenario run` of the same
 //! spec, whatever the worker count. Plain `scenario run` also honors a spec's
 //! `workers` field; `dispatch` just makes the worker list a command-line concern.
+//! `--placed` (or `"placed": true` in the sweep) switches from range-splitting to real
+//! shard placement: worker `i` holds only shard `i`'s rows (`sfo serve --shard i
+//! --shards N`, or shipped a `LoadShard` frame at handshake), and every search hops
+//! between workers as `ForwardFrontier`/`FrontierResult` frames whenever its frontier
+//! crosses a shard boundary — still byte-identical to the local run, for any shard
+//! count and placement, because a forwarded frontier carries the search's exact serial
+//! state.
 //!
 //! `stats` polls a running worker's telemetry — the `sfo-obs` counters and latency
 //! histograms the daemon accumulates (connections, frames and bytes by message type,
@@ -91,12 +98,17 @@ fn usage() -> String {
      \x20 verify <file.sfos>                                 full checksum + structure check\n\
      \n\
      distributed execution:\n\
-     \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--mmap]\n\
-     \x20                                                    serve the snapshot's query\n\
-     \x20                                                    batches to remote dispatchers\n\
-     \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...]\n\
+     \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]\n\
+     \x20       [--shard I] [--mmap]                         serve the snapshot's query\n\
+     \x20                                                    batches to remote dispatchers;\n\
+     \x20                                                    --shard I pins this worker to\n\
+     \x20                                                    one shard of a placed layout\n\
+     \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--placed]\n\
      \x20          [--out <report.json>] [--quiet]           split the spec's sweep across\n\
-     \x20          [--metrics-out <metrics.json>]            sfo serve workers\n\
+     \x20          [--metrics-out <metrics.json>]            sfo serve workers; --placed\n\
+     \x20                                                    routes each search to the shard\n\
+     \x20                                                    owning its frontier (worker i\n\
+     \x20                                                    holds shard i)\n\
      \x20 stats <addr>                                       poll a worker's telemetry\n\
      \x20                                                    (counters + latency\n\
      \x20                                                    histograms) as JSON\n\
@@ -155,11 +167,19 @@ fn serve(args: &[String]) -> ExitCode {
     let mut listen: Option<&str> = None;
     let mut engine_workers = 0usize;
     let mut shards = 0usize;
+    let mut shard_index: Option<usize> = None;
     let mut mmap = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--mmap" => mmap = true,
+            "--shard" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => shard_index = Some(value),
+                None => {
+                    eprintln!("--shard requires a shard index (pair it with --shards <count>)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--listen" => match iter.next() {
                 Some(value) => listen = Some(value),
                 None => {
@@ -205,6 +225,7 @@ fn serve(args: &[String]) -> ExitCode {
         listen: listen.to_string(),
         engine_workers,
         shard_count: shards,
+        shard_index,
         mmap,
     }) {
         Ok(server) => server,
@@ -214,13 +235,16 @@ fn serve(args: &[String]) -> ExitCode {
         }
     };
     let hello = server.hello();
+    let role = match shard_index {
+        Some(index) => format!("shard {index} of {}", hello.shard_count),
+        None => format!("{} shard(s)", hello.shard_count),
+    };
     eprintln!(
-        "serving {snapshot_path} on {} — {} nodes, {} edges, {} shard(s), \
+        "serving {snapshot_path} on {} — {} nodes, {} edges, {role}, \
          {} engine worker(s), identity {:#018x}",
         server.local_addr(),
         hello.node_count,
         hello.edge_count,
-        hello.shard_count,
         hello.engine_workers,
         hello.identity,
     );
@@ -233,10 +257,12 @@ fn dispatch(args: &[String]) -> ExitCode {
     let mut out: Option<&str> = None;
     let mut metrics_out: Option<&str> = None;
     let mut workers: Vec<String> = Vec::new();
+    let mut placed = false;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--placed" => placed = true,
             "--worker" => match iter.next() {
                 Some(value) => workers.push(value.clone()),
                 None => {
@@ -296,6 +322,15 @@ fn dispatch(args: &[String]) -> ExitCode {
             Some(sweep) => sweep.workers = workers,
             None => {
                 eprintln!("{path}: dispatch needs a scenario with a \"sweep\" section");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if placed {
+        match spec.sweep.as_mut() {
+            Some(sweep) => sweep.placed = true,
+            None => {
+                eprintln!("{path}: --placed needs a scenario with a \"sweep\" section");
                 return ExitCode::FAILURE;
             }
         }

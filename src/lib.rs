@@ -97,14 +97,18 @@ pub mod prelude {
         DegreeCutoff, DynTopologyGenerator, Locality, StubCount, TopologyError, TopologyGenerator,
     };
     pub use sfo_engine::{
-        batched_rw_normalized_to_nf, batched_ttl_sweep, BoundaryTable, CsrShard, EngineConfig,
-        QueryBatch, QueryJob, ShardedCsr, WorkerPool,
+        batched_rw_normalized_to_nf, batched_ttl_sweep, placed_advance, placed_start,
+        BoundaryTable, CsrShard, EngineConfig, PlacedAlgorithm, PlacedState, PlacedStep,
+        QueryBatch, QueryJob, ShardedCsr, StepStats, WorkerPool,
     };
     pub use sfo_graph::snapshot::{
         section_layout, Provenance, SectionLayout, SnapshotError, SnapshotFile, SnapshotHeader,
         SnapshotOrigin, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
     };
-    pub use sfo_graph::{CsrGraph, Graph, GraphError, GraphView, MultiGraph, NodeId};
+    pub use sfo_graph::{
+        CsrGraph, CsrSlice, Graph, GraphError, GraphView, MultiGraph, NodeId, ShardView,
+    };
+    pub use sfo_net::placed::{shard_of, shard_range};
     pub use sfo_net::{
         remote_runner, remote_runner_with_metrics, NetError, OverlayNode, OverlayNodeConfig,
         OverlayNodeHandle, RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,

@@ -147,6 +147,7 @@ fn served_batches_fill_worker_telemetry_that_stats_polls() {
         listen: "127.0.0.1:0".to_string(),
         engine_workers: 2,
         shard_count: 2,
+        shard_index: None,
         mmap: false,
     })
     .unwrap();

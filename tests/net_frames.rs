@@ -5,16 +5,50 @@
 //! [`NetError`], never a panic and never a silently wrong message; and every
 //! well-formed message must round-trip bit-exactly.
 
+use sfoverlay::graph::generators::ring_graph;
 use sfoverlay::net::frame::{
     encode_frame, read_frame, FRAME_HEADER_LEN, MAX_PAYLOAD_LEN, PROTOCOL_VERSION,
 };
 use sfoverlay::net::message::{
-    recv_message, send_message, BatchRequest, Hello, Message, TYPE_BATCH_RESULT, TYPE_ERROR,
-    TYPE_HELLO, TYPE_SHUFFLE, TYPE_SUBMIT_BATCH,
+    recv_message, send_message, BatchRequest, FrontierResult, Hello, Message, ShardPayload,
+    TYPE_BATCH_RESULT, TYPE_ERROR, TYPE_HELLO, TYPE_SHUFFLE, TYPE_SUBMIT_BATCH, WHOLE_SNAPSHOT,
 };
 use sfoverlay::net::overlay::{OverlayMessage, PeerRef};
 use sfoverlay::net::NetError;
-use sfoverlay::prelude::{NodeId, QueryBatch, SearchOutcome, SearchSpec};
+use sfoverlay::prelude::{
+    shard_range, NodeId, PlacedAlgorithm, PlacedState, QueryBatch, SearchOutcome, SearchSpec,
+};
+
+/// A mid-flight placed search with a non-trivial visited delta and queue, so every
+/// variable-length section of the frontier encoding is exercised.
+fn sample_frontier() -> PlacedState {
+    PlacedState {
+        algorithm: PlacedAlgorithm::NormalizedFlooding { k_min: 2 },
+        walk_phase: false,
+        source: 3,
+        ttl: 5,
+        hits: 17,
+        messages: 40,
+        current: 3,
+        previous: sfoverlay::engine::NO_NODE,
+        walker: 0,
+        steps_done: 0,
+        rng: [1, 2, 3, 4],
+        visited: vec![(0, 0b1001), (2, u64::MAX)],
+        queue: vec![(9, 3, 1), (14, sfoverlay::engine::NO_NODE, 2)],
+    }
+}
+
+/// Shard 1 of a 3-way placement over a 10-node ring — the canonical range `4..7`.
+fn sample_shard() -> ShardPayload {
+    let csr = ring_graph(10, 2).unwrap().freeze();
+    ShardPayload {
+        identity: 0xABCD_EF01_2345_6789,
+        shard_index: 1,
+        shard_count: 3,
+        slice: csr.extract_slice(shard_range(10, 3, 1)),
+    }
+}
 
 /// One of every message kind, with both batch-request shapes.
 fn all_messages() -> Vec<Message> {
@@ -28,6 +62,7 @@ fn all_messages() -> Vec<Message> {
             edge_count: 0,
             shard_count: 1,
             engine_workers: 64,
+            shard_index: WHOLE_SNAPSHOT,
         }),
         Message::LoadSnapshot {
             path: "shards/realization-0.sfos".to_string(),
@@ -80,7 +115,36 @@ fn all_messages() -> Vec<Message> {
         Message::Overlay(OverlayMessage::Leave {
             from: PeerRef::new(4, "10.0.0.4:9200"),
         }),
+        Message::LoadShard(sample_shard()),
+        Message::ForwardFrontier {
+            identity: 0xFEED_F00D_DEAD_BEEF,
+            state: sample_frontier(),
+        },
+        Message::FrontierResult(FrontierResult::Done(SearchOutcome::new(12, 99))),
+        Message::FrontierResult(FrontierResult::Continue(PlacedState {
+            algorithm: PlacedAlgorithm::MultipleRandomWalk { walkers: 4 },
+            walk_phase: true,
+            current: 7,
+            previous: 3,
+            walker: 2,
+            steps_done: 5,
+            queue: Vec::new(),
+            ..sample_frontier()
+        })),
     ]
+}
+
+/// The three placed frame kinds, each with every variable-length section populated.
+fn placed_messages() -> Vec<Message> {
+    let mut messages = all_messages();
+    messages.retain(|m| {
+        matches!(
+            m,
+            Message::LoadShard(_) | Message::ForwardFrontier { .. } | Message::FrontierResult(_)
+        )
+    });
+    assert_eq!(messages.len(), 4);
+    messages
 }
 
 #[test]
@@ -319,4 +383,198 @@ fn invalid_utf8_and_malformed_specs_are_corrupt() {
         Message::decode(message_type, &bad),
         Err(NetError::Corrupt { .. })
     ));
+}
+
+#[test]
+fn placed_frames_detect_every_single_bit_flip() {
+    // The FNV trailer (or a structural check it guards) must catch any one-byte
+    // corruption in a LoadShard, ForwardFrontier, or FrontierResult frame.
+    for message in placed_messages() {
+        let mut wire = Vec::new();
+        send_message(&mut wire, &message).unwrap();
+        for i in 0..wire.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupted = wire.clone();
+                corrupted[i] ^= bit;
+                assert!(
+                    recv_message(&mut corrupted.as_slice()).is_err(),
+                    "{message:?}: flip of bit {bit:#04x} at byte {i} went unnoticed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn placed_frames_truncated_at_every_boundary_are_typed_never_a_panic() {
+    for message in placed_messages() {
+        let mut wire = Vec::new();
+        send_message(&mut wire, &message).unwrap();
+        for cut in 0..wire.len() {
+            let result = recv_message(&mut &wire[..cut]);
+            assert!(
+                matches!(result, Err(NetError::Truncated { .. })),
+                "{message:?}: cut at {cut}: {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lying_frontier_lengths_are_bounded_before_allocation() {
+    // The frontier's fixed prefix: identity(8) + algorithm tag+param(9) + phase(1)
+    // + source/ttl(8) + hits/messages(16) + current/previous/walker/steps(16)
+    // + rng(32) = 90 bytes; the visited count is the u32 right after it.
+    let (frame_type, payload) = Message::ForwardFrontier {
+        identity: 1,
+        state: sample_frontier(),
+    }
+    .encode();
+    let visited_count_at = 90;
+    assert_eq!(
+        &payload[visited_count_at..visited_count_at + 4],
+        &2u32.to_le_bytes()
+    );
+    let mut lying = payload.clone();
+    lying[visited_count_at..visited_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &lying),
+        Err(NetError::Truncated { .. })
+    ));
+
+    // A queue count claiming u32::MAX (48 GiB of records) in a tiny payload. With no
+    // visited records, the queue count sits right after the (zero) visited count.
+    let mut state = sample_frontier();
+    state.visited.clear();
+    let (frame_type, payload) = Message::ForwardFrontier { identity: 1, state }.encode();
+    let queue_count_at = visited_count_at + 4;
+    assert_eq!(
+        &payload[queue_count_at..queue_count_at + 4],
+        &2u32.to_le_bytes()
+    );
+    let mut lying = payload.clone();
+    lying[queue_count_at..queue_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &lying),
+        Err(NetError::Truncated { .. })
+    ));
+
+    // A FrontierResult::Continue is the same state encoding behind a 1-byte tag.
+    let (frame_type, payload) =
+        Message::FrontierResult(FrontierResult::Continue(sample_frontier())).encode();
+    let count_at = 1 + visited_count_at - 8; // tag replaces the identity prefix
+    assert_eq!(&payload[count_at..count_at + 4], &2u32.to_le_bytes());
+    let mut lying = payload.clone();
+    lying[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &lying),
+        Err(NetError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn lying_shard_lengths_and_indices_are_bounded_before_allocation() {
+    let (frame_type, payload) = Message::LoadShard(sample_shard()).encode();
+
+    // Shard 1 of 3 over 10 nodes is rows 4..7: 4 rebased offsets follow the 48-byte
+    // fixed prefix (identity 8 + node/edge counts 16 + index/count 8 + range 16), and
+    // the target count is the u32 after them. Claiming u32::MAX targets (16 GiB) in
+    // this payload must fail on the record bound, not allocate.
+    let target_count_at = 48 + 4 * 4;
+    let mut lying = payload.clone();
+    lying[target_count_at..target_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &lying),
+        Err(NetError::Truncated { .. })
+    ));
+
+    // The shard index is bytes 24..28. An index outside the partition is corrupt...
+    assert_eq!(&payload[24..28], &1u32.to_le_bytes());
+    let mut wild = payload.clone();
+    wild[24..28].copy_from_slice(&9u32.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &wild),
+        Err(NetError::Corrupt { .. })
+    ));
+    // ... and so is an in-range index whose rows are not its canonical range: the
+    // shipped range 4..7 is shard 1's, never shard 2's.
+    let mut misplaced = payload.clone();
+    misplaced[24..28].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &misplaced),
+        Err(NetError::Corrupt { .. })
+    ));
+    // A zero shard count is not a placement at all.
+    let mut empty = payload.clone();
+    empty[28..32].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        Message::decode(frame_type, &empty),
+        Err(NetError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn a_pinned_worker_refuses_a_load_shard_for_the_wrong_snapshot() {
+    use sfoverlay::graph::snapshot::read_identity;
+    use sfoverlay::net::placed::shard_payload;
+    use sfoverlay::prelude::{Provenance, ServeConfig, SnapshotFile, WorkerClient, WorkerServer};
+
+    let dir = std::env::temp_dir().join(format!("sfo-frames-loadshard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ring.sfos");
+    SnapshotFile {
+        csr: ring_graph(30, 2).unwrap().freeze(),
+        shards: None,
+        provenance: Some(Provenance {
+            label: "frames-loadshard".to_string(),
+            m: 2,
+            cutoff: None,
+            seed: 7,
+            realization: 0,
+            sweep_seed: 11,
+            origin: None,
+        }),
+    }
+    .save(&path)
+    .unwrap();
+    let path = path.to_string_lossy().into_owned();
+
+    let server = WorkerServer::bind(&ServeConfig {
+        snapshot_path: path.clone(),
+        listen: "127.0.0.1:0".to_string(),
+        engine_workers: 1,
+        shard_count: 3,
+        shard_index: Some(1),
+        mmap: false,
+    })
+    .unwrap();
+    let handle = server.spawn();
+
+    let identity = read_identity(&path).unwrap();
+    let csr = SnapshotFile::load(&path).unwrap().csr;
+    let mut client = WorkerClient::connect(handle.addr()).unwrap();
+    assert_eq!(client.hello().shard_index, 1);
+
+    // The exact rows the server already holds, but stamped with a foreign identity:
+    // a pinned worker must refuse rather than silently serve a different realization.
+    let foreign = shard_payload(&csr, identity ^ 0xBAD, 3, 1);
+    let refused = client.load_shard(foreign);
+    assert!(
+        matches!(&refused, Err(NetError::Remote { message }) if message.contains("refusing")),
+        "{refused:?}"
+    );
+    // The wrong slot of the right snapshot is refused the same way.
+    let misplaced = shard_payload(&csr, identity, 3, 0);
+    assert!(matches!(
+        client.load_shard(misplaced),
+        Err(NetError::Remote { .. })
+    ));
+    // The connection survives both refusals, and the exact coordinates are accepted.
+    let accepted = client
+        .load_shard(shard_payload(&csr, identity, 3, 1))
+        .unwrap();
+    assert_eq!(accepted.shard_index, 1);
+    assert_eq!(accepted.shard_count, 3);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }

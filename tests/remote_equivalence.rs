@@ -53,7 +53,8 @@ fn spawn_workers(
             listen: "127.0.0.1:0".to_string(),
             engine_workers: 1 + w, // deliberately heterogeneous pools
             shard_count: w + 1,    // and heterogeneous shard counts
-            mmap: w % 2 == 1,      // and a mix of mapped and read stores
+            shard_index: None,
+            mmap: w % 2 == 1, // and a mix of mapped and read stores
         })
         .unwrap();
         addrs.push(server.local_addr());
@@ -291,6 +292,7 @@ fn unix_socket_workers_are_byte_identical_to_tcp_ones() {
         listen: format!("unix:{}", socket.display()),
         engine_workers: 2,
         shard_count: 2,
+        shard_index: None,
         mmap: true,
     })
     .unwrap();

@@ -131,11 +131,14 @@ impl WorkerClient {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::Remote`] when the worker refuses the request.
+    /// Returns [`NetError::Remote`] when the worker refuses the request and
+    /// [`NetError::Overloaded`] when the worker sheds it (pending-batch queue full);
+    /// both leave the connection usable.
     pub fn submit(&mut self, request: &BatchRequest) -> Result<Vec<SearchOutcome>, NetError> {
         send_message(&mut self.stream, &Message::SubmitBatch(request.clone()))?;
         match recv_message(&mut self.stream)? {
             Message::BatchResult { outcomes } => Ok(outcomes),
+            Message::Overloaded { queued, limit } => Err(NetError::Overloaded { queued, limit }),
             Message::Error { message } => Err(NetError::Remote { message }),
             other => Err(NetError::protocol(format!(
                 "expected a BatchResult, got {other:?}"

@@ -81,6 +81,16 @@ pub enum NetError {
         /// What went wrong.
         reason: String,
     },
+    /// The worker shed this request: its per-connection pending-batch queue was full
+    /// when the request arrived. The request was *not* executed; retrying later (or at
+    /// a lower offered rate) is safe, and the connection stays usable. The loadtest
+    /// driver counts these instead of dying on them.
+    Overloaded {
+        /// How many batches were already pending on the connection.
+        queued: u32,
+        /// The worker's configured queue bound (`sfo serve --queue-bound`).
+        limit: u32,
+    },
 }
 
 impl NetError {
@@ -145,6 +155,10 @@ impl fmt::Display for NetError {
                  {expected:#018x}; point it at the same .sfos file"
             ),
             NetError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            NetError::Overloaded { queued, limit } => write!(
+                f,
+                "worker shed the request: {queued} batches already pending (queue bound {limit})"
+            ),
         }
     }
 }

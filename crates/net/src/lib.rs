@@ -33,6 +33,12 @@
 //!   worker `i` exactly shard `i`'s rows, and the dispatcher loop that routes every
 //!   search to the owner of the row it needs next, hopping between hosts as
 //!   `ForwardFrontier`/`FrontierResult` frames (`sweep.placed`, `sfo serve --shard`).
+//! * [`loadtest`] — the open-loop load driver behind `sfo loadtest`: replays a
+//!   [`WorkloadSpec`](sfo_scenario::WorkloadSpec) arrival schedule against one or
+//!   many workers over concurrent pipelined connections, recording client-side
+//!   latency percentiles, in-flight depth, and achieved-vs-offered rate into
+//!   `sfo-obs` histograms while counting the worker's typed [`Message::Overloaded`]
+//!   sheds instead of dying on them.
 //!
 //! **The headline invariant is byte-identity.** Every job of a batch derives its RNG
 //! from `(batch seed, global job index)` — the workspace's single stream rule — so
@@ -64,6 +70,7 @@
 //!     shard_count: 4,
 //!     shard_index: None,
 //!     mmap: false,
+//!     queue_bound: 0,
 //! })?;
 //! let addr = server.local_addr();
 //! let handle = server.spawn();
@@ -91,6 +98,7 @@ mod error;
 pub mod client;
 pub mod dispatcher;
 pub mod frame;
+pub mod loadtest;
 pub mod message;
 pub mod overlay;
 pub mod placed;
@@ -102,7 +110,8 @@ pub use dispatcher::{
     dispatch_queries, dispatch_sweep, remote_runner, remote_runner_with_metrics, RemoteDispatcher,
 };
 pub use error::NetError;
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
 pub use message::{BatchRequest, Hello, Message};
 pub use overlay::{OverlayNode, OverlayNodeConfig, OverlayNodeHandle};
-pub use server::{ServeConfig, WorkerServer, WorkerServerHandle};
+pub use server::{ServeConfig, WorkerServer, WorkerServerHandle, DEFAULT_QUEUE_BOUND};
 pub use stream::{NetListener, NetStream};

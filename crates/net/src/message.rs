@@ -67,6 +67,8 @@ pub const TYPE_LOAD_SHARD: u16 = 13;
 pub const TYPE_FORWARD_FRONTIER: u16 = 14;
 /// Frame type tag of [`Message::FrontierResult`].
 pub const TYPE_FRONTIER_RESULT: u16 = 15;
+/// Frame type tag of [`Message::Overloaded`].
+pub const TYPE_OVERLOADED: u16 = 16;
 
 /// [`Hello::shard_index`] value of a worker serving the whole snapshot rather than
 /// one placed shard.
@@ -202,6 +204,17 @@ pub enum Message {
     },
     /// Worker → client: the forwarded frontier either finished here or must hop on.
     FrontierResult(FrontierResult),
+    /// Worker → client: the request was shed because the connection's pending-batch
+    /// queue was full (`sfo serve --queue-bound`). The request was *not* executed and
+    /// the connection stays usable; [`WorkerClient`](crate::WorkerClient) surfaces
+    /// this as [`NetError::Overloaded`], which the loadtest driver counts instead of
+    /// dying on.
+    Overloaded {
+        /// How many batches were already pending when the request arrived.
+        queued: u32,
+        /// The worker's configured queue bound.
+        limit: u32,
+    },
 }
 
 fn put_peer(out: &mut Vec<u8>, peer: &PeerRef) {
@@ -579,6 +592,12 @@ impl Message {
                 }
                 (TYPE_FRONTIER_RESULT, out)
             }
+            Message::Overloaded { queued, limit } => {
+                let mut out = Vec::with_capacity(8);
+                out.extend_from_slice(&queued.to_le_bytes());
+                out.extend_from_slice(&limit.to_le_bytes());
+                (TYPE_OVERLOADED, out)
+            }
         }
     }
 
@@ -853,6 +872,10 @@ impl Message {
                 };
                 Message::FrontierResult(result)
             }
+            TYPE_OVERLOADED => Message::Overloaded {
+                queued: reader.u32("overloaded")?,
+                limit: reader.u32("overloaded")?,
+            },
             other => return Err(NetError::UnknownFrameType { found: other }),
         };
         reader.finish("message payload")?;
@@ -1036,6 +1059,10 @@ mod tests {
                 state: sample_placed_state(),
             },
             Message::FrontierResult(FrontierResult::Done(SearchOutcome::new(12, 99))),
+            Message::Overloaded {
+                queued: 32,
+                limit: 32,
+            },
             Message::FrontierResult(FrontierResult::Continue(PlacedState {
                 algorithm: PlacedAlgorithm::MultipleRandomWalk { walkers: 4 },
                 walk_phase: true,

@@ -2,11 +2,25 @@
 //!
 //! A [`WorkerServer`] loads one `.sfos` snapshot into a sharded store, spins up a
 //! persistent [`WorkerPool`], and serves [`BatchRequest`]s from any number of client
-//! connections concurrently — each connection gets its own handler thread, and the
-//! engine's per-batch queues let their submissions interleave on one pool instead of
-//! serializing. The worker is deterministic by construction: every job it runs derives
-//! its RNG from `(batch seed, global job index)` exactly like a local run, so *where*
-//! a job runs is invisible in the results.
+//! connections concurrently — each connection runs as a reader/executor thread pair
+//! over one duplicated socket, and the engine's per-batch queues let their
+//! submissions interleave on one pool instead of serializing. The worker is
+//! deterministic by construction: every job it runs derives its RNG from
+//! `(batch seed, global job index)` exactly like a local run, so *where* a job runs
+//! is invisible in the results.
+//!
+//! # Backpressure
+//!
+//! A pipelining client (the `sfo loadtest` driver) can send requests faster than the
+//! engine drains them. Each connection therefore carries a bounded pending-batch
+//! queue: the reader admits `SubmitBatch` frames up to [`ServeConfig::queue_bound`]
+//! and *sheds* the rest with a typed [`Message::Overloaded`] reply — sent in arrival
+//! order like every other reply, so the conversation never desyncs and the
+//! connection never dies from overload. Shedding is pure admission control: a shed
+//! request is never executed, and the requests that *are* served produce
+//! byte-identical `BatchResult` payloads at any bound (determinism rule 6). The
+//! reader records admission depth into the `net.queue_depth` histogram and sheds
+//! into the `net.shed_total` counter, both visible over `StatsRequest`.
 //!
 //! On connect the worker announces a [`Hello`] carrying the identity hash of the file
 //! it serves ([`sfo_graph::snapshot::read_identity`]); a dispatcher that needs a
@@ -45,8 +59,12 @@ use sfo_graph::snapshot::{read_identity, Provenance, SnapshotFile};
 use sfo_graph::{CsrSlice, ShardView};
 use sfo_obs::{PhaseTimer, Registry};
 use sfo_scenario::spec::BuiltSearch;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// The pending-batch queue bound used when [`ServeConfig::queue_bound`] is 0.
+pub const DEFAULT_QUEUE_BOUND: usize = 32;
 
 /// Configuration of a serving daemon.
 #[derive(Debug, Clone)]
@@ -71,6 +89,13 @@ pub struct ServeConfig {
     /// and a mapped store answers every request byte-identically to a read one; on
     /// platforms without the mapping path this silently falls back to reading.
     pub mmap: bool,
+    /// Per-connection pending-batch queue bound (`sfo serve --queue-bound`): how many
+    /// admitted `SubmitBatch` requests may be waiting or executing on one connection
+    /// before the worker sheds the next with a typed [`Message::Overloaded`] reply
+    /// instead of queueing without bound. 0 selects [`DEFAULT_QUEUE_BOUND`]. Shedding
+    /// never changes results: the requests that are served produce byte-identical
+    /// `BatchResult` payloads at any bound.
+    pub queue_bound: usize,
 }
 
 /// What a store holds: every row, or one placed shard's rows.
@@ -196,6 +221,8 @@ struct ServerState {
     /// The `--shard` pin: a pinned daemon serves exactly this placed shard forever.
     pinned_shard: Option<usize>,
     mmap: bool,
+    /// Resolved per-connection pending-batch admission bound (never 0).
+    queue_bound: usize,
     stop: AtomicBool,
     /// Monotonic connection ids, so per-connection telemetry and logs attribute to
     /// the conversation that misbehaved, not to whichever peer string a thread last
@@ -243,6 +270,11 @@ impl WorkerServer {
                 shard_count: config.shard_count,
                 pinned_shard: config.shard_index,
                 mmap: config.mmap,
+                queue_bound: if config.queue_bound == 0 {
+                    DEFAULT_QUEUE_BOUND
+                } else {
+                    config.queue_bound
+                },
                 stop: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
                 metrics,
@@ -350,7 +382,35 @@ fn frame_desynced(error: &NetError) -> bool {
     }
 }
 
+/// What the per-connection reader hands to the executor, in arrival order.
+enum ConnEvent {
+    /// A decoded, admitted request to serve.
+    Request(Message),
+    /// A `SubmitBatch` that arrived while the pending-batch queue was full; the
+    /// executor answers [`Message::Overloaded`] in sequence, executing nothing.
+    Shed {
+        /// The queue depth the reader observed at arrival.
+        queued: u32,
+    },
+    /// A receive error; the executor answers a typed `Error` and, when the stream
+    /// itself desynced, drops the connection.
+    DecodeError {
+        /// The error text to answer with.
+        message: String,
+        /// Whether the stream can no longer be trusted to be frame-aligned.
+        desynced: bool,
+    },
+    /// The peer hung up cleanly between frames.
+    Hangup,
+}
+
 /// One client conversation: `Hello`, then request/reply until the peer hangs up.
+///
+/// The conversation runs as a thread pair over one duplicated socket: the *reader*
+/// decodes frames as fast as they arrive and admits batches against the pending-batch
+/// bound (shedding past it), while the *executor* — this thread — serves events
+/// strictly in arrival order, so a pipelining client reads replies in exactly the
+/// order it sent requests.
 fn handle_connection(mut stream: NetStream, state: &ServerState, conn: u64, peer: &str) {
     // The store is pinned per connection: every batch on this connection runs against
     // exactly the snapshot its Hello announced, even if another client swaps the
@@ -366,47 +426,135 @@ fn handle_connection(mut stream: NetStream, state: &ServerState, conn: u64, peer
         Ok(bytes) => record_sent(metrics, &announce, bytes),
         Err(_) => return,
     }
-    loop {
-        let request = match recv_message_counted(&mut stream) {
-            Ok((message, bytes)) => {
-                metrics
-                    .counter(&format!("net.frames_in.{}", kind(&message)))
-                    .inc();
-                metrics.counter("net.bytes_in").add(bytes);
-                message
-            }
-            // A clean hang-up between frames is the normal end of a conversation.
-            Err(NetError::Truncated { section: "header" }) => return,
-            Err(e) => {
-                // Attributed to this connection, not to whatever peer string the
-                // thread last logged — loudly, so an operator can trace a
-                // misbehaving client.
-                metrics.counter("net.decode_errors").inc();
-                metrics
-                    .counter(&format!("net.decode_errors.conn.{conn}"))
-                    .inc();
-                let desynced = frame_desynced(&e);
-                eprintln!(
-                    "sfo serve: conn#{conn} ({peer}): request does not decode{}: {e}",
-                    if desynced {
-                        ", dropping connection"
-                    } else {
-                        ""
+    let mut read_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("sfo serve: conn#{conn} ({peer}): cannot split the stream: {e}");
+            return;
+        }
+    };
+    let queue: Arc<(Mutex<VecDeque<ConnEvent>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    let queue_bound = state.queue_bound;
+    // Admitted-but-not-completed batches: the reader increments at admission, the
+    // executor decrements after the reply is built, so the count *is* the pending
+    // depth a new arrival competes with.
+    let pending = Arc::new(AtomicUsize::new(0));
+    let reader = {
+        let queue = Arc::clone(&queue);
+        let pending = Arc::clone(&pending);
+        let metrics = Arc::clone(metrics);
+        let peer = peer.to_string();
+        std::thread::Builder::new()
+            .name("sfo-net-read".to_string())
+            .spawn(move || {
+                let push = |event: ConnEvent| {
+                    let (events, signal) = &*queue;
+                    events.lock().expect("conn queue lock").push_back(event);
+                    signal.notify_one();
+                };
+                loop {
+                    match recv_message_counted(&mut read_stream) {
+                        Ok((message, bytes)) => {
+                            metrics
+                                .counter(&format!("net.frames_in.{}", kind(&message)))
+                                .inc();
+                            metrics.counter("net.bytes_in").add(bytes);
+                            if matches!(message, Message::SubmitBatch(_)) {
+                                // Admission happens at arrival, not at execution, so
+                                // a saturated executor sheds instead of buffering
+                                // without bound.
+                                let depth = pending.load(Ordering::SeqCst);
+                                if depth >= queue_bound {
+                                    metrics.counter("net.shed_total").inc();
+                                    push(ConnEvent::Shed {
+                                        queued: depth as u32,
+                                    });
+                                    continue;
+                                }
+                                pending.fetch_add(1, Ordering::SeqCst);
+                                metrics
+                                    .histogram("net.queue_depth")
+                                    .record(depth as u64 + 1);
+                            }
+                            push(ConnEvent::Request(message));
+                        }
+                        // A clean hang-up between frames: the normal end.
+                        Err(NetError::Truncated { section: "header" }) => {
+                            push(ConnEvent::Hangup);
+                            return;
+                        }
+                        Err(e) => {
+                            // Attributed to this connection, not to whatever peer
+                            // string a thread last logged — loudly, so an operator
+                            // can trace a misbehaving client.
+                            metrics.counter("net.decode_errors").inc();
+                            metrics
+                                .counter(&format!("net.decode_errors.conn.{conn}"))
+                                .inc();
+                            let desynced = frame_desynced(&e);
+                            eprintln!(
+                                "sfo serve: conn#{conn} ({peer}): request does not decode{}: {e}",
+                                if desynced {
+                                    ", dropping connection"
+                                } else {
+                                    ""
+                                }
+                            );
+                            push(ConnEvent::DecodeError {
+                                message: e.to_string(),
+                                desynced,
+                            });
+                            if desynced {
+                                return;
+                            }
+                        }
                     }
-                );
-                let _ = send_message(
-                    &mut stream,
-                    &Message::Error {
-                        message: e.to_string(),
-                    },
-                );
+                }
+            })
+    };
+    if reader.is_err() {
+        eprintln!("sfo serve: conn#{conn} ({peer}): cannot spawn the reader thread");
+        return;
+    }
+    // The executor. The reader is deliberately not joined on exit: after an
+    // executor-side write failure it unblocks on its own the moment the peer hangs
+    // up or the socket dies, and an OS process exit reaps it regardless.
+    loop {
+        let event = {
+            let (events, signal) = &*queue;
+            let mut events = events.lock().expect("conn queue lock");
+            while events.is_empty() {
+                events = signal.wait(events).expect("conn queue lock");
+            }
+            events.pop_front().expect("a non-empty event queue")
+        };
+        let request = match event {
+            ConnEvent::Hangup => return,
+            ConnEvent::DecodeError { message, desynced } => {
+                let _ = send_message(&mut stream, &Message::Error { message });
                 if desynced {
                     return;
                 }
                 continue;
             }
+            ConnEvent::Shed { queued } => {
+                // Not a served request: no engine time was spent and no service
+                // time is recorded — only the reply frame itself.
+                let reply = Message::Overloaded {
+                    queued,
+                    limit: queue_bound as u32,
+                };
+                match send_message_counted(&mut stream, &reply) {
+                    Ok(bytes) => record_sent(metrics, &reply, bytes),
+                    Err(_) => return,
+                }
+                continue;
+            }
+            ConnEvent::Request(request) => request,
         };
         let request_kind = kind(&request);
+        let was_batch = matches!(request, Message::SubmitBatch(_));
         let timer = PhaseTimer::start();
         let reply = match request {
             Message::LoadSnapshot { path } => {
@@ -464,6 +612,9 @@ fn handle_connection(mut stream: NetStream, state: &ServerState, conn: u64, peer
                 ),
             },
         };
+        if was_batch {
+            pending.fetch_sub(1, Ordering::SeqCst);
+        }
         let micros = timer.elapsed_micros();
         metrics.histogram("net.request_micros").record(micros);
         metrics
@@ -497,6 +648,7 @@ fn kind(message: &Message) -> &'static str {
         Message::Overlay(_) => "Overlay",
         Message::StatsRequest => "StatsRequest",
         Message::StatsReport(_) => "StatsReport",
+        Message::Overloaded { .. } => "Overloaded",
     }
 }
 
@@ -775,6 +927,7 @@ mod tests {
             shard_count,
             shard_index,
             mmap: false,
+            queue_bound: 0,
         })
         .unwrap();
         let metrics = Arc::clone(server.metrics());
@@ -989,6 +1142,83 @@ mod tests {
             recv_message(&mut stream).unwrap(),
             Message::Error { .. }
         ));
+        handle.stop();
+    }
+
+    #[test]
+    fn a_full_pending_queue_sheds_batches_without_killing_the_connection() {
+        let path = snapshot_fixture("shed");
+        let server = WorkerServer::bind(&ServeConfig {
+            snapshot_path: path,
+            listen: "127.0.0.1:0".to_string(),
+            engine_workers: 1,
+            shard_count: 1,
+            shard_index: None,
+            mmap: false,
+            queue_bound: 1,
+        })
+        .unwrap();
+        let handle = server.spawn();
+        let (mut stream, _) = connect(handle.addr());
+        // Pipeline six sizeable batches without reading a single reply: with a bound
+        // of one, batches that arrive while an admitted one executes are shed, in
+        // order, and the connection keeps serving.
+        let batch = Message::SubmitBatch(BatchRequest::SweepRange {
+            seed: 5,
+            start: 0,
+            end: 20_000,
+            searches_per_point: 20_000,
+            ttls: vec![6],
+            search: sfo_scenario::SearchSpec::Flooding,
+        });
+        for _ in 0..6 {
+            send_message(&mut stream, &batch).unwrap();
+        }
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..6 {
+            match recv_message(&mut stream).unwrap() {
+                Message::BatchResult { outcomes } => {
+                    assert_eq!(outcomes.len(), 20_000);
+                    served += 1;
+                }
+                Message::Overloaded { queued, limit } => {
+                    assert_eq!(limit, 1);
+                    assert!(queued >= 1);
+                    shed += 1;
+                }
+                other => panic!("expected BatchResult or Overloaded, got {other:?}"),
+            }
+        }
+        // Every request is answered: served plus shed reconciles with sent.
+        assert_eq!(served + shed, 6);
+        assert!(served >= 1, "the first admitted batch must execute");
+        assert!(
+            shed >= 1,
+            "six pipelined batches against a bound of 1 must shed"
+        );
+        // The connection stays usable after overload, and the counters agree.
+        send_message(&mut stream, &Message::StatsRequest).unwrap();
+        let Message::StatsReport(snapshot) = recv_message(&mut stream).unwrap() else {
+            panic!("stats must still answer after sheds");
+        };
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("net.shed_total"), shed);
+        let depth = snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "net.queue_depth")
+            .map(|(_, h)| h.clone())
+            .expect("admissions must record queue depth");
+        assert_eq!(depth.count, served);
+        assert_eq!(depth.max, 1, "a bound of 1 admits at depth 1 only");
         handle.stop();
     }
 

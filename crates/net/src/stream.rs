@@ -51,6 +51,23 @@ impl NetStream {
             .map(NetStream::Tcp)
             .map_err(|e| NetError::io(format!("connect {addr}"), &e))
     }
+
+    /// Clones the underlying socket handle, so one thread can read while another
+    /// writes — the worker daemon splits each connection into a reader and an
+    /// executor this way, and the loadtest driver pairs a sender with a receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the operating system refuses to duplicate the
+    /// handle.
+    pub fn try_clone(&self) -> Result<NetStream, NetError> {
+        match self {
+            NetStream::Tcp(stream) => stream.try_clone().map(NetStream::Tcp),
+            #[cfg(unix)]
+            NetStream::Unix(stream) => stream.try_clone().map(NetStream::Unix),
+        }
+        .map_err(|e| NetError::io("clone stream", &e))
+    }
 }
 
 impl Read for NetStream {

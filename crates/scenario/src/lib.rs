@@ -70,6 +70,7 @@ pub mod report;
 pub mod runner;
 pub mod snapshot_build;
 pub mod spec;
+pub mod workload;
 
 pub use error::ScenarioError;
 pub use remote::{RemoteSweepExecutor, RemoteSweepRequest};
@@ -82,6 +83,7 @@ pub use snapshot_build::build_snapshot;
 pub use spec::{
     BuiltSearch, DynamicsSpec, MeasureSpec, ScenarioSpec, SearchSpec, SweepSpec, TopologySpec,
 };
+pub use workload::{ArrivalSpec, WorkloadSpec};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T, E = ScenarioError> = std::result::Result<T, E>;

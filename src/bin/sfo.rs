@@ -10,8 +10,10 @@
 //! sfo snapshot inspect <file.sfos>
 //! sfo snapshot verify <file.sfos>
 //! sfo serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N] [--shard I] [--mmap]
+//!           [--queue-bound N]
 //! sfo dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--placed]
 //!              [--out <report.json>] [--quiet] [--metrics-out <metrics.json>]
+//! sfo loadtest <workload.json> --worker <addr> [--worker <addr> ...] [--out <bench.json>]
 //! sfo stats <addr>
 //! sfo overlay --listen <addr> --id N [--seed N] [--bootstrap <id>@<addr>] [--tick-millis N]
 //!             [--active-cap N] [--walks N]
@@ -52,6 +54,16 @@
 //! count and placement, because a forwarded frontier carries the search's exact serial
 //! state.
 //!
+//! `loadtest` replays a [`WorkloadSpec`] file —
+//! a seed-derived Poisson or bursty arrival schedule — open-loop against running
+//! workers over concurrent pipelined connections, printing client-side p50/p95/p99
+//! latency, in-flight depth, and achieved-vs-offered rate, and writing the numbers
+//! as a `BENCH_*.json`-shaped file with `--out`. Workers bound their per-connection
+//! pending-batch queue (`sfo serve --queue-bound N`) and shed excess load with a
+//! typed `Overloaded` frame that the driver counts instead of dying on; shedding
+//! never changes the bytes of any served result (determinism rule 6, schema:
+//! `docs/BENCHMARKS.md`, walkthrough: `docs/OPERATIONS.md`).
+//!
 //! `stats` polls a running worker's telemetry — the `sfo-obs` counters and latency
 //! histograms the daemon accumulates (connections, frames and bytes by message type,
 //! per-request service times, engine jobs/steals/batches) — and prints the snapshot as
@@ -70,18 +82,18 @@
 //! unchanged.
 
 use sfoverlay::prelude::{
-    build_snapshot, remote_runner, remote_runner_with_metrics, LiveConfig, OverlayNode,
-    OverlayNodeConfig, PeerRef, ProtocolConfig, Registry, ScenarioReport, ScenarioSpec, SearchSpec,
-    ServeConfig, ShardedCsr, SimulationConfig, SnapshotFile, SweepSpec, TopologySpec, WorkerClient,
-    WorkerServer,
+    build_snapshot, remote_runner, remote_runner_with_metrics, run_loadtest, LiveConfig,
+    LoadtestConfig, LoadtestReport, OverlayNode, OverlayNodeConfig, PeerRef, ProtocolConfig,
+    Registry, ScenarioReport, ScenarioSpec, SearchSpec, ServeConfig, ShardedCsr, SimulationConfig,
+    SnapshotFile, SweepSpec, TopologySpec, WorkerClient, WorkerServer, WorkloadSpec,
 };
-use sfoverlay::scenario::json::ToJson;
+use sfoverlay::scenario::json::{JsonValue, ToJson};
 use sfoverlay::scenario::{ScenarioResult, SweepMetric};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> String {
-    "usage: sfo <scenario|snapshot|serve|dispatch|stats|overlay> <command>\n\
+    "usage: sfo <scenario|snapshot|serve|dispatch|loadtest|stats|overlay> <command>\n\
      \n\
      scenario commands:\n\
      \x20 run <spec.json> [--out <report.json>] [--threads N] [--mmap] [--quiet]\n\
@@ -99,16 +111,27 @@ fn usage() -> String {
      \n\
      distributed execution:\n\
      \x20 serve <file.sfos> --listen <addr> [--engine-workers N] [--shards N]\n\
-     \x20       [--shard I] [--mmap]                         serve the snapshot's query\n\
+     \x20       [--shard I] [--mmap] [--queue-bound N]       serve the snapshot's query\n\
      \x20                                                    batches to remote dispatchers;\n\
      \x20                                                    --shard I pins this worker to\n\
-     \x20                                                    one shard of a placed layout\n\
+     \x20                                                    one shard of a placed layout;\n\
+     \x20                                                    --queue-bound N caps pending\n\
+     \x20                                                    batches per connection (excess\n\
+     \x20                                                    is shed with a typed Overloaded\n\
+     \x20                                                    frame; 0 = default bound)\n\
      \x20 dispatch <spec.json> --worker <addr> [--worker <addr> ...] [--placed]\n\
      \x20          [--out <report.json>] [--quiet]           split the spec's sweep across\n\
      \x20          [--metrics-out <metrics.json>]            sfo serve workers; --placed\n\
      \x20                                                    routes each search to the shard\n\
      \x20                                                    owning its frontier (worker i\n\
      \x20                                                    holds shard i)\n\
+     \x20 loadtest <workload.json> --worker <addr> [--worker <addr> ...]\n\
+     \x20          [--out <bench.json>]                      replay the workload's arrival\n\
+     \x20                                                    schedule open-loop against the\n\
+     \x20                                                    workers, print p50/p95/p99\n\
+     \x20                                                    latency and shed counts, and\n\
+     \x20                                                    write a BENCH_*.json-shaped\n\
+     \x20                                                    trajectory with --out\n\
      \x20 stats <addr>                                       poll a worker's telemetry\n\
      \x20                                                    (counters + latency\n\
      \x20                                                    histograms) as JSON\n\
@@ -145,6 +168,7 @@ fn main() -> ExitCode {
         Some("snapshot") => snapshot_command(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("dispatch") => dispatch(&args[1..]),
+        Some("loadtest") => loadtest(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("overlay") => overlay(&args[1..]),
         Some("--help" | "-h") => {
@@ -169,10 +193,21 @@ fn serve(args: &[String]) -> ExitCode {
     let mut shards = 0usize;
     let mut shard_index: Option<usize> = None;
     let mut mmap = false;
+    let mut queue_bound = 0usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--mmap" => mmap = true,
+            "--queue-bound" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(value) => queue_bound = value,
+                None => {
+                    eprintln!(
+                        "--queue-bound requires a pending-batch cap per connection \
+                         (0 = default bound)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--shard" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(value) => shard_index = Some(value),
                 None => {
@@ -227,6 +262,7 @@ fn serve(args: &[String]) -> ExitCode {
         shard_count: shards,
         shard_index,
         mmap,
+        queue_bound,
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -356,6 +392,177 @@ fn dispatch(args: &[String]) -> ExitCode {
     // A dispatched sweep reads only the snapshot's meta locally — the workers load
     // the file — so the mapping knob is theirs (`sfo serve --mmap`), not ours.
     execute_and_emit(&spec, out, quiet, false, metrics_out)
+}
+
+/// `sfo loadtest <workload.json> --worker <addr> ... [--out <bench.json>]` — replay a
+/// workload's arrival schedule open-loop against running workers and report latency.
+fn loadtest(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut workers: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--worker" => match iter.next() {
+                Some(value) => workers.push(value.clone()),
+                None => {
+                    eprintln!("--worker requires an address (host:port or unix:/path)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(value) => out = Some(value),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if path.replace(other).is_some() {
+                    eprintln!("loadtest takes exactly one workload file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("loadtest requires a workload file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if workers.is_empty() {
+        eprintln!(
+            "loadtest requires at least one --worker <addr>\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match WorkloadSpec::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadtest '{}': offered rate {:.1} req/s for {:.1}s across {} worker(s) × {} \
+         connection(s), {} job(s) per request ...",
+        spec.name,
+        spec.arrivals.offered_rate_hz(),
+        spec.duration_secs,
+        workers.len(),
+        spec.connections,
+        spec.jobs_per_request,
+    );
+    let name = spec.name.clone();
+    let report = match run_loadtest(&LoadtestConfig {
+        spec,
+        workers,
+        record_outcomes: false,
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadtest '{name}' failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    summarize_loadtest(&report);
+    if let Some(out_path) = out {
+        let json = loadtest_bench_rows(&name, &report).to_pretty_string();
+        if let Err(e) = std::fs::write(out_path, &json) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench rows written to {out_path}");
+    }
+    if report.decode_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints the human-readable digest of a loadtest run to stderr.
+fn summarize_loadtest(report: &LoadtestReport) {
+    eprintln!(
+        "  requests: {} offered, {} sent, {} completed, {} shed, {} refused, \
+         {} decode error(s)",
+        report.offered,
+        report.sent,
+        report.completed,
+        report.shed,
+        report.errors,
+        report.decode_errors,
+    );
+    eprintln!(
+        "  rate:     {:.1} req/s achieved vs {:.1} req/s offered over {:.2}s",
+        report.achieved_rate_hz, report.offered_rate_hz, report.elapsed_secs,
+    );
+    if report.latency.count > 0 {
+        eprintln!(
+            "  latency:  p50 {} µs, p95 {} µs, p99 {} µs (min {} µs, max {} µs)",
+            report.latency.p50(),
+            report.latency.p95(),
+            report.latency.p99(),
+            report.min_latency_micros,
+            report.latency.max,
+        );
+        eprintln!(
+            "  inflight: p50 {}, p95 {}, max {}",
+            report.inflight.p50(),
+            report.inflight.p95(),
+            report.inflight.max,
+        );
+    }
+}
+
+/// Shapes a loadtest report as the flat `BENCH_*.json` row array the bench regression
+/// gate (.github/scripts/compare_bench.py) understands. Latencies are reported in
+/// nanoseconds like every other bench row; every value is clamped away from zero so a
+/// baseline row can never produce an infinite regression ratio.
+fn loadtest_bench_rows(name: &str, report: &LoadtestReport) -> JsonValue {
+    let completed = report.completed.max(1);
+    let min_ns = (report.min_latency_micros.max(1) * 1_000) as f64;
+    let max_ns = (report.latency.max.max(1) * 1_000) as f64;
+    let mean_ns = ((report.latency.sum as f64 / completed as f64) * 1_000.0).max(1.0);
+    let row = |id: String, mean: f64| {
+        JsonValue::Object(vec![
+            ("id".to_string(), JsonValue::from_str_value(&id)),
+            ("min_ns".to_string(), JsonValue::from_f64(min_ns)),
+            ("mean_ns".to_string(), JsonValue::from_f64(mean.max(1.0))),
+            ("max_ns".to_string(), JsonValue::from_f64(max_ns)),
+            ("iterations".to_string(), JsonValue::from_u64(completed)),
+        ])
+    };
+    // request_period is wall-clock per completed request — it degrades (grows) when
+    // the serve path slows down or sheds more, which is the direction the gate checks.
+    let period_ns = (report.elapsed_secs * 1e9 / completed as f64).max(1.0);
+    JsonValue::Array(vec![
+        row(format!("serve/{name}/latency"), mean_ns),
+        row(
+            format!("serve/{name}/latency_p50"),
+            (report.latency.p50().max(1) * 1_000) as f64,
+        ),
+        row(
+            format!("serve/{name}/latency_p95"),
+            (report.latency.p95().max(1) * 1_000) as f64,
+        ),
+        row(
+            format!("serve/{name}/latency_p99"),
+            (report.latency.p99().max(1) * 1_000) as f64,
+        ),
+        row(format!("serve/{name}/request_period"), period_ns),
+    ])
 }
 
 fn overlay(args: &[String]) -> ExitCode {

@@ -35,8 +35,10 @@
 //! * [`net`] — the distributed execution layer ([`sfo_net`]): a framed wire protocol
 //!   over TCP or Unix sockets, the [`WorkerServer`](sfo_net::WorkerServer) daemon
 //!   behind `sfo serve` (a loaded `.sfos` snapshot served to many clients through one
-//!   engine pool), and the [`RemoteDispatcher`](sfo_net::RemoteDispatcher) that splits
-//!   a spec's job grid across workers with byte-identical results.
+//!   engine pool, with a bounded per-connection queue that sheds overload as typed
+//!   frames), the [`RemoteDispatcher`](sfo_net::RemoteDispatcher) that splits a
+//!   spec's job grid across workers with byte-identical results, and the open-loop
+//!   load driver behind `sfo loadtest` ([`sfo_net::loadtest`]).
 //! * [`obs`] — the workspace telemetry layer ([`sfo_obs`]): lock-free counters,
 //!   log-bucketed latency histograms, phase timers, and the named-metric
 //!   [`Registry`](sfo_obs::Registry) instrumenting the engine, the wire protocol, the
@@ -110,8 +112,9 @@ pub mod prelude {
     };
     pub use sfo_net::placed::{shard_of, shard_range};
     pub use sfo_net::{
-        remote_runner, remote_runner_with_metrics, NetError, OverlayNode, OverlayNodeConfig,
-        OverlayNodeHandle, RemoteDispatcher, ServeConfig, WorkerClient, WorkerServer,
+        remote_runner, remote_runner_with_metrics, run_loadtest, LoadtestConfig, LoadtestReport,
+        NetError, OverlayNode, OverlayNodeConfig, OverlayNodeHandle, RemoteDispatcher, ServeConfig,
+        WorkerClient, WorkerServer, DEFAULT_QUEUE_BOUND,
     };
     pub use sfo_obs::{
         Counter, Histogram, HistogramSnapshot, MetricsSnapshot, PhaseTimer, Registry,
@@ -121,9 +124,9 @@ pub mod prelude {
     };
     pub use sfo_overlay::sim::{grow, grow_metered, LiveConfig, LiveOutcome, LiveStats};
     pub use sfo_scenario::{
-        build_snapshot, DegreeCurve, DynamicsSpec, LiveRealization, MeasureSpec,
+        build_snapshot, ArrivalSpec, DegreeCurve, DynamicsSpec, LiveRealization, MeasureSpec,
         RemoteSweepExecutor, RemoteSweepRequest, ScenarioError, ScenarioReport, ScenarioRunner,
-        ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec,
+        ScenarioSpec, SearchSpec, SweepMetric, SweepSpec, TopologySpec, WorkloadSpec,
     };
     pub use sfo_search::biased_walk::DegreeBiasedWalk;
     pub use sfo_search::expanding_ring::ExpandingRing;
@@ -181,6 +184,26 @@ mod tests {
         registry.counter("prelude.smoke").inc();
         assert_eq!(registry.snapshot().counter("prelude.smoke"), Some(1));
         let _ = MeasureSpec::DegreeDistribution { bins_per_decade: 8 };
+        // The load-testing layer is reachable through the prelude: workload specs,
+        // the open-loop driver's config, and the server's default queue bound.
+        let default_bound = DEFAULT_QUEUE_BOUND;
+        assert!(default_bound > 0);
+        let workload = WorkloadSpec {
+            name: "prelude".to_string(),
+            arrivals: ArrivalSpec::Poisson { rate_hz: 10.0 },
+            duration_secs: 1.0,
+            connections: 1,
+            jobs_per_request: 1,
+            search: SearchSpec::Flooding,
+            ttl: 2,
+            seed: 1,
+        };
+        assert!(workload.validate().is_ok());
+        let _ = LoadtestConfig {
+            spec: workload,
+            workers: vec![],
+            record_outcomes: false,
+        };
         let spec = ScenarioSpec::sweep(
             "prelude",
             TopologySpec::Pa {

@@ -1,0 +1,320 @@
+//! The load-testing subsystem end to end: workload specs as files, seed-deterministic
+//! arrival schedules, the open-loop driver against a live worker, the typed shed path,
+//! and the headline invariant — a metered, shed-provoking loadtest never perturbs a
+//! single byte of any served `BatchResult` (determinism rule 6 in
+//! `docs/ARCHITECTURE.md`).
+
+use sfoverlay::net::message::{
+    recv_message, send_message, BatchRequest, Hello, Message, WHOLE_SNAPSHOT,
+};
+use sfoverlay::net::{NetListener, ServeConfig, WorkerServer};
+use sfoverlay::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfo-loadtest-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small capped-PA topology to serve; built once per test that needs one.
+fn snapshot_fixture(dir: &Path) -> String {
+    let spec = ScenarioSpec::sweep(
+        "loadtest-fixture",
+        TopologySpec::Pa {
+            nodes: 400,
+            m: 2,
+            cutoff: Some(12),
+        },
+        SearchSpec::Flooding,
+        SweepSpec::single(vec![1], 1),
+        17,
+        1,
+    );
+    let path = dir.join("loadtest.sfos").display().to_string();
+    build_snapshot(&spec, 0).unwrap().save(&path).unwrap();
+    path
+}
+
+/// Binds a worker over the fixture with the given per-connection queue bound.
+fn serve(snapshot_path: &str, queue_bound: usize) -> (String, sfoverlay::net::WorkerServerHandle) {
+    let server = WorkerServer::bind(&ServeConfig {
+        snapshot_path: snapshot_path.to_string(),
+        listen: "127.0.0.1:0".to_string(),
+        engine_workers: 1,
+        shard_count: 1,
+        shard_index: None,
+        mmap: false,
+        queue_bound,
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    (addr, server.spawn())
+}
+
+/// Mirrors the driver's request construction: request `index` of a workload is a pure
+/// function of `(spec, index, node_count)` — the contract that makes the byte-identity
+/// comparison below meaningful.
+fn request_for(spec: &WorkloadSpec, index: u64, node_count: u64) -> BatchRequest {
+    let mut batch = QueryBatch::new();
+    for source in spec.request_sources(index, node_count) {
+        batch.push(NodeId::new(source as usize), 0, spec.ttl);
+    }
+    BatchRequest::Queries {
+        seed: spec.seed,
+        index_offset: index * spec.jobs_per_request as u64,
+        algorithms: vec![spec.search.clone()],
+        batch,
+    }
+}
+
+#[test]
+fn workload_spec_files_round_trip_like_cli_inputs() {
+    let dir = scratch("roundtrip");
+    let spec = WorkloadSpec {
+        name: "rt".to_string(),
+        arrivals: ArrivalSpec::Bursty {
+            rate_hz: 120.0,
+            shape: 1.5,
+            mean_on_secs: 0.4,
+            mean_off_secs: 0.6,
+        },
+        duration_secs: 2.0,
+        connections: 3,
+        jobs_per_request: 4,
+        search: SearchSpec::NormalizedFlooding { k_min: Some(2) },
+        ttl: 5,
+        seed: 99,
+    };
+    // Through the filesystem, the way `sfo loadtest <file>` consumes it.
+    let path = dir.join("workload.json");
+    std::fs::write(&path, spec.to_json_string()).unwrap();
+    let reparsed = WorkloadSpec::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reparsed, spec);
+    // A bursty spec's long-run offered rate is its on-fraction times the burst target.
+    let offered = reparsed.arrivals.offered_rate_hz();
+    assert!((offered - 120.0 * 0.4).abs() < 1e-9, "offered {offered}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn arrival_schedules_are_pure_functions_of_the_spec() {
+    for arrivals in [
+        ArrivalSpec::Poisson { rate_hz: 500.0 },
+        ArrivalSpec::Bursty {
+            rate_hz: 800.0,
+            shape: 1.4,
+            mean_on_secs: 0.05,
+            mean_off_secs: 0.05,
+        },
+    ] {
+        let spec = WorkloadSpec {
+            name: "sched".to_string(),
+            arrivals,
+            duration_secs: 1.0,
+            connections: 2,
+            jobs_per_request: 1,
+            search: SearchSpec::Flooding,
+            ttl: 2,
+            seed: 5,
+        };
+        assert_eq!(spec.schedule().unwrap(), spec.schedule().unwrap());
+        let mut renamed = spec.clone();
+        renamed.name = "sched-b".to_string();
+        assert_ne!(
+            spec.schedule().unwrap(),
+            renamed.schedule().unwrap(),
+            "the schedule stream is salted by the workload name"
+        );
+        // Sources too: derived per request index, independent of call order.
+        assert_eq!(spec.request_sources(7, 400), spec.request_sources(7, 400));
+        assert_ne!(spec.request_sources(7, 400), spec.request_sources(8, 400));
+    }
+}
+
+#[test]
+fn a_shed_reply_is_a_typed_client_error_that_keeps_the_connection() {
+    // A scripted worker: Hello, then answer every batch with a typed shed, then one
+    // real-looking error — proving WorkerClient surfaces NetError::Overloaded and the
+    // connection survives to carry the next request.
+    let listener = NetListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let fake = std::thread::spawn(move || {
+        let mut stream = listener.accept().unwrap();
+        send_message(
+            &mut stream,
+            &Message::Hello(Hello {
+                identity: 7,
+                node_count: 10,
+                edge_count: 9,
+                shard_count: 1,
+                engine_workers: 1,
+                shard_index: WHOLE_SNAPSHOT,
+            }),
+        )
+        .unwrap();
+        let Message::SubmitBatch(_) = recv_message(&mut stream).unwrap() else {
+            panic!("expected a batch");
+        };
+        send_message(
+            &mut stream,
+            &Message::Overloaded {
+                queued: 3,
+                limit: 2,
+            },
+        )
+        .unwrap();
+        let Message::SubmitBatch(_) = recv_message(&mut stream).unwrap() else {
+            panic!("expected a second batch on the same connection");
+        };
+        send_message(&mut stream, &Message::BatchResult { outcomes: vec![] }).unwrap();
+    });
+
+    let mut client = WorkerClient::connect(&addr).unwrap();
+    let mut batch = QueryBatch::new();
+    batch.push(NodeId::new(0), 0, 1);
+    let request = BatchRequest::Queries {
+        seed: 1,
+        index_offset: 0,
+        algorithms: vec![SearchSpec::Flooding],
+        batch,
+    };
+    let err = client.submit(&request).unwrap_err();
+    let NetError::Overloaded { queued, limit } = &err else {
+        panic!("expected NetError::Overloaded, got {err}");
+    };
+    assert_eq!((*queued, *limit), (3, 2));
+    assert!(err.to_string().contains("queue bound"), "{err}");
+    // The shed left the connection usable: the next submit round-trips normally.
+    assert_eq!(client.submit(&request).unwrap(), vec![]);
+    fake.join().unwrap();
+}
+
+#[test]
+fn a_saturating_loadtest_reconciles_counters_and_never_perturbs_result_bytes() {
+    let dir = scratch("saturate");
+    let snapshot = snapshot_fixture(&dir);
+
+    // Deliberately past saturation: heavy requests (800 floods each) against a
+    // single-threaded worker whose per-connection queue holds one batch, offered
+    // faster than it can possibly serve. The driver must survive this — sheds are
+    // counted, not fatal.
+    let spec = WorkloadSpec {
+        name: "saturate".to_string(),
+        arrivals: ArrivalSpec::Poisson { rate_hz: 1_000.0 },
+        duration_secs: 0.15,
+        connections: 1,
+        jobs_per_request: 800,
+        search: SearchSpec::Flooding,
+        ttl: 6,
+        seed: 23,
+    };
+    let (addr, handle) = serve(&snapshot, 1);
+    let report = run_loadtest(&LoadtestConfig {
+        spec: spec.clone(),
+        workers: vec![addr.clone()],
+        record_outcomes: true,
+    })
+    .unwrap();
+
+    // Driver-side reconciliation: every sent request is accounted for exactly once.
+    assert_eq!(report.decode_errors, 0);
+    assert_eq!(
+        report.sent, report.offered,
+        "open loop sends the whole schedule"
+    );
+    assert_eq!(report.sent, report.completed + report.shed + report.errors);
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.completed >= 1,
+        "the first arrival is always admitted"
+    );
+    assert!(report.shed >= 1, "a bound of one past saturation must shed");
+    assert_eq!(report.latency.count, report.completed);
+    assert!(report.latency.p99() >= report.latency.p50());
+    assert!(report.min_latency_micros <= report.latency.max);
+    assert!(report.inflight.max >= 1);
+
+    // Server-side reconciliation, over the wire: the worker counted the same sheds,
+    // and its queue-depth histogram saw exactly the admitted batches.
+    let mut client = WorkerClient::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.counter("net.shed_total"), Some(report.shed));
+    let depth = stats.histogram("net.queue_depth").unwrap();
+    assert_eq!(depth.count, report.completed);
+    assert_eq!(depth.max, 1, "a bound of one never queues deeper than one");
+    assert_eq!(
+        stats.counter("net.frames_in.SubmitBatch"),
+        Some(report.sent)
+    );
+    handle.stop();
+
+    // The invariance row: replay every completed request against a fresh, unloaded,
+    // unbounded worker and compare the full reply encodings. Saturation, shedding,
+    // and measurement must be invisible in the payload bytes (determinism rule 6).
+    let (calm_addr, calm_handle) = serve(&snapshot, 0);
+    let mut calm = WorkerClient::connect(&calm_addr).unwrap();
+    let node_count = calm.hello().node_count;
+    let mut compared = 0u64;
+    for (index, slot) in report.outcomes.iter().enumerate() {
+        let Some(loaded) = slot else { continue };
+        let unloaded = calm
+            .submit(&request_for(&spec, index as u64, node_count))
+            .unwrap();
+        let loaded_bytes = Message::BatchResult {
+            outcomes: loaded.clone(),
+        }
+        .encode();
+        let unloaded_bytes = Message::BatchResult { outcomes: unloaded }.encode();
+        assert_eq!(
+            loaded_bytes, unloaded_bytes,
+            "request {index}: a shed-provoking loadtest changed served result bytes"
+        );
+        compared += 1;
+    }
+    assert_eq!(compared, report.completed);
+    calm_handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn an_unsaturated_loadtest_completes_the_whole_schedule() {
+    let dir = scratch("calm");
+    let snapshot = snapshot_fixture(&dir);
+    // Light load under a bound the schedule cannot reach: nothing sheds, everything
+    // completes, and the achieved rate lands in the same regime as the offered one.
+    // (The bound exceeds the whole schedule so CPU contention from concurrently
+    // running tests can never push the pending queue over it.)
+    let spec = WorkloadSpec {
+        name: "calm".to_string(),
+        arrivals: ArrivalSpec::Poisson { rate_hz: 400.0 },
+        duration_secs: 0.2,
+        connections: 2,
+        jobs_per_request: 2,
+        search: SearchSpec::Flooding,
+        ttl: 2,
+        seed: 31,
+    };
+    let (addr, handle) = serve(&snapshot, 10_000);
+    let report = run_loadtest(&LoadtestConfig {
+        spec,
+        workers: vec![addr],
+        record_outcomes: false,
+    })
+    .unwrap();
+    assert_eq!(report.decode_errors, 0);
+    assert_eq!(
+        report.shed, 0,
+        "the bound exceeds the schedule; nothing can shed"
+    );
+    assert_eq!(report.completed, report.offered);
+    assert!(report.achieved_rate_hz > 0.0);
+    assert!(report.elapsed_secs > 0.0);
+    assert!(
+        report.outcomes.is_empty(),
+        "outcomes are only kept on request"
+    );
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

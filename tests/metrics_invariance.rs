@@ -149,6 +149,7 @@ fn served_batches_fill_worker_telemetry_that_stats_polls() {
         shard_count: 2,
         shard_index: None,
         mmap: false,
+        queue_bound: 0,
     })
     .unwrap();
     let addr = server.local_addr();

@@ -546,6 +546,7 @@ fn a_pinned_worker_refuses_a_load_shard_for_the_wrong_snapshot() {
         shard_count: 3,
         shard_index: Some(1),
         mmap: false,
+        queue_bound: 0,
     })
     .unwrap();
     let handle = server.spawn();

@@ -65,6 +65,7 @@ fn spawn_placed_workers(
             shard_count: if pinned { count } else { 1 + w },
             shard_index: pinned.then_some(w),
             mmap: w % 2 == 1, // a mix of mapped and read stores
+            queue_bound: 0,
         })
         .unwrap();
         addrs.push(server.local_addr());
@@ -328,6 +329,7 @@ fn placed_dispatch_refuses_a_worker_holding_the_wrong_shard() {
             shard_count: 2,
             shard_index: Some(index),
             mmap: false,
+            queue_bound: 0,
         })
         .unwrap();
         let addr = server.local_addr();

@@ -55,6 +55,7 @@ fn spawn_workers(
             shard_count: w + 1,    // and heterogeneous shard counts
             shard_index: None,
             mmap: w % 2 == 1, // and a mix of mapped and read stores
+            queue_bound: 0,
         })
         .unwrap();
         addrs.push(server.local_addr());
@@ -294,6 +295,7 @@ fn unix_socket_workers_are_byte_identical_to_tcp_ones() {
         shard_count: 2,
         shard_index: None,
         mmap: true,
+        queue_bound: 0,
     })
     .unwrap();
     let addr = server.local_addr();
